@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_e*.py`` file is both a pytest-benchmark module (``pytest
+benchmarks/ --benchmark-only``) and a standalone report generator
+(``python benchmarks/bench_e1_script_scaling.py``) that prints the
+table/figure for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.bench import BenchTable, series_shape  # noqa: F401  (re-export)
+
+
+def wall_time(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,253 @@
+"""E2 / Table 1 — spatial index comparison: scan vs grid vs quadtree vs
+k-d vs octree vs BSP.
+
+Paper claim (Performance Challenges): "Many games use traditional spatial
+indices such as BSP trees or Octrees" — because they beat scanning, with
+different structures winning different workloads.
+
+Two point distributions (uniform and clustered) × two query types (radius
+range, k-NN) at several n.  Expected shape: every index beats the scan by
+a factor that grows with n; the grid leads on uniform data; trees stay
+competitive on clustered data where grid cells are unevenly loaded.
+"""
+
+import math
+import random
+
+from bench_common import BenchTable, wall_time
+
+from repro.spatial import (
+    AABB,
+    AABB3,
+    BSPPointIndex,
+    BSPTree,
+    KDTree,
+    Octree,
+    QuadTree,
+    Segment,
+    UniformGrid,
+    Vec2,
+)
+
+SPAN = 1000.0
+BOUNDS = AABB(0, 0, SPAN, SPAN)
+RADIUS = 25.0
+
+
+def make_points(n: int, distribution: str, seed: int = 3):
+    rng = random.Random(seed)
+    if distribution == "uniform":
+        return {
+            i: (rng.uniform(0, SPAN), rng.uniform(0, SPAN)) for i in range(n)
+        }
+    points = {}
+    clusters = max(2, n // 100)
+    centers = [
+        (rng.uniform(50, SPAN - 50), rng.uniform(50, SPAN - 50))
+        for _ in range(clusters)
+    ]
+    for i in range(n):
+        cx, cy = centers[i % clusters]
+        points[i] = (
+            min(SPAN, max(0, rng.gauss(cx, 15))),
+            min(SPAN, max(0, rng.gauss(cy, 15))),
+        )
+    return points
+
+
+def build_structures(points):
+    rng = random.Random(7)
+    walls = [
+        Segment(
+            Vec2(rng.uniform(0, SPAN), rng.uniform(0, SPAN)),
+            Vec2(rng.uniform(0, SPAN), rng.uniform(0, SPAN)),
+        )
+        for _ in range(24)
+    ]
+    structures = {
+        "grid": UniformGrid(RADIUS, BOUNDS),
+        "quadtree": QuadTree(BOUNDS, capacity=16),
+        "kdtree": KDTree.build(points, BOUNDS),
+        "octree": Octree(AABB3(0, 0, -1, SPAN, SPAN, 1), capacity=16),
+        "bsp": BSPPointIndex(BSPTree(walls, BOUNDS)),
+    }
+    for name, s in structures.items():
+        if name == "kdtree":
+            continue  # bulk-built
+        for i, (x, y) in points.items():
+            s.insert(i, x, y)
+    return structures
+
+
+def scan_circle(points, cx, cy, r):
+    r2 = r * r
+    return [
+        i
+        for i, (x, y) in points.items()
+        if (x - cx) ** 2 + (y - cy) ** 2 <= r2
+    ]
+
+
+def scan_knn(points, cx, cy, k):
+    return [
+        i
+        for _d, i in sorted(
+            (math.hypot(x - cx, y - cy), i) for i, (x, y) in points.items()
+        )[:k]
+    ]
+
+
+def query_centers(seed=11, count=60):
+    rng = random.Random(seed)
+    return [(rng.uniform(0, SPAN), rng.uniform(0, SPAN)) for _ in range(count)]
+
+
+def run_experiment(sizes=(1000, 4000), distributions=("uniform", "clustered")):
+    table = BenchTable(
+        "E2 / Table 1: spatial index query cost (ms per 60 queries)",
+        ["dist", "n", "query", "scan", "grid", "quadtree", "kdtree",
+         "octree", "bsp"],
+    )
+    centers = query_centers()
+    for distribution in distributions:
+        for n in sizes:
+            points = make_points(n, distribution)
+            structures = build_structures(points)
+            # correctness guard: all structures agree with the scan
+            cx, cy = centers[0]
+            expected = sorted(scan_circle(points, cx, cy, RADIUS))
+            for name, s in structures.items():
+                assert sorted(s.query_circle(cx, cy, RADIUS)) == expected, name
+
+            def time_range(fn):
+                return wall_time(
+                    lambda: [fn(cx, cy) for cx, cy in centers], repeats=2
+                ) * 1000
+
+            row = [distribution, n, "range",
+                   time_range(lambda cx, cy: scan_circle(points, cx, cy, RADIUS))]
+            for name in ("grid", "quadtree", "kdtree", "octree", "bsp"):
+                s = structures[name]
+                row.append(time_range(
+                    lambda cx, cy, s=s: s.query_circle(cx, cy, RADIUS)
+                ))
+            table.add_row(*row)
+
+            row = [distribution, n, "knn10",
+                   time_range(lambda cx, cy: scan_knn(points, cx, cy, 10))]
+            for name in ("grid", "quadtree", "kdtree", "octree", "bsp"):
+                s = structures[name]
+                row.append(time_range(
+                    lambda cx, cy, s=s: s.query_knn(cx, cy, 10)
+                ))
+            table.add_row(*row)
+    return table
+
+
+def run_update_experiment(n=3000, moves=3000, seed=9) -> BenchTable:
+    """Ablation: maintenance cost under movement (the dynamic-workload
+    half of the trade-off — grids move points in O(1), trees pay more,
+    and the k-d tree accumulates tombstones until rebuilt)."""
+    table = BenchTable(
+        f"E2b / Table 1 inset: cost of {moves} random moves (ms)",
+        ["structure", "move_ms", "query_after_ms", "note"],
+    )
+    rng = random.Random(seed)
+    points = make_points(n, "uniform", seed=seed)
+    structures = build_structures(points)
+    moves_list = [
+        (rng.choice(list(points)), rng.uniform(0, SPAN), rng.uniform(0, SPAN))
+        for _ in range(moves)
+    ]
+    centers = query_centers(count=30)
+    for name in ("grid", "quadtree", "kdtree", "octree", "bsp"):
+        s = structures[name]
+        current = dict(points)
+
+        def do_moves(s=s, current=current):
+            for item_id, nx, ny in moves_list:
+                ox, oy = current[item_id]
+                s.move(item_id, ox, oy, nx, ny)
+                current[item_id] = (nx, ny)
+
+        move_ms = wall_time(do_moves, repeats=1) * 1000
+        note = ""
+        if name == "kdtree":
+            note = f"tombstones {s.tombstone_fraction:.0%}"
+            s.rebuild()
+            note += "; rebuilt"
+        query_ms = wall_time(
+            lambda s=s: [s.query_circle(cx, cy, RADIUS) for cx, cy in centers],
+            repeats=2,
+        ) * 1000
+        # correctness after churn
+        cx, cy = centers[0]
+        expected = sorted(scan_circle(current, cx, cy, RADIUS))
+        assert sorted(s.query_circle(cx, cy, RADIUS)) == expected, name
+        table.add_row(name, move_ms, query_ms, note)
+    return table
+
+
+def print_report() -> None:
+    table = run_experiment()
+    table.print()
+    scans = table.column("scan")
+    grids = table.column("grid")
+    print("index vs scan speedup by row:",
+          [f"{s / g:.1f}x" for s, g in zip(scans, grids)])
+    print()
+    run_update_experiment().print()
+    print("-> the classic trade-off: grids for movers, trees for statics "
+          "(k-d rebuilt at the loading screen).")
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def _bench_structure(benchmark, name):
+    points = make_points(2000, "uniform")
+    s = build_structures(points)[name]
+    centers = query_centers(count=20)
+    benchmark(lambda: [s.query_circle(cx, cy, RADIUS) for cx, cy in centers])
+
+
+def test_e2_scan_baseline(benchmark):
+    points = make_points(2000, "uniform")
+    centers = query_centers(count=20)
+    benchmark(lambda: [scan_circle(points, cx, cy, RADIUS) for cx, cy in centers])
+
+
+def test_e2_grid(benchmark):
+    _bench_structure(benchmark, "grid")
+
+
+def test_e2_quadtree(benchmark):
+    _bench_structure(benchmark, "quadtree")
+
+
+def test_e2_kdtree(benchmark):
+    _bench_structure(benchmark, "kdtree")
+
+
+def test_e2_octree(benchmark):
+    _bench_structure(benchmark, "octree")
+
+
+def test_e2_bsp(benchmark):
+    _bench_structure(benchmark, "bsp")
+
+
+def test_e2_shape_holds(benchmark):
+    """Every index beats the scan at n=4000 on uniform data."""
+
+    def check():
+        table = run_experiment(sizes=(4000,), distributions=("uniform",))
+        range_row = table.rows[0]
+        scan_ms = range_row[3]
+        for col, value in zip(table.columns[4:], range_row[4:]):
+            assert value < scan_ms, (col, value, scan_ms)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,215 @@
+"""E4 / Figure 3 — navigation meshes vs dense grid pathfinding.
+
+Paper claim (Performance Challenges): "navigational meshes are used to
+represent the ways in which a character is allowed to move about the
+geography", annotated by designers with extra semantic information.
+
+We generate maze-like maps at several sizes, derive BOTH representations
+from the same occupancy grid — a dense 4-connected cell graph and a
+rectangle-decomposed navmesh — and run the same A* queries on each.
+
+Expected shape: the navmesh expands orders of magnitude fewer nodes
+(polygons ≪ cells) at comparable path quality (within a small constant of
+the grid-optimal path), and the gap grows with map size.  Annotation
+queries ("nearest hiding spot") are only expressible on the mesh.
+"""
+
+import heapq
+import math
+import random
+
+from bench_common import BenchTable, wall_time
+
+from repro.spatial import grid_to_navmesh
+
+
+def generate_map(size: int, seed: int = 0):
+    """Rooms-and-corridors dungeon map (the shape real levels have).
+
+    Starts solid, carves rectangular rooms and the corridors joining each
+    room to the central cross — so everything is connected and the
+    navmesh decomposes into large convex rectangles.
+    """
+    rng = random.Random(seed)
+    walk = [[False] * size for _ in range(size)]
+    mid = size // 2
+    for c in range(size):
+        walk[mid][c] = True
+    for r in range(size):
+        walk[r][mid] = True
+    rooms = max(3, size // 6)
+    for _ in range(rooms):
+        w = rng.randint(3, max(3, size // 4))
+        h = rng.randint(3, max(3, size // 4))
+        r0 = rng.randint(0, size - h)
+        c0 = rng.randint(0, size - w)
+        for r in range(r0, r0 + h):
+            for c in range(c0, c0 + w):
+                walk[r][c] = True
+        # corridor from the room centre to the central cross
+        rc, cc = r0 + h // 2, c0 + w // 2
+        step = 1 if mid >= cc else -1
+        for c in range(cc, mid + step, step):
+            walk[rc][c] = True
+    return walk
+
+
+def grid_astar(walk, start, goal):
+    """Dense 4-connected grid A*; returns (path_length, nodes_expanded)."""
+    size = len(walk)
+    sx, sy = start
+    gx, gy = goal
+    open_heap = [(0.0, 0.0, sx, sy)]
+    g_cost = {(sx, sy): 0.0}
+    closed = set()
+    expanded = 0
+    while open_heap:
+        _f, g, x, y = heapq.heappop(open_heap)
+        if (x, y) in closed:
+            continue
+        closed.add((x, y))
+        expanded += 1
+        if (x, y) == (gx, gy):
+            return g, expanded
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if not (0 <= nx < size and 0 <= ny < size):
+                continue
+            if not walk[ny][nx] or (nx, ny) in closed:
+                continue
+            ng = g + 1.0
+            if ng < g_cost.get((nx, ny), math.inf):
+                g_cost[(nx, ny)] = ng
+                h = abs(nx - gx) + abs(ny - gy)
+                heapq.heappush(open_heap, (ng + h, ng, nx, ny))
+    raise AssertionError("no grid path (corridor should guarantee one)")
+
+
+def _reachable_cells(walk):
+    """Cells connected to the guaranteed central corridor (BFS)."""
+    size = len(walk)
+    start = (size // 2, size // 2)
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        x, y = frontier.pop()
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            if (
+                0 <= nx < size
+                and 0 <= ny < size
+                and walk[ny][nx]
+                and (nx, ny) not in seen
+            ):
+                seen.add((nx, ny))
+                frontier.append((nx, ny))
+    return seen
+
+
+def run_experiment(sizes=(20, 40, 80)) -> BenchTable:
+    table = BenchTable(
+        "E4 / Fig 3: navmesh vs dense-grid A* (means over 20 queries)",
+        ["map", "cells", "polys", "grid_expanded", "mesh_expanded",
+         "grid_ms", "mesh_ms", "mesh_len/grid_len"],
+    )
+    for size in sizes:
+        walk = generate_map(size, seed=size)
+        mesh = grid_to_navmesh(walk, cell_size=1.0)
+        rng = random.Random(99)
+        queries = []
+        open_cells = sorted(_reachable_cells(walk))
+        while len(queries) < 20:
+            (sx, sy), (gx, gy) = rng.sample(open_cells, 2)
+            queries.append(((sx, sy), (gx, gy)))
+
+        grid_expansions = []
+        grid_lengths = []
+
+        def run_grid():
+            grid_expansions.clear()
+            grid_lengths.clear()
+            for s, g in queries:
+                length, expanded = grid_astar(walk, s, g)
+                grid_expansions.append(expanded)
+                grid_lengths.append(length)
+
+        mesh_lengths = []
+
+        def run_mesh():
+            mesh.nodes_expanded = 0
+            mesh_lengths.clear()
+            for (sx, sy), (gx, gy) in queries:
+                path = mesh.find_path(sx + 0.5, sy + 0.5, gx + 0.5, gy + 0.5)
+                mesh_lengths.append(mesh.path_length(path))
+
+        grid_ms = wall_time(run_grid, repeats=1) * 1000
+        mesh_ms = wall_time(run_mesh, repeats=1) * 1000
+        mesh_expanded = mesh.nodes_expanded / len(queries)
+        # path-quality ratio (mesh uses euclidean, grid manhattan steps;
+        # compare against the straight-line-ish grid length)
+        ratios = [
+            m / g for m, g in zip(mesh_lengths, grid_lengths) if g > 0
+        ]
+        table.add_row(
+            f"{size}x{size}",
+            sum(sum(r) for r in walk),
+            len(mesh.polygons),
+            sum(grid_expansions) / len(queries),
+            mesh_expanded,
+            grid_ms,
+            mesh_ms,
+            sum(ratios) / len(ratios),
+        )
+    return table
+
+
+def print_report() -> None:
+    table = run_experiment()
+    table.print()
+    print("annotation query (mesh-only capability):")
+    walk = generate_map(40, seed=40)
+    mesh = grid_to_navmesh(
+        walk, annotations={(20, 20): {"hiding": True}, (5, 35): {"hiding": True}}
+    )
+    spot = mesh.nearest_annotated(35.0, 5.0, "hiding")
+    print(f"  nearest hiding spot to (35,5): polygon {spot.poly_id} "
+          f"centroid ({spot.centroid.x:.1f}, {spot.centroid.y:.1f})")
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def _endpoints(walk):
+    cells = sorted(_reachable_cells(walk))
+    return cells[0], cells[-1]
+
+
+def test_e4_grid_astar(benchmark):
+    walk = generate_map(40, seed=40)
+    start, goal = _endpoints(walk)
+    benchmark(lambda: grid_astar(walk, start, goal))
+
+
+def test_e4_navmesh_path(benchmark):
+    walk = generate_map(40, seed=40)
+    mesh = grid_to_navmesh(walk)
+    (sx, sy), (gx, gy) = _endpoints(walk)
+    benchmark(lambda: mesh.find_path(sx + 0.5, sy + 0.5, gx + 0.5, gy + 0.5))
+
+
+def test_e4_shape_holds(benchmark):
+    def check():
+        table = run_experiment(sizes=(20, 40))
+        grid_exp = table.column("grid_expanded")
+        mesh_exp = table.column("mesh_expanded")
+        for g, m in zip(grid_exp, mesh_exp):
+            assert m < g / 5, (m, g)  # mesh expands ≥5x fewer nodes
+        ratios = table.column("mesh_len/grid_len")
+        assert all(r < 1.25 for r in ratios), ratios  # quality comparable
+        # the gap grows with map size
+        assert grid_exp[1] / mesh_exp[1] > grid_exp[0] / mesh_exp[0]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,118 @@
+"""E5 / Figure 4 — causality bubbles vs static partitioning vs single
+server.
+
+Paper claim (Consistency Challenges): games "predict which players may
+issue conflicting interactions with one another and dynamically partition
+their databases to reduce server load"; EVE integrates ship kinematics to
+find which ships can come into range and partitions accordingly.
+
+Workload: EVE-style orbital fleets that drift and occasionally warp
+between gravity wells, so fleets cross static region boundaries over
+time.  Every partitioning round we simulate one horizon forward, collect
+the interactions that actually happened, and score each partitioner.
+
+Expected shape: bubbles achieve **zero** cross-partition interactions by
+construction while spreading load across shards; the static grid leaks a
+growing number of cross-partition interactions as fleets straddle its
+boundaries; the single server never leaks but its max load is the whole
+population.
+"""
+
+from bench_common import BenchTable, wall_time
+
+from repro.consistency import (
+    CausalityBubblePartitioner,
+    SingleServerPartitioner,
+    StaticGridPartitioner,
+)
+from repro.spatial import AABB, grid_join
+from repro.workloads import OrbitalModel
+
+BOUNDS = AABB(0, 0, 1200, 1200)
+INTERACT = 12.0
+A_MAX = 2.0
+HORIZON = 2
+
+
+def run_experiment(ships=240, rounds=12, shards=4, seed=21) -> BenchTable:
+    table = BenchTable(
+        "E5 / Fig 4: partitioning quality over a drifting fleet workload",
+        ["round", "bubbles", "largest", "cross_bubble", "cross_static",
+         "maxload_bubble", "maxload_static", "maxload_single"],
+    )
+    model = OrbitalModel(
+        BOUNDS, ships, wells=6, orbit_radius=45.0,
+        warp_rate=0.006, a_max=A_MAX, seed=seed,
+    )
+    # let fleets drift off their initial (grid-aligned by chance) spots
+    for _ in range(30):
+        model.step(1.0)
+    bubble = CausalityBubblePartitioner(INTERACT, float(HORIZON), shards)
+    static = StaticGridPartitioner(BOUNDS, 4, 4, shards)
+    single = SingleServerPartitioner()
+    for round_no in range(rounds):
+        states = model.states(a_max=A_MAX)
+        partition = bubble.partition(states)
+        positions_before = model.positions()
+        pairs = set()
+        for _ in range(HORIZON):
+            model.step(1.0)
+            pairs |= grid_join(model.positions(), INTERACT)
+        bubble_m = partition.evaluate(pairs)
+        static_m = static.evaluate(positions_before, pairs)
+        single_m = single.evaluate(positions_before, pairs)
+        table.add_row(
+            round_no,
+            partition.bubble_count,
+            partition.largest_bubble,
+            bubble_m.cross_partition_pairs,
+            static_m.cross_partition_pairs,
+            bubble_m.max_load,
+            static_m.max_load,
+            single_m.max_load,
+        )
+    return table
+
+
+def print_report() -> None:
+    table = run_experiment()
+    table.print()
+    total_bubble = sum(table.column("cross_bubble"))
+    total_static = sum(table.column("cross_static"))
+    print(f"total cross-partition interactions: bubbles={total_bubble}, "
+          f"static={total_static}")
+    print(f"mean max shard load: bubbles="
+          f"{sum(table.column('maxload_bubble')) / len(table.rows):.0f}, "
+          f"single={sum(table.column('maxload_single')) / len(table.rows):.0f}")
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def test_e5_partition_pass_cost(benchmark):
+    model = OrbitalModel(BOUNDS, 240, wells=6, a_max=A_MAX, seed=3)
+    partitioner = CausalityBubblePartitioner(INTERACT, 2.0, 4)
+    states = model.states(a_max=A_MAX)
+    benchmark(lambda: partitioner.partition(states))
+
+
+def test_e5_static_pass_cost(benchmark):
+    model = OrbitalModel(BOUNDS, 240, wells=6, a_max=A_MAX, seed=3)
+    static = StaticGridPartitioner(BOUNDS, 4, 4, 4)
+    positions = model.positions()
+    benchmark(lambda: static.assign(positions))
+
+
+def test_e5_shape_holds(benchmark):
+    def check():
+        table = run_experiment(ships=160, rounds=8)
+        assert sum(table.column("cross_bubble")) == 0
+        assert sum(table.column("cross_static")) > 0
+        assert max(table.column("maxload_bubble")) <= max(
+            table.column("maxload_single")
+        )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

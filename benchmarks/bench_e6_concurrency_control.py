@@ -1,0 +1,125 @@
+"""E6 / Table 2 — concurrency control under game-style contention.
+
+Paper claim (Consistency Challenges): "players are performing conflicting
+actions at a very high rate. This means that traditional approaches such
+as locking transactions are often too slow for games."
+
+Workload: gold transfers between player accounts with a controllable hot
+set (the auction house / boss-loot pattern), run under strict 2PL,
+optimistic CC, and timestamp ordering on the simulated-step scheduler.
+
+Expected shape: at low contention the three are comparable; as contention
+rises, 2PL throughput collapses under blocking and deadlock aborts, OCC
+keeps throughput but burns work in validation aborts, and T/O sits in
+between — the quantified version of "locking is often too slow".
+"""
+
+from bench_common import BenchTable
+
+from repro.consistency import VersionedStore, make_scheduler, serial_replay
+from repro.workloads import TxnWorkloadConfig, generate_transfer_workload
+
+SCHEDULERS = ("2pl", "occ", "ts")
+
+
+def run_experiment(
+    transactions=150, accounts=100, concurrency=12,
+    hot_fractions=(0.0, 0.5, 0.9),
+) -> BenchTable:
+    table = BenchTable(
+        "E6 / Table 2: schedulers under rising contention "
+        f"({transactions} txns, {accounts} accounts, {concurrency}-way)",
+        ["hot_frac", "scheduler", "throughput", "abort_rate",
+         "blocked_steps", "mean_latency"],
+    )
+    for hot in hot_fractions:
+        init, specs = generate_transfer_workload(TxnWorkloadConfig(
+            transactions=transactions,
+            accounts=accounts,
+            hot_keys=3,
+            hot_fraction=hot,
+            seed=17,
+        ))
+        for name in SCHEDULERS:
+            store = VersionedStore(init)
+            stats = make_scheduler(name, store).run(specs, concurrency=concurrency)
+            assert stats.committed == transactions
+            # correctness: conservation + serializability
+            assert sum(store.snapshot().values()) == sum(init.values())
+            by_name = {s.name: s for s in specs}
+            assert store.snapshot() == serial_replay(
+                init, [by_name[n] for n in stats.commit_order]
+            )
+            table.add_row(
+                hot,
+                name,
+                stats.throughput,
+                stats.abort_rate,
+                stats.blocked_steps,
+                stats.mean_latency,
+            )
+    return table
+
+
+def print_report() -> None:
+    table = run_experiment()
+    table.print()
+    # throughput collapse factor per scheduler
+    for name in SCHEDULERS:
+        rows = [
+            r for r in table.rows if r[1] == name
+        ]
+        collapse = rows[0][2] / rows[-1][2] if rows[-1][2] else float("inf")
+        print(f"{name}: throughput collapse low->high contention = "
+              f"{collapse:.1f}x")
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def _bench(benchmark, name, hot):
+    init, specs = generate_transfer_workload(TxnWorkloadConfig(
+        transactions=80, accounts=60, hot_keys=3, hot_fraction=hot, seed=2
+    ))
+
+    def run():
+        store = VersionedStore(init)
+        return make_scheduler(name, store).run(specs, concurrency=8)
+
+    benchmark(run)
+
+
+def test_e6_2pl_low_contention(benchmark):
+    _bench(benchmark, "2pl", 0.0)
+
+
+def test_e6_2pl_high_contention(benchmark):
+    _bench(benchmark, "2pl", 0.9)
+
+
+def test_e6_occ_high_contention(benchmark):
+    _bench(benchmark, "occ", 0.9)
+
+
+def test_e6_ts_high_contention(benchmark):
+    _bench(benchmark, "ts", 0.9)
+
+
+def test_e6_shape_holds(benchmark):
+    def check():
+        table = run_experiment(transactions=100, accounts=80,
+                               hot_fractions=(0.0, 0.9))
+        rows = {(r[0], r[1]): r for r in table.rows}
+        # 2PL throughput collapses under contention
+        assert rows[(0.9, "2pl")][2] < rows[(0.0, "2pl")][2]
+        # 2PL blocks far more than OCC at high contention
+        assert rows[(0.9, "2pl")][4] > rows[(0.9, "occ")][4]
+        # OCC aborts rise with contention
+        assert rows[(0.9, "occ")][3] >= rows[(0.0, "occ")][3]
+        # at high contention OCC sustains at least 2PL's throughput
+        assert rows[(0.9, "occ")][2] >= rows[(0.9, "2pl")][2]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

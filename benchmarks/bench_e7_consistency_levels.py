@@ -1,0 +1,178 @@
+"""E7 / Figure 5 — weaker consistency tiers, and aggro vs exact-position
+targeting.
+
+Paper claims (Consistency Challenges): games weaken consistency — "the
+world is consistent at only a very coarse level; animation … may be out
+of sync between computers but the persistent game state is the same" —
+and WoW's "aggro management … allows the game to handle combat without
+exact spatial fidelity".
+
+Part A: one moving field replicated to 4 replicas under STRONG / COARSE /
+EVENTUAL; we report bandwidth, staleness, and divergence.  Expected
+shape: bandwidth drops by tier while staleness/divergence rise — the
+dial the designer turns per field.
+
+Part B: the same combat encounter evaluated on replicas whose *position*
+views have drifted (coarse tier).  Aggro-based targeting agrees across
+all replicas; nearest-enemy targeting disagrees on a measurable fraction
+of decisions.  Expected shape: aggro divergence = 0, positional
+divergence > 0 and growing with drift.
+"""
+
+import math
+import random
+
+from bench_common import BenchTable
+
+from repro.consistency import ConsistencyLevel, ReplicatedField
+from repro.workloads import (
+    EncounterConfig,
+    generate_encounter,
+    jitter_positions,
+    run_encounter,
+)
+
+
+def run_tier_experiment(ticks=600, replicas=4) -> BenchTable:
+    table = BenchTable(
+        "E7a / Fig 5: replication tiers for one moving field "
+        f"({ticks} ticks, {replicas} replicas)",
+        ["tier", "bytes", "updates", "max_staleness", "mean_divergence"],
+    )
+    for level in (
+        ConsistencyLevel.STRONG,
+        ConsistencyLevel.COARSE,
+        ConsistencyLevel.EVENTUAL,
+    ):
+        f = ReplicatedField(
+            "x", level, replicas=replicas, initial=0.0,
+            quantum=0.5, coarse_interval=5, eventual_interval=30,
+        )
+        for t in range(ticks):
+            f.write(math.sin(t / 30.0) * 50.0)
+            f.tick()
+        table.add_row(
+            level.value,
+            f.stats.bytes_sent,
+            f.stats.updates_sent,
+            f.stats.max_staleness_ticks,
+            f.stats.mean_divergence,
+        )
+    return table
+
+
+def nearest_enemy(positions, me, enemies):
+    mx, my = positions[me]
+    return min(
+        enemies,
+        key=lambda e: (positions[e][0] - mx) ** 2 + (positions[e][1] - my) ** 2,
+    )
+
+
+def run_targeting_experiment(drifts=(0.0, 0.5, 1.0, 2.0), replicas=6) -> BenchTable:
+    table = BenchTable(
+        "E7b / Fig 5 inset: targeting agreement across drifted replicas",
+        ["pos_drift", "aggro_disagree_%", "nearest_disagree_%"],
+    )
+    parts, monsters, events = generate_encounter(
+        EncounterConfig(ticks=200, dps=4, monsters=2, seed=8)
+    )
+    player_ids = [p.entity_id for p in parts]
+    rng = random.Random(3)
+    for drift in drifts:
+        aggro_disagreements = 0
+        nearest_disagreements = 0
+        decisions = 0
+        for trial in range(60):
+            # a fresh melee scrum each trial: players crowd the monster,
+            # so several are nearly equidistant — the common combat case
+            monster_pos = (10.0, 10.0)
+            true_positions = {
+                pid: (
+                    monster_pos[0] + rng.uniform(-4, 4),
+                    monster_pos[1] + rng.uniform(-4, 4),
+                )
+                for pid in player_ids
+            }
+            positions_with_monster = dict(true_positions)
+            positions_with_monster[monsters[0]] = monster_pos
+            aggro_choices = set()
+            nearest_choices = set()
+            for replica in range(replicas):
+                view = jitter_positions(
+                    positions_with_monster, drift, seed=trial * 100 + replica
+                )
+                brain = run_encounter(parts, monsters, events)
+                aggro_choices.add(
+                    tuple(brain.target_of(m) for m in monsters)
+                )
+                nearest_choices.add(
+                    nearest_enemy(view, monsters[0], player_ids)
+                )
+            decisions += 1
+            if len(aggro_choices) > 1:
+                aggro_disagreements += 1
+            if len(nearest_choices) > 1:
+                nearest_disagreements += 1
+        table.add_row(
+            drift,
+            100.0 * aggro_disagreements / decisions,
+            100.0 * nearest_disagreements / decisions,
+        )
+    return table
+
+
+def print_report() -> None:
+    tiers = run_tier_experiment()
+    tiers.print()
+    strong_bytes = tiers.rows[0][1]
+    for row in tiers.rows[1:]:
+        print(f"{row[0]}: {strong_bytes / row[1]:.1f}x cheaper than strong, "
+              f"staleness {row[3]} ticks")
+    print()
+    targeting = run_targeting_experiment()
+    targeting.print()
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def _tier_bench(benchmark, level):
+    def run():
+        f = ReplicatedField("x", level, replicas=4, quantum=0.5)
+        for t in range(200):
+            f.write(float(t % 37))
+            f.tick()
+        return f.stats.bytes_sent
+
+    benchmark(run)
+
+
+def test_e7_strong_tier(benchmark):
+    _tier_bench(benchmark, ConsistencyLevel.STRONG)
+
+
+def test_e7_coarse_tier(benchmark):
+    _tier_bench(benchmark, ConsistencyLevel.COARSE)
+
+
+def test_e7_eventual_tier(benchmark):
+    _tier_bench(benchmark, ConsistencyLevel.EVENTUAL)
+
+
+def test_e7_shape_holds(benchmark):
+    def check():
+        tiers = run_tier_experiment(ticks=300)
+        bytes_by_tier = tiers.column("bytes")
+        staleness = tiers.column("max_staleness")
+        # bandwidth strictly decreasing, staleness non-decreasing
+        assert bytes_by_tier[0] > bytes_by_tier[1] > bytes_by_tier[2]
+        assert staleness[0] <= staleness[1] <= staleness[2]
+        targeting = run_targeting_experiment(drifts=(0.5, 2.0))
+        assert all(v == 0.0 for v in targeting.column("aggro_disagree_%"))
+        assert targeting.column("nearest_disagree_%")[-1] > 0.0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,196 @@
+"""E9 / Table 3 — structured columns vs unstructured blobs under schema
+evolution.
+
+Paper claim (Engineering Challenges): long-lived MMOs "often choose to
+write data as unstructured 'blobs' into a single attribute, so that they
+can preserve their old schemas" — trading query power for migration
+freedom.
+
+Workload: a character store that survives three seasons of schema change
+(add honor, rename gold→coins, derive power).  Three storage designs:
+
+* structured + offline migration (lock & rewrite);
+* structured + online migration (dual-version + backfill);
+* blob column with versioned lazy upgrade-on-read.
+
+Measured: migration downtime, rows rewritten eagerly, per-field read cost
+after migration, and storage bytes.  Expected shape: blobs win migration
+downtime outright (zero, nothing rewritten), lose per-field reads by an
+order of magnitude (decode the whole record), and cost more bytes; online
+migration is the middle ground the tutorial asks research to provide.
+"""
+
+from bench_common import BenchTable, wall_time
+
+from repro.persistence import (
+    AddColumn,
+    BlobCodec,
+    Migration,
+    MigrationRunner,
+    RenameColumn,
+    TransformColumn,
+    VersionedTable,
+    blob_size,
+)
+
+N_CHARS = 2000
+FIELD_READS = 4000
+
+
+def make_runner():
+    runner = MigrationRunner()
+    runner.register(Migration(1, (AddColumn("honor", 0),)))
+    runner.register(Migration(2, (RenameColumn("gold", "coins"),)))
+    runner.register(Migration(3, (
+        TransformColumn("power", lambda r: r["coins"] // 10 + r["honor"]),
+    )))
+    return runner
+
+
+def character(i):
+    return {"name": f"hero{i}", "gold": (i * 37) % 900, "race": "orc"}
+
+
+def run_structured(online: bool):
+    runner = make_runner()
+    table = VersionedTable("chars", version=1)
+    for i in range(N_CHARS):
+        table.put(i, character(i))
+    if online:
+        migration = runner.start_online(table, 4, batch_size=256)
+        bg_ticks = 0
+        while not migration.done:
+            migration.tick()
+            bg_ticks += 1
+        report = migration.report
+    else:
+        report = runner.migrate_offline(table, 4)
+
+    def read_fields():
+        total = 0
+        for i in range(FIELD_READS):
+            total += table.get(i % N_CHARS)["power"]
+        return total
+
+    read_ms = wall_time(read_fields, repeats=2) * 1000
+    storage = sum(
+        blob_size(table.get(i)) for i in range(0, N_CHARS, 50)
+    ) * 50  # sampled estimate, same estimator for all designs
+    return report, read_ms, storage
+
+
+def run_blob():
+    codec = BlobCodec(current_version=1)
+    store = {i: codec.encode(character(i)) for i in range(N_CHARS)}
+    # three seasons of schema change: zero downtime, nothing rewritten
+    codec.register_upgrader(1, lambda r: {**r, "honor": 0})
+    codec.bump_version()
+    codec.register_upgrader(
+        2, lambda r: {**{k: v for k, v in r.items() if k != "gold"},
+                      "coins": r["gold"]}
+    )
+    codec.bump_version()
+    codec.register_upgrader(
+        3, lambda r: {**r, "power": r["coins"] // 10 + r["honor"]}
+    )
+    codec.bump_version()
+
+    def read_fields():
+        total = 0
+        for i in range(FIELD_READS):
+            total += codec.read_field(store[i % N_CHARS], "power")
+        return total
+
+    read_ms = wall_time(read_fields, repeats=2) * 1000
+    storage = sum(len(b) for b in store.values())
+    return read_ms, storage
+
+
+def run_experiment() -> BenchTable:
+    table = BenchTable(
+        f"E9 / Table 3: schema evolution over {N_CHARS} characters, "
+        "3 migrations",
+        ["design", "downtime_ticks", "rows_rewritten_eagerly",
+         f"read_{FIELD_READS}_fields_ms", "storage_bytes"],
+    )
+    offline_report, offline_read, offline_storage = run_structured(online=False)
+    table.add_row("structured+offline", offline_report.downtime_ticks,
+                  offline_report.rows_rewritten, offline_read, offline_storage)
+    online_report, online_read, online_storage = run_structured(online=True)
+    table.add_row("structured+online", online_report.downtime_ticks,
+                  online_report.rows_rewritten, online_read, online_storage)
+    blob_read, blob_storage = run_blob()
+    table.add_row("blob(lazy)", 0, 0, blob_read, blob_storage)
+    return table
+
+
+def print_report() -> None:
+    table = run_experiment()
+    table.print()
+    reads = table.column(f"read_{FIELD_READS}_fields_ms")
+    print(f"blob per-field read penalty vs structured: "
+          f"{reads[2] / reads[0]:.1f}x")
+    print("-> blobs trade zero-downtime migrations for paying the decode "
+          "on every read — exactly the tutorial's sustainability tension.")
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def test_e9_structured_field_reads(benchmark):
+    runner = make_runner()
+    table = VersionedTable("chars", version=1)
+    for i in range(500):
+        table.put(i, character(i))
+    runner.migrate_offline(table, 4)
+    benchmark(lambda: [table.get(i % 500)["power"] for i in range(500)])
+
+
+def test_e9_blob_field_reads(benchmark):
+    codec = BlobCodec(current_version=1)
+    store = {i: codec.encode(character(i)) for i in range(500)}
+    codec.register_upgrader(1, lambda r: {**r, "honor": 0})
+    codec.bump_version()
+    codec.register_upgrader(
+        2, lambda r: {**{k: v for k, v in r.items() if k != "gold"},
+                      "coins": r["gold"]}
+    )
+    codec.bump_version()
+    codec.register_upgrader(
+        3, lambda r: {**r, "power": r["coins"] // 10 + r["honor"]}
+    )
+    codec.bump_version()
+    benchmark(
+        lambda: [codec.read_field(store[i % 500], "power") for i in range(500)]
+    )
+
+
+def test_e9_offline_migration_cost(benchmark):
+    def run():
+        runner = make_runner()
+        table = VersionedTable("chars", version=1)
+        for i in range(500):
+            table.put(i, character(i))
+        return runner.migrate_offline(table, 4).downtime_ticks
+
+    benchmark(run)
+
+
+def test_e9_shape_holds(benchmark):
+    def check():
+        table = run_experiment()
+        rows = {r[0]: r for r in table.rows}
+        # blob: zero downtime, zero eager rewrites
+        assert rows["blob(lazy)"][1] == 0 and rows["blob(lazy)"][2] == 0
+        # offline: downtime proportional to rows × versions
+        assert rows["structured+offline"][1] == N_CHARS * 3
+        # online: zero downtime but eager rewrites happen in background
+        assert rows["structured+online"][1] == 0
+        assert rows["structured+online"][2] == N_CHARS
+        # blob reads cost materially more than structured reads
+        assert rows["blob(lazy)"][3] > rows["structured+offline"][3] * 2
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    print_report()

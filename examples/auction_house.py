@@ -1,0 +1,99 @@
+"""The auction house: game-style contention, schedulers, and transaction
+bubbles.
+
+The tutorial's Consistency section in one scenario: hundreds of players
+hammer a handful of hot auction listings ("players are performing
+conflicting actions at a very high rate"), which is where "traditional
+approaches such as locking transactions are often too slow".  We run the
+same buy-out workload under 2PL, OCC, and timestamp ordering, then show
+the generalization of causality bubbles to transactions: conflict-closed
+batches sharded with zero cross-shard coordination.
+
+Run:  python examples/auction_house.py
+"""
+
+import random
+
+from repro.consistency import (
+    TransactionBubblePartitioner,
+    TxnSpec,
+    VersionedStore,
+    make_scheduler,
+    read,
+    read_for_update,
+    write,
+)
+from repro.consistency.txn_bubbles import run_sharded
+
+
+def buyout(name, buyer, listing, price):
+    """Buy a listing if it is still for sale; exactly-once semantics."""
+    return TxnSpec(name, [
+        read(("browse", listing)),                      # look at the page
+        read_for_update(("listing", listing)),          # lock the row
+        read_for_update(("gold", buyer)),
+        write(("listing", listing),
+              lambda old, r: "sold" if old == "open" else old),
+        write(("gold", buyer),
+              lambda old, r, p=price:
+              old - p if r[("listing", listing)] == "open" else old),
+    ])
+
+
+def make_market(players=60, listings=40, hot=3, purchases=120, seed=11):
+    rng = random.Random(seed)
+    state = {("gold", p): 500 for p in range(players)}
+    state.update({("listing", l): "open" for l in range(listings)})
+    state.update({("browse", l): l for l in range(listings)})
+    specs = []
+    for i in range(purchases):
+        # 70% of traffic targets the hot listings (the epic mount)
+        listing = rng.randrange(hot) if rng.random() < 0.7 else rng.randrange(listings)
+        specs.append(buyout(f"buy{i}", rng.randrange(players), listing,
+                            price=rng.randint(10, 40)))
+    return state, specs
+
+
+def main() -> None:
+    state, specs = make_market()
+    total_gold = sum(v for k, v in state.items() if k[0] == "gold")
+
+    print("scheduler | committed | aborts | blocked_steps | sim_steps")
+    for name in ("2pl", "occ", "ts"):
+        store = VersionedStore(state)
+        stats = make_scheduler(name, store).run(specs, concurrency=16)
+        # invariants: no gold minted, every listing sold at most once
+        gold_after = sum(
+            v for k, v in store.snapshot().items() if k[0] == "gold"
+        )
+        spent = total_gold - gold_after
+        sold = sum(
+            1 for k, v in store.snapshot().items()
+            if k[0] == "listing" and v == "sold"
+        )
+        assert spent >= 0 and sold <= 40
+        print(f"{name:9s} | {stats.committed:9d} | {stats.aborted:6d} | "
+              f"{stats.blocked_steps:13d} | {stats.steps:9d}")
+    print("-> same commits everywhere; the cost profile differs exactly as "
+          "the tutorial warns (locking blocks, OCC retries).")
+
+    print("\ntransaction bubbles (the causality-bubble generalization):")
+    partitioner = TransactionBubblePartitioner(shards=4)
+    partition = partitioner.partition(specs)
+    result = run_sharded(
+        specs, partition, state, lambda s: make_scheduler("2pl", s),
+        concurrency=8,
+    )
+    loads = partition.shard_loads()
+    speedup = result["total_steps"] / result["steps"]
+    print(f"  {partition.bubble_count} bubbles "
+          f"(largest {partition.largest_bubble} — the hot listings), "
+          f"shard loads {dict(sorted(loads.items()))}")
+    print(f"  cross-shard conflicts: "
+          f"{partition.cross_shard_conflicts(specs)} (by construction)")
+    print(f"  parallel speedup: {speedup:.2f}x "
+          "(bounded by the hot-listing bubble, like a fleet fight)")
+
+
+if __name__ == "__main__":
+    main()

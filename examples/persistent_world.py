@@ -1,0 +1,121 @@
+"""Persistent world: WAL, intelligent checkpointing, crash recovery, and a
+live schema migration.
+
+The tutorial's Engineering Challenges, end to end: an in-memory game tier
+journals every action; the checkpointer writes through a (mini) SQL
+backend when *important* events complete rather than on a timer; the
+server then crashes mid-session and recovers; finally the character table
+gains a column both ways — offline (downtime) and online (zero downtime)
+— and the blob alternative is sized up.
+
+Run:  python examples/persistent_world.py
+"""
+
+from repro.persistence import (
+    Action,
+    AddColumn,
+    BlobCodec,
+    CheckpointManager,
+    EventDrivenPolicy,
+    InMemoryGameDB,
+    IntervalPolicy,
+    Migration,
+    MigrationRunner,
+    SQLBackingStore,
+    TransformColumn,
+    VersionedTable,
+    WriteAheadLog,
+    blob_size,
+    recover,
+)
+from repro.workloads import TraceConfig, generate_action_trace, milestones_in
+
+
+def play_session(policy, trace):
+    """Run a play session under a checkpoint policy; crash at the end."""
+    wal = WriteAheadLog(group_commit=64, auto_flush=True)
+    db = InMemoryGameDB(wal)
+    db.create_table("players")
+    db.create_table("milestones")
+    store = SQLBackingStore()
+    mgr = CheckpointManager(db, store, policy)
+    for action in trace:
+        mgr.record(action)
+    lost_records = wal.crash()  # the server dies
+    recovered_db, report = recover(wal, store, expected_actions=trace)
+    return mgr, report, lost_records
+
+
+def main() -> None:
+    trace = generate_action_trace(
+        TraceConfig(ticks=6000, players=40, milestone_rate=0.003, seed=13)
+    )
+    milestones = milestones_in(trace)
+    print(f"session trace: {len(trace)} actions, {len(milestones)} milestones "
+          "(boss kills, epic drops)")
+
+    print("\npolicy          | checkpoints | lost actions | lost importance | "
+          "worst lost")
+    for label, policy in [
+        ("interval(2000)", IntervalPolicy(interval_ticks=2000)),
+        ("event-driven  ", EventDrivenPolicy(importance_threshold=3.0,
+                                             instant_threshold=0.9)),
+    ]:
+        mgr, report, _ = play_session(policy, trace)
+        print(
+            f"{label} | {mgr.stats.checkpoints:11d} | "
+            f"{report.lost_actions:12d} | {report.lost_importance:15.2f} | "
+            f"{report.worst_lost_importance:10.2f}"
+        )
+    print("-> the event-driven policy checkpoints *at* the milestone, so a "
+          "crash never rolls back a boss kill.")
+
+    # ------------------------------------------------------- schema migration
+    print("\nlive schema migration: add 'honor', derive 'power'")
+    runner = MigrationRunner()
+    runner.register(Migration(1, (AddColumn("honor", 0),),
+                              "season 2: honor system"))
+    runner.register(Migration(2, (
+        TransformColumn("power", lambda r: r["gold"] // 10 + r["honor"]),
+    ), "season 3: derived power score"))
+
+    def character_table(n=3000):
+        t = VersionedTable("chars", version=1)
+        for i in range(n):
+            t.put(i, {"name": f"hero{i}", "gold": i % 500})
+        return t
+
+    offline = runner.migrate_offline(character_table(), 3)
+    print(f"  offline : {offline.rows_rewritten} rewrites, "
+          f"{offline.downtime_ticks} ticks of downtime")
+
+    online_table = character_table()
+    online = runner.start_online(online_table, 3, batch_size=128)
+    served_reads = 0
+    while not online.done:
+        online.tick()
+        _ = online.read(served_reads % 3000)  # players keep playing
+        served_reads += 1
+    print(f"  online  : {online.report.rows_rewritten} rewrites over "
+          f"{online.report.background_ticks} background ticks, "
+          f"downtime {online.report.downtime_ticks}, "
+          f"{served_reads} reads served during migration")
+
+    # --------------------------------------------------------- blob contrast
+    print("\nthe blob alternative (what studios actually ship):")
+    codec = BlobCodec(current_version=1)
+    old_blob = codec.encode({"name": "hero1", "gold": 100})
+    codec.register_upgrader(1, lambda r: {**r, "honor": 0})
+    codec.bump_version()
+    codec.register_upgrader(
+        2, lambda r: {**r, "power": r["gold"] // 10 + r["honor"]}
+    )
+    codec.bump_version()
+    upgraded = codec.decode(old_blob)  # lazily upgraded on read
+    print(f"  v1 blob read at v3: {upgraded}")
+    print(f"  migration downtime: 0 ticks; but every field read decodes "
+          f"{blob_size(upgraded, 3)} bytes (vs O(1) column access)")
+
+
+if __name__ == "__main__":
+    main()

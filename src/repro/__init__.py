@@ -1,0 +1,40 @@
+"""repro — database-style data management for computer games.
+
+A full reproduction of the system landscape described in *Database
+Research in Computer Games* (Demers, Gehrke, Koch, Sowell, White —
+SIGMOD 2009 tutorial): a declarative, indexed, transactional in-memory
+game database with a scripting language, content pipeline, spatial
+substrate, MMO consistency machinery, network simulation, and a
+persistence/checkpointing tier.
+
+Quickstart::
+
+    from repro import GameWorld, schema, F
+
+    world = GameWorld()
+    world.register_component(schema("Position", x="float", y="float"))
+    world.register_component(schema("Health", hp=("int", 100)))
+    eid = world.spawn(Position={"x": 1.0, "y": 2.0}, Health={})
+    hurt = world.query("Health").where("Health", F.hp < 50).ids()
+"""
+
+from repro.core import (
+    F,
+    GameWorld,
+    ComponentSchema,
+    FieldDef,
+    schema,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "F",
+    "GameWorld",
+    "ComponentSchema",
+    "FieldDef",
+    "schema",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark support: table/series reporting shared by the harness."""
+
+from repro.bench.reporting import BenchTable, geometric_mean, series_shape
+
+__all__ = ["BenchTable", "geometric_mean", "series_shape"]

@@ -1,0 +1,97 @@
+"""Reporting helpers for the benchmark harness.
+
+Every experiment prints a :class:`BenchTable` — fixed-width columns, a
+title naming the experiment id, and a machine-readable row accessor the
+EXPERIMENTS.md generator and the tests use.  Keeping the renderer here
+means every figure/table in the harness has the same shape the paper's
+would have had.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+
+class BenchTable:
+    """A titled table of benchmark rows."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[Any]] = []
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.title}: row has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in cells))
+            if cells
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [f"== {self.title} ==", header, sep]
+        for row in cells:
+            lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - mirrors pandas-style API
+        """Print the rendering (the harness's output path)."""
+        print(self.render())
+        print()
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive values defensively)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def series_shape(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Log-log slope of a series — the growth exponent estimator.
+
+    Fitting log(y) = a·log(x) + b by least squares gives ``a`` ≈ the
+    polynomial degree; E1's assertion "naive is ~2, indexed is ~1" is a
+    check on this value.
+    """
+    pts = [
+        (math.log(x), math.log(y))
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if len(pts) < 2:
+        return 0.0
+    n = len(pts)
+    mean_x = sum(p[0] for p in pts) / n
+    mean_y = sum(p[1] for p in pts) / n
+    cov = sum((px - mean_x) * (py - mean_y) for px, py in pts)
+    var = sum((px - mean_x) ** 2 for px, py in pts)
+    return cov / var if var else 0.0

@@ -1,0 +1,108 @@
+"""MMO consistency substrate: transactions (2PL/OCC/TS), causality
+bubbles, static partitioning, aggro management, consistency tiers, and
+interest management."""
+
+from repro.consistency.aggro import (
+    AggroBrain,
+    MELEE_OVERTAKE,
+    Participant,
+    RANGED_OVERTAKE,
+    ROLE_THREAT_MULTIPLIER,
+    Role,
+    ThreatTable,
+)
+from repro.consistency.bubbles import (
+    Bubble,
+    BubblePartition,
+    BubbleTimeline,
+    CausalityBubblePartitioner,
+    KinematicState,
+)
+from repro.consistency.interest import InterestEvent, InterestManager, InterestStats
+from repro.consistency.levels import (
+    ConsistencyLevel,
+    ConsistencyPolicy,
+    ReplicatedField,
+    ReplicaStats,
+    UPDATE_BYTES,
+)
+from repro.consistency.lockmgr import LockManager, LockMode
+from repro.consistency.partition import (
+    PartitionMetrics,
+    SingleServerPartitioner,
+    StaticGridPartitioner,
+    evaluate_assignment,
+)
+from repro.consistency.txn_bubbles import (
+    TransactionBubblePartitioner,
+    TxnBubble,
+    TxnFootprint,
+    TxnPartition,
+    run_sharded,
+)
+from repro.consistency.transactions import (
+    CCStats,
+    Op,
+    OptimisticCC,
+    SCHEDULERS,
+    Scheduler,
+    TimestampOrdering,
+    TwoPhaseLocking,
+    TxnSpec,
+    VersionedStore,
+    increment,
+    make_scheduler,
+    read,
+    read_for_update,
+    serial_replay,
+    write,
+)
+
+__all__ = [
+    "AggroBrain",
+    "MELEE_OVERTAKE",
+    "Participant",
+    "RANGED_OVERTAKE",
+    "ROLE_THREAT_MULTIPLIER",
+    "Role",
+    "ThreatTable",
+    "Bubble",
+    "BubblePartition",
+    "BubbleTimeline",
+    "CausalityBubblePartitioner",
+    "KinematicState",
+    "InterestEvent",
+    "InterestManager",
+    "InterestStats",
+    "ConsistencyLevel",
+    "ConsistencyPolicy",
+    "ReplicatedField",
+    "ReplicaStats",
+    "UPDATE_BYTES",
+    "LockManager",
+    "LockMode",
+    "PartitionMetrics",
+    "SingleServerPartitioner",
+    "StaticGridPartitioner",
+    "evaluate_assignment",
+    "TransactionBubblePartitioner",
+    "TxnBubble",
+    "TxnFootprint",
+    "TxnPartition",
+    "run_sharded",
+    "CCStats",
+    "Op",
+    "OptimisticCC",
+    "SCHEDULERS",
+    "Scheduler",
+    "TimestampOrdering",
+    "TwoPhaseLocking",
+    "TxnSpec",
+    "VersionedStore",
+    "increment",
+    "make_scheduler",
+    "read",
+    "read_for_update",
+    "serial_replay",
+    "write",
+]

@@ -1,0 +1,212 @@
+"""Aggro management: combat consistency without spatial fidelity.
+
+    "'aggro management' is the technique that World of Warcraft uses to
+    target opponents and process combat.  It assigns abstract roles to
+    the participants, which allows the game to handle combat without
+    exact spatial fidelity."
+
+The insight: combat outcomes should depend on *threat*, an abstract
+per-(monster, player) accumulator, not on exact positions that replicas
+disagree about.  Replicas that see slightly different positions still
+agree on targeting, because threat updates are totally ordered by the
+server while position is only loosely synced.
+
+:class:`ThreatTable` is the per-monster accumulator with the standard
+WoW-like rules (damage → threat, healing → split threat, taunt → forced
+top, 110%/130% overtake thresholds for melee/ranged).  :class:`AggroBrain`
+assigns roles (TANK / HEALER / DPS) and drives target selection.
+Experiment E7 shows that aggro-based targeting agrees across replicas
+whose position replicas have drifted, while exact-nearest-target
+disagrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import ReproError
+
+
+class Role(Enum):
+    """Abstract combat roles."""
+
+    TANK = "tank"
+    HEALER = "healer"
+    DPS = "dps"
+
+
+#: Threat multiplier applied to damage, by role: tanks generate extra
+#: threat so monsters stick to them (the designed behaviour).
+ROLE_THREAT_MULTIPLIER = {
+    Role.TANK: 3.0,
+    Role.HEALER: 1.0,
+    Role.DPS: 1.0,
+}
+
+#: A new attacker must exceed the current target's threat by this factor
+#: to pull aggro (melee rule; ranged uses the higher one).
+MELEE_OVERTAKE = 1.1
+RANGED_OVERTAKE = 1.3
+
+
+class ThreatTable:
+    """Per-monster threat accumulator with sticky-target semantics."""
+
+    def __init__(self, monster_id: int):
+        self.monster_id = monster_id
+        self._threat: dict[int, float] = {}
+        self._current_target: int | None = None
+        self._taunted_by: int | None = None
+        self.events = 0
+
+    # -- threat events ----------------------------------------------------------
+
+    def add_damage(self, attacker: int, amount: float, role: Role = Role.DPS) -> None:
+        """Damage dealt to the monster by ``attacker``."""
+        if amount < 0:
+            raise ReproError("damage must be non-negative")
+        self.events += 1
+        mult = ROLE_THREAT_MULTIPLIER[role]
+        self._threat[attacker] = self._threat.get(attacker, 0.0) + amount * mult
+
+    def add_healing(self, healer: int, amount: float, enemies_in_combat: int = 1) -> None:
+        """Healing generates threat split across engaged monsters."""
+        if amount < 0:
+            raise ReproError("healing must be non-negative")
+        self.events += 1
+        split = max(1, enemies_in_combat)
+        self._threat[healer] = self._threat.get(healer, 0.0) + 0.5 * amount / split
+
+    def taunt(self, taunter: int) -> None:
+        """Force-target ``taunter`` and raise them to top threat."""
+        self.events += 1
+        top = max(self._threat.values(), default=0.0)
+        self._threat[taunter] = max(self._threat.get(taunter, 0.0), top) * 1.0 + 1.0
+        self._taunted_by = taunter
+        self._current_target = taunter
+
+    def remove(self, participant: int) -> None:
+        """Drop a dead/fled participant from the table."""
+        self._threat.pop(participant, None)
+        if self._current_target == participant:
+            self._current_target = None
+        if self._taunted_by == participant:
+            self._taunted_by = None
+
+    def wipe(self) -> None:
+        """Combat reset."""
+        self._threat.clear()
+        self._current_target = None
+        self._taunted_by = None
+
+    # -- target selection --------------------------------------------------------------
+
+    def threat_of(self, participant: int) -> float:
+        """Current threat of one participant."""
+        return self._threat.get(participant, 0.0)
+
+    def ranking(self) -> list[tuple[int, float]]:
+        """Participants by descending threat (ties: lower id first).
+
+        The deterministic tie-break is the point: every replica computes
+        the same ranking from the same threat events.
+        """
+        return sorted(self._threat.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def select_target(self, ranged_attackers: Iterable[int] = ()) -> int | None:
+        """Sticky target selection with overtake thresholds.
+
+        The current target is kept unless a challenger exceeds its threat
+        by the melee (110%) or ranged (130%) overtake factor.
+        """
+        ranking = self.ranking()
+        if not ranking:
+            self._current_target = None
+            return None
+        ranged = set(ranged_attackers)
+        if self._current_target is None or self._current_target not in self._threat:
+            self._current_target = ranking[0][0]
+            return self._current_target
+        current_threat = self._threat[self._current_target]
+        for challenger, threat in ranking:
+            if challenger == self._current_target:
+                break
+            needed = RANGED_OVERTAKE if challenger in ranged else MELEE_OVERTAKE
+            if threat > current_threat * needed:
+                self._current_target = challenger
+                break
+        return self._current_target
+
+    def state_digest(self) -> tuple:
+        """Hashable digest for cross-replica agreement checks."""
+        return (self._current_target, tuple(self.ranking()))
+
+
+@dataclass
+class Participant:
+    """One combatant from the aggro system's point of view."""
+
+    entity_id: int
+    role: Role
+    ranged: bool = False
+
+
+class AggroBrain:
+    """Coordinates threat tables for a group of monsters in one encounter."""
+
+    def __init__(self) -> None:
+        self._tables: dict[int, ThreatTable] = {}
+        self._participants: dict[int, Participant] = {}
+
+    def join(self, participant: Participant) -> None:
+        """Add a combatant to the encounter."""
+        self._participants[participant.entity_id] = participant
+
+    def engage(self, monster_id: int) -> ThreatTable:
+        """Add (or fetch) a monster's threat table."""
+        table = self._tables.get(monster_id)
+        if table is None:
+            table = ThreatTable(monster_id)
+            self._tables[monster_id] = table
+        return table
+
+    def on_damage(self, monster_id: int, attacker: int, amount: float) -> None:
+        """Record a damage event (role-aware threat)."""
+        role = self._role_of(attacker)
+        self.engage(monster_id).add_damage(attacker, amount, role)
+
+    def on_heal(self, healer: int, amount: float) -> None:
+        """Healing generates threat on *every* engaged monster."""
+        n = len(self._tables)
+        for table in self._tables.values():
+            table.add_healing(healer, amount, enemies_in_combat=n)
+
+    def target_of(self, monster_id: int) -> int | None:
+        """Current target for a monster under the aggro rules."""
+        table = self._tables.get(monster_id)
+        if table is None:
+            return None
+        ranged = {
+            p.entity_id for p in self._participants.values() if p.ranged
+        }
+        return table.select_target(ranged)
+
+    def on_death(self, entity_id: int) -> None:
+        """Remove a dead participant (or monster) from the encounter."""
+        self._tables.pop(entity_id, None)
+        self._participants.pop(entity_id, None)
+        for table in self._tables.values():
+            table.remove(entity_id)
+
+    def digest(self) -> tuple:
+        """Hashable digest of the whole encounter (replica comparison)."""
+        return tuple(
+            (mid, self._tables[mid].state_digest())
+            for mid in sorted(self._tables)
+        )
+
+    def _role_of(self, entity_id: int) -> Role:
+        participant = self._participants.get(entity_id)
+        return participant.role if participant else Role.DPS

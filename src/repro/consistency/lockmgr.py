@@ -1,0 +1,197 @@
+"""Lock manager: shared/exclusive locks with a waits-for deadlock detector.
+
+This is the storage-engine-style lock table behind the strict-2PL
+scheduler in :mod:`repro.consistency.transactions`.  Keys are arbitrary
+hashables (the transaction layer uses ``(component, entity, field)``-
+shaped tuples or coarser grains).
+
+Deadlock handling is detection, not prevention: a waits-for graph is
+maintained incrementally and searched on block; the youngest transaction
+in the cycle is chosen as victim, which is what most engines ship.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Hashable, Iterable
+
+
+
+class LockMode(Enum):
+    """Shared (read) or exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: LockMode, requested: LockMode) -> bool:
+    return held == LockMode.SHARED and requested == LockMode.SHARED
+
+
+@dataclass
+class _LockState:
+    """Lock table entry for one key."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    #: FIFO wait queue of (txn_id, mode)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """Grant/queue/release S and X locks; detect deadlocks on demand."""
+
+    def __init__(self) -> None:
+        self._table: dict[Hashable, _LockState] = defaultdict(_LockState)
+        self._held_by_txn: dict[int, set[Hashable]] = defaultdict(set)
+        self.grants = 0
+        self.blocks = 0
+        self.deadlocks_found = 0
+
+    # -- acquisition -----------------------------------------------------------
+
+    def try_acquire(self, txn_id: int, key: Hashable, mode: LockMode) -> bool:
+        """Attempt to acquire; returns False (and queues) when blocked.
+
+        Re-entrant: a holder re-requesting its own mode succeeds; a holder
+        upgrading S→X succeeds only when it is the sole holder.
+        """
+        state = self._table[key]
+        current = state.holders.get(txn_id)
+        if current is not None:
+            if current == mode or current == LockMode.EXCLUSIVE:
+                return True
+            # upgrade request S -> X
+            if mode == LockMode.EXCLUSIVE:
+                others = [t for t in state.holders if t != txn_id]
+                if not others and not state.waiters:
+                    state.holders[txn_id] = LockMode.EXCLUSIVE
+                    self.grants += 1
+                    return True
+                self._enqueue(state, txn_id, mode)
+                return False
+        # Fairness: cannot jump a non-empty queue unless fully compatible
+        # with both holders and queued requests.
+        if not state.waiters and all(
+            _compatible(m, mode) for m in state.holders.values()
+        ):
+            state.holders[txn_id] = mode
+            self._held_by_txn[txn_id].add(key)
+            self.grants += 1
+            return True
+        self._enqueue(state, txn_id, mode)
+        return False
+
+    def _enqueue(self, state: _LockState, txn_id: int, mode: LockMode) -> None:
+        if (txn_id, mode) not in state.waiters:
+            state.waiters.append((txn_id, mode))
+            self.blocks += 1
+
+    # -- release --------------------------------------------------------------------
+
+    def release_all(self, txn_id: int) -> list[Hashable]:
+        """Release every lock held or requested by ``txn_id``.
+
+        Returns keys whose queues may now admit waiters (the scheduler
+        re-polls blocked transactions; grant happens on their next try).
+        """
+        touched: list[Hashable] = []
+        for key in self._held_by_txn.pop(txn_id, set()):
+            state = self._table[key]
+            state.holders.pop(txn_id, None)
+            touched.append(key)
+        for key, state in self._table.items():
+            before = len(state.waiters)
+            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+            if len(state.waiters) != before:
+                touched.append(key)
+        self._promote(touched)
+        return touched
+
+    def _promote(self, keys: Iterable[Hashable]) -> None:
+        """Grant queued requests that are now compatible (FIFO order)."""
+        for key in keys:
+            state = self._table.get(key)
+            if state is None:
+                continue
+            while state.waiters:
+                txn_id, mode = state.waiters[0]
+                holders_ok = all(
+                    _compatible(m, mode)
+                    for t, m in state.holders.items()
+                    if t != txn_id
+                )
+                upgrade_ok = True
+                if txn_id in state.holders and mode == LockMode.EXCLUSIVE:
+                    upgrade_ok = all(t == txn_id for t in state.holders)
+                if holders_ok and upgrade_ok and (not state.holders or holders_ok):
+                    state.waiters.pop(0)
+                    state.holders[txn_id] = mode
+                    self._held_by_txn[txn_id].add(key)
+                    self.grants += 1
+                else:
+                    break
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def holds(self, txn_id: int, key: Hashable, mode: LockMode | None = None) -> bool:
+        """Whether ``txn_id`` currently holds a (matching) lock on ``key``."""
+        held = self._table.get(key, _LockState()).holders.get(txn_id)
+        if held is None:
+            return False
+        if mode is None:
+            return True
+        return held == mode or held == LockMode.EXCLUSIVE
+
+    def waits_for_graph(self) -> dict[int, set[int]]:
+        """Edges txn -> txns it waits on (holders and earlier waiters)."""
+        graph: dict[int, set[int]] = defaultdict(set)
+        for state in self._table.values():
+            for i, (waiter, mode) in enumerate(state.waiters):
+                for holder, hmode in state.holders.items():
+                    if holder != waiter and not _compatible(hmode, mode):
+                        graph[waiter].add(holder)
+                for earlier, emode in state.waiters[:i]:
+                    if earlier != waiter and not (
+                        _compatible(emode, mode) and _compatible(mode, emode)
+                    ):
+                        graph[waiter].add(earlier)
+        return dict(graph)
+
+    def find_deadlock(self) -> list[int] | None:
+        """Find one cycle in the waits-for graph, or None.
+
+        Returns the cycle as a txn-id list (first == last omitted).
+        """
+        graph = self.waits_for_graph()
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {t: WHITE for t in graph}
+        stack: list[int] = []
+
+        def dfs(node: int) -> list[int] | None:
+            color[node] = GREY
+            stack.append(node)
+            for nxt in sorted(graph.get(node, ())):
+                if color.get(nxt, WHITE) == GREY:
+                    i = stack.index(nxt)
+                    return stack[i:]
+                if color.get(nxt, WHITE) == WHITE and nxt in graph:
+                    found = dfs(nxt)
+                    if found:
+                        return found
+            stack.pop()
+            color[node] = BLACK
+            return None
+
+        for node in sorted(graph):
+            if color[node] == WHITE:
+                cycle = dfs(node)
+                if cycle:
+                    self.deadlocks_found += 1
+                    return cycle
+        return None
+
+    def lock_count(self, txn_id: int) -> int:
+        """Number of keys ``txn_id`` holds locks on."""
+        return len(self._held_by_txn.get(txn_id, ()))

@@ -1,0 +1,146 @@
+"""Static spatial partitioning — the baseline causality bubbles beat.
+
+Classic MMO sharding: carve the map into fixed regions and pin each
+region to a server.  Cheap and predictable, but (a) load skews when
+players crowd one region, and (b) interactions that straddle a boundary
+need cross-server coordination — the expensive case the tutorial's
+"causality bubbles" minimise by partitioning along *actual* interaction
+structure instead of geography.
+
+:class:`StaticGridPartitioner` implements the fixed-grid scheme and the
+metrics both partitioners share (:class:`PartitionMetrics`), so E5
+compares like with like.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import AABB
+
+Positions = Mapping[int, tuple[float, float]]
+
+
+@dataclass
+class PartitionMetrics:
+    """Shared quality metrics for a partitioning of entities into shards.
+
+    ``cross_partition_pairs`` counts interacting pairs whose members live
+    on different shards — each one is a distributed transaction in a real
+    MMO.  ``max_load``/``imbalance`` capture hot-spotting.
+    """
+
+    shard_count: int
+    loads: dict[Hashable, int]
+    cross_partition_pairs: int
+    internal_pairs: int
+
+    @property
+    def max_load(self) -> int:
+        return max(self.loads.values()) if self.loads else 0
+
+    @property
+    def mean_load(self) -> float:
+        return (
+            sum(self.loads.values()) / len(self.loads) if self.loads else 0.0
+        )
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean load ratio (1.0 = perfectly balanced)."""
+        mean = self.mean_load
+        return self.max_load / mean if mean else 0.0
+
+    @property
+    def cross_partition_fraction(self) -> float:
+        """Fraction of interacting pairs that straddle shards."""
+        total = self.cross_partition_pairs + self.internal_pairs
+        return self.cross_partition_pairs / total if total else 0.0
+
+
+def evaluate_assignment(
+    assignment: Mapping[int, Hashable],
+    interacting_pairs: Iterable[tuple[int, int]],
+) -> PartitionMetrics:
+    """Score any entity->shard assignment against an interaction set."""
+    loads: dict[Hashable, int] = defaultdict(int)
+    for shard in assignment.values():
+        loads[shard] += 1
+    cross = internal = 0
+    for a, b in interacting_pairs:
+        if assignment[a] == assignment[b]:
+            internal += 1
+        else:
+            cross += 1
+    return PartitionMetrics(
+        shard_count=len(loads),
+        loads=dict(loads),
+        cross_partition_pairs=cross,
+        internal_pairs=internal,
+    )
+
+
+class StaticGridPartitioner:
+    """Fixed grid of regions, regions assigned round-robin to shards."""
+
+    def __init__(self, bounds: AABB, cells_x: int, cells_y: int, shards: int):
+        if cells_x < 1 or cells_y < 1:
+            raise SpatialError("cell counts must be positive")
+        if shards < 1:
+            raise SpatialError("shard count must be positive")
+        self.bounds = bounds
+        self.cells_x = cells_x
+        self.cells_y = cells_y
+        self.shards = shards
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Grid cell containing a point (clamped to bounds)."""
+        fx = (x - self.bounds.min_x) / self.bounds.width if self.bounds.width else 0
+        fy = (y - self.bounds.min_y) / self.bounds.height if self.bounds.height else 0
+        cx = min(self.cells_x - 1, max(0, math.floor(fx * self.cells_x)))
+        cy = min(self.cells_y - 1, max(0, math.floor(fy * self.cells_y)))
+        return (cx, cy)
+
+    def shard_of(self, x: float, y: float) -> int:
+        """Shard owning the point's cell."""
+        cx, cy = self.cell_of(x, y)
+        return (cy * self.cells_x + cx) % self.shards
+
+    def assign(self, positions: Positions) -> dict[int, int]:
+        """Entity -> shard assignment for a position snapshot."""
+        return {
+            eid: self.shard_of(x, y) for eid, (x, y) in positions.items()
+        }
+
+    def evaluate(
+        self,
+        positions: Positions,
+        interacting_pairs: Iterable[tuple[int, int]],
+    ) -> PartitionMetrics:
+        """Assign and score in one call."""
+        return evaluate_assignment(self.assign(positions), interacting_pairs)
+
+
+class SingleServerPartitioner:
+    """Degenerate baseline: everyone on one shard.
+
+    Zero cross-partition traffic, unbounded load — the configuration the
+    tutorial says EVE ran *within* a solar system, which is why their
+    bubble partitioner exists.
+    """
+
+    def assign(self, positions: Positions) -> dict[int, int]:
+        """Everything maps to shard 0."""
+        return {eid: 0 for eid in positions}
+
+    def evaluate(
+        self,
+        positions: Positions,
+        interacting_pairs: Iterable[tuple[int, int]],
+    ) -> PartitionMetrics:
+        """Assign and score in one call."""
+        return evaluate_assignment(self.assign(positions), interacting_pairs)

@@ -1,0 +1,42 @@
+"""Content pipeline: schemas, templates, XML UI specs, loaders, expansions."""
+
+from repro.content.expansion import ExpansionManager, ExpansionPack
+from repro.content.loader import ContentDatabase
+from repro.content.schema import (
+    ContentField,
+    ContentSchema,
+    standard_game_schemas,
+)
+from repro.content.templates import (
+    EntityTemplate,
+    TemplateLibrary,
+    library_from_records,
+)
+from repro.content.xmlui import (
+    ANCHOR_POINTS,
+    SCRIPT_HOOKS,
+    WIDGET_TAGS,
+    LayoutRect,
+    UIDocument,
+    Widget,
+    parse_ui,
+)
+
+__all__ = [
+    "ExpansionManager",
+    "ExpansionPack",
+    "ContentDatabase",
+    "ContentField",
+    "ContentSchema",
+    "standard_game_schemas",
+    "EntityTemplate",
+    "TemplateLibrary",
+    "library_from_records",
+    "ANCHOR_POINTS",
+    "SCRIPT_HOOKS",
+    "WIDGET_TAGS",
+    "LayoutRect",
+    "UIDocument",
+    "Widget",
+    "parse_ui",
+]

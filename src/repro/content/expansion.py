@@ -1,0 +1,102 @@
+"""Expansion packs: layered content without code changes.
+
+    "Game expansion packs typically contain new content, but they include
+    very few modifications to the underlying software."
+
+An :class:`ExpansionPack` is a named content layer: new records, record
+*patches* (field overrides on base-game records), and new templates.
+:class:`ExpansionManager` applies packs in order onto a base
+:class:`~repro.content.loader.ContentDatabase`, tracks provenance (which
+layer last touched each record), and can diff two layer stacks — the
+tooling a live game needs when content patches collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.content.loader import ContentDatabase
+from repro.errors import ContentError
+
+
+@dataclass
+class ExpansionPack:
+    """One content layer.
+
+    Attributes
+    ----------
+    name:
+        Pack name ("burning_legion").
+    new_records:
+        type -> id -> record for brand-new content.
+    patches:
+        type -> id -> partial field overrides for existing content.
+    new_templates:
+        Template records (see ``library_from_records`` format).
+    """
+
+    name: str
+    new_records: dict[str, dict[str, dict[str, Any]]] = field(default_factory=dict)
+    patches: dict[str, dict[str, dict[str, Any]]] = field(default_factory=dict)
+    new_templates: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+
+class ExpansionManager:
+    """Applies expansion packs onto a content database, in order."""
+
+    def __init__(self, base: ContentDatabase):
+        self.base = base
+        self.applied: list[str] = []
+        #: (type, id) -> name of the layer that last wrote the record.
+        self.provenance: dict[tuple[str, str], str] = {}
+        for type_name in base.schemas:
+            for record_id in base.ids(type_name):
+                self.provenance[(type_name, record_id)] = "base"
+
+    def apply(self, pack: ExpansionPack) -> dict[str, int]:
+        """Apply one pack; returns counts of added/patched records.
+
+        New records must not collide with existing ids; patches must hit
+        existing ids.  Both rules catch the most common content-merge
+        mistakes at build time.
+        """
+        if pack.name in self.applied:
+            raise ContentError(f"expansion {pack.name!r} already applied")
+        added = patched = 0
+        for type_name, records in pack.new_records.items():
+            for record_id, data in records.items():
+                self.base.add_record(type_name, record_id, data)
+                self.provenance[(type_name, record_id)] = pack.name
+                added += 1
+        for type_name, patches in pack.patches.items():
+            schema = self.base.schemas.get(type_name)
+            if schema is None:
+                raise ContentError(
+                    f"{pack.name}: patch targets unknown type {type_name!r}"
+                )
+            for record_id, overrides in patches.items():
+                current = self.base.get(type_name, record_id)  # raises if absent
+                current.update(overrides)
+                validated = schema.validate(current, record_id)
+                self.base._records[type_name][record_id] = validated
+                self.provenance[(type_name, record_id)] = pack.name
+                patched += 1
+        if pack.new_templates:
+            self.base.load_templates(pack.new_templates)
+        self.base.finalize()
+        self.applied.append(pack.name)
+        return {"added": added, "patched": patched}
+
+    def owned_by(self, layer: str) -> list[tuple[str, str]]:
+        """All (type, id) records last written by ``layer``."""
+        return sorted(
+            key for key, owner in self.provenance.items() if owner == layer
+        )
+
+    def layer_summary(self) -> dict[str, int]:
+        """Layer name -> number of records it currently owns."""
+        out: dict[str, int] = {}
+        for owner in self.provenance.values():
+            out[owner] = out.get(owner, 0) + 1
+        return out

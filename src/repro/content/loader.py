@@ -1,0 +1,245 @@
+"""The content database: loading, validating, and cross-referencing
+designer-authored records.
+
+A :class:`ContentDatabase` holds typed content records (validated against
+:mod:`repro.content.schema`), entity templates, UI documents, and GSL
+scripts.  Records load from XML files/strings (the industry-standard
+interchange the tutorial describes) or directly from dicts (tests,
+procedural content).
+
+Referential integrity — every ``ref`` field resolving to a real record —
+is checked at load *completion*, not per record, so files may reference
+each other in any order, exactly like a real data build.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.content.schema import ContentSchema, standard_game_schemas
+from repro.content.templates import TemplateLibrary, library_from_records
+from repro.content.xmlui import UIDocument, parse_ui
+from repro.errors import ContentError, ValidationError
+
+
+class ContentDatabase:
+    """All loaded game content, indexed by (type, id)."""
+
+    def __init__(self, schemas: Mapping[str, ContentSchema] | None = None):
+        self.schemas: dict[str, ContentSchema] = dict(
+            schemas if schemas is not None else standard_game_schemas()
+        )
+        self._records: dict[str, dict[str, dict[str, Any]]] = {
+            t: {} for t in self.schemas
+        }
+        self.templates = TemplateLibrary()
+        self.ui_documents: dict[str, UIDocument] = {}
+        self.scripts: dict[str, str] = {}
+        self._finalized = False
+
+    # -- record API --------------------------------------------------------------
+
+    def add_record(self, type_name: str, record_id: str, data: Mapping[str, Any]) -> dict:
+        """Validate and store one content record."""
+        schema = self._schema(type_name)
+        if record_id in self._records[type_name]:
+            raise ContentError(
+                f"duplicate {type_name} id {record_id!r}"
+            )
+        normalized = schema.validate(data, record_id)
+        self._records[type_name][record_id] = normalized
+        self._finalized = False
+        return normalized
+
+    def get(self, type_name: str, record_id: str) -> dict[str, Any]:
+        """Fetch one record (copy)."""
+        records = self._records.get(type_name)
+        if records is None:
+            raise ContentError(f"unknown content type {type_name!r}")
+        try:
+            return dict(records[record_id])
+        except KeyError:
+            raise ContentError(
+                f"no {type_name} record with id {record_id!r}"
+            ) from None
+
+    def ids(self, type_name: str) -> list[str]:
+        """All record ids of a type."""
+        if type_name not in self._records:
+            raise ContentError(f"unknown content type {type_name!r}")
+        return sorted(self._records[type_name])
+
+    def count(self, type_name: str | None = None) -> int:
+        """Record count for one type, or total."""
+        if type_name is not None:
+            return len(self._records.get(type_name, {}))
+        return sum(len(r) for r in self._records.values())
+
+    def where(self, type_name: str, **field_equals: Any) -> list[str]:
+        """Record ids whose fields equal the given values (content query)."""
+        out = []
+        for record_id, rec in self._records.get(type_name, {}).items():
+            if all(rec.get(k) == v for k, v in field_equals.items()):
+                out.append(record_id)
+        return sorted(out)
+
+    # -- XML loading -----------------------------------------------------------------
+
+    def load_xml_string(self, source: str) -> int:
+        """Load a ``<Content>`` XML document; returns records loaded.
+
+        Format::
+
+            <Content>
+              <item id="sword"><name>Sword</name><damage>7</damage></item>
+              <monster id="orc"><name>Orc</name><hp>30</hp></monster>
+            </Content>
+        """
+        try:
+            root = ET.fromstring(source)
+        except ET.ParseError as exc:
+            raise ContentError(f"malformed content XML: {exc}") from exc
+        if root.tag != "Content":
+            raise ContentError(
+                f"root element must be <Content>, found <{root.tag}>"
+            )
+        loaded = 0
+        for elem in root:
+            type_name = elem.tag
+            record_id = elem.get("id")
+            if not record_id:
+                raise ContentError(f"<{type_name}> record missing id attribute")
+            data = _element_to_record(elem, self._schema(type_name))
+            self.add_record(type_name, record_id, data)
+            loaded += 1
+        return loaded
+
+    def load_xml_file(self, path: str | Path) -> int:
+        """Load a content XML file from disk."""
+        text = Path(path).read_text(encoding="utf-8")
+        return self.load_xml_string(text)
+
+    def load_directory(self, path: str | Path) -> int:
+        """Load every ``*.xml`` content file under a directory (sorted)."""
+        base = Path(path)
+        if not base.is_dir():
+            raise ContentError(f"{base} is not a directory")
+        loaded = 0
+        for file in sorted(base.rglob("*.xml")):
+            loaded += self.load_xml_file(file)
+        return loaded
+
+    # -- templates / UI / scripts -------------------------------------------------------
+
+    def load_templates(self, records: Mapping[str, Mapping[str, Any]]) -> None:
+        """Install entity templates (see ``library_from_records``)."""
+        fresh = library_from_records(records)
+        for name in fresh.names():
+            self.templates.add(fresh.get(name))
+
+    def load_ui(self, name: str, source: str) -> UIDocument:
+        """Parse and store an XML UI document."""
+        if name in self.ui_documents:
+            raise ContentError(f"UI document {name!r} already loaded")
+        doc = parse_ui(source)
+        self.ui_documents[name] = doc
+        return doc
+
+    def load_script(self, name: str, source: str) -> None:
+        """Store a named GSL script (compiled lazily by consumers)."""
+        if name in self.scripts:
+            raise ContentError(f"script {name!r} already loaded")
+        self.scripts[name] = source
+
+    # -- integrity -------------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Run cross-record integrity checks; raises with all failures."""
+        errors: list[str] = []
+        for type_name, schema in self.schemas.items():
+            ref_fields = schema.ref_fields()
+            if not ref_fields:
+                continue
+            for record_id, rec in self._records[type_name].items():
+                for fdef in ref_fields:
+                    target = rec.get(fdef.name)
+                    if target is None:
+                        continue
+                    if fdef.ref_type is None:
+                        errors.append(
+                            f"{type_name}[{record_id}].{fdef.name}: ref field "
+                            "without ref_type in schema"
+                        )
+                    elif target not in self._records.get(fdef.ref_type, {}):
+                        errors.append(
+                            f"{type_name}[{record_id}].{fdef.name}: dangling "
+                            f"reference to {fdef.ref_type}[{target}]"
+                        )
+        if errors:
+            raise ValidationError("; ".join(errors))
+        self._finalized = True
+
+    @property
+    def finalized(self) -> bool:
+        """Whether integrity checks have passed since the last mutation."""
+        return self._finalized
+
+    def _schema(self, type_name: str) -> ContentSchema:
+        schema = self.schemas.get(type_name)
+        if schema is None:
+            raise ContentError(
+                f"unknown content type {type_name!r}; "
+                f"known: {sorted(self.schemas)}"
+            )
+        return schema
+
+
+def _element_to_record(elem: ET.Element, schema: ContentSchema) -> dict[str, Any]:
+    """Convert a record element's children into typed field values."""
+    data: dict[str, Any] = {}
+    for child in elem:
+        fdef = schema.fields.get(child.tag)
+        text = (child.text or "").strip()
+        if fdef is None:
+            # Let schema.validate report it as unknown with full context.
+            data[child.tag] = text
+            continue
+        data[child.tag] = _coerce(text, fdef.type_name, child)
+    return data
+
+
+def _coerce(text: str, type_name: str, elem: ET.Element) -> Any:
+    if type_name == "int":
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise ContentError(f"<{elem.tag}>: {text!r} is not an int") from exc
+    if type_name == "float":
+        try:
+            return float(text)
+        except ValueError as exc:
+            raise ContentError(f"<{elem.tag}>: {text!r} is not a float") from exc
+    if type_name == "bool":
+        lowered = text.lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise ContentError(f"<{elem.tag}>: {text!r} is not a bool")
+    if type_name == "list":
+        return [part.strip() for part in text.split(",") if part.strip()]
+    if type_name == "dict":
+        out: dict[str, str] = {}
+        for pair in text.split(";"):
+            if not pair.strip():
+                continue
+            if "=" not in pair:
+                raise ContentError(
+                    f"<{elem.tag}>: dict entry {pair!r} missing '='"
+                )
+            k, v = pair.split("=", 1)
+            out[k.strip()] = v.strip()
+        return out
+    return text

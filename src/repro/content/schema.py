@@ -1,0 +1,203 @@
+"""Content-type schemas: validation for designer-authored data.
+
+Game content (items, spells, monsters, quests) is data, and data needs a
+schema.  A :class:`ContentSchema` declares typed, constrained fields for
+one content type; :meth:`validate` returns a normalized record or raises
+:class:`ValidationError` with *every* problem found (designers fix batches
+of errors, so first-error-only validators waste iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ContentField:
+    """One field of a content type.
+
+    Parameters
+    ----------
+    name:
+        Field name.
+    type_name:
+        ``int`` | ``float`` | ``str`` | ``bool`` | ``list`` | ``dict`` |
+        ``ref`` (a reference to another content record by id).
+    required:
+        Whether the field must be present (no default).
+    default:
+        Value used when absent (implies not required).
+    choices:
+        Closed set of allowed values.
+    min_value / max_value:
+        Numeric bounds (inclusive).
+    ref_type:
+        For ``ref`` fields: the content type the id must resolve into.
+    """
+
+    name: str
+    type_name: str = "str"
+    required: bool = False
+    default: Any = None
+    choices: tuple | None = None
+    min_value: float | None = None
+    max_value: float | None = None
+    ref_type: str | None = None
+
+    _TYPES = {
+        "int": int,
+        "float": (int, float),
+        "str": str,
+        "bool": bool,
+        "list": list,
+        "dict": dict,
+        "ref": str,
+    }
+
+    def check(self, value: Any, errors: list[str]) -> Any:
+        """Validate one value, appending messages to ``errors``."""
+        expected = self._TYPES.get(self.type_name)
+        if expected is None:
+            errors.append(f"{self.name}: unknown field type {self.type_name!r}")
+            return value
+        if self.type_name in ("int", "float") and isinstance(value, bool):
+            errors.append(f"{self.name}: expected {self.type_name}, got bool")
+            return value
+        if not isinstance(value, expected):
+            errors.append(
+                f"{self.name}: expected {self.type_name}, "
+                f"got {type(value).__name__}"
+            )
+            return value
+        if self.type_name == "float":
+            value = float(value)
+        if self.choices is not None and value not in self.choices:
+            errors.append(
+                f"{self.name}: {value!r} not in allowed choices "
+                f"{list(self.choices)}"
+            )
+        if self.min_value is not None and isinstance(value, (int, float)):
+            if value < self.min_value:
+                errors.append(
+                    f"{self.name}: {value} below minimum {self.min_value}"
+                )
+        if self.max_value is not None and isinstance(value, (int, float)):
+            if value > self.max_value:
+                errors.append(
+                    f"{self.name}: {value} above maximum {self.max_value}"
+                )
+        return value
+
+
+class ContentSchema:
+    """Schema for one content type (e.g. ``item``, ``monster``, ``spell``)."""
+
+    def __init__(self, type_name: str, fields: Iterable[ContentField]):
+        self.type_name = type_name
+        self.fields: dict[str, ContentField] = {}
+        for f in fields:
+            if f.name in self.fields:
+                raise ValidationError(
+                    f"content type {type_name!r} declares {f.name!r} twice"
+                )
+            self.fields[f.name] = f
+
+    def validate(self, record: Mapping[str, Any], record_id: str = "?") -> dict[str, Any]:
+        """Validate one record, returning the normalized dict.
+
+        Collects all errors before raising.
+        """
+        errors: list[str] = []
+        out: dict[str, Any] = {}
+        unknown = set(record) - set(self.fields) - {"id"}
+        for name in sorted(unknown):
+            errors.append(f"unknown field {name!r}")
+        for name, fdef in self.fields.items():
+            # A present-but-None optional field means "unset" — this is what
+            # re-validating a stored record (expansion patches) produces.
+            if record.get(name) is not None:
+                out[name] = fdef.check(record[name], errors)
+            elif fdef.required:
+                errors.append(f"missing required field {name!r}")
+            else:
+                out[name] = fdef.default
+        if errors:
+            raise ValidationError(
+                f"{self.type_name}[{record_id}]: " + "; ".join(errors)
+            )
+        return out
+
+    def ref_fields(self) -> list[ContentField]:
+        """Fields holding cross-record references."""
+        return [f for f in self.fields.values() if f.type_name == "ref"]
+
+
+def standard_game_schemas() -> dict[str, ContentSchema]:
+    """The schema set used by examples and benchmarks.
+
+    Covers the content the tutorial's games revolve around: items,
+    monsters (with behavior-tree refs), spells, zones, and quests.
+    """
+    return {
+        "item": ContentSchema(
+            "item",
+            [
+                ContentField("name", "str", required=True),
+                ContentField("slot", "str", choices=(
+                    "weapon", "head", "chest", "legs", "trinket",
+                )),
+                ContentField("damage", "int", default=0, min_value=0),
+                ContentField("armor", "int", default=0, min_value=0),
+                ContentField("value", "int", default=0, min_value=0),
+                ContentField("stackable", "bool", default=False),
+            ],
+        ),
+        "monster": ContentSchema(
+            "monster",
+            [
+                ContentField("name", "str", required=True),
+                ContentField("hp", "int", required=True, min_value=1),
+                ContentField("damage", "int", default=1, min_value=0),
+                ContentField("speed", "float", default=1.0, min_value=0),
+                ContentField("aggro_radius", "float", default=10.0, min_value=0),
+                ContentField("behavior", "dict", default=None),
+                ContentField("loot", "list", default=None),
+                ContentField("faction", "str", default="hostile"),
+            ],
+        ),
+        "spell": ContentSchema(
+            "spell",
+            [
+                ContentField("name", "str", required=True),
+                ContentField("cost", "int", default=0, min_value=0),
+                ContentField("damage", "int", default=0),
+                ContentField("healing", "int", default=0, min_value=0),
+                ContentField("radius", "float", default=0.0, min_value=0),
+                ContentField("cooldown", "float", default=0.0, min_value=0),
+                ContentField("script", "str", default=None),
+            ],
+        ),
+        "zone": ContentSchema(
+            "zone",
+            [
+                ContentField("name", "str", required=True),
+                ContentField("level_min", "int", default=1, min_value=1),
+                ContentField("level_max", "int", default=60, min_value=1),
+                ContentField("spawns", "list", default=None),
+            ],
+        ),
+        "quest": ContentSchema(
+            "quest",
+            [
+                ContentField("name", "str", required=True),
+                ContentField("zone", "ref", ref_type="zone"),
+                ContentField("reward_item", "ref", ref_type="item"),
+                ContentField("target_monster", "ref", ref_type="monster"),
+                ContentField("target_count", "int", default=1, min_value=1),
+                ContentField("xp", "int", default=0, min_value=0),
+            ],
+        ),
+    }

@@ -1,0 +1,174 @@
+"""Entity archetype templates with inheritance.
+
+Templates are the bridge from content to the entity world: a template
+names a set of components with default field values, optionally
+inheriting from a parent ("elite_orc extends orc, hp ×3").  Expansion
+packs ship almost entirely as new templates (tutorial: "expansion packs
+typically contain new content, but … very few modifications to the
+underlying software").
+
+``TemplateLibrary.instantiate(world, name, **overrides)`` spawns an
+entity with the fully-resolved component set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TemplateError
+
+
+class EntityTemplate:
+    """One named archetype: component -> field defaults, plus a parent."""
+
+    def __init__(
+        self,
+        name: str,
+        components: Mapping[str, Mapping[str, Any]],
+        parent: str | None = None,
+        tags: tuple[str, ...] = (),
+    ):
+        self.name = name
+        self.components = {c: dict(v) for c, v in components.items()}
+        self.parent = parent
+        self.tags = tuple(tags)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EntityTemplate({self.name}, parent={self.parent})"
+
+
+class TemplateLibrary:
+    """Registry of templates with inheritance resolution and spawning."""
+
+    def __init__(self) -> None:
+        self._templates: dict[str, EntityTemplate] = {}
+        self._resolved_cache: dict[str, dict[str, dict[str, Any]]] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def add(self, template: EntityTemplate) -> EntityTemplate:
+        """Register a template (name must be unique)."""
+        if template.name in self._templates:
+            raise TemplateError(f"template {template.name!r} already exists")
+        self._templates[template.name] = template
+        self._resolved_cache.clear()
+        return template
+
+    def define(
+        self,
+        name: str,
+        parent: str | None = None,
+        tags: tuple[str, ...] = (),
+        **components: Mapping[str, Any],
+    ) -> EntityTemplate:
+        """Convenience constructor + :meth:`add`."""
+        return self.add(EntityTemplate(name, components, parent, tags))
+
+    def get(self, name: str) -> EntityTemplate:
+        """Look up a template by name."""
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise TemplateError(f"no template named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All registered template names."""
+        return sorted(self._templates)
+
+    def with_tag(self, tag: str) -> list[str]:
+        """Names of templates carrying ``tag`` (inherited tags count)."""
+        out = []
+        for name in self._templates:
+            tags: set[str] = set()
+            for tpl in self._chain(name):
+                tags.update(tpl.tags)
+            if tag in tags:
+                out.append(name)
+        return sorted(out)
+
+    # -- resolution ----------------------------------------------------------------
+
+    def resolve(self, name: str) -> dict[str, dict[str, Any]]:
+        """Fully-resolved component map for ``name`` (parents applied).
+
+        Child values override parent values field-by-field; a child may
+        add whole new components.  Cycles raise :class:`TemplateError`.
+        """
+        cached = self._resolved_cache.get(name)
+        if cached is not None:
+            return {c: dict(v) for c, v in cached.items()}
+        merged: dict[str, dict[str, Any]] = {}
+        for tpl in self._chain(name):
+            for comp, values in tpl.components.items():
+                merged.setdefault(comp, {}).update(values)
+        self._resolved_cache[name] = {c: dict(v) for c, v in merged.items()}
+        return merged
+
+    def _chain(self, name: str) -> list[EntityTemplate]:
+        """Root-first inheritance chain for ``name``."""
+        chain: list[EntityTemplate] = []
+        seen: set[str] = set()
+        current: str | None = name
+        while current is not None:
+            if current in seen:
+                raise TemplateError(
+                    f"template inheritance cycle at {current!r}"
+                )
+            seen.add(current)
+            tpl = self.get(current)
+            chain.append(tpl)
+            current = tpl.parent
+        chain.reverse()
+        return chain
+
+    # -- spawning ---------------------------------------------------------------------
+
+    def instantiate(
+        self,
+        world: Any,
+        name: str,
+        overrides: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> int:
+        """Spawn an entity from a template into ``world``.
+
+        ``overrides`` maps component -> field overrides applied on top of
+        the resolved template (e.g. a spawn position).
+        """
+        components = self.resolve(name)
+        for comp, values in (overrides or {}).items():
+            components.setdefault(comp, {}).update(values)
+        missing = [
+            comp for comp in components if comp not in world.component_names()
+        ]
+        if missing:
+            raise TemplateError(
+                f"template {name!r} needs unregistered component(s) "
+                f"{missing}; register them before instantiating"
+            )
+        return world.spawn(**components)
+
+
+def library_from_records(
+    records: Mapping[str, Mapping[str, Any]]
+) -> TemplateLibrary:
+    """Build a library from plain dict records (the loader's output).
+
+    Record format::
+
+        {"orc": {"parent": null, "tags": ["monster"],
+                 "components": {"Health": {"hp": 30}, ...}}}
+    """
+    library = TemplateLibrary()
+    for name, rec in records.items():
+        library.add(
+            EntityTemplate(
+                name,
+                rec.get("components", {}),
+                parent=rec.get("parent"),
+                tags=tuple(rec.get("tags", ())),
+            )
+        )
+    # Validate all chains eagerly so content errors surface at load time.
+    for name in library.names():
+        library.resolve(name)
+    return library

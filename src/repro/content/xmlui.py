@@ -1,0 +1,224 @@
+"""WoW-style XML UI specifications.
+
+    "World of Warcraft contains an XML specification language that allows
+    players to define the look of their user interface, from window
+    positions to button functionality." (tutorial, §Data-Driven Design)
+
+This module parses a small dialect of that idea: a ``<Ui>`` document of
+nested frames/buttons/labels with anchors, sizes, and script hooks
+(``onClick``, ``onShow`` …) that reference GSL handler functions.  The
+loader validates structure, resolves anchors into absolute layout
+rectangles, and surfaces dangling script references — the class of bug a
+player-authored addon hits constantly.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import UISpecError
+
+#: Widget tags the dialect accepts.
+WIDGET_TAGS = ("Frame", "Button", "Label", "Bar")
+
+#: Anchor points, WoW-style.
+ANCHOR_POINTS = (
+    "TOPLEFT", "TOP", "TOPRIGHT",
+    "LEFT", "CENTER", "RIGHT",
+    "BOTTOMLEFT", "BOTTOM", "BOTTOMRIGHT",
+)
+
+#: Script hooks widgets may declare.
+SCRIPT_HOOKS = ("onClick", "onShow", "onHide", "onUpdate", "onValueChanged")
+
+
+@dataclass
+class Widget:
+    """One parsed UI widget."""
+
+    kind: str
+    name: str
+    width: float
+    height: float
+    anchor: str = "CENTER"
+    relative_to: str | None = None
+    offset_x: float = 0.0
+    offset_y: float = 0.0
+    text: str = ""
+    scripts: dict[str, str] = field(default_factory=dict)
+    children: list["Widget"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["Widget"]:
+        """This widget and all descendants, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class LayoutRect:
+    """Resolved absolute rectangle for one widget."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+
+class UIDocument:
+    """A parsed ``<Ui>`` document."""
+
+    def __init__(self, roots: list[Widget]):
+        self.roots = roots
+        self._by_name: dict[str, Widget] = {}
+        for root in roots:
+            for w in root.walk():
+                if w.name in self._by_name:
+                    raise UISpecError(f"duplicate widget name {w.name!r}")
+                self._by_name[w.name] = w
+
+    def widget(self, name: str) -> Widget:
+        """Look up a widget by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UISpecError(f"no widget named {name!r}") from None
+
+    def widgets(self) -> list[Widget]:
+        """All widgets, document order."""
+        out: list[Widget] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    def script_handlers(self) -> dict[str, str]:
+        """Map ``widget.hook`` -> handler function name."""
+        out = {}
+        for w in self.widgets():
+            for hook, handler in w.scripts.items():
+                out[f"{w.name}.{hook}"] = handler
+        return out
+
+    def validate_handlers(self, known: set[str]) -> list[str]:
+        """Handler names referenced but not in ``known`` (dangling refs)."""
+        missing = []
+        for key, handler in sorted(self.script_handlers().items()):
+            if handler not in known:
+                missing.append(f"{key} -> {handler}")
+        return missing
+
+    def layout(self, screen_w: float, screen_h: float) -> dict[str, LayoutRect]:
+        """Resolve anchors into absolute rectangles on a screen.
+
+        Children anchor within their parent (or the named ``relativeTo``
+        widget); roots anchor within the screen.
+        """
+        rects: dict[str, LayoutRect] = {}
+
+        def place(widget: Widget, px: float, py: float, pw: float, ph: float) -> None:
+            base = rects.get(widget.relative_to) if widget.relative_to else None
+            if widget.relative_to and base is None:
+                raise UISpecError(
+                    f"{widget.name}: relativeTo {widget.relative_to!r} "
+                    "not yet laid out (forward reference?)"
+                )
+            if base is not None:
+                bx, by, bw, bh = base.x, base.y, base.width, base.height
+            else:
+                bx, by, bw, bh = px, py, pw, ph
+            ax, ay = _anchor_fraction(widget.anchor)
+            x = bx + bw * ax - widget.width * ax + widget.offset_x
+            y = by + bh * ay - widget.height * ay + widget.offset_y
+            rects[widget.name] = LayoutRect(
+                widget.name, x, y, widget.width, widget.height
+            )
+            for child in widget.children:
+                place(child, x, y, widget.width, widget.height)
+
+        for root in self.roots:
+            place(root, 0.0, 0.0, screen_w, screen_h)
+        return rects
+
+
+def _anchor_fraction(anchor: str) -> tuple[float, float]:
+    xs = {"LEFT": 0.0, "CENTER": 0.5, "RIGHT": 1.0}
+    ys = {"TOP": 0.0, "CENTER": 0.5, "BOTTOM": 1.0}
+    fx, fy = 0.5, 0.5
+    for key, v in xs.items():
+        if key in anchor:
+            fx = v
+    for key, v in ys.items():
+        if key in anchor:
+            fy = v
+    return fx, fy
+
+
+def parse_ui(source: str) -> UIDocument:
+    """Parse an XML UI document string into a validated :class:`UIDocument`."""
+    try:
+        root = ET.fromstring(source)
+    except ET.ParseError as exc:
+        raise UISpecError(f"malformed XML: {exc}") from exc
+    if root.tag != "Ui":
+        raise UISpecError(f"root element must be <Ui>, found <{root.tag}>")
+    widgets = [_parse_widget(child) for child in root]
+    if not widgets:
+        raise UISpecError("<Ui> document declares no widgets")
+    return UIDocument(widgets)
+
+
+def _parse_widget(elem: ET.Element) -> Widget:
+    if elem.tag not in WIDGET_TAGS:
+        raise UISpecError(
+            f"unknown widget tag <{elem.tag}>; expected one of {WIDGET_TAGS}"
+        )
+    name = elem.get("name")
+    if not name:
+        raise UISpecError(f"<{elem.tag}> is missing the name attribute")
+    try:
+        width = float(elem.get("width", "0"))
+        height = float(elem.get("height", "0"))
+        offset_x = float(elem.get("x", "0"))
+        offset_y = float(elem.get("y", "0"))
+    except ValueError as exc:
+        raise UISpecError(f"{name}: non-numeric size/offset: {exc}") from exc
+    if width < 0 or height < 0:
+        raise UISpecError(f"{name}: negative size")
+    anchor = elem.get("anchor", "CENTER")
+    if anchor not in ANCHOR_POINTS:
+        raise UISpecError(
+            f"{name}: unknown anchor {anchor!r}; expected one of {ANCHOR_POINTS}"
+        )
+    scripts: dict[str, str] = {}
+    children: list[Widget] = []
+    for child in elem:
+        if child.tag == "Scripts":
+            for hook_elem in child:
+                if hook_elem.tag not in SCRIPT_HOOKS:
+                    raise UISpecError(
+                        f"{name}: unknown script hook <{hook_elem.tag}>"
+                    )
+                handler = (hook_elem.text or "").strip()
+                if not handler:
+                    raise UISpecError(
+                        f"{name}: empty handler for {hook_elem.tag}"
+                    )
+                scripts[hook_elem.tag] = handler
+        else:
+            children.append(_parse_widget(child))
+    return Widget(
+        kind=elem.tag,
+        name=name,
+        width=width,
+        height=height,
+        anchor=anchor,
+        relative_to=elem.get("relativeTo"),
+        offset_x=offset_x,
+        offset_y=offset_y,
+        text=elem.get("text", ""),
+        scripts=scripts,
+        children=children,
+    )

@@ -1,0 +1,369 @@
+"""Incrementally-maintained aggregate views over component tables.
+
+A naive script that recomputes "the average health of all orcs" or "the
+nearest power-up" every frame turns an O(1) question into an O(n) pass —
+multiplied across entities, the Ω(n²) blow-up the tutorial warns about.
+The database answer is a *materialized aggregate view* maintained by
+deltas: each table mutation adjusts the aggregate in O(1) (amortised), so
+per-frame reads are constant time.
+
+Supported aggregates: COUNT, SUM, AVG, MIN, MAX, TOP-K, and grouped
+variants keyed by an arbitrary grouping field.  MIN/MAX use a lazy
+multiset so deletions of non-extreme values stay O(log n).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from collections import defaultdict
+from typing import Any, Mapping
+
+from repro.core.predicates import Predicate
+from repro.core.table import ComponentTable
+from repro.errors import AggregateError
+
+
+class _SumCount:
+    """Running sum & count for SUM/COUNT/AVG."""
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def add(self, v: float) -> None:
+        self.total += v
+        self.count += 1
+
+    def remove(self, v: float) -> None:
+        self.total -= v
+        self.count -= 1
+
+
+class _MinMaxHeap:
+    """Multiset supporting O(log n) insert/delete and O(1) min/max reads.
+
+    Uses two heaps with lazy deletion; correct for the hashable, totally
+    ordered values component fields hold.
+    """
+
+    def __init__(self) -> None:
+        self._min_heap: list[Any] = []
+        self._max_heap: list[Any] = []
+        self._live: dict[Any, int] = defaultdict(int)
+        self._size = 0
+
+    def add(self, v: Any) -> None:
+        self._live[v] += 1
+        self._size += 1
+        heapq.heappush(self._min_heap, v)
+        heapq.heappush(self._max_heap, _Neg(v))
+
+    def remove(self, v: Any) -> None:
+        if self._live.get(v, 0) <= 0:
+            raise AggregateError(f"removing value {v!r} not in aggregate")
+        self._live[v] -= 1
+        self._size -= 1
+
+    def min(self) -> Any:
+        while self._min_heap:
+            v = self._min_heap[0]
+            if self._live.get(v, 0) > 0:
+                return v
+            heapq.heappop(self._min_heap)
+        return None
+
+    def max(self) -> Any:
+        while self._max_heap:
+            v = self._max_heap[0].value
+            if self._live.get(v, 0) > 0:
+                return v
+            heapq.heappop(self._max_heap)
+        return None
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class _Neg:
+    """Wrapper inverting comparison order for the max-heap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Neg") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Neg) and other.value == self.value
+
+
+_SUPPORTED = ("count", "sum", "avg", "min", "max")
+
+
+class AggregateView:
+    """A materialized aggregate over one field of one component table.
+
+    Parameters
+    ----------
+    table:
+        The component table to aggregate over.
+    agg:
+        One of ``count``, ``sum``, ``avg``, ``min``, ``max``.
+    field:
+        The aggregated field (ignored for ``count``).
+    where:
+        Optional predicate restricting which rows participate.
+    group_by:
+        Optional grouping field; ``value()`` then takes a group key and
+        ``groups()`` lists keys.
+
+    The view subscribes to table deltas on construction and stays
+    consistent until :meth:`close` is called.
+    """
+
+    def __init__(
+        self,
+        table: ComponentTable,
+        agg: str,
+        field: str | None = None,
+        where: Predicate | None = None,
+        group_by: str | None = None,
+    ):
+        if agg not in _SUPPORTED:
+            raise AggregateError(
+                f"unsupported aggregate {agg!r}; expected one of {_SUPPORTED}"
+            )
+        if agg != "count" and field is None:
+            raise AggregateError(f"aggregate {agg!r} requires a field")
+        if field is not None:
+            table.schema.field(field)
+        if group_by is not None:
+            table.schema.field(group_by)
+        self.table = table
+        self.agg = agg
+        self.field = field
+        self.where = where
+        self.group_by = group_by
+        self._sums: dict[Any, _SumCount] = defaultdict(_SumCount)
+        self._heaps: dict[Any, _MinMaxHeap] = defaultdict(_MinMaxHeap)
+        self._member_value: dict[int, tuple[Any, Any]] = {}  # eid -> (group, value)
+        self.maintenance_ops = 0
+        for entity_id, row in table.rows():
+            if self._qualifies(row):
+                self._add(entity_id, row)
+        table.add_observer(self._on_delta)
+        self._closed = False
+
+    # -- public reads ---------------------------------------------------------
+
+    def value(self, group: Any = None) -> Any:
+        """Current aggregate value (for ``group`` if grouped).
+
+        COUNT/SUM of an empty set are 0; AVG/MIN/MAX of an empty set are
+        ``None``.
+        """
+        if self.group_by is None and group is not None:
+            raise AggregateError("view is not grouped; do not pass a group")
+        key = group if self.group_by is not None else None
+        if self.agg == "count":
+            return self._sums[key].count if key in self._sums else 0
+        if self.agg == "sum":
+            return self._sums[key].total if key in self._sums else 0
+        if self.agg == "avg":
+            sc = self._sums.get(key)
+            if sc is None or sc.count == 0:
+                return None
+            return sc.total / sc.count
+        heap = self._heaps.get(key)
+        if heap is None or len(heap) == 0:
+            return None
+        return heap.min() if self.agg == "min" else heap.max()
+
+    def groups(self) -> list[Any]:
+        """All group keys with at least one qualifying row."""
+        if self.group_by is None:
+            raise AggregateError("view is not grouped")
+        if self.agg in ("min", "max"):
+            return [k for k, h in self._heaps.items() if len(h) > 0]
+        return [k for k, sc in self._sums.items() if sc.count > 0]
+
+    def recompute(self) -> Any:
+        """Recompute the aggregate from scratch (the baseline for E11).
+
+        Returns the same shape as :meth:`value` / a dict keyed by group.
+        Does not touch the incremental state.
+        """
+        rows = [row for _eid, row in self.table.rows() if self._qualifies(row)]
+        if self.group_by is None:
+            return self._fold(rows)
+        grouped: dict[Any, list] = defaultdict(list)
+        for row in rows:
+            grouped[row[self.group_by]].append(row)
+        return {k: self._fold(v) for k, v in grouped.items()}
+
+    def close(self) -> None:
+        """Detach from the table; the view stops being maintained."""
+        if not self._closed:
+            self.table.remove_observer(self._on_delta)
+            self._closed = True
+
+    # -- delta maintenance ------------------------------------------------------
+
+    def _on_delta(self, kind: str, entity_id: int, payload: Mapping[str, Any]) -> None:
+        self.maintenance_ops += 1
+        if kind == "insert":
+            if self._qualifies(payload):
+                self._add(entity_id, payload)
+        elif kind == "delete":
+            if entity_id in self._member_value:
+                self._remove(entity_id)
+        elif kind == "update":
+            # Rebuild this entity's contribution from the current row.  The
+            # delta only carries changed fields, so fetch the full row.
+            was_member = entity_id in self._member_value
+            relevant = self._relevant_fields()
+            if relevant and not (relevant & set(payload)):
+                return
+            row = self.table.get(entity_id)
+            is_member = self._qualifies(row)
+            if was_member:
+                self._remove(entity_id)
+            if is_member:
+                self._add(entity_id, row)
+
+    def _relevant_fields(self) -> set[str]:
+        fields: set[str] = set()
+        if self.field is not None:
+            fields.add(self.field)
+        if self.group_by is not None:
+            fields.add(self.group_by)
+        if self.where is not None:
+            fields |= self.where.fields()
+            if not self.where.fields():
+                return set()  # custom predicate with unknown deps: always relevant
+        return fields
+
+    def _qualifies(self, row: Mapping[str, Any]) -> bool:
+        return self.where is None or self.where.evaluate(row)
+
+    def _add(self, entity_id: int, row: Mapping[str, Any]) -> None:
+        key = row[self.group_by] if self.group_by is not None else None
+        value = row[self.field] if self.field is not None else None
+        self._member_value[entity_id] = (key, value)
+        if self.agg in ("count", "sum", "avg"):
+            self._sums[key].add(float(value) if value is not None else 0.0)
+        else:
+            self._heaps[key].add(value)
+
+    def _remove(self, entity_id: int) -> None:
+        key, value = self._member_value.pop(entity_id)
+        if self.agg in ("count", "sum", "avg"):
+            self._sums[key].remove(float(value) if value is not None else 0.0)
+        else:
+            self._heaps[key].remove(value)
+
+    def _fold(self, rows: list) -> Any:
+        if self.agg == "count":
+            return len(rows)
+        values = [r[self.field] for r in rows]
+        if self.agg == "sum":
+            return float(sum(values)) if values else 0
+        if self.agg == "avg":
+            return (sum(values) / len(values)) if values else None
+        if not values:
+            return None
+        return min(values) if self.agg == "min" else max(values)
+
+
+class TopKView:
+    """Materialized TOP-K view: the K largest (or smallest) values of a field.
+
+    Maintains a full sorted mirror of qualifying rows so arbitrary
+    deletions stay cheap; reads are O(k).  This is the structure behind
+    leaderboards and "pick the highest-threat target" queries.
+    """
+
+    def __init__(
+        self,
+        table: ComponentTable,
+        field: str,
+        k: int,
+        largest: bool = True,
+        where: Predicate | None = None,
+    ):
+        if k <= 0:
+            raise AggregateError("k must be positive")
+        table.schema.field(field)
+        self.table = table
+        self.field = field
+        self.k = k
+        self.largest = largest
+        self.where = where
+        self._pairs: list[tuple[Any, int]] = []  # sorted (value, eid)
+        self._value_of: dict[int, Any] = {}
+        self.maintenance_ops = 0
+        for entity_id, row in table.rows():
+            if self._qualifies(row):
+                self._add(entity_id, row[field])
+        table.add_observer(self._on_delta)
+        self._closed = False
+
+    def top(self) -> list[tuple[int, Any]]:
+        """The current top-k as ``[(entity_id, value), ...]`` best-first."""
+        if self.largest:
+            slice_ = self._pairs[-self.k:][::-1]
+        else:
+            slice_ = self._pairs[: self.k]
+        return [(eid, v) for v, eid in slice_]
+
+    def best(self) -> tuple[int, Any] | None:
+        """The single best entry, or None when the view is empty."""
+        ranked = self.top()
+        return ranked[0] if ranked else None
+
+    def close(self) -> None:
+        """Detach from the table; the view stops being maintained."""
+        if not self._closed:
+            self.table.remove_observer(self._on_delta)
+            self._closed = True
+
+    def _qualifies(self, row: Mapping[str, Any]) -> bool:
+        return self.where is None or self.where.evaluate(row)
+
+    def _add(self, entity_id: int, value: Any) -> None:
+        bisect.insort(self._pairs, (value, entity_id))
+        self._value_of[entity_id] = value
+
+    def _discard(self, entity_id: int) -> None:
+        value = self._value_of.pop(entity_id)
+        i = bisect.bisect_left(self._pairs, (value, entity_id))
+        if i < len(self._pairs) and self._pairs[i] == (value, entity_id):
+            self._pairs.pop(i)
+
+    def _on_delta(self, kind: str, entity_id: int, payload: Mapping[str, Any]) -> None:
+        self.maintenance_ops += 1
+        if kind == "insert":
+            if self._qualifies(payload):
+                self._add(entity_id, payload[self.field])
+        elif kind == "delete":
+            if entity_id in self._value_of:
+                self._discard(entity_id)
+        elif kind == "update":
+            relevant = {self.field}
+            if self.where is not None:
+                relevant |= self.where.fields() or set(payload)
+            if not (relevant & set(payload)):
+                return
+            if entity_id in self._value_of:
+                self._discard(entity_id)
+            row = self.table.get(entity_id)
+            if self._qualifies(row):
+                self._add(entity_id, row[self.field])
+
+    def __len__(self) -> int:
+        return len(self._pairs)

@@ -1,0 +1,132 @@
+"""Deterministic frame clock and per-system time budgeting.
+
+Games run a fixed-timestep simulation loop; scripts "processed every
+animation frame" (tutorial, Performance Challenges) must fit in the frame
+budget or the game stutters.  :class:`FrameClock` advances simulated time
+deterministically (no wall-clock reads, so replays and tests are exact),
+while :class:`FrameBudget` tracks how much of a frame each system consumed
+and reports overruns — the measurement tool behind experiment E10.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+class FrameClock:
+    """Fixed-timestep simulation clock.
+
+    ``tick`` is the frame counter, ``now`` the simulated seconds since
+    start.  The clock never consults the wall clock; benchmarks that need
+    real durations use :class:`FrameBudget` which samples
+    ``time.perf_counter`` explicitly.
+    """
+
+    def __init__(self, dt: float = 1.0 / 30.0):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.dt = dt
+        self.tick = 0
+        self.now = 0.0
+
+    def advance(self) -> int:
+        """Advance one frame; returns the new tick number."""
+        self.tick += 1
+        self.now = self.tick * self.dt
+        return self.tick
+
+    def rewind_to(self, tick: int) -> None:
+        """Reset the clock to an earlier tick (used by recovery replay)."""
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        self.tick = tick
+        self.now = tick * self.dt
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FrameClock(tick={self.tick}, now={self.now:.3f}s)"
+
+
+@dataclass
+class SystemTiming:
+    """Accumulated wall-time statistics for one named system."""
+
+    name: str
+    calls: int = 0
+    total_seconds: float = 0.0
+    worst_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean seconds per call (0.0 before any call)."""
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class FrameBudget:
+    """Tracks per-system wall time against a frame budget.
+
+    Usage::
+
+        budget = FrameBudget(frame_seconds=1/30)
+        with budget.measure("physics"):
+            run_physics()
+        overruns = budget.overruns()
+    """
+
+    def __init__(self, frame_seconds: float = 1.0 / 30.0):
+        self.frame_seconds = frame_seconds
+        self.timings: dict[str, SystemTiming] = {}
+        self._frame_spent = 0.0
+        self.frames_over_budget = 0
+        self.frames_measured = 0
+
+    def measure(self, name: str) -> "_Measurement":
+        """Context manager timing one system invocation."""
+        return _Measurement(self, name)
+
+    def end_frame(self) -> float:
+        """Close the current frame; returns seconds spent this frame."""
+        spent = self._frame_spent
+        self.frames_measured += 1
+        if spent > self.frame_seconds:
+            self.frames_over_budget += 1
+        self._frame_spent = 0.0
+        return spent
+
+    def overruns(self) -> list[SystemTiming]:
+        """Systems whose *worst* single call exceeded the whole budget."""
+        return [
+            t for t in self.timings.values() if t.worst_seconds > self.frame_seconds
+        ]
+
+    def report(self) -> list[SystemTiming]:
+        """All system timings, slowest total first."""
+        return sorted(self.timings.values(), key=lambda t: -t.total_seconds)
+
+    def _record(self, name: str, seconds: float) -> None:
+        timing = self.timings.get(name)
+        if timing is None:
+            timing = SystemTiming(name)
+            self.timings[name] = timing
+        timing.calls += 1
+        timing.total_seconds += seconds
+        timing.worst_seconds = max(timing.worst_seconds, seconds)
+        self._frame_spent += seconds
+
+
+class _Measurement:
+    """Context manager produced by :meth:`FrameBudget.measure`."""
+
+    __slots__ = ("_budget", "_name", "_start")
+
+    def __init__(self, budget: FrameBudget, name: str):
+        self._budget = budget
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Measurement":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._budget._record(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,160 @@
+"""In-engine event bus — the substrate for data-driven triggers.
+
+Game designers attach behaviour to *events* ("boss died", "player entered
+region") rather than polling state each frame.  The :class:`EventBus`
+provides typed topics, synchronous dispatch with deterministic handler
+order, deferred queues (events raised mid-tick delivered at a frame
+boundary), and a bounded history for debugging and for the intelligent
+checkpointer, which watches event importance.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Handler signature; returning anything is allowed and ignored.
+Handler = Callable[["Event"], Any]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single game event.
+
+    Attributes
+    ----------
+    topic:
+        Dotted topic name, e.g. ``combat.death`` or ``zone.enter``.
+    data:
+        Arbitrary payload mapping.
+    source:
+        Entity id that caused the event, or ``None`` for engine events.
+    tick:
+        Frame number when the event was raised (stamped by the world).
+    importance:
+        0.0–1.0 designer-assigned weight; the intelligent checkpointer
+        flushes when accumulated importance crosses a threshold.
+    """
+
+    topic: str
+    data: dict = field(default_factory=dict)
+    source: int | None = None
+    tick: int = 0
+    importance: float = 0.0
+
+
+class Subscription:
+    """Handle returned by :meth:`EventBus.subscribe`; call
+    :meth:`cancel` to stop receiving events."""
+
+    def __init__(self, bus: "EventBus", topic: str, handler: Handler):
+        self._bus = bus
+        self.topic = topic
+        self.handler = handler
+        self.active = True
+
+    def cancel(self) -> None:
+        """Unsubscribe; idempotent."""
+        if self.active:
+            self._bus._unsubscribe(self)
+            self.active = False
+
+
+class EventBus:
+    """Topic-based publish/subscribe with exact and prefix matching.
+
+    A subscription to ``combat`` receives ``combat.death`` and
+    ``combat.hit``; a subscription to ``combat.death`` receives only
+    exact matches.  The wildcard topic ``*`` receives everything.
+    """
+
+    def __init__(self, history_limit: int = 256):
+        self._subs: dict[str, list[Subscription]] = {}
+        self._deferred: deque[Event] = deque()
+        self.history: deque[Event] = deque(maxlen=history_limit)
+        self.published_count = 0
+
+    # -- subscription management ------------------------------------------------
+
+    def subscribe(self, topic: str, handler: Handler) -> Subscription:
+        """Register ``handler`` for ``topic`` (exact or prefix)."""
+        sub = Subscription(self, topic, handler)
+        self._subs.setdefault(topic, []).append(sub)
+        return sub
+
+    def _unsubscribe(self, sub: Subscription) -> None:
+        subs = self._subs.get(sub.topic, [])
+        if sub in subs:
+            subs.remove(sub)
+            if not subs:
+                del self._subs[sub.topic]
+
+    def topics(self) -> list[str]:
+        """Topics that currently have at least one subscriber."""
+        return sorted(self._subs)
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self, event: Event) -> int:
+        """Dispatch ``event`` synchronously; returns handler count invoked."""
+        self.published_count += 1
+        self.history.append(event)
+        invoked = 0
+        for sub in self._matching(event.topic):
+            sub.handler(event)
+            invoked += 1
+        return invoked
+
+    def emit(
+        self,
+        topic: str,
+        data: dict | None = None,
+        source: int | None = None,
+        tick: int = 0,
+        importance: float = 0.0,
+    ) -> int:
+        """Convenience wrapper building an :class:`Event` and publishing it."""
+        return self.publish(
+            Event(topic, data or {}, source=source, tick=tick, importance=importance)
+        )
+
+    def defer(self, event: Event) -> None:
+        """Queue an event for delivery at the next :meth:`flush_deferred`.
+
+        Systems raise deferred events mid-tick so that handler side effects
+        (spawns, despawns) never mutate tables another system is scanning.
+        """
+        self._deferred.append(event)
+
+    def flush_deferred(self) -> int:
+        """Deliver all deferred events in FIFO order; returns count delivered.
+
+        Events deferred *by handlers during the flush* are delivered in the
+        same flush (a fixpoint), which is what trigger chains expect.
+        """
+        delivered = 0
+        while self._deferred:
+            event = self._deferred.popleft()
+            self.publish(event)
+            delivered += 1
+        return delivered
+
+    def pending(self) -> int:
+        """Number of deferred events awaiting delivery."""
+        return len(self._deferred)
+
+    # -- matching ----------------------------------------------------------------
+
+    def _matching(self, topic: str) -> list[Subscription]:
+        matches: list[Subscription] = []
+        matches.extend(self._subs.get("*", ()))
+        parts = topic.split(".")
+        for i in range(1, len(parts) + 1):
+            prefix = ".".join(parts[:i])
+            if prefix != topic:
+                matches.extend(self._subs.get(prefix, ()))
+        matches.extend(self._subs.get(topic, ()))
+        # Deterministic order: subscription insertion order within each
+        # bucket, wildcard first, most-specific last.
+        return matches

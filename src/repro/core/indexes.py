@@ -1,0 +1,341 @@
+"""Secondary indexes over component tables, kept consistent incrementally.
+
+The tutorial's "Performance Challenges" section observes that game
+developers, like database engineers, "rely on indices to speed up
+computations that involve relationships between pairs of objects".  This
+module provides the non-spatial indexes (hash and sorted) plus the
+:class:`IndexManager` that wires indexes to table deltas and an
+:class:`IndexAdvisor` that recommends indexes from observed query patterns.
+
+Spatial indexes live in :mod:`repro.spatial`; the manager maintains them
+from position deltas via :meth:`IndexManager.attach_spatial`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Iterable, Mapping
+
+from repro.core.table import ComponentTable
+from repro.errors import IndexError_
+
+
+class HashIndex:
+    """Equality index: field value -> set of entity ids.
+
+    Supports ``==`` and ``IN`` lookups in expected O(1) per probe.
+    """
+
+    kind = "hash"
+
+    def __init__(self, field: str):
+        self.field = field
+        self._buckets: dict[Any, set[int]] = defaultdict(set)
+        self.lookups = 0
+
+    def insert(self, entity_id: int, value: Any) -> None:
+        self._buckets[value].add(entity_id)
+
+    def delete(self, entity_id: int, value: Any) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(entity_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def update(self, entity_id: int, old: Any, new: Any) -> None:
+        self.delete(entity_id, old)
+        self.insert(entity_id, new)
+
+    def lookup(self, value: Any) -> set[int]:
+        """Entity ids with ``field == value``."""
+        self.lookups += 1
+        return set(self._buckets.get(value, ()))
+
+    def lookup_in(self, values: Iterable[Any]) -> set[int]:
+        """Entity ids with ``field IN values``."""
+        self.lookups += 1
+        out: set[int] = set()
+        for v in values:
+            out |= self._buckets.get(v, set())
+        return out
+
+    def distinct_values(self) -> list[Any]:
+        """All distinct indexed values (used by the advisor and GROUP BY)."""
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+
+class SortedIndex:
+    """Order-preserving index supporting range scans in O(log n + k).
+
+    Implemented as a sorted list of ``(value, entity_id)`` pairs with
+    bisect; adequate for the scale of a game shard and trivially correct.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, field: str):
+        self.field = field
+        self._pairs: list[tuple[Any, int]] = []
+        self.lookups = 0
+
+    def insert(self, entity_id: int, value: Any) -> None:
+        bisect.insort(self._pairs, (value, entity_id))
+
+    def delete(self, entity_id: int, value: Any) -> None:
+        i = bisect.bisect_left(self._pairs, (value, entity_id))
+        if i < len(self._pairs) and self._pairs[i] == (value, entity_id):
+            self._pairs.pop(i)
+
+    def update(self, entity_id: int, old: Any, new: Any) -> None:
+        self.delete(entity_id, old)
+        self.insert(entity_id, new)
+
+    def range(
+        self,
+        lo: Any = None,
+        hi: Any = None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> list[int]:
+        """Entity ids with value in the given (possibly open-ended) range."""
+        self.lookups += 1
+        if lo is None:
+            start = 0
+        else:
+            start = bisect.bisect_left(self._pairs, (lo,))
+            if not lo_inclusive:
+                start = self._skip_value(lo, start)
+        if hi is None:
+            stop = len(self._pairs)
+        else:
+            stop = self._upper_bound(hi, hi_inclusive)
+        return [eid for _v, eid in self._pairs[start:stop]]
+
+    def _skip_value(self, value: Any, start: int) -> int:
+        i = start
+        while i < len(self._pairs) and self._pairs[i][0] == value:
+            i += 1
+        return i
+
+    def _upper_bound(self, hi: Any, inclusive: bool) -> int:
+        i = bisect.bisect_left(self._pairs, (hi,))
+        if inclusive:
+            while i < len(self._pairs) and self._pairs[i][0] == hi:
+                i += 1
+        return i
+
+    def min_entity(self) -> tuple[Any, int] | None:
+        """Smallest (value, entity_id) or None if empty — O(1)."""
+        return self._pairs[0] if self._pairs else None
+
+    def max_entity(self) -> tuple[Any, int] | None:
+        """Largest (value, entity_id) or None if empty — O(1)."""
+        return self._pairs[-1] if self._pairs else None
+
+    def ordered_ids(self, descending: bool = False) -> list[int]:
+        """All entity ids in value order."""
+        ids = [eid for _v, eid in self._pairs]
+        return ids[::-1] if descending else ids
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+
+class IndexManager:
+    """Owns all secondary indexes of one component table.
+
+    Index maintenance is driven by table deltas, so indexes are always
+    transactionally consistent with the data they cover — the property
+    naive game code loses when it caches query results across frames.
+    """
+
+    def __init__(self, table: ComponentTable):
+        self.table = table
+        self._hash: dict[str, HashIndex] = {}
+        self._sorted: dict[str, SortedIndex] = {}
+        self._spatial: list[dict[str, Any]] = []
+        #: bumped whenever the *set* of indexes changes (not their
+        #: contents); prepared queries replan when it moves.
+        self.catalog_version = 0
+        table.add_observer(self._on_delta)
+
+    # -- creation -----------------------------------------------------------
+
+    def create_hash_index(self, field: str) -> HashIndex:
+        """Build (and backfill) a hash index on ``field``."""
+        self._check_field(field)
+        if field in self._hash:
+            raise IndexError_(f"hash index on {field!r} already exists")
+        idx = HashIndex(field)
+        for entity_id, row in self.table.rows():
+            idx.insert(entity_id, row[field])
+        self._hash[field] = idx
+        self.catalog_version += 1
+        return idx
+
+    def create_sorted_index(self, field: str) -> SortedIndex:
+        """Build (and backfill) a sorted index on ``field``."""
+        self._check_field(field)
+        if field in self._sorted:
+            raise IndexError_(f"sorted index on {field!r} already exists")
+        idx = SortedIndex(field)
+        for entity_id, row in self.table.rows():
+            idx.insert(entity_id, row[field])
+        self._sorted[field] = idx
+        self.catalog_version += 1
+        return idx
+
+    def attach_spatial(
+        self, structure: Any, x_field: str = "x", y_field: str = "y"
+    ) -> Any:
+        """Attach a spatial structure maintained from (x_field, y_field)."""
+        self._check_field(x_field)
+        self._check_field(y_field)
+        entry = {
+            "structure": structure,
+            "x": x_field,
+            "y": y_field,
+            # cache of current positions so single-axis updates can be
+            # translated into full moves
+            "pos": {},
+        }
+        for entity_id, row in self.table.rows():
+            x, y = row[x_field], row[y_field]
+            structure.insert(entity_id, x, y)
+            entry["pos"][entity_id] = (x, y)
+        self._spatial.append(entry)
+        self.catalog_version += 1
+        return structure
+
+    def drop_index(self, field: str) -> None:
+        """Drop hash and/or sorted indexes on ``field``."""
+        found = False
+        if field in self._hash:
+            del self._hash[field]
+            found = True
+        if field in self._sorted:
+            del self._sorted[field]
+            found = True
+        if not found:
+            raise IndexError_(f"no index on field {field!r}")
+        self.catalog_version += 1
+
+    # -- lookup surface for the planner --------------------------------------
+
+    def hash_index(self, field: str) -> HashIndex | None:
+        return self._hash.get(field)
+
+    def sorted_index(self, field: str) -> SortedIndex | None:
+        return self._sorted.get(field)
+
+    def spatial_index(
+        self, x_field: str = "x", y_field: str = "y"
+    ) -> Any | None:
+        for entry in self._spatial:
+            if entry["x"] == x_field and entry["y"] == y_field:
+                return entry["structure"]
+        return None
+
+    def indexed_fields(self) -> dict[str, list[str]]:
+        """Map field -> list of index kinds available on it."""
+        out: dict[str, list[str]] = defaultdict(list)
+        for f in self._hash:
+            out[f].append("hash")
+        for f in self._sorted:
+            out[f].append("sorted")
+        for entry in self._spatial:
+            out[entry["x"]].append("spatial")
+            out[entry["y"]].append("spatial")
+        return dict(out)
+
+    # -- delta maintenance ----------------------------------------------------
+
+    def _on_delta(self, kind: str, entity_id: int, payload: Mapping[str, Any]) -> None:
+        if kind == "insert":
+            for field, idx in self._hash.items():
+                idx.insert(entity_id, payload[field])
+            for field, idx in self._sorted.items():
+                idx.insert(entity_id, payload[field])
+            for entry in self._spatial:
+                x, y = payload[entry["x"]], payload[entry["y"]]
+                entry["structure"].insert(entity_id, x, y)
+                entry["pos"][entity_id] = (x, y)
+        elif kind == "delete":
+            for field, idx in self._hash.items():
+                idx.delete(entity_id, payload[field])
+            for field, idx in self._sorted.items():
+                idx.delete(entity_id, payload[field])
+            for entry in self._spatial:
+                x, y = entry["pos"].pop(entity_id)
+                entry["structure"].remove(entity_id, x, y)
+        elif kind == "update":
+            for field, idx in self._hash.items():
+                if field in payload:
+                    old, new = payload[field]
+                    idx.update(entity_id, old, new)
+            for field, idx in self._sorted.items():
+                if field in payload:
+                    old, new = payload[field]
+                    idx.update(entity_id, old, new)
+            for entry in self._spatial:
+                xf, yf = entry["x"], entry["y"]
+                if xf in payload or yf in payload:
+                    ox, oy = entry["pos"][entity_id]
+                    nx = payload[xf][1] if xf in payload else ox
+                    ny = payload[yf][1] if yf in payload else oy
+                    entry["structure"].move(entity_id, ox, oy, nx, ny)
+                    entry["pos"][entity_id] = (nx, ny)
+
+    def _check_field(self, field: str) -> None:
+        fdef = self.table.schema.field(field)
+        if not fdef.indexable:
+            raise IndexError_(
+                f"field {field!r} of {self.table.schema.name!r} is not indexable"
+            )
+
+
+class IndexAdvisor:
+    """Recommends indexes from the query predicates the planner has seen.
+
+    The advisor counts, per (component, field), how often a sargable
+    predicate had to fall back to a scan.  ``recommend`` returns the fields
+    whose scan count exceeds a threshold — a tiny version of the workload-
+    driven physical design tools commercial databases ship.
+    """
+
+    def __init__(self, scan_threshold: int = 8):
+        self.scan_threshold = scan_threshold
+        self._missed: dict[tuple[str, str], int] = defaultdict(int)
+        self._served: dict[tuple[str, str], int] = defaultdict(int)
+
+    def record_scan(self, component: str, field: str) -> None:
+        """A sargable predicate on ``field`` had no usable index."""
+        self._missed[(component, field)] += 1
+
+    def record_index_hit(self, component: str, field: str) -> None:
+        """An index answered a predicate on ``field``."""
+        self._served[(component, field)] += 1
+
+    def recommend(self) -> list[tuple[str, str, int]]:
+        """Return (component, field, missed_count) above the threshold,
+        ordered by how much scanning they would have saved."""
+        recs = [
+            (comp, field, count)
+            for (comp, field), count in self._missed.items()
+            if count >= self.scan_threshold
+        ]
+        recs.sort(key=lambda r: -r[2])
+        return recs
+
+    def stats(self) -> dict[str, int]:
+        """Aggregate counters, mostly for tests and dashboards."""
+        return {
+            "missed_total": sum(self._missed.values()),
+            "served_total": sum(self._served.values()),
+            "fields_tracked": len(set(self._missed) | set(self._served)),
+        }

@@ -1,0 +1,271 @@
+"""Rule-based query planner for declarative entity queries.
+
+The planner turns a :class:`~repro.core.query.Query` into an access plan:
+
+1. Pick a **driver component** and an access path for it — spatial index
+   (for ``within`` clauses), hash index (equality / IN), sorted index
+   (range), or full scan — preferring paths with the lowest estimated
+   candidate count.
+2. The remaining components become **existence probes** (an entity must
+   have all queried components — the ECS equivalent of a key/foreign-key
+   join, O(1) per probe via the table's slot map).
+3. Unserved predicates become a **residual filter**.
+
+``explain()`` renders the chosen plan, which the tests assert on: the whole
+point of the reproduction is showing *when* the planner avoids the Ω(n²)
+naive strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, TYPE_CHECKING
+
+from repro.core.predicates import (
+    Between,
+    Compare,
+    IsIn,
+    Predicate,
+    compile_row_fn,
+    split_sargable,
+)
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.world import GameWorld
+
+
+@dataclass
+class AccessPath:
+    """How the driver component's candidate entities are produced."""
+
+    kind: str  # "scan" | "hash_eq" | "hash_in" | "sorted_range" | "spatial"
+    component: str
+    field: str | None = None
+    detail: str = ""
+    estimated_rows: float = 0.0
+    #: zero-arg callable producing candidate entity ids
+    fetch: Callable[[], list[int]] | None = None
+    #: sargable predicates fully answered by this path (excluded from residual)
+    served: tuple = ()
+
+    def describe(self) -> str:
+        """One-line plan rendering, e.g. ``hash_eq(Faction.name='orc')``."""
+        target = f"{self.component}.{self.field}" if self.field else self.component
+        if self.detail:
+            return f"{self.kind}({target} {self.detail})"
+        return f"{self.kind}({target})"
+
+
+@dataclass
+class QueryPlan:
+    """A fully-resolved plan: driver access path + probes + residual."""
+
+    access: AccessPath
+    probe_components: tuple[str, ...]
+    residual_count: int
+    residual: Callable[[int], bool]
+
+    def describe(self) -> str:
+        """Multi-line EXPLAIN output."""
+        lines = [f"driver: {self.access.describe()} (est {self.access.estimated_rows:.0f} rows)"]
+        for comp in self.probe_components:
+            lines.append(f"probe:  has_component({comp})")
+        lines.append(f"filter: {self.residual_count} residual predicate(s)")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Chooses access paths using index availability and simple statistics.
+
+    Selectivity model (deliberately crude, like early commercial
+    optimizers): equality on a hash index returns ``n / distinct``;
+    a range on a sorted index returns ``n / 3``; a spatial ``within``
+    returns ``n * (query_area / world_area)`` when the structure knows its
+    bounds, else ``n / 4``; a scan returns ``n``.
+    """
+
+    def __init__(self, world: "GameWorld"):
+        self.world = world
+        self.plans_built = 0
+
+    def plan(self, query: Any) -> QueryPlan:
+        """Build a :class:`QueryPlan` for a Query (see repro.core.query)."""
+        self.plans_built += 1
+        components = query.component_names()
+        if not components:
+            raise QueryError("query references no components")
+        candidates: list[AccessPath] = []
+        for comp in components:
+            candidates.extend(self._paths_for(query, comp))
+        best = min(candidates, key=lambda p: p.estimated_rows)
+        probe_components = tuple(c for c in components if c != best.component)
+        residual = self._residual(query, best)
+        return QueryPlan(
+            access=best,
+            probe_components=probe_components,
+            residual_count=residual[1],
+            residual=residual[0],
+        )
+
+    # -- access-path enumeration -------------------------------------------------
+
+    def _paths_for(self, query: Any, comp: str) -> list[AccessPath]:
+        table = self.world.table(comp)
+        manager = self.world.index_manager(comp)
+        advisor = self.world.index_advisor
+        n = len(table)
+        paths: list[AccessPath] = [
+            AccessPath(
+                kind="scan",
+                component=comp,
+                estimated_rows=float(n),
+                fetch=lambda t=table: t.scan(),
+            )
+        ]
+        sargable, _ = split_sargable(query.predicate_for(comp))
+        spatial = query.spatial_for(comp)
+        if spatial is not None:
+            structure = manager.spatial_index(spatial.x_field, spatial.y_field)
+            if structure is not None:
+                est = self._estimate_spatial(structure, spatial, n)
+                paths.append(
+                    AccessPath(
+                        kind="spatial",
+                        component=comp,
+                        field=f"{spatial.x_field},{spatial.y_field}",
+                        detail=f"within r={spatial.radius:g}",
+                        estimated_rows=est,
+                        fetch=lambda s=structure, sp=spatial: list(
+                            s.query_circle(sp.cx, sp.cy, sp.radius)
+                        ),
+                        served=(spatial,),
+                    )
+                )
+        for pred in sargable:
+            pfield = next(iter(pred.fields()))
+            hash_idx = manager.hash_index(pfield)
+            sorted_idx = manager.sorted_index(pfield)
+            if isinstance(pred, Compare) and pred.op == "==":
+                if hash_idx is not None:
+                    distinct = max(1, len(hash_idx.distinct_values()))
+                    paths.append(
+                        AccessPath(
+                            kind="hash_eq",
+                            component=comp,
+                            field=pfield,
+                            detail=f"== {pred.value!r}",
+                            estimated_rows=n / distinct,
+                            fetch=lambda i=hash_idx, p=pred: list(i.lookup(p.value)),
+                            served=(pred,),
+                        )
+                    )
+                    advisor.record_index_hit(comp, pfield)
+                else:
+                    advisor.record_scan(comp, pfield)
+            elif isinstance(pred, IsIn):
+                if hash_idx is not None:
+                    distinct = max(1, len(hash_idx.distinct_values()))
+                    paths.append(
+                        AccessPath(
+                            kind="hash_in",
+                            component=comp,
+                            field=pfield,
+                            detail=f"in {len(pred.values)} values",
+                            estimated_rows=n * len(pred.values) / distinct,
+                            fetch=lambda i=hash_idx, p=pred: list(
+                                i.lookup_in(p.values)
+                            ),
+                            served=(pred,),
+                        )
+                    )
+                    advisor.record_index_hit(comp, pfield)
+                else:
+                    advisor.record_scan(comp, pfield)
+            else:
+                # range-shaped predicate (<, <=, >, >=, between)
+                if sorted_idx is not None:
+                    lo, hi, lo_inc, hi_inc = _range_bounds(pred)
+                    paths.append(
+                        AccessPath(
+                            kind="sorted_range",
+                            component=comp,
+                            field=pfield,
+                            detail=_range_detail(pred),
+                            estimated_rows=max(1.0, n / 3.0),
+                            fetch=lambda i=sorted_idx, b=(lo, hi, lo_inc, hi_inc): i.range(
+                                b[0], b[1], b[2], b[3]
+                            ),
+                            served=(pred,),
+                        )
+                    )
+                    advisor.record_index_hit(comp, pfield)
+                else:
+                    advisor.record_scan(comp, pfield)
+        return paths
+
+    def _estimate_spatial(self, structure: Any, spatial: Any, n: int) -> float:
+        bounds = getattr(structure, "bounds", None)
+        area = None
+        if bounds is not None:
+            area = getattr(bounds, "area", None)
+            if callable(area):  # AABB.area may be a method
+                area = area()
+        if area:
+            import math
+
+            qarea = math.pi * spatial.radius ** 2
+            return max(1.0, n * min(1.0, qarea / area))
+        return max(1.0, n / 4.0)
+
+    # -- residual assembly ---------------------------------------------------------
+
+    def _residual(
+        self, query: Any, access: AccessPath
+    ) -> tuple[Callable[[int], bool], int]:
+        served = set(id(p) for p in access.served)
+        checks: list[tuple[str, Callable[[dict], bool]]] = []
+        count = 0
+        for comp in query.component_names():
+            pred = query.predicate_for(comp)
+            conjuncts = [] if pred is None else pred.conjuncts()
+            remaining = [p for p in conjuncts if id(p) not in served]
+            spatial = query.spatial_for(comp)
+            if spatial is not None and id(spatial) not in served:
+                remaining.append(spatial.as_predicate())
+            if remaining:
+                count += len(remaining)
+                checks.append((comp, compile_row_fn(remaining)))
+        world = self.world
+
+        def residual(entity_id: int) -> bool:
+            for comp, fn in checks:
+                if not fn(world.table(comp).get(entity_id)):
+                    return False
+            return True
+
+        return residual, count
+
+
+def _range_bounds(pred: Predicate) -> tuple[Any, Any, bool, bool]:
+    """Translate a range-shaped predicate to (lo, hi, lo_inc, hi_inc)."""
+    if isinstance(pred, Between):
+        return pred.lo, pred.hi, True, True
+    if isinstance(pred, Compare):
+        if pred.op == "<":
+            return None, pred.value, True, False
+        if pred.op == "<=":
+            return None, pred.value, True, True
+        if pred.op == ">":
+            return pred.value, None, False, True
+        if pred.op == ">=":
+            return pred.value, None, True, True
+    raise QueryError(f"not a range predicate: {pred!r}")
+
+
+def _range_detail(pred: Predicate) -> str:
+    if isinstance(pred, Between):
+        return f"between {pred.lo!r} and {pred.hi!r}"
+    if isinstance(pred, Compare):
+        return f"{pred.op} {pred.value!r}"
+    return repr(pred)

@@ -1,0 +1,278 @@
+"""Predicate AST for declarative queries, with sargability analysis.
+
+A predicate is a small expression tree over the fields of one component.
+The planner inspects the tree to find *sargable* conjuncts — equality and
+range comparisons on a single field — which can be answered by an index;
+the remaining conjuncts become a residual filter applied to candidates.
+
+This mirrors exactly what a relational optimizer does, scaled down to the
+needs of a game tick: predicates are built once (often from script source)
+and evaluated millions of times, so ``compile_row_fn`` produces a fast
+closure for the residual filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import QueryError
+
+Row = Mapping[str, Any]
+
+
+class Predicate:
+    """Base class for predicate nodes."""
+
+    def evaluate(self, row: Row) -> bool:
+        """Evaluate against a single component row."""
+        raise NotImplementedError
+
+    # Operator sugar so callers can write ``(F.x > 3) & (F.kind == "orc")``.
+    def __and__(self, other: "Predicate") -> "And":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or([self, other])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    def conjuncts(self) -> list["Predicate"]:
+        """Flatten a top-level AND tree into a conjunct list."""
+        return [self]
+
+    def fields(self) -> set[str]:
+        """All field names the predicate references."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Compare(Predicate):
+    """A comparison ``field <op> constant`` — the sargable workhorse."""
+
+    field: str
+    op: str  # one of ==, !=, <, <=, >, >=
+    value: Any
+
+    _OPS: dict[str, Callable[[Any, Any], bool]] = None  # set below
+
+    def evaluate(self, row: Row) -> bool:
+        lhs = row[self.field]
+        if lhs is None:
+            return False
+        return _COMPARE_OPS[self.op](lhs, self.value)
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+    @property
+    def sargable(self) -> bool:
+        """True when an index on ``field`` can answer this comparison."""
+        return self.op in ("==", "<", "<=", ">", ">=")
+
+
+_COMPARE_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """Inclusive range predicate ``lo <= field <= hi`` (sargable)."""
+
+    field: str
+    lo: Any
+    hi: Any
+
+    def evaluate(self, row: Row) -> bool:
+        v = row[self.field]
+        return v is not None and self.lo <= v <= self.hi
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+@dataclass(frozen=True)
+class IsIn(Predicate):
+    """Membership predicate ``field IN values`` (sargable via hash index)."""
+
+    field: str
+    values: frozenset
+
+    def __init__(self, field: str, values: Iterable[Any]):
+        object.__setattr__(self, "field", field)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def evaluate(self, row: Row) -> bool:
+        return row[self.field] in self.values
+
+    def fields(self) -> set[str]:
+        return {self.field}
+
+
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    def __init__(self, children: Iterable[Predicate]):
+        self.children = list(children)
+        if not self.children:
+            raise QueryError("AND requires at least one child predicate")
+
+    def evaluate(self, row: Row) -> bool:
+        return all(c.evaluate(row) for c in self.children)
+
+    def conjuncts(self) -> list[Predicate]:
+        out: list[Predicate] = []
+        for c in self.children:
+            out.extend(c.conjuncts())
+        return out
+
+    def fields(self) -> set[str]:
+        return set().union(*(c.fields() for c in self.children))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "And(%r)" % (self.children,)
+
+
+class Or(Predicate):
+    """Disjunction of child predicates (never sargable as a whole)."""
+
+    def __init__(self, children: Iterable[Predicate]):
+        self.children = list(children)
+        if not self.children:
+            raise QueryError("OR requires at least one child predicate")
+
+    def evaluate(self, row: Row) -> bool:
+        return any(c.evaluate(row) for c in self.children)
+
+    def fields(self) -> set[str]:
+        return set().union(*(c.fields() for c in self.children))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "Or(%r)" % (self.children,)
+
+
+@dataclass
+class Not(Predicate):
+    """Negation of a child predicate."""
+
+    child: Predicate
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.child.evaluate(row)
+
+    def fields(self) -> set[str]:
+        return self.child.fields()
+
+
+@dataclass(frozen=True)
+class Custom(Predicate):
+    """Escape hatch: an arbitrary python function over the row.
+
+    Custom predicates are never sargable — the planner must scan.  Scripts
+    compiled from the scripting language land here when their condition is
+    not expressible as comparisons.
+    """
+
+    fn: Callable[[Row], bool]
+    referenced: frozenset = frozenset()
+
+    def evaluate(self, row: Row) -> bool:
+        return bool(self.fn(row))
+
+    def fields(self) -> set[str]:
+        return set(self.referenced)
+
+
+class _FieldRef:
+    """Builder for a single field, enabling ``F.x > 3`` style predicates."""
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __eq__(self, other: Any) -> Compare:  # type: ignore[override]
+        return Compare(self._name, "==", other)
+
+    def __ne__(self, other: Any) -> Compare:  # type: ignore[override]
+        return Compare(self._name, "!=", other)
+
+    def __lt__(self, other: Any) -> Compare:
+        return Compare(self._name, "<", other)
+
+    def __le__(self, other: Any) -> Compare:
+        return Compare(self._name, "<=", other)
+
+    def __gt__(self, other: Any) -> Compare:
+        return Compare(self._name, ">", other)
+
+    def __ge__(self, other: Any) -> Compare:
+        return Compare(self._name, ">=", other)
+
+    def between(self, lo: Any, hi: Any) -> Between:
+        return Between(self._name, lo, hi)
+
+    def is_in(self, values: Iterable[Any]) -> IsIn:
+        return IsIn(self._name, values)
+
+    def __hash__(self) -> int:  # needed because __eq__ is overridden
+        return hash(self._name)
+
+
+class _FieldNamespace:
+    """``F`` — attribute access mints field references: ``F.hp <= 20``."""
+
+    def __getattr__(self, name: str) -> _FieldRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return _FieldRef(name)
+
+    def __call__(self, name: str) -> _FieldRef:
+        return _FieldRef(name)
+
+
+#: Singleton field-reference namespace used in queries and examples.
+F = _FieldNamespace()
+
+
+def split_sargable(
+    predicate: Predicate | None,
+) -> tuple[list[Predicate], list[Predicate]]:
+    """Split a predicate into (sargable conjuncts, residual conjuncts).
+
+    Only top-level AND structure is exploited; OR and NOT subtrees go to
+    the residual in full.  Returns ``([], [])`` for a ``None`` predicate.
+    """
+    if predicate is None:
+        return [], []
+    sargable: list[Predicate] = []
+    residual: list[Predicate] = []
+    for conj in predicate.conjuncts():
+        if isinstance(conj, Compare) and conj.sargable:
+            sargable.append(conj)
+        elif isinstance(conj, (Between, IsIn)):
+            sargable.append(conj)
+        else:
+            residual.append(conj)
+    return sargable, residual
+
+
+def compile_row_fn(conjuncts: Iterable[Predicate]) -> Callable[[Row], bool]:
+    """Build a single fast callable evaluating all conjuncts on a row."""
+    preds = list(conjuncts)
+    if not preds:
+        return lambda row: True
+    if len(preds) == 1:
+        return preds[0].evaluate
+
+    def _all(row: Row) -> bool:
+        return all(p.evaluate(row) for p in preds)
+
+    return _all

@@ -1,0 +1,254 @@
+"""Columnar component tables — the storage engine of the game database.
+
+Each component type is stored as one :class:`ComponentTable`: a set of
+parallel column lists plus an entity-id column, with a hash map from entity
+id to row slot.  This is the classic "structure of arrays" layout game
+engines use for cache efficiency, and simultaneously the heap-file layout a
+column store would use.
+
+Deletions swap the last row into the vacated slot (O(1)), so row order is
+unstable; stable identity is the entity id.  Every mutation bumps a version
+counter and notifies registered observers (indexes, aggregate views,
+replication) with fine-grained deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.component import ComponentSchema
+from repro.errors import ComponentMissingError, DuplicateComponentError, SchemaError
+
+#: Observer callback signature: (kind, entity_id, field_values) where kind is
+#: "insert" | "delete" | "update".  For updates, field_values maps each
+#: changed field to (old, new); for insert/delete it maps field -> value.
+TableObserver = Callable[[str, int, Mapping[str, Any]], None]
+
+
+class ComponentTable:
+    """Columnar storage for all instances of one component type.
+
+    The table behaves like a relation keyed by entity id.  All reads hand
+    out copies or immutable views; mutation goes through :meth:`insert`,
+    :meth:`update`, and :meth:`delete` so observers always see every delta.
+    """
+
+    def __init__(self, schema: ComponentSchema):
+        self.schema = schema
+        self._columns: dict[str, list[Any]] = {
+            name: [] for name in schema.field_names
+        }
+        self._entities: list[int] = []
+        self._slot_of: dict[int, int] = {}
+        self._observers: list[TableObserver] = []
+        self.version = 0
+
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, observer: TableObserver) -> None:
+        """Register a delta observer (index, aggregate view, replicator)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: TableObserver) -> None:
+        """Unregister a previously-added observer."""
+        self._observers.remove(observer)
+
+    def _notify(self, kind: str, entity_id: int, payload: Mapping[str, Any]) -> None:
+        self.version += 1
+        for obs in self._observers:
+            obs(kind, entity_id, payload)
+
+    # -- size / membership ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: int) -> bool:
+        return entity_id in self._slot_of
+
+    @property
+    def entity_ids(self) -> tuple[int, ...]:
+        """Snapshot of all entity ids currently in the table."""
+        return tuple(self._entities)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, entity_id: int, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert a validated row for ``entity_id``; returns the stored row."""
+        if entity_id in self._slot_of:
+            raise DuplicateComponentError(
+                f"entity {entity_id} already has component {self.schema.name}"
+            )
+        row = self.schema.validate(values)
+        slot = len(self._entities)
+        self._entities.append(entity_id)
+        self._slot_of[entity_id] = slot
+        for fname in self.schema.field_names:
+            self._columns[fname].append(row[fname])
+        self._notify("insert", entity_id, row)
+        return row
+
+    def update(self, entity_id: int, values: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply a partial update; returns mapping field -> (old, new).
+
+        No-op fields (new value equals old) are dropped from the delta and
+        do not wake observers, which keeps index maintenance proportional
+        to *real* change — important when scripts write unchanged values
+        every frame.
+        """
+        slot = self._require_slot(entity_id)
+        updates = self.schema.validate_update(values)
+        delta: dict[str, tuple[Any, Any]] = {}
+        for fname, new in updates.items():
+            old = self._columns[fname][slot]
+            if old != new:
+                delta[fname] = (old, new)
+                self._columns[fname][slot] = new
+        if delta:
+            self._notify("update", entity_id, delta)
+        return delta
+
+    def update_column(
+        self, field: str, entity_ids: Iterable[int], values: Iterable[Any]
+    ) -> int:
+        """Set-at-a-time update of one column; returns changed-row count.
+
+        This is the columnar fast path used by
+        :class:`~repro.core.systems.BatchSystem`: values are validated and
+        written directly into the column array.  Observers still receive
+        per-entity deltas (indexes must stay exact), but when no observer
+        is registered the loop collapses to raw column writes — the
+        "join-processing on GPUs" execution style the tutorial describes.
+        """
+        fdef = self.schema.field(field)
+        col = self._columns[field]
+        changed = 0
+        if self._observers:
+            for entity_id, value in zip(entity_ids, values):
+                slot = self._require_slot(entity_id)
+                new = fdef.validate(value)
+                old = col[slot]
+                if old != new:
+                    col[slot] = new
+                    changed += 1
+                    self._notify("update", entity_id, {field: (old, new)})
+        else:
+            for entity_id, value in zip(entity_ids, values):
+                slot = self._require_slot(entity_id)
+                new = fdef.validate(value)
+                if col[slot] != new:
+                    col[slot] = new
+                    changed += 1
+            self.version += changed
+        return changed
+
+    def delete(self, entity_id: int) -> dict[str, Any]:
+        """Remove the row for ``entity_id``; returns the removed values."""
+        slot = self._require_slot(entity_id)
+        row = {
+            fname: self._columns[fname][slot]
+            for fname in self.schema.field_names
+        }
+        last = len(self._entities) - 1
+        moved_entity = self._entities[last]
+        for fname in self.schema.field_names:
+            col = self._columns[fname]
+            col[slot] = col[last]
+            col.pop()
+        self._entities[slot] = moved_entity
+        self._entities.pop()
+        self._slot_of[moved_entity] = slot
+        del self._slot_of[entity_id]
+        if entity_id == moved_entity and self._entities and slot < len(self._entities):
+            # entity was the last row; nothing actually moved
+            pass
+        self._notify("delete", entity_id, row)
+        return row
+
+    # -- reads --------------------------------------------------------------
+
+    def get(self, entity_id: int) -> dict[str, Any]:
+        """Return a copy of the row for ``entity_id``."""
+        slot = self._require_slot(entity_id)
+        return {
+            fname: self._columns[fname][slot]
+            for fname in self.schema.field_names
+        }
+
+    def get_field(self, entity_id: int, field: str) -> Any:
+        """Return one field value for ``entity_id`` (O(1))."""
+        slot = self._require_slot(entity_id)
+        try:
+            return self._columns[field][slot]
+        except KeyError:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no field {field!r}"
+            ) from None
+
+    def gather(self, field: str, entity_ids: Iterable[int]) -> list[Any]:
+        """Batch read of one field for many entities (columnar fast path)."""
+        try:
+            col = self._columns[field]
+        except KeyError:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no field {field!r}"
+            ) from None
+        slot_of = self._slot_of
+        try:
+            return [col[slot_of[eid]] for eid in entity_ids]
+        except KeyError as exc:
+            raise ComponentMissingError(
+                f"entity {exc.args[0]} has no component {self.schema.name}"
+            ) from None
+
+    def column(self, field: str) -> tuple[Any, ...]:
+        """Snapshot of an entire column (row order parallel to entity_ids)."""
+        try:
+            return tuple(self._columns[field])
+        except KeyError:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no field {field!r}"
+            ) from None
+
+    def columns(self, fields: Iterable[str]) -> dict[str, tuple[Any, ...]]:
+        """Snapshot of several columns at once (a batch read for systems)."""
+        return {f: self.column(f) for f in fields}
+
+    def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(entity_id, row_copy)`` over a snapshot of the table.
+
+        The snapshot is taken up front, so callers may mutate the table
+        while iterating — the exact hazard naive per-frame scripts hit.
+        """
+        ids = tuple(self._entities)
+        snap = {f: tuple(col) for f, col in self._columns.items()}
+        for slot, entity_id in enumerate(ids):
+            yield entity_id, {f: snap[f][slot] for f in snap}
+
+    def scan(
+        self, predicate: Callable[[dict[str, Any]], bool] | None = None
+    ) -> list[int]:
+        """Full scan returning entity ids whose rows satisfy ``predicate``.
+
+        This is the O(n) fallback the planner uses when no index applies.
+        """
+        if predicate is None:
+            return list(self._entities)
+        out = []
+        for entity_id, row in self.rows():
+            if predicate(row):
+                out.append(entity_id)
+        return out
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_slot(self, entity_id: int) -> int:
+        try:
+            return self._slot_of[entity_id]
+        except KeyError:
+            raise ComponentMissingError(
+                f"entity {entity_id} has no component {self.schema.name}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentTable({self.schema.name}, rows={len(self)})"

@@ -1,0 +1,397 @@
+"""`GameWorld` — the facade tying the game database together.
+
+The world owns: the entity allocator, one columnar table per registered
+component type, per-table index managers, the query planner, the event
+bus, the frame clock, and the system scheduler.  One call —
+:meth:`GameWorld.tick` — advances the simulation a frame: systems run in
+priority order, deferred events flush, and the frame budget is closed.
+
+This is the "in-memory database layer that processes all actions"
+described in the tutorial's Engineering Challenges section; the
+persistence package journals its mutations via a change hook.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.aggregates import AggregateView, TopKView
+from repro.core.clock import FrameBudget, FrameClock
+from repro.core.component import ComponentSchema
+from repro.core.entity import EntityAllocator, EntityHandle
+from repro.core.events import Event, EventBus
+from repro.core.indexes import IndexAdvisor, IndexManager
+from repro.core.planner import Planner
+from repro.core.predicates import Predicate
+from repro.core.query import Query, nearest_neighbors
+from repro.core.systems import (
+    BatchSystem,
+    FunctionSystem,
+    PerEntitySystem,
+    System,
+    SystemScheduler,
+)
+from repro.core.table import ComponentTable
+from repro.errors import UnknownComponentError
+
+#: Change-hook signature used by the persistence layer:
+#: (op, entity_id, component, payload) with op in
+#: "spawn" | "destroy" | "attach" | "detach" | "update".
+ChangeHook = Callable[[str, int, str | None, Mapping[str, Any] | None], None]
+
+
+class GameWorld:
+    """The authoritative in-memory game database.
+
+    Parameters
+    ----------
+    dt:
+        Fixed simulation timestep in seconds (default 1/30).
+    frame_budget_seconds:
+        Wall-clock budget per frame for the scheduler's budget report;
+        defaults to ``dt``.
+    """
+
+    def __init__(self, dt: float = 1.0 / 30.0, frame_budget_seconds: float | None = None):
+        self.clock = FrameClock(dt)
+        self.budget = FrameBudget(frame_budget_seconds or dt)
+        self.events = EventBus()
+        self.scheduler = SystemScheduler()
+        self.index_advisor = IndexAdvisor()
+        self.planner = Planner(self)
+        self._allocator = EntityAllocator()
+        self._tables: dict[str, ComponentTable] = {}
+        self._indexes: dict[str, IndexManager] = {}
+        self._components_of: dict[int, set[str]] = {}
+        self._change_hooks: list[ChangeHook] = []
+
+    # ------------------------------------------------------------------ schema
+
+    def register_component(self, schema: ComponentSchema) -> ComponentTable:
+        """Register a component type; returns its table."""
+        if schema.name in self._tables:
+            raise UnknownComponentError(
+                f"component {schema.name!r} already registered"
+            )
+        table = ComponentTable(schema)
+        self._tables[schema.name] = table
+        self._indexes[schema.name] = IndexManager(table)
+        return table
+
+    def component_names(self) -> tuple[str, ...]:
+        """All registered component type names."""
+        return tuple(self._tables)
+
+    def table(self, component: str) -> ComponentTable:
+        """The columnar table backing ``component``."""
+        try:
+            return self._tables[component]
+        except KeyError:
+            raise UnknownComponentError(
+                f"component {component!r} is not registered; "
+                f"known: {sorted(self._tables)}"
+            ) from None
+
+    def index_manager(self, component: str) -> IndexManager:
+        """The index manager for ``component``."""
+        self.table(component)
+        return self._indexes[component]
+
+    # ------------------------------------------------------------- change hooks
+
+    def add_change_hook(self, hook: ChangeHook) -> None:
+        """Register a hook receiving every logical state change."""
+        self._change_hooks.append(hook)
+
+    def remove_change_hook(self, hook: ChangeHook) -> None:
+        """Unregister a change hook."""
+        self._change_hooks.remove(hook)
+
+    def _emit_change(
+        self,
+        op: str,
+        entity_id: int,
+        component: str | None = None,
+        payload: Mapping[str, Any] | None = None,
+    ) -> None:
+        for hook in self._change_hooks:
+            hook(op, entity_id, component, payload)
+
+    # -------------------------------------------------------------- entity CRUD
+
+    def spawn(self, **components: Mapping[str, Any]) -> int:
+        """Create an entity with the given components.
+
+        >>> eid = world.spawn(Position={"x": 0, "y": 0}, Health={"hp": 50})
+        """
+        entity_id = self._allocator.allocate()
+        self._components_of[entity_id] = set()
+        self._emit_change("spawn", entity_id)
+        for comp, values in components.items():
+            self.attach(entity_id, comp, **values)
+        return entity_id
+
+    def spawn_handle(self, **components: Mapping[str, Any]) -> EntityHandle:
+        """Like :meth:`spawn` but returns an :class:`EntityHandle`."""
+        return EntityHandle(self, self.spawn(**components))
+
+    def destroy(self, entity_id: int) -> None:
+        """Destroy an entity, detaching all of its components."""
+        self._allocator.require(entity_id)
+        for comp in tuple(self._components_of.get(entity_id, ())):
+            self.detach(entity_id, comp)
+        del self._components_of[entity_id]
+        self._allocator.free(entity_id)
+        self._emit_change("destroy", entity_id)
+
+    def exists(self, entity_id: int) -> bool:
+        """Whether the entity id refers to a live entity."""
+        return self._allocator.is_live(entity_id)
+
+    @property
+    def entity_count(self) -> int:
+        """Number of live entities."""
+        return self._allocator.live_count
+
+    def entities(self) -> tuple[int, ...]:
+        """Snapshot of all live entity ids."""
+        return self._allocator.live_ids()
+
+    def handle(self, entity_id: int) -> EntityHandle:
+        """Wrap an existing entity id in a handle (validating it)."""
+        self._allocator.require(entity_id)
+        return EntityHandle(self, entity_id)
+
+    def components_of(self, entity_id: int) -> tuple[str, ...]:
+        """Names of components attached to ``entity_id``."""
+        self._allocator.require(entity_id)
+        return tuple(sorted(self._components_of[entity_id]))
+
+    # --------------------------------------------------------- component access
+
+    def attach(self, entity_id: int, component: str, **values: Any) -> dict[str, Any]:
+        """Attach a component instance to an entity."""
+        self._allocator.require(entity_id)
+        row = self.table(component).insert(entity_id, values)
+        self._components_of[entity_id].add(component)
+        self._emit_change("attach", entity_id, component, row)
+        return row
+
+    def detach(self, entity_id: int, component: str) -> dict[str, Any]:
+        """Detach a component from an entity; returns its last values."""
+        self._allocator.require(entity_id)
+        row = self.table(component).delete(entity_id)
+        self._components_of[entity_id].discard(component)
+        self._emit_change("detach", entity_id, component, row)
+        return row
+
+    def has(self, entity_id: int, component: str) -> bool:
+        """Whether the entity carries ``component``."""
+        return self.exists(entity_id) and entity_id in self.table(component)
+
+    def get(self, entity_id: int, component: str) -> dict[str, Any]:
+        """Copy of an entity's component row."""
+        self._allocator.require(entity_id)
+        return self.table(component).get(entity_id)
+
+    def get_field(self, entity_id: int, component: str, field: str) -> Any:
+        """One component field (O(1))."""
+        self._allocator.require(entity_id)
+        return self.table(component).get_field(entity_id, field)
+
+    def set(self, entity_id: int, component: str, **values: Any) -> dict[str, Any]:
+        """Update component fields; returns the delta ``{field: (old, new)}``."""
+        self._allocator.require(entity_id)
+        delta = self.table(component).update(entity_id, values)
+        if delta:
+            self._emit_change(
+                "update", entity_id, component, {f: nv for f, (_o, nv) in delta.items()}
+            )
+        return delta
+
+    def set_column(
+        self,
+        component: str,
+        field: str,
+        entity_ids: "Iterable[int]",
+        values: "Iterable[Any]",
+    ) -> int:
+        """Set-at-a-time write of one field across many entities.
+
+        The columnar fast path behind :class:`BatchSystem`: index and
+        aggregate maintenance stay exact (the table emits per-entity
+        deltas to its observers), and change hooks fire per entity only
+        when any are registered.
+        """
+        table = self.table(component)
+        if not self._change_hooks:
+            return table.update_column(field, entity_ids, values)
+        ids = list(entity_ids)
+        vals = list(values)
+        before = table.gather(field, ids)
+        changed = table.update_column(field, ids, vals)
+        if changed:
+            for eid, old, new in zip(ids, before, vals):
+                if old != new:
+                    self._emit_change("update", eid, component, {field: new})
+        return changed
+
+    # ----------------------------------------------------------------- queries
+
+    def query(self, component: str) -> Query:
+        """Start a declarative query rooted at ``component``."""
+        return Query(self, component)
+
+    def nearest(
+        self, component: str, cx: float, cy: float, k: int = 1
+    ) -> list[tuple[int, float]]:
+        """K-nearest entities carrying ``component`` to a point."""
+        return nearest_neighbors(self, component, cx, cy, k)
+
+    # -------------------------------------------------------------- aggregates
+
+    def create_aggregate(
+        self,
+        component: str,
+        agg: str,
+        field: str | None = None,
+        where: Predicate | None = None,
+        group_by: str | None = None,
+    ) -> AggregateView:
+        """Create an incrementally-maintained aggregate view."""
+        return AggregateView(self.table(component), agg, field, where, group_by)
+
+    def create_topk(
+        self,
+        component: str,
+        field: str,
+        k: int,
+        largest: bool = True,
+        where: Predicate | None = None,
+    ) -> TopKView:
+        """Create an incrementally-maintained TOP-K view."""
+        return TopKView(self.table(component), field, k, largest, where)
+
+    # ------------------------------------------------------------------ systems
+
+    def add_system(self, system: System, priority: int = 100) -> System:
+        """Register a system with the scheduler."""
+        return self.scheduler.add(system, priority)
+
+    def add_function_system(
+        self,
+        name: str,
+        fn: Callable[["GameWorld", float], None],
+        priority: int = 100,
+        interval: int = 1,
+    ) -> System:
+        """Register a plain function as a system."""
+        return self.scheduler.add(FunctionSystem(name, fn, interval), priority)
+
+    def add_per_entity_system(
+        self,
+        name: str,
+        components: Iterable[str],
+        fn: Callable[["GameWorld", int, float], None],
+        priority: int = 100,
+        interval: int = 1,
+    ) -> System:
+        """Register a tuple-at-a-time system."""
+        return self.scheduler.add(
+            PerEntitySystem(name, tuple(components), fn, interval), priority
+        )
+
+    def add_batch_system(
+        self,
+        name: str,
+        reads: Iterable[str],
+        fn: Callable[..., dict | None],
+        priority: int = 100,
+        interval: int = 1,
+    ) -> System:
+        """Register a set-at-a-time (columnar) system."""
+        return self.scheduler.add(
+            BatchSystem(name, tuple(reads), fn, interval), priority
+        )
+
+    # --------------------------------------------------------------------- tick
+
+    def tick(self) -> int:
+        """Advance the world one frame; returns the new tick number."""
+        tick = self.clock.advance()
+        self.scheduler.run_tick(self, tick, self.clock.dt, self.budget)
+        self.events.flush_deferred()
+        self.budget.end_frame()
+        return tick
+
+    def run(self, frames: int) -> None:
+        """Advance ``frames`` frames."""
+        for _ in range(frames):
+            self.tick()
+
+    def emit(self, topic: str, data: dict | None = None, source: int | None = None, importance: float = 0.0) -> int:
+        """Publish a game event stamped with the current tick."""
+        return self.events.publish(
+            Event(topic, data or {}, source=source, tick=self.clock.tick, importance=importance)
+        )
+
+    # ---------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deep-copyable snapshot of all entity/component state.
+
+        Used by checkpointing and by tests asserting recovery fidelity.
+        The snapshot contains only plain python data.
+        """
+        return {
+            "entities": {
+                eid: sorted(comps) for eid, comps in self._components_of.items()
+            },
+            "tables": {
+                name: {eid: row for eid, row in table.rows()}
+                for name, table in self._tables.items()
+            },
+            "tick": self.clock.tick,
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Restore entity/component state from :meth:`snapshot`.
+
+        Existing entities are destroyed first.  Entity ids are preserved
+        exactly (the allocator is rebuilt), so references inside component
+        data remain valid.
+        """
+        for eid in tuple(self._components_of):
+            self.destroy(eid)
+        self._allocator = EntityAllocator()
+        # Rebuild allocator state to reproduce the exact ids.
+        from repro.core.entity import unpack_id
+
+        entities = snapshot["entities"]
+        max_slot = -1
+        for eid in entities:
+            slot, _gen = unpack_id(eid)
+            max_slot = max(max_slot, slot)
+        self._allocator._generations = [0] * (max_slot + 1)
+        used_slots = set()
+        for eid in entities:
+            slot, gen = unpack_id(eid)
+            self._allocator._generations[slot] = gen
+            self._allocator._live.add(eid)
+            used_slots.add(slot)
+        self._allocator._free = [
+            s for s in range(max_slot + 1) if s not in used_slots
+        ]
+        for eid in entities:
+            self._components_of[eid] = set()
+            self._emit_change("spawn", eid)
+        for name, rows in snapshot["tables"].items():
+            for eid, row in rows.items():
+                self.attach(eid, name, **row)
+        self.clock.rewind_to(snapshot.get("tick", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GameWorld(entities={self.entity_count}, "
+            f"components={len(self._tables)}, tick={self.clock.tick})"
+        )

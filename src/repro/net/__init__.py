@@ -1,0 +1,42 @@
+"""Network simulation substrate: deterministic message fabric, replication
+protocol, authoritative server, predicting client, dead reckoning."""
+
+from repro.net.client import ClientStats, ReplicationClient
+from repro.net.deadreckon import (
+    DeadReckoningReceiver,
+    DeadReckoningSender,
+    DeadReckoningStats,
+    MotionSample,
+)
+from repro.net.protocol import (
+    ENVELOPE_BYTES,
+    EntityEnter,
+    EntityExit,
+    InputAck,
+    InputCommand,
+    StateUpdate,
+    VALUE_BYTES,
+)
+from repro.net.server import ReplicationServer
+from repro.net.simnet import LinkConfig, LinkStats, Message, SimNetwork
+
+__all__ = [
+    "ClientStats",
+    "ReplicationClient",
+    "DeadReckoningReceiver",
+    "DeadReckoningSender",
+    "DeadReckoningStats",
+    "MotionSample",
+    "ENVELOPE_BYTES",
+    "EntityEnter",
+    "EntityExit",
+    "InputAck",
+    "InputCommand",
+    "StateUpdate",
+    "VALUE_BYTES",
+    "ReplicationServer",
+    "LinkConfig",
+    "LinkStats",
+    "Message",
+    "SimNetwork",
+]

@@ -1,0 +1,146 @@
+"""Game client: local replica, input prediction, and reconciliation.
+
+The client keeps a dictionary replica of the entities the server has
+shown it.  For its *own* avatar it practises client-side prediction: an
+input is applied locally the moment it is sent, and when the
+authoritative :class:`~repro.net.protocol.InputAck` arrives, the replica
+snaps to the server value and unacknowledged inputs replay on top — the
+standard technique that hides round-trip latency from the player.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    EntityEnter,
+    EntityExit,
+    InputAck,
+    InputCommand,
+    StateUpdate,
+)
+from repro.net.simnet import SimNetwork
+
+#: Local predictor: fn(current_fields, command) -> new fields (partial).
+Predictor = Callable[[dict[str, Any], InputCommand], dict[str, Any]]
+
+
+@dataclass
+class ClientStats:
+    """Client-side protocol accounting."""
+
+    updates_applied: int = 0
+    enters: int = 0
+    exits: int = 0
+    inputs_sent: int = 0
+    reconciliations: int = 0
+    mispredictions: int = 0
+
+
+class ReplicationClient:
+    """One client endpoint of the replication protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        network: SimNetwork,
+        server: str = "server",
+        avatar: int | None = None,
+    ):
+        self.name = name
+        self.network = network
+        self.server = server
+        self.avatar = avatar
+        network.add_endpoint(name)
+        #: entity -> replicated field values as last seen/predicted
+        self.replica: dict[int, dict[str, Any]] = {}
+        self._predictors: dict[str, Predictor] = {}
+        self._pending: list[InputCommand] = []  # unacked inputs, seq order
+        self._seq = 0
+        self._tick = 0
+        self.stats = ClientStats()
+
+    # -- configuration ------------------------------------------------------------
+
+    def register_predictor(self, action: str, predictor: Predictor) -> None:
+        """Install the local prediction function for one action."""
+        self._predictors[action] = predictor
+
+    # -- input ----------------------------------------------------------------------
+
+    def send_input(self, action: str, **args: Any) -> InputCommand:
+        """Send an input, applying local prediction immediately."""
+        self._seq += 1
+        cmd = InputCommand(
+            client=self.name, seq=self._seq, action=action, args=args, tick=self._tick
+        )
+        self.network.send(self.name, self.server, cmd, cmd.wire_size())
+        self.stats.inputs_sent += 1
+        if self.avatar is not None:
+            predictor = self._predictors.get(action)
+            if predictor is not None:
+                current = self.replica.setdefault(self.avatar, {})
+                current.update(predictor(dict(current), cmd))
+                self._pending.append(cmd)
+        return cmd
+
+    # -- receive loop -----------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Drain the inbox and apply messages to the replica."""
+        self._tick += 1
+        for msg in self.network.receive(self.name):
+            payload = msg.payload
+            if isinstance(payload, StateUpdate):
+                self._apply_update(payload)
+            elif isinstance(payload, EntityEnter):
+                self.replica[payload.entity] = dict(payload.fields)
+                self.stats.enters += 1
+            elif isinstance(payload, EntityExit):
+                self.replica.pop(payload.entity, None)
+                self.stats.exits += 1
+            elif isinstance(payload, InputAck):
+                self._reconcile(payload)
+
+    def _apply_update(self, update: StateUpdate) -> None:
+        # Updates for the predicted avatar are handled via acks; applying
+        # them blindly would undo prediction.
+        if update.entity == self.avatar and self._pending:
+            return
+        state = self.replica.setdefault(update.entity, {})
+        state.update(update.fields)
+        self.stats.updates_applied += 1
+
+    def _reconcile(self, ack: InputAck) -> None:
+        self._pending = [c for c in self._pending if c.seq > ack.seq]
+        if self.avatar is None:
+            return
+        state = self.replica.setdefault(self.avatar, {})
+        predicted = dict(state)
+        state.clear()
+        state.update(ack.authoritative)
+        # Replay unacknowledged inputs on top of the authoritative state.
+        for cmd in self._pending:
+            predictor = self._predictors.get(cmd.action)
+            if predictor is not None:
+                state.update(predictor(dict(state), cmd))
+        self.stats.reconciliations += 1
+        if predicted != state:
+            self.stats.mispredictions += 1
+
+    # -- inspection --------------------------------------------------------------------
+
+    def known_entities(self) -> list[int]:
+        """Entities currently in the replica."""
+        return sorted(self.replica)
+
+    def field_of(self, entity: int, field_name: str) -> Any:
+        """One replicated field value."""
+        try:
+            return self.replica[entity][field_name]
+        except KeyError:
+            raise NetError(
+                f"client {self.name!r} has no {field_name!r} for entity {entity}"
+            ) from None

@@ -1,0 +1,84 @@
+"""Wire protocol for the client/server replication layer.
+
+Plain dataclasses with explicit size accounting — the simulator bills
+bandwidth from ``wire_size()``, so the E7/E12 bandwidth numbers reflect
+message content rather than python object overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Fixed per-message envelope cost (headers, framing) in bytes.
+ENVELOPE_BYTES = 16
+#: Approximate encoded size of one field value.
+VALUE_BYTES = 8
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """Server -> client: replicated field values for one entity."""
+
+    entity: int
+    fields: dict[str, Any]
+    tick: int
+    tier: str = "strong"  # consistency tier that scheduled this update
+
+    def wire_size(self) -> int:
+        """Simulated encoded size in bytes."""
+        return ENVELOPE_BYTES + 8 + len(self.fields) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class EntityEnter:
+    """Server -> client: an entity entered the client's area of interest."""
+
+    entity: int
+    fields: dict[str, Any]
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.fields) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class EntityExit:
+    """Server -> client: an entity left the client's area of interest."""
+
+    entity: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8
+
+
+@dataclass(frozen=True)
+class InputCommand:
+    """Client -> server: one player input.
+
+    ``seq`` lets the client reconcile its prediction when the
+    authoritative result comes back.
+    """
+
+    client: str
+    seq: int
+    action: str
+    args: dict[str, Any] = field(default_factory=dict)
+    tick: int = 0
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.args) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class InputAck:
+    """Server -> client: authoritative result of an input command."""
+
+    seq: int
+    accepted: bool
+    authoritative: dict[str, Any]
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.authoritative) * (VALUE_BYTES + 4)

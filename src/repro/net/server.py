@@ -1,0 +1,195 @@
+"""Authoritative replication server.
+
+Owns the truth (a :class:`~repro.core.world.GameWorld`), applies client
+inputs, and pushes state to clients through the simulated network under a
+:class:`~repro.consistency.levels.ConsistencyPolicy`:
+
+* STRONG fields replicate the tick they change;
+* COARSE fields replicate on a cadence, quantised;
+* EVENTUAL fields replicate on a slow cadence.
+
+Replication is scoped by an :class:`~repro.consistency.interest.
+InterestManager`: clients only hear about entities in their AOI, and get
+EntityEnter/EntityExit messages at the boundary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.consistency.interest import InterestManager
+from repro.consistency.levels import ConsistencyLevel, ConsistencyPolicy
+from repro.errors import NetError
+from repro.net.protocol import (
+    EntityEnter,
+    EntityExit,
+    InputAck,
+    InputCommand,
+    StateUpdate,
+)
+from repro.net.simnet import SimNetwork
+
+#: Handler signature for input commands:
+#: fn(world, client_name, command) -> dict of authoritative field values.
+InputHandler = Callable[[Any, str, InputCommand], dict[str, Any]]
+
+
+class ReplicationServer:
+    """The server endpoint of the replication protocol."""
+
+    def __init__(
+        self,
+        world: Any,
+        network: SimNetwork,
+        policy: ConsistencyPolicy,
+        interest: InterestManager | None = None,
+        replicated_components: tuple[str, ...] = ("Position",),
+        coarse_interval: int = 5,
+        eventual_interval: int = 30,
+        quantum: float = 0.5,
+        name: str = "server",
+    ):
+        self.world = world
+        self.network = network
+        self.policy = policy
+        self.interest = interest
+        self.replicated_components = replicated_components
+        self.coarse_interval = coarse_interval
+        self.eventual_interval = eventual_interval
+        self.quantum = quantum
+        self.name = name
+        network.add_endpoint(name)
+        self._clients: dict[str, int] = {}  # client name -> avatar entity
+        self._input_handlers: dict[str, InputHandler] = {}
+        self._dirty: dict[int, dict[str, Any]] = defaultdict(dict)
+        self._known: dict[str, set[int]] = defaultdict(set)  # client -> entities
+        self._tick = 0
+        world.add_change_hook(self._on_change)
+
+    # -- registration ----------------------------------------------------------------
+
+    def register_client(self, client_name: str, avatar_entity: int) -> None:
+        """Attach a client endpoint and its avatar entity."""
+        if client_name in self._clients:
+            raise NetError(f"client {client_name!r} already registered")
+        self._clients[client_name] = avatar_entity
+
+    def register_input(self, action: str, handler: InputHandler) -> None:
+        """Install the authoritative handler for one input action."""
+        self._input_handlers[action] = handler
+
+    def avatar_of(self, client_name: str) -> int:
+        """The avatar entity of a client."""
+        try:
+            return self._clients[client_name]
+        except KeyError:
+            raise NetError(f"unknown client {client_name!r}") from None
+
+    # -- change capture -----------------------------------------------------------------
+
+    def _on_change(
+        self, op: str, entity_id: int, component: str | None, payload: Any
+    ) -> None:
+        if op in ("update", "attach") and component in self.replicated_components:
+            self._dirty[entity_id].update(payload or {})
+        elif op == "destroy":
+            self._dirty.pop(entity_id, None)
+
+    # -- per-tick driver -----------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One server frame: apply inputs, update AOIs, replicate."""
+        self._tick += 1
+        self._process_inputs()
+        self._update_interest()
+        self._replicate()
+
+    def _process_inputs(self) -> None:
+        for msg in self.network.receive(self.name):
+            cmd = msg.payload
+            if not isinstance(cmd, InputCommand):
+                continue
+            handler = self._input_handlers.get(cmd.action)
+            if handler is None:
+                ack = InputAck(cmd.seq, False, {}, self._tick)
+            else:
+                authoritative = handler(self.world, cmd.client, cmd)
+                ack = InputAck(cmd.seq, True, authoritative, self._tick)
+            self.network.send(self.name, cmd.client, ack, ack.wire_size())
+
+    def _update_interest(self) -> None:
+        if self.interest is None:
+            return
+        positions = {}
+        table = self.world.table("Position")
+        for eid in table.entity_ids:
+            row = table.get(eid)
+            positions[eid] = (row["x"], row["y"])
+        observers = list(self._clients.values())
+        events = self.interest.update(observers, positions)
+        avatar_to_client = {v: k for k, v in self._clients.items()}
+        for event in events:
+            client = avatar_to_client.get(event.observer)
+            if client is None:
+                continue
+            if event.kind == "enter":
+                fields = self._full_state(event.subject)
+                self._known[client].add(event.subject)
+                msg = EntityEnter(event.subject, fields, self._tick)
+            else:
+                self._known[client].discard(event.subject)
+                msg = EntityExit(event.subject, self._tick)
+            self.network.send(self.name, client, msg, msg.wire_size())
+
+    def _replicate(self) -> None:
+        if not self._dirty:
+            return
+        for entity_id, fields in list(self._dirty.items()):
+            due: dict[str, Any] = {}
+            tiers: set[str] = set()
+            for fname, value in list(fields.items()):
+                level = self.policy.level_of(fname)
+                if level == ConsistencyLevel.STRONG:
+                    due[fname] = value
+                    tiers.add("strong")
+                    del fields[fname]
+                elif level == ConsistencyLevel.COARSE:
+                    if self._tick % self.coarse_interval == 0:
+                        due[fname] = self._quantise(value)
+                        tiers.add("coarse")
+                        del fields[fname]
+                else:
+                    if self._tick % self.eventual_interval == 0:
+                        due[fname] = value
+                        tiers.add("eventual")
+                        del fields[fname]
+            if not fields:
+                del self._dirty[entity_id]
+            if not due:
+                continue
+            tier = sorted(tiers)[0]
+            update = StateUpdate(entity_id, due, self._tick, tier)
+            for client in self._recipients(entity_id):
+                self.network.send(self.name, client, update, update.wire_size())
+
+    def _recipients(self, entity_id: int) -> list[str]:
+        if self.interest is None:
+            return list(self._clients)
+        out = []
+        for client, avatar in self._clients.items():
+            if entity_id == avatar or entity_id in self.interest.aoi_of(avatar):
+                out.append(client)
+        return out
+
+    def _full_state(self, entity_id: int) -> dict[str, Any]:
+        fields: dict[str, Any] = {}
+        for comp in self.replicated_components:
+            if self.world.has(entity_id, comp):
+                fields.update(self.world.get(entity_id, comp))
+        return fields
+
+    def _quantise(self, value: Any) -> Any:
+        if isinstance(value, (int, float)) and self.quantum > 0:
+            return round(value / self.quantum) * self.quantum
+        return value

@@ -1,0 +1,168 @@
+"""Deterministic discrete-event network simulator.
+
+Models the transport between game clients and the authoritative server:
+per-link latency (fixed + deterministic jitter), drop probability, and
+bandwidth accounting.  Time is the server tick; a message sent at tick t
+over a link with latency L arrives in the recipient's inbox at tick
+``t + L`` (or never, if dropped).
+
+Determinism: jitter and loss come from a seeded ``random.Random`` per
+link, so runs replay exactly — a property every test in
+:mod:`tests.net` leans on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import NetError
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the wire."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int
+    sent_tick: int
+    deliver_tick: int
+    seq: int
+
+
+@dataclass
+class LinkConfig:
+    """Link parameters between two endpoints.
+
+    latency_ticks:
+        Base one-way latency in ticks.
+    jitter_ticks:
+        Uniform extra delay in [0, jitter_ticks].
+    loss_rate:
+        Probability a message is silently dropped.
+    """
+
+    latency_ticks: int = 2
+    jitter_ticks: int = 0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_ticks < 0 or self.jitter_ticks < 0:
+            raise NetError("latency/jitter must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise NetError("loss_rate must be in [0, 1)")
+
+
+@dataclass
+class LinkStats:
+    """Per-link accounting."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+
+class SimNetwork:
+    """The message fabric between named endpoints."""
+
+    def __init__(self, seed: int = 0):
+        self._links: dict[tuple[str, str], LinkConfig] = {}
+        self._rngs: dict[tuple[str, str], random.Random] = {}
+        self.stats: dict[tuple[str, str], LinkStats] = {}
+        self._in_flight: list[tuple[int, int, Message]] = []  # (deliver, seq, msg)
+        self._inboxes: dict[str, list[Message]] = {}
+        self._seq = 0
+        self._seed = seed
+        self.now = 0
+
+    # -- topology -----------------------------------------------------------------
+
+    def add_endpoint(self, name: str) -> None:
+        """Register an endpoint (idempotent)."""
+        self._inboxes.setdefault(name, [])
+
+    def connect(self, a: str, b: str, config: LinkConfig | None = None) -> None:
+        """Create a bidirectional link between two endpoints."""
+        self.add_endpoint(a)
+        self.add_endpoint(b)
+        cfg = config or LinkConfig()
+        for pair in ((a, b), (b, a)):
+            self._links[pair] = cfg
+            self._rngs[pair] = random.Random(
+                (self._seed, pair[0], pair[1]).__hash__()
+            )
+            self.stats[pair] = LinkStats()
+
+    def endpoints(self) -> list[str]:
+        """All registered endpoint names."""
+        return sorted(self._inboxes)
+
+    # -- send/receive ----------------------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 64) -> bool:
+        """Send a message; returns False when the link dropped it."""
+        link = self._links.get((src, dst))
+        if link is None:
+            raise NetError(f"no link {src} -> {dst}")
+        stats = self.stats[(src, dst)]
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+        rng = self._rngs[(src, dst)]
+        if link.loss_rate and rng.random() < link.loss_rate:
+            stats.dropped += 1
+            return False
+        jitter = rng.randint(0, link.jitter_ticks) if link.jitter_ticks else 0
+        deliver = self.now + max(1, link.latency_ticks + jitter)
+        self._seq += 1
+        msg = Message(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_tick=self.now,
+            deliver_tick=deliver,
+            seq=self._seq,
+        )
+        heapq.heappush(self._in_flight, (deliver, msg.seq, msg))
+        return True
+
+    def broadcast(
+        self, src: str, dsts: list[str], payload: Any, size_bytes: int = 64
+    ) -> int:
+        """Send to many endpoints; returns messages actually queued."""
+        return sum(
+            1 for dst in dsts if self.send(src, dst, payload, size_bytes)
+        )
+
+    def advance(self, ticks: int = 1) -> int:
+        """Advance simulated time, moving due messages into inboxes."""
+        delivered = 0
+        for _ in range(ticks):
+            self.now += 1
+            while self._in_flight and self._in_flight[0][0] <= self.now:
+                _d, _s, msg = heapq.heappop(self._in_flight)
+                self._inboxes[msg.dst].append(msg)
+                self.stats[(msg.src, msg.dst)].delivered += 1
+                delivered += 1
+        return delivered
+
+    def receive(self, endpoint: str) -> list[Message]:
+        """Drain the endpoint's inbox (delivery order)."""
+        if endpoint not in self._inboxes:
+            raise NetError(f"unknown endpoint {endpoint!r}")
+        msgs = self._inboxes[endpoint]
+        self._inboxes[endpoint] = []
+        return msgs
+
+    def in_flight_count(self) -> int:
+        """Messages currently on the wire."""
+        return len(self._in_flight)
+
+    def total_bytes(self) -> int:
+        """Total bytes offered to the network across all links."""
+        return sum(s.bytes_sent for s in self.stats.values())

@@ -1,0 +1,168 @@
+"""Blob codecs: the "unstructured blob" schema-evolution escape hatch.
+
+    "They often choose to write data as an unstructured 'blobs' into a
+    single attribute, so that they can preserve their old schemas."
+
+A :class:`BlobCodec` packs a character record into one bytes value, with
+a version byte up front so old blobs remain readable forever (the whole
+point of the technique).  Decoding applies registered *upgraders* —
+lazily, per read — which is how blob schemas "migrate" without downtime.
+
+The encoding is a deliberately simple self-describing binary format
+(struct-packed, not pickle: untrusted save data must never execute).
+:func:`blob_size` and the codec's counters feed experiment E9's
+storage/query-cost comparison against structured columns.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Mapping
+
+from repro.errors import PersistenceError
+
+_TYPE_INT = 0
+_TYPE_FLOAT = 1
+_TYPE_STR = 2
+_TYPE_BOOL = 3
+_TYPE_NONE = 4
+
+#: Upgrader signature: fn(record_dict) -> record_dict at version+1.
+Upgrader = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+def _pack_value(value: Any) -> bytes:
+    if value is None:
+        return struct.pack("<B", _TYPE_NONE)
+    if isinstance(value, bool):
+        return struct.pack("<BB", _TYPE_BOOL, 1 if value else 0)
+    if isinstance(value, int):
+        return struct.pack("<Bq", _TYPE_INT, value)
+    if isinstance(value, float):
+        return struct.pack("<Bd", _TYPE_FLOAT, value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return struct.pack("<BI", _TYPE_STR, len(raw)) + raw
+    raise PersistenceError(
+        f"blob codec cannot pack {type(value).__name__}"
+    )
+
+
+def _unpack_value(buf: bytes, offset: int) -> tuple[Any, int]:
+    (tag,) = struct.unpack_from("<B", buf, offset)
+    offset += 1
+    if tag == _TYPE_NONE:
+        return None, offset
+    if tag == _TYPE_BOOL:
+        (b,) = struct.unpack_from("<B", buf, offset)
+        return bool(b), offset + 1
+    if tag == _TYPE_INT:
+        (v,) = struct.unpack_from("<q", buf, offset)
+        return v, offset + 8
+    if tag == _TYPE_FLOAT:
+        (v,) = struct.unpack_from("<d", buf, offset)
+        return v, offset + 8
+    if tag == _TYPE_STR:
+        (length,) = struct.unpack_from("<I", buf, offset)
+        offset += 4
+        raw = buf[offset: offset + length]
+        if len(raw) != length:
+            raise PersistenceError("truncated blob string")
+        return raw.decode("utf-8"), offset + length
+    raise PersistenceError(f"unknown blob value tag {tag}")
+
+
+def encode_record(record: Mapping[str, Any], version: int) -> bytes:
+    """Pack a flat record into a versioned blob."""
+    if not 0 <= version <= 255:
+        raise PersistenceError("blob version must fit in one byte")
+    parts = [struct.pack("<BH", version, len(record))]
+    for key in sorted(record):
+        raw_key = key.encode("utf-8")
+        parts.append(struct.pack("<H", len(raw_key)))
+        parts.append(raw_key)
+        parts.append(_pack_value(record[key]))
+    return b"".join(parts)
+
+
+def decode_record(blob: bytes) -> tuple[dict[str, Any], int]:
+    """Unpack a blob into (record, version)."""
+    if len(blob) < 3:
+        raise PersistenceError("blob too short")
+    version, count = struct.unpack_from("<BH", blob, 0)
+    offset = 3
+    record: dict[str, Any] = {}
+    for _ in range(count):
+        (key_len,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        key = blob[offset: offset + key_len].decode("utf-8")
+        offset += key_len
+        value, offset = _unpack_value(blob, offset)
+        record[key] = value
+    return record, version
+
+
+class BlobCodec:
+    """Versioned blob encode/decode with lazy upgrade-on-read.
+
+    Register an upgrader per version step; decoding a v2 blob with
+    ``current_version=5`` runs upgraders 2→3→4→5 before returning.
+    """
+
+    def __init__(self, current_version: int = 1):
+        self.current_version = current_version
+        self._upgraders: dict[int, Upgrader] = {}
+        self.encodes = 0
+        self.decodes = 0
+        self.upgrades_run = 0
+
+    def register_upgrader(self, from_version: int, fn: Upgrader) -> None:
+        """Install the ``from_version → from_version+1`` upgrader."""
+        if from_version in self._upgraders:
+            raise PersistenceError(
+                f"upgrader from v{from_version} already registered"
+            )
+        self._upgraders[from_version] = fn
+
+    def bump_version(self) -> int:
+        """Declare a new current version (after registering its upgrader)."""
+        self.current_version += 1
+        return self.current_version
+
+    def encode(self, record: Mapping[str, Any]) -> bytes:
+        """Pack at the current version."""
+        self.encodes += 1
+        return encode_record(record, self.current_version)
+
+    def decode(self, blob: bytes) -> dict[str, Any]:
+        """Unpack, upgrading old versions to current lazily."""
+        self.decodes += 1
+        record, version = decode_record(blob)
+        while version < self.current_version:
+            upgrader = self._upgraders.get(version)
+            if upgrader is None:
+                raise PersistenceError(
+                    f"no upgrader from blob version {version} "
+                    f"(current {self.current_version})"
+                )
+            record = upgrader(record)
+            version += 1
+            self.upgrades_run += 1
+        return record
+
+    def read_field(self, blob: bytes, field_name: str) -> Any:
+        """Read one field — requires decoding the *whole* blob.
+
+        This method exists to make E9's point measurable: per-field
+        access cost under blobs is O(record), versus O(1) for a real
+        column.
+        """
+        record = self.decode(blob)
+        if field_name not in record:
+            raise PersistenceError(f"blob has no field {field_name!r}")
+        return record[field_name]
+
+
+def blob_size(record: Mapping[str, Any], version: int = 1) -> int:
+    """Encoded size of a record, in bytes."""
+    return len(encode_record(record, version))

@@ -1,0 +1,226 @@
+"""Checkpoint policies: interval vs intelligent (event-driven) vs hybrid.
+
+    "In some games, these checkpoints can be as far as 10 minutes apart.
+    Recoveries may force a player to repeat a difficult fight or lose a
+    particularly desirable reward.  As a result, games need ways to
+    checkpoint intelligently, writing to the database when important
+    events are completed, and not just at regular intervals."
+
+A :class:`CheckpointPolicy` decides, per action, whether to checkpoint
+now.  Three policies:
+
+* :class:`IntervalPolicy` — the status quo: every N ticks.
+* :class:`EventDrivenPolicy` — the tutorial's proposal: checkpoint when
+  accumulated action *importance* crosses a threshold (boss kill, epic
+  drop) or a safety interval expires.
+* :class:`HybridPolicy` — importance-triggered plus the interval backstop
+  (what you would actually deploy).
+
+:class:`CheckpointManager` wires a policy to the in-memory DB, a backing
+store, and the WAL (snapshot → durable store → truncate log).
+Experiment E8 measures lost work at crash time under each policy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol
+
+from repro.errors import PersistenceError
+from repro.persistence.memdb import Action, InMemoryGameDB
+
+
+class BackingStore(Protocol):
+    """Anything that can hold checkpoints durably (SQL bridge, snapshot store)."""
+
+    def store_checkpoint(self, snapshot: Mapping[str, Any]) -> int:
+        """Persist a snapshot; returns bytes written."""
+        ...
+
+    def load_checkpoint(self) -> dict[str, Any] | None:
+        """Latest persisted snapshot, or None."""
+        ...
+
+
+class SnapshotStore:
+    """Minimal durable checkpoint store (JSON-encoded, size-accounted)."""
+
+    def __init__(self) -> None:
+        self._latest: str | None = None
+        self.checkpoints_stored = 0
+        self.bytes_written = 0
+
+    def store_checkpoint(self, snapshot: Mapping[str, Any]) -> int:
+        encoded = json.dumps(snapshot, sort_keys=True, default=_bytes_default)
+        self._latest = encoded
+        self.checkpoints_stored += 1
+        self.bytes_written += len(encoded)
+        return len(encoded)
+
+    def load_checkpoint(self) -> dict[str, Any] | None:
+        if self._latest is None:
+            return None
+        return json.loads(self._latest, object_hook=_bytes_hook)
+
+
+def _bytes_default(obj: Any) -> Any:
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    raise TypeError(f"not serializable: {type(obj).__name__}")
+
+
+def _bytes_hook(obj: dict) -> Any:
+    if set(obj) == {"__bytes__"}:
+        return bytes.fromhex(obj["__bytes__"])
+    return obj
+
+
+class CheckpointPolicy:
+    """Base class: observe actions, decide when to checkpoint."""
+
+    name = "base"
+
+    def observe(self, action: Action) -> bool:
+        """Called per applied action; True means checkpoint now."""
+        raise NotImplementedError
+
+    def on_checkpoint(self, tick: int) -> None:
+        """Called after a checkpoint completes (reset accumulators)."""
+
+
+class IntervalPolicy(CheckpointPolicy):
+    """Checkpoint every ``interval_ticks`` regardless of content."""
+
+    name = "interval"
+
+    def __init__(self, interval_ticks: int):
+        if interval_ticks < 1:
+            raise PersistenceError("interval must be >= 1")
+        self.interval_ticks = interval_ticks
+        self._last_checkpoint_tick = 0
+
+    def observe(self, action: Action) -> bool:
+        return action.tick - self._last_checkpoint_tick >= self.interval_ticks
+
+    def on_checkpoint(self, tick: int) -> None:
+        self._last_checkpoint_tick = tick
+
+
+class EventDrivenPolicy(CheckpointPolicy):
+    """Checkpoint when accumulated importance crosses a threshold.
+
+    ``instant_threshold`` lets a single monumental event (importance ≥
+    that value) force an immediate checkpoint even when the accumulator
+    is otherwise low — "the raid boss died, persist NOW".
+    """
+
+    name = "event"
+
+    def __init__(
+        self,
+        importance_threshold: float = 1.0,
+        instant_threshold: float = 0.9,
+        max_interval_ticks: int | None = None,
+    ):
+        if importance_threshold <= 0:
+            raise PersistenceError("importance_threshold must be positive")
+        self.importance_threshold = importance_threshold
+        self.instant_threshold = instant_threshold
+        self.max_interval_ticks = max_interval_ticks
+        self._accumulated = 0.0
+        self._last_checkpoint_tick = 0
+
+    def observe(self, action: Action) -> bool:
+        self._accumulated += action.importance
+        if action.importance >= self.instant_threshold:
+            return True
+        if self._accumulated >= self.importance_threshold:
+            return True
+        if (
+            self.max_interval_ticks is not None
+            and action.tick - self._last_checkpoint_tick >= self.max_interval_ticks
+        ):
+            return True
+        return False
+
+    def on_checkpoint(self, tick: int) -> None:
+        self._accumulated = 0.0
+        self._last_checkpoint_tick = tick
+
+
+class HybridPolicy(CheckpointPolicy):
+    """Event-driven with an interval backstop — the deployable policy."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        importance_threshold: float = 1.0,
+        interval_ticks: int = 18_000,
+        instant_threshold: float = 0.9,
+    ):
+        self._event = EventDrivenPolicy(
+            importance_threshold,
+            instant_threshold,
+            max_interval_ticks=interval_ticks,
+        )
+
+    def observe(self, action: Action) -> bool:
+        return self._event.observe(action)
+
+    def on_checkpoint(self, tick: int) -> None:
+        self._event.on_checkpoint(tick)
+
+
+@dataclass
+class CheckpointStats:
+    """Manager accounting."""
+
+    checkpoints: int = 0
+    bytes_written: int = 0
+    wal_records_truncated: int = 0
+    last_checkpoint_tick: int = 0
+    last_checkpoint_lsn: int = 0
+
+
+class CheckpointManager:
+    """Drives a policy against the memdb/WAL/backing-store triple."""
+
+    def __init__(
+        self,
+        db: InMemoryGameDB,
+        store: BackingStore,
+        policy: CheckpointPolicy,
+    ):
+        self.db = db
+        self.store = store
+        self.policy = policy
+        self.stats = CheckpointStats()
+
+    def record(self, action: Action) -> bool:
+        """Apply an action through the manager; checkpoint if policy says.
+
+        Returns True when a checkpoint was taken.
+        """
+        self.db.apply(action)
+        if self.policy.observe(action):
+            self.checkpoint(action.tick)
+            return True
+        return False
+
+    def checkpoint(self, tick: int) -> None:
+        """Take a checkpoint now: flush WAL, snapshot, store, truncate."""
+        self.db.wal.flush()
+        snapshot = self.db.snapshot()
+        snapshot["tick"] = tick
+        written = self.store.store_checkpoint(snapshot)
+        self.stats.checkpoints += 1
+        self.stats.bytes_written += written
+        self.stats.last_checkpoint_tick = tick
+        self.stats.last_checkpoint_lsn = snapshot["applied_lsn"]
+        # Records at or below the snapshot LSN are now redundant.
+        self.stats.wal_records_truncated += self.db.wal.truncate_until(
+            snapshot["applied_lsn"] + 1
+        )
+        self.policy.on_checkpoint(tick)

@@ -1,0 +1,347 @@
+"""Page-based storage: pager, buffer pool, and slotted record pages.
+
+The bottom of the persistence stack — the layer a commercial database
+would call the storage engine.  Three pieces:
+
+* :class:`Pager` — fixed-size pages over a simulated disk (a file on
+  request, an in-memory byte store by default), counting physical reads
+  and writes so benchmarks can reason about I/O.
+* :class:`BufferPool` — an LRU cache of frames over the pager with pin
+  counts, dirty tracking, and write-back eviction; the knob that turns
+  "10-minute checkpoints" from a latency statement into an I/O budget.
+* :class:`PagedRecordStore` — slotted-page record storage (insert returns
+  a (page, slot) RID; delete leaves a tombstone; records must fit one
+  page), plus :class:`PagedBackingStore`, a checkpoint store that chains
+  large snapshots across pages — so checkpoints genuinely flow through
+  the buffer pool.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import PersistenceError
+
+PAGE_SIZE = 4096
+
+#: slotted-page header: record_count (H), free_space_offset (H)
+_PAGE_HEADER = struct.Struct("<HH")
+#: per-slot entry: offset (H), length (H); offset 0xFFFF == tombstone
+#: (valid offsets are < PAGE_SIZE, so the sentinel can never collide;
+#: length stays meaningful for zero-byte records)
+_SLOT = struct.Struct("<HH")
+_TOMBSTONE_OFFSET = 0xFFFF
+
+
+class Pager:
+    """Fixed-size page allocator over a byte store.
+
+    ``path=None`` keeps pages in memory (tests, benchmarks); a real path
+    makes them durable on disk.  All I/O is whole-page and counted.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self._path = Path(path) if path is not None else None
+        self._pages: dict[int, bytes] = {}
+        self._page_count = 0
+        self.physical_reads = 0
+        self.physical_writes = 0
+        if self._path is not None and self._path.exists():
+            data = self._path.read_bytes()
+            self._page_count = len(data) // PAGE_SIZE
+            for i in range(self._page_count):
+                self._pages[i] = data[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return self._page_count
+
+    def allocate(self) -> int:
+        """Allocate a zeroed page; returns its page id."""
+        page_id = self._page_count
+        self._page_count += 1
+        self._pages[page_id] = bytes(PAGE_SIZE)
+        return page_id
+
+    def read(self, page_id: int) -> bytes:
+        """Read one page (counted)."""
+        self._check(page_id)
+        self.physical_reads += 1
+        return self._pages[page_id]
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write one page (counted); data must be exactly PAGE_SIZE."""
+        self._check(page_id)
+        if len(data) != PAGE_SIZE:
+            raise PersistenceError(
+                f"page write must be {PAGE_SIZE} bytes, got {len(data)}"
+            )
+        self.physical_writes += 1
+        self._pages[page_id] = bytes(data)
+
+    def sync(self) -> None:
+        """Flush the whole store to disk when file-backed."""
+        if self._path is not None:
+            payload = b"".join(
+                self._pages[i] for i in range(self._page_count)
+            )
+            self._path.write_bytes(payload)
+
+    def _check(self, page_id: int) -> None:
+        if not 0 <= page_id < self._page_count:
+            raise PersistenceError(f"page {page_id} not allocated")
+
+
+class BufferPool:
+    """LRU frame cache over a :class:`Pager` with pins and write-back.
+
+    The game-server deployment story: the in-memory tier wants the hot
+    pages resident; eviction is where checkpoint write amplification
+    becomes visible.
+    """
+
+    def __init__(self, pager: Pager, capacity: int = 64):
+        if capacity < 1:
+            raise PersistenceError("buffer pool capacity must be >= 1")
+        self.pager = pager
+        self.capacity = capacity
+        self._frames: OrderedDict[int, bytearray] = OrderedDict()
+        self._dirty: set[int] = set()
+        self._pins: dict[int, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- access -------------------------------------------------------------------
+
+    def get(self, page_id: int, pin: bool = False) -> bytearray:
+        """Fetch a page frame (LRU-bumped); optionally pin it."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.misses += 1
+            self._ensure_room()
+            frame = bytearray(self.pager.read(page_id))
+            self._frames[page_id] = frame
+        if pin:
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        return frame
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin."""
+        count = self._pins.get(page_id, 0)
+        if count <= 0:
+            raise PersistenceError(f"page {page_id} is not pinned")
+        if count == 1:
+            del self._pins[page_id]
+        else:
+            self._pins[page_id] = count - 1
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the cached frame diverges from disk."""
+        if page_id not in self._frames:
+            raise PersistenceError(f"page {page_id} not resident")
+        self._dirty.add(page_id)
+
+    def new_page(self) -> int:
+        """Allocate a page and make it resident (dirty, unpinned)."""
+        page_id = self.pager.allocate()
+        self._ensure_room()
+        self._frames[page_id] = bytearray(PAGE_SIZE)
+        self._dirty.add(page_id)
+        return page_id
+
+    # -- flushing --------------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> bool:
+        """Write one dirty frame back; returns True if a write happened."""
+        if page_id in self._dirty and page_id in self._frames:
+            self.pager.write(page_id, bytes(self._frames[page_id]))
+            self._dirty.discard(page_id)
+            return True
+        return False
+
+    def flush_all(self) -> int:
+        """Write back every dirty frame; returns pages written."""
+        written = 0
+        for page_id in sorted(self._dirty & set(self._frames)):
+            self.pager.write(page_id, bytes(self._frames[page_id]))
+            written += 1
+        self._dirty.clear()
+        return written
+
+    @property
+    def dirty_count(self) -> int:
+        """Dirty resident pages."""
+        return len(self._dirty)
+
+    @property
+    def resident_count(self) -> int:
+        """Resident frames."""
+        return len(self._frames)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _ensure_room(self) -> None:
+        while len(self._frames) >= self.capacity:
+            victim = None
+            for page_id in self._frames:  # LRU order
+                if self._pins.get(page_id, 0) == 0:
+                    victim = page_id
+                    break
+            if victim is None:
+                raise PersistenceError(
+                    "buffer pool exhausted: every frame is pinned"
+                )
+            if victim in self._dirty:
+                self.pager.write(victim, bytes(self._frames[victim]))
+                self._dirty.discard(victim)
+            del self._frames[victim]
+            self.evictions += 1
+
+
+class PagedRecordStore:
+    """Slotted-page record storage over a buffer pool.
+
+    Records are opaque byte strings addressed by RID ``(page_id, slot)``.
+    Each page: header (count, free offset), slot directory growing from
+    the front, record data growing from the back.
+    """
+
+    _MAX_RECORD = PAGE_SIZE - _PAGE_HEADER.size - _SLOT.size
+
+    def __init__(self, pool: BufferPool):
+        self.pool = pool
+        self._pages: list[int] = []
+
+    def insert(self, record: bytes) -> tuple[int, int]:
+        """Store a record; returns its RID."""
+        if len(record) > self._MAX_RECORD:
+            raise PersistenceError(
+                f"record of {len(record)} bytes exceeds page capacity "
+                f"{self._MAX_RECORD}"
+            )
+        for page_id in self._pages:
+            rid = self._try_insert(page_id, record)
+            if rid is not None:
+                return rid
+        page_id = self.pool.new_page()
+        frame = self.pool.get(page_id)
+        _PAGE_HEADER.pack_into(frame, 0, 0, PAGE_SIZE)
+        self.pool.mark_dirty(page_id)
+        self._pages.append(page_id)
+        rid = self._try_insert(page_id, record)
+        assert rid is not None
+        return rid
+
+    def read(self, rid: tuple[int, int]) -> bytes:
+        """Fetch the record at ``rid``."""
+        page_id, slot = rid
+        frame = self.pool.get(page_id)
+        count, _free = _PAGE_HEADER.unpack_from(frame, 0)
+        if not 0 <= slot < count:
+            raise PersistenceError(f"no slot {slot} on page {page_id}")
+        offset, length = _SLOT.unpack_from(
+            frame, _PAGE_HEADER.size + slot * _SLOT.size
+        )
+        if offset == _TOMBSTONE_OFFSET:
+            raise PersistenceError(f"record {rid} was deleted")
+        return bytes(frame[offset: offset + length])
+
+    def delete(self, rid: tuple[int, int]) -> None:
+        """Tombstone the record at ``rid``."""
+        page_id, slot = rid
+        frame = self.pool.get(page_id)
+        count, _free = _PAGE_HEADER.unpack_from(frame, 0)
+        if not 0 <= slot < count:
+            raise PersistenceError(f"no slot {slot} on page {page_id}")
+        slot_at = _PAGE_HEADER.size + slot * _SLOT.size
+        offset, _length = _SLOT.unpack_from(frame, slot_at)
+        if offset == _TOMBSTONE_OFFSET:
+            raise PersistenceError(f"record {rid} already deleted")
+        _SLOT.pack_into(frame, slot_at, _TOMBSTONE_OFFSET, 0)
+        self.pool.mark_dirty(page_id)
+
+    def scan(self) -> Iterator[tuple[tuple[int, int], bytes]]:
+        """Iterate all live records as ``(rid, bytes)``."""
+        for page_id in self._pages:
+            frame = self.pool.get(page_id)
+            count, _free = _PAGE_HEADER.unpack_from(frame, 0)
+            for slot in range(count):
+                offset, length = _SLOT.unpack_from(
+                    frame, _PAGE_HEADER.size + slot * _SLOT.size
+                )
+                if offset != _TOMBSTONE_OFFSET:
+                    yield (page_id, slot), bytes(frame[offset: offset + length])
+
+    def _try_insert(self, page_id: int, record: bytes) -> tuple[int, int] | None:
+        frame = self.pool.get(page_id)
+        count, free = _PAGE_HEADER.unpack_from(frame, 0)
+        slots_end = _PAGE_HEADER.size + (count + 1) * _SLOT.size
+        new_free = free - len(record)
+        if new_free < slots_end:
+            return None
+        frame[new_free: free] = record
+        _SLOT.pack_into(
+            frame, _PAGE_HEADER.size + count * _SLOT.size, new_free, len(record)
+        )
+        _PAGE_HEADER.pack_into(frame, 0, count + 1, new_free)
+        self.pool.mark_dirty(page_id)
+        return (page_id, count)
+
+
+class PagedBackingStore:
+    """Checkpoint store that chains snapshots across slotted pages.
+
+    Implements the :class:`~repro.persistence.checkpoint.BackingStore`
+    protocol, so checkpoint write amplification becomes measurable in
+    pages (``pager.physical_writes``).
+    """
+
+    _CHUNK = PagedRecordStore._MAX_RECORD - 64  # leave room for framing
+
+    def __init__(self, pool: BufferPool | None = None):
+        self.pool = pool or BufferPool(Pager(), capacity=64)
+        self.records = PagedRecordStore(self.pool)
+        self._latest: list[tuple[int, int]] = []
+        self.checkpoints_stored = 0
+
+    def store_checkpoint(self, snapshot: dict[str, Any]) -> int:
+        encoded = json.dumps(
+            snapshot, sort_keys=True, default=_bytes_default
+        ).encode("utf-8")
+        rids = []
+        for start in range(0, max(1, len(encoded)), self._CHUNK):
+            rids.append(self.records.insert(encoded[start: start + self._CHUNK]))
+        # retire the previous checkpoint's chain
+        for rid in self._latest:
+            self.records.delete(rid)
+        self._latest = rids
+        self.checkpoints_stored += 1
+        self.pool.flush_all()
+        return len(encoded)
+
+    def load_checkpoint(self) -> dict[str, Any] | None:
+        if not self._latest:
+            return None
+        payload = b"".join(self.records.read(rid) for rid in self._latest)
+        return json.loads(payload.decode("utf-8"), object_hook=_bytes_hook)
+
+
+def _bytes_default(obj: Any) -> Any:
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    raise TypeError(f"not serializable: {type(obj).__name__}")
+
+
+def _bytes_hook(obj: dict) -> Any:
+    if set(obj) == {"__bytes__"}:
+        return bytes.fromhex(obj["__bytes__"])
+    return obj

@@ -1,0 +1,180 @@
+"""Write-ahead log with explicit durability boundaries.
+
+The in-memory game tier journals every action here before applying it;
+the WAL is what makes "checkpoint every 10 minutes" survivable at all.
+Durability is modelled honestly: :meth:`append` buffers, :meth:`flush`
+makes records durable (one simulated fsync), and :meth:`crash` discards
+the unflushed tail — so recovery tests exercise the real torn-tail case.
+
+Records are dicts serialized as JSON lines with an LSN and a CRC; the
+reader detects and stops at corruption, which is how a real log handles a
+torn final write.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import WALError
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One durable log record."""
+
+    lsn: int
+    payload: dict[str, Any]
+
+
+class WriteAheadLog:
+    """An in-memory WAL with honest flush/crash semantics.
+
+    ``group_commit`` > 1 batches appends per fsync (the standard latency/
+    durability trade); ``auto_flush`` False means the caller controls
+    flush boundaries entirely.
+    """
+
+    def __init__(self, group_commit: int = 1, auto_flush: bool = True):
+        if group_commit < 1:
+            raise WALError("group_commit must be >= 1")
+        self.group_commit = group_commit
+        self.auto_flush = auto_flush
+        self._durable: list[str] = []  # encoded lines, the "disk"
+        self._buffer: list[str] = []
+        self._next_lsn = 1
+        self._truncated_below = 1
+        self.fsyncs = 0
+        self.bytes_written = 0
+
+    # -- writing ------------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next append will receive."""
+        return self._next_lsn
+
+    @property
+    def flushed_lsn(self) -> int:
+        """Highest LSN that is durable (0 when none)."""
+        return self._next_lsn - 1 - len(self._buffer)
+
+    def append(self, payload: dict[str, Any]) -> int:
+        """Append a record; returns its LSN.  Durability needs flush."""
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        line = _encode(lsn, payload)
+        self._buffer.append(line)
+        if self.auto_flush and len(self._buffer) >= self.group_commit:
+            self.flush()
+        return lsn
+
+    def flush(self) -> int:
+        """Force the buffer to durable storage; returns records flushed."""
+        if not self._buffer:
+            return 0
+        flushed = len(self._buffer)
+        for line in self._buffer:
+            self._durable.append(line)
+            self.bytes_written += len(line)
+        self._buffer.clear()
+        self.fsyncs += 1
+        return flushed
+
+    def crash(self) -> int:
+        """Simulate a crash: the unflushed tail is lost.
+
+        Returns the number of records lost.  The WAL object remains
+        usable for recovery reads (it *is* the disk).
+        """
+        lost = len(self._buffer)
+        self._buffer.clear()
+        self._next_lsn -= lost
+        return lost
+
+    def corrupt_tail(self) -> None:
+        """Damage the final durable record (torn-write simulation)."""
+        if not self._durable:
+            raise WALError("nothing to corrupt")
+        self._durable[-1] = self._durable[-1][:-4] + "XXXX"
+
+    # -- truncation ---------------------------------------------------------------------
+
+    def truncate_until(self, lsn: int) -> int:
+        """Drop durable records with LSN < ``lsn`` (post-checkpoint GC).
+
+        Returns records removed.
+        """
+        kept: list[str] = []
+        removed = 0
+        for line in self._durable:
+            rec = _try_decode(line)
+            if rec is not None and rec.lsn < lsn:
+                removed += 1
+            else:
+                kept.append(line)
+        self._durable = kept
+        self._truncated_below = max(self._truncated_below, lsn)
+        return removed
+
+    # -- reading ---------------------------------------------------------------------------
+
+    def records(self, from_lsn: int = 0) -> Iterator[WALRecord]:
+        """Durable records with LSN >= ``from_lsn``, stopping at corruption."""
+        for line in self._durable:
+            rec = _try_decode(line)
+            if rec is None:
+                # Torn tail: everything after the first bad record is
+                # untrustworthy; stop exactly like a real recovery pass.
+                return
+            if rec.lsn >= from_lsn:
+                yield rec
+
+    def durable_count(self) -> int:
+        """Number of durable records currently retained."""
+        return len(self._durable)
+
+    def pending_count(self) -> int:
+        """Records buffered but not yet durable."""
+        return len(self._buffer)
+
+
+def _encode(lsn: int, payload: dict[str, Any]) -> str:
+    body = json.dumps({"lsn": lsn, "p": payload}, sort_keys=True, default=_json_default)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{body}|{crc:08x}"
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, bytes):
+        return {"__bytes__": obj.hex()}
+    raise TypeError(f"not serializable: {type(obj).__name__}")
+
+
+def _json_revive(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if set(obj) == {"__bytes__"}:
+            return bytes.fromhex(obj["__bytes__"])
+        return {k: _json_revive(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_json_revive(v) for v in obj]
+    return obj
+
+
+def _try_decode(line: str) -> WALRecord | None:
+    body, sep, crc_hex = line.rpartition("|")
+    if not sep:
+        return None
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        doc = json.loads(body)
+    except json.JSONDecodeError:
+        return None
+    return WALRecord(lsn=doc["lsn"], payload=_json_revive(doc["p"]))

@@ -1,0 +1,82 @@
+"""GSL scripting substrate: language, interpreter, restrictions, cost
+analyzer, event triggers, and behavior trees."""
+
+from repro.scripting.analyzer import (
+    AnalysisReport,
+    CostAnalyzer,
+    Finding,
+    analyze_source,
+)
+from repro.scripting.behavior import (
+    Action,
+    BehaviorNode,
+    BehaviorTree,
+    Blackboard,
+    Condition,
+    Inverter,
+    Repeat,
+    Selector,
+    Sequence,
+    Status,
+    Succeeder,
+    tree_from_dict,
+)
+from repro.scripting.interpreter import (
+    CompiledScript,
+    EntityProxy,
+    Interpreter,
+)
+from repro.scripting.lexer import Lexer, tokenize
+from repro.scripting.parser import Parser, parse
+from repro.scripting.restrictions import (
+    HANDLERS_ONLY,
+    NO_ITERATION,
+    NO_WHILE,
+    PROFILES,
+    UNRESTRICTED,
+    LanguageProfile,
+    check_script,
+    find_recursion,
+)
+from repro.scripting.script_system import ScriptSystem, add_script_system
+from repro.scripting.stdlib import build_stdlib
+from repro.scripting.triggers import Trigger, TriggerManager
+
+__all__ = [
+    "AnalysisReport",
+    "CostAnalyzer",
+    "Finding",
+    "analyze_source",
+    "Action",
+    "BehaviorNode",
+    "BehaviorTree",
+    "Blackboard",
+    "Condition",
+    "Inverter",
+    "Repeat",
+    "Selector",
+    "Sequence",
+    "Status",
+    "Succeeder",
+    "tree_from_dict",
+    "CompiledScript",
+    "EntityProxy",
+    "Interpreter",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse",
+    "HANDLERS_ONLY",
+    "NO_ITERATION",
+    "NO_WHILE",
+    "PROFILES",
+    "UNRESTRICTED",
+    "LanguageProfile",
+    "check_script",
+    "find_recursion",
+    "ScriptSystem",
+    "add_script_system",
+    "build_stdlib",
+    "Trigger",
+    "TriggerManager",
+]

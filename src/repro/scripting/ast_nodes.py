@@ -1,0 +1,278 @@
+"""AST node classes for GSL.
+
+Plain dataclasses, one per syntactic form.  Every node carries its source
+line for error reporting and for the static analyzer's findings.  The
+``walk`` helper yields a node and all descendants — both the analyzer and
+the restriction checker are tree walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = 0
+
+    def children(self) -> list["Node"]:
+        """Direct child nodes (used by :func:`walk`)."""
+        return []
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Yield ``node`` and every descendant, pre-order."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+# -- expressions -----------------------------------------------------------------
+
+
+@dataclass
+class Literal(Node):
+    """A constant: number, string, bool, or none."""
+
+    value: object
+    line: int = 0
+
+
+@dataclass
+class Name(Node):
+    """A variable reference."""
+
+    ident: str
+    line: int = 0
+
+
+@dataclass
+class ListExpr(Node):
+    """A list literal ``[a, b, c]``."""
+
+    items: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return list(self.items)
+
+
+@dataclass
+class DictExpr(Node):
+    """A dict literal ``{"x": 1.0, "y": 2.0}`` (keys are expressions)."""
+
+    pairs: list[tuple[Node, Node]] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        out: list[Node] = []
+        for key, value in self.pairs:
+            out.append(key)
+            out.append(value)
+        return out
+
+
+@dataclass
+class Attribute(Node):
+    """Attribute access ``obj.field`` (reads component fields)."""
+
+    obj: Node
+    name: str
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.obj]
+
+
+@dataclass
+class Index(Node):
+    """Subscript ``obj[key]``."""
+
+    obj: Node
+    key: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.obj, self.key]
+
+
+@dataclass
+class Call(Node):
+    """Function or method call."""
+
+    func: Node
+    args: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.func, *self.args]
+
+
+@dataclass
+class BinOp(Node):
+    """Binary arithmetic/comparison: ``left op right``."""
+
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.left, self.right]
+
+
+@dataclass
+class BoolOp(Node):
+    """Short-circuit ``and`` / ``or``."""
+
+    op: str
+    left: Node
+    right: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.left, self.right]
+
+
+@dataclass
+class UnaryOp(Node):
+    """Unary ``-`` or ``not``."""
+
+    op: str
+    operand: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.operand]
+
+
+# -- statements --------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    """``var name = expr`` — declares in the current scope."""
+
+    name: str
+    value: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.value]
+
+
+@dataclass
+class Assign(Node):
+    """Assignment to a name, attribute, or index target."""
+
+    target: Node
+    value: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.target, self.value]
+
+
+@dataclass
+class ExprStmt(Node):
+    """An expression evaluated for its side effects."""
+
+    expr: Node
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.expr]
+
+
+@dataclass
+class If(Node):
+    """``if``/``elif``/``else`` chain; elifs are desugared to nested Ifs."""
+
+    cond: Node
+    then_body: list[Node] = field(default_factory=list)
+    else_body: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.cond, *self.then_body, *self.else_body]
+
+
+@dataclass
+class While(Node):
+    """``while cond: ... end``."""
+
+    cond: Node
+    body: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.cond, *self.body]
+
+
+@dataclass
+class For(Node):
+    """``for name in iterable: ... end``."""
+
+    var: str
+    iterable: Node
+    body: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.iterable, *self.body]
+
+
+@dataclass
+class Return(Node):
+    """``return [expr]``."""
+
+    value: Node | None = None
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return [self.value] if self.value is not None else []
+
+
+@dataclass
+class Break(Node):
+    """``break``."""
+
+    line: int = 0
+
+
+@dataclass
+class Continue(Node):
+    """``continue``."""
+
+    line: int = 0
+
+
+@dataclass
+class FuncDef(Node):
+    """``def name(params): ... end``."""
+
+    name: str
+    params: list[str] = field(default_factory=list)
+    body: list[Node] = field(default_factory=list)
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return list(self.body)
+
+
+@dataclass
+class Script(Node):
+    """A whole compiled script: top-level statements + function defs."""
+
+    body: list[Node] = field(default_factory=list)
+    source_name: str = "<script>"
+    line: int = 0
+
+    def children(self) -> list[Node]:
+        return list(self.body)
+
+    def functions(self) -> dict[str, FuncDef]:
+        """Top-level function definitions by name."""
+        return {n.name: n for n in self.body if isinstance(n, FuncDef)}

@@ -1,0 +1,284 @@
+"""Behavior trees for character AI.
+
+Behavior trees are the dominant data-driven AI formalism in games: a tree
+of composites (sequence/selector/parallel), decorators, and leaves
+(conditions/actions) ticked every frame (or every Nth).  They are a
+natural fit for the content pipeline — designers author them as data —
+and :func:`tree_from_dict` loads exactly that representation, which the
+content package validates.
+
+Statuses follow the standard trichotomy: SUCCESS, FAILURE, RUNNING.
+RUNNING memory in composites resumes the in-flight child next tick.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable, Iterable
+
+from repro.errors import ScriptError
+
+
+class Status(Enum):
+    """Result of ticking a behavior node."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+    RUNNING = "running"
+
+
+class Blackboard:
+    """Per-agent key/value memory shared across the tree."""
+
+    def __init__(self, entity_id: int | None = None):
+        self.entity_id = entity_id
+        self._data: dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read a key with a default."""
+        return self._data.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        """Write a key."""
+        self._data[key] = value
+
+    def clear(self, key: str) -> None:
+        """Delete a key if present."""
+        self._data.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+class BehaviorNode:
+    """Base class; subclasses implement :meth:`tick`."""
+
+    def __init__(self, name: str = ""):
+        self.name = name or type(self).__name__
+        self.ticks = 0
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        """Advance this node one tick."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear RUNNING memory (recursively for composites)."""
+
+
+class Action(BehaviorNode):
+    """Leaf running ``fn(world, blackboard) -> Status | bool | None``.
+
+    ``True``/``None`` map to SUCCESS, ``False`` to FAILURE, so simple
+    callbacks stay simple.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any, Blackboard], Any]):
+        super().__init__(name)
+        self.fn = fn
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        result = self.fn(world, blackboard)
+        if isinstance(result, Status):
+            return result
+        if result is False:
+            return Status.FAILURE
+        return Status.SUCCESS
+
+
+class Condition(BehaviorNode):
+    """Leaf checking ``fn(world, blackboard) -> bool``."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Blackboard], bool]):
+        super().__init__(name)
+        self.fn = fn
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        return Status.SUCCESS if self.fn(world, blackboard) else Status.FAILURE
+
+
+class Sequence(BehaviorNode):
+    """Run children in order; fail fast; remember the RUNNING child."""
+
+    def __init__(self, children: Iterable[BehaviorNode], name: str = "Sequence"):
+        super().__init__(name)
+        self.children = list(children)
+        self._current = 0
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        while self._current < len(self.children):
+            status = self.children[self._current].tick(world, blackboard)
+            if status == Status.RUNNING:
+                return Status.RUNNING
+            if status == Status.FAILURE:
+                self.reset()
+                return Status.FAILURE
+            self._current += 1
+        self.reset()
+        return Status.SUCCESS
+
+    def reset(self) -> None:
+        self._current = 0
+        for child in self.children:
+            child.reset()
+
+
+class Selector(BehaviorNode):
+    """Run children in order until one succeeds; remember RUNNING child."""
+
+    def __init__(self, children: Iterable[BehaviorNode], name: str = "Selector"):
+        super().__init__(name)
+        self.children = list(children)
+        self._current = 0
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        while self._current < len(self.children):
+            status = self.children[self._current].tick(world, blackboard)
+            if status == Status.RUNNING:
+                return Status.RUNNING
+            if status == Status.SUCCESS:
+                self.reset()
+                return Status.SUCCESS
+            self._current += 1
+        self.reset()
+        return Status.FAILURE
+
+    def reset(self) -> None:
+        self._current = 0
+        for child in self.children:
+            child.reset()
+
+
+class Inverter(BehaviorNode):
+    """Decorator flipping SUCCESS and FAILURE (RUNNING passes through)."""
+
+    def __init__(self, child: BehaviorNode, name: str = "Inverter"):
+        super().__init__(name)
+        self.child = child
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        status = self.child.tick(world, blackboard)
+        if status == Status.SUCCESS:
+            return Status.FAILURE
+        if status == Status.FAILURE:
+            return Status.SUCCESS
+        return Status.RUNNING
+
+    def reset(self) -> None:
+        self.child.reset()
+
+
+class Repeat(BehaviorNode):
+    """Decorator re-running its child up to ``times`` successes per tick
+    sequence; RUNNING suspends, FAILURE aborts."""
+
+    def __init__(self, child: BehaviorNode, times: int, name: str = "Repeat"):
+        super().__init__(name)
+        if times < 1:
+            raise ScriptError("Repeat times must be >= 1")
+        self.child = child
+        self.times = times
+        self._done = 0
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        while self._done < self.times:
+            status = self.child.tick(world, blackboard)
+            if status == Status.RUNNING:
+                return Status.RUNNING
+            if status == Status.FAILURE:
+                self._done = 0
+                return Status.FAILURE
+            self._done += 1
+        self._done = 0
+        return Status.SUCCESS
+
+    def reset(self) -> None:
+        self._done = 0
+        self.child.reset()
+
+
+class Succeeder(BehaviorNode):
+    """Decorator that always reports SUCCESS (unless RUNNING)."""
+
+    def __init__(self, child: BehaviorNode, name: str = "Succeeder"):
+        super().__init__(name)
+        self.child = child
+
+    def tick(self, world: Any, blackboard: Blackboard) -> Status:
+        self.ticks += 1
+        status = self.child.tick(world, blackboard)
+        return Status.RUNNING if status == Status.RUNNING else Status.SUCCESS
+
+    def reset(self) -> None:
+        self.child.reset()
+
+
+class BehaviorTree:
+    """A root node plus per-agent blackboard management."""
+
+    def __init__(self, root: BehaviorNode, name: str = "tree"):
+        self.root = root
+        self.name = name
+        self._blackboards: dict[int, Blackboard] = {}
+
+    def blackboard_for(self, entity_id: int) -> Blackboard:
+        """The (lazily created) blackboard of one agent."""
+        bb = self._blackboards.get(entity_id)
+        if bb is None:
+            bb = Blackboard(entity_id)
+            self._blackboards[entity_id] = bb
+        return bb
+
+    def tick_entity(self, world: Any, entity_id: int) -> Status:
+        """Tick the tree for one agent."""
+        return self.root.tick(world, self.blackboard_for(entity_id))
+
+    def forget(self, entity_id: int) -> None:
+        """Drop an agent's blackboard (on despawn)."""
+        self._blackboards.pop(entity_id, None)
+
+
+def tree_from_dict(
+    spec: dict, leaves: dict[str, Callable[..., Any]]
+) -> BehaviorTree:
+    """Build a tree from the data-driven dict representation.
+
+    ``spec`` format (what the content pipeline produces)::
+
+        {"type": "selector", "children": [
+            {"type": "sequence", "children": [
+                {"type": "condition", "name": "enemy_near"},
+                {"type": "action", "name": "attack"}]},
+            {"type": "action", "name": "wander"}]}
+
+    ``leaves`` maps condition/action names to python callables.
+    """
+
+    def build(node: dict) -> BehaviorNode:
+        ntype = node.get("type")
+        if ntype in ("sequence", "selector"):
+            children = [build(c) for c in node.get("children", [])]
+            if not children:
+                raise ScriptError(f"{ntype} node needs children")
+            cls = Sequence if ntype == "sequence" else Selector
+            return cls(children, name=node.get("name", ntype))
+        if ntype in ("action", "condition"):
+            name = node.get("name")
+            if name not in leaves:
+                raise ScriptError(f"unknown leaf {name!r}")
+            cls2 = Action if ntype == "action" else Condition
+            return cls2(name, leaves[name])
+        if ntype == "inverter":
+            return Inverter(build(node["child"]))
+        if ntype == "succeeder":
+            return Succeeder(build(node["child"]))
+        if ntype == "repeat":
+            return Repeat(build(node["child"]), int(node.get("times", 1)))
+        raise ScriptError(f"unknown behavior node type {ntype!r}")
+
+    return BehaviorTree(build(spec), name=spec.get("name", "tree"))

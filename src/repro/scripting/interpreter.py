@@ -1,0 +1,504 @@
+"""Tree-walking interpreter for GSL with metered execution.
+
+Every evaluation step decrements an instruction budget; exceeding it
+raises :class:`BudgetExceededError`.  Games cannot let one designer script
+eat the frame, so the engine accounts per-invocation — exactly the
+mechanism behind the tutorial's observation that "seemingly innocuous
+code can cripple the performance of a game".
+
+The interpreter exposes entity state through :class:`EntityProxy` objects
+so a script can write ``other.hp = other.hp - dmg`` and the write lands in
+the component tables (keeping indexes and aggregates consistent).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import (
+    BudgetExceededError,
+    RestrictionError,
+    ScriptRuntimeError,
+)
+from repro.scripting import ast_nodes as ast
+from repro.scripting.parser import parse
+from repro.scripting.restrictions import LanguageProfile, UNRESTRICTED, check_script
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class EntityProxy:
+    """Script-side view of one entity: fields resolve across components.
+
+    Reading ``proxy.hp`` searches the entity's components for a field
+    named ``hp`` (designers don't think in component names); writing
+    routes through ``world.set`` so every observer sees the change.
+    ``proxy.id`` returns the entity id.
+    """
+
+    __slots__ = ("_world", "_id")
+
+    def __init__(self, world: Any, entity_id: int):
+        object.__setattr__(self, "_world", world)
+        object.__setattr__(self, "_id", entity_id)
+
+    def __getattr__(self, name: str) -> Any:
+        if name == "id":
+            return self._id
+        world = self._world
+        for comp in world.components_of(self._id):
+            schema = world.table(comp).schema
+            if name in schema.fields:
+                return world.get_field(self._id, comp, name)
+        raise ScriptRuntimeError(
+            f"entity {self._id} has no field {name!r}"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        world = self._world
+        for comp in world.components_of(self._id):
+            schema = world.table(comp).schema
+            if name in schema.fields:
+                world.set(self._id, comp, **{name: value})
+                return
+        raise ScriptRuntimeError(
+            f"entity {self._id} has no field {name!r}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EntityProxy) and other._id == self._id
+
+    def __hash__(self) -> int:
+        return hash(self._id)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EntityProxy({self._id})"
+
+
+class _Env:
+    """Lexically-chained environment."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: "_Env | None" = None):
+        self.vars: dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: _Env | None = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise ScriptRuntimeError(f"undefined variable {name!r}")
+
+    def assign(self, name: str, value: Any) -> None:
+        env: _Env | None = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        raise ScriptRuntimeError(
+            f"assignment to undeclared variable {name!r}; use 'var'"
+        )
+
+    def declare(self, name: str, value: Any) -> None:
+        self.vars[name] = value
+
+
+class _ScriptFunction:
+    """A user-defined GSL function closed over its defining environment."""
+
+    __slots__ = ("fdef", "closure")
+
+    def __init__(self, fdef: ast.FuncDef, closure: _Env):
+        self.fdef = fdef
+        self.closure = closure
+
+
+class CompiledScript:
+    """A parsed, restriction-checked script ready to run repeatedly.
+
+    Compile once at content-load time, invoke every frame — mirroring how
+    games bake scripts during the loading screen.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        profile: LanguageProfile = UNRESTRICTED,
+        source_name: str = "<script>",
+    ):
+        self.profile = profile
+        self.tree = parse(source, source_name)
+        check_script(self.tree, profile)
+        self.source_name = source_name
+
+    def functions(self) -> tuple[str, ...]:
+        """Names of functions the script defines."""
+        return tuple(self.tree.functions())
+
+
+class Interpreter:
+    """Evaluates compiled scripts against a world and builtin bindings.
+
+    Parameters
+    ----------
+    world:
+        The :class:`~repro.core.world.GameWorld` scripts act on (may be
+        ``None`` for pure computation scripts).
+    builtins:
+        Name -> python callable/value bindings visible to every script
+        (see :mod:`repro.scripting.stdlib`).
+    """
+
+    def __init__(self, world: Any = None, builtins: Mapping[str, Any] | None = None):
+        self.world = world
+        self.builtins = dict(builtins or {})
+        self.instructions_executed = 0
+        self._budget_left: int | None = None
+        self._call_stack: list[str] = []
+        self._profile: LanguageProfile = UNRESTRICTED
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(
+        self,
+        script: CompiledScript,
+        bindings: Mapping[str, Any] | None = None,
+    ) -> _Env:
+        """Execute a script's top level; returns its global environment.
+
+        The returned environment holds declared vars and functions and can
+        be reused with :meth:`call` to invoke handlers.
+        """
+        env = _Env()
+        for name, value in self.builtins.items():
+            env.declare(name, value)
+        if self.world is not None:
+            env.declare("world", self.world)
+        for name, value in (bindings or {}).items():
+            env.declare(name, value)
+        self._begin(script.profile)
+        try:
+            self._exec_block(script.tree.body, env)
+        except _ReturnSignal:
+            raise ScriptRuntimeError("'return' outside function")
+        except _BreakSignal:
+            raise ScriptRuntimeError("'break' outside loop")
+        except _ContinueSignal:
+            raise ScriptRuntimeError("'continue' outside loop")
+        return env
+
+    def call(
+        self,
+        env: _Env,
+        func_name: str,
+        args: list[Any] | None = None,
+        profile: LanguageProfile | None = None,
+    ) -> Any:
+        """Invoke a function defined by a previously-run script."""
+        fn = env.lookup(func_name)
+        if not isinstance(fn, _ScriptFunction):
+            raise ScriptRuntimeError(f"{func_name!r} is not a script function")
+        self._begin(profile or self._profile)
+        return self._call_function(fn, args or [], line=fn.fdef.line)
+
+    def proxy(self, entity_id: int) -> EntityProxy:
+        """Wrap an entity id for script consumption."""
+        return EntityProxy(self.world, entity_id)
+
+    # -- execution core ----------------------------------------------------------------
+
+    def _begin(self, profile: LanguageProfile) -> None:
+        self._profile = profile
+        self._budget_left = profile.instruction_budget
+        self._call_stack = []
+
+    def _step(self, line: int) -> None:
+        self.instructions_executed += 1
+        if self._budget_left is not None:
+            self._budget_left -= 1
+            if self._budget_left < 0:
+                raise BudgetExceededError(
+                    f"instruction budget of {self._profile.instruction_budget} "
+                    f"exceeded at line {line}"
+                )
+
+    def _exec_block(self, body: list[ast.Node], env: _Env) -> None:
+        for stmt in body:
+            self._exec(stmt, env)
+
+    def _exec(self, node: ast.Node, env: _Env) -> None:
+        self._step(node.line)
+        if isinstance(node, ast.VarDecl):
+            env.declare(node.name, self._eval(node.value, env))
+        elif isinstance(node, ast.Assign):
+            self._assign(node.target, self._eval(node.value, env), env)
+        elif isinstance(node, ast.ExprStmt):
+            self._eval(node.expr, env)
+        elif isinstance(node, ast.If):
+            if _truthy(self._eval(node.cond, env)):
+                self._exec_block(node.then_body, _Env(env))
+            elif node.else_body:
+                self._exec_block(node.else_body, _Env(env))
+        elif isinstance(node, ast.While):
+            while _truthy(self._eval(node.cond, env)):
+                try:
+                    self._exec_block(node.body, _Env(env))
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(node, ast.For):
+            iterable = self._eval(node.iterable, env)
+            if not hasattr(iterable, "__iter__"):
+                raise ScriptRuntimeError(
+                    f"cannot iterate over {type(iterable).__name__} "
+                    f"(line {node.line})"
+                )
+            for item in iterable:
+                loop_env = _Env(env)
+                loop_env.declare(node.var, item)
+                try:
+                    self._exec_block(node.body, loop_env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(node, ast.Return):
+            value = self._eval(node.value, env) if node.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(node, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(node, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(node, ast.FuncDef):
+            env.declare(node.name, _ScriptFunction(node, env))
+        else:
+            raise ScriptRuntimeError(f"cannot execute node {type(node).__name__}")
+
+    def _assign(self, target: ast.Node, value: Any, env: _Env) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.ident, value)
+        elif isinstance(target, ast.Attribute):
+            obj = self._eval(target.obj, env)
+            if isinstance(obj, EntityProxy):
+                setattr(obj, target.name, value)
+            elif isinstance(obj, dict):
+                obj[target.name] = value
+            else:
+                raise ScriptRuntimeError(
+                    f"cannot set attribute on {type(obj).__name__} "
+                    f"(line {target.line})"
+                )
+        elif isinstance(target, ast.Index):
+            obj = self._eval(target.obj, env)
+            key = self._eval(target.key, env)
+            try:
+                obj[key] = value
+            except (TypeError, KeyError, IndexError) as exc:
+                raise ScriptRuntimeError(
+                    f"index assignment failed: {exc} (line {target.line})"
+                ) from exc
+        else:
+            raise ScriptRuntimeError("invalid assignment target")
+
+    # -- evaluation -----------------------------------------------------------------------
+
+    def _eval(self, node: ast.Node, env: _Env) -> Any:
+        self._step(node.line)
+        if isinstance(node, ast.Literal):
+            return node.value
+        if isinstance(node, ast.Name):
+            return env.lookup(node.ident)
+        if isinstance(node, ast.ListExpr):
+            return [self._eval(item, env) for item in node.items]
+        if isinstance(node, ast.DictExpr):
+            out = {}
+            for key_node, value_node in node.pairs:
+                key = self._eval(key_node, env)
+                try:
+                    out[key] = self._eval(value_node, env)
+                except TypeError as exc:  # pragma: no cover - defensive
+                    raise ScriptRuntimeError(
+                        f"bad dict key: {exc} (line {node.line})"
+                    ) from exc
+            return out
+        if isinstance(node, ast.Attribute):
+            obj = self._eval(node.obj, env)
+            return self._get_attr(obj, node.name, node.line)
+        if isinstance(node, ast.Index):
+            obj = self._eval(node.obj, env)
+            key = self._eval(node.key, env)
+            try:
+                return obj[key]
+            except (TypeError, KeyError, IndexError) as exc:
+                raise ScriptRuntimeError(
+                    f"index failed: {exc} (line {node.line})"
+                ) from exc
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.BoolOp):
+            left = self._eval(node.left, env)
+            if node.op == "and":
+                return self._eval(node.right, env) if _truthy(left) else left
+            return left if _truthy(left) else self._eval(node.right, env)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, env)
+            if node.op == "-":
+                _require_number(operand, node.line)
+                return -operand
+            return not _truthy(operand)
+        raise ScriptRuntimeError(f"cannot evaluate node {type(node).__name__}")
+
+    def _get_attr(self, obj: Any, name: str, line: int) -> Any:
+        if isinstance(obj, EntityProxy):
+            return getattr(obj, name)
+        if isinstance(obj, dict):
+            if name in obj:
+                return obj[name]
+            raise ScriptRuntimeError(f"no key {name!r} (line {line})")
+        if name.startswith("_"):
+            raise ScriptRuntimeError(
+                f"access to private attribute {name!r} denied (line {line})"
+            )
+        # Whitelisted host objects: anything the stdlib handed the script.
+        try:
+            return getattr(obj, name)
+        except AttributeError:
+            raise ScriptRuntimeError(
+                f"{type(obj).__name__} has no attribute {name!r} (line {line})"
+            ) from None
+
+    def _eval_call(self, node: ast.Call, env: _Env) -> Any:
+        fn = self._eval(node.func, env)
+        args = [self._eval(a, env) for a in node.args]
+        if isinstance(fn, _ScriptFunction):
+            return self._call_function(fn, args, node.line)
+        if callable(fn):
+            try:
+                return fn(*args)
+            except (
+                ScriptRuntimeError,
+                BudgetExceededError,
+                _ReturnSignal,
+                _BreakSignal,
+                _ContinueSignal,
+            ):
+                raise
+            except Exception as exc:
+                raise ScriptRuntimeError(
+                    f"builtin call failed: {exc} (line {node.line})"
+                ) from exc
+        raise ScriptRuntimeError(
+            f"{type(fn).__name__} is not callable (line {node.line})"
+        )
+
+    def _call_function(self, fn: _ScriptFunction, args: list[Any], line: int) -> Any:
+        fdef = fn.fdef
+        if len(args) != len(fdef.params):
+            raise ScriptRuntimeError(
+                f"{fdef.name}() takes {len(fdef.params)} args, got {len(args)} "
+                f"(line {line})"
+            )
+        if not self._profile.allow_recursion and fdef.name in self._call_stack:
+            raise RestrictionError(
+                f"recursive call to {fdef.name!r} forbidden by profile "
+                f"{self._profile.name!r} (line {line})"
+            )
+        if len(self._call_stack) >= self._profile.max_call_depth:
+            raise ScriptRuntimeError(
+                f"call depth limit {self._profile.max_call_depth} exceeded "
+                f"(line {line})"
+            )
+        call_env = _Env(fn.closure)
+        for param, arg in zip(fdef.params, args):
+            call_env.declare(param, arg)
+        self._call_stack.append(fdef.name)
+        try:
+            self._exec_block(fdef.body, call_env)
+            return None
+        except _ReturnSignal as ret:
+            return ret.value
+        except _BreakSignal:
+            raise ScriptRuntimeError(
+                f"'break' outside loop in {fdef.name}() (line {line})"
+            )
+        except _ContinueSignal:
+            raise ScriptRuntimeError(
+                f"'continue' outside loop in {fdef.name}() (line {line})"
+            )
+        finally:
+            self._call_stack.pop()
+
+    def _binop(self, node: ast.BinOp, env: _Env) -> Any:
+        left = self._eval(node.left, env)
+        right = self._eval(node.right, env)
+        op = node.op
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            if isinstance(left, list) and isinstance(right, list):
+                return left + right
+            _require_number(left, node.line)
+            _require_number(right, node.line)
+            return left + right
+        if op in ("<", "<=", ">", ">="):
+            try:
+                if op == "<":
+                    return left < right
+                if op == "<=":
+                    return left <= right
+                if op == ">":
+                    return left > right
+                return left >= right
+            except TypeError as exc:
+                raise ScriptRuntimeError(
+                    f"cannot compare {type(left).__name__} with "
+                    f"{type(right).__name__} (line {node.line})"
+                ) from exc
+        _require_number(left, node.line)
+        _require_number(right, node.line)
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ScriptRuntimeError(f"division by zero (line {node.line})")
+            return left / right
+        if op == "%":
+            if right == 0:
+                raise ScriptRuntimeError(f"modulo by zero (line {node.line})")
+            return left % right
+        raise ScriptRuntimeError(f"unknown operator {op!r}")
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+def _require_number(value: Any, line: int) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScriptRuntimeError(
+            f"expected a number, got {type(value).__name__} (line {line})"
+        )

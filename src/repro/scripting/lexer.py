@@ -1,0 +1,196 @@
+"""Hand-written lexer for GSL.
+
+Single pass, no regular expressions, precise line/column error reporting —
+the error messages are part of the product, because the users are game
+designers, not programmers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LexError
+from repro.scripting.tokens import KEYWORDS, Token, TokenType
+
+_SIMPLE = {
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "%": TokenType.PERCENT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    ":": TokenType.COLON,
+}
+
+
+_ASCII_DIGITS = "0123456789"
+
+
+class Lexer:
+    """Tokenizes GSL source into a flat token list (NEWLINE-separated)."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+        self.tokens: list[Token] = []
+
+    def tokenize(self) -> list[Token]:
+        """Lex the whole source; always ends with an EOF token."""
+        while self.pos < len(self.source):
+            ch = self.source[self.pos]
+            if ch == "\n":
+                self._emit_newline()
+                self._advance()
+            elif ch in " \t\r":
+                self._advance()
+            elif ch == "#":
+                self._skip_comment()
+            elif ch in _ASCII_DIGITS:
+                self._number()
+            elif ch == '"' or ch == "'":
+                self._string(ch)
+            elif ch.isalpha() or ch == "_":
+                self._identifier()
+            elif ch in _SIMPLE:
+                self._add(_SIMPLE[ch], ch, None)
+                self._advance()
+            elif ch == "=":
+                if self._peek(1) == "=":
+                    self._add(TokenType.EQ, "==", None)
+                    self._advance(2)
+                else:
+                    self._add(TokenType.ASSIGN, "=", None)
+                    self._advance()
+            elif ch == "!":
+                if self._peek(1) == "=":
+                    self._add(TokenType.NEQ, "!=", None)
+                    self._advance(2)
+                else:
+                    raise LexError("unexpected '!'", self.line, self.column)
+            elif ch == "<":
+                if self._peek(1) == "=":
+                    self._add(TokenType.LTE, "<=", None)
+                    self._advance(2)
+                else:
+                    self._add(TokenType.LT, "<", None)
+                    self._advance()
+            elif ch == ">":
+                if self._peek(1) == "=":
+                    self._add(TokenType.GTE, ">=", None)
+                    self._advance(2)
+                else:
+                    self._add(TokenType.GT, ">", None)
+                    self._advance()
+            else:
+                raise LexError(f"unexpected character {ch!r}", self.line, self.column)
+        self._emit_newline()
+        self._add(TokenType.EOF, "", None)
+        return self.tokens
+
+    # -- scanners ----------------------------------------------------------------
+
+    def _number(self) -> None:
+        start = self.pos
+        start_col = self.column
+        while self.pos < len(self.source) and self.source[self.pos] in _ASCII_DIGITS:
+            self._advance()
+        is_float = False
+        if (
+            self.pos < len(self.source)
+            and self.source[self.pos] == "."
+            and self._peek(1) in _ASCII_DIGITS
+        ):
+            is_float = True
+            self._advance()
+            while self.pos < len(self.source) and self.source[self.pos] in _ASCII_DIGITS:
+                self._advance()
+        text = self.source[start: self.pos]
+        value: object = float(text) if is_float else int(text)
+        self.tokens.append(Token(TokenType.NUMBER, text, value, self.line, start_col))
+
+    def _string(self, quote: str) -> None:
+        start_line, start_col = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string", start_line, start_col)
+            ch = self.source[self.pos]
+            if ch == "\n":
+                raise LexError("unterminated string", start_line, start_col)
+            if ch == quote:
+                self._advance()
+                break
+            if ch == "\\":
+                esc = self._peek(1)
+                mapping = {"n": "\n", "t": "\t", "\\": "\\", quote: quote}
+                if esc not in mapping:
+                    raise LexError(
+                        f"unknown escape '\\{esc}'", self.line, self.column
+                    )
+                chars.append(mapping[esc])
+                self._advance(2)
+            else:
+                chars.append(ch)
+                self._advance()
+        text = "".join(chars)
+        self.tokens.append(
+            Token(TokenType.STRING, text, text, start_line, start_col)
+        )
+
+    def _identifier(self) -> None:
+        start = self.pos
+        start_col = self.column
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start: self.pos]
+        ttype = KEYWORDS.get(text, TokenType.IDENT)
+        value: object = None
+        if ttype == TokenType.TRUE:
+            value = True
+        elif ttype == TokenType.FALSE:
+            value = False
+        self.tokens.append(Token(ttype, text, value, self.line, start_col))
+
+    def _skip_comment(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos] != "\n":
+            self._advance()
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _emit_newline(self) -> None:
+        # Collapse consecutive newlines; never start the stream with one.
+        if self.tokens and self.tokens[-1].type != TokenType.NEWLINE:
+            self.tokens.append(
+                Token(TokenType.NEWLINE, "\\n", None, self.line, self.column)
+            )
+
+    def _add(self, ttype: TokenType, lexeme: str, value: object) -> None:
+        self.tokens.append(Token(ttype, lexeme, value, self.line, self.column))
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.source) and self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int) -> str:
+        i = self.pos + offset
+        return self.source[i] if i < len(self.source) else ""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into tokens."""
+    return Lexer(source).tokenize()

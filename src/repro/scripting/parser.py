@@ -1,0 +1,359 @@
+"""Recursive-descent parser for GSL.
+
+Grammar (EBNF, NEWLINE-separated statements, ``end``-closed blocks)::
+
+    script     := { statement }
+    statement  := var_decl | func_def | if | while | for
+                | return | break | continue | assign_or_expr
+    var_decl   := "var" IDENT "=" expr
+    func_def   := "def" IDENT "(" [params] ")" ":" block "end"
+    if         := "if" expr ":" block { "elif" expr ":" block }
+                  [ "else" ":" block ] "end"
+    while      := "while" expr ":" block "end"
+    for        := "for" IDENT "in" expr ":" block "end"
+    expr       := or_expr
+    or_expr    := and_expr { "or" and_expr }
+    and_expr   := not_expr { "and" not_expr }
+    not_expr   := "not" not_expr | comparison
+    comparison := term { ("=="|"!="|"<"|"<="|">"|">=") term }
+    term       := factor { ("+"|"-") factor }
+    factor     := unary { ("*"|"/"|"%") unary }
+    unary      := "-" unary | postfix
+    postfix    := primary { "." IDENT | "(" args ")" | "[" expr "]" }
+    primary    := NUMBER | STRING | true | false | none
+                | IDENT | "(" expr ")" | "[" [args] "]"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.scripting import ast_nodes as ast
+from repro.scripting.lexer import tokenize
+from repro.scripting.tokens import Token, TokenType as T
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.scripting.ast_nodes.Script`."""
+
+    def __init__(self, tokens: list[Token], source_name: str = "<script>"):
+        self.tokens = tokens
+        self.pos = 0
+        self.source_name = source_name
+
+    # -- entry point -------------------------------------------------------------
+
+    def parse(self) -> ast.Script:
+        """Parse the whole token stream."""
+        body = []
+        self._skip_newlines()
+        while not self._check(T.EOF):
+            body.append(self._statement())
+            self._end_of_statement()
+        return ast.Script(body=body, source_name=self.source_name)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _statement(self) -> ast.Node:
+        tok = self._peek()
+        if tok.type == T.VAR:
+            return self._var_decl()
+        if tok.type == T.DEF:
+            return self._func_def()
+        if tok.type == T.IF:
+            return self._if()
+        if tok.type == T.WHILE:
+            return self._while()
+        if tok.type == T.FOR:
+            return self._for()
+        if tok.type == T.RETURN:
+            self._advance()
+            value = None
+            if not self._check(T.NEWLINE, T.EOF, T.END):
+                value = self._expr()
+            return ast.Return(value=value, line=tok.line)
+        if tok.type == T.BREAK:
+            self._advance()
+            return ast.Break(line=tok.line)
+        if tok.type == T.CONTINUE:
+            self._advance()
+            return ast.Continue(line=tok.line)
+        return self._assign_or_expr()
+
+    def _var_decl(self) -> ast.VarDecl:
+        tok = self._expect(T.VAR)
+        name = self._expect(T.IDENT).lexeme
+        self._expect(T.ASSIGN)
+        value = self._expr()
+        return ast.VarDecl(name=name, value=value, line=tok.line)
+
+    def _func_def(self) -> ast.FuncDef:
+        tok = self._expect(T.DEF)
+        name = self._expect(T.IDENT).lexeme
+        self._expect(T.LPAREN)
+        params: list[str] = []
+        if not self._check(T.RPAREN):
+            params.append(self._expect(T.IDENT).lexeme)
+            while self._match(T.COMMA):
+                params.append(self._expect(T.IDENT).lexeme)
+        self._expect(T.RPAREN)
+        self._expect(T.COLON)
+        body = self._block()
+        self._expect(T.END)
+        if len(set(params)) != len(params):
+            raise ParseError(
+                f"duplicate parameter in def {name}", tok.line, tok.column
+            )
+        return ast.FuncDef(name=name, params=params, body=body, line=tok.line)
+
+    def _if(self) -> ast.If:
+        tok = self._expect(T.IF)
+        cond = self._expr()
+        self._expect(T.COLON)
+        then_body = self._block()
+        node = ast.If(cond=cond, then_body=then_body, line=tok.line)
+        tail = node
+        while self._check(T.ELIF):
+            etok = self._advance()
+            econd = self._expr()
+            self._expect(T.COLON)
+            ebody = self._block()
+            nested = ast.If(cond=econd, then_body=ebody, line=etok.line)
+            tail.else_body = [nested]
+            tail = nested
+        if self._match(T.ELSE):
+            self._expect(T.COLON)
+            tail.else_body = self._block()
+        self._expect(T.END)
+        return node
+
+    def _while(self) -> ast.While:
+        tok = self._expect(T.WHILE)
+        cond = self._expr()
+        self._expect(T.COLON)
+        body = self._block()
+        self._expect(T.END)
+        return ast.While(cond=cond, body=body, line=tok.line)
+
+    def _for(self) -> ast.For:
+        tok = self._expect(T.FOR)
+        var = self._expect(T.IDENT).lexeme
+        self._expect(T.IN)
+        iterable = self._expr()
+        self._expect(T.COLON)
+        body = self._block()
+        self._expect(T.END)
+        return ast.For(var=var, iterable=iterable, body=body, line=tok.line)
+
+    def _assign_or_expr(self) -> ast.Node:
+        start = self._peek()
+        expr = self._expr()
+        if self._match(T.ASSIGN):
+            if not isinstance(expr, (ast.Name, ast.Attribute, ast.Index)):
+                raise ParseError(
+                    "invalid assignment target", start.line, start.column
+                )
+            value = self._expr()
+            return ast.Assign(target=expr, value=value, line=start.line)
+        return ast.ExprStmt(expr=expr, line=start.line)
+
+    def _block(self) -> list[ast.Node]:
+        """Statements until END/ELIF/ELSE (not consumed)."""
+        body: list[ast.Node] = []
+        self._skip_newlines()
+        while not self._check(T.END, T.ELIF, T.ELSE, T.EOF):
+            body.append(self._statement())
+            self._end_of_statement()
+        return body
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _expr(self) -> ast.Node:
+        return self._or()
+
+    def _or(self) -> ast.Node:
+        node = self._and()
+        while self._check(T.OR):
+            tok = self._advance()
+            right = self._and()
+            node = ast.BoolOp(op="or", left=node, right=right, line=tok.line)
+        return node
+
+    def _and(self) -> ast.Node:
+        node = self._not()
+        while self._check(T.AND):
+            tok = self._advance()
+            right = self._not()
+            node = ast.BoolOp(op="and", left=node, right=right, line=tok.line)
+        return node
+
+    def _not(self) -> ast.Node:
+        if self._check(T.NOT):
+            tok = self._advance()
+            operand = self._not()
+            return ast.UnaryOp(op="not", operand=operand, line=tok.line)
+        return self._comparison()
+
+    _CMP = {
+        T.EQ: "==",
+        T.NEQ: "!=",
+        T.LT: "<",
+        T.LTE: "<=",
+        T.GT: ">",
+        T.GTE: ">=",
+    }
+
+    def _comparison(self) -> ast.Node:
+        node = self._term()
+        while self._peek().type in self._CMP:
+            tok = self._advance()
+            right = self._term()
+            node = ast.BinOp(
+                op=self._CMP[tok.type], left=node, right=right, line=tok.line
+            )
+        return node
+
+    def _term(self) -> ast.Node:
+        node = self._factor()
+        while self._peek().type in (T.PLUS, T.MINUS):
+            tok = self._advance()
+            right = self._factor()
+            op = "+" if tok.type == T.PLUS else "-"
+            node = ast.BinOp(op=op, left=node, right=right, line=tok.line)
+        return node
+
+    def _factor(self) -> ast.Node:
+        node = self._unary()
+        ops = {T.STAR: "*", T.SLASH: "/", T.PERCENT: "%"}
+        while self._peek().type in ops:
+            tok = self._advance()
+            right = self._unary()
+            node = ast.BinOp(op=ops[tok.type], left=node, right=right, line=tok.line)
+        return node
+
+    def _unary(self) -> ast.Node:
+        if self._check(T.MINUS):
+            tok = self._advance()
+            operand = self._unary()
+            return ast.UnaryOp(op="-", operand=operand, line=tok.line)
+        return self._postfix()
+
+    def _postfix(self) -> ast.Node:
+        node = self._primary()
+        while True:
+            if self._check(T.DOT):
+                self._advance()
+                name = self._expect(T.IDENT)
+                node = ast.Attribute(obj=node, name=name.lexeme, line=name.line)
+            elif self._check(T.LPAREN):
+                tok = self._advance()
+                args: list[ast.Node] = []
+                if not self._check(T.RPAREN):
+                    args.append(self._expr())
+                    while self._match(T.COMMA):
+                        args.append(self._expr())
+                self._expect(T.RPAREN)
+                node = ast.Call(func=node, args=args, line=tok.line)
+            elif self._check(T.LBRACKET):
+                tok = self._advance()
+                key = self._expr()
+                self._expect(T.RBRACKET)
+                node = ast.Index(obj=node, key=key, line=tok.line)
+            else:
+                return node
+
+    def _primary(self) -> ast.Node:
+        tok = self._peek()
+        if tok.type == T.NUMBER or tok.type == T.STRING:
+            self._advance()
+            return ast.Literal(value=tok.value, line=tok.line)
+        if tok.type in (T.TRUE, T.FALSE):
+            self._advance()
+            return ast.Literal(value=tok.value, line=tok.line)
+        if tok.type == T.NONE:
+            self._advance()
+            return ast.Literal(value=None, line=tok.line)
+        if tok.type == T.IDENT:
+            self._advance()
+            return ast.Name(ident=tok.lexeme, line=tok.line)
+        if tok.type == T.LPAREN:
+            self._advance()
+            node = self._expr()
+            self._expect(T.RPAREN)
+            return node
+        if tok.type == T.LBRACKET:
+            self._advance()
+            items: list[ast.Node] = []
+            if not self._check(T.RBRACKET):
+                items.append(self._expr())
+                while self._match(T.COMMA):
+                    items.append(self._expr())
+            self._expect(T.RBRACKET)
+            return ast.ListExpr(items=items, line=tok.line)
+        if tok.type == T.LBRACE:
+            self._advance()
+            self._skip_newlines()
+            pairs: list[tuple[ast.Node, ast.Node]] = []
+            if not self._check(T.RBRACE):
+                pairs.append(self._dict_pair())
+                while self._match(T.COMMA):
+                    self._skip_newlines()
+                    pairs.append(self._dict_pair())
+            self._skip_newlines()
+            self._expect(T.RBRACE)
+            return ast.DictExpr(pairs=pairs, line=tok.line)
+        raise ParseError(
+            f"unexpected token {tok.lexeme!r}", tok.line, tok.column
+        )
+
+    def _dict_pair(self) -> tuple[ast.Node, ast.Node]:
+        key = self._expr()
+        self._expect(T.COLON)
+        value = self._expr()
+        self._skip_newlines()
+        return (key, value)
+
+    # -- token plumbing ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type != T.EOF:
+            self.pos += 1
+        return tok
+
+    def _check(self, *types: T) -> bool:
+        return self._peek().type in types
+
+    def _match(self, ttype: T) -> bool:
+        if self._check(ttype):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, ttype: T) -> Token:
+        tok = self._peek()
+        if tok.type != ttype:
+            raise ParseError(
+                f"expected {ttype.name}, found {tok.lexeme!r}",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    def _end_of_statement(self) -> None:
+        if self._check(T.EOF, T.END, T.ELIF, T.ELSE):
+            return
+        self._expect(T.NEWLINE)
+        self._skip_newlines()
+
+    def _skip_newlines(self) -> None:
+        while self._match(T.NEWLINE):
+            pass
+
+
+def parse(source: str, source_name: str = "<script>") -> ast.Script:
+    """Lex and parse GSL ``source`` into an AST."""
+    return Parser(tokenize(source), source_name).parse()

@@ -1,0 +1,170 @@
+"""Language restriction profiles — the tutorial's "drastic measures".
+
+    "some studios have taken drastic measures — such as removing support
+    for iteration and recursion from their scripting languages — to keep
+    their designers from producing computationally expensive behavior."
+    (Posniewski, Austin GDC 2007, as cited by the tutorial)
+
+A :class:`LanguageProfile` is enforced in two places:
+
+* **statically** — :func:`check_script` rejects scripts whose AST uses a
+  forbidden construct, with the offending line; and
+* **dynamically** — the interpreter enforces the instruction budget and
+  call-depth caps, because a static check cannot bound a loop the profile
+  allows.
+
+Experiment E10 runs a script corpus through the profiles and measures the
+worst-case frame cost each profile admits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import RestrictionError
+from repro.scripting import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class LanguageProfile:
+    """The dials a studio can turn on its scripting language.
+
+    Attributes
+    ----------
+    name:
+        Profile name for error messages and benchmark rows.
+    allow_while:
+        Permit ``while`` loops (unbounded iteration).
+    allow_for:
+        Permit ``for`` loops (iteration bounded by the iterable).
+    allow_recursion:
+        Permit (mutual) recursion; checked statically via the call graph
+        and dynamically via the re-entry stack.
+    allow_user_functions:
+        Permit ``def`` at all (some studios restrict designers to straight-
+        line event handlers).
+    max_call_depth:
+        Dynamic cap on nested calls.
+    instruction_budget:
+        Dynamic cap on interpreter steps per invocation (``None`` = no cap).
+    """
+
+    name: str
+    allow_while: bool = True
+    allow_for: bool = True
+    allow_recursion: bool = True
+    allow_user_functions: bool = True
+    max_call_depth: int = 32
+    instruction_budget: int | None = None
+
+    def with_budget(self, budget: int | None) -> "LanguageProfile":
+        """Copy of this profile with a different instruction budget."""
+        return replace(self, instruction_budget=budget)
+
+
+#: Everything allowed — the engine-programmer profile.
+UNRESTRICTED = LanguageProfile(name="unrestricted")
+
+#: No while loops, recursion banned: iteration cost is bounded by the
+#: sizes of the collections iterated (still permits the O(n²) nested-for).
+NO_WHILE = LanguageProfile(
+    name="no_while", allow_while=False, allow_recursion=False
+)
+
+#: The Posniewski profile: no iteration, no recursion.  Every script is a
+#: straight-line or branching program whose cost is O(statements).
+NO_ITERATION = LanguageProfile(
+    name="no_iteration",
+    allow_while=False,
+    allow_for=False,
+    allow_recursion=False,
+)
+
+#: Designer sandbox: straight-line handlers only, tight budget.
+HANDLERS_ONLY = LanguageProfile(
+    name="handlers_only",
+    allow_while=False,
+    allow_for=False,
+    allow_recursion=False,
+    allow_user_functions=False,
+    max_call_depth=8,
+    instruction_budget=2_000,
+)
+
+PROFILES: dict[str, LanguageProfile] = {
+    p.name: p
+    for p in (UNRESTRICTED, NO_WHILE, NO_ITERATION, HANDLERS_ONLY)
+}
+
+
+def check_script(script: ast.Script, profile: LanguageProfile) -> None:
+    """Statically validate ``script`` against ``profile``.
+
+    Raises :class:`RestrictionError` naming the construct and line.
+    """
+    for node in ast.walk(script):
+        if isinstance(node, ast.While) and not profile.allow_while:
+            raise RestrictionError(
+                f"profile {profile.name!r} forbids 'while' "
+                f"(line {node.line})"
+            )
+        if isinstance(node, ast.For) and not profile.allow_for:
+            raise RestrictionError(
+                f"profile {profile.name!r} forbids 'for' (line {node.line})"
+            )
+        if isinstance(node, ast.FuncDef) and not profile.allow_user_functions:
+            raise RestrictionError(
+                f"profile {profile.name!r} forbids user functions "
+                f"(line {node.line})"
+            )
+    if not profile.allow_recursion:
+        cycle = find_recursion(script)
+        if cycle:
+            raise RestrictionError(
+                f"profile {profile.name!r} forbids recursion; "
+                f"cycle: {' -> '.join(cycle)}"
+            )
+
+
+def find_recursion(script: ast.Script) -> list[str] | None:
+    """Detect a recursive cycle in the script's static call graph.
+
+    Returns the cycle as a function-name list, or ``None``.  Calls through
+    variables or attributes are invisible to this analysis (the dynamic
+    call-depth cap backstops those).
+    """
+    funcs = script.functions()
+    graph: dict[str, set[str]] = {}
+    for name, fdef in funcs.items():
+        calls: set[str] = set()
+        for node in ast.walk(fdef):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.ident in funcs:
+                    calls.add(node.func.ident)
+        graph[name] = calls
+
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in graph}
+    stack: list[str] = []
+
+    def dfs(name: str) -> list[str] | None:
+        color[name] = GREY
+        stack.append(name)
+        for callee in sorted(graph[name]):
+            if color[callee] == GREY:
+                i = stack.index(callee)
+                return stack[i:] + [callee]
+            if color[callee] == WHITE:
+                found = dfs(callee)
+                if found:
+                    return found
+        stack.pop()
+        color[name] = BLACK
+        return None
+
+    for name in sorted(graph):
+        if color[name] == WHITE:
+            found = dfs(name)
+            if found:
+                return found
+    return None

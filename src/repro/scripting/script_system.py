@@ -1,0 +1,141 @@
+"""ScriptSystem: designer scripts as first-class scheduled systems.
+
+    "As scripts are sometimes processed every animation frame, seemingly
+    innocuous code can cripple the performance of a game."
+
+A :class:`ScriptSystem` runs a compiled GSL script once per scheduled
+tick (the script sees ``dt`` and ``tick`` bindings plus the full stdlib).
+Two protections wrap it, because designer code must not take the server
+down:
+
+* a per-frame **instruction budget** — overruns are counted, optionally
+  auto-disabling the script after ``max_strikes`` (the "three strikes"
+  policy live games actually use); and
+* an **error quarantine** — a script exception disables that script and
+  raises a ``script.error`` engine event instead of unwinding the tick.
+
+Construction runs the static cost analyzer; a script whose estimated
+degree exceeds ``max_degree`` is rejected at *registration* time, which
+is where a studio pipeline wants the failure.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.systems import System
+from repro.errors import BudgetExceededError, ScriptError, ScriptRuntimeError
+from repro.scripting.analyzer import CostAnalyzer
+from repro.scripting.interpreter import CompiledScript, Interpreter
+from repro.scripting.restrictions import LanguageProfile, UNRESTRICTED
+from repro.scripting.stdlib import build_stdlib
+
+
+class ScriptSystem(System):
+    """Run one GSL script per scheduled frame, with guard rails.
+
+    Parameters
+    ----------
+    name:
+        Scheduler name (also used in ``script.error`` events).
+    source:
+        GSL source; compiled (and restriction-checked) immediately.
+    profile:
+        Language profile; its instruction budget is enforced per frame.
+    interval:
+        Run every Nth tick (AI throttling).
+    max_degree:
+        Reject the script at construction when the static analyzer
+        estimates a higher polynomial degree in the entity count
+        (``None`` disables the gate).
+    max_strikes:
+        Budget overruns/errors tolerated before the script is disabled
+        (``None`` = never auto-disable).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        profile: LanguageProfile = UNRESTRICTED,
+        interval: int = 1,
+        max_degree: int | None = None,
+        max_strikes: int | None = 3,
+    ):
+        super().__init__(name, interval=interval)
+        self.compiled = CompiledScript(source, profile, source_name=f"system:{name}")
+        if max_degree is not None:
+            report = CostAnalyzer().analyze(self.compiled.tree)
+            if report.worst_degree > max_degree:
+                worst = report.worst()
+                detail = f": {worst.message} (line {worst.line})" if worst else ""
+                raise ScriptError(
+                    f"script system {name!r} rejected: estimated "
+                    f"O(n^{report.worst_degree}) exceeds the allowed "
+                    f"O(n^{max_degree}){detail}"
+                )
+        self.profile = profile
+        self.max_strikes = max_strikes
+        self.strikes = 0
+        self.overruns = 0
+        self.errors = 0
+        self.instructions_last_run = 0
+        self._interpreter: Interpreter | None = None
+
+    def run(self, world: Any, dt: float) -> None:
+        """Execute one frame of the script under the guard rails."""
+        self.runs += 1
+        interp = self._interpreter
+        if interp is None or interp.world is not world:
+            interp = Interpreter(world, build_stdlib(world))
+            self._interpreter = interp
+        before = interp.instructions_executed
+        try:
+            interp.run(
+                self.compiled,
+                {"dt": dt, "tick": world.clock.tick},
+            )
+        except BudgetExceededError:
+            self.overruns += 1
+            self._strike(world, "budget")
+        except ScriptRuntimeError as exc:
+            self.errors += 1
+            self._strike(world, f"error: {exc}")
+        finally:
+            self.instructions_last_run = interp.instructions_executed - before
+
+    def _strike(self, world: Any, reason: str) -> None:
+        self.strikes += 1
+        disabled = (
+            self.max_strikes is not None and self.strikes >= self.max_strikes
+        )
+        if disabled:
+            self.enabled = False
+        world.emit(
+            "script.error",
+            {
+                "system": self.name,
+                "reason": reason,
+                "strikes": self.strikes,
+                "disabled": disabled,
+            },
+        )
+
+
+def add_script_system(
+    world: Any,
+    name: str,
+    source: str,
+    profile: LanguageProfile = UNRESTRICTED,
+    priority: int = 100,
+    interval: int = 1,
+    max_degree: int | None = None,
+    max_strikes: int | None = 3,
+) -> ScriptSystem:
+    """Compile, gate, and register a script system in one call."""
+    system = ScriptSystem(
+        name, source, profile,
+        interval=interval, max_degree=max_degree, max_strikes=max_strikes,
+    )
+    world.add_system(system, priority=priority)
+    return system

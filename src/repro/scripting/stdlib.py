@@ -1,0 +1,184 @@
+"""Builtin functions exposed to GSL scripts.
+
+Two tiers, matching the tutorial's performance story:
+
+* the **naive** tier (``entities``, ``dist``) lets a designer write the
+  classic everything-against-everything loop; and
+* the **declarative** tier (``find``, ``within``, ``nearest``, ``count``,
+  ``sum_of``, ``min_of``, ``max_of``) pushes the work into the query
+  engine and its indexes.
+
+Both tiers are available by default so experiment E1 can express the same
+behaviour both ways in the same language.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import ScriptRuntimeError
+from repro.scripting.interpreter import EntityProxy
+
+
+def build_stdlib(world: Any) -> dict[str, Any]:
+    """Construct the builtin bindings for ``world``.
+
+    Returns a name -> callable dict to pass as ``Interpreter(builtins=…)``.
+    """
+
+    def _proxy(entity_id: int) -> EntityProxy:
+        return EntityProxy(world, entity_id)
+
+    def _unwrap(e: Any) -> int:
+        if isinstance(e, EntityProxy):
+            return e.id
+        if isinstance(e, int):
+            return e
+        raise ScriptRuntimeError(f"expected an entity, got {type(e).__name__}")
+
+    # -- naive tier ------------------------------------------------------------
+
+    def entities(component: str) -> list[EntityProxy]:
+        """All entities carrying ``component`` — the full-scan primitive."""
+        return [_proxy(eid) for eid in world.table(component).entity_ids]
+
+    def dist(a: Any, b: Any) -> float:
+        """Euclidean distance between two entities' Position components."""
+        ida, idb = _unwrap(a), _unwrap(b)
+        pa = world.get(ida, "Position")
+        pb = world.get(idb, "Position")
+        return math.hypot(pa["x"] - pb["x"], pa["y"] - pb["y"])
+
+    # -- declarative tier ---------------------------------------------------------
+
+    def find(component: str, field: str, op: str, value: Any) -> list[EntityProxy]:
+        """Indexed predicate query: ``find("Health", "hp", "<", 20)``."""
+        from repro.core.predicates import Compare
+
+        query = world.query(component).where(component, Compare(field, op, value))
+        return [_proxy(eid) for eid in query.ids()]
+
+    def within(component: str, x: float, y: float, radius: float) -> list[EntityProxy]:
+        """Entities with ``component`` within ``radius`` of (x, y)."""
+        return [
+            _proxy(eid)
+            for eid in world.query(component).within(x, y, radius).ids()
+        ]
+
+    def neighbors(e: Any, component: str, radius: float) -> list[EntityProxy]:
+        """Entities (other than ``e``) within ``radius`` of entity ``e``."""
+        eid = _unwrap(e)
+        pos = world.get(eid, "Position")
+        return [
+            _proxy(other)
+            for other in world.query(component)
+            .within(pos["x"], pos["y"], radius)
+            .ids()
+            if other != eid
+        ]
+
+    def nearest(component: str, x: float, y: float) -> EntityProxy | None:
+        """Nearest entity with ``component`` to (x, y), or none."""
+        hits = world.nearest(component, x, y, 1)
+        return _proxy(hits[0][0]) if hits else None
+
+    def count(component: str) -> int:
+        """Number of entities carrying ``component`` — O(1)."""
+        return len(world.table(component))
+
+    def _fold(component: str, field: str, fold: Callable) -> Any:
+        values = world.table(component).column(field)
+        return fold(values) if values else None
+
+    def sum_of(component: str, field: str) -> float:
+        """Sum of a field over all entities with the component."""
+        values = world.table(component).column(field)
+        return float(sum(values))
+
+    def min_of(component: str, field: str) -> Any:
+        """Minimum of a field, or none when no entities."""
+        return _fold(component, field, min)
+
+    def max_of(component: str, field: str) -> Any:
+        """Maximum of a field, or none when no entities."""
+        return _fold(component, field, max)
+
+    # -- actions -----------------------------------------------------------------------
+
+    def emit(topic: str, data: dict | None = None) -> None:
+        """Raise a deferred game event (delivered at the frame boundary)."""
+        from repro.core.events import Event
+
+        world.events.defer(
+            Event(topic, dict(data or {}), tick=world.clock.tick)
+        )
+
+    def spawn(component: str, values: dict = None) -> EntityProxy:
+        """Spawn an entity with one component (chain attach() for more).
+
+        ``values`` may be none when every field has a default.
+        """
+        return _proxy(world.spawn(**{component: dict(values or {})}))
+
+    def destroy(e: Any) -> None:
+        """Destroy an entity."""
+        world.destroy(_unwrap(e))
+
+    def attach(e: Any, component: str, values: dict = None) -> None:
+        """Attach a component to an existing entity."""
+        world.attach(_unwrap(e), component, **dict(values or {}))
+
+    def has(e: Any, component: str) -> bool:
+        """Whether the entity carries the component."""
+        return world.has(_unwrap(e), component)
+
+    # -- pure helpers ---------------------------------------------------------------------
+
+    def clamp(value: float, lo: float, hi: float) -> float:
+        """Clamp ``value`` into [lo, hi]."""
+        return max(lo, min(hi, value))
+
+    return {
+        # naive tier
+        "entities": entities,
+        "dist": dist,
+        # declarative tier
+        "find": find,
+        "within": within,
+        "neighbors": neighbors,
+        "nearest": nearest,
+        "count": count,
+        "sum_of": sum_of,
+        "min_of": min_of,
+        "max_of": max_of,
+        # actions
+        "emit": emit,
+        "spawn": spawn,
+        "destroy": destroy,
+        "attach": attach,
+        "has": has,
+        # pure helpers
+        "abs": abs,
+        "min": min,
+        "max": max,
+        "floor": math.floor,
+        "ceil": math.ceil,
+        "sqrt": math.sqrt,
+        "len": len,
+        "clamp": clamp,
+        "range": lambda *a: list(range(*a)),
+    }
+
+
+#: Builtins returning O(n) collections (full scans).  The static analyzer
+#: treats a loop over any of these as multiplying cost by n.
+SCAN_SOURCE_BUILTINS = frozenset({"entities"})
+
+#: Builtins answered by indexes: their results are O(k) local sets, so a
+#: loop over them does *not* multiply cost by n.  This asymmetry is the
+#: analyzer's encoding of the tutorial's "use indices" advice.
+INDEXED_SOURCE_BUILTINS = frozenset({"find", "within", "neighbors", "nearest"})
+
+#: Union, for tools that only care whether a builtin touches entity sets.
+ENTITY_SOURCE_BUILTINS = SCAN_SOURCE_BUILTINS | INDEXED_SOURCE_BUILTINS

@@ -1,0 +1,101 @@
+"""Token definitions for GSL, the game scripting language.
+
+GSL is the small, designer-facing language of the reproduction: Python-ish
+expression syntax with braces-free, indentation-free block structure
+(``end``-terminated), because designers reportedly struggle with
+significant whitespace.  The token set is deliberately tiny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenType(Enum):
+    """All token kinds the lexer can produce."""
+
+    # literals & identifiers
+    NUMBER = auto()
+    STRING = auto()
+    IDENT = auto()
+    # keywords
+    VAR = auto()
+    DEF = auto()
+    IF = auto()
+    ELIF = auto()
+    ELSE = auto()
+    WHILE = auto()
+    FOR = auto()
+    IN = auto()
+    RETURN = auto()
+    BREAK = auto()
+    CONTINUE = auto()
+    END = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    TRUE = auto()
+    FALSE = auto()
+    NONE = auto()
+    # punctuation / operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()        # =
+    EQ = auto()            # ==
+    NEQ = auto()           # !=
+    LT = auto()
+    LTE = auto()
+    GT = auto()
+    GTE = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    COMMA = auto()
+    DOT = auto()
+    COLON = auto()
+    NEWLINE = auto()
+    EOF = auto()
+
+
+#: Reserved words -> token types.
+KEYWORDS: dict[str, TokenType] = {
+    "var": TokenType.VAR,
+    "def": TokenType.DEF,
+    "if": TokenType.IF,
+    "elif": TokenType.ELIF,
+    "else": TokenType.ELSE,
+    "while": TokenType.WHILE,
+    "for": TokenType.FOR,
+    "in": TokenType.IN,
+    "return": TokenType.RETURN,
+    "break": TokenType.BREAK,
+    "continue": TokenType.CONTINUE,
+    "end": TokenType.END,
+    "and": TokenType.AND,
+    "or": TokenType.OR,
+    "not": TokenType.NOT,
+    "true": TokenType.TRUE,
+    "false": TokenType.FALSE,
+    "none": TokenType.NONE,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token with its source position (1-based)."""
+
+    type: TokenType
+    lexeme: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.lexeme!r}, L{self.line}:{self.column})"

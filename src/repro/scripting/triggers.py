@@ -1,0 +1,176 @@
+"""Event triggers: data-driven "when X happens, if C, do A" rules.
+
+Designers "specify event triggers" (tutorial, §Data-Driven Game Design)
+rather than writing engine code.  A :class:`Trigger` binds an event topic
+to an optional GSL condition and a GSL action; the
+:class:`TriggerManager` subscribes them to the world's event bus, compiles
+scripts once, enforces the designer restriction profile, and meters
+execution.
+
+Trigger scripts see these bindings:
+
+* ``event`` — a dict with ``topic``, ``data``, ``source``, ``tick``;
+* ``world`` and the full stdlib;
+* for condition scripts, the last expression statement's value is the
+  verdict (conditions are expression-oriented: ``event.data["hp"] < 10``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import Event, Subscription
+from repro.errors import ScriptError
+from repro.scripting.interpreter import CompiledScript, Interpreter
+from repro.scripting.restrictions import LanguageProfile, UNRESTRICTED
+from repro.scripting.stdlib import build_stdlib
+
+
+@dataclass
+class TriggerStats:
+    """Execution counters for one trigger."""
+
+    fired: int = 0
+    condition_rejected: int = 0
+    errors: int = 0
+
+
+class Trigger:
+    """One compiled trigger rule."""
+
+    def __init__(
+        self,
+        name: str,
+        topic: str,
+        action_source: str,
+        condition_source: str | None = None,
+        profile: LanguageProfile = UNRESTRICTED,
+        once: bool = False,
+        cooldown_ticks: int = 0,
+    ):
+        self.name = name
+        self.topic = topic
+        self.profile = profile
+        self.once = once
+        self.cooldown_ticks = cooldown_ticks
+        self.action = CompiledScript(
+            action_source, profile, source_name=f"trigger:{name}:action"
+        )
+        self.condition = (
+            CompiledScript(
+                _as_condition(condition_source),
+                profile,
+                source_name=f"trigger:{name}:condition",
+            )
+            if condition_source is not None
+            else None
+        )
+        self.stats = TriggerStats()
+        self.enabled = True
+        self._last_fired_tick = -(10 ** 9)
+
+
+def _as_condition(source: str) -> str:
+    """Wrap a condition expression/body so it yields ``__verdict``.
+
+    A bare expression becomes ``var __verdict = (expr)``; multi-line
+    bodies must assign ``verdict`` themselves.
+    """
+    stripped = source.strip()
+    if "\n" not in stripped and not stripped.startswith("var "):
+        return f"var verdict = ({stripped})"
+    return source
+
+
+class TriggerManager:
+    """Owns trigger registration, dispatch, and bookkeeping."""
+
+    def __init__(self, world: Any, profile: LanguageProfile = UNRESTRICTED):
+        self.world = world
+        self.default_profile = profile
+        self.interpreter = Interpreter(world, build_stdlib(world))
+        self._triggers: dict[str, Trigger] = {}
+        self._subs: dict[str, Subscription] = {}
+
+    # -- registration --------------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        topic: str,
+        action: str,
+        condition: str | None = None,
+        profile: LanguageProfile | None = None,
+        once: bool = False,
+        cooldown_ticks: int = 0,
+    ) -> Trigger:
+        """Compile and register a trigger; raises ScriptError on bad source."""
+        if name in self._triggers:
+            raise ScriptError(f"trigger {name!r} already registered")
+        trigger = Trigger(
+            name,
+            topic,
+            action,
+            condition,
+            profile or self.default_profile,
+            once=once,
+            cooldown_ticks=cooldown_ticks,
+        )
+        self._triggers[name] = trigger
+        self._subs[name] = self.world.events.subscribe(
+            topic, lambda event, t=trigger: self._fire(t, event)
+        )
+        return trigger
+
+    def remove(self, name: str) -> None:
+        """Unregister a trigger."""
+        trigger = self._triggers.pop(name, None)
+        if trigger is None:
+            raise ScriptError(f"no trigger named {name!r}")
+        self._subs.pop(name).cancel()
+
+    def get(self, name: str) -> Trigger:
+        """Look up a registered trigger."""
+        try:
+            return self._triggers[name]
+        except KeyError:
+            raise ScriptError(f"no trigger named {name!r}") from None
+
+    def names(self) -> list[str]:
+        """All registered trigger names."""
+        return sorted(self._triggers)
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def _fire(self, trigger: Trigger, event: Event) -> None:
+        if not trigger.enabled:
+            return
+        if (
+            trigger.cooldown_ticks
+            and event.tick - trigger._last_fired_tick < trigger.cooldown_ticks
+        ):
+            return
+        bindings = {
+            "event": {
+                "topic": event.topic,
+                "data": dict(event.data),
+                "source": event.source,
+                "tick": event.tick,
+            }
+        }
+        try:
+            if trigger.condition is not None:
+                env = self.interpreter.run(trigger.condition, bindings)
+                verdict = env.vars.get("verdict", False)
+                if not verdict:
+                    trigger.stats.condition_rejected += 1
+                    return
+            self.interpreter.run(trigger.action, bindings)
+        except ScriptError:
+            trigger.stats.errors += 1
+            raise
+        trigger.stats.fired += 1
+        trigger._last_fired_tick = event.tick
+        if trigger.once:
+            trigger.enabled = False

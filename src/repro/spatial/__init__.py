@@ -1,0 +1,62 @@
+"""Spatial substrate: geometry, indexes (grid/quadtree/k-d/octree/BSP),
+navigation meshes, and distance-join algorithms."""
+
+from repro.spatial.bsp import BSPPointIndex, BSPTree
+from repro.spatial.geometry import (
+    AABB,
+    Segment,
+    Vec2,
+    Vec3,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+)
+from repro.spatial.grid import UniformGrid
+from repro.spatial.joins import (
+    grid_join,
+    index_join,
+    interaction_candidates,
+    join_pairs_per_entity,
+    nested_loop_join,
+    sweep_join,
+)
+from repro.spatial.kdtree import KDTree
+from repro.spatial.navmesh import (
+    NavMesh,
+    NavPolygon,
+    Portal,
+    connect_rectangles,
+    funnel_smooth,
+    grid_to_navmesh,
+)
+from repro.spatial.octree import AABB3, Octree
+from repro.spatial.quadtree import QuadTree
+
+__all__ = [
+    "AABB",
+    "AABB3",
+    "BSPPointIndex",
+    "BSPTree",
+    "KDTree",
+    "NavMesh",
+    "NavPolygon",
+    "Octree",
+    "Portal",
+    "QuadTree",
+    "Segment",
+    "UniformGrid",
+    "Vec2",
+    "Vec3",
+    "connect_rectangles",
+    "funnel_smooth",
+    "grid_join",
+    "grid_to_navmesh",
+    "index_join",
+    "interaction_candidates",
+    "join_pairs_per_entity",
+    "nested_loop_join",
+    "point_in_polygon",
+    "polygon_area",
+    "polygon_centroid",
+    "sweep_join",
+]

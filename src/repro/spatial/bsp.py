@@ -1,0 +1,343 @@
+"""Binary space partitioning (BSP) tree over line segments, plus a point
+index built on its leaves.
+
+Games historically used BSP trees for *static level geometry*: walls are
+recursively chosen as splitting hyperplanes until each leaf is a convex
+open region.  The classic uses are (a) visibility / painter's-order
+traversal and (b) constant-time point-location into convex cells, which in
+turn gives a coarse spatial index for dynamic entities ("which room is
+this monster in?").
+
+:class:`BSPTree` builds from wall segments (heuristic: pick the splitter
+minimising splits + imbalance), supports point location, front-to-back
+traversal from an eye point, and segment (line-of-sight) queries.
+:class:`BSPPointIndex` layers the common structure protocol on top so the
+BSP can compete in experiment E2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import AABB, Segment, Vec2
+
+_EPS = 1e-9
+
+
+class _BSPNode:
+    __slots__ = ("splitter", "coplanar", "front", "back", "leaf_id")
+
+    def __init__(self) -> None:
+        self.splitter: Segment | None = None
+        self.coplanar: list[Segment] = []
+        self.front: "_BSPNode | None" = None
+        self.back: "_BSPNode | None" = None
+        self.leaf_id: int = -1  # >= 0 iff leaf
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.splitter is None
+
+
+def _classify(seg: Segment, plane: Segment) -> tuple[str, list[Segment], list[Segment]]:
+    """Classify ``seg`` against ``plane``: returns (kind, fronts, backs).
+
+    kind is "front", "back", "coplanar", or "split"; for "split" the
+    fronts/backs lists carry the pieces.
+    """
+    da = plane.side_of(seg.a)
+    db = plane.side_of(seg.b)
+    if abs(da) < _EPS and abs(db) < _EPS:
+        return "coplanar", [], []
+    if da >= -_EPS and db >= -_EPS:
+        return "front", [], []
+    if da <= _EPS and db <= _EPS:
+        return "back", [], []
+    # Proper split: find the intersection parameter.
+    t = da / (da - db)
+    mid = seg.a.lerp(seg.b, t)
+    piece_a = Segment(seg.a, mid)
+    piece_b = Segment(mid, seg.b)
+    if da > 0:
+        return "split", [piece_a], [piece_b]
+    return "split", [piece_b], [piece_a]
+
+
+class BSPTree:
+    """BSP tree over static wall segments.
+
+    Parameters
+    ----------
+    segments:
+        The level's wall segments.
+    bounds:
+        World bounds (used to bound leaf cells and for statistics).
+    max_depth:
+        Safety cap on recursion.
+    """
+
+    def __init__(self, segments: list[Segment], bounds: AABB, max_depth: int = 32):
+        self.bounds = bounds
+        self.segment_count = len(segments)
+        self._leaf_count = 0
+        self.splits_performed = 0
+        self._root = self._build(list(segments), 0, max_depth)
+        if self._root.is_leaf and self._root.leaf_id < 0:
+            self._root.leaf_id = self._alloc_leaf()
+
+    # -- construction --------------------------------------------------------------
+
+    def _build(self, segments: list[Segment], depth: int, max_depth: int) -> _BSPNode:
+        node = _BSPNode()
+        if not segments or depth >= max_depth:
+            node.leaf_id = self._alloc_leaf()
+            return node
+        splitter = self._choose_splitter(segments)
+        node.splitter = splitter
+        fronts: list[Segment] = []
+        backs: list[Segment] = []
+        for seg in segments:
+            if seg is splitter:
+                node.coplanar.append(seg)
+                continue
+            kind, fs, bs = _classify(seg, splitter)
+            if kind == "coplanar":
+                node.coplanar.append(seg)
+            elif kind == "front":
+                fronts.append(seg)
+            elif kind == "back":
+                backs.append(seg)
+            else:
+                self.splits_performed += 1
+                fronts.extend(fs)
+                backs.extend(bs)
+        node.front = self._build(fronts, depth + 1, max_depth)
+        node.back = self._build(backs, depth + 1, max_depth)
+        return node
+
+    def _choose_splitter(self, segments: list[Segment], sample: int = 8) -> Segment:
+        """Pick the splitter minimising ``splits*3 + |front-back|``.
+
+        Only a sample of candidates is scored — the standard engineering
+        compromise (full scoring is O(n²) at every level).
+        """
+        step = max(1, len(segments) // sample)
+        best_seg = segments[0]
+        best_score = math.inf
+        for candidate in segments[::step]:
+            splits = front = back = 0
+            for seg in segments:
+                if seg is candidate:
+                    continue
+                kind, _f, _b = _classify(seg, candidate)
+                if kind == "split":
+                    splits += 1
+                elif kind == "front":
+                    front += 1
+                elif kind == "back":
+                    back += 1
+            score = splits * 3 + abs(front - back)
+            if score < best_score:
+                best_score = score
+                best_seg = candidate
+        return best_seg
+
+    def _alloc_leaf(self) -> int:
+        leaf = self._leaf_count
+        self._leaf_count += 1
+        return leaf
+
+    # -- queries ------------------------------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of convex leaf cells."""
+        return self._leaf_count
+
+    def locate(self, x: float, y: float) -> int:
+        """Leaf cell id containing the point (ties resolve to front)."""
+        p = Vec2(x, y)
+        node = self._root
+        while not node.is_leaf:
+            side = node.splitter.side_of(p)
+            node = node.front if side >= 0 else node.back
+        return node.leaf_id
+
+    def front_to_back(self, eye_x: float, eye_y: float) -> list[int]:
+        """Leaf ids in front-to-back order from the eye point.
+
+        This ordering is what renderers (and audio occlusion, and AI
+        visibility sweeps) consume.
+        """
+        eye = Vec2(eye_x, eye_y)
+        out: list[int] = []
+
+        def walk(node: _BSPNode) -> None:
+            if node.is_leaf:
+                out.append(node.leaf_id)
+                return
+            side = node.splitter.side_of(eye)
+            near, far = (node.front, node.back) if side >= 0 else (node.back, node.front)
+            walk(near)
+            walk(far)
+
+        walk(self._root)
+        return out
+
+    def line_of_sight(self, ax: float, ay: float, bx: float, by: float) -> bool:
+        """True when the segment A→B crosses no wall segment.
+
+        Walks only the BSP nodes the segment straddles — O(depth + walls
+        actually near the ray) instead of O(all walls).
+        """
+        query = Segment(Vec2(ax, ay), Vec2(bx, by))
+
+        def walk(node: _BSPNode, seg: Segment) -> bool:
+            if node.is_leaf:
+                return True
+            for wall in node.coplanar:
+                if seg.intersects(wall):
+                    return False
+            kind, fs, bs = _classify(seg, node.splitter)
+            if kind == "front":
+                return walk(node.front, seg)
+            if kind == "back":
+                return walk(node.back, seg)
+            if kind == "coplanar":
+                # runs along the plane; check both sides conservatively
+                return walk(node.front, seg) and walk(node.back, seg)
+            return all(walk(node.front, f) for f in fs) and all(
+                walk(node.back, b) for b in bs
+            )
+
+        return walk(self._root, query)
+
+
+class BSPPointIndex:
+    """Dynamic point index over a static BSP's convex cells.
+
+    Entities hash into their containing leaf cell; range/circle queries
+    locate candidate cells by testing the query region against the
+    splitting planes.  This is exactly how shooters bucket entities by
+    BSP leaf for PVS (potentially visible set) filtering.
+    """
+
+    def __init__(self, tree: BSPTree):
+        self.tree = tree
+        self.bounds = tree.bounds
+        self._cells: dict[int, dict[int, tuple[float, float]]] = defaultdict(dict)
+        self._pos: dict[int, tuple[float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._pos
+
+    def insert(self, item_id: int, x: float, y: float) -> None:
+        """Insert a point into its leaf cell."""
+        if item_id in self._pos:
+            raise SpatialError(f"id {item_id} already in BSP index")
+        leaf = self.tree.locate(x, y)
+        self._cells[leaf][item_id] = (x, y)
+        self._pos[item_id] = (x, y)
+
+    def remove(self, item_id: int, x: float, y: float) -> None:
+        """Remove a point."""
+        if item_id not in self._pos:
+            raise SpatialError(f"id {item_id} not in BSP index")
+        leaf = self.tree.locate(x, y)
+        cell = self._cells.get(leaf, {})
+        if item_id not in cell:
+            raise SpatialError(f"id {item_id} not in leaf {leaf}; stale position?")
+        del cell[item_id]
+        del self._pos[item_id]
+
+    def move(self, item_id: int, ox: float, oy: float, nx: float, ny: float) -> None:
+        """Relocate a point (O(1) when it stays in its convex cell)."""
+        old_leaf = self.tree.locate(ox, oy)
+        new_leaf = self.tree.locate(nx, ny)
+        if old_leaf == new_leaf:
+            self._cells[old_leaf][item_id] = (nx, ny)
+            self._pos[item_id] = (nx, ny)
+            return
+        self.remove(item_id, ox, oy)
+        self.insert(item_id, nx, ny)
+
+    def query_circle(self, cx: float, cy: float, r: float) -> list[int]:
+        """Ids within the closed disc (walks only straddled subtrees)."""
+        if r < 0:
+            raise SpatialError("radius must be non-negative")
+        r2 = r * r
+        out: list[int] = []
+        center = Vec2(cx, cy)
+
+        def walk(node: _BSPNode) -> None:
+            if node.is_leaf:
+                for item_id, (x, y) in self._cells.get(node.leaf_id, {}).items():
+                    dx, dy = x - cx, y - cy
+                    if dx * dx + dy * dy <= r2:
+                        out.append(item_id)
+                return
+            side = node.splitter.side_of(center)
+            dist = self._plane_distance(node.splitter, center)
+            if side >= 0:
+                walk(node.front)
+                if dist <= r:
+                    walk(node.back)
+            else:
+                walk(node.back)
+                if dist <= r:
+                    walk(node.front)
+
+        walk(self.tree._root)
+        return out
+
+    def query_range(self, box: AABB) -> list[int]:
+        """Ids inside the closed box."""
+        # Conservative: circle through the box's circumradius then filter.
+        c = box.center
+        radius = math.hypot(box.width, box.height) / 2
+        return [
+            item_id
+            for item_id in self.query_circle(c.x, c.y, radius)
+            if box.contains_point(*self._pos[item_id])
+        ]
+
+    def query_knn(self, cx: float, cy: float, k: int) -> list[tuple[int, float]]:
+        """K nearest, by expanding circle doubling (simple but correct)."""
+        if k <= 0:
+            raise SpatialError("k must be positive")
+        if not self._pos:
+            return []
+        r = 1.0
+        span = max(self.bounds.width, self.bounds.height)
+        while True:
+            hits = self.query_circle(cx, cy, r)
+            if len(hits) >= k or r > span * 2:
+                scored = sorted(
+                    (math.hypot(x - cx, y - cy), item_id)
+                    for item_id, (x, y) in (
+                        (h, self._pos[h]) for h in (hits if len(hits) >= k else self._pos)
+                    )
+                )
+                return [(item_id, d) for d, item_id in scored[:k]]
+            r *= 2
+
+    def all_ids(self) -> list[int]:
+        """All stored ids."""
+        return list(self._pos)
+
+    def cell_population(self) -> dict[int, int]:
+        """Leaf id -> population (load metric)."""
+        return {leaf: len(cell) for leaf, cell in self._cells.items() if cell}
+
+    @staticmethod
+    def _plane_distance(splitter: Segment, p: Vec2) -> float:
+        direction = splitter.b - splitter.a
+        length = direction.length()
+        if length == 0:
+            return 0.0
+        return abs(direction.cross(p - splitter.a)) / length

@@ -1,0 +1,298 @@
+"""2-D/3-D geometry primitives shared by all spatial structures.
+
+Everything here is a plain immutable value type: vectors, axis-aligned
+boxes, segments, and the small set of intersection tests the indexes and
+the navmesh need.  Kept dependency-free and exact about edge cases
+(touching counts as intersecting, consistent with closed ranges in the
+sorted index).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SpatialError
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """Immutable 2-D vector with the usual arithmetic."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, k: float) -> "Vec2":
+        return Vec2(self.x * k, self.y * k)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """2-D cross product (z of the 3-D cross)."""
+        return self.x * other.y - self.y * other.x
+
+    def length(self) -> float:
+        """Euclidean norm."""
+        return math.hypot(self.x, self.y)
+
+    def length_sq(self) -> float:
+        """Squared norm (avoids the sqrt in hot loops)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction; raises on zero vector."""
+        n = self.length()
+        if n == 0.0:
+            raise SpatialError("cannot normalize a zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def perp(self) -> "Vec2":
+        """Counter-clockwise perpendicular."""
+        return Vec2(-self.y, self.x)
+
+    def lerp(self, other: "Vec2", t: float) -> "Vec2":
+        """Linear interpolation: self at t=0, other at t=1."""
+        return Vec2(
+            self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t
+        )
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """Immutable 3-D vector (used by the octree and orbital workloads)."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, k: float) -> "Vec3":
+        return Vec3(self.x * k, self.y * k, self.z * k)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Vec3") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def length(self) -> float:
+        """Euclidean norm."""
+        return math.sqrt(self.dot(self))
+
+    def distance_to(self, other: "Vec3") -> float:
+        """Euclidean distance to ``other``."""
+        return (self - other).length()
+
+
+@dataclass(frozen=True)
+class AABB:
+    """Closed axis-aligned 2-D box ``[min_x, max_x] × [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise SpatialError(
+                f"degenerate AABB: ({self.min_x},{self.min_y})-"
+                f"({self.max_x},{self.max_y})"
+            )
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, half_w: float, half_h: float) -> "AABB":
+        """Box centred at (cx, cy) with the given half-extents."""
+        return cls(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+    @classmethod
+    def around_circle(cls, cx: float, cy: float, r: float) -> "AABB":
+        """Smallest box containing the circle (the standard query prefilter)."""
+        return cls(cx - r, cy - r, cx + r, cy + r)
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        """Box area."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Vec2:
+        return Vec2((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Closed containment test."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def contains_box(self, other: "AABB") -> bool:
+        """Whether ``other`` lies entirely inside this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "AABB") -> bool:
+        """Closed intersection test (touching counts)."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def intersects_circle(self, cx: float, cy: float, r: float) -> bool:
+        """Whether the box intersects the closed disc at (cx, cy)."""
+        nx = min(max(cx, self.min_x), self.max_x)
+        ny = min(max(cy, self.min_y), self.max_y)
+        dx, dy = cx - nx, cy - ny
+        return dx * dx + dy * dy <= r * r
+
+    def distance_sq_to_point(self, x: float, y: float) -> float:
+        """Squared distance from the box to a point (0 when inside)."""
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        return dx * dx + dy * dy
+
+    def quadrants(self) -> tuple["AABB", "AABB", "AABB", "AABB"]:
+        """Split into NW, NE, SW, SE children (used by the quadtree)."""
+        cx, cy = (self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2
+        return (
+            AABB(self.min_x, cy, cx, self.max_y),  # NW
+            AABB(cx, cy, self.max_x, self.max_y),  # NE
+            AABB(self.min_x, self.min_y, cx, cy),  # SW
+            AABB(cx, self.min_y, self.max_x, cy),  # SE
+        )
+
+    def expanded(self, margin: float) -> "AABB":
+        """Box grown by ``margin`` on every side."""
+        return AABB(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Directed 2-D line segment from ``a`` to ``b``."""
+
+    a: Vec2
+    b: Vec2
+
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Vec2:
+        return self.a.lerp(self.b, 0.5)
+
+    def side_of(self, p: Vec2) -> float:
+        """> 0 when ``p`` is left of the segment direction, < 0 right, 0 on."""
+        return (self.b - self.a).cross(p - self.a)
+
+    def intersects(self, other: "Segment") -> bool:
+        """Proper or touching segment intersection."""
+        d1 = self.side_of(other.a)
+        d2 = self.side_of(other.b)
+        d3 = other.side_of(self.a)
+        d4 = other.side_of(self.b)
+        if ((d1 > 0) != (d2 > 0) or d1 == 0 or d2 == 0) and (
+            (d3 > 0) != (d4 > 0) or d3 == 0 or d4 == 0
+        ):
+            # Collinear cases: confirm overlap via bounding boxes.
+            if d1 == 0 and d2 == 0 and d3 == 0 and d4 == 0:
+                return self._bbox_overlap(other)
+            return True
+        return False
+
+    def _bbox_overlap(self, other: "Segment") -> bool:
+        return (
+            min(self.a.x, self.b.x) <= max(other.a.x, other.b.x)
+            and min(other.a.x, other.b.x) <= max(self.a.x, self.b.x)
+            and min(self.a.y, self.b.y) <= max(other.a.y, other.b.y)
+            and min(other.a.y, other.b.y) <= max(self.a.y, self.b.y)
+        )
+
+    def closest_point_to(self, p: Vec2) -> Vec2:
+        """Closest point on the segment to ``p``."""
+        ab = self.b - self.a
+        denom = ab.length_sq()
+        if denom == 0.0:
+            return self.a
+        t = max(0.0, min(1.0, (p - self.a).dot(ab) / denom))
+        return self.a.lerp(self.b, t)
+
+
+def polygon_area(points: list[Vec2]) -> float:
+    """Signed area of a simple polygon (positive = counter-clockwise)."""
+    if len(points) < 3:
+        raise SpatialError("polygon needs at least 3 vertices")
+    total = 0.0
+    for i, p in enumerate(points):
+        q = points[(i + 1) % len(points)]
+        total += p.cross(q)
+    return total / 2.0
+
+
+def polygon_centroid(points: list[Vec2]) -> Vec2:
+    """Centroid of a simple polygon."""
+    area = polygon_area(points)
+    if area == 0.0:
+        # Degenerate: fall back to vertex mean.
+        sx = sum(p.x for p in points) / len(points)
+        sy = sum(p.y for p in points) / len(points)
+        return Vec2(sx, sy)
+    cx = cy = 0.0
+    for i, p in enumerate(points):
+        q = points[(i + 1) % len(points)]
+        w = p.cross(q)
+        cx += (p.x + q.x) * w
+        cy += (p.y + q.y) * w
+    return Vec2(cx / (6.0 * area), cy / (6.0 * area))
+
+
+def point_in_polygon(x: float, y: float, points: list[Vec2]) -> bool:
+    """Ray-casting point-in-polygon test (boundary counts as inside)."""
+    inside = False
+    n = len(points)
+    for i in range(n):
+        p, q = points[i], points[(i + 1) % n]
+        # boundary check via closest point
+        if Segment(p, q).closest_point_to(Vec2(x, y)).distance_to(Vec2(x, y)) < 1e-12:
+            return True
+        if (p.y > y) != (q.y > y):
+            x_cross = p.x + (y - p.y) * (q.x - p.x) / (q.y - p.y)
+            if x < x_cross:
+                inside = not inside
+    return inside

@@ -1,0 +1,219 @@
+"""2-D k-d tree for mostly-static point sets.
+
+k-d trees give excellent k-NN performance on static data (level geometry,
+spawn points, loot tables keyed by position) but degrade under heavy
+updates; this implementation therefore supports removals via tombstones
+and exposes :meth:`rebuild` — the standard "rebuild at the loading screen"
+pattern games use.  Experiment E2 shows exactly this trade-off.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import AABB
+
+
+class _KDNode:
+    __slots__ = ("item_id", "x", "y", "axis", "left", "right", "dead")
+
+    def __init__(self, item_id: int, x: float, y: float, axis: int):
+        self.item_id = item_id
+        self.x = x
+        self.y = y
+        self.axis = axis
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+        self.dead = False
+
+
+class KDTree:
+    """Point k-d tree with tombstone deletion and bulk (median) rebuild.
+
+    ``bounds`` is advisory (planner statistics); points outside it are
+    accepted.  After many mutations call :meth:`rebuild` to restore
+    balance; :attr:`tombstone_fraction` tells you when.
+    """
+
+    def __init__(self, bounds: AABB | None = None):
+        self.bounds = bounds
+        self._root: _KDNode | None = None
+        self._pos: dict[int, tuple[float, float]] = {}
+        self._dead_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._pos
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Fraction of tree nodes that are tombstones (rebuild heuristic)."""
+        total = len(self._pos) + self._dead_count
+        return self._dead_count / total if total else 0.0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(cls, points: dict[int, tuple[float, float]], bounds: AABB | None = None) -> "KDTree":
+        """Bulk-build a balanced tree from ``{id: (x, y)}``."""
+        tree = cls(bounds)
+        tree._pos = dict(points)
+        items = [(item_id, x, y) for item_id, (x, y) in points.items()]
+        tree._root = tree._build(items, 0)
+        return tree
+
+    def rebuild(self) -> None:
+        """Rebalance: rebuild from live points, dropping tombstones."""
+        items = [(item_id, x, y) for item_id, (x, y) in self._pos.items()]
+        self._root = self._build(items, 0)
+        self._dead_count = 0
+
+    def _build(self, items: list[tuple[int, float, float]], axis: int) -> _KDNode | None:
+        if not items:
+            return None
+        key = (lambda t: t[1]) if axis == 0 else (lambda t: t[2])
+        items.sort(key=key)
+        mid = len(items) // 2
+        item_id, x, y = items[mid]
+        node = _KDNode(item_id, x, y, axis)
+        node.left = self._build(items[:mid], 1 - axis)
+        node.right = self._build(items[mid + 1:], 1 - axis)
+        return node
+
+    # -- mutation ------------------------------------------------------------------
+
+    def insert(self, item_id: int, x: float, y: float) -> None:
+        """Insert a point (unbalanced path insert)."""
+        if item_id in self._pos:
+            raise SpatialError(f"id {item_id} already in kd-tree")
+        self._pos[item_id] = (x, y)
+        new = _KDNode(item_id, x, y, 0)
+        if self._root is None:
+            self._root = new
+            return
+        node = self._root
+        while True:
+            axis = node.axis
+            goes_left = (x < node.x) if axis == 0 else (y < node.y)
+            nxt = node.left if goes_left else node.right
+            if nxt is None:
+                new.axis = 1 - axis
+                if goes_left:
+                    node.left = new
+                else:
+                    node.right = new
+                return
+            node = nxt
+
+    def remove(self, item_id: int, x: float, y: float) -> None:
+        """Tombstone the node holding ``item_id``."""
+        if item_id not in self._pos:
+            raise SpatialError(f"id {item_id} not in kd-tree")
+        node = self._find(self._root, item_id, x, y)
+        if node is None:
+            raise SpatialError(f"id {item_id} not found at ({x}, {y})")
+        node.dead = True
+        self._dead_count += 1
+        del self._pos[item_id]
+
+    def move(self, item_id: int, ox: float, oy: float, nx: float, ny: float) -> None:
+        """Relocate a point (tombstone + fresh insert)."""
+        self.remove(item_id, ox, oy)
+        self.insert(item_id, nx, ny)
+
+    def _find(self, node: _KDNode | None, item_id: int, x: float, y: float) -> _KDNode | None:
+        while node is not None:
+            if node.item_id == item_id and not node.dead:
+                return node
+            if node.axis == 0:
+                # equal coordinates may sit on either side after median builds
+                if x < node.x:
+                    node = node.left
+                elif x > node.x:
+                    node = node.right
+                else:
+                    found = self._find(node.left, item_id, x, y)
+                    return found if found is not None else self._find(node.right, item_id, x, y)
+            else:
+                if y < node.y:
+                    node = node.left
+                elif y > node.y:
+                    node = node.right
+                else:
+                    found = self._find(node.left, item_id, x, y)
+                    return found if found is not None else self._find(node.right, item_id, x, y)
+        return None
+
+    # -- queries ----------------------------------------------------------------------
+
+    def query_range(self, box: AABB) -> list[int]:
+        """Ids of live points inside the closed box."""
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if not node.dead and box.contains_point(node.x, node.y):
+                out.append(node.item_id)
+            if node.axis == 0:
+                if box.min_x <= node.x:
+                    stack.append(node.left)
+                if box.max_x >= node.x:
+                    stack.append(node.right)
+            else:
+                if box.min_y <= node.y:
+                    stack.append(node.left)
+                if box.max_y >= node.y:
+                    stack.append(node.right)
+        return out
+
+    def query_circle(self, cx: float, cy: float, r: float) -> list[int]:
+        """Ids of live points within the closed disc."""
+        if r < 0:
+            raise SpatialError("radius must be non-negative")
+        box = AABB.around_circle(cx, cy, r)
+        r2 = r * r
+        return [
+            item_id
+            for item_id in self.query_range(box)
+            if self._dist_sq(item_id, cx, cy) <= r2
+        ]
+
+    def query_knn(self, cx: float, cy: float, k: int) -> list[tuple[int, float]]:
+        """K nearest live points, classic branch-and-bound descent."""
+        if k <= 0:
+            raise SpatialError("k must be positive")
+        best: list[tuple[float, int]] = []  # max-heap via negated distance
+
+        def visit(node: _KDNode | None) -> None:
+            if node is None:
+                return
+            if not node.dead:
+                d = math.hypot(node.x - cx, node.y - cy)
+                if len(best) < k:
+                    heapq.heappush(best, (-d, node.item_id))
+                elif d < -best[0][0]:
+                    heapq.heapreplace(best, (-d, node.item_id))
+            diff = (cx - node.x) if node.axis == 0 else (cy - node.y)
+            near, far = (node.left, node.right) if diff < 0 else (node.right, node.left)
+            visit(near)
+            if len(best) < k or abs(diff) <= -best[0][0]:
+                visit(far)
+
+        visit(self._root)
+        out = sorted((-nd, item_id) for nd, item_id in best)
+        return [(item_id, d) for d, item_id in out]
+
+    def all_ids(self) -> list[int]:
+        """All live ids."""
+        return list(self._pos)
+
+    def _dist_sq(self, item_id: int, cx: float, cy: float) -> float:
+        x, y = self._pos[item_id]
+        dx, dy = x - cx, y - cy
+        return dx * dx + dy * dy

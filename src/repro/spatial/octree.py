@@ -1,0 +1,294 @@
+"""Point octree — the 3-D structure the tutorial names explicitly.
+
+Used by the EVE-style space workloads where ships live in a 3-D solar
+system.  Same capacity-split design as the quadtree, generalised to eight
+children.  The 2-D structure protocol is widened: positions are (x, y, z)
+and circle queries become sphere queries; a thin adapter exposes the 2-D
+protocol (z = 0) so the octree can also be attached to 2-D worlds for
+comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.errors import SpatialError
+
+
+@dataclass(frozen=True)
+class AABB3:
+    """Closed axis-aligned 3-D box."""
+
+    min_x: float
+    min_y: float
+    min_z: float
+    max_x: float
+    max_y: float
+    max_z: float
+
+    def __post_init__(self) -> None:
+        if (
+            self.min_x > self.max_x
+            or self.min_y > self.max_y
+            or self.min_z > self.max_z
+        ):
+            raise SpatialError("degenerate AABB3")
+
+    @property
+    def volume(self) -> float:
+        return (
+            (self.max_x - self.min_x)
+            * (self.max_y - self.min_y)
+            * (self.max_z - self.min_z)
+        )
+
+    def contains_point(self, x: float, y: float, z: float) -> bool:
+        return (
+            self.min_x <= x <= self.max_x
+            and self.min_y <= y <= self.max_y
+            and self.min_z <= z <= self.max_z
+        )
+
+    def intersects(self, other: "AABB3") -> bool:
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+            and self.min_z <= other.max_z
+            and other.min_z <= self.max_z
+        )
+
+    def intersects_sphere(self, cx: float, cy: float, cz: float, r: float) -> bool:
+        nx = min(max(cx, self.min_x), self.max_x)
+        ny = min(max(cy, self.min_y), self.max_y)
+        nz = min(max(cz, self.min_z), self.max_z)
+        dx, dy, dz = cx - nx, cy - ny, cz - nz
+        return dx * dx + dy * dy + dz * dz <= r * r
+
+    def distance_sq_to_point(self, x: float, y: float, z: float) -> float:
+        dx = max(self.min_x - x, 0.0, x - self.max_x)
+        dy = max(self.min_y - y, 0.0, y - self.max_y)
+        dz = max(self.min_z - z, 0.0, z - self.max_z)
+        return dx * dx + dy * dy + dz * dz
+
+    def octants(self) -> tuple["AABB3", ...]:
+        cx = (self.min_x + self.max_x) / 2
+        cy = (self.min_y + self.max_y) / 2
+        cz = (self.min_z + self.max_z) / 2
+        out = []
+        for lo_x, hi_x in ((self.min_x, cx), (cx, self.max_x)):
+            for lo_y, hi_y in ((self.min_y, cy), (cy, self.max_y)):
+                for lo_z, hi_z in ((self.min_z, cz), (cz, self.max_z)):
+                    out.append(AABB3(lo_x, lo_y, lo_z, hi_x, hi_y, hi_z))
+        return tuple(out)
+
+
+class _ONode:
+    __slots__ = ("box", "points", "children", "count")
+
+    def __init__(self, box: AABB3):
+        self.box = box
+        self.points: dict[int, tuple[float, float, float]] = {}
+        self.children: list["_ONode"] | None = None
+        self.count = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class Octree:
+    """Bounded 3-D point octree with capacity splitting."""
+
+    def __init__(self, bounds: AABB3, capacity: int = 8, max_depth: int = 10):
+        if capacity < 1:
+            raise SpatialError("capacity must be >= 1")
+        self.bounds = bounds
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _ONode(bounds)
+        self._pos: dict[int, tuple[float, float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._pos
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, item_id: int, x: float, y: float, z: float = 0.0) -> None:
+        """Insert a point."""
+        if item_id in self._pos:
+            raise SpatialError(f"id {item_id} already in octree")
+        if not self.bounds.contains_point(x, y, z):
+            raise SpatialError(f"point ({x}, {y}, {z}) outside octree bounds")
+        self._pos[item_id] = (x, y, z)
+        self._insert(self._root, item_id, x, y, z, 0)
+
+    def remove(self, item_id: int, x: float, y: float, z: float = 0.0) -> None:
+        """Remove a point by id and position."""
+        if item_id not in self._pos:
+            raise SpatialError(f"id {item_id} not in octree")
+        self._remove(self._root, item_id, x, y, z)
+        del self._pos[item_id]
+
+    def move(
+        self,
+        item_id: int,
+        ox: float,
+        oy: float,
+        nx: float,
+        ny: float,
+        oz: float = 0.0,
+        nz: float = 0.0,
+    ) -> None:
+        """Relocate a point.
+
+        Signature is 2-D-protocol compatible: (id, ox, oy, nx, ny) with z
+        components optional keyword-style at the end.
+        """
+        self.remove(item_id, ox, oy, oz)
+        self.insert(item_id, nx, ny, nz)
+
+    # -- queries -------------------------------------------------------------------
+
+    def query_sphere(
+        self, cx: float, cy: float, cz: float, r: float
+    ) -> list[int]:
+        """Ids within the closed sphere."""
+        if r < 0:
+            raise SpatialError("radius must be non-negative")
+        r2 = r * r
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0 or not node.box.intersects_sphere(cx, cy, cz, r):
+                continue
+            if node.is_leaf:
+                for item_id, (x, y, z) in node.points.items():
+                    dx, dy, dz = x - cx, y - cy, z - cz
+                    if dx * dx + dy * dy + dz * dz <= r2:
+                        out.append(item_id)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_circle(self, cx: float, cy: float, r: float) -> list[int]:
+        """2-D protocol: sphere query in the z=0 plane.
+
+        Correct for worlds that store all points with z=0; used when the
+        octree is benchmarked against 2-D structures.
+        """
+        return self.query_sphere(cx, cy, 0.0, r)
+
+    def query_range3(self, box: AABB3) -> list[int]:
+        """Ids inside the closed 3-D box."""
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0 or not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                for item_id, (x, y, z) in node.points.items():
+                    if box.contains_point(x, y, z):
+                        out.append(item_id)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_knn(
+        self, cx: float, cy: float, k: int, cz: float = 0.0
+    ) -> list[tuple[int, float]]:
+        """K nearest points (2-D protocol signature; pass cz for true 3-D)."""
+        if k <= 0:
+            raise SpatialError("k must be positive")
+        heap: list[tuple[float, int, object]] = [(0.0, 0, self._root)]
+        results: list[tuple[float, int]] = []
+        counter = 1
+        while heap and len(results) < k:
+            dist, _, item = heapq.heappop(heap)
+            if isinstance(item, _ONode):
+                if item.count == 0:
+                    continue
+                if item.is_leaf:
+                    for item_id, (x, y, z) in item.points.items():
+                        d = math.sqrt(
+                            (x - cx) ** 2 + (y - cy) ** 2 + (z - cz) ** 2
+                        )
+                        heapq.heappush(heap, (d, counter, item_id))
+                        counter += 1
+                else:
+                    for child in item.children:
+                        d2 = child.box.distance_sq_to_point(cx, cy, cz)
+                        heapq.heappush(heap, (math.sqrt(d2), counter, child))
+                        counter += 1
+            else:
+                results.append((dist, item))
+        return [(item_id, d) for d, item_id in results]
+
+    def all_ids(self) -> list[int]:
+        """All stored ids."""
+        return list(self._pos)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _insert(
+        self, node: _ONode, item_id: int, x: float, y: float, z: float, depth: int
+    ) -> None:
+        node.count += 1
+        if node.is_leaf:
+            node.points[item_id] = (x, y, z)
+            if len(node.points) > self.capacity and depth < self.max_depth:
+                self._split(node, depth)
+            return
+        self._insert(self._child_for(node, x, y, z), item_id, x, y, z, depth + 1)
+
+    def _split(self, node: _ONode, depth: int) -> None:
+        node.children = [_ONode(b) for b in node.box.octants()]
+        points = node.points
+        node.points = {}
+        for item_id, (x, y, z) in points.items():
+            self._insert(self._child_for(node, x, y, z), item_id, x, y, z, depth + 1)
+        # The subtree population is unchanged by a split.
+        node.count = sum(c.count for c in node.children)
+
+    def _child_for(self, node: _ONode, x: float, y: float, z: float) -> _ONode:
+        box = node.box
+        cx = (box.min_x + box.max_x) / 2
+        cy = (box.min_y + box.max_y) / 2
+        cz = (box.min_z + box.max_z) / 2
+        # octants() ordering: x-major, then y, then z
+        ix = 1 if x >= cx else 0
+        iy = 1 if y >= cy else 0
+        iz = 1 if z >= cz else 0
+        return node.children[ix * 4 + iy * 2 + iz]
+
+    def _remove(self, node: _ONode, item_id: int, x: float, y: float, z: float) -> None:
+        if node.is_leaf:
+            if item_id not in node.points:
+                raise SpatialError(f"id {item_id} not found at ({x},{y},{z})")
+            del node.points[item_id]
+            node.count -= 1
+            return
+        self._remove(self._child_for(node, x, y, z), item_id, x, y, z)
+        node.count -= 1
+        if node.count <= self.capacity:
+            self._merge(node)
+
+    def _merge(self, node: _ONode) -> None:
+        points: dict[int, tuple[float, float, float]] = {}
+        stack = list(node.children or ())
+        while stack:
+            child = stack.pop()
+            if child.is_leaf:
+                points.update(child.points)
+            else:
+                stack.extend(child.children)
+        node.children = None
+        node.points = points

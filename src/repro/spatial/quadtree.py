@@ -1,0 +1,227 @@
+"""Point quadtree with node capacity splitting and merge-on-underflow.
+
+The quadtree adapts to clustered data: dense regions subdivide, empty
+regions stay one node.  This is the structure that wins experiment E2 on
+clustered workloads, where the uniform grid either over-allocates cells or
+puts whole clusters in one bucket.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import AABB
+
+
+class _Node:
+    """One quadtree node: either a leaf with points or four children."""
+
+    __slots__ = ("box", "points", "children", "count")
+
+    def __init__(self, box: AABB):
+        self.box = box
+        self.points: dict[int, tuple[float, float]] = {}
+        self.children: list["_Node"] | None = None
+        self.count = 0  # points in this subtree
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTree:
+    """Bounded point quadtree.
+
+    Parameters
+    ----------
+    bounds:
+        World bounds; inserts outside raise :class:`SpatialError`.
+    capacity:
+        Leaf capacity before splitting.
+    max_depth:
+        Depth cap: leaves at the cap hold arbitrarily many points, which
+        bounds pathological behaviour when many points coincide.
+    """
+
+    def __init__(self, bounds: AABB, capacity: int = 8, max_depth: int = 12):
+        if capacity < 1:
+            raise SpatialError("capacity must be >= 1")
+        self.bounds = bounds
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _Node(bounds)
+        self._pos: dict[int, tuple[float, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._pos)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._pos
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, item_id: int, x: float, y: float) -> None:
+        """Insert a point; raises if out of bounds or id already present."""
+        if item_id in self._pos:
+            raise SpatialError(f"id {item_id} already in quadtree")
+        if not self.bounds.contains_point(x, y):
+            raise SpatialError(f"point ({x}, {y}) outside quadtree bounds")
+        self._pos[item_id] = (x, y)
+        self._insert(self._root, item_id, x, y, 0)
+
+    def remove(self, item_id: int, x: float, y: float) -> None:
+        """Remove a point by id and position."""
+        if self._pos.get(item_id) is None:
+            raise SpatialError(f"id {item_id} not in quadtree")
+        self._remove(self._root, item_id, x, y)
+        del self._pos[item_id]
+
+    def move(self, item_id: int, ox: float, oy: float, nx: float, ny: float) -> None:
+        """Relocate a point."""
+        self.remove(item_id, ox, oy)
+        self.insert(item_id, nx, ny)
+
+    # -- queries -------------------------------------------------------------------
+
+    def query_range(self, box: AABB) -> list[int]:
+        """Ids of points inside the closed box."""
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0 or not node.box.intersects(box):
+                continue
+            if box.contains_box(node.box):
+                self._collect(node, out)
+                continue
+            if node.is_leaf:
+                for item_id, (x, y) in node.points.items():
+                    if box.contains_point(x, y):
+                        out.append(item_id)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_circle(self, cx: float, cy: float, r: float) -> list[int]:
+        """Ids of points within the closed disc at (cx, cy)."""
+        if r < 0:
+            raise SpatialError("radius must be non-negative")
+        r2 = r * r
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.count == 0 or not node.box.intersects_circle(cx, cy, r):
+                continue
+            if node.is_leaf:
+                for item_id, (x, y) in node.points.items():
+                    dx, dy = x - cx, y - cy
+                    if dx * dx + dy * dy <= r2:
+                        out.append(item_id)
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_knn(self, cx: float, cy: float, k: int) -> list[tuple[int, float]]:
+        """K nearest points, best-first search over node distance bounds."""
+        if k <= 0:
+            raise SpatialError("k must be positive")
+        heap: list[tuple[float, int, object]] = [(0.0, 0, self._root)]
+        results: list[tuple[float, int]] = []
+        counter = 1
+        while heap and len(results) < k:
+            dist, _, item = heapq.heappop(heap)
+            if isinstance(item, _Node):
+                if item.count == 0:
+                    continue
+                if item.is_leaf:
+                    for item_id, (x, y) in item.points.items():
+                        d = math.hypot(x - cx, y - cy)
+                        heapq.heappush(heap, (d, counter, item_id))
+                        counter += 1
+                else:
+                    for child in item.children:
+                        d2 = child.box.distance_sq_to_point(cx, cy)
+                        heapq.heappush(heap, (math.sqrt(d2), counter, child))
+                        counter += 1
+            else:
+                results.append((dist, item))
+        return [(item_id, d) for d, item_id in results]
+
+    def depth(self) -> int:
+        """Current maximum depth (diagnostic)."""
+
+        def _depth(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + max(_depth(c) for c in node.children)
+
+        return _depth(self._root)
+
+    def all_ids(self) -> list[int]:
+        """All stored ids."""
+        return list(self._pos)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _insert(self, node: _Node, item_id: int, x: float, y: float, depth: int) -> None:
+        node.count += 1
+        if node.is_leaf:
+            node.points[item_id] = (x, y)
+            if len(node.points) > self.capacity and depth < self.max_depth:
+                self._split(node, depth)
+            return
+        self._insert(self._child_for(node, x, y), item_id, x, y, depth + 1)
+
+    def _split(self, node: _Node, depth: int) -> None:
+        node.children = [_Node(b) for b in node.box.quadrants()]
+        points = node.points
+        node.points = {}
+        for item_id, (x, y) in points.items():
+            child = self._child_for(node, x, y)
+            self._insert(child, item_id, x, y, depth + 1)
+
+    def _child_for(self, node: _Node, x: float, y: float) -> _Node:
+        cx = (node.box.min_x + node.box.max_x) / 2
+        cy = (node.box.min_y + node.box.max_y) / 2
+        if y >= cy:
+            return node.children[1] if x >= cx else node.children[0]
+        return node.children[3] if x >= cx else node.children[2]
+
+    def _remove(self, node: _Node, item_id: int, x: float, y: float) -> None:
+        if node.is_leaf:
+            if item_id not in node.points:
+                raise SpatialError(
+                    f"id {item_id} not found at ({x}, {y}); stale position?"
+                )
+            del node.points[item_id]
+            node.count -= 1
+            return
+        child = self._child_for(node, x, y)
+        self._remove(child, item_id, x, y)
+        node.count -= 1
+        if node.count <= self.capacity:
+            self._merge(node)
+
+    def _merge(self, node: _Node) -> None:
+        points: dict[int, tuple[float, float]] = {}
+        stack = list(node.children or ())
+        while stack:
+            child = stack.pop()
+            if child.is_leaf:
+                points.update(child.points)
+            else:
+                stack.extend(child.children)
+        node.children = None
+        node.points = points
+
+    def _collect(self, node: _Node, out: list[int]) -> None:
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n.is_leaf:
+                out.extend(n.points)
+            else:
+                stack.extend(n.children)

@@ -1,0 +1,46 @@
+"""Synthetic workload generators: movement models, player populations,
+combat encounters, and action/transaction traces."""
+
+from repro.workloads.combat import (
+    CombatEvent,
+    EncounterConfig,
+    generate_encounter,
+    jitter_positions,
+    run_encounter,
+)
+from repro.workloads.movement import FlockingModel, OrbitalModel, RandomWaypoint
+from repro.workloads.players import (
+    HotspotSampler,
+    PlayerPopulation,
+    PopulationConfig,
+    register_player_components,
+    zipf_choice,
+)
+from repro.workloads.tracegen import (
+    TraceConfig,
+    TxnWorkloadConfig,
+    generate_action_trace,
+    generate_transfer_workload,
+    milestones_in,
+)
+
+__all__ = [
+    "CombatEvent",
+    "EncounterConfig",
+    "generate_encounter",
+    "jitter_positions",
+    "run_encounter",
+    "FlockingModel",
+    "OrbitalModel",
+    "RandomWaypoint",
+    "HotspotSampler",
+    "PlayerPopulation",
+    "PopulationConfig",
+    "register_player_components",
+    "zipf_choice",
+    "TraceConfig",
+    "TxnWorkloadConfig",
+    "generate_action_trace",
+    "generate_transfer_workload",
+    "milestones_in",
+]

@@ -1,0 +1,133 @@
+"""Combat encounter generator: the workload for aggro and consistency
+experiments.
+
+An encounter is a deterministic event script — damage, heals, taunts,
+with jitterable delivery order — so we can feed the *same* logical fight
+to multiple replicas in different arrival orders and measure whether
+their combat state agrees (E7's aggro-vs-position comparison).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.consistency.aggro import AggroBrain, Participant, Role
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class CombatEvent:
+    """One combat event in an encounter script."""
+
+    tick: int
+    kind: str  # "damage" | "heal" | "taunt"
+    actor: int
+    target: int | None = None  # monster id for damage/taunt
+    amount: float = 0.0
+
+
+@dataclass
+class EncounterConfig:
+    """Knobs for a generated encounter."""
+
+    ticks: int = 300
+    tanks: int = 1
+    healers: int = 1
+    dps: int = 3
+    monsters: int = 2
+    damage_rate: float = 0.6
+    heal_rate: float = 0.15
+    taunt_rate: float = 0.01
+    seed: int = 0
+
+
+def generate_encounter(
+    config: EncounterConfig | None = None,
+) -> tuple[list[Participant], list[int], list[CombatEvent]]:
+    """Generate (participants, monster ids, event script)."""
+    cfg = config or EncounterConfig()
+    if cfg.tanks + cfg.healers + cfg.dps == 0:
+        raise ReproError("encounter needs at least one participant")
+    rng = random.Random(cfg.seed)
+    participants: list[Participant] = []
+    next_id = 1
+    for _ in range(cfg.tanks):
+        participants.append(Participant(next_id, Role.TANK))
+        next_id += 1
+    for _ in range(cfg.healers):
+        participants.append(Participant(next_id, Role.HEALER, ranged=True))
+        next_id += 1
+    for _ in range(cfg.dps):
+        participants.append(Participant(next_id, Role.DPS, ranged=rng.random() < 0.5))
+        next_id += 1
+    monsters = [1000 + i for i in range(cfg.monsters)]
+    events: list[CombatEvent] = []
+    tanks = [p for p in participants if p.role == Role.TANK]
+    healers = [p for p in participants if p.role == Role.HEALER]
+    fighters = [p for p in participants if p.role != Role.HEALER]
+    for tick in range(cfg.ticks):
+        if rng.random() < cfg.damage_rate and fighters:
+            actor = rng.choice(fighters)
+            monster = rng.choice(monsters)
+            base = 12.0 if actor.role == Role.DPS else 6.0
+            events.append(
+                CombatEvent(tick, "damage", actor.entity_id, monster,
+                            base * rng.uniform(0.8, 1.2))
+            )
+        if rng.random() < cfg.heal_rate and healers:
+            actor = rng.choice(healers)
+            events.append(
+                CombatEvent(tick, "heal", actor.entity_id, None,
+                            20.0 * rng.uniform(0.8, 1.2))
+            )
+        if rng.random() < cfg.taunt_rate and tanks:
+            actor = rng.choice(tanks)
+            monster = rng.choice(monsters)
+            events.append(CombatEvent(tick, "taunt", actor.entity_id, monster))
+    return participants, monsters, events
+
+
+def run_encounter(
+    participants: list[Participant],
+    monsters: list[int],
+    events: list[CombatEvent],
+) -> AggroBrain:
+    """Feed an event script into a fresh aggro brain; returns it."""
+    brain = AggroBrain()
+    for p in participants:
+        brain.join(p)
+    for m in monsters:
+        brain.engage(m)
+    for event in events:
+        if event.kind == "damage":
+            brain.on_damage(event.target, event.actor, event.amount)
+        elif event.kind == "heal":
+            brain.on_heal(event.actor, event.amount)
+        elif event.kind == "taunt":
+            brain.engage(event.target).taunt(event.actor)
+        else:
+            raise ReproError(f"unknown combat event kind {event.kind!r}")
+    return brain
+
+
+def jitter_positions(
+    positions: dict[int, tuple[float, float]],
+    magnitude: float,
+    seed: int,
+) -> dict[int, tuple[float, float]]:
+    """A replica's view of positions: truth plus bounded drift.
+
+    Models the coarse position tier: each replica sees positions within
+    ``magnitude`` of the truth, but *different* replicas see different
+    perturbations — exactly the disagreement aggro management tolerates
+    and nearest-target selection does not.
+    """
+    rng = random.Random(seed)
+    return {
+        eid: (
+            x + rng.uniform(-magnitude, magnitude),
+            y + rng.uniform(-magnitude, magnitude),
+        )
+        for eid, (x, y) in positions.items()
+    }

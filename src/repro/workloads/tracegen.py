@@ -1,0 +1,159 @@
+"""Action-trace generators for persistence and concurrency experiments.
+
+A *trace* is an ordered list of game actions with timestamps and designer
+importance — the input shape for checkpoint policies (E8) and, reshaped
+into transactions, for the concurrency schedulers (E6).
+
+The milestone structure mirrors what the tutorial describes: long
+stretches of routine actions (movement ticks, trash kills) punctuated by
+rare, high-importance events (boss kills, epic drops) whose loss on
+recovery "may force a player to repeat a difficult fight or lose a
+particularly desirable reward".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.consistency.transactions import (
+    TxnSpec,
+    read_for_update,
+    write,
+)
+from repro.errors import ReproError
+from repro.persistence.memdb import Action
+from repro.workloads.players import HotspotSampler
+
+
+@dataclass
+class TraceConfig:
+    """Knobs for an action trace."""
+
+    ticks: int = 10_000
+    players: int = 50
+    actions_per_tick: float = 2.0
+    #: probability that a tick contains a milestone event
+    milestone_rate: float = 0.002
+    #: importance of routine vs milestone actions
+    routine_importance: float = 0.01
+    milestone_importance: float = 0.95
+    seed: int = 0
+
+
+def generate_action_trace(config: TraceConfig | None = None) -> list[Action]:
+    """Generate a persistence-tier action trace.
+
+    Routine actions are player-state puts; milestones are boss-kill /
+    epic-loot puts with near-maximal importance.
+    """
+    cfg = config or TraceConfig()
+    rng = random.Random(cfg.seed)
+    trace: list[Action] = []
+    carry = 0.0
+    for tick in range(cfg.ticks):
+        carry += cfg.actions_per_tick
+        n_actions = int(carry)
+        carry -= n_actions
+        for _ in range(n_actions):
+            player = rng.randrange(cfg.players)
+            trace.append(
+                Action(
+                    "put",
+                    "players",
+                    player,
+                    {"x": rng.uniform(0, 1000), "gold_delta": rng.randint(0, 3)},
+                    importance=cfg.routine_importance,
+                    tick=tick,
+                )
+            )
+        if rng.random() < cfg.milestone_rate:
+            player = rng.randrange(cfg.players)
+            kind = rng.choice(("boss_kill", "epic_loot", "level_up"))
+            trace.append(
+                Action(
+                    "put",
+                    "milestones",
+                    f"{kind}:{tick}",
+                    {"player": player, "kind": kind},
+                    importance=cfg.milestone_importance,
+                    tick=tick,
+                )
+            )
+    return trace
+
+
+def milestones_in(trace: list[Action]) -> list[Action]:
+    """The milestone subset of a trace."""
+    return [a for a in trace if a.table == "milestones"]
+
+
+@dataclass
+class TxnWorkloadConfig:
+    """Knobs for a transactional workload."""
+
+    transactions: int = 200
+    accounts: int = 50
+    hot_keys: int = 5
+    hot_fraction: float = 0.0  # 0 = uniform
+    ops_extra_reads: int = 2
+    seed: int = 0
+
+
+def generate_transfer_workload(
+    config: TxnWorkloadConfig | None = None,
+) -> tuple[dict, list[TxnSpec]]:
+    """Bank-transfer workload: returns (initial store data, txn specs).
+
+    Each transaction reads a few unrelated accounts (browsing the
+    auction house), then transfers gold between two accounts chosen by a
+    hotspot sampler — contention is controlled by ``hot_fraction``.
+    The invariant (total gold conserved) is what tests assert.
+    """
+    cfg = config or TxnWorkloadConfig()
+    if cfg.accounts < 2:
+        raise ReproError("need at least two accounts")
+    rng = random.Random(cfg.seed)
+    sampler = HotspotSampler(
+        cfg.accounts, cfg.hot_keys, cfg.hot_fraction, seed=cfg.seed + 1
+    )
+    initial = {("gold", i): 1000 for i in range(cfg.accounts)}
+    specs: list[TxnSpec] = []
+    for t in range(cfg.transactions):
+        src, dst = sampler.sample_pair()
+        amount = rng.randint(1, 10)
+        ops = []
+        for _ in range(cfg.ops_extra_reads):
+            browse = rng.randrange(cfg.accounts)
+            ops.append(read_for_update(("gold", browse)) if browse in (src, dst)
+                       else _plain_read(("gold", browse)))
+        ops.extend(
+            [
+                read_for_update(("gold", src)),
+                read_for_update(("gold", dst)),
+                write(("gold", src), _make_sub(amount)),
+                write(("gold", dst), _make_add(amount)),
+            ]
+        )
+        specs.append(TxnSpec(f"transfer{t}", ops))
+    return initial, specs
+
+
+def _plain_read(key):
+    from repro.consistency.transactions import read
+
+    return read(key)
+
+
+def _make_sub(amount: int):
+    def sub(old, reads):
+        return (old or 0) - amount
+
+    return sub
+
+
+def _make_add(amount: int):
+    def add(old, reads):
+        return (old or 0) + amount
+
+    return add

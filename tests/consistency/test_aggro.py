@@ -1,0 +1,209 @@
+"""Tests for aggro management: threat rules and replica determinism."""
+
+import pytest
+
+from repro.consistency import (
+    AggroBrain,
+    Participant,
+    Role,
+    ThreatTable,
+)
+from repro.errors import ReproError
+from repro.workloads import (
+    EncounterConfig,
+    generate_encounter,
+    jitter_positions,
+    run_encounter,
+)
+
+
+class TestThreatTable:
+    def test_damage_builds_threat(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 50)
+        assert table.threat_of(1) == 50
+
+    def test_tank_multiplier(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 10, Role.TANK)
+        table.add_damage(2, 10, Role.DPS)
+        assert table.threat_of(1) == 30
+        assert table.threat_of(2) == 10
+
+    def test_healing_split_threat(self):
+        table = ThreatTable(100)
+        table.add_healing(3, 40, enemies_in_combat=2)
+        assert table.threat_of(3) == 10  # 0.5 * 40 / 2
+
+    def test_negative_amounts_rejected(self):
+        table = ThreatTable(100)
+        with pytest.raises(ReproError):
+            table.add_damage(1, -5)
+        with pytest.raises(ReproError):
+            table.add_healing(1, -5)
+
+    def test_first_attacker_gets_target(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 5)
+        assert table.select_target() == 1
+
+    def test_sticky_target_below_overtake(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 100)
+        table.select_target()
+        table.add_damage(2, 105)  # 105 < 110 = 100 * 1.1
+        assert table.select_target() == 1
+
+    def test_melee_overtake_at_110(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 100)
+        table.select_target()
+        table.add_damage(2, 111)
+        assert table.select_target() == 2
+
+    def test_ranged_overtake_at_130(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 100)
+        table.select_target()
+        table.add_damage(2, 120)
+        assert table.select_target(ranged_attackers={2}) == 1
+        table.add_damage(2, 15)  # 135 > 130
+        assert table.select_target(ranged_attackers={2}) == 2
+
+    def test_taunt_forces_target(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 500)
+        table.select_target()
+        table.taunt(2)
+        assert table.select_target() == 2
+        assert table.threat_of(2) >= 500
+
+    def test_remove_participant_retargets(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 100)
+        table.add_damage(2, 50)
+        table.select_target()
+        table.remove(1)
+        assert table.select_target() == 2
+
+    def test_wipe(self):
+        table = ThreatTable(100)
+        table.add_damage(1, 100)
+        table.wipe()
+        assert table.select_target() is None
+        assert table.ranking() == []
+
+    def test_deterministic_tiebreak(self):
+        table = ThreatTable(100)
+        table.add_damage(5, 10)
+        table.add_damage(2, 10)
+        assert table.ranking() == [(2, 10), (5, 10)]
+
+    def test_empty_target_none(self):
+        assert ThreatTable(1).select_target() is None
+
+
+class TestAggroBrain:
+    def test_role_aware_damage(self):
+        brain = AggroBrain()
+        brain.join(Participant(1, Role.TANK))
+        brain.join(Participant(2, Role.DPS))
+        brain.engage(100)
+        brain.on_damage(100, 1, 10)
+        brain.on_damage(100, 2, 25)
+        assert brain.target_of(100) == 1  # 30 tank threat beats 25
+
+    def test_heal_hits_all_engaged_monsters(self):
+        brain = AggroBrain()
+        brain.join(Participant(3, Role.HEALER))
+        brain.engage(100)
+        brain.engage(101)
+        brain.on_heal(3, 40)
+        assert brain.engage(100).threat_of(3) > 0
+        assert brain.engage(101).threat_of(3) > 0
+
+    def test_death_cleans_tables(self):
+        brain = AggroBrain()
+        brain.join(Participant(1, Role.DPS))
+        brain.join(Participant(2, Role.DPS))
+        brain.engage(100)
+        brain.on_damage(100, 1, 50)
+        brain.on_damage(100, 2, 10)
+        brain.on_death(1)
+        assert brain.target_of(100) == 2
+
+    def test_monster_death_removes_table(self):
+        brain = AggroBrain()
+        brain.engage(100)
+        brain.on_death(100)
+        assert brain.target_of(100) is None
+
+    def test_unknown_attacker_defaults_dps(self):
+        brain = AggroBrain()
+        brain.engage(100)
+        brain.on_damage(100, 42, 10)
+        assert brain.engage(100).threat_of(42) == 10
+
+
+class TestReplicaDeterminism:
+    """The tutorial's point: aggro-based targeting agrees across replicas
+    that disagree about positions; nearest-target selection does not."""
+
+    def test_same_events_same_digest(self):
+        parts, monsters, events = generate_encounter(EncounterConfig(seed=3))
+        a = run_encounter(parts, monsters, events)
+        b = run_encounter(parts, monsters, events)
+        assert a.digest() == b.digest()
+
+    def test_aggro_immune_to_position_jitter(self):
+        parts, monsters, events = generate_encounter(EncounterConfig(seed=4))
+        brain = run_encounter(parts, monsters, events)
+        targets = {m: brain.target_of(m) for m in monsters}
+        # positions (which aggro never reads) drift per replica — the
+        # digest stays identical because threat is position-free
+        positions = {p.entity_id: (float(p.entity_id), 0.0) for p in parts}
+        for replica_seed in range(3):
+            jittered = jitter_positions(positions, 2.0, replica_seed)
+            assert jittered != positions
+            replica = run_encounter(parts, monsters, events)
+            assert {m: replica.target_of(m) for m in monsters} == targets
+
+    def test_nearest_target_diverges_under_jitter(self):
+        """Contrast: exact-nearest targeting flips between replicas."""
+        import math
+
+        positions = {1: (10.0, 0.0), 2: (10.4, 0.0)}  # nearly equidistant
+        monster = (0.0, 0.0)
+
+        def nearest(pos):
+            return min(
+                pos, key=lambda e: math.hypot(pos[e][0] - monster[0],
+                                              pos[e][1] - monster[1])
+            )
+
+        choices = set()
+        for replica_seed in range(8):
+            jittered = jitter_positions(positions, 1.0, replica_seed)
+            choices.add(nearest(jittered))
+        assert len(choices) > 1  # replicas disagree
+
+
+class TestEncounterGenerator:
+    def test_deterministic(self):
+        a = generate_encounter(EncounterConfig(seed=7))
+        b = generate_encounter(EncounterConfig(seed=7))
+        assert a[2] == b[2]
+
+    def test_role_counts(self):
+        parts, monsters, _ = generate_encounter(
+            EncounterConfig(tanks=2, healers=1, dps=4, monsters=3, seed=1)
+        )
+        roles = [p.role for p in parts]
+        assert roles.count(Role.TANK) == 2
+        assert roles.count(Role.HEALER) == 1
+        assert roles.count(Role.DPS) == 4
+        assert len(monsters) == 3
+
+    def test_empty_encounter_rejected(self):
+        with pytest.raises(ReproError):
+            generate_encounter(EncounterConfig(tanks=0, healers=0, dps=0))

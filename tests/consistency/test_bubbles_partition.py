@@ -1,0 +1,238 @@
+"""Tests for causality bubbles and partitioning baselines."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import (
+    CausalityBubblePartitioner,
+    KinematicState,
+    SingleServerPartitioner,
+    StaticGridPartitioner,
+    evaluate_assignment,
+)
+from repro.consistency.bubbles import BubbleTimeline
+from repro.errors import SpatialError
+from repro.spatial import AABB
+
+
+def fleet(center, n, spread, speed, seed, base_id=0):
+    rng = random.Random(seed)
+    return {
+        base_id + i: KinematicState(
+            center[0] + rng.uniform(-spread, spread),
+            center[1] + rng.uniform(-spread, spread),
+            rng.uniform(-speed, speed),
+            rng.uniform(-speed, speed),
+            a_max=1.0,
+        )
+        for i in range(n)
+    }
+
+
+class TestKinematics:
+    def test_reach_formula(self):
+        s = KinematicState(0, 0, 3, 4, a_max=2.0)
+        # |v| = 5, horizon 2: 5*2 + 0.5*2*4 = 14
+        assert s.reach(2.0) == pytest.approx(14.0)
+
+    def test_stationary_reach(self):
+        assert KinematicState(0, 0).reach(10.0) == 0.0
+
+
+class TestBubbleFormation:
+    def test_separated_fleets_form_separate_bubbles(self):
+        states = {}
+        states.update(fleet((0, 0), 20, 10, 1, 1, 0))
+        states.update(fleet((1000, 0), 20, 10, 1, 2, 100))
+        part = CausalityBubblePartitioner(10, 5, shards=2).partition(states)
+        assert part.bubble_count == 2
+        sizes = sorted(b.size for b in part.bubbles)
+        assert sizes == [20, 20]
+
+    def test_fast_ships_merge_bubbles(self):
+        # two fleets 100 apart; slow ships can't bridge, fast ones can
+        slow = {}
+        slow.update(fleet((0, 0), 5, 2, 0.1, 3, 0))
+        slow.update(fleet((100, 0), 5, 2, 0.1, 4, 100))
+        part = CausalityBubblePartitioner(5, 5, shards=2).partition(slow)
+        assert part.bubble_count == 2
+
+        fast = {
+            eid: KinematicState(s.x, s.y, 10.0, 0.0, a_max=5.0)
+            for eid, s in slow.items()
+        }
+        part2 = CausalityBubblePartitioner(5, 5, shards=2).partition(fast)
+        assert part2.bubble_count == 1
+
+    def test_horizon_scales_reach(self):
+        states = {}
+        states.update(fleet((0, 0), 5, 2, 1.0, 5, 0))
+        states.update(fleet((60, 0), 5, 2, 1.0, 6, 100))
+        short = CausalityBubblePartitioner(5, 1, shards=2).partition(states)
+        long = CausalityBubblePartitioner(5, 20, shards=2).partition(states)
+        assert short.bubble_count > long.bubble_count
+
+    def test_empty_states(self):
+        part = CausalityBubblePartitioner(5, 5, shards=2).partition({})
+        assert part.bubble_count == 0 and part.assignment == {}
+
+    def test_invalid_params(self):
+        with pytest.raises(SpatialError):
+            CausalityBubblePartitioner(-1, 5, 2)
+        with pytest.raises(SpatialError):
+            CausalityBubblePartitioner(1, 0, 2)
+        with pytest.raises(SpatialError):
+            CausalityBubblePartitioner(1, 5, 0)
+
+
+class TestBubbleGuarantee:
+    def test_no_possible_interaction_crosses_shards(self):
+        """The defining property: every pair that *could* interact within
+        the horizon lands on the same shard."""
+        rng = random.Random(8)
+        states = {
+            i: KinematicState(
+                rng.uniform(0, 500),
+                rng.uniform(0, 500),
+                rng.uniform(-3, 3),
+                rng.uniform(-3, 3),
+                a_max=2.0,
+            )
+            for i in range(120)
+        }
+        part = CausalityBubblePartitioner(10, 4, shards=4).partition(states)
+        horizon = 4.0
+        for a in states:
+            for b in states:
+                if a >= b:
+                    continue
+                sa, sb = states[a], states[b]
+                limit = sa.reach(horizon) + sb.reach(horizon) + 10
+                d = math.hypot(sa.x - sb.x, sa.y - sb.y)
+                if d <= limit:
+                    assert part.assignment[a] == part.assignment[b]
+
+    def test_evaluate_zero_cross_for_in_envelope_pairs(self):
+        states = fleet((0, 0), 30, 20, 2, 9)
+        part = CausalityBubblePartitioner(10, 5, shards=3).partition(states)
+        pairs = [
+            (a, b)
+            for a in states
+            for b in states
+            if a < b
+            and math.hypot(states[a].x - states[b].x, states[a].y - states[b].y) <= 10
+        ]
+        assert part.evaluate(pairs).cross_partition_pairs == 0
+
+
+class TestPacking:
+    def test_greedy_packing_balances(self):
+        states = {}
+        for f in range(6):
+            states.update(fleet((f * 1000, 0), 10, 5, 0.5, f, f * 100))
+        part = CausalityBubblePartitioner(10, 2, shards=3).partition(states)
+        metrics = part.evaluate([])
+        assert metrics.shard_count == 3
+        assert metrics.max_load == 20  # 6 bubbles of 10 over 3 shards
+
+    def test_one_giant_bubble_cannot_split(self):
+        states = fleet((0, 0), 40, 5, 3, 11)
+        part = CausalityBubblePartitioner(10, 5, shards=4).partition(states)
+        assert part.largest_bubble == 40
+        loads = part.evaluate([]).loads
+        assert max(loads.values()) == 40  # crowding defeats partitioning
+
+
+class TestStaticPartitioner:
+    def test_assignment_covers_everyone(self):
+        bounds = AABB(0, 0, 100, 100)
+        part = StaticGridPartitioner(bounds, 4, 4, shards=4)
+        rng = random.Random(2)
+        positions = {
+            i: (rng.uniform(0, 100), rng.uniform(0, 100)) for i in range(50)
+        }
+        assignment = part.assign(positions)
+        assert set(assignment) == set(positions)
+        assert set(assignment.values()) <= set(range(4))
+
+    def test_boundary_pair_crosses(self):
+        bounds = AABB(0, 0, 100, 100)
+        part = StaticGridPartitioner(bounds, 2, 1, shards=2)
+        positions = {1: (49.0, 50.0), 2: (51.0, 50.0)}
+        metrics = part.evaluate(positions, [(1, 2)])
+        assert metrics.cross_partition_pairs == 1
+
+    def test_out_of_bounds_clamped(self):
+        part = StaticGridPartitioner(AABB(0, 0, 10, 10), 2, 2, shards=4)
+        assert part.cell_of(-5, -5) == (0, 0)
+        assert part.cell_of(50, 50) == (1, 1)
+
+    def test_single_server_baseline(self):
+        single = SingleServerPartitioner()
+        positions = {1: (0, 0), 2: (100, 100)}
+        metrics = single.evaluate(positions, [(1, 2)])
+        assert metrics.cross_partition_pairs == 0
+        assert metrics.max_load == 2
+        assert metrics.shard_count == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(SpatialError):
+            StaticGridPartitioner(AABB(0, 0, 1, 1), 0, 1, 1)
+        with pytest.raises(SpatialError):
+            StaticGridPartitioner(AABB(0, 0, 1, 1), 1, 1, 0)
+
+
+class TestMetrics:
+    def test_imbalance(self):
+        metrics = evaluate_assignment(
+            {1: 0, 2: 0, 3: 0, 4: 1}, []
+        )
+        assert metrics.max_load == 3
+        assert metrics.imbalance == pytest.approx(1.5)
+
+    def test_cross_fraction(self):
+        metrics = evaluate_assignment(
+            {1: 0, 2: 1, 3: 0}, [(1, 2), (1, 3)]
+        )
+        assert metrics.cross_partition_fraction == 0.5
+
+    def test_timeline_means(self):
+        states = fleet((0, 0), 10, 5, 1, 1)
+        partitioner = CausalityBubblePartitioner(10, 5, shards=2)
+        timeline = BubbleTimeline()
+        for _ in range(3):
+            timeline.record(partitioner.partition(states))
+        assert timeline.mean_bubble_count() == 1.0
+        assert timeline.mean_largest_bubble() == 10.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(1, 60),
+    shards=st.integers(1, 5),
+    horizon=st.floats(0.5, 10),
+)
+def test_bubble_partition_property(seed, n, shards, horizon):
+    """Property: bubbles partition the entity set exactly, and possible
+    pairs never cross shards."""
+    rng = random.Random(seed)
+    states = {
+        i: KinematicState(
+            rng.uniform(0, 200), rng.uniform(0, 200),
+            rng.uniform(-2, 2), rng.uniform(-2, 2), a_max=1.0,
+        )
+        for i in range(n)
+    }
+    part = CausalityBubblePartitioner(5.0, horizon, shards).partition(states)
+    # partition: every entity in exactly one bubble
+    assert set(part.assignment) == set(states)
+    all_members = [m for b in part.bubbles for m in b.members]
+    assert sorted(all_members) == sorted(states)
+    # within-bubble shard consistency
+    for bubble in part.bubbles:
+        shards_used = {part.assignment[m] for m in bubble.members}
+        assert len(shards_used) == 1

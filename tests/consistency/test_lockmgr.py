@@ -1,0 +1,144 @@
+"""Tests for the lock manager: compatibility, queues, deadlock detection."""
+
+import pytest
+
+from repro.consistency.lockmgr import LockManager, LockMode
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+class TestGrants:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", S)
+        assert lm.try_acquire(2, "k", S)
+        assert lm.holds(1, "k", S) and lm.holds(2, "k", S)
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", X)
+        assert not lm.try_acquire(2, "k", S)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", S)
+        assert not lm.try_acquire(2, "k", X)
+
+    def test_reentrant_same_mode(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", S)
+        assert lm.try_acquire(1, "k", S)
+
+    def test_exclusive_covers_shared_rerequest(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", X)
+        assert lm.try_acquire(1, "k", S)
+
+    def test_upgrade_sole_holder(self):
+        lm = LockManager()
+        assert lm.try_acquire(1, "k", S)
+        assert lm.try_acquire(1, "k", X)
+        assert lm.holds(1, "k", X)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        lm = LockManager()
+        lm.try_acquire(1, "k", S)
+        lm.try_acquire(2, "k", S)
+        assert not lm.try_acquire(1, "k", X)
+
+    def test_fifo_fairness_no_jump(self):
+        lm = LockManager()
+        lm.try_acquire(1, "k", X)
+        assert not lm.try_acquire(2, "k", X)
+        # A shared request must queue behind the waiting X, not sneak in
+        # after txn 1 releases.
+        assert not lm.try_acquire(3, "k", S)
+        lm.release_all(1)
+        # now 2 holds, 3 still waits
+        assert lm.holds(2, "k", X)
+        assert not lm.holds(3, "k")
+
+
+class TestRelease:
+    def test_release_grants_waiters(self):
+        lm = LockManager()
+        lm.try_acquire(1, "k", X)
+        lm.try_acquire(2, "k", S)
+        lm.try_acquire(3, "k", S)
+        lm.release_all(1)
+        assert lm.holds(2, "k", S)
+        assert lm.holds(3, "k", S)
+
+    def test_release_clears_waiting_requests(self):
+        lm = LockManager()
+        lm.try_acquire(1, "k", X)
+        lm.try_acquire(2, "k", X)  # queues
+        lm.release_all(2)          # 2 gives up while waiting
+        lm.release_all(1)
+        assert not lm.holds(2, "k")
+
+    def test_lock_count(self):
+        lm = LockManager()
+        lm.try_acquire(1, "a", S)
+        lm.try_acquire(1, "b", X)
+        assert lm.lock_count(1) == 2
+        lm.release_all(1)
+        assert lm.lock_count(1) == 0
+
+
+class TestDeadlockDetection:
+    def test_simple_cycle(self):
+        lm = LockManager()
+        lm.try_acquire(1, "a", X)
+        lm.try_acquire(2, "b", X)
+        lm.try_acquire(1, "b", X)  # 1 waits on 2
+        lm.try_acquire(2, "a", X)  # 2 waits on 1
+        cycle = lm.find_deadlock()
+        assert cycle is not None
+        assert set(cycle) == {1, 2}
+
+    def test_no_cycle(self):
+        lm = LockManager()
+        lm.try_acquire(1, "a", X)
+        lm.try_acquire(2, "a", X)  # waits, no cycle
+        assert lm.find_deadlock() is None
+
+    def test_three_way_cycle(self):
+        lm = LockManager()
+        lm.try_acquire(1, "a", X)
+        lm.try_acquire(2, "b", X)
+        lm.try_acquire(3, "c", X)
+        lm.try_acquire(1, "b", X)
+        lm.try_acquire(2, "c", X)
+        lm.try_acquire(3, "a", X)
+        cycle = lm.find_deadlock()
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3}
+
+    def test_victim_release_breaks_cycle(self):
+        lm = LockManager()
+        lm.try_acquire(1, "a", X)
+        lm.try_acquire(2, "b", X)
+        lm.try_acquire(1, "b", X)
+        lm.try_acquire(2, "a", X)
+        lm.release_all(2)
+        assert lm.find_deadlock() is None
+        # 1 can now take b
+        assert lm.holds(1, "b", X) or lm.try_acquire(1, "b", X)
+
+    def test_waits_for_graph_shape(self):
+        lm = LockManager()
+        lm.try_acquire(1, "k", X)
+        lm.try_acquire(2, "k", S)
+        graph = lm.waits_for_graph()
+        assert graph == {2: {1}}
+
+    def test_shared_upgrade_deadlock(self):
+        # both hold S, both want X: the classic upgrade deadlock
+        lm = LockManager()
+        lm.try_acquire(1, "k", S)
+        lm.try_acquire(2, "k", S)
+        lm.try_acquire(1, "k", X)
+        lm.try_acquire(2, "k", X)
+        assert lm.find_deadlock() is not None

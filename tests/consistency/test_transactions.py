@@ -1,0 +1,207 @@
+"""Tests for the three concurrency-control schedulers.
+
+The central properties, asserted for all schedulers:
+* every transaction eventually commits exactly once;
+* invariants preserved (gold conservation under transfers);
+* the final state equals a serial replay in commit order
+  (i.e. the history was serializable).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import (
+    SCHEDULERS,
+    TxnSpec,
+    VersionedStore,
+    increment,
+    make_scheduler,
+    read,
+    read_for_update,
+    serial_replay,
+    write,
+)
+from repro.errors import TransactionError
+
+ALL = sorted(SCHEDULERS)
+
+
+def transfer_specs(n_txn, n_keys, seed=0, hot=None):
+    rng = random.Random(seed)
+    specs = []
+    for t in range(n_txn):
+        if hot:
+            a = rng.randrange(hot)
+            b = rng.randrange(n_keys)
+        else:
+            a = rng.randrange(n_keys)
+            b = rng.randrange(n_keys)
+        if a == b:
+            b = (a + 1) % n_keys
+        amt = rng.randint(1, 5)
+        specs.append(
+            TxnSpec(f"t{t}", [
+                read_for_update(("g", a)),
+                read_for_update(("g", b)),
+                write(("g", a), lambda old, r, amt=amt: old - amt),
+                write(("g", b), lambda old, r, amt=amt: old + amt),
+            ])
+        )
+    return specs
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestSchedulerCorrectness:
+    def test_all_commit_and_conserve(self, name):
+        init = {("g", i): 100 for i in range(10)}
+        store = VersionedStore(init)
+        stats = make_scheduler(name, store).run(
+            transfer_specs(60, 10, seed=1), concurrency=6
+        )
+        assert stats.committed == 60
+        assert sum(store.get(("g", i)) for i in range(10)) == 1000
+
+    def test_serializable_final_state(self, name):
+        init = {("g", i): 100 for i in range(8)}
+        store = VersionedStore(init)
+        specs = transfer_specs(50, 8, seed=2, hot=2)
+        stats = make_scheduler(name, store).run(specs, concurrency=8)
+        by_name = {s.name: s for s in specs}
+        expected = serial_replay(
+            init, [by_name[n] for n in stats.commit_order]
+        )
+        assert store.snapshot() == expected
+
+    def test_single_transaction(self, name):
+        store = VersionedStore({"k": 1})
+        stats = make_scheduler(name, store).run(
+            [TxnSpec("t", [read("k"), increment("k", 5)])]
+        )
+        assert stats.committed == 1
+        assert store.get("k") == 6
+
+    def test_empty_workload(self, name):
+        store = VersionedStore()
+        stats = make_scheduler(name, store).run([])
+        assert stats.committed == 0 and stats.steps == 0
+
+    def test_blind_increments(self, name):
+        store = VersionedStore({"counter": 0})
+        specs = [
+            TxnSpec(f"inc{i}", [increment("counter")]) for i in range(30)
+        ]
+        make_scheduler(name, store).run(specs, concurrency=10)
+        assert store.get("counter") == 30
+
+    def test_read_only_transactions_never_abort_alone(self, name):
+        store = VersionedStore({"k": 1})
+        specs = [TxnSpec(f"r{i}", [read("k")]) for i in range(20)]
+        stats = make_scheduler(name, store).run(specs, concurrency=20)
+        assert stats.committed == 20
+        assert stats.aborted == 0
+
+    def test_determinism(self, name):
+        init = {("g", i): 50 for i in range(6)}
+        results = []
+        for _ in range(2):
+            store = VersionedStore(init)
+            stats = make_scheduler(name, store).run(
+                transfer_specs(40, 6, seed=9, hot=2), concurrency=5
+            )
+            results.append((store.snapshot(), stats.committed, stats.aborted))
+        assert results[0] == results[1]
+
+    def test_concurrency_one_is_serial(self, name):
+        init = {("g", i): 100 for i in range(5)}
+        store = VersionedStore(init)
+        specs = transfer_specs(20, 5, seed=4)
+        stats = make_scheduler(name, store).run(specs, concurrency=1)
+        assert stats.aborted == 0
+        assert store.snapshot() == serial_replay(init, specs)
+
+
+class TestContentionBehaviour:
+    def test_contention_raises_aborts_or_blocking(self):
+        """Higher contention must hurt every scheduler somehow."""
+        for name in ALL:
+            low_store = VersionedStore({("g", i): 100 for i in range(100)})
+            low = make_scheduler(name, low_store).run(
+                transfer_specs(80, 100, seed=5), concurrency=8
+            )
+            hi_store = VersionedStore({("g", i): 100 for i in range(100)})
+            hi = make_scheduler(name, hi_store).run(
+                transfer_specs(80, 100, seed=5, hot=2), concurrency=8
+            )
+            low_cost = low.aborted + low.blocked_steps
+            hi_cost = hi.aborted + hi.blocked_steps
+            assert hi_cost >= low_cost, name
+
+    def test_occ_aborts_are_validation(self):
+        store = VersionedStore({("g", i): 100 for i in range(4)})
+        stats = make_scheduler("occ", store).run(
+            transfer_specs(40, 4, seed=6, hot=1), concurrency=8
+        )
+        assert stats.validation_aborts == stats.aborted
+
+    def test_2pl_aborts_are_deadlocks(self):
+        store = VersionedStore({("g", i): 100 for i in range(4)})
+        stats = make_scheduler("2pl", store).run(
+            transfer_specs(40, 4, seed=6, hot=1), concurrency=8
+        )
+        assert stats.deadlock_aborts == stats.aborted
+
+    def test_ts_aborts_are_timestamp(self):
+        store = VersionedStore({("g", i): 100 for i in range(4)})
+        stats = make_scheduler("ts", store).run(
+            transfer_specs(40, 4, seed=6, hot=1), concurrency=8
+        )
+        assert stats.ts_aborts == stats.aborted
+
+
+class TestOpValidation:
+    def test_bad_kind(self):
+        from repro.consistency.transactions import Op
+
+        with pytest.raises(TransactionError):
+            Op("x", "k")
+
+    def test_write_requires_fn(self):
+        from repro.consistency.transactions import Op
+
+        with pytest.raises(TransactionError):
+            Op("w", "k")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(TransactionError):
+            make_scheduler("mvcc", VersionedStore())
+
+    def test_stats_properties(self):
+        from repro.consistency.transactions import CCStats
+
+        s = CCStats(committed=10, aborted=5, steps=100)
+        assert s.throughput == 0.1
+        assert s.abort_rate == pytest.approx(5 / 15)
+        assert s.mean_latency == 10.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    n_txn=st.integers(1, 40),
+    n_keys=st.integers(2, 12),
+    concurrency=st.integers(1, 10),
+)
+@pytest.mark.parametrize("name", ALL)
+def test_serializability_property(name, seed, n_txn, n_keys, concurrency):
+    """Property: any random transfer workload under any scheduler yields a
+    state equal to its serial replay in commit order."""
+    init = {("g", i): 100 for i in range(n_keys)}
+    store = VersionedStore(init)
+    specs = transfer_specs(n_txn, n_keys, seed=seed)
+    stats = make_scheduler(name, store).run(specs, concurrency=concurrency)
+    assert stats.committed == n_txn
+    by_name = {s.name: s for s in specs}
+    expected = serial_replay(init, [by_name[n] for n in stats.commit_order])
+    assert store.snapshot() == expected

@@ -1,0 +1,168 @@
+"""Tests for transaction bubbles (causality bubbles generalized to
+arbitrary transactions)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.consistency import (
+    TransactionBubblePartitioner,
+    TxnFootprint,
+    TxnSpec,
+    VersionedStore,
+    make_scheduler,
+    read,
+    read_for_update,
+    serial_replay,
+    write,
+)
+from repro.consistency.txn_bubbles import run_sharded
+from repro.errors import TransactionError
+
+
+def transfer(name, a, b, amount=1):
+    return TxnSpec(name, [
+        read_for_update(("g", a)),
+        read_for_update(("g", b)),
+        write(("g", a), lambda old, r, amt=amount: old - amt),
+        write(("g", b), lambda old, r, amt=amount: old + amt),
+    ])
+
+
+class TestFootprints:
+    def test_extraction(self):
+        spec = TxnSpec("t", [
+            read("a"), read_for_update("b"), write("c", lambda o, r: 1),
+        ])
+        fp = TxnFootprint.of(spec)
+        assert fp.reads == {"a", "b"}
+        assert fp.writes == {"b", "c"}
+
+    def test_rw_conflict(self):
+        a = TxnFootprint("a", frozenset({"k"}), frozenset())
+        b = TxnFootprint("b", frozenset(), frozenset({"k"}))
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_read_read_no_conflict(self):
+        a = TxnFootprint("a", frozenset({"k"}), frozenset())
+        b = TxnFootprint("b", frozenset({"k"}), frozenset())
+        assert not a.conflicts_with(b)
+
+    def test_disjoint_no_conflict(self):
+        a = TxnFootprint("a", frozenset({"x"}), frozenset({"y"}))
+        b = TxnFootprint("b", frozenset({"p"}), frozenset({"q"}))
+        assert not a.conflicts_with(b)
+
+
+class TestPartitioning:
+    def test_disjoint_transactions_separate_bubbles(self):
+        specs = [transfer(f"t{i}", 2 * i, 2 * i + 1) for i in range(6)]
+        part = TransactionBubblePartitioner(3).partition(specs)
+        assert part.bubble_count == 6
+        assert part.largest_bubble == 1
+        loads = part.shard_loads()
+        assert sum(loads.values()) == 6
+        assert max(loads.values()) == 2  # balanced
+
+    def test_chain_fuses_one_bubble(self):
+        # t0: 0->1, t1: 1->2, t2: 2->3 — a conflict chain
+        specs = [transfer(f"t{i}", i, i + 1) for i in range(3)]
+        part = TransactionBubblePartitioner(3).partition(specs)
+        assert part.bubble_count == 1
+        assert part.largest_bubble == 3
+
+    def test_hot_key_fuses_everything(self):
+        specs = [transfer(f"t{i}", 0, i + 1) for i in range(8)]
+        part = TransactionBubblePartitioner(4).partition(specs)
+        assert part.bubble_count == 1
+
+    def test_pure_readers_of_shared_key_stay_apart(self):
+        specs = [
+            TxnSpec("r1", [read("price"), write(("cart", 1), lambda o, r: 1)]),
+            TxnSpec("r2", [read("price"), write(("cart", 2), lambda o, r: 1)]),
+        ]
+        part = TransactionBubblePartitioner(2).partition(specs)
+        assert part.bubble_count == 2
+
+    def test_no_conflict_ever_crosses_shards(self):
+        rng = random.Random(4)
+        specs = [
+            transfer(f"t{i}", rng.randrange(30), rng.randrange(30))
+            for i in range(40)
+        ]
+        # avoid degenerate same-account transfers
+        specs = [
+            s for s in specs
+            if len(TxnFootprint.of(s).writes) >= 2
+        ]
+        part = TransactionBubblePartitioner(4).partition(specs)
+        assert part.cross_shard_conflicts(specs) == 0
+
+    def test_duplicate_names_rejected(self):
+        specs = [transfer("t", 0, 1), transfer("t", 2, 3)]
+        with pytest.raises(TransactionError):
+            TransactionBubblePartitioner(2).partition(specs)
+
+    def test_invalid_shards(self):
+        with pytest.raises(TransactionError):
+            TransactionBubblePartitioner(0)
+
+
+class TestShardedExecution:
+    def test_sharded_equals_single_store(self):
+        rng = random.Random(9)
+        init = {("g", i): 100 for i in range(20)}
+        specs = []
+        for i in range(30):
+            a, b = rng.sample(range(20), 2)
+            specs.append(transfer(f"t{i}", a, b, amount=rng.randint(1, 5)))
+        part = TransactionBubblePartitioner(4).partition(specs)
+        result = run_sharded(
+            specs, part, init, lambda store: make_scheduler("2pl", store)
+        )
+        assert result["committed"] == 30
+        # oracle: single-store serial execution (order within conflicts is
+        # irrelevant for transfers; totals and per-bubble effects match)
+        single = serial_replay(init, specs)
+        assert result["state"] == single
+
+    def test_parallel_speedup_model(self):
+        """Disjoint bubbles: wall-clock (max shard steps) is well below
+        aggregate work (sum of shard steps)."""
+        specs = [transfer(f"t{i}", 2 * i, 2 * i + 1) for i in range(24)]
+        init = {("g", i): 100 for i in range(48)}
+        part = TransactionBubblePartitioner(4).partition(specs)
+        result = run_sharded(
+            specs, part, init, lambda store: make_scheduler("2pl", store)
+        )
+        assert result["steps"] < result["total_steps"]
+        assert result["steps"] <= result["total_steps"] / 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 300),
+    n_txn=st.integers(1, 25),
+    n_keys=st.integers(2, 15),
+    shards=st.integers(1, 5),
+)
+def test_bubble_invariants_property(seed, n_txn, n_keys, shards):
+    """Property: bubbles partition the batch; conflicts never cross
+    bubbles; sharded execution conserves totals."""
+    rng = random.Random(seed)
+    specs = []
+    for i in range(n_txn):
+        a, b = rng.randrange(n_keys), rng.randrange(n_keys)
+        if a == b:
+            b = (a + 1) % n_keys
+        specs.append(transfer(f"t{i}", a, b))
+    part = TransactionBubblePartitioner(shards).partition(specs)
+    all_members = sorted(m for b in part.bubbles for m in b.members)
+    assert all_members == sorted(s.name for s in specs)
+    assert part.cross_shard_conflicts(specs) == 0
+    init = {("g", i): 50 for i in range(n_keys)}
+    result = run_sharded(
+        specs, part, init, lambda store: make_scheduler("occ", store)
+    )
+    assert sum(result["state"].values()) == 50 * n_keys

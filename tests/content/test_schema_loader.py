@@ -1,0 +1,212 @@
+"""Tests for content schemas, the loader, and integrity checks."""
+
+import pytest
+
+from repro.content import (
+    ContentDatabase,
+    ContentField,
+    ContentSchema,
+    standard_game_schemas,
+)
+from repro.errors import ContentError, ValidationError
+
+ITEMS_XML = """
+<Content>
+  <item id="sword"><name>Iron Sword</name><slot>weapon</slot><damage>7</damage></item>
+  <item id="helm"><name>Helm</name><slot>head</slot><armor>3</armor></item>
+</Content>
+"""
+
+
+class TestContentField:
+    def test_type_check(self):
+        f = ContentField("hp", "int", required=True)
+        errors = []
+        f.check(10, errors)
+        assert not errors
+        f.check("ten", errors)
+        assert errors
+
+    def test_bool_is_not_int(self):
+        errors = []
+        ContentField("hp", "int").check(True, errors)
+        assert errors
+
+    def test_float_accepts_int(self):
+        errors = []
+        v = ContentField("speed", "float").check(2, errors)
+        assert not errors and v == 2.0
+
+    def test_choices(self):
+        f = ContentField("slot", "str", choices=("weapon", "head"))
+        errors = []
+        f.check("weapon", errors)
+        assert not errors
+        f.check("pants", errors)
+        assert errors
+
+    def test_bounds(self):
+        f = ContentField("hp", "int", min_value=1, max_value=100)
+        errors = []
+        f.check(0, errors)
+        f.check(101, errors)
+        f.check(50, errors)
+        assert len(errors) == 2
+
+
+class TestContentSchema:
+    def test_validate_collects_all_errors(self):
+        schema = ContentSchema("item", [
+            ContentField("name", "str", required=True),
+            ContentField("damage", "int", min_value=0),
+        ])
+        with pytest.raises(ValidationError) as exc:
+            schema.validate({"damage": -5, "junk": 1}, "sword")
+        message = str(exc.value)
+        assert "missing required field 'name'" in message
+        assert "below minimum" in message
+        assert "unknown field 'junk'" in message
+
+    def test_defaults_fill(self):
+        schema = ContentSchema("item", [
+            ContentField("name", "str", required=True),
+            ContentField("damage", "int", default=1),
+        ])
+        rec = schema.validate({"name": "x"}, "a")
+        assert rec["damage"] == 1
+
+    def test_duplicate_fields_raise(self):
+        with pytest.raises(ValidationError):
+            ContentSchema("x", [ContentField("a"), ContentField("a")])
+
+    def test_standard_schemas_present(self):
+        schemas = standard_game_schemas()
+        assert {"item", "monster", "spell", "zone", "quest"} <= set(schemas)
+
+
+class TestLoader:
+    def test_load_xml_string(self):
+        db = ContentDatabase()
+        assert db.load_xml_string(ITEMS_XML) == 2
+        assert db.get("item", "sword")["damage"] == 7
+        assert db.ids("item") == ["helm", "sword"]
+
+    def test_type_coercion_from_xml(self):
+        db = ContentDatabase()
+        db.load_xml_string(
+            "<Content><monster id='m'><name>M</name><hp>30</hp>"
+            "<speed>1.5</speed><loot>a, b</loot></monster></Content>"
+        )
+        rec = db.get("monster", "m")
+        assert rec["hp"] == 30 and rec["speed"] == 1.5
+        assert rec["loot"] == ["a", "b"]
+
+    def test_bad_int_raises(self):
+        db = ContentDatabase()
+        with pytest.raises(ContentError, match="not an int"):
+            db.load_xml_string(
+                "<Content><monster id='m'><name>M</name><hp>lots</hp>"
+                "</monster></Content>"
+            )
+
+    def test_bool_coercion(self):
+        db = ContentDatabase()
+        db.load_xml_string(
+            "<Content><item id='i'><name>N</name><stackable>true</stackable>"
+            "</item></Content>"
+        )
+        assert db.get("item", "i")["stackable"] is True
+
+    def test_duplicate_id_raises(self):
+        db = ContentDatabase()
+        db.load_xml_string(ITEMS_XML)
+        with pytest.raises(ContentError, match="duplicate"):
+            db.load_xml_string(ITEMS_XML)
+
+    def test_missing_id_raises(self):
+        db = ContentDatabase()
+        with pytest.raises(ContentError, match="missing id"):
+            db.load_xml_string("<Content><item><name>x</name></item></Content>")
+
+    def test_unknown_type_raises(self):
+        db = ContentDatabase()
+        with pytest.raises(ContentError, match="unknown content type"):
+            db.load_xml_string("<Content><vehicle id='v'/></Content>")
+
+    def test_malformed_xml(self):
+        db = ContentDatabase()
+        with pytest.raises(ContentError, match="malformed"):
+            db.load_xml_string("<Content><item id='x'>")
+
+    def test_wrong_root(self):
+        db = ContentDatabase()
+        with pytest.raises(ContentError, match="root element"):
+            db.load_xml_string("<Stuff/>")
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "a.xml").write_text(ITEMS_XML)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.xml").write_text(
+            "<Content><zone id='z'><name>Z</name></zone></Content>"
+        )
+        db = ContentDatabase()
+        assert db.load_directory(tmp_path) == 3
+        assert db.count() == 3
+
+    def test_load_directory_not_dir(self, tmp_path):
+        db = ContentDatabase()
+        with pytest.raises(ContentError):
+            db.load_directory(tmp_path / "nope")
+
+    def test_where_query(self):
+        db = ContentDatabase()
+        db.load_xml_string(ITEMS_XML)
+        assert db.where("item", slot="weapon") == ["sword"]
+        assert db.where("item", slot="weapon", damage=99) == []
+
+    def test_count_by_type(self):
+        db = ContentDatabase()
+        db.load_xml_string(ITEMS_XML)
+        assert db.count("item") == 2
+        assert db.count("monster") == 0
+
+
+class TestIntegrity:
+    def test_valid_refs_pass(self):
+        db = ContentDatabase()
+        db.load_xml_string(
+            "<Content>"
+            "<zone id='z'><name>Z</name></zone>"
+            "<item id='i'><name>I</name></item>"
+            "<monster id='m'><name>M</name><hp>10</hp></monster>"
+            "<quest id='q'><name>Q</name><zone>z</zone>"
+            "<reward_item>i</reward_item><target_monster>m</target_monster></quest>"
+            "</Content>"
+        )
+        db.finalize()
+        assert db.finalized
+
+    def test_dangling_ref_fails_with_path(self):
+        db = ContentDatabase()
+        db.load_xml_string(
+            "<Content><quest id='q'><name>Q</name>"
+            "<reward_item>ghost</reward_item></quest></Content>"
+        )
+        with pytest.raises(ValidationError, match=r"quest\[q\].reward_item"):
+            db.finalize()
+
+    def test_mutation_clears_finalized(self):
+        db = ContentDatabase()
+        db.load_xml_string(ITEMS_XML)
+        db.finalize()
+        db.add_record("item", "axe", {"name": "Axe"})
+        assert not db.finalized
+
+    def test_scripts_and_ui_storage(self):
+        db = ContentDatabase()
+        db.load_script("ai", "var x = 1")
+        with pytest.raises(ContentError):
+            db.load_script("ai", "var x = 2")
+        db.load_ui("hud", "<Ui><Frame name='f' width='1' height='1'/></Ui>")
+        with pytest.raises(ContentError):
+            db.load_ui("hud", "<Ui><Frame name='f' width='1' height='1'/></Ui>")

@@ -1,0 +1,185 @@
+"""Tests for entity templates, inheritance, and expansion packs."""
+
+import pytest
+
+from repro.content import (
+    ContentDatabase,
+    EntityTemplate,
+    ExpansionManager,
+    ExpansionPack,
+    TemplateLibrary,
+    library_from_records,
+)
+from repro.core import GameWorld, schema
+from repro.errors import ContentError, TemplateError
+
+
+@pytest.fixture
+def library():
+    lib = TemplateLibrary()
+    lib.define(
+        "monster_base",
+        tags=("monster",),
+        Health={"hp": 10},
+        Position={"x": 0.0, "y": 0.0},
+    )
+    lib.define("orc", parent="monster_base", Health={"hp": 30})
+    lib.define(
+        "elite_orc", parent="orc", tags=("elite",), Health={"hp": 90}, Elite={}
+    )
+    return lib
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Health", hp=("int", 1)))
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(schema("Elite"))
+    return w
+
+
+class TestInheritance:
+    def test_child_overrides_parent_field(self, library):
+        assert library.resolve("orc")["Health"]["hp"] == 30
+
+    def test_grandchild_adds_component(self, library):
+        resolved = library.resolve("elite_orc")
+        assert "Elite" in resolved
+        assert resolved["Position"] == {"x": 0.0, "y": 0.0}
+
+    def test_cycle_detected(self):
+        lib = TemplateLibrary()
+        lib.add(EntityTemplate("a", {}, parent="b"))
+        lib.add(EntityTemplate("b", {}, parent="a"))
+        with pytest.raises(TemplateError, match="cycle"):
+            lib.resolve("a")
+
+    def test_missing_parent(self):
+        lib = TemplateLibrary()
+        lib.add(EntityTemplate("orphan", {}, parent="ghost"))
+        with pytest.raises(TemplateError, match="no template"):
+            lib.resolve("orphan")
+
+    def test_duplicate_name_raises(self, library):
+        with pytest.raises(TemplateError):
+            library.define("orc")
+
+    def test_tags_inherited(self, library):
+        assert library.with_tag("monster") == ["elite_orc", "monster_base", "orc"]
+        assert library.with_tag("elite") == ["elite_orc"]
+
+    def test_resolution_cached_but_immutable(self, library):
+        first = library.resolve("orc")
+        first["Health"]["hp"] = 9999
+        assert library.resolve("orc")["Health"]["hp"] == 30
+
+
+class TestInstantiation:
+    def test_instantiate_with_overrides(self, library, world):
+        eid = library.instantiate(
+            world, "elite_orc", overrides={"Position": {"x": 5.0}}
+        )
+        assert world.get_field(eid, "Health", "hp") == 90
+        assert world.get_field(eid, "Position", "x") == 5.0
+        assert world.has(eid, "Elite")
+
+    def test_unregistered_component_raises(self, library):
+        bare = GameWorld()
+        with pytest.raises(TemplateError, match="unregistered"):
+            library.instantiate(bare, "orc")
+
+    def test_library_from_records_validates_eagerly(self):
+        with pytest.raises(TemplateError):
+            library_from_records(
+                {"a": {"parent": "b", "components": {}},
+                 "b": {"parent": "a", "components": {}}}
+            )
+
+    def test_library_from_records_roundtrip(self, world):
+        lib = library_from_records({
+            "rat": {"components": {"Health": {"hp": 3}}, "tags": ["vermin"]},
+            "giant_rat": {"parent": "rat",
+                          "components": {"Health": {"hp": 9}}},
+        })
+        eid = lib.instantiate(world, "giant_rat")
+        assert world.get_field(eid, "Health", "hp") == 9
+        assert lib.with_tag("vermin") == ["giant_rat", "rat"]
+
+
+class TestExpansions:
+    @pytest.fixture
+    def base(self):
+        db = ContentDatabase()
+        db.load_xml_string(
+            "<Content>"
+            "<item id='sword'><name>Sword</name><damage>5</damage></item>"
+            "<monster id='orc'><name>Orc</name><hp>30</hp></monster>"
+            "</Content>"
+        )
+        db.finalize()
+        return db
+
+    def test_apply_adds_and_patches(self, base):
+        mgr = ExpansionManager(base)
+        result = mgr.apply(ExpansionPack(
+            "xp1",
+            new_records={"monster": {"yeti": {"name": "Yeti", "hp": 99}}},
+            patches={"item": {"sword": {"damage": 8}}},
+        ))
+        assert result == {"added": 1, "patched": 1}
+        assert base.get("item", "sword")["damage"] == 8
+        assert base.get("monster", "yeti")["hp"] == 99
+
+    def test_provenance_tracked(self, base):
+        mgr = ExpansionManager(base)
+        mgr.apply(ExpansionPack(
+            "xp1", patches={"item": {"sword": {"damage": 9}}}
+        ))
+        assert ("item", "sword") in mgr.owned_by("xp1")
+        assert ("monster", "orc") in mgr.owned_by("base")
+        assert mgr.layer_summary() == {"base": 1, "xp1": 1}
+
+    def test_patch_must_hit_existing(self, base):
+        mgr = ExpansionManager(base)
+        with pytest.raises(ContentError):
+            mgr.apply(ExpansionPack(
+                "bad", patches={"item": {"ghost": {"damage": 1}}}
+            ))
+
+    def test_new_record_collision_rejected(self, base):
+        mgr = ExpansionManager(base)
+        with pytest.raises(ContentError, match="duplicate"):
+            mgr.apply(ExpansionPack(
+                "bad",
+                new_records={"item": {"sword": {"name": "Sword 2"}}},
+            ))
+
+    def test_patch_validated_against_schema(self, base):
+        mgr = ExpansionManager(base)
+        with pytest.raises(ContentError):
+            mgr.apply(ExpansionPack(
+                "bad", patches={"item": {"sword": {"damage": -1}}}
+            ))
+
+    def test_double_apply_rejected(self, base):
+        mgr = ExpansionManager(base)
+        pack = ExpansionPack("xp1")
+        mgr.apply(pack)
+        with pytest.raises(ContentError, match="already applied"):
+            mgr.apply(pack)
+
+    def test_expansion_templates_land(self, base):
+        mgr = ExpansionManager(base)
+        mgr.apply(ExpansionPack(
+            "xp1",
+            new_templates={"yeti": {"components": {"Health": {"hp": 99}}}},
+        ))
+        assert "yeti" in base.templates.names()
+
+    def test_layered_expansions_stack(self, base):
+        mgr = ExpansionManager(base)
+        mgr.apply(ExpansionPack("xp1", patches={"item": {"sword": {"damage": 8}}}))
+        mgr.apply(ExpansionPack("xp2", patches={"item": {"sword": {"damage": 12}}}))
+        assert base.get("item", "sword")["damage"] == 12
+        assert mgr.provenance[("item", "sword")] == "xp2"

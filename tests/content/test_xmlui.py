@@ -1,0 +1,143 @@
+"""Tests for the WoW-style XML UI specification parser and layout."""
+
+import pytest
+
+from repro.content import parse_ui
+from repro.errors import UISpecError
+
+HUD = """
+<Ui>
+  <Frame name="root" width="200" height="100" anchor="TOPLEFT">
+    <Label name="title" width="100" height="20" anchor="TOP" text="Party"/>
+    <Button name="attack" width="50" height="20" anchor="BOTTOMLEFT" x="4" y="-4">
+      <Scripts><onClick>do_attack</onClick></Scripts>
+    </Button>
+    <Bar name="hp" width="180" height="10" anchor="CENTER"/>
+  </Frame>
+  <Frame name="minimap" width="64" height="64" anchor="TOPRIGHT"/>
+</Ui>
+"""
+
+
+class TestParsing:
+    def test_widget_tree(self):
+        doc = parse_ui(HUD)
+        assert len(doc.roots) == 2
+        root = doc.widget("root")
+        assert [c.name for c in root.children] == ["title", "attack", "hp"]
+        assert doc.widget("attack").kind == "Button"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(UISpecError, match="duplicate"):
+            parse_ui(
+                "<Ui><Frame name='a' width='1' height='1'/>"
+                "<Frame name='a' width='1' height='1'/></Ui>"
+            )
+
+    def test_missing_name(self):
+        with pytest.raises(UISpecError, match="missing the name"):
+            parse_ui("<Ui><Frame width='1' height='1'/></Ui>")
+
+    def test_unknown_tag(self):
+        with pytest.raises(UISpecError, match="unknown widget tag"):
+            parse_ui("<Ui><Dialog name='d'/></Ui>")
+
+    def test_unknown_anchor(self):
+        with pytest.raises(UISpecError, match="unknown anchor"):
+            parse_ui("<Ui><Frame name='f' width='1' height='1' anchor='MIDDLE'/></Ui>")
+
+    def test_negative_size(self):
+        with pytest.raises(UISpecError, match="negative"):
+            parse_ui("<Ui><Frame name='f' width='-1' height='1'/></Ui>")
+
+    def test_non_numeric_size(self):
+        with pytest.raises(UISpecError, match="non-numeric"):
+            parse_ui("<Ui><Frame name='f' width='wide' height='1'/></Ui>")
+
+    def test_wrong_root(self):
+        with pytest.raises(UISpecError, match="<Ui>"):
+            parse_ui("<Interface/>")
+
+    def test_empty_document(self):
+        with pytest.raises(UISpecError, match="no widgets"):
+            parse_ui("<Ui></Ui>")
+
+    def test_malformed_xml(self):
+        with pytest.raises(UISpecError, match="malformed"):
+            parse_ui("<Ui><Frame name='f'")
+
+    def test_unknown_script_hook(self):
+        with pytest.raises(UISpecError, match="unknown script hook"):
+            parse_ui(
+                "<Ui><Button name='b' width='1' height='1'>"
+                "<Scripts><onTeleport>x</onTeleport></Scripts></Button></Ui>"
+            )
+
+    def test_empty_handler(self):
+        with pytest.raises(UISpecError, match="empty handler"):
+            parse_ui(
+                "<Ui><Button name='b' width='1' height='1'>"
+                "<Scripts><onClick>  </onClick></Scripts></Button></Ui>"
+            )
+
+
+class TestHandlers:
+    def test_script_handlers_collected(self):
+        doc = parse_ui(HUD)
+        assert doc.script_handlers() == {"attack.onClick": "do_attack"}
+
+    def test_validate_handlers_reports_missing(self):
+        doc = parse_ui(HUD)
+        assert doc.validate_handlers(set()) == ["attack.onClick -> do_attack"]
+        assert doc.validate_handlers({"do_attack"}) == []
+
+
+class TestLayout:
+    def test_topleft_root(self):
+        doc = parse_ui(HUD)
+        rects = doc.layout(800, 600)
+        root = rects["root"]
+        assert (root.x, root.y) == (0, 0)
+
+    def test_topright_root(self):
+        doc = parse_ui(HUD)
+        rects = doc.layout(800, 600)
+        minimap = rects["minimap"]
+        assert minimap.x == 800 - 64
+        assert minimap.y == 0
+
+    def test_center_child(self):
+        doc = parse_ui(HUD)
+        rects = doc.layout(800, 600)
+        hp = rects["hp"]
+        # centered inside root (which is at 0,0 sized 200x100)
+        assert hp.x == pytest.approx((200 - 180) / 2)
+        assert hp.y == pytest.approx((100 - 10) / 2)
+
+    def test_offsets_applied(self):
+        doc = parse_ui(HUD)
+        rects = doc.layout(800, 600)
+        attack = rects["attack"]
+        assert attack.x == pytest.approx(0 + 4)
+        assert attack.y == pytest.approx(100 - 20 - 4)
+
+    def test_relative_to_sibling(self):
+        doc = parse_ui(
+            "<Ui><Frame name='a' width='10' height='10' anchor='TOPLEFT'/>"
+            "<Frame name='b' width='10' height='10' anchor='TOPLEFT' "
+            "relativeTo='a' x='10'/></Ui>"
+        )
+        rects = doc.layout(100, 100)
+        assert rects["b"].x == 10
+
+    def test_relative_to_missing(self):
+        doc = parse_ui(
+            "<Ui><Frame name='b' width='10' height='10' relativeTo='ghost'/></Ui>"
+        )
+        with pytest.raises(UISpecError, match="relativeTo"):
+            doc.layout(100, 100)
+
+    def test_widgets_walk_order(self):
+        doc = parse_ui(HUD)
+        names = [w.name for w in doc.widgets()]
+        assert names == ["root", "title", "attack", "hp", "minimap"]

@@ -1,0 +1,211 @@
+"""Tests for incrementally-maintained aggregate and top-k views."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import F, GameWorld, schema
+from repro.errors import AggregateError
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(
+        schema("Health", hp=("int", 100), faction=("str", "neutral"))
+    )
+    return w
+
+
+class TestScalarAggregates:
+    def test_count(self, world):
+        view = world.create_aggregate("Health", "count")
+        assert view.value() == 0
+        ids = [world.spawn(Health={"hp": i}) for i in range(5)]
+        assert view.value() == 5
+        world.destroy(ids[0])
+        assert view.value() == 4
+
+    def test_sum_and_avg(self, world):
+        view_sum = world.create_aggregate("Health", "sum", "hp")
+        view_avg = world.create_aggregate("Health", "avg", "hp")
+        for i in range(1, 5):
+            world.spawn(Health={"hp": i * 10})
+        assert view_sum.value() == 100
+        assert view_avg.value() == 25
+
+    def test_avg_empty_is_none(self, world):
+        assert world.create_aggregate("Health", "avg", "hp").value() is None
+
+    def test_min_max_with_updates(self, world):
+        vmin = world.create_aggregate("Health", "min", "hp")
+        vmax = world.create_aggregate("Health", "max", "hp")
+        ids = [world.spawn(Health={"hp": hp}) for hp in (30, 10, 50)]
+        assert (vmin.value(), vmax.value()) == (10, 50)
+        world.set(ids[1], "Health", hp=99)
+        assert (vmin.value(), vmax.value()) == (30, 99)
+        world.destroy(ids[2])
+        assert vmax.value() == 99
+
+    def test_min_empty_is_none(self, world):
+        assert world.create_aggregate("Health", "min", "hp").value() is None
+
+    def test_unknown_agg_raises(self, world):
+        with pytest.raises(AggregateError):
+            world.create_aggregate("Health", "median", "hp")
+
+    def test_sum_requires_field(self, world):
+        with pytest.raises(AggregateError):
+            world.create_aggregate("Health", "sum")
+
+    def test_filtered_aggregate(self, world):
+        view = world.create_aggregate(
+            "Health", "count", where=F.hp < 20
+        )
+        ids = [world.spawn(Health={"hp": hp}) for hp in (5, 15, 25)]
+        assert view.value() == 2
+        world.set(ids[2], "Health", hp=1)  # moves into the filter
+        assert view.value() == 3
+        world.set(ids[0], "Health", hp=100)  # moves out
+        assert view.value() == 2
+
+    def test_close_stops_maintenance(self, world):
+        view = world.create_aggregate("Health", "count")
+        world.spawn(Health={})
+        view.close()
+        world.spawn(Health={})
+        assert view.value() == 1
+
+
+class TestGroupedAggregates:
+    def test_group_by(self, world):
+        view = world.create_aggregate(
+            "Health", "sum", "hp", group_by="faction"
+        )
+        world.spawn(Health={"hp": 10, "faction": "orc"})
+        world.spawn(Health={"hp": 20, "faction": "orc"})
+        world.spawn(Health={"hp": 5, "faction": "elf"})
+        assert view.value("orc") == 30
+        assert view.value("elf") == 5
+        assert view.value("dwarf") == 0
+        assert sorted(view.groups()) == ["elf", "orc"]
+
+    def test_group_migration_on_update(self, world):
+        view = world.create_aggregate(
+            "Health", "count", group_by="faction"
+        )
+        eid = world.spawn(Health={"hp": 1, "faction": "orc"})
+        assert view.value("orc") == 1
+        world.set(eid, "Health", faction="elf")
+        assert view.value("orc") == 0
+        assert view.value("elf") == 1
+
+    def test_ungrouped_rejects_group_arg(self, world):
+        view = world.create_aggregate("Health", "count")
+        with pytest.raises(AggregateError):
+            view.value("orc")
+
+    def test_groups_on_ungrouped_raises(self, world):
+        view = world.create_aggregate("Health", "count")
+        with pytest.raises(AggregateError):
+            view.groups()
+
+
+class TestRecomputeOracle:
+    def test_recompute_matches_incremental(self, world):
+        view = world.create_aggregate(
+            "Health", "avg", "hp", group_by="faction"
+        )
+        import random
+
+        rng = random.Random(5)
+        ids = []
+        for _ in range(50):
+            ids.append(
+                world.spawn(
+                    Health={
+                        "hp": rng.randrange(100),
+                        "faction": rng.choice(["a", "b", "c"]),
+                    }
+                )
+            )
+        for _ in range(30):
+            world.set(rng.choice(ids), "Health", hp=rng.randrange(100))
+        recomputed = view.recompute()
+        for group in view.groups():
+            assert view.value(group) == pytest.approx(recomputed[group])
+
+
+class TestTopK:
+    def test_topk_basic(self, world):
+        top = world.create_topk("Health", "hp", 3)
+        ids = [world.spawn(Health={"hp": hp}) for hp in (10, 50, 30, 70, 20)]
+        ranked = top.top()
+        assert [v for _e, v in ranked] == [70, 50, 30]
+        assert top.best() == (ids[3], 70)
+
+    def test_topk_smallest(self, world):
+        top = world.create_topk("Health", "hp", 2, largest=False)
+        for hp in (10, 50, 5):
+            world.spawn(Health={"hp": hp})
+        assert [v for _e, v in top.top()] == [5, 10]
+
+    def test_topk_tracks_updates(self, world):
+        top = world.create_topk("Health", "hp", 2)
+        a = world.spawn(Health={"hp": 10})
+        b = world.spawn(Health={"hp": 20})
+        world.set(a, "Health", hp=99)
+        assert top.top()[0] == (a, 99)
+        world.destroy(a)
+        assert top.top()[0] == (b, 20)
+
+    def test_topk_with_filter(self, world):
+        top = world.create_topk(
+            "Health", "hp", 5, where=F.faction == "orc"
+        )
+        world.spawn(Health={"hp": 90, "faction": "elf"})
+        orc = world.spawn(Health={"hp": 10, "faction": "orc"})
+        assert top.top() == [(orc, 10)]
+
+    def test_topk_k_positive(self, world):
+        with pytest.raises(AggregateError):
+            world.create_topk("Health", "hp", 0)
+
+    def test_topk_empty_best_none(self, world):
+        assert world.create_topk("Health", "hp", 1).best() is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["spawn", "set", "destroy"]),
+            st.integers(0, 9),
+            st.integers(0, 100),
+        ),
+        max_size=50,
+    )
+)
+def test_incremental_equals_recompute_property(ops):
+    """Property: after arbitrary mutations, every aggregate equals its
+    from-scratch recomputation."""
+    w = GameWorld()
+    w.register_component(schema("H", hp=("int", 0), g=("str", "x")))
+    views = {
+        agg: w.create_aggregate("H", agg, None if agg == "count" else "hp")
+        for agg in ("count", "sum", "avg", "min", "max")
+    }
+    live: list[int] = []
+    for op, slot, value in ops:
+        if op == "spawn":
+            live.append(w.spawn(H={"hp": value, "g": "ab"[value % 2]}))
+        elif op == "set" and live:
+            w.set(live[slot % len(live)], "H", hp=value)
+        elif op == "destroy" and live:
+            w.destroy(live.pop(slot % len(live)))
+    for agg, view in views.items():
+        expected = view.recompute()
+        got = view.value()
+        if isinstance(expected, float):
+            assert got == pytest.approx(expected)
+        else:
+            assert got == expected

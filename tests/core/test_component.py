@@ -1,0 +1,141 @@
+"""Unit tests for component schemas."""
+
+import pytest
+
+from repro.core.component import ComponentSchema, FieldDef, schema
+from repro.errors import SchemaError
+
+
+class TestFieldDef:
+    def test_basic_field(self):
+        f = FieldDef("hp", "int", default=100)
+        assert f.py_type is int
+        assert not f.required
+
+    def test_required_when_no_default(self):
+        assert FieldDef("hp", "int").required
+
+    def test_nullable_not_required(self):
+        assert not FieldDef("target", "entity", nullable=True).required
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            FieldDef("2bad", "int")
+
+    def test_rejects_underscore_name(self):
+        with pytest.raises(SchemaError):
+            FieldDef("_private", "int")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(SchemaError):
+            FieldDef("x", "quaternion")
+
+    def test_rejects_bad_default(self):
+        with pytest.raises(SchemaError):
+            FieldDef("hp", "int", default="full")
+
+    def test_int_coerced_to_float(self):
+        f = FieldDef("x", "float")
+        assert f.validate(3) == 3.0
+        assert isinstance(f.validate(3), float)
+
+    def test_bool_is_not_int(self):
+        f = FieldDef("hp", "int")
+        with pytest.raises(SchemaError):
+            f.validate(True)
+
+    def test_bool_is_not_float(self):
+        f = FieldDef("x", "float")
+        with pytest.raises(SchemaError):
+            f.validate(False)
+
+    def test_nan_rejected(self):
+        f = FieldDef("x", "float")
+        with pytest.raises(SchemaError):
+            f.validate(float("nan"))
+
+    def test_none_rejected_unless_nullable(self):
+        with pytest.raises(SchemaError):
+            FieldDef("x", "float").validate(None)
+        assert FieldDef("t", "entity", nullable=True).validate(None) is None
+
+    def test_str_field(self):
+        f = FieldDef("name", "str")
+        assert f.validate("orc") == "orc"
+        with pytest.raises(SchemaError):
+            f.validate(42)
+
+    def test_blob_field(self):
+        f = FieldDef("save", "blob")
+        assert f.validate(b"abc") == b"abc"
+        with pytest.raises(SchemaError):
+            f.validate("abc")
+
+
+class TestComponentSchema:
+    def test_validate_fills_defaults(self):
+        health = schema("Health", hp=("int", 100), max_hp=("int", 100))
+        row = health.validate({})
+        assert row == {"hp": 100, "max_hp": 100}
+
+    def test_validate_coerces(self):
+        pos = schema("Position", x="float", y="float")
+        row = pos.validate({"x": 1, "y": 2})
+        assert row == {"x": 1.0, "y": 2.0}
+
+    def test_missing_required_raises(self):
+        pos = schema("Position", x="float", y="float")
+        with pytest.raises(SchemaError, match="missing required"):
+            pos.validate({"x": 1.0})
+
+    def test_unknown_field_raises(self):
+        pos = schema("Position", x="float", y="float")
+        with pytest.raises(SchemaError, match="unknown fields"):
+            pos.validate({"x": 1.0, "y": 2.0, "z": 3.0})
+
+    def test_validate_update_partial(self):
+        pos = schema("Position", x="float", y="float")
+        assert pos.validate_update({"x": 5}) == {"x": 5.0}
+
+    def test_validate_update_unknown_raises(self):
+        pos = schema("Position", x="float", y="float")
+        with pytest.raises(SchemaError):
+            pos.validate_update({"z": 1.0})
+
+    def test_duplicate_field_raises(self):
+        with pytest.raises(SchemaError):
+            ComponentSchema("X", [FieldDef("a", "int", default=0),
+                                  FieldDef("a", "float")])
+
+    def test_bad_component_name(self):
+        with pytest.raises(SchemaError):
+            ComponentSchema("Bad Name", [])
+
+    def test_tag_component_allowed(self):
+        tag = ComponentSchema("Elite", [])
+        assert tag.validate({}) == {}
+        assert tag.field_names == ()
+
+    def test_field_lookup_error(self):
+        pos = schema("Position", x="float", y="float")
+        with pytest.raises(SchemaError, match="no field"):
+            pos.field("z")
+
+    def test_entity_fields(self):
+        s = ComponentSchema(
+            "Target",
+            [FieldDef("who", "entity", nullable=True), FieldDef("prio", "int", default=0)],
+        )
+        assert s.entity_fields() == ("who",)
+
+    def test_numeric_fields(self):
+        s = schema("Stats", hp=("int", 1), speed=("float", 1.0), name=("str", "x"))
+        assert set(s.numeric_fields()) == {"hp", "speed"}
+
+    def test_field_names_order(self):
+        s = schema("S", a=("int", 0), b=("int", 0), c=("int", 0))
+        assert s.field_names == ("a", "b", "c")
+
+    def test_nullable_default_is_none(self):
+        s = ComponentSchema("T", [FieldDef("who", "entity", nullable=True)])
+        assert s.validate({}) == {"who": None}

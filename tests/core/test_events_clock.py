@@ -1,0 +1,166 @@
+"""Tests for the event bus and frame clock/budget."""
+
+import pytest
+
+from repro.core.clock import FrameBudget, FrameClock
+from repro.core.events import Event, EventBus
+
+
+class TestEventBus:
+    def test_exact_topic_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("combat.death", lambda e: seen.append(e.topic))
+        bus.emit("combat.death")
+        bus.emit("combat.hit")
+        assert seen == ["combat.death"]
+
+    def test_prefix_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("combat", lambda e: seen.append(e.topic))
+        bus.emit("combat.death")
+        bus.emit("zone.enter")
+        assert seen == ["combat.death"]
+
+    def test_wildcard(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", lambda e: seen.append(e.topic))
+        bus.emit("a")
+        bus.emit("b.c")
+        assert seen == ["a", "b.c"]
+
+    def test_handler_count_returned(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: None)
+        bus.subscribe("x", lambda e: None)
+        assert bus.emit("x") == 2
+        assert bus.emit("y") == 0
+
+    def test_cancel_subscription(self):
+        bus = EventBus()
+        seen = []
+        sub = bus.subscribe("x", lambda e: seen.append(1))
+        bus.emit("x")
+        sub.cancel()
+        sub.cancel()  # idempotent
+        bus.emit("x")
+        assert seen == [1]
+
+    def test_deferred_fifo(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", lambda e: seen.append(e.topic))
+        bus.defer(Event("a"))
+        bus.defer(Event("b"))
+        assert seen == []
+        assert bus.pending() == 2
+        bus.flush_deferred()
+        assert seen == ["a", "b"]
+        assert bus.pending() == 0
+
+    def test_deferred_chain_reaches_fixpoint(self):
+        bus = EventBus()
+        seen = []
+
+        def chain(e):
+            seen.append(e.topic)
+            if e.topic == "first":
+                bus.defer(Event("second"))
+
+        bus.subscribe("*", chain)
+        bus.defer(Event("first"))
+        delivered = bus.flush_deferred()
+        assert delivered == 2
+        assert seen == ["first", "second"]
+
+    def test_history_bounded(self):
+        bus = EventBus(history_limit=3)
+        for i in range(5):
+            bus.emit(f"e{i}")
+        assert [e.topic for e in bus.history] == ["e2", "e3", "e4"]
+
+    def test_topics_listing(self):
+        bus = EventBus()
+        sub = bus.subscribe("b", lambda e: None)
+        bus.subscribe("a", lambda e: None)
+        assert bus.topics() == ["a", "b"]
+        sub.cancel()
+        assert bus.topics() == ["a"]
+
+    def test_specificity_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("*", lambda e: order.append("*"))
+        bus.subscribe("a", lambda e: order.append("a"))
+        bus.subscribe("a.b", lambda e: order.append("a.b"))
+        bus.emit("a.b")
+        assert order == ["*", "a", "a.b"]
+
+
+class TestFrameClock:
+    def test_advance(self):
+        clock = FrameClock(dt=0.5)
+        clock.advance()
+        clock.advance()
+        assert clock.tick == 2
+        assert clock.now == 1.0
+
+    def test_rewind(self):
+        clock = FrameClock(dt=1.0)
+        for _ in range(5):
+            clock.advance()
+        clock.rewind_to(2)
+        assert clock.tick == 2 and clock.now == 2.0
+
+    def test_invalid_dt(self):
+        with pytest.raises(ValueError):
+            FrameClock(dt=0)
+
+    def test_rewind_negative(self):
+        with pytest.raises(ValueError):
+            FrameClock().rewind_to(-1)
+
+
+class TestFrameBudget:
+    def test_measure_accumulates(self):
+        budget = FrameBudget(frame_seconds=10.0)
+        with budget.measure("sys"):
+            pass
+        with budget.measure("sys"):
+            pass
+        timing = budget.timings["sys"]
+        assert timing.calls == 2
+        assert timing.total_seconds >= 0
+        assert timing.mean_seconds == pytest.approx(
+            timing.total_seconds / 2
+        )
+
+    def test_overrun_detection(self):
+        import time
+
+        budget = FrameBudget(frame_seconds=0.0001)
+        with budget.measure("slow"):
+            time.sleep(0.002)
+        assert budget.overruns() and budget.overruns()[0].name == "slow"
+
+    def test_frame_accounting(self):
+        budget = FrameBudget(frame_seconds=100.0)
+        with budget.measure("a"):
+            pass
+        spent = budget.end_frame()
+        assert spent >= 0
+        assert budget.frames_measured == 1
+        assert budget.frames_over_budget == 0
+
+    def test_report_sorted(self):
+        import time
+
+        budget = FrameBudget()
+        with budget.measure("fast"):
+            pass
+        with budget.measure("slow"):
+            time.sleep(0.002)
+        report = budget.report()
+        assert report[0].name == "slow"

@@ -1,0 +1,207 @@
+"""Unit + property tests for hash/sorted indexes and the index manager."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.component import schema
+from repro.core.indexes import HashIndex, IndexAdvisor, IndexManager, SortedIndex
+from repro.core.table import ComponentTable
+from repro.errors import IndexError_
+from repro.spatial import UniformGrid
+
+
+class TestHashIndex:
+    def test_lookup(self):
+        idx = HashIndex("kind")
+        idx.insert(1, "orc")
+        idx.insert(2, "orc")
+        idx.insert(3, "elf")
+        assert idx.lookup("orc") == {1, 2}
+        assert idx.lookup("dwarf") == set()
+
+    def test_lookup_in(self):
+        idx = HashIndex("kind")
+        idx.insert(1, "a")
+        idx.insert(2, "b")
+        idx.insert(3, "c")
+        assert idx.lookup_in(["a", "c", "z"]) == {1, 3}
+
+    def test_delete_cleans_bucket(self):
+        idx = HashIndex("kind")
+        idx.insert(1, "a")
+        idx.delete(1, "a")
+        assert idx.lookup("a") == set()
+        assert idx.distinct_values() == []
+
+    def test_update_moves(self):
+        idx = HashIndex("kind")
+        idx.insert(1, "a")
+        idx.update(1, "a", "b")
+        assert idx.lookup("a") == set()
+        assert idx.lookup("b") == {1}
+
+    def test_len(self):
+        idx = HashIndex("k")
+        idx.insert(1, "a")
+        idx.insert(2, "a")
+        assert len(idx) == 2
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        idx = SortedIndex("hp")
+        for i in range(10):
+            idx.insert(i, i * 10)
+        assert idx.range(20, 40) == [2, 3, 4]
+
+    def test_range_exclusive_bounds(self):
+        idx = SortedIndex("hp")
+        for i in range(5):
+            idx.insert(i, i)
+        assert idx.range(1, 3, lo_inclusive=False) == [2, 3]
+        assert idx.range(1, 3, hi_inclusive=False) == [1, 2]
+
+    def test_open_ranges(self):
+        idx = SortedIndex("hp")
+        for i in range(5):
+            idx.insert(i, i)
+        assert idx.range(hi=2) == [0, 1, 2]
+        assert idx.range(lo=3) == [3, 4]
+        assert idx.range() == [0, 1, 2, 3, 4]
+
+    def test_duplicates(self):
+        idx = SortedIndex("hp")
+        idx.insert(1, 5)
+        idx.insert(2, 5)
+        idx.insert(3, 5)
+        assert sorted(idx.range(5, 5)) == [1, 2, 3]
+        idx.delete(2, 5)
+        assert sorted(idx.range(5, 5)) == [1, 3]
+
+    def test_min_max(self):
+        idx = SortedIndex("hp")
+        assert idx.min_entity() is None
+        idx.insert(1, 5)
+        idx.insert(2, 1)
+        idx.insert(3, 9)
+        assert idx.min_entity() == (1, 2)
+        assert idx.max_entity() == (9, 3)
+
+    def test_ordered_ids(self):
+        idx = SortedIndex("hp")
+        idx.insert(1, 30)
+        idx.insert(2, 10)
+        idx.insert(3, 20)
+        assert idx.ordered_ids() == [2, 3, 1]
+        assert idx.ordered_ids(descending=True) == [1, 3, 2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.dictionaries(st.integers(0, 50), st.integers(-100, 100), max_size=40),
+    lo=st.integers(-100, 100),
+    hi=st.integers(-100, 100),
+)
+def test_sorted_index_range_matches_filter(values, lo, hi):
+    idx = SortedIndex("v")
+    for eid, v in values.items():
+        idx.insert(eid, v)
+    expected = sorted(e for e, v in values.items() if lo <= v <= hi)
+    assert sorted(idx.range(lo, hi)) == expected
+
+
+class TestIndexManager:
+    @pytest.fixture
+    def table(self):
+        t = ComponentTable(
+            schema("Mob", kind=("str", "orc"), hp=("int", 100),
+                   x=("float", 0.0), y=("float", 0.0))
+        )
+        for i in range(10):
+            t.insert(i, {"kind": "orc" if i % 2 else "elf", "hp": i * 10,
+                         "x": float(i), "y": float(i)})
+        return t
+
+    def test_backfill_on_create(self, table):
+        mgr = IndexManager(table)
+        idx = mgr.create_hash_index("kind")
+        assert len(idx.lookup("orc")) == 5
+
+    def test_duplicate_index_raises(self, table):
+        mgr = IndexManager(table)
+        mgr.create_hash_index("kind")
+        with pytest.raises(IndexError_):
+            mgr.create_hash_index("kind")
+
+    def test_maintenance_on_insert(self, table):
+        mgr = IndexManager(table)
+        h = mgr.create_hash_index("kind")
+        s = mgr.create_sorted_index("hp")
+        table.insert(100, {"kind": "troll", "hp": 55})
+        assert h.lookup("troll") == {100}
+        assert 100 in s.range(55, 55)
+
+    def test_maintenance_on_update(self, table):
+        mgr = IndexManager(table)
+        h = mgr.create_hash_index("kind")
+        table.update(0, {"kind": "troll"})
+        assert 0 in h.lookup("troll")
+        assert 0 not in h.lookup("elf")
+
+    def test_maintenance_on_delete(self, table):
+        mgr = IndexManager(table)
+        s = mgr.create_sorted_index("hp")
+        table.delete(3)
+        assert 3 not in s.range()
+
+    def test_spatial_attachment(self, table):
+        mgr = IndexManager(table)
+        grid = mgr.attach_spatial(UniformGrid(2.0))
+        assert sorted(grid.query_circle(0, 0, 1.5)) == [0, 1]
+        # single-axis update still moves the point
+        table.update(0, {"x": 9.0})
+        assert 0 in grid.query_circle(9.0, 0.0, 0.5)
+        table.delete(1)
+        assert 1 not in grid.query_circle(1.0, 1.0, 0.5)
+
+    def test_drop_index(self, table):
+        mgr = IndexManager(table)
+        mgr.create_hash_index("kind")
+        mgr.drop_index("kind")
+        assert mgr.hash_index("kind") is None
+        with pytest.raises(IndexError_):
+            mgr.drop_index("kind")
+
+    def test_indexed_fields_listing(self, table):
+        mgr = IndexManager(table)
+        mgr.create_hash_index("kind")
+        mgr.create_sorted_index("hp")
+        mgr.attach_spatial(UniformGrid(2.0))
+        fields = mgr.indexed_fields()
+        assert fields["kind"] == ["hash"]
+        assert fields["hp"] == ["sorted"]
+        assert "spatial" in fields["x"]
+
+
+class TestIndexAdvisor:
+    def test_recommend_after_threshold(self):
+        advisor = IndexAdvisor(scan_threshold=3)
+        for _ in range(3):
+            advisor.record_scan("Mob", "hp")
+        advisor.record_scan("Mob", "kind")
+        recs = advisor.recommend()
+        assert recs == [("Mob", "hp", 3)]
+
+    def test_ordering_by_benefit(self):
+        advisor = IndexAdvisor(scan_threshold=1)
+        advisor.record_scan("A", "x")
+        for _ in range(5):
+            advisor.record_scan("B", "y")
+        assert advisor.recommend()[0][:2] == ("B", "y")
+
+    def test_stats(self):
+        advisor = IndexAdvisor()
+        advisor.record_scan("A", "x")
+        advisor.record_index_hit("A", "x")
+        s = advisor.stats()
+        assert s["missed_total"] == 1 and s["served_total"] == 1

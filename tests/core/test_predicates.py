@@ -1,0 +1,142 @@
+"""Unit tests for the predicate AST and sargability analysis."""
+
+import pytest
+
+from repro.core.predicates import (
+    And,
+    Between,
+    Compare,
+    Custom,
+    F,
+    IsIn,
+    Not,
+    Or,
+    compile_row_fn,
+    split_sargable,
+)
+from repro.errors import QueryError
+
+
+class TestFieldBuilder:
+    def test_comparison_operators(self):
+        assert (F.hp < 5).op == "<"
+        assert (F.hp <= 5).op == "<="
+        assert (F.hp > 5).op == ">"
+        assert (F.hp >= 5).op == ">="
+        assert (F.hp == 5).op == "=="
+        assert (F.hp != 5).op == "!="
+
+    def test_callable_form(self):
+        pred = F("hp") > 3
+        assert pred.field == "hp"
+
+    def test_between(self):
+        pred = F.hp.between(10, 20)
+        assert isinstance(pred, Between)
+        assert pred.evaluate({"hp": 15})
+        assert pred.evaluate({"hp": 10})
+        assert pred.evaluate({"hp": 20})
+        assert not pred.evaluate({"hp": 21})
+
+    def test_is_in(self):
+        pred = F.kind.is_in(["orc", "goblin"])
+        assert pred.evaluate({"kind": "orc"})
+        assert not pred.evaluate({"kind": "human"})
+
+
+class TestEvaluation:
+    def test_compare_null_is_false(self):
+        assert not (F.hp > 3).evaluate({"hp": None})
+
+    def test_and(self):
+        pred = (F.hp > 3) & (F.hp < 10)
+        assert pred.evaluate({"hp": 5})
+        assert not pred.evaluate({"hp": 11})
+
+    def test_or(self):
+        pred = (F.hp < 3) | (F.hp > 10)
+        assert pred.evaluate({"hp": 1})
+        assert pred.evaluate({"hp": 11})
+        assert not pred.evaluate({"hp": 5})
+
+    def test_not(self):
+        pred = ~(F.hp == 5)
+        assert pred.evaluate({"hp": 4})
+        assert not pred.evaluate({"hp": 5})
+
+    def test_custom(self):
+        pred = Custom(lambda r: r["x"] + r["y"] > 10, referenced=frozenset({"x", "y"}))
+        assert pred.evaluate({"x": 6, "y": 5})
+        assert pred.fields() == {"x", "y"}
+
+    def test_empty_and_raises(self):
+        with pytest.raises(QueryError):
+            And([])
+
+    def test_empty_or_raises(self):
+        with pytest.raises(QueryError):
+            Or([])
+
+    def test_nested_fields(self):
+        pred = ((F.a == 1) & (F.b == 2)) | (F.c == 3)
+        assert pred.fields() == {"a", "b", "c"}
+
+
+class TestConjuncts:
+    def test_flat_and_flattens(self):
+        pred = (F.a == 1) & (F.b == 2) & (F.c == 3)
+        assert len(pred.conjuncts()) == 3
+
+    def test_or_stays_single(self):
+        pred = (F.a == 1) | (F.b == 2)
+        assert len(pred.conjuncts()) == 1
+
+
+class TestSargability:
+    def test_eq_is_sargable(self):
+        sarg, res = split_sargable(F.hp == 5)
+        assert len(sarg) == 1 and not res
+
+    def test_neq_is_residual(self):
+        sarg, res = split_sargable(F.hp != 5)
+        assert not sarg and len(res) == 1
+
+    def test_between_is_sargable(self):
+        sarg, res = split_sargable(F.hp.between(1, 2))
+        assert len(sarg) == 1
+
+    def test_is_in_sargable(self):
+        sarg, res = split_sargable(F.k.is_in(["a"]))
+        assert len(sarg) == 1
+
+    def test_mixed_conjunction_splits(self):
+        pred = (F.hp < 5) & (F.kind != "orc") & (F.x.between(0, 1))
+        sarg, res = split_sargable(pred)
+        assert len(sarg) == 2 and len(res) == 1
+
+    def test_or_not_sargable(self):
+        sarg, res = split_sargable((F.a == 1) | (F.b == 2))
+        assert not sarg and len(res) == 1
+
+    def test_none_predicate(self):
+        assert split_sargable(None) == ([], [])
+
+    def test_custom_is_residual(self):
+        sarg, res = split_sargable(Custom(lambda r: True))
+        assert not sarg and len(res) == 1
+
+
+class TestCompileRowFn:
+    def test_empty_always_true(self):
+        fn = compile_row_fn([])
+        assert fn({"anything": 1})
+
+    def test_single(self):
+        fn = compile_row_fn([F.hp > 3])
+        assert fn({"hp": 4}) and not fn({"hp": 3})
+
+    def test_multiple_all_required(self):
+        fn = compile_row_fn([F.hp > 3, F.hp < 10])
+        assert fn({"hp": 5})
+        assert not fn({"hp": 2})
+        assert not fn({"hp": 11})

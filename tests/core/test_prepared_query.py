@@ -1,0 +1,99 @@
+"""Tests for prepared queries: plan caching and catalog invalidation."""
+
+import pytest
+
+from repro.core import F, GameWorld, schema
+from repro.spatial import UniformGrid
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(schema("Health", hp=("int", 100)))
+    for i in range(20):
+        w.spawn(Position={"x": float(i), "y": 0.0}, Health={"hp": i * 5})
+    return w
+
+
+class TestPlanCaching:
+    def test_prepared_results_match_adhoc(self, world):
+        query = world.query("Health").where("Health", F.hp < 40)
+        prepared = query.prepare()
+        assert prepared.ids() == query.ids()
+        assert [r.entity for r in prepared.execute()] == query.ids()
+        assert prepared.count() == query.count()
+
+    def test_plan_built_once_across_frames(self, world):
+        prepared = world.query("Health").where("Health", F.hp < 40).prepare()
+        for _ in range(10):
+            prepared.ids()
+        assert prepared.plans_built == 1
+
+    def test_adhoc_replans_every_time(self, world):
+        before = world.planner.plans_built
+        query = world.query("Health").where("Health", F.hp < 40)
+        query.ids()
+        query.ids()
+        assert world.planner.plans_built == before + 2
+
+    def test_data_changes_visible_without_replan(self, world):
+        prepared = world.query("Health").where("Health", F.hp < 40).prepare()
+        before = set(prepared.ids())
+        newcomer = world.spawn(Health={"hp": 1})
+        after = set(prepared.ids())
+        assert after == before | {newcomer}
+        assert prepared.plans_built == 1
+
+    def test_catalog_change_triggers_replan(self, world):
+        prepared = world.query("Health").where("Health", F.hp < 40).prepare()
+        assert "scan" in prepared.explain()
+        result_before = prepared.ids()
+        world.index_manager("Health").create_sorted_index("hp")
+        assert prepared.ids() == result_before
+        assert prepared.plans_built >= 2
+        assert "sorted_range" in prepared.explain()
+
+    def test_spatial_catalog_change(self, world):
+        prepared = world.query("Position").within(0, 0, 3.0).prepare()
+        before = prepared.ids()
+        world.index_manager("Position").attach_spatial(UniformGrid(3.0))
+        assert prepared.ids() == before
+        assert "spatial" in prepared.explain()
+
+    def test_drop_index_triggers_replan(self, world):
+        world.index_manager("Health").create_sorted_index("hp")
+        prepared = world.query("Health").where("Health", F.hp < 40).prepare()
+        assert "sorted_range" in prepared.explain()
+        world.index_manager("Health").drop_index("hp")
+        assert "scan" in prepared.explain()
+
+
+class TestSystemsUsePreparedQueries:
+    def test_per_entity_system_plans_once(self, world):
+        world.add_per_entity_system(
+            "noop", ["Health", "Position"], lambda w, e, dt: None
+        )
+        before = world.planner.plans_built
+        world.run(10)
+        assert world.planner.plans_built - before == 1
+
+    def test_batch_system_plans_once(self, world):
+        world.add_batch_system(
+            "noop", ["Position.x"], lambda w, ids, cols, dt: None
+        )
+        before = world.planner.plans_built
+        world.run(10)
+        assert world.planner.plans_built - before == 1
+
+    def test_system_sees_spawned_entities(self, world):
+        touched = []
+        world.add_per_entity_system(
+            "track", ["Health"], lambda w, e, dt: touched.append(e)
+        )
+        world.tick()
+        count_before = len(touched)
+        world.spawn(Health={"hp": 1})
+        touched.clear()
+        world.tick()
+        assert len(touched) == count_before + 1

@@ -1,0 +1,194 @@
+"""Tests for declarative queries and the rule-based planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import F, GameWorld, schema
+from repro.errors import QueryError
+from repro.spatial import UniformGrid
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(
+        schema("Health", hp=("int", 100), max_hp=("int", 100))
+    )
+    w.register_component(schema("Faction", name=("str", "neutral")))
+    for i in range(20):
+        w.spawn(
+            Position={"x": float(i), "y": 0.0},
+            Health={"hp": i * 5},
+            Faction={"name": "orc" if i % 2 else "elf"},
+        )
+    return w
+
+
+class TestQueryBasics:
+    def test_scan_query(self, world):
+        ids = world.query("Health").where("Health", F.hp < 25).ids()
+        assert len(ids) == 5
+
+    def test_join_requires_both(self, world):
+        lonely = world.spawn(Health={"hp": 1})
+        ids = world.query("Health").join("Position").ids()
+        assert lonely not in ids
+        assert len(ids) == 20
+
+    def test_where_unjoined_component_raises(self, world):
+        q = world.query("Health")
+        with pytest.raises(QueryError):
+            q.where("Position", F.x > 0)
+
+    def test_duplicate_join_raises(self, world):
+        with pytest.raises(QueryError):
+            world.query("Health").join("Health")
+
+    def test_order_by_and_limit(self, world):
+        rows = (
+            world.query("Health")
+            .order_by("Health", "hp", descending=True)
+            .limit(3)
+            .execute()
+        )
+        assert [r["Health"]["hp"] for r in rows] == [95, 90, 85]
+
+    def test_negative_limit_raises(self, world):
+        with pytest.raises(QueryError):
+            world.query("Health").limit(-1)
+
+    def test_count_and_first(self, world):
+        q = world.query("Faction").where("Faction", F.name == "orc")
+        assert q.count() == 10
+        first = q.first()
+        assert first is not None
+        assert first["Faction"]["name"] == "orc"
+
+    def test_first_empty(self, world):
+        q = world.query("Faction").where("Faction", F.name == "dragon")
+        assert q.first() is None
+
+    def test_result_row_access(self, world):
+        row = world.query("Health").join("Faction").first()
+        assert row.get("Health", "hp") == row["Health"]["hp"]
+        assert set(row.components()) == {"Health", "Faction"}
+        with pytest.raises(QueryError):
+            row["Position"]
+
+    def test_iteration(self, world):
+        q = world.query("Health").where("Health", F.hp < 10)
+        assert len(list(q)) == 2
+
+    def test_deterministic_order_without_order_by(self, world):
+        a = world.query("Health").ids()
+        b = world.query("Health").ids()
+        assert a == b == sorted(a)
+
+    def test_within_requires_nonnegative_radius(self, world):
+        with pytest.raises(QueryError):
+            world.query("Position").within(0, 0, -1)
+
+    def test_within_without_spatial_index_falls_back(self, world):
+        ids = world.query("Position").within(0.0, 0.0, 2.5).ids()
+        assert sorted(ids) == sorted(
+            world.query("Position").where("Position", F.x <= 2.5).ids()
+        )
+
+
+class TestPlannerChoices:
+    def test_plan_prefers_hash_for_equality(self, world):
+        world.index_manager("Faction").create_hash_index("name")
+        plan = world.query("Faction").where("Faction", F.name == "orc").explain()
+        assert "hash_eq" in plan
+
+    def test_plan_prefers_sorted_for_range(self, world):
+        world.index_manager("Health").create_sorted_index("hp")
+        plan = world.query("Health").where("Health", F.hp < 20).explain()
+        assert "sorted_range" in plan
+
+    def test_plan_uses_spatial_for_within(self, world):
+        world.index_manager("Position").attach_spatial(UniformGrid(5.0))
+        plan = world.query("Position").within(0, 0, 5).explain()
+        assert "spatial" in plan
+
+    def test_plan_falls_back_to_scan(self, world):
+        plan = world.query("Health").where("Health", F.hp != 5).explain()
+        assert "scan" in plan
+
+    def test_plan_picks_most_selective_component(self, world):
+        world.index_manager("Faction").create_hash_index("name")
+        # Hash path on Faction (est n/2) beats Health scan (est n).
+        plan = (
+            world.query("Health")
+            .join("Faction")
+            .where("Faction", F.name == "orc")
+            .explain()
+        )
+        assert "hash_eq(Faction.name" in plan
+
+    def test_index_and_scan_agree(self, world):
+        before = world.query("Health").where("Health", F.hp < 33).ids()
+        world.index_manager("Health").create_sorted_index("hp")
+        after = world.query("Health").where("Health", F.hp < 33).ids()
+        assert before == after
+
+    def test_residual_applied_on_index_path(self, world):
+        world.index_manager("Faction").create_hash_index("name")
+        ids = (
+            world.query("Health")
+            .join("Faction")
+            .where("Faction", F.name == "orc")
+            .where("Health", F.hp > 50)
+            .ids()
+        )
+        for eid in ids:
+            assert world.get_field(eid, "Faction", "name") == "orc"
+            assert world.get_field(eid, "Health", "hp") > 50
+
+    def test_spatial_index_query_agrees_with_fallback(self, world):
+        expected = world.query("Position").within(3.0, 0.0, 4.0).ids()
+        world.index_manager("Position").attach_spatial(UniformGrid(4.0))
+        got = world.query("Position").within(3.0, 0.0, 4.0).ids()
+        assert got == expected
+
+    def test_is_in_uses_hash(self, world):
+        world.index_manager("Faction").create_hash_index("name")
+        q = world.query("Faction").where("Faction", F.name.is_in(["orc"]))
+        assert "hash_in" in q.explain()
+        assert q.count() == 10
+
+
+class TestNearest:
+    def test_nearest_fallback(self, world):
+        hits = world.nearest("Position", 4.2, 0.0, 2)
+        assert [h[0] for h in hits] == [
+            world.query("Position").where("Position", F.x == 4.0).ids()[0],
+            world.query("Position").where("Position", F.x == 5.0).ids()[0],
+        ]
+
+    def test_nearest_with_index_matches_fallback(self, world):
+        expected = world.nearest("Position", 7.7, 0.0, 3)
+        world.index_manager("Position").attach_spatial(UniformGrid(3.0))
+        got = world.nearest("Position", 7.7, 0.0, 3)
+        assert [e for e, _ in got] == [e for e, _ in expected]
+
+    def test_nearest_k_positive(self, world):
+        with pytest.raises(QueryError):
+            world.nearest("Position", 0, 0, 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hps=st.lists(st.integers(0, 100), min_size=1, max_size=30),
+    threshold=st.integers(0, 100),
+)
+def test_indexed_query_equals_bruteforce(hps, threshold):
+    """Property: sorted-index query results == brute-force filter."""
+    w = GameWorld()
+    w.register_component(schema("Health", hp=("int", 100)))
+    ids = [w.spawn(Health={"hp": hp}) for hp in hps]
+    w.index_manager("Health").create_sorted_index("hp")
+    got = w.query("Health").where("Health", F.hp < threshold).ids()
+    expected = sorted(e for e, hp in zip(ids, hps) if hp < threshold)
+    assert got == expected

@@ -1,0 +1,187 @@
+"""Unit + property tests for columnar component tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.component import schema
+from repro.core.table import ComponentTable
+from repro.errors import ComponentMissingError, DuplicateComponentError, SchemaError
+
+
+@pytest.fixture
+def table():
+    return ComponentTable(schema("Health", hp=("int", 100), max_hp=("int", 100)))
+
+
+class TestBasicOps:
+    def test_insert_and_get(self, table):
+        table.insert(1, {"hp": 50})
+        assert table.get(1) == {"hp": 50, "max_hp": 100}
+        assert 1 in table
+        assert len(table) == 1
+
+    def test_duplicate_insert_raises(self, table):
+        table.insert(1, {})
+        with pytest.raises(DuplicateComponentError):
+            table.insert(1, {})
+
+    def test_get_missing_raises(self, table):
+        with pytest.raises(ComponentMissingError):
+            table.get(99)
+
+    def test_update_returns_delta(self, table):
+        table.insert(1, {"hp": 50})
+        delta = table.update(1, {"hp": 40})
+        assert delta == {"hp": (50, 40)}
+
+    def test_noop_update_empty_delta(self, table):
+        table.insert(1, {"hp": 50})
+        assert table.update(1, {"hp": 50}) == {}
+
+    def test_noop_update_does_not_bump_version(self, table):
+        table.insert(1, {"hp": 50})
+        v = table.version
+        table.update(1, {"hp": 50})
+        assert table.version == v
+
+    def test_delete_returns_row(self, table):
+        table.insert(1, {"hp": 7})
+        row = table.delete(1)
+        assert row["hp"] == 7
+        assert 1 not in table
+        assert len(table) == 0
+
+    def test_delete_missing_raises(self, table):
+        with pytest.raises(ComponentMissingError):
+            table.delete(1)
+
+    def test_swap_delete_preserves_other_rows(self, table):
+        for i in range(5):
+            table.insert(i, {"hp": i * 10})
+        table.delete(2)
+        assert sorted(table.entity_ids) == [0, 1, 3, 4]
+        for i in (0, 1, 3, 4):
+            assert table.get(i)["hp"] == i * 10
+
+    def test_get_field(self, table):
+        table.insert(1, {"hp": 42})
+        assert table.get_field(1, "hp") == 42
+
+    def test_get_field_bad_name(self, table):
+        table.insert(1, {})
+        with pytest.raises(SchemaError):
+            table.get_field(1, "mana")
+
+    def test_column_snapshot(self, table):
+        for i in range(3):
+            table.insert(i, {"hp": i})
+        col = table.column("hp")
+        assert sorted(col) == [0, 1, 2]
+        table.update(0, {"hp": 99})
+        assert sorted(col) == [0, 1, 2]  # snapshot unaffected
+
+    def test_columns_batch(self, table):
+        table.insert(1, {"hp": 5})
+        cols = table.columns(["hp", "max_hp"])
+        assert cols["hp"] == (5,) and cols["max_hp"] == (100,)
+
+    def test_scan_with_predicate(self, table):
+        for i in range(10):
+            table.insert(i, {"hp": i})
+        assert sorted(table.scan(lambda r: r["hp"] >= 7)) == [7, 8, 9]
+
+    def test_scan_no_predicate(self, table):
+        for i in range(3):
+            table.insert(i, {})
+        assert sorted(table.scan()) == [0, 1, 2]
+
+    def test_rows_iteration_snapshot_safe(self, table):
+        for i in range(5):
+            table.insert(i, {"hp": i})
+        seen = []
+        for eid, row in table.rows():
+            seen.append(eid)
+            if eid == 0:
+                table.delete(4)  # mutate mid-iteration
+        assert len(seen) == 5  # snapshot iterated fully
+
+
+class TestObservers:
+    def test_insert_notifies(self, table):
+        events = []
+        table.add_observer(lambda k, e, p: events.append((k, e)))
+        table.insert(1, {})
+        assert events == [("insert", 1)]
+
+    def test_update_notifies_with_old_new(self, table):
+        events = []
+        table.insert(1, {"hp": 50})
+        table.add_observer(lambda k, e, p: events.append((k, e, dict(p))))
+        table.update(1, {"hp": 10})
+        assert events == [("update", 1, {"hp": (50, 10)})]
+
+    def test_delete_notifies_with_row(self, table):
+        table.insert(1, {"hp": 5})
+        events = []
+        table.add_observer(lambda k, e, p: events.append((k, e, dict(p))))
+        table.delete(1)
+        assert events[0][0] == "delete"
+        assert events[0][2]["hp"] == 5
+
+    def test_remove_observer(self, table):
+        events = []
+        obs = lambda k, e, p: events.append(k)
+        table.add_observer(obs)
+        table.insert(1, {})
+        table.remove_observer(obs)
+        table.insert(2, {})
+        assert events == ["insert"]
+
+    def test_version_increments(self, table):
+        v0 = table.version
+        table.insert(1, {})
+        table.update(1, {"hp": 3})
+        table.delete(1)
+        assert table.version == v0 + 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(0, 9),
+            st.integers(0, 500),
+        ),
+        max_size=60,
+    )
+)
+def test_table_matches_model_dict(ops):
+    """The table behaves exactly like a dict {eid: row} under random ops."""
+    table = ComponentTable(schema("H", hp=("int", 100)))
+    model: dict[int, dict] = {}
+    for op, eid, value in ops:
+        if op == "insert":
+            if eid in model:
+                with pytest.raises(DuplicateComponentError):
+                    table.insert(eid, {"hp": value})
+            else:
+                table.insert(eid, {"hp": value})
+                model[eid] = {"hp": value}
+        elif op == "update":
+            if eid in model:
+                table.update(eid, {"hp": value})
+                model[eid] = {"hp": value}
+            else:
+                with pytest.raises(ComponentMissingError):
+                    table.update(eid, {"hp": value})
+        else:
+            if eid in model:
+                table.delete(eid)
+                del model[eid]
+            else:
+                with pytest.raises(ComponentMissingError):
+                    table.delete(eid)
+    assert dict(table.rows()) == model
+    assert len(table) == len(model)
+    assert sorted(table.entity_ids) == sorted(model)

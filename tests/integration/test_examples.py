@@ -1,0 +1,56 @@
+"""The examples are deliverables: every one must run clean, end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "space_battle.py",
+        "dungeon_combat.py",
+        "persistent_world.py",
+        "auction_house.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate what they show"
+
+
+def test_quickstart_output_shape():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    out = result.stdout
+    assert "EXPLAIN" in out
+    assert "driver:" in out  # the plan rendering
+    assert "aggregate view == recompute" in out
+
+
+def test_space_battle_has_single_loot_winner():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "space_battle.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "exactly one: True" in result.stdout

@@ -1,0 +1,168 @@
+"""Integration tests for the MMO side: bubbles over moving workloads,
+replication of simulated worlds, transactions over game state."""
+
+import math
+
+import pytest
+
+from repro.consistency import (
+    BubbleTimeline,
+    CausalityBubblePartitioner,
+    ConsistencyLevel,
+    ConsistencyPolicy,
+    InterestManager,
+    StaticGridPartitioner,
+    TxnSpec,
+    VersionedStore,
+    make_scheduler,
+    read_for_update,
+    write,
+)
+from repro.core import GameWorld, schema
+from repro.net import LinkConfig, ReplicationClient, ReplicationServer, SimNetwork
+from repro.spatial import AABB, grid_join
+from repro.workloads import OrbitalModel, RandomWaypoint
+
+BOUNDS = AABB(0, 0, 600, 600)
+
+
+class TestBubblesOverMovingWorkload:
+    def test_bubbles_never_split_actual_interactions(self):
+        model = OrbitalModel(BOUNDS, 80, wells=4, seed=3, a_max=5.0)
+        partitioner = CausalityBubblePartitioner(
+            interaction_range=8.0, horizon=2.0, shards=4
+        )
+        timeline = BubbleTimeline()
+        for _round in range(5):
+            states = model.states(a_max=5.0)
+            partition = partitioner.partition(states)
+            timeline.record(partition)
+            # simulate forward one horizon; interactions that actually
+            # happen must be intra-shard
+            for _ in range(2):
+                model.step(1.0)
+                pairs = grid_join(model.positions(), 8.0)
+                metrics = partition.evaluate(pairs)
+                assert metrics.cross_partition_pairs == 0
+        assert timeline.mean_bubble_count() >= 1
+
+    def test_bubbles_beat_static_on_moving_fleets(self):
+        model = OrbitalModel(BOUNDS, 100, wells=5, seed=9, warp_rate=0.01)
+        static = StaticGridPartitioner(BOUNDS, 3, 3, shards=4)
+        bubble = CausalityBubblePartitioner(8.0, 2.0, shards=4)
+        static_cross = bubble_cross = 0
+        for _ in range(10):
+            model.step(1.0)
+            positions = model.positions()
+            pairs = grid_join(positions, 8.0)
+            static_cross += static.evaluate(positions, pairs).cross_partition_pairs
+            bubble_cross += bubble.partition(
+                model.states(a_max=5.0)
+            ).evaluate(pairs).cross_partition_pairs
+        assert bubble_cross == 0
+        assert static_cross >= 0  # static may or may not cross on this seed
+
+
+class TestReplicatedSimulatedWorld:
+    def test_two_clients_converge_on_coarse_positions(self):
+        world = GameWorld()
+        world.register_component(schema("Position", x="float", y="float"))
+        net = SimNetwork(seed=1)
+        net.connect("server", "c1", LinkConfig(latency_ticks=1))
+        net.connect("server", "c2", LinkConfig(latency_ticks=2))
+        policy = ConsistencyPolicy()
+        policy.set_level("x", ConsistencyLevel.COARSE)
+        policy.set_level("y", ConsistencyLevel.COARSE)
+        server = ReplicationServer(
+            world, net, policy, coarse_interval=2, quantum=0.5
+        )
+        a1 = world.spawn(Position={"x": 0.0, "y": 0.0})
+        a2 = world.spawn(Position={"x": 10.0, "y": 0.0})
+        mover = world.spawn(Position={"x": 5.0, "y": 5.0})
+        server.register_client("c1", a1)
+        server.register_client("c2", a2)
+        c1 = ReplicationClient("c1", net, avatar=a1)
+        c2 = ReplicationClient("c2", net, avatar=a2)
+        model = RandomWaypoint(AABB(0, 0, 50, 50), 1, seed=4)
+        for _t in range(40):
+            mx, my = model.positions()[0]
+            world.set(mover, "Position", x=mx, y=my)
+            model.step(0.3)
+            server.tick()
+            net.advance()
+            c1.tick()
+            c2.tick()
+        # let in-flight updates drain
+        for _ in range(5):
+            server.tick()
+            net.advance()
+            c1.tick()
+            c2.tick()
+        # both replicas agree with the quantised server value
+        truth = world.get(mover, "Position")
+        for client in (c1, c2):
+            assert abs(client.field_of(mover, "x") - truth["x"]) <= 0.5
+            assert abs(client.field_of(mover, "y") - truth["y"]) <= 0.5
+        assert c1.field_of(mover, "x") == c2.field_of(mover, "x")
+
+    def test_interest_scoped_bandwidth(self):
+        def run(radius):
+            world = GameWorld()
+            world.register_component(schema("Position", x="float", y="float"))
+            net = SimNetwork(seed=2)
+            net.connect("server", "c1", LinkConfig(latency_ticks=1))
+            policy = ConsistencyPolicy(default=ConsistencyLevel.STRONG)
+            interest = InterestManager(radius=radius) if radius else None
+            server = ReplicationServer(world, net, policy, interest)
+            avatar = world.spawn(Position={"x": 0.0, "y": 0.0})
+            server.register_client("c1", avatar)
+            client = ReplicationClient("c1", net, avatar=avatar)
+            movers = [
+                world.spawn(Position={"x": 100.0 + i, "y": 100.0})
+                for i in range(20)
+            ]
+            for t in range(20):
+                for m in movers:
+                    world.set(m, "Position", y=100.0 + t)
+                server.tick()
+                net.advance()
+                client.tick()
+            return net.total_bytes()
+
+        scoped = run(radius=30)
+        unscoped = run(radius=None)
+        assert scoped < unscoped / 2
+
+
+class TestTransactionsOverGameState:
+    def test_trade_window_invariant(self):
+        """Two players trading items + gold concurrently with a duping
+        attempt: committed history preserves totals."""
+        store = VersionedStore({
+            ("gold", "alice"): 100,
+            ("gold", "bob"): 50,
+            ("item", "sword"): "alice",
+        })
+
+        def trade(name, seller, buyer, price):
+            return TxnSpec(name, [
+                read_for_update(("gold", buyer)),
+                read_for_update(("item", "sword")),
+                write(("item", "sword"),
+                      lambda old, r, s=seller, b=buyer: b if old == s else old),
+                write(("gold", buyer),
+                      lambda old, r, p=price: old - p),
+                write(("gold", seller),
+                      lambda old, r, p=price: old + p),
+            ])
+
+        # bob buys from alice twice concurrently (double-click dupe)
+        specs = [
+            trade("t1", "alice", "bob", 30),
+            trade("t2", "alice", "bob", 30),
+        ]
+        stats = make_scheduler("2pl", store).run(specs, concurrency=2)
+        assert stats.committed == 2
+        total_gold = store.get(("gold", "alice")) + store.get(("gold", "bob"))
+        assert total_gold == 150
+        assert store.get(("item", "sword")) == "bob"

@@ -1,0 +1,97 @@
+"""Tests for dead reckoning."""
+
+import math
+
+import pytest
+
+from repro.net import (
+    DeadReckoningReceiver,
+    DeadReckoningSender,
+    DeadReckoningStats,
+    MotionSample,
+)
+
+
+class TestSender:
+    def test_first_update_always_sent(self):
+        snd = DeadReckoningSender(threshold=1.0)
+        assert snd.update(0, 0.0, 0.0, 1.0, 0.0) is not None
+
+    def test_straight_line_suppressed(self):
+        snd = DeadReckoningSender(threshold=0.5, dt=1.0)
+        snd.update(0, 0.0, 0.0, 1.0, 0.0)
+        for t in range(1, 20):
+            assert snd.update(t, float(t), 0.0, 1.0, 0.0) is None
+        assert snd.stats.updates_sent == 1
+        assert snd.stats.updates_suppressed == 19
+
+    def test_turn_triggers_update(self):
+        snd = DeadReckoningSender(threshold=0.5, dt=1.0)
+        snd.update(0, 0.0, 0.0, 1.0, 0.0)
+        # the entity turns 90 degrees: prediction diverges fast
+        sample = snd.update(2, 2.0, 2.0, 0.0, 1.0)
+        assert sample is not None
+
+    def test_threshold_zero_sends_everything_that_moves(self):
+        snd = DeadReckoningSender(threshold=0.0, dt=1.0)
+        snd.update(0, 0.0, 0.0, 0.9, 0.0)
+        assert snd.update(1, 1.0, 0.0, 0.9, 0.0) is not None
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            DeadReckoningSender(threshold=-1)
+
+
+class TestReceiver:
+    def test_extrapolation(self):
+        rcv = DeadReckoningReceiver(dt=1.0)
+        rcv.on_sample(MotionSample(0, 0.0, 0.0, 2.0, 1.0))
+        assert rcv.position_at(3) == (6.0, 3.0)
+
+    def test_no_sample_none(self):
+        assert DeadReckoningReceiver().position_at(5) is None
+
+    def test_out_of_order_ignored(self):
+        rcv = DeadReckoningReceiver(dt=1.0)
+        rcv.on_sample(MotionSample(5, 10.0, 0.0, 0.0, 0.0))
+        rcv.on_sample(MotionSample(2, 0.0, 0.0, 0.0, 0.0))  # stale
+        assert rcv.position_at(5) == (10.0, 0.0)
+
+    def test_error_recording(self):
+        rcv = DeadReckoningReceiver(dt=1.0)
+        stats = DeadReckoningStats()
+        rcv.on_sample(MotionSample(0, 0.0, 0.0, 1.0, 0.0))
+        err = rcv.record_error(stats, 2, 2.5, 0.0)
+        assert err == pytest.approx(0.5)
+        assert stats.mean_error == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def run_curve(self, threshold):
+        snd = DeadReckoningSender(threshold=threshold, dt=1 / 30)
+        rcv = DeadReckoningReceiver(dt=1 / 30)
+        stats = snd.stats
+        x = y = 0.0
+        for t in range(300):
+            vx = math.sin(t / 15.0) * 2
+            vy = math.cos(t / 25.0)
+            x += vx / 30
+            y += vy / 30
+            sample = snd.update(t, x, y, vx, vy)
+            if sample is not None:
+                rcv.on_sample(sample)
+            rcv.record_error(stats, t, x, y)
+        return stats
+
+    def test_error_bounded_by_threshold(self):
+        stats = self.run_curve(0.5)
+        # sender-side drift check keeps error at the threshold, plus the
+        # one-frame lag before the corrective sample lands
+        assert stats.max_error <= 0.5 + 0.15
+
+    def test_bandwidth_error_tradeoff(self):
+        tight = self.run_curve(0.1)
+        loose = self.run_curve(2.0)
+        assert tight.updates_sent > loose.updates_sent
+        assert tight.mean_error < loose.mean_error
+        assert 0 < loose.send_rate < tight.send_rate <= 1.0

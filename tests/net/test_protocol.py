@@ -1,0 +1,41 @@
+"""Tests for the wire protocol's size accounting."""
+
+from repro.net import (
+    ENVELOPE_BYTES,
+    EntityEnter,
+    EntityExit,
+    InputAck,
+    InputCommand,
+    StateUpdate,
+)
+
+
+class TestWireSizes:
+    def test_state_update_scales_with_fields(self):
+        small = StateUpdate(1, {"x": 1.0}, tick=0)
+        big = StateUpdate(1, {"x": 1.0, "y": 2.0, "z": 3.0}, tick=0)
+        assert big.wire_size() > small.wire_size() > ENVELOPE_BYTES
+
+    def test_exit_is_smallest(self):
+        exit_msg = EntityExit(1, tick=0)
+        enter_msg = EntityEnter(1, {"x": 1.0}, tick=0)
+        assert exit_msg.wire_size() < enter_msg.wire_size()
+
+    def test_input_command_args_counted(self):
+        bare = InputCommand("c", 1, "jump")
+        loaded = InputCommand("c", 1, "move", {"dx": 1.0, "dy": 2.0})
+        assert loaded.wire_size() > bare.wire_size()
+
+    def test_ack_carries_authoritative_state(self):
+        ack = InputAck(1, True, {"x": 1.0, "y": 2.0}, tick=3)
+        assert ack.wire_size() > ENVELOPE_BYTES
+        assert ack.accepted
+
+    def test_messages_are_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        msg = StateUpdate(1, {}, tick=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            msg.entity = 2

@@ -1,0 +1,134 @@
+"""Tests for the deterministic network simulator."""
+
+import pytest
+
+from repro.errors import NetError
+from repro.net import LinkConfig, SimNetwork
+
+
+class TestDelivery:
+    def test_latency_respected(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=3))
+        net.send("a", "b", "hello")
+        net.advance(2)
+        assert net.receive("b") == []
+        net.advance(1)
+        msgs = net.receive("b")
+        assert len(msgs) == 1 and msgs[0].payload == "hello"
+
+    def test_fifo_per_link(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        for i in range(5):
+            net.send("a", "b", i)
+        net.advance(1)
+        assert [m.payload for m in net.receive("b")] == [0, 1, 2, 3, 4]
+
+    def test_bidirectional(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        net.send("b", "a", "pong")
+        net.advance(1)
+        assert net.receive("a")[0].payload == "pong"
+
+    def test_no_link_raises(self):
+        net = SimNetwork()
+        net.add_endpoint("a")
+        net.add_endpoint("b")
+        with pytest.raises(NetError):
+            net.send("a", "b", "x")
+
+    def test_unknown_endpoint_receive(self):
+        net = SimNetwork()
+        with pytest.raises(NetError):
+            net.receive("ghost")
+
+    def test_broadcast(self):
+        net = SimNetwork()
+        net.connect("s", "c1")
+        net.connect("s", "c2")
+        sent = net.broadcast("s", ["c1", "c2"], "tick")
+        assert sent == 2
+        net.advance(5)
+        assert net.receive("c1")[0].payload == "tick"
+        assert net.receive("c2")[0].payload == "tick"
+
+    def test_minimum_one_tick_latency(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=0))
+        net.send("a", "b", "x")
+        assert net.receive("b") == []  # not instantaneous
+        net.advance(1)
+        assert len(net.receive("b")) == 1
+
+
+class TestLossAndJitter:
+    def test_loss_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            net = SimNetwork(seed=42)
+            net.connect("a", "b", LinkConfig(latency_ticks=1, loss_rate=0.5))
+            outcomes = [net.send("a", "b", i) for i in range(50)]
+            results.append(outcomes)
+        assert results[0] == results[1]
+        assert any(results[0]) and not all(results[0])
+
+    def test_loss_rate_roughly_respected(self):
+        net = SimNetwork(seed=7)
+        net.connect("a", "b", LinkConfig(latency_ticks=1, loss_rate=0.3))
+        sent = sum(net.send("a", "b", i) for i in range(500))
+        assert 280 < sent < 420  # ~350 expected
+
+    def test_drops_counted(self):
+        net = SimNetwork(seed=1)
+        net.connect("a", "b", LinkConfig(latency_ticks=1, loss_rate=0.9))
+        for i in range(100):
+            net.send("a", "b", i)
+        stats = net.stats[("a", "b")]
+        assert stats.dropped > 50
+        assert stats.sent == 100
+
+    def test_jitter_within_bounds(self):
+        net = SimNetwork(seed=3)
+        net.connect("a", "b", LinkConfig(latency_ticks=2, jitter_ticks=3))
+        for i in range(50):
+            net.send("a", "b", i)
+        delivered = 0
+        for t in range(10):
+            net.advance(1)
+            for m in net.receive("b"):
+                delay = m.deliver_tick - m.sent_tick
+                assert 2 <= delay <= 5
+                delivered += 1
+        assert delivered == 50
+
+    def test_invalid_configs(self):
+        with pytest.raises(NetError):
+            LinkConfig(latency_ticks=-1)
+        with pytest.raises(NetError):
+            LinkConfig(loss_rate=1.0)
+
+
+class TestAccounting:
+    def test_bytes_tracked(self):
+        net = SimNetwork()
+        net.connect("a", "b")
+        net.send("a", "b", "x", size_bytes=100)
+        net.send("a", "b", "y", size_bytes=50)
+        assert net.stats[("a", "b")].bytes_sent == 150
+        assert net.total_bytes() == 150
+
+    def test_in_flight(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=5))
+        net.send("a", "b", "x")
+        assert net.in_flight_count() == 1
+        net.advance(5)
+        assert net.in_flight_count() == 0
+
+    def test_endpoints_listing(self):
+        net = SimNetwork()
+        net.connect("s", "c1")
+        net.connect("s", "c2")
+        assert net.endpoints() == ["c1", "c2", "s"]

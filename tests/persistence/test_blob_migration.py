@@ -1,0 +1,244 @@
+"""Tests for blob codecs and schema migrations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MigrationError, PersistenceError
+from repro.persistence import (
+    AddColumn,
+    BlobCodec,
+    DropColumn,
+    Migration,
+    MigrationRunner,
+    RenameColumn,
+    TransformColumn,
+    VersionedTable,
+    blob_size,
+    decode_record,
+    encode_record,
+)
+
+
+class TestBlobEncoding:
+    def test_roundtrip_all_types(self):
+        rec = {
+            "name": "Thrall",
+            "gold": -12345,
+            "level": 12.5,
+            "hardcore": True,
+            "guild": None,
+            "notes": "says \"hi\" ☃",
+        }
+        blob = encode_record(rec, 3)
+        out, version = decode_record(blob)
+        assert out == rec and version == 3
+
+    def test_empty_record(self):
+        out, version = decode_record(encode_record({}, 1))
+        assert out == {} and version == 1
+
+    def test_version_byte_range(self):
+        with pytest.raises(PersistenceError):
+            encode_record({}, 256)
+
+    def test_unpackable_type_rejected(self):
+        with pytest.raises(PersistenceError):
+            encode_record({"xs": [1, 2]}, 1)
+
+    def test_truncated_blob_rejected(self):
+        blob = encode_record({"name": "x"}, 1)
+        with pytest.raises(PersistenceError):
+            decode_record(blob[: len(blob) - 1])
+
+    def test_too_short(self):
+        with pytest.raises(PersistenceError):
+            decode_record(b"\x01")
+
+    def test_size_accounting(self):
+        small = blob_size({"a": 1})
+        big = blob_size({"a": 1, "long_field_name": "x" * 100})
+        assert big > small > 0
+
+
+class TestBlobCodecUpgrades:
+    def test_lazy_upgrade_on_read(self):
+        codec = BlobCodec(current_version=1)
+        old_blob = codec.encode({"gold": 10})
+        codec.register_upgrader(1, lambda r: {**r, "honor": 0})
+        codec.bump_version()
+        assert codec.decode(old_blob) == {"gold": 10, "honor": 0}
+        assert codec.upgrades_run == 1
+
+    def test_chained_upgrades(self):
+        codec = BlobCodec(current_version=1)
+        blob = codec.encode({"gold": 10})
+        codec.register_upgrader(1, lambda r: {**r, "honor": 0})
+        codec.bump_version()
+        codec.register_upgrader(2, lambda r: {**r, "gold": r["gold"] * 2})
+        codec.bump_version()
+        assert codec.decode(blob) == {"gold": 20, "honor": 0}
+        assert codec.upgrades_run == 2
+
+    def test_current_version_blob_not_upgraded(self):
+        codec = BlobCodec(current_version=1)
+        codec.register_upgrader(1, lambda r: r)
+        codec.bump_version()
+        fresh = codec.encode({"a": 1})
+        codec.decode(fresh)
+        assert codec.upgrades_run == 0
+
+    def test_missing_upgrader(self):
+        codec = BlobCodec(current_version=1)
+        blob = codec.encode({})
+        codec.current_version = 3
+        with pytest.raises(PersistenceError, match="no upgrader"):
+            codec.decode(blob)
+
+    def test_duplicate_upgrader(self):
+        codec = BlobCodec()
+        codec.register_upgrader(1, lambda r: r)
+        with pytest.raises(PersistenceError):
+            codec.register_upgrader(1, lambda r: r)
+
+    def test_read_field_decodes_whole_blob(self):
+        codec = BlobCodec()
+        blob = codec.encode({"a": 1, "b": 2})
+        assert codec.read_field(blob, "a") == 1
+        with pytest.raises(PersistenceError):
+            codec.read_field(blob, "z")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    rec=st.dictionaries(
+        st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True),
+        st.one_of(
+            st.integers(-(2 ** 62), 2 ** 62),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=30),
+            st.booleans(),
+            st.none(),
+        ),
+        max_size=10,
+    ),
+    version=st.integers(0, 255),
+)
+def test_blob_roundtrip_property(rec, version):
+    out, v = decode_record(encode_record(rec, version))
+    assert out == rec and v == version
+
+
+class TestMigrationSteps:
+    def test_add_column(self):
+        m = Migration(1, (AddColumn("honor", 0),))
+        assert m.apply_to_row({"gold": 5}) == {"gold": 5, "honor": 0}
+
+    def test_add_does_not_clobber(self):
+        m = Migration(1, (AddColumn("honor", 0),))
+        assert m.apply_to_row({"honor": 9}) == {"honor": 9}
+
+    def test_drop_column(self):
+        m = Migration(1, (DropColumn("junk"),))
+        assert m.apply_to_row({"junk": 1, "keep": 2}) == {"keep": 2}
+
+    def test_rename(self):
+        m = Migration(1, (RenameColumn("gold", "coins"),))
+        assert m.apply_to_row({"gold": 7}) == {"coins": 7}
+
+    def test_transform_sees_whole_row(self):
+        m = Migration(1, (TransformColumn("total", lambda r: r["a"] + r["b"]),))
+        assert m.apply_to_row({"a": 1, "b": 2}) == {"a": 1, "b": 2, "total": 3}
+
+    def test_steps_ordered(self):
+        m = Migration(1, (
+            RenameColumn("gold", "coins"),
+            TransformColumn("coins", lambda r: r["coins"] * 2),
+        ))
+        assert m.apply_to_row({"gold": 5}) == {"coins": 10}
+
+
+class TestRunner:
+    @pytest.fixture
+    def runner(self):
+        r = MigrationRunner()
+        r.register(Migration(1, (AddColumn("honor", 0),)))
+        r.register(Migration(2, (RenameColumn("gold", "coins"),)))
+        return r
+
+    def populate(self, n=50):
+        t = VersionedTable("chars", version=1)
+        for i in range(n):
+            t.put(i, {"name": f"p{i}", "gold": i})
+        return t
+
+    def test_chain_validation(self, runner):
+        assert len(runner.chain(1, 3)) == 2
+        with pytest.raises(MigrationError, match="no migration"):
+            runner.chain(3, 5)
+        with pytest.raises(MigrationError, match="downgrade"):
+            runner.chain(3, 1)
+
+    def test_duplicate_registration(self, runner):
+        with pytest.raises(MigrationError):
+            runner.register(Migration(1, ()))
+
+    def test_offline_migrates_everything(self, runner):
+        t = self.populate()
+        report = runner.migrate_offline(t, 3)
+        assert report.rows_rewritten == 100  # 50 rows × 2 versions
+        assert report.downtime_ticks == 100
+        assert t.version == 3
+        assert t.get(7) == {"name": "p7", "coins": 7, "honor": 0}
+
+    def test_offline_downtime_scales_with_rows(self, runner):
+        small = runner.migrate_offline(self.populate(10), 3)
+        big_runner = MigrationRunner()
+        big_runner.register(Migration(1, (AddColumn("honor", 0),)))
+        big_runner.register(Migration(2, (RenameColumn("gold", "coins"),)))
+        big = big_runner.migrate_offline(self.populate(100), 3)
+        assert big.downtime_ticks == 10 * small.downtime_ticks
+
+    def test_online_zero_downtime(self, runner):
+        t = self.populate()
+        online = runner.start_online(t, 3, batch_size=8)
+        assert online.report.downtime_ticks == 0
+        while not online.done:
+            online.tick()
+        assert t.get(3) == {"name": "p3", "coins": 3, "honor": 0}
+        assert online.report.rows_rewritten == 50
+
+    def test_online_read_during_backfill(self, runner):
+        t = self.populate()
+        online = runner.start_online(t, 3, batch_size=4)
+        online.tick()  # only a few rows upgraded
+        # reading an un-backfilled row upgrades it on the spot
+        row = online.read(49)
+        assert row == {"name": "p49", "coins": 49, "honor": 0}
+
+    def test_online_writes_land_at_new_version(self, runner):
+        t = self.populate()
+        online = runner.start_online(t, 3, batch_size=8)
+        t.put(999, {"name": "fresh", "coins": 0, "honor": 0})
+        assert t.row_version(999) == 3
+        while not online.done:
+            online.tick()
+        assert t.get(999)["name"] == "fresh"
+
+    def test_online_equals_offline_result(self, runner):
+        offline_t = self.populate()
+        runner.migrate_offline(offline_t, 3)
+        online_t = self.populate()
+        online = runner.start_online(online_t, 3, batch_size=7)
+        while not online.done:
+            online.tick()
+        for key in offline_t.keys():
+            assert offline_t.get(key) == online_t.get(key)
+
+    def test_bad_batch_size(self, runner):
+        with pytest.raises(MigrationError):
+            runner.start_online(self.populate(), 3, batch_size=0)
+
+    def test_missing_row(self):
+        t = VersionedTable("x")
+        with pytest.raises(MigrationError):
+            t.get("nope")

@@ -1,0 +1,211 @@
+"""Tests for checkpoint policies and crash recovery."""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence import (
+    Action,
+    CheckpointManager,
+    EventDrivenPolicy,
+    HybridPolicy,
+    InMemoryGameDB,
+    IntervalPolicy,
+    SnapshotStore,
+    WriteAheadLog,
+    recover,
+    verify_recovery,
+)
+
+
+def make_db(group_commit=1):
+    wal = WriteAheadLog(group_commit=group_commit)
+    db = InMemoryGameDB(wal)
+    db.create_table("players")
+    db.create_table("milestones")
+    return db
+
+
+def routine(tick, player=0):
+    return Action("put", "players", player, {"x": tick}, importance=0.01, tick=tick)
+
+
+def milestone(tick):
+    return Action(
+        "put", "milestones", f"boss:{tick}", {"player": 0},
+        importance=0.95, tick=tick,
+    )
+
+
+class TestPolicies:
+    def test_interval_policy_fires_on_schedule(self):
+        policy = IntervalPolicy(interval_ticks=10)
+        assert not policy.observe(routine(5))
+        assert policy.observe(routine(10))
+        policy.on_checkpoint(10)
+        assert not policy.observe(routine(15))
+        assert policy.observe(routine(20))
+
+    def test_interval_validation(self):
+        with pytest.raises(PersistenceError):
+            IntervalPolicy(0)
+
+    def test_event_policy_fires_on_milestone(self):
+        policy = EventDrivenPolicy(importance_threshold=5.0, instant_threshold=0.9)
+        assert not policy.observe(routine(1))
+        assert policy.observe(milestone(2))
+
+    def test_event_policy_accumulates(self):
+        policy = EventDrivenPolicy(importance_threshold=0.05, instant_threshold=0.9)
+        assert not policy.observe(routine(1))  # 0.01
+        assert not policy.observe(routine(2))
+        assert not policy.observe(routine(3))
+        assert not policy.observe(routine(4))
+        assert policy.observe(routine(5))      # accumulates to 0.05
+        policy.on_checkpoint(5)
+        assert not policy.observe(routine(6))  # reset
+
+    def test_event_policy_safety_interval(self):
+        policy = EventDrivenPolicy(
+            importance_threshold=100.0, max_interval_ticks=50
+        )
+        assert not policy.observe(routine(10))
+        assert policy.observe(routine(51))
+
+    def test_hybrid_combines(self):
+        policy = HybridPolicy(importance_threshold=100.0, interval_ticks=30)
+        assert policy.observe(milestone(1))       # instant path
+        policy.on_checkpoint(1)
+        assert not policy.observe(routine(10))
+        assert policy.observe(routine(40))        # interval backstop
+
+
+class TestCheckpointManager:
+    def test_checkpoint_truncates_wal(self):
+        db = make_db()
+        mgr = CheckpointManager(db, SnapshotStore(), IntervalPolicy(5))
+        for t in range(1, 12):
+            mgr.record(routine(t))
+        assert mgr.stats.checkpoints == 2
+        assert db.wal.durable_count() < 11
+
+    def test_record_returns_checkpoint_flag(self):
+        db = make_db()
+        mgr = CheckpointManager(db, SnapshotStore(), IntervalPolicy(3))
+        flags = [mgr.record(routine(t)) for t in range(1, 7)]
+        assert flags == [False, False, True, False, False, True]
+
+    def test_bytes_accounted(self):
+        db = make_db()
+        store = SnapshotStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(2))
+        for t in range(1, 5):
+            mgr.record(routine(t))
+        assert mgr.stats.bytes_written == store.bytes_written > 0
+
+
+class TestRecovery:
+    def test_full_recovery_exact(self):
+        db = make_db()
+        store = SnapshotStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(4))
+        for t in range(1, 11):
+            mgr.record(routine(t, player=t % 3))
+        db.wal.flush()
+        recovered, report = recover(db.wal, store)
+        assert verify_recovery(recovered, db) == []
+        assert report.clean or report.lost_actions == 0
+
+    def test_crash_recovery_loses_only_tail(self):
+        db = make_db(group_commit=4)
+        store = SnapshotStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(100))
+        applied = []
+        for t in range(1, 11):
+            action = routine(t, player=t % 3)
+            applied.append(action)
+            mgr.record(action)
+        lost = db.wal.crash()
+        recovered, report = recover(db.wal, store, expected_actions=applied)
+        assert report.lost_actions == lost
+        # recovered state equals replaying the surviving prefix
+        reference = make_db()
+        reference.replay(applied[: len(applied) - lost])
+        assert verify_recovery(recovered, reference) == []
+
+    def test_lost_importance_metrics(self):
+        db = make_db(group_commit=1000)  # nothing flushes automatically
+        db.wal.auto_flush = False
+        store = SnapshotStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(10 ** 9))
+        applied = [routine(1), milestone(2), routine(3)]
+        for a in applied:
+            mgr.record(a)
+        db.wal.crash()
+        _recovered, report = recover(db.wal, store, expected_actions=applied)
+        assert report.lost_actions == 3
+        assert report.worst_lost_importance == pytest.approx(0.95)
+        assert report.lost_importance == pytest.approx(0.97)
+
+    def test_recovery_without_checkpoint(self):
+        db = make_db()
+        for t in range(1, 5):
+            db.apply(routine(t))
+        db.wal.flush()
+        recovered, report = recover(db.wal, SnapshotStore())
+        assert report.checkpoint_lsn == 0
+        assert report.replayed_actions == 4
+        assert verify_recovery(recovered, db) == []
+
+    def test_event_policy_protects_milestones(self):
+        """The headline E8 property: under the event-driven policy a crash
+        never loses a flushed milestone, while the interval policy can."""
+        applied = []
+
+        def run(policy):
+            db = make_db(group_commit=1000)
+            db.wal.auto_flush = False
+            store = SnapshotStore()
+            mgr = CheckpointManager(db, store, policy)
+            applied.clear()
+            for t in range(1, 200):
+                action = milestone(t) if t % 50 == 0 else routine(t, t % 5)
+                applied.append(action)
+                mgr.record(action)
+            db.wal.crash()
+            _rec, report = recover(db.wal, store, expected_actions=applied)
+            return report
+
+        event_report = run(EventDrivenPolicy(importance_threshold=10.0,
+                                             instant_threshold=0.9))
+        interval_report = run(IntervalPolicy(interval_ticks=120))
+        assert event_report.worst_lost_importance < 0.9
+        assert interval_report.worst_lost_importance >= 0.9
+
+    def test_recovered_tick(self):
+        db = make_db()
+        store = SnapshotStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(3))
+        for t in range(1, 8):
+            mgr.record(routine(t))
+        db.wal.flush()
+        _rec, report = recover(db.wal, store)
+        assert report.recovered_tick == 7
+
+
+class TestSQLBackingStore:
+    def test_checkpoints_flow_through_sql(self):
+        from repro.persistence import SQLBackingStore
+
+        db = make_db()
+        store = SQLBackingStore()
+        mgr = CheckpointManager(db, store, IntervalPolicy(2))
+        for t in range(1, 7):
+            mgr.record(routine(t))
+        assert store.engine.row_count("checkpoints") == 3
+        loaded = store.load_checkpoint()
+        assert loaded["tick"] == 6
+
+    def test_empty_store_returns_none(self):
+        from repro.persistence import SQLBackingStore
+
+        assert SQLBackingStore().load_checkpoint() is None

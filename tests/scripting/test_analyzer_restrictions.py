@@ -1,0 +1,196 @@
+"""Tests for the static cost analyzer and restriction profiles."""
+
+import pytest
+
+from repro.errors import RestrictionError
+from repro.scripting import (
+    HANDLERS_ONLY,
+    NO_ITERATION,
+    NO_WHILE,
+    PROFILES,
+    UNRESTRICTED,
+    CompiledScript,
+    analyze_source,
+    check_script,
+    find_recursion,
+    parse,
+)
+
+NAIVE_N2 = """
+for a in entities("Position"):
+    for b in entities("Position"):
+        var x = dist(a, b)
+    end
+end
+"""
+
+DECLARATIVE = """
+for a in entities("Position"):
+    for b in neighbors(a, "Position", 5.0):
+        var x = 1
+    end
+end
+"""
+
+LINEAR = """
+for e in entities("Health"):
+    e.hp = e.hp - 1
+end
+"""
+
+HELPER_HIDDEN_N2 = """
+def check_all(a):
+    for b in entities("Position"):
+        var x = dist(a, b)
+    end
+end
+for a in entities("Position"):
+    check_all(a)
+end
+"""
+
+CONSTANT = """
+var total = sum_of("Health", "hp")
+if total < 100:
+    emit("low_health", none)
+end
+"""
+
+WHILE_SCAN = """
+var done = false
+while not done:
+    for e in entities("Position"):
+        var x = 1
+    end
+    done = true
+end
+"""
+
+
+class TestAnalyzerDegrees:
+    def test_naive_is_quadratic(self):
+        assert analyze_source(NAIVE_N2).worst_degree == 2
+
+    def test_declarative_is_linear(self):
+        assert analyze_source(DECLARATIVE).worst_degree == 1
+
+    def test_linear_scan_is_linear(self):
+        assert analyze_source(LINEAR).worst_degree == 1
+
+    def test_constant_script_is_constant(self):
+        assert analyze_source(CONSTANT).worst_degree == 0
+
+    def test_helper_function_degree_propagates(self):
+        report = analyze_source(HELPER_HIDDEN_N2)
+        assert report.worst_degree == 2
+
+    def test_while_around_scan_pessimistic(self):
+        report = analyze_source(WHILE_SCAN)
+        assert report.worst_degree >= 2
+
+    def test_triple_nesting(self):
+        src = (
+            'for a in entities("P"):\n'
+            ' for b in entities("P"):\n'
+            '  for c in entities("P"):\n'
+            "   var x = 1\n"
+            "  end\n end\nend"
+        )
+        assert analyze_source(src).worst_degree == 3
+
+    def test_scan_call_inside_loop(self):
+        src = (
+            'for a in entities("P"):\n'
+            ' var n = len(entities("P"))\n'
+            "end"
+        )
+        assert analyze_source(src).worst_degree == 2
+
+
+class TestFindings:
+    def test_findings_carry_lines(self):
+        report = analyze_source(NAIVE_N2)
+        warnings = report.quadratic_or_worse()
+        assert warnings
+        assert all(f.line > 0 for f in warnings)
+
+    def test_severity_levels(self):
+        report = analyze_source(NAIVE_N2)
+        worst = report.worst()
+        assert worst.severity == "warning"
+        triple = analyze_source(
+            'for a in entities("P"):\n for b in entities("P"):\n'
+            '  for c in entities("P"):\n   var x = 1\n  end\n end\nend'
+        )
+        assert triple.worst().severity == "error"
+
+    def test_linear_findings_are_info(self):
+        report = analyze_source(LINEAR)
+        assert report.findings
+        assert all(f.severity == "info" for f in report.findings)
+
+    def test_function_attribution(self):
+        report = analyze_source(HELPER_HIDDEN_N2)
+        functions = {f.function for f in report.findings}
+        assert "check_all" in functions or "<top>" in functions
+
+
+class TestRecursionDetection:
+    def test_direct_recursion(self):
+        cycle = find_recursion(parse("def f(n):\n return f(n)\nend"))
+        assert cycle == ["f", "f"]
+
+    def test_mutual_recursion(self):
+        src = "def f(n):\n return g(n)\nend\ndef g(n):\n return f(n)\nend"
+        cycle = find_recursion(parse(src))
+        assert cycle is not None and len(cycle) == 3
+
+    def test_no_recursion(self):
+        src = "def f(n):\n return g(n)\nend\ndef g(n):\n return n\nend"
+        assert find_recursion(parse(src)) is None
+
+    def test_self_call_in_loop(self):
+        src = "def f(n):\n for i in [1]:\n  var x = f(n)\n end\nend"
+        assert find_recursion(parse(src)) is not None
+
+
+class TestProfiles:
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {
+            "unrestricted", "no_while", "no_iteration", "handlers_only",
+        }
+
+    def test_no_while_rejects_while(self):
+        with pytest.raises(RestrictionError, match="while"):
+            CompiledScript("while true:\n var x = 1\nend", NO_WHILE)
+
+    def test_no_while_allows_for(self):
+        CompiledScript("for x in [1]:\n var y = x\nend", NO_WHILE)
+
+    def test_no_iteration_rejects_for(self):
+        with pytest.raises(RestrictionError, match="for"):
+            CompiledScript("for x in [1]:\n var y = x\nend", NO_ITERATION)
+
+    def test_no_iteration_rejects_recursion(self):
+        with pytest.raises(RestrictionError, match="recursion"):
+            CompiledScript("def f(n):\n return f(n)\nend", NO_ITERATION)
+
+    def test_handlers_only_rejects_def(self):
+        with pytest.raises(RestrictionError, match="functions"):
+            CompiledScript("def f():\n return 1\nend", HANDLERS_ONLY)
+
+    def test_handlers_only_allows_straight_line(self):
+        CompiledScript("var x = 1\nif x > 0:\n x = 2\nend", HANDLERS_ONLY)
+
+    def test_unrestricted_allows_everything(self):
+        CompiledScript(NAIVE_N2, UNRESTRICTED)
+
+    def test_with_budget_copies(self):
+        p = UNRESTRICTED.with_budget(500)
+        assert p.instruction_budget == 500
+        assert UNRESTRICTED.instruction_budget is None
+
+    def test_check_script_reports_line(self):
+        with pytest.raises(RestrictionError, match="line"):
+            check_script(parse("var a = 1\nwhile true:\n var x = 1\nend"),
+                         NO_ITERATION)

@@ -1,0 +1,71 @@
+"""Fuzz tests: the GSL front end must fail *predictably* on any input.
+
+Designer-facing tools cannot segfault, hang, or leak internal exceptions:
+for arbitrary source text, the lexer/parser/analyzer either succeed or
+raise a library error with a position.  Hypothesis drives both raw text
+and grammatically-plausible token soup at the pipeline.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LexError, ParseError, ScriptRuntimeError
+from repro.scripting import CompiledScript, CostAnalyzer, Interpreter, parse
+from repro.errors import BudgetExceededError, RestrictionError, ScriptError
+from repro.scripting.restrictions import UNRESTRICTED
+
+LIBRARY_ERRORS = (LexError, ParseError, ScriptError)
+
+# Words that resemble GSL, to bias fuzzing toward near-valid programs.
+_TOKENS = [
+    "var", "def", "if", "elif", "else", "while", "for", "in", "return",
+    "break", "continue", "end", "and", "or", "not", "true", "false",
+    "none", "x", "y", "f", "entities", "(", ")", "[", "]", "{", "}",
+    ":", ",", ".", "=", "==", "<", "+", "-", "*", "/", "%", "1", "2.5",
+    '"s"', "\n",
+]
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=120))
+def test_arbitrary_text_fails_cleanly(source):
+    try:
+        parse(source)
+    except LIBRARY_ERRORS:
+        pass  # controlled rejection is the contract
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(_TOKENS), max_size=40).map(" ".join))
+def test_token_soup_fails_cleanly(source):
+    try:
+        parse(source)
+    except LIBRARY_ERRORS:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(_TOKENS), max_size=30).map(" ".join))
+def test_parsed_programs_execute_or_fail_cleanly(source):
+    """Anything that parses must run to completion, a script error, or a
+    budget stop — never a raw python exception."""
+    try:
+        compiled = CompiledScript(source, UNRESTRICTED.with_budget(2_000))
+    except LIBRARY_ERRORS:
+        return
+    interp = Interpreter(None, {"entities": lambda *a: []})
+    try:
+        interp.run(compiled)
+    except (ScriptRuntimeError, BudgetExceededError, RestrictionError):
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(_TOKENS), max_size=40).map(" ".join))
+def test_analyzer_total_on_parsed_programs(source):
+    """The cost analyzer must produce a degree for anything parseable."""
+    try:
+        tree = parse(source)
+    except LIBRARY_ERRORS:
+        return
+    report = CostAnalyzer().analyze(tree)
+    assert 0 <= report.worst_degree <= 6

@@ -1,0 +1,322 @@
+"""Tests for the GSL interpreter: semantics, budgets, world access."""
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.errors import (
+    BudgetExceededError,
+    RestrictionError,
+    ScriptRuntimeError,
+)
+from repro.scripting import (
+    CompiledScript,
+    Interpreter,
+    NO_ITERATION,
+    UNRESTRICTED,
+    build_stdlib,
+)
+
+
+def run(src, bindings=None, world=None, profile=UNRESTRICTED):
+    interp = Interpreter(world, build_stdlib(world) if world else {})
+    return interp.run(CompiledScript(src, profile), bindings)
+
+
+class TestExpressionSemantics:
+    def test_arithmetic(self):
+        env = run("var x = 2 + 3 * 4 - 6 / 2")
+        assert env.vars["x"] == 11
+
+    def test_modulo(self):
+        assert run("var x = 17 % 5").vars["x"] == 2
+
+    def test_division_by_zero(self):
+        with pytest.raises(ScriptRuntimeError, match="division by zero"):
+            run("var x = 1 / 0")
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(ScriptRuntimeError, match="modulo"):
+            run("var x = 1 % 0")
+
+    def test_string_concat(self):
+        assert run('var s = "a" + "b"').vars["s"] == "ab"
+
+    def test_list_concat_and_index(self):
+        env = run("var xs = [1, 2] + [3]\nvar y = xs[2]")
+        assert env.vars["y"] == 3
+
+    def test_dict_literal_and_access(self):
+        env = run('var d = {"hp": 10, "name": "orc"}\nvar h = d["hp"]\nvar n = d.name')
+        assert env.vars["h"] == 10 and env.vars["n"] == "orc"
+
+    def test_dict_index_assignment(self):
+        env = run('var d = {}\nd["k"] = 5\nvar v = d["k"]')
+        assert env.vars["v"] == 5
+
+    def test_dict_attr_assignment(self):
+        env = run('var d = {"x": 1}\nd.x = 2\nvar v = d.x')
+        assert env.vars["v"] == 2
+
+    def test_dict_keys_are_expressions(self):
+        env = run('var k = "dyn"\nvar d = {k: 7}\nvar v = d["dyn"]')
+        assert env.vars["v"] == 7
+
+    def test_string_plus_number_rejected(self):
+        with pytest.raises(ScriptRuntimeError):
+            run('var x = "a" + 1')
+
+    def test_comparisons(self):
+        env = run("var a = 1 < 2\nvar b = 2 <= 2\nvar c = 3 != 4")
+        assert env.vars["a"] and env.vars["b"] and env.vars["c"]
+
+    def test_incomparable_types(self):
+        with pytest.raises(ScriptRuntimeError, match="cannot compare"):
+            run('var x = 1 < "two"')
+
+    def test_short_circuit_and(self):
+        # the right side would divide by zero if evaluated
+        env = run("var x = false and (1 / 0)")
+        assert env.vars["x"] is False
+
+    def test_short_circuit_or(self):
+        env = run("var x = true or (1 / 0)")
+        assert env.vars["x"] is True
+
+    def test_unary(self):
+        env = run("var a = -5\nvar b = not true")
+        assert env.vars["a"] == -5 and env.vars["b"] is False
+
+    def test_negate_string_rejected(self):
+        with pytest.raises(ScriptRuntimeError):
+            run('var x = -"abc"')
+
+
+class TestStatements:
+    def test_if_else(self):
+        env = run("var x = 0\nif 1 < 2:\n x = 1\nelse:\n x = 2\nend")
+        assert env.vars["x"] == 1
+
+    def test_elif_chain(self):
+        src = (
+            "var x = 0\n"
+            "if false:\n x = 1\n"
+            "elif false:\n x = 2\n"
+            "elif true:\n x = 3\n"
+            "else:\n x = 4\nend"
+        )
+        assert run(src).vars["x"] == 3
+
+    def test_while_loop(self):
+        env = run("var i = 0\nwhile i < 5:\n i = i + 1\nend")
+        assert env.vars["i"] == 5
+
+    def test_for_over_list(self):
+        env = run("var total = 0\nfor x in [1, 2, 3]:\n total = total + x\nend")
+        assert env.vars["total"] == 6
+
+    def test_for_over_range_builtin(self):
+        interp = Interpreter(None, {"range": lambda *a: list(range(*a))})
+        env = interp.run(CompiledScript(
+            "var total = 0\nfor i in range(4):\n total = total + i\nend"
+        ))
+        assert env.vars["total"] == 6
+
+    def test_for_non_iterable_raises(self):
+        with pytest.raises(ScriptRuntimeError, match="iterate"):
+            run("for x in 5:\n var y = 1\nend")
+
+    def test_break(self):
+        env = run(
+            "var i = 0\nwhile true:\n i = i + 1\n if i == 3:\n  break\n end\nend"
+        )
+        assert env.vars["i"] == 3
+
+    def test_continue(self):
+        src = (
+            "var evens = 0\n"
+            "for i in [1, 2, 3, 4]:\n"
+            " if i % 2 == 1:\n  continue\n end\n"
+            " evens = evens + 1\n"
+            "end"
+        )
+        assert run(src).vars["evens"] == 2
+
+    def test_assignment_requires_declaration(self):
+        with pytest.raises(ScriptRuntimeError, match="undeclared"):
+            run("x = 5")
+
+    def test_undefined_variable(self):
+        with pytest.raises(ScriptRuntimeError, match="undefined"):
+            run("var x = y")
+
+    def test_block_scoping(self):
+        # vars declared in a block are invisible after it
+        with pytest.raises(ScriptRuntimeError, match="undefined"):
+            run("if true:\n var inner = 1\nend\nvar x = inner")
+
+    def test_outer_assignment_from_block(self):
+        env = run("var x = 0\nif true:\n x = 9\nend")
+        assert env.vars["x"] == 9
+
+    def test_return_at_top_level_rejected(self):
+        with pytest.raises(ScriptRuntimeError, match="outside function"):
+            run("return 5")
+
+
+class TestFunctions:
+    def test_call_and_return(self):
+        env = run("def double(x):\n return x * 2\nend\nvar y = double(21)")
+        assert env.vars["y"] == 42
+
+    def test_recursion(self):
+        env = run(
+            "def fib(n):\n if n < 2:\n  return n\n end\n"
+            " return fib(n - 1) + fib(n - 2)\nend\nvar x = fib(12)"
+        )
+        assert env.vars["x"] == 144
+
+    def test_wrong_arity(self):
+        with pytest.raises(ScriptRuntimeError, match="takes 2"):
+            run("def f(a, b):\n return a\nend\nvar x = f(1)")
+
+    def test_closure_over_globals(self):
+        env = run("var k = 10\ndef addk(x):\n return x + k\nend\nvar y = addk(5)")
+        assert env.vars["y"] == 15
+
+    def test_function_without_return_yields_none(self):
+        env = run("def f():\n var x = 1\nend\nvar y = f()")
+        assert env.vars["y"] is None
+
+    def test_call_depth_cap(self):
+        profile = UNRESTRICTED
+        src = "def f(n):\n return f(n + 1)\nend\nvar x = f(0)"
+        with pytest.raises(ScriptRuntimeError, match="depth"):
+            run(src, profile=profile)
+
+    def test_dynamic_recursion_ban(self):
+        # mutual recursion through a variable is invisible statically but
+        # caught at runtime
+        src = "def f(n):\n return g(n)\nend\ndef g(n):\n return f(n)\nend\nvar x = f(1)"
+        with pytest.raises((RestrictionError, ScriptRuntimeError)):
+            interp = Interpreter()
+            from repro.scripting.restrictions import LanguageProfile
+
+            profile = LanguageProfile("norec_dynamic", allow_recursion=False)
+            # bypass the static check by building the profile post-compile
+            compiled = CompiledScript(src)
+            compiled.profile = profile
+            interp.run(compiled)
+
+    def test_call_via_interpreter_call(self):
+        interp = Interpreter()
+        env = interp.run(CompiledScript("def hit(dmg):\n return dmg * 2\nend"))
+        assert interp.call(env, "hit", [5]) == 10
+
+    def test_call_non_function(self):
+        interp = Interpreter()
+        env = interp.run(CompiledScript("var x = 5"))
+        with pytest.raises(ScriptRuntimeError):
+            interp.call(env, "x")
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        with pytest.raises(BudgetExceededError):
+            run(
+                "var i = 0\nwhile true:\n i = i + 1\nend",
+                profile=UNRESTRICTED.with_budget(200),
+            )
+
+    def test_budget_sufficient(self):
+        env = run(
+            "var i = 0\nwhile i < 10:\n i = i + 1\nend",
+            profile=UNRESTRICTED.with_budget(100_000),
+        )
+        assert env.vars["i"] == 10
+
+    def test_instructions_counted(self):
+        interp = Interpreter()
+        interp.run(CompiledScript("var x = 1 + 2"))
+        assert interp.instructions_executed > 0
+
+
+class TestWorldAccess:
+    @pytest.fixture
+    def world(self):
+        w = GameWorld()
+        w.register_component(schema("Position", x="float", y="float"))
+        w.register_component(schema("Health", hp=("int", 100)))
+        return w
+
+    def test_entity_proxy_read_write(self, world):
+        eid = world.spawn(Health={"hp": 50}, Position={"x": 0.0, "y": 0.0})
+        interp = Interpreter(world, build_stdlib(world))
+        env = interp.run(
+            CompiledScript("me.hp = me.hp - 20\nvar left = me.hp"),
+            {"me": interp.proxy(eid)},
+        )
+        assert env.vars["left"] == 30
+        assert world.get_field(eid, "Health", "hp") == 30
+
+    def test_proxy_unknown_field(self, world):
+        eid = world.spawn(Health={})
+        interp = Interpreter(world, build_stdlib(world))
+        with pytest.raises(ScriptRuntimeError, match="no field"):
+            interp.run(CompiledScript("var x = me.mana"), {"me": interp.proxy(eid)})
+
+    def test_proxy_id(self, world):
+        eid = world.spawn(Health={})
+        interp = Interpreter(world, build_stdlib(world))
+        env = interp.run(CompiledScript("var i = me.id"), {"me": interp.proxy(eid)})
+        assert env.vars["i"] == eid
+
+    def test_proxy_writes_update_indexes(self, world):
+        from repro.core import F
+
+        world.index_manager("Health").create_sorted_index("hp")
+        eid = world.spawn(Health={"hp": 90})
+        interp = Interpreter(world, build_stdlib(world))
+        interp.run(CompiledScript("me.hp = 5"), {"me": interp.proxy(eid)})
+        assert world.query("Health").where("Health", F.hp < 10).ids() == [eid]
+
+    def test_stdlib_entities_and_count(self, world):
+        for i in range(4):
+            world.spawn(Health={"hp": i})
+        interp = Interpreter(world, build_stdlib(world))
+        env = interp.run(
+            CompiledScript(
+                'var n = count("Health")\n'
+                'var total = 0\n'
+                'for e in entities("Health"):\n total = total + e.hp\nend'
+            )
+        )
+        assert env.vars["n"] == 4 and env.vars["total"] == 6
+
+    def test_stdlib_spawn_destroy(self, world):
+        interp = Interpreter(world, build_stdlib(world))
+        interp.run(
+            CompiledScript(
+                'var e = spawn("Health", none)\n'
+                "e.hp = 5\n"
+                "destroy(e)"
+            )
+        )
+        assert world.entity_count == 0
+
+    def test_private_attribute_blocked(self, world):
+        interp = Interpreter(world, build_stdlib(world))
+        with pytest.raises(ScriptRuntimeError, match="private"):
+            interp.run(CompiledScript("var x = world._tables"))
+
+    def test_aggregate_builtins(self, world):
+        for hp in (10, 20, 30):
+            world.spawn(Health={"hp": hp})
+        interp = Interpreter(world, build_stdlib(world))
+        env = interp.run(
+            CompiledScript(
+                'var s = sum_of("Health", "hp")\n'
+                'var lo = min_of("Health", "hp")\n'
+                'var hi = max_of("Health", "hp")'
+            )
+        )
+        assert (env.vars["s"], env.vars["lo"], env.vars["hi"]) == (60.0, 10, 30)

@@ -1,0 +1,241 @@
+"""Tests for the GSL lexer and parser."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LexError, ParseError
+from repro.scripting import ast_nodes as ast
+from repro.scripting.lexer import tokenize
+from repro.scripting.parser import parse
+from repro.scripting.tokens import TokenType as T
+
+
+class TestLexer:
+    def test_numbers(self):
+        toks = tokenize("42 3.25")
+        assert toks[0].value == 42 and isinstance(toks[0].value, int)
+        assert toks[1].value == 3.25 and isinstance(toks[1].value, float)
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"hi\nthere" ' + r"'it''s'")
+        assert toks[0].value == "hi\nthere"
+
+    def test_single_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_string_newline_illegal(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_keywords_vs_identifiers(self):
+        toks = tokenize("if iffy for fortune")
+        assert toks[0].type == T.IF
+        assert toks[1].type == T.IDENT
+        assert toks[2].type == T.FOR
+        assert toks[3].type == T.IDENT
+
+    def test_operators(self):
+        toks = tokenize("== != <= >= < > = + - * / %")
+        types = [t.type for t in toks[:-2]]
+        assert types == [
+            T.EQ, T.NEQ, T.LTE, T.GTE, T.LT, T.GT, T.ASSIGN,
+            T.PLUS, T.MINUS, T.STAR, T.SLASH, T.PERCENT,
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("1 # a comment\n2")
+        values = [t.value for t in toks if t.type == T.NUMBER]
+        assert values == [1, 2]
+
+    def test_newlines_collapsed(self):
+        toks = tokenize("a\n\n\nb")
+        newlines = [t for t in toks if t.type == T.NEWLINE]
+        assert len(newlines) == 2  # between a/b and trailing
+
+    def test_line_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        cd = [t for t in toks if t.lexeme == "cd"][0]
+        assert (cd.line, cd.column) == (2, 3)
+
+    def test_unexpected_char(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("a @ b")
+        assert exc.value.column == 3
+
+    def test_booleans_and_none(self):
+        toks = tokenize("true false none")
+        assert toks[0].value is True
+        assert toks[1].value is False
+        assert toks[2].type == T.NONE
+
+
+class TestParserExpressions:
+    def _expr(self, src):
+        script = parse(src)
+        assert len(script.body) == 1
+        return script.body[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+        assert isinstance(e.right, ast.BinOp) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.BinOp) and e.left.op == "+"
+
+    def test_comparison_below_bool(self):
+        e = self._expr("a < b and c > d")
+        assert isinstance(e, ast.BoolOp) and e.op == "and"
+
+    def test_or_lower_than_and(self):
+        e = self._expr("a and b or c")
+        assert e.op == "or"
+        assert isinstance(e.left, ast.BoolOp) and e.left.op == "and"
+
+    def test_unary_minus(self):
+        e = self._expr("-x * 2")
+        assert e.op == "*"
+        assert isinstance(e.left, ast.UnaryOp)
+
+    def test_not(self):
+        e = self._expr("not a and b")
+        assert e.op == "and"
+        assert isinstance(e.left, ast.UnaryOp) and e.left.op == "not"
+
+    def test_postfix_chain(self):
+        e = self._expr('world.table("Health").rows()[0]')
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.obj, ast.Call)
+
+    def test_call_args(self):
+        e = self._expr("f(1, x, g(2))")
+        assert isinstance(e, ast.Call) and len(e.args) == 3
+
+    def test_list_literal(self):
+        e = self._expr("[1, 2, 3]")
+        assert isinstance(e, ast.ListExpr) and len(e.items) == 3
+
+    def test_empty_list(self):
+        e = self._expr("[]")
+        assert isinstance(e, ast.ListExpr) and e.items == []
+
+    def test_dict_literal(self):
+        e = self._expr('{"x": 1.0, "y": 2}')
+        assert isinstance(e, ast.DictExpr) and len(e.pairs) == 2
+
+    def test_empty_dict(self):
+        e = self._expr("{}")
+        assert isinstance(e, ast.DictExpr) and e.pairs == []
+
+    def test_multiline_dict(self):
+        e = self._expr('{"a": 1,\n "b": 2}')
+        assert len(e.pairs) == 2
+
+    def test_dict_missing_colon(self):
+        with pytest.raises(ParseError):
+            self._expr('{"a" 1}')
+
+
+class TestParserStatements:
+    def test_var_decl(self):
+        script = parse("var x = 5")
+        decl = script.body[0]
+        assert isinstance(decl, ast.VarDecl) and decl.name == "x"
+
+    def test_assignment_targets(self):
+        script = parse("x = 1\ne.hp = 2\nxs[0] = 3")
+        kinds = [type(s.target).__name__ for s in script.body]
+        assert kinds == ["Name", "Attribute", "Index"]
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("f(x) = 3")
+
+    def test_if_elif_else_desugars(self):
+        script = parse(
+            "if a:\n x = 1\nelif b:\n x = 2\nelse:\n x = 3\nend"
+        )
+        node = script.body[0]
+        assert isinstance(node, ast.If)
+        nested = node.else_body[0]
+        assert isinstance(nested, ast.If)
+        assert nested.else_body  # the else landed on the elif
+
+    def test_while(self):
+        script = parse("while x < 3:\n x = x + 1\nend")
+        assert isinstance(script.body[0], ast.While)
+
+    def test_for(self):
+        script = parse('for e in entities("H"):\n x = 1\nend')
+        node = script.body[0]
+        assert isinstance(node, ast.For) and node.var == "e"
+
+    def test_break_continue_return(self):
+        script = parse(
+            "def f():\n while true:\n  break\n  continue\n end\n return 1\nend"
+        )
+        fdef = script.body[0]
+        loop = fdef.body[0]
+        assert isinstance(loop.body[0], ast.Break)
+        assert isinstance(loop.body[1], ast.Continue)
+        assert isinstance(fdef.body[1], ast.Return)
+
+    def test_return_without_value(self):
+        script = parse("def f():\n return\nend")
+        assert script.body[0].body[0].value is None
+
+    def test_func_def_params(self):
+        script = parse("def f(a, b, c):\n return a\nend")
+        assert script.body[0].params == ["a", "b", "c"]
+
+    def test_duplicate_params_raise(self):
+        with pytest.raises(ParseError):
+            parse("def f(a, a):\n return a\nend")
+
+    def test_missing_end_raises(self):
+        with pytest.raises(ParseError):
+            parse("if a:\n x = 1")
+
+    def test_missing_colon_raises(self):
+        with pytest.raises(ParseError):
+            parse("if a\n x = 1\nend")
+
+    def test_two_statements_one_line_raises(self):
+        with pytest.raises(ParseError):
+            parse("x = 1 y = 2")
+
+    def test_functions_listing(self):
+        script = parse("def a():\n return 1\nend\ndef b():\n return 2\nend")
+        assert set(script.functions()) == {"a", "b"}
+
+    def test_walk_visits_all(self):
+        script = parse("if a:\n x = f(1)\nend")
+        kinds = {type(n).__name__ for n in ast.walk(script)}
+        assert {"Script", "If", "Name", "Assign", "Call", "Literal"} <= kinds
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(0, 10 ** 9),
+    name=st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+)
+def test_roundtrip_var_decl(n, name):
+    """Any simple var declaration parses to the expected AST."""
+    from repro.scripting.tokens import KEYWORDS
+
+    if name in KEYWORDS:
+        return
+    script = parse(f"var {name} = {n}")
+    decl = script.body[0]
+    assert decl.name == name
+    assert decl.value.value == n

@@ -1,0 +1,130 @@
+"""Tests for ScriptSystem: budgets, strikes, and the analyzer gate."""
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.errors import ScriptError
+from repro.scripting import (
+    NO_ITERATION,
+    UNRESTRICTED,
+    ScriptSystem,
+    add_script_system,
+)
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Health", hp=("int", 100)))
+    w.register_component(schema("Position", x="float", y="float"))
+    return w
+
+
+class TestExecution:
+    def test_runs_each_tick(self, world):
+        for _ in range(3):
+            world.spawn(Health={"hp": 10})
+        add_script_system(
+            world, "decay",
+            'for e in entities("Health"):\n e.hp = e.hp - 1\nend',
+        )
+        world.run(4)
+        assert all(
+            world.get_field(e, "Health", "hp") == 6 for e in world.entities()
+        )
+
+    def test_sees_dt_and_tick(self, world):
+        seen = []
+        world.events.subscribe("probe", lambda e: seen.append(e.data))
+        add_script_system(
+            world, "probe",
+            'emit("probe", {"tick": tick, "dt": dt})',
+        )
+        world.run(2)
+        assert seen[1]["tick"] == 2
+        assert seen[1]["dt"] == pytest.approx(world.clock.dt)
+
+    def test_interval_throttling(self, world):
+        world.spawn(Health={"hp": 100})
+        add_script_system(
+            world, "slow",
+            'for e in entities("Health"):\n e.hp = e.hp - 1\nend',
+            interval=3,
+        )
+        world.run(9)
+        eid = world.entities()[0]
+        assert world.get_field(eid, "Health", "hp") == 97
+
+    def test_instruction_accounting(self, world):
+        system = add_script_system(world, "count", "var x = 1 + 2")
+        world.tick()
+        assert system.instructions_last_run > 0
+
+
+class TestAnalyzerGate:
+    NAIVE = (
+        'for a in entities("Position"):\n'
+        ' for b in entities("Position"):\n'
+        "  var d = dist(a, b)\n"
+        " end\nend"
+    )
+
+    def test_quadratic_rejected_at_registration(self, world):
+        with pytest.raises(ScriptError, match=r"O\(n\^2\)"):
+            add_script_system(world, "bad", self.NAIVE, max_degree=1)
+
+    def test_quadratic_allowed_without_gate(self, world):
+        add_script_system(world, "ok", self.NAIVE, max_degree=None)
+
+    def test_linear_passes_gate(self, world):
+        add_script_system(
+            world, "fine",
+            'for e in entities("Health"):\n e.hp = e.hp\nend',
+            max_degree=1,
+        )
+
+    def test_restriction_profile_enforced(self, world):
+        with pytest.raises(ScriptError):
+            add_script_system(
+                world, "banned", "while true:\n var x = 1\nend",
+                profile=NO_ITERATION,
+            )
+
+
+class TestStrikes:
+    def test_budget_overrun_strikes_and_disables(self, world):
+        system = add_script_system(
+            world, "hog",
+            "var i = 0\nwhile i < 100000:\n i = i + 1\nend",
+            profile=UNRESTRICTED.with_budget(100),
+            max_strikes=2,
+        )
+        events = []
+        world.events.subscribe("script.error", lambda e: events.append(e.data))
+        world.run(5)
+        assert system.overruns == 2
+        assert not system.enabled
+        assert events[-1]["disabled"] is True
+        assert events[-1]["reason"] == "budget"
+
+    def test_runtime_error_quarantined(self, world):
+        system = add_script_system(
+            world, "crasher", "var x = 1 / 0", max_strikes=1
+        )
+        world.run(3)  # must not raise out of the tick
+        assert system.errors == 1
+        assert not system.enabled
+        assert world.clock.tick == 3
+
+    def test_no_auto_disable_when_none(self, world):
+        system = add_script_system(
+            world, "crasher", "var x = 1 / 0", max_strikes=None
+        )
+        world.run(4)
+        assert system.errors == 4
+        assert system.enabled
+
+    def test_healthy_script_never_strikes(self, world):
+        system = add_script_system(world, "fine", "var x = 1")
+        world.run(10)
+        assert system.strikes == 0 and system.enabled

@@ -1,0 +1,134 @@
+"""Tests for the GSL stdlib bindings against a live world."""
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.errors import ScriptRuntimeError
+from repro.scripting import CompiledScript, Interpreter, build_stdlib
+from repro.spatial import UniformGrid
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(schema("Health", hp=("int", 100)))
+    w.register_component(schema("Loot", value=("int", 0)))
+    w.index_manager("Position").attach_spatial(UniformGrid(5.0))
+    return w
+
+
+@pytest.fixture
+def interp(world):
+    return Interpreter(world, build_stdlib(world))
+
+
+def run(interp, src, **bindings):
+    return interp.run(CompiledScript(src), bindings)
+
+
+class TestQueries:
+    def test_find_uses_comparison(self, world, interp):
+        ids = [world.spawn(Health={"hp": hp}) for hp in (5, 50, 95)]
+        env = run(interp, 'var weak = find("Health", "hp", "<", 20)')
+        assert [e.id for e in env.vars["weak"]] == [ids[0]]
+
+    def test_find_all_operators(self, world, interp):
+        world.spawn(Health={"hp": 10})
+        for op, expected in (("==", 1), ("!=", 0), ("<=", 1), (">", 0)):
+            env = run(interp, f'var r = find("Health", "hp", "{op}", 10)')
+            assert len(env.vars["r"]) == expected, op
+
+    def test_within_and_neighbors(self, world, interp):
+        a = world.spawn(Position={"x": 0.0, "y": 0.0})
+        b = world.spawn(Position={"x": 3.0, "y": 0.0})
+        world.spawn(Position={"x": 50.0, "y": 0.0})
+        env = run(
+            interp,
+            'var near = within("Position", 0.0, 0.0, 5.0)\n'
+            "var others = neighbors(me, \"Position\", 5.0)",
+            me=interp.proxy(a),
+        )
+        assert {e.id for e in env.vars["near"]} == {a, b}
+        assert [e.id for e in env.vars["others"]] == [b]
+
+    def test_nearest(self, world, interp):
+        world.spawn(Position={"x": 9.0, "y": 0.0})
+        closest = world.spawn(Position={"x": 1.0, "y": 0.0})
+        env = run(interp, 'var n = nearest("Position", 0.0, 0.0)')
+        assert env.vars["n"].id == closest
+
+    def test_nearest_empty_is_none(self, world, interp):
+        env = run(interp, 'var n = nearest("Position", 0.0, 0.0)')
+        assert env.vars["n"] is None
+
+    def test_dist_between_proxies(self, world, interp):
+        a = world.spawn(Position={"x": 0.0, "y": 0.0})
+        b = world.spawn(Position={"x": 3.0, "y": 4.0})
+        env = run(interp, "var d = dist(a, b)",
+                  a=interp.proxy(a), b=interp.proxy(b))
+        assert env.vars["d"] == 5.0
+
+    def test_dist_rejects_non_entity(self, world, interp):
+        with pytest.raises(ScriptRuntimeError):
+            run(interp, 'var d = dist("a", "b")')
+
+
+class TestActions:
+    def test_spawn_attach_has_destroy(self, world, interp):
+        run(
+            interp,
+            'var e = spawn("Health", {"hp": 7})\n'
+            'attach(e, "Loot", {"value": 3})\n'
+            'var both = has(e, "Loot") and has(e, "Health")\n'
+            "destroy(e)",
+        )
+        assert world.entity_count == 0
+
+    def test_emit_defers_to_frame_boundary(self, world, interp):
+        seen = []
+        world.events.subscribe("loot.dropped", lambda e: seen.append(e.data))
+        run(interp, 'emit("loot.dropped", {"value": 10})')
+        assert seen == []
+        world.events.flush_deferred()
+        assert seen == [{"value": 10}]
+
+
+class TestHelpers:
+    def test_math_helpers(self, interp):
+        env = run(
+            interp,
+            "var a = clamp(15, 0, 10)\n"
+            "var b = floor(3.7)\n"
+            "var c = ceil(3.2)\n"
+            "var d = sqrt(16)\n"
+            "var e = abs(-3)\n"
+            "var f = min(1, 2)\n"
+            "var g = max(1, 2)",
+        )
+        assert env.vars["a"] == 10
+        assert env.vars["b"] == 3 and env.vars["c"] == 4
+        assert env.vars["d"] == 4.0
+        assert (env.vars["e"], env.vars["f"], env.vars["g"]) == (3, 1, 2)
+
+    def test_len_and_range(self, interp):
+        env = run(interp, "var n = len(range(2, 7))")
+        assert env.vars["n"] == 5
+
+    def test_count_sum_min_max(self, world, interp):
+        for hp in (10, 20, 30):
+            world.spawn(Health={"hp": hp})
+        env = run(
+            interp,
+            'var c = count("Health")\n'
+            'var s = sum_of("Health", "hp")\n'
+            'var lo = min_of("Health", "hp")\n'
+            'var hi = max_of("Health", "hp")',
+        )
+        assert env.vars["c"] == 3
+        assert env.vars["s"] == 60.0
+        assert (env.vars["lo"], env.vars["hi"]) == (10, 30)
+
+    def test_min_of_empty_is_none(self, world, interp):
+        env = run(interp, 'var lo = min_of("Health", "hp")')
+        assert env.vars["lo"] is None

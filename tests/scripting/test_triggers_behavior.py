@@ -1,0 +1,256 @@
+"""Tests for event triggers and behavior trees."""
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.errors import ScriptError
+from repro.scripting import (
+    HANDLERS_ONLY,
+    Status,
+    TriggerManager,
+    tree_from_dict,
+)
+from repro.scripting.behavior import (
+    Action,
+    BehaviorTree,
+    Blackboard,
+    Condition,
+    Inverter,
+    Repeat,
+    Selector,
+    Sequence,
+    Succeeder,
+)
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Health", hp=("int", 100)))
+    return w
+
+
+class TestTriggers:
+    def test_action_fires_on_topic(self, world):
+        tm = TriggerManager(world)
+        tm.add("greet", "zone.enter", action='emit("ui.banner", none)')
+        banners = []
+        world.events.subscribe("ui.banner", lambda e: banners.append(e))
+        world.emit("zone.enter")
+        world.events.flush_deferred()
+        assert len(banners) == 1
+        assert tm.get("greet").stats.fired == 1
+
+    def test_condition_gates_action(self, world):
+        tm = TriggerManager(world)
+        tm.add(
+            "low_hp",
+            "combat.hit",
+            condition='event["data"]["hp"] < 20',
+            action='emit("combat.flee", none)',
+        )
+        world.emit("combat.hit", {"hp": 50})
+        world.emit("combat.hit", {"hp": 10})
+        stats = tm.get("low_hp").stats
+        assert stats.fired == 1
+        assert stats.condition_rejected == 1
+
+    def test_once_trigger(self, world):
+        tm = TriggerManager(world)
+        tm.add("intro", "zone.enter", action="var x = 1", once=True)
+        world.emit("zone.enter")
+        world.emit("zone.enter")
+        assert tm.get("intro").stats.fired == 1
+
+    def test_cooldown(self, world):
+        tm = TriggerManager(world)
+        tm.add("spam", "chat", action="var x = 1", cooldown_ticks=5)
+        world.emit("chat")      # tick 0 -> fires
+        world.run(2)
+        world.emit("chat")      # tick 2 -> suppressed
+        world.run(4)
+        world.emit("chat")      # tick 6 -> fires
+        assert tm.get("spam").stats.fired == 2
+
+    def test_duplicate_name_raises(self, world):
+        tm = TriggerManager(world)
+        tm.add("t", "x", action="var a = 1")
+        with pytest.raises(ScriptError):
+            tm.add("t", "x", action="var a = 1")
+
+    def test_remove(self, world):
+        tm = TriggerManager(world)
+        tm.add("t", "x", action="var a = 1")
+        tm.remove("t")
+        world.emit("x")
+        with pytest.raises(ScriptError):
+            tm.get("t")
+        with pytest.raises(ScriptError):
+            tm.remove("t")
+
+    def test_profile_enforced_on_trigger_source(self, world):
+        tm = TriggerManager(world, profile=HANDLERS_ONLY)
+        with pytest.raises(ScriptError):
+            tm.add("bad", "x", action="while true:\n var a = 1\nend")
+
+    def test_trigger_sees_event_fields(self, world):
+        tm = TriggerManager(world)
+        tm.add(
+            "echo",
+            "ping",
+            action='emit("pong", event["data"])',
+        )
+        pongs = []
+        world.events.subscribe("pong", lambda e: pongs.append(e.data))
+        world.emit("ping", {"n": 7})
+        world.events.flush_deferred()
+        assert pongs == [{"n": 7}]
+
+    def test_names_listing(self, world):
+        tm = TriggerManager(world)
+        tm.add("b", "x", action="var a = 1")
+        tm.add("a", "y", action="var a = 1")
+        assert tm.names() == ["a", "b"]
+
+    def test_prefix_topic_subscription(self, world):
+        tm = TriggerManager(world)
+        tm.add("any_combat", "combat", action="var a = 1")
+        world.emit("combat.hit")
+        world.emit("combat.death")
+        assert tm.get("any_combat").stats.fired == 2
+
+
+class TestBehaviorNodes:
+    def test_sequence_fail_fast(self):
+        calls = []
+        seq = Sequence([
+            Action("a", lambda w, b: calls.append("a")),
+            Condition("stop", lambda w, b: False),
+            Action("never", lambda w, b: calls.append("never")),
+        ])
+        assert seq.tick(None, Blackboard()) == Status.FAILURE
+        assert calls == ["a"]
+
+    def test_sequence_success(self):
+        seq = Sequence([
+            Action("a", lambda w, b: True),
+            Action("b", lambda w, b: True),
+        ])
+        assert seq.tick(None, Blackboard()) == Status.SUCCESS
+
+    def test_selector_first_success_wins(self):
+        calls = []
+        sel = Selector([
+            Condition("c", lambda w, b: False),
+            Action("a", lambda w, b: calls.append("a")),
+            Action("never", lambda w, b: calls.append("never")),
+        ])
+        assert sel.tick(None, Blackboard()) == Status.SUCCESS
+        assert calls == ["a"]
+
+    def test_selector_all_fail(self):
+        sel = Selector([Condition("c", lambda w, b: False)])
+        assert sel.tick(None, Blackboard()) == Status.FAILURE
+
+    def test_running_memory_resumes(self):
+        state = {"phase": 0}
+
+        def slow(w, b):
+            state["phase"] += 1
+            return Status.RUNNING if state["phase"] < 3 else Status.SUCCESS
+
+        calls = []
+        seq = Sequence([
+            Action("first", lambda w, b: calls.append("first")),
+            Action("slow", slow),
+        ])
+        bb = Blackboard()
+        assert seq.tick(None, bb) == Status.RUNNING
+        assert seq.tick(None, bb) == Status.RUNNING
+        assert seq.tick(None, bb) == Status.SUCCESS
+        # "first" ran once, not re-run while "slow" was RUNNING
+        assert calls == ["first"]
+
+    def test_inverter(self):
+        inv = Inverter(Condition("c", lambda w, b: True))
+        assert inv.tick(None, Blackboard()) == Status.FAILURE
+
+    def test_inverter_passes_running(self):
+        inv = Inverter(Action("r", lambda w, b: Status.RUNNING))
+        assert inv.tick(None, Blackboard()) == Status.RUNNING
+
+    def test_succeeder(self):
+        s = Succeeder(Condition("c", lambda w, b: False))
+        assert s.tick(None, Blackboard()) == Status.SUCCESS
+
+    def test_repeat(self):
+        count = []
+        rep = Repeat(Action("a", lambda w, b: count.append(1)), times=4)
+        assert rep.tick(None, Blackboard()) == Status.SUCCESS
+        assert len(count) == 4
+
+    def test_repeat_invalid_times(self):
+        with pytest.raises(ScriptError):
+            Repeat(Action("a", lambda w, b: True), times=0)
+
+    def test_action_bool_mapping(self):
+        assert Action("t", lambda w, b: None).tick(None, Blackboard()) == Status.SUCCESS
+        assert Action("f", lambda w, b: False).tick(None, Blackboard()) == Status.FAILURE
+
+
+class TestBehaviorTree:
+    def test_per_entity_blackboards(self):
+        tree = BehaviorTree(
+            Action("mark", lambda w, b: b.set("seen", b.entity_id))
+        )
+        tree.tick_entity(None, 1)
+        tree.tick_entity(None, 2)
+        assert tree.blackboard_for(1).get("seen") == 1
+        assert tree.blackboard_for(2).get("seen") == 2
+
+    def test_forget(self):
+        tree = BehaviorTree(Action("noop", lambda w, b: True))
+        tree.tick_entity(None, 1)
+        tree.blackboard_for(1).set("k", "v")
+        tree.forget(1)
+        assert tree.blackboard_for(1).get("k") is None
+
+    def test_from_dict(self):
+        calls = []
+        tree = tree_from_dict(
+            {
+                "type": "selector",
+                "children": [
+                    {"type": "sequence", "children": [
+                        {"type": "condition", "name": "hungry"},
+                        {"type": "action", "name": "eat"},
+                    ]},
+                    {"type": "repeat", "times": 2,
+                     "child": {"type": "action", "name": "wander"}},
+                ],
+            },
+            leaves={
+                "hungry": lambda w, b: b.get("hungry", False),
+                "eat": lambda w, b: calls.append("eat"),
+                "wander": lambda w, b: calls.append("wander"),
+            },
+        )
+        tree.tick_entity(None, 1)
+        assert calls == ["wander", "wander"]
+        tree.blackboard_for(1).set("hungry", True)
+        tree.tick_entity(None, 1)
+        assert calls == ["wander", "wander", "eat"]
+
+    def test_from_dict_unknown_leaf(self):
+        with pytest.raises(ScriptError, match="unknown leaf"):
+            tree_from_dict(
+                {"type": "action", "name": "ghost"}, leaves={}
+            )
+
+    def test_from_dict_unknown_type(self):
+        with pytest.raises(ScriptError, match="node type"):
+            tree_from_dict({"type": "wizard"}, leaves={})
+
+    def test_from_dict_empty_composite(self):
+        with pytest.raises(ScriptError, match="children"):
+            tree_from_dict({"type": "sequence", "children": []}, leaves={})

@@ -1,0 +1,135 @@
+"""Tests for BSP trees: construction, point location, LOS, traversal."""
+
+import random
+
+import pytest
+
+from repro.spatial import AABB, BSPPointIndex, BSPTree, Segment, Vec2
+
+BOUNDS = AABB(0, 0, 100, 100)
+
+
+def cross_walls():
+    """A '+' of two walls dividing the world into 4 quadrant-ish cells."""
+    return [
+        Segment(Vec2(50, 0), Vec2(50, 100)),
+        Segment(Vec2(0, 50), Vec2(100, 50)),
+    ]
+
+
+class TestConstruction:
+    def test_empty_tree_is_single_leaf(self):
+        tree = BSPTree([], BOUNDS)
+        assert tree.leaf_count == 1
+        assert tree.locate(10, 10) == tree.locate(90, 90)
+
+    def test_cross_gives_four_cells(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        cells = {
+            tree.locate(25, 25),
+            tree.locate(75, 25),
+            tree.locate(25, 75),
+            tree.locate(75, 75),
+        }
+        assert len(cells) == 4
+        assert tree.leaf_count == 4
+
+    def test_segment_splitting_counted(self):
+        # A diagonal crossing the vertical wall must be split.
+        walls = [
+            Segment(Vec2(50, 0), Vec2(50, 100)),
+            Segment(Vec2(0, 0), Vec2(100, 100)),
+        ]
+        tree = BSPTree(walls, BOUNDS)
+        assert tree.splits_performed >= 1
+
+    def test_random_walls_partition_consistently(self):
+        rng = random.Random(5)
+        walls = [
+            Segment(
+                Vec2(rng.uniform(0, 100), rng.uniform(0, 100)),
+                Vec2(rng.uniform(0, 100), rng.uniform(0, 100)),
+            )
+            for _ in range(25)
+        ]
+        tree = BSPTree(walls, BOUNDS)
+        # locate is deterministic and total
+        for _ in range(50):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            assert tree.locate(x, y) == tree.locate(x, y)
+            assert 0 <= tree.locate(x, y) < tree.leaf_count
+
+
+class TestFrontToBack:
+    def test_orders_all_leaves(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        order = tree.front_to_back(25, 25)
+        assert sorted(order) == list(range(tree.leaf_count))
+
+    def test_eye_cell_first(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        eye_cell = tree.locate(25, 25)
+        assert tree.front_to_back(25, 25)[0] == eye_cell
+
+    def test_different_eyes_can_differ(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        a = tree.front_to_back(25, 25)
+        b = tree.front_to_back(75, 75)
+        assert a != b
+
+
+class TestLineOfSight:
+    def test_wall_blocks(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        assert not tree.line_of_sight(25, 25, 75, 25)  # crosses x=50 wall
+
+    def test_same_cell_clear(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        assert tree.line_of_sight(10, 10, 40, 40)
+
+    def test_empty_world_clear(self):
+        tree = BSPTree([], BOUNDS)
+        assert tree.line_of_sight(0, 0, 100, 100)
+
+    def test_los_matches_bruteforce_on_random_walls(self):
+        rng = random.Random(12)
+        walls = [
+            Segment(
+                Vec2(rng.uniform(0, 100), rng.uniform(0, 100)),
+                Vec2(rng.uniform(0, 100), rng.uniform(0, 100)),
+            )
+            for _ in range(20)
+        ]
+        tree = BSPTree(walls, BOUNDS)
+        for _ in range(60):
+            a = Vec2(rng.uniform(0, 100), rng.uniform(0, 100))
+            b = Vec2(rng.uniform(0, 100), rng.uniform(0, 100))
+            ray = Segment(a, b)
+            expected = not any(ray.intersects(w) for w in walls)
+            assert tree.line_of_sight(a.x, a.y, b.x, b.y) == expected
+
+
+class TestBSPPointIndex:
+    def test_same_cell_move_keeps_index_consistent(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        idx = BSPPointIndex(tree)
+        idx.insert(1, 20, 20)
+        idx.move(1, 20, 20, 30, 30)  # same quadrant
+        assert idx.query_circle(30, 30, 1.0) == [1]
+
+    def test_cross_cell_move(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        idx = BSPPointIndex(tree)
+        idx.insert(1, 20, 20)
+        idx.move(1, 20, 20, 80, 80)
+        assert idx.query_circle(80, 80, 1.0) == [1]
+        assert idx.query_circle(20, 20, 5.0) == []
+
+    def test_cell_population_load_metric(self):
+        tree = BSPTree(cross_walls(), BOUNDS)
+        idx = BSPPointIndex(tree)
+        for i in range(10):
+            idx.insert(i, 25 + (i % 3), 25)
+        pop = idx.cell_population()
+        assert sum(pop.values()) == 10
+        assert max(pop.values()) == 10  # all in the same quadrant

@@ -1,0 +1,178 @@
+"""Unit tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial.geometry import (
+    AABB,
+    Segment,
+    Vec2,
+    Vec3,
+    point_in_polygon,
+    polygon_area,
+    polygon_centroid,
+)
+
+coords = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+class TestVec2:
+    def test_arithmetic(self):
+        a, b = Vec2(1, 2), Vec2(3, 4)
+        assert a + b == Vec2(4, 6)
+        assert b - a == Vec2(2, 2)
+        assert a * 2 == Vec2(2, 4)
+        assert 2 * a == Vec2(2, 4)
+
+    def test_dot_cross(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0
+        assert Vec2(1, 0).cross(Vec2(0, 1)) == 1
+        assert Vec2(0, 1).cross(Vec2(1, 0)) == -1
+
+    def test_length(self):
+        assert Vec2(3, 4).length() == 5
+        assert Vec2(3, 4).length_sq() == 25
+
+    def test_normalize(self):
+        n = Vec2(3, 4).normalized()
+        assert n.length() == pytest.approx(1.0)
+        with pytest.raises(SpatialError):
+            Vec2(0, 0).normalized()
+
+    def test_lerp(self):
+        assert Vec2(0, 0).lerp(Vec2(10, 20), 0.5) == Vec2(5, 10)
+
+    def test_perp_is_orthogonal(self):
+        v = Vec2(3, 7)
+        assert v.dot(v.perp()) == 0
+
+    def test_vec3(self):
+        v = Vec3(1, 2, 2)
+        assert v.length() == 3
+        assert v.distance_to(Vec3(1, 2, 2)) == 0
+        assert (v + v).x == 2
+        assert (v * 2.0).z == 4
+
+
+class TestAABB:
+    def test_degenerate_raises(self):
+        with pytest.raises(SpatialError):
+            AABB(1, 0, 0, 1)
+
+    def test_contains_closed(self):
+        box = AABB(0, 0, 10, 10)
+        assert box.contains_point(0, 0)
+        assert box.contains_point(10, 10)
+        assert not box.contains_point(10.01, 5)
+
+    def test_intersects_touching(self):
+        a = AABB(0, 0, 1, 1)
+        b = AABB(1, 0, 2, 1)
+        assert a.intersects(b)
+        assert not a.intersects(AABB(1.01, 0, 2, 1))
+
+    def test_intersects_circle(self):
+        box = AABB(0, 0, 10, 10)
+        assert box.intersects_circle(5, 5, 0.1)      # inside
+        assert box.intersects_circle(-1, 5, 1.0)     # touching edge
+        assert not box.intersects_circle(-2, 5, 1.0)
+
+    def test_quadrants_cover_parent(self):
+        box = AABB(0, 0, 8, 8)
+        quads = box.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(box.area)
+
+    def test_from_center_and_around_circle(self):
+        box = AABB.from_center(5, 5, 2, 3)
+        assert (box.min_x, box.max_y) == (3, 8)
+        circ = AABB.around_circle(0, 0, 2)
+        assert circ == AABB(-2, -2, 2, 2)
+
+    def test_distance_sq(self):
+        box = AABB(0, 0, 1, 1)
+        assert box.distance_sq_to_point(0.5, 0.5) == 0
+        assert box.distance_sq_to_point(2, 1) == 1
+
+    def test_contains_box_and_expand(self):
+        outer = AABB(0, 0, 10, 10)
+        assert outer.contains_box(AABB(1, 1, 9, 9))
+        assert not outer.contains_box(AABB(1, 1, 11, 9))
+        assert outer.expanded(1).contains_box(AABB(-0.5, -0.5, 10.5, 10.5))
+
+
+class TestSegment:
+    def test_proper_intersection(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 2))
+        b = Segment(Vec2(0, 2), Vec2(2, 0))
+        assert a.intersects(b)
+
+    def test_parallel_no_intersection(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(0, 1), Vec2(1, 1))
+        assert not a.intersects(b)
+
+    def test_touching_endpoint(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(1, 0), Vec2(2, 1))
+        assert a.intersects(b)
+
+    def test_collinear_overlap(self):
+        a = Segment(Vec2(0, 0), Vec2(2, 0))
+        b = Segment(Vec2(1, 0), Vec2(3, 0))
+        assert a.intersects(b)
+
+    def test_collinear_disjoint(self):
+        a = Segment(Vec2(0, 0), Vec2(1, 0))
+        b = Segment(Vec2(2, 0), Vec2(3, 0))
+        assert not a.intersects(b)
+
+    def test_closest_point(self):
+        seg = Segment(Vec2(0, 0), Vec2(10, 0))
+        assert seg.closest_point_to(Vec2(5, 3)) == Vec2(5, 0)
+        assert seg.closest_point_to(Vec2(-5, 3)) == Vec2(0, 0)
+
+    def test_side_of(self):
+        seg = Segment(Vec2(0, 0), Vec2(1, 0))
+        assert seg.side_of(Vec2(0, 1)) > 0
+        assert seg.side_of(Vec2(0, -1)) < 0
+        assert seg.side_of(Vec2(0.5, 0)) == 0
+
+
+class TestPolygon:
+    def test_square_area(self):
+        square = [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2), Vec2(0, 2)]
+        assert polygon_area(square) == 4
+        assert polygon_area(list(reversed(square))) == -4
+
+    def test_centroid(self):
+        square = [Vec2(0, 0), Vec2(2, 0), Vec2(2, 2), Vec2(0, 2)]
+        assert polygon_centroid(square) == Vec2(1, 1)
+
+    def test_point_in_polygon(self):
+        tri = [Vec2(0, 0), Vec2(4, 0), Vec2(0, 4)]
+        assert point_in_polygon(1, 1, tri)
+        assert not point_in_polygon(3, 3, tri)
+        assert point_in_polygon(0, 0, tri)  # boundary counts
+        assert point_in_polygon(2, 0, tri)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(SpatialError):
+            polygon_area([Vec2(0, 0), Vec2(1, 1)])
+
+
+@settings(max_examples=100, deadline=None)
+@given(x=coords, y=coords, ax=coords, ay=coords, bx=coords, by=coords)
+def test_closest_point_is_on_segment_and_optimal(x, y, ax, ay, bx, by):
+    seg = Segment(Vec2(ax, ay), Vec2(bx, by))
+    p = Vec2(x, y)
+    c = seg.closest_point_to(p)
+    # closest point is no farther than either endpoint
+    assert c.distance_to(p) <= seg.a.distance_to(p) + 1e-9
+    assert c.distance_to(p) <= seg.b.distance_to(p) + 1e-9
+    # and lies within the segment's bounding box
+    assert min(ax, bx) - 1e-9 <= c.x <= max(ax, bx) + 1e-9
+    assert min(ay, by) - 1e-9 <= c.y <= max(ay, by) + 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the distance-join algorithms: all strategies must agree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpatialError
+from repro.spatial import (
+    UniformGrid,
+    grid_join,
+    index_join,
+    interaction_candidates,
+    join_pairs_per_entity,
+    nested_loop_join,
+    sweep_join,
+)
+
+
+def random_points(n, seed=0, span=100.0):
+    rng = random.Random(seed)
+    return {i: (rng.uniform(0, span), rng.uniform(0, span)) for i in range(n)}
+
+
+class TestStrategyAgreement:
+    @pytest.mark.parametrize("r", [0.0, 1.0, 5.0, 25.0])
+    def test_all_strategies_equal(self, r):
+        points = random_points(150, seed=3)
+        reference = nested_loop_join(points, r)
+        assert grid_join(points, r) == reference
+        assert sweep_join(points, r) == reference
+        grid = UniformGrid(max(r, 1.0))
+        for i, (x, y) in points.items():
+            grid.insert(i, x, y)
+        assert index_join(points, r, grid) == reference
+
+    def test_clustered_points(self):
+        rng = random.Random(9)
+        points = {}
+        for c in range(3):
+            for i in range(40):
+                points[c * 100 + i] = (
+                    c * 40 + rng.gauss(0, 2),
+                    rng.gauss(0, 2),
+                )
+        reference = nested_loop_join(points, 3.0)
+        assert grid_join(points, 3.0) == reference
+        assert sweep_join(points, 3.0) == reference
+
+    def test_vertical_stack_worst_case_for_sweep(self):
+        points = {i: (50.0, float(i)) for i in range(50)}
+        reference = nested_loop_join(points, 2.0)
+        assert sweep_join(points, 2.0) == reference
+        assert grid_join(points, 2.0) == reference
+
+    def test_empty_and_singleton(self):
+        assert nested_loop_join({}, 5.0) == set()
+        assert grid_join({}, 5.0) == set()
+        assert sweep_join({1: (0, 0)}, 5.0) == set()
+
+    def test_coincident_points(self):
+        points = {1: (5.0, 5.0), 2: (5.0, 5.0), 3: (5.0, 5.0)}
+        assert nested_loop_join(points, 0.0) == {(1, 2), (1, 3), (2, 3)}
+        assert grid_join(points, 0.0) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(SpatialError):
+            nested_loop_join({}, -1)
+        with pytest.raises(SpatialError):
+            grid_join({}, -1)
+        with pytest.raises(SpatialError):
+            sweep_join({}, -1)
+
+
+class TestDispatcher:
+    def test_dispatch_by_name(self):
+        points = random_points(30, seed=1)
+        ref = nested_loop_join(points, 5.0)
+        assert interaction_candidates(points, 5.0, "naive") == ref
+        assert interaction_candidates(points, 5.0, "grid") == ref
+        assert interaction_candidates(points, 5.0, "sweep") == ref
+
+    def test_index_requires_structure(self):
+        with pytest.raises(SpatialError):
+            interaction_candidates({}, 5.0, "index")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(SpatialError):
+            interaction_candidates({}, 5.0, "quantum")
+
+
+class TestPairGrouping:
+    def test_per_entity_lists(self):
+        pairs = [(1, 2), (1, 3)]
+        grouped = join_pairs_per_entity(pairs)
+        assert sorted(grouped[1]) == [2, 3]
+        assert grouped[2] == [1]
+        assert grouped[3] == [1]
+
+
+# Coordinates quantized to 1/1024 world units: real game coordinates, and
+# immune to the subnormal/ulp boundary artifacts where float rounding makes
+# |a-b| collapse onto exactly r (brute force and cell prefilters can then
+# legitimately disagree about a pair that is neither inside nor outside).
+game_coord = st.integers(-51_200, 51_200).map(lambda q: q / 1024.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pts=st.dictionaries(
+        st.integers(0, 60),
+        st.tuples(game_coord, game_coord),
+        max_size=40,
+    ),
+    r=st.integers(0, 30_720).map(lambda q: q / 1024.0),
+)
+def test_join_agreement_property(pts, r):
+    """Property: every strategy produces the identical pair set."""
+    reference = nested_loop_join(pts, r)
+    assert grid_join(pts, r) == reference
+    assert sweep_join(pts, r) == reference

@@ -1,0 +1,179 @@
+"""Tests for navigation meshes, A* pathfinding, and funnel smoothing."""
+
+import pytest
+
+from repro.errors import NavMeshError
+from repro.spatial import NavMesh, NavPolygon, Vec2, connect_rectangles, grid_to_navmesh
+
+
+def square(poly_id, x0, y0, x1, y1, **kw):
+    return NavPolygon(
+        poly_id,
+        [Vec2(x0, y0), Vec2(x1, y0), Vec2(x1, y1), Vec2(x0, y1)],
+        **kw,
+    )
+
+
+@pytest.fixture
+def corridor():
+    """Three squares in a row: 0 - 1 - 2."""
+    mesh = NavMesh([
+        square(0, 0, 0, 10, 10),
+        square(1, 10, 0, 20, 10),
+        square(2, 20, 0, 30, 10),
+    ])
+    created = mesh.auto_connect()
+    assert created == 2
+    return mesh
+
+
+class TestConstruction:
+    def test_empty_mesh_raises(self):
+        with pytest.raises(NavMeshError):
+            NavMesh([])
+
+    def test_ids_must_be_dense(self):
+        with pytest.raises(NavMeshError):
+            NavMesh([square(1, 0, 0, 1, 1)])
+
+    def test_degenerate_polygon_raises(self):
+        with pytest.raises(NavMeshError):
+            NavPolygon(0, [Vec2(0, 0), Vec2(1, 1)])
+
+    def test_nonpositive_cost_raises(self):
+        with pytest.raises(NavMeshError):
+            square(0, 0, 0, 1, 1, cost_multiplier=0)
+
+    def test_auto_connect_finds_shared_edges(self, corridor):
+        assert len(corridor.portals_of(1)) == 2
+        assert len(corridor.portals_of(0)) == 1
+
+
+class TestLocate:
+    def test_locate(self, corridor):
+        assert corridor.locate(5, 5) == 0
+        assert corridor.locate(25, 5) == 2
+
+    def test_locate_off_mesh_raises(self, corridor):
+        with pytest.raises(NavMeshError):
+            corridor.locate(100, 100)
+
+    def test_try_locate_none(self, corridor):
+        assert corridor.try_locate(100, 100) is None
+
+
+class TestPathfinding:
+    def test_polygon_chain(self, corridor):
+        assert corridor.find_path_polygons(0, 2) == [0, 1, 2]
+        assert corridor.find_path_polygons(2, 0) == [2, 1, 0]
+        assert corridor.find_path_polygons(1, 1) == [1]
+
+    def test_full_path_endpoints(self, corridor):
+        path = corridor.find_path(2, 5, 28, 5)
+        assert path[0] == Vec2(2, 5)
+        assert path[-1] == Vec2(28, 5)
+
+    def test_straight_corridor_path_is_straight(self, corridor):
+        path = corridor.find_path(2, 5, 28, 5)
+        length = corridor.path_length(path)
+        assert length == pytest.approx(26.0, rel=0.01)
+
+    def test_no_path_raises(self):
+        mesh = NavMesh([square(0, 0, 0, 1, 1), square(1, 5, 5, 6, 6)])
+        mesh.auto_connect()
+        with pytest.raises(NavMeshError):
+            mesh.find_path_polygons(0, 1)
+
+    def test_smoothed_not_longer_than_midpoint_path(self, corridor):
+        smooth = corridor.find_path(1, 1, 29, 9, smooth=True)
+        rough = corridor.find_path(1, 1, 29, 9, smooth=False)
+        assert corridor.path_length(smooth) <= corridor.path_length(rough) + 1e-9
+
+    def test_cost_multiplier_steers_path(self):
+        # Two routes from left to right: via a cheap top row or an
+        # expensive swamp bottom row.
+        mesh = NavMesh([
+            square(0, 0, 0, 10, 10),                       # start
+            square(1, 10, 0, 20, 10, cost_multiplier=10.0),  # swamp (bottom)
+            square(2, 0, 10, 10, 20),                      # top-left
+            square(3, 10, 10, 20, 20),                     # top-right
+            square(4, 20, 0, 30, 20),                      # goal column
+        ])
+        connect_rectangles(mesh)
+        chain = mesh.find_path_polygons(0, 4)
+        assert 1 not in chain, f"path went through the swamp: {chain}"
+
+    def test_nodes_expanded_accounting(self, corridor):
+        before = corridor.nodes_expanded
+        corridor.find_path_polygons(0, 2)
+        assert corridor.nodes_expanded > before
+        assert corridor.path_queries == 1
+
+
+class TestAnnotations:
+    def test_find_annotated(self):
+        mesh = NavMesh([
+            square(0, 0, 0, 10, 10, annotations={"hiding": True}),
+            square(1, 10, 0, 20, 10),
+            square(2, 20, 0, 30, 10, annotations={"hiding": True, "cover": 0.9}),
+        ])
+        mesh.auto_connect()
+        hiding = mesh.find_annotated("hiding")
+        assert [p.poly_id for p in hiding] == [0, 2]
+        assert mesh.find_annotated("cover", 0.9)[0].poly_id == 2
+
+    def test_nearest_annotated(self):
+        mesh = NavMesh([
+            square(0, 0, 0, 10, 10, annotations={"hiding": True}),
+            square(1, 10, 0, 20, 10),
+            square(2, 20, 0, 30, 10, annotations={"hiding": True}),
+        ])
+        mesh.auto_connect()
+        near = mesh.nearest_annotated(18, 5, "hiding")
+        assert near.poly_id == 2
+        assert mesh.nearest_annotated(0, 0, "fortress") is None
+
+
+class TestGridToNavmesh:
+    def test_open_grid_becomes_one_polygon(self):
+        walk = [[True] * 5 for _ in range(5)]
+        mesh = grid_to_navmesh(walk)
+        assert len(mesh.polygons) == 1
+
+    def test_wall_splits_polygons(self):
+        walk = [[True] * 5 for _ in range(5)]
+        for r in range(5):
+            if r != 2:
+                walk[r][2] = False
+        mesh = grid_to_navmesh(walk)
+        assert len(mesh.polygons) >= 2
+        # both sides reachable through the gap at row 2
+        left = mesh.locate(0.5, 0.5)
+        right = mesh.locate(4.5, 4.5)
+        chain = mesh.find_path_polygons(left, right)
+        assert chain[0] == left and chain[-1] == right
+
+    def test_annotations_land_on_polygons(self):
+        walk = [[True] * 4 for _ in range(4)]
+        mesh = grid_to_navmesh(walk, annotations={(0, 0): {"spawn": True}})
+        assert mesh.find_annotated("spawn")
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(NavMeshError):
+            grid_to_navmesh([])
+
+    def test_path_on_generated_maze(self):
+        walk = [
+            [True, True, True, False, True],
+            [False, False, True, False, True],
+            [True, True, True, False, True],
+            [True, False, False, False, True],
+            [True, True, True, True, True],
+        ]
+        mesh = grid_to_navmesh(walk)
+        path = mesh.find_path(0.5, 0.5, 4.5, 4.5)
+        assert path[0] == Vec2(0.5, 0.5)
+        assert path[-1] == Vec2(4.5, 4.5)
+        # the path must stay on walkable polygons at every waypoint
+        for p in path:
+            assert mesh.try_locate(p.x, p.y) is not None

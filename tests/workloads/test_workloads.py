@@ -1,0 +1,199 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+import random
+
+import pytest
+
+from repro.consistency import VersionedStore, make_scheduler, serial_replay
+from repro.core import GameWorld
+from repro.errors import ReproError
+from repro.spatial import AABB
+from repro.workloads import (
+    FlockingModel,
+    HotspotSampler,
+    OrbitalModel,
+    PlayerPopulation,
+    PopulationConfig,
+    RandomWaypoint,
+    TraceConfig,
+    TxnWorkloadConfig,
+    generate_action_trace,
+    generate_transfer_workload,
+    milestones_in,
+    zipf_choice,
+)
+
+BOUNDS = AABB(0, 0, 200, 200)
+
+
+class TestMovementModels:
+    @pytest.mark.parametrize("model_cls", [RandomWaypoint, FlockingModel])
+    def test_positions_stay_in_bounds(self, model_cls):
+        model = model_cls(BOUNDS, 40, seed=1)
+        for _ in range(50):
+            model.step(1.0)
+        for x, y in model.positions().values():
+            assert BOUNDS.contains_point(x, y)
+
+    def test_orbital_stays_in_bounds(self):
+        model = OrbitalModel(BOUNDS, 40, wells=3, seed=2)
+        for _ in range(100):
+            model.step(0.5)
+        for x, y in model.positions().values():
+            assert BOUNDS.contains_point(x, y)
+
+    def test_determinism(self):
+        a = RandomWaypoint(BOUNDS, 20, seed=7)
+        b = RandomWaypoint(BOUNDS, 20, seed=7)
+        for _ in range(30):
+            a.step(0.5)
+            b.step(0.5)
+        assert a.positions() == b.positions()
+
+    def test_seeds_differ(self):
+        a = RandomWaypoint(BOUNDS, 20, seed=1)
+        b = RandomWaypoint(BOUNDS, 20, seed=2)
+        assert a.positions() != b.positions()
+
+    def test_movement_actually_moves(self):
+        model = RandomWaypoint(BOUNDS, 10, seed=3)
+        before = model.positions()
+        model.step(1.0)
+        moved = sum(
+            1 for eid in before if model.positions()[eid] != before[eid]
+        )
+        assert moved > 5
+
+    def test_orbital_fleets_cluster(self):
+        model = OrbitalModel(BOUNDS, 60, wells=3, orbit_radius=15, seed=4)
+        sizes = model.fleet_sizes()
+        assert sum(sizes.values()) == 60
+        # ships stay near their well
+        for eid, (x, y) in model.positions().items():
+            well = model.wells[model._movers[eid].well]
+            assert math.hypot(x - well[0], y - well[1]) <= 16
+
+    def test_kinematic_states_snapshot(self):
+        model = RandomWaypoint(BOUNDS, 5, seed=5)
+        model.step(1.0)
+        states = model.states(a_max=2.0)
+        assert len(states) == 5
+        for s in states.values():
+            assert s.a_max == 2.0
+
+    def test_flocking_uses_velocity_cap(self):
+        model = FlockingModel(BOUNDS, 30, max_speed=2.0, seed=6)
+        for _ in range(30):
+            model.step(1.0)
+        for m in model._movers.values():
+            assert math.hypot(m.vx, m.vy) <= 2.0 + 1e-9
+
+    def test_orbital_needs_wells(self):
+        with pytest.raises(ReproError):
+            OrbitalModel(BOUNDS, 5, wells=0)
+
+
+class TestPlayerPopulation:
+    def test_spawn_all(self):
+        world = GameWorld()
+        pop = PlayerPopulation(world, PopulationConfig(count=30, seed=1))
+        ids = pop.spawn_all()
+        assert len(ids) == 30
+        assert world.entity_count == 30
+        for eid in ids:
+            assert world.has(eid, "Position")
+            assert world.has(eid, "Wealth")
+            hp = world.get(eid, "Health")
+            assert hp["hp"] == hp["max_hp"]
+
+    def test_register_components_idempotent(self):
+        world = GameWorld()
+        PlayerPopulation(world)
+        PlayerPopulation(world)  # must not raise on re-registration
+
+    def test_zipf_choice_skews(self):
+        rng = random.Random(1)
+        uniform = [zipf_choice(rng, 100, 0) for _ in range(2000)]
+        skewed = [zipf_choice(rng, 100, 2.0) for _ in range(2000)]
+        assert sum(1 for v in skewed if v < 10) > sum(
+            1 for v in uniform if v < 10
+        )
+
+    def test_zipf_bounds(self):
+        rng = random.Random(2)
+        for theta in (0, 0.5, 3.0):
+            for _ in range(200):
+                assert 0 <= zipf_choice(rng, 7, theta) < 7
+        with pytest.raises(ReproError):
+            zipf_choice(rng, 0, 1.0)
+
+    def test_hotspot_sampler_fraction(self):
+        sampler = HotspotSampler(100, hot_keys=5, hot_fraction=0.8, seed=3)
+        draws = [sampler.sample() for _ in range(2000)]
+        hot = sum(1 for d in draws if d < 5)
+        assert 1400 < hot < 1900
+
+    def test_hotspot_pair_distinct(self):
+        sampler = HotspotSampler(10, hot_keys=2, hot_fraction=0.9, seed=4)
+        for _ in range(100):
+            a, b = sampler.sample_pair()
+            assert a != b
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ReproError):
+            HotspotSampler(5, hot_keys=9)
+        with pytest.raises(ReproError):
+            HotspotSampler(5, hot_fraction=1.5)
+
+
+class TestTraces:
+    def test_trace_shape(self):
+        trace = generate_action_trace(TraceConfig(ticks=1000, seed=1))
+        assert trace
+        ticks = [a.tick for a in trace]
+        assert ticks == sorted(ticks)
+        assert all(0 <= a.tick < 1000 for a in trace)
+
+    def test_milestones_rare_and_important(self):
+        cfg = TraceConfig(ticks=5000, milestone_rate=0.01, seed=2)
+        trace = generate_action_trace(cfg)
+        ms = milestones_in(trace)
+        assert 0 < len(ms) < len(trace) / 10
+        assert all(a.importance > 0.5 for a in ms)
+
+    def test_deterministic(self):
+        a = generate_action_trace(TraceConfig(seed=5))
+        b = generate_action_trace(TraceConfig(seed=5))
+        assert a == b
+
+    def test_actions_per_tick_rate(self):
+        cfg = TraceConfig(ticks=1000, actions_per_tick=3.0,
+                          milestone_rate=0.0, seed=3)
+        trace = generate_action_trace(cfg)
+        assert len(trace) == pytest.approx(3000, rel=0.05)
+
+
+class TestTransferWorkload:
+    def test_conservation_under_all_schedulers(self):
+        init, specs = generate_transfer_workload(
+            TxnWorkloadConfig(transactions=60, accounts=20,
+                              hot_fraction=0.7, seed=1)
+        )
+        total = sum(init.values())
+        for name in ("2pl", "occ", "ts"):
+            store = VersionedStore(init)
+            stats = make_scheduler(name, store).run(specs, concurrency=6)
+            assert stats.committed == 60
+            assert sum(store.snapshot().values()) == total
+
+    def test_workload_serial_replay_conserves(self):
+        init, specs = generate_transfer_workload(
+            TxnWorkloadConfig(transactions=30, seed=2)
+        )
+        final = serial_replay(init, specs)
+        assert sum(final.values()) == sum(init.values())
+
+    def test_minimum_accounts(self):
+        with pytest.raises(ReproError):
+            generate_transfer_workload(TxnWorkloadConfig(accounts=1))
