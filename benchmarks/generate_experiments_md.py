@@ -89,6 +89,14 @@ EXPERIMENTS = [
      "Disjoint transaction batches shard with near-linear parallel "
      "speedup and zero cross-shard conflicts; a hot key fuses bubbles "
      "and collapses speedup to 1x."),
+    ("E14 / Fig 11", "bench_e14_sharding",
+     "MMO worlds are space-partitioned across servers; players migrate "
+     "between shards and actions spanning shards need distributed "
+     "coordination (Consistency Challenges).",
+     "More shards shrink per-shard load but raise the cross-shard "
+     "transaction fraction; bubble-aware placement cuts that fraction "
+     "versus the static grid; the dynamic rebalancer lowers hotspot "
+     "imbalance."),
 ]
 
 HEADER = """\

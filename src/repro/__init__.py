@@ -18,6 +18,15 @@ Quickstart::
     hurt = world.query("Health").where("Health", F.hp < 50).ids()
 """
 
+from repro.cluster import (
+    BubbleAwarePlacement,
+    ClusterCoordinator,
+    ClusterStats,
+    DynamicRebalancer,
+    ShardHost,
+    ShardStats,
+    StaticGridPlacement,
+)
 from repro.core import (
     F,
     GameWorld,
@@ -25,7 +34,7 @@ from repro.core import (
     FieldDef,
     schema,
 )
-from repro.errors import ReproError
+from repro.errors import ClusterError, ReproError
 
 __version__ = "1.0.0"
 
@@ -35,6 +44,14 @@ __all__ = [
     "ComponentSchema",
     "FieldDef",
     "schema",
+    "BubbleAwarePlacement",
+    "ClusterCoordinator",
+    "ClusterStats",
+    "DynamicRebalancer",
+    "ShardHost",
+    "ShardStats",
+    "StaticGridPlacement",
+    "ClusterError",
     "ReproError",
     "__version__",
 ]

@@ -1,0 +1,30 @@
+"""Sharded world runtime: one `GameWorld` slice per shard, coordinated
+deterministically over the simulated network — tick barrier, entity
+migration with in-flight forwarding, cross-shard two-phase commit, and
+dynamic load rebalancing."""
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.migration import ForwardingTable, InFlightHandoff
+from repro.cluster.placement import (
+    BubbleAwarePlacement,
+    DynamicRebalancer,
+    PlacementPolicy,
+    StaticGridPlacement,
+)
+from repro.cluster.shard import COORD_ENDPOINT, ShardHost, shard_endpoint
+from repro.cluster.stats import ClusterStats, ShardStats
+
+__all__ = [
+    "ClusterCoordinator",
+    "ForwardingTable",
+    "InFlightHandoff",
+    "BubbleAwarePlacement",
+    "DynamicRebalancer",
+    "PlacementPolicy",
+    "StaticGridPlacement",
+    "COORD_ENDPOINT",
+    "ShardHost",
+    "shard_endpoint",
+    "ClusterStats",
+    "ShardStats",
+]

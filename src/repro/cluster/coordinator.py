@@ -1,0 +1,460 @@
+"""The cluster coordinator: tick barrier, directory, 2PC, rebalancing.
+
+:class:`ClusterCoordinator` turns N :class:`~repro.cluster.shard.ShardHost`
+slices into one logical `GameWorld`:
+
+* **Tick barrier** — :meth:`tick` advances the network one tick, lets
+  the coordinator react to delivered votes/acks, then steps every shard
+  (inbox processing + one world frame) in shard-id order.  All ordering
+  is fixed and all randomness is seeded, so same-seed runs replay to an
+  identical :meth:`state_hash`.
+* **Directory** — the authoritative entity→shard ownership map.  It may
+  briefly lag reality while a handoff is in flight; the shards'
+  forwarding tables cover the gap.
+* **Cross-shard transactions** — presumed-nothing two-phase commit over
+  the simulated network, layered on the shards'
+  :class:`~repro.consistency.transactions.TwoPhaseParticipant` hooks.
+  Wholly-local transactions take a one-round fast path; cross-shard
+  ones pay the extra round trip and hold locks across it — the
+  tutorial's "expensive case", now executed rather than estimated.
+* **Placement & rebalancing** — every ``repartition_interval`` ticks the
+  placement policy proposes a desired assignment (optionally adjusted by
+  the :class:`~repro.cluster.placement.DynamicRebalancer`), and the
+  coordinator issues handoffs for the diff.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Hashable, Iterable, Mapping
+
+from repro.cluster.migration import InFlightHandoff
+from repro.cluster.placement import DynamicRebalancer, PlacementPolicy
+from repro.cluster.shard import COORD_ENDPOINT, ShardHost, shard_endpoint
+from repro.cluster.stats import ClusterStats
+from repro.consistency.transactions import TxnSpec, compute_writes
+from repro.core.component import ComponentSchema
+from repro.core.entity import EntityAllocator
+from repro.errors import ClusterError
+from repro.net.protocol import (
+    HandoffAck,
+    HandoffCommand,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
+)
+from repro.net.simnet import LinkConfig, SimNetwork
+
+
+class _TxnRecord:
+    """Coordinator-side state of one distributed transaction."""
+
+    __slots__ = (
+        "txn_id", "spec", "all_keys", "covered", "votes", "local",
+        "participants", "finished", "committed",
+    )
+
+    def __init__(
+        self, txn_id: int, spec: TxnSpec, all_keys: set, participants: int,
+        local: bool,
+    ):
+        self.txn_id = txn_id
+        self.spec = spec
+        self.all_keys = all_keys
+        self.covered: set = set()
+        self.votes: list[TxnVote] = []
+        self.local = local
+        self.participants = participants
+        self.finished = False
+        self.committed = False
+
+
+class ClusterCoordinator:
+    """Runs one `GameWorld` split across deterministic shard hosts."""
+
+    def __init__(
+        self,
+        shards: int,
+        placement: PlacementPolicy,
+        schemas: Iterable[ComponentSchema],
+        *,
+        dt: float = 1.0 / 30.0,
+        seed: int = 0,
+        link: LinkConfig | None = None,
+        rebalancer: DynamicRebalancer | None = None,
+        repartition_interval: int = 20,
+    ):
+        if shards < 1:
+            raise ClusterError("cluster needs at least one shard")
+        if repartition_interval < 1:
+            raise ClusterError("repartition_interval must be positive")
+        self.placement = placement
+        self.rebalancer = rebalancer
+        self.repartition_interval = repartition_interval
+        self.dt = dt
+        self.net = SimNetwork(seed)
+        self.net.add_endpoint(COORD_ENDPOINT)
+        schemas = list(schemas)
+        self.shards: list[ShardHost] = [
+            ShardHost(i, self.net, schemas, dt) for i in range(shards)
+        ]
+        link = link or LinkConfig(latency_ticks=1)
+        for host in self.shards:
+            self.net.connect(COORD_ENDPOINT, host.endpoint, link)
+        for a in self.shards:
+            for b in self.shards:
+                if a.shard_id < b.shard_id:
+                    self.net.connect(a.endpoint, b.endpoint, link)
+        self.directory: dict[int, int] = {}
+        self._allocator = EntityAllocator()
+        self._in_flight: dict[int, InFlightHandoff] = {}
+        self._txns: dict[int, _TxnRecord] = {}
+        self._txn_counter = 0
+        self._pending_specs: list[tuple[int, TxnSpec]] = []
+        self._recent_pairs: set[tuple[int, int]] = set()
+        self._prev_positions: dict[int, tuple[float, float]] = {}
+        self._prev_tick = 0
+        self.tick_count = 0
+        self.local_committed = 0
+        self.local_aborted = 0
+        self.cross_committed = 0
+        self.cross_aborted = 0
+        self.migrations_done = 0
+        self.rebalance_moves = 0
+
+    # -- topology / setup ---------------------------------------------------------
+
+    def shard(self, shard_id: int) -> ShardHost:
+        """The shard host with the given id."""
+        return self.shards[shard_id]
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards in the cluster."""
+        return len(self.shards)
+
+    def add_per_entity_system(
+        self,
+        name: str,
+        components: Iterable[str],
+        fn: Callable[[Any, int, float], None],
+        priority: int = 100,
+        interval: int = 1,
+    ) -> None:
+        """Register the same tuple-at-a-time system on every shard world."""
+        components = tuple(components)
+        for host in self.shards:
+            host.world.add_per_entity_system(name, components, fn, priority, interval)
+
+    # -- entity plane -------------------------------------------------------------
+
+    def spawn(self, components: Mapping[str, Mapping[str, Any]]) -> int:
+        """Spawn an entity, placed by the policy (control plane, no wire)."""
+        entity = self._allocator.allocate()
+        pos = components.get("Position", {})
+        x, y = float(pos.get("x", 0.0)), float(pos.get("y", 0.0))
+        shard_id = self.placement.initial_shard(entity, x, y)
+        if not 0 <= shard_id < len(self.shards):
+            raise ClusterError(f"placement returned bad shard {shard_id}")
+        self.shards[shard_id].install_entity(entity, components)
+        self.directory[entity] = shard_id
+        return entity
+
+    def owner_of(self, entity: int) -> int:
+        """Directory lookup: which shard owns the entity."""
+        try:
+            return self.directory[entity]
+        except KeyError:
+            raise ClusterError(f"entity {entity} is not in the directory") from None
+
+    @property
+    def entity_count(self) -> int:
+        """Entities tracked by the directory."""
+        return len(self.directory)
+
+    def positions(self) -> dict[int, tuple[float, float]]:
+        """Global Position snapshot gathered from every shard."""
+        out: dict[int, tuple[float, float]] = {}
+        for host in self.shards:
+            if "Position" not in host.world.component_names():
+                continue
+            for eid, row in host.world.table("Position").rows():
+                out[eid] = (row["x"], row["y"])
+        return out
+
+    def migrate(self, entity: int, dst_shard: int) -> bool:
+        """Begin a handoff; returns False when one is already in flight."""
+        if not 0 <= dst_shard < len(self.shards):
+            raise ClusterError(f"bad destination shard {dst_shard}")
+        if entity in self._in_flight:
+            return False
+        src = self.owner_of(entity)
+        if src == dst_shard:
+            return False
+        self._in_flight[entity] = InFlightHandoff(
+            entity, src, dst_shard, self.net.now
+        )
+        self._send(
+            shard_endpoint(src),
+            HandoffCommand(entity=entity, dst_shard=dst_shard, tick=self.net.now),
+        )
+        return True
+
+    # -- transaction plane --------------------------------------------------------
+
+    def submit(self, spec: TxnSpec) -> int:
+        """Queue a transaction; it is dispatched on the next tick."""
+        self._txn_counter += 1
+        txn_id = self._txn_counter
+        self._pending_specs.append((txn_id, spec))
+        return txn_id
+
+    def txn_outcome(self, txn_id: int) -> bool | None:
+        """True/False once committed/aborted, None while undecided."""
+        record = self._txns.get(txn_id)
+        if record is None or not record.finished:
+            return None
+        return record.committed
+
+    def _dispatch_pending(self) -> None:
+        for txn_id, spec in self._pending_specs:
+            self._dispatch(txn_id, spec)
+        self._pending_specs.clear()
+
+    def _dispatch(self, txn_id: int, spec: TxnSpec) -> None:
+        by_shard: dict[int, list[tuple[str, Hashable]]] = {}
+        for op in spec.ops:
+            entity = op.key[0]
+            shard_id = self.owner_of(entity)
+            by_shard.setdefault(shard_id, []).append((op.kind, op.key))
+        all_keys = {op.key for op in spec.ops}
+        local = len(by_shard) == 1
+        record = _TxnRecord(txn_id, spec, all_keys, len(by_shard), local)
+        self._txns[txn_id] = record
+        for shard_id in sorted(by_shard):
+            keyed_ops = tuple(by_shard[shard_id])
+            prepare = TxnPrepare(
+                txn_id=txn_id,
+                keyed_ops=keyed_ops,
+                tick=self.net.now,
+                local=local,
+                ops=tuple(spec.ops) if local else (),
+            )
+            self._send(shard_endpoint(shard_id), prepare)
+
+    def _on_vote(self, vote: TxnVote) -> None:
+        record = self._txns.get(vote.txn_id)
+        if record is None or record.finished:
+            return
+        record.votes.append(vote)
+        record.covered |= set(vote.keys)
+        if vote.applied:
+            # Single-shard fast path: already executed (or refused) there.
+            self._finish(record, committed=vote.commit)
+            return
+        if record.covered >= record.all_keys:
+            self._decide(record)
+
+    def _decide(self, record: _TxnRecord) -> None:
+        commit = all(v.commit for v in record.votes)
+        writes: dict[Hashable, Any] = {}
+        if commit:
+            merged: dict[Hashable, Any] = {}
+            for v in record.votes:
+                merged.update(v.reads)
+            writes = compute_writes(record.spec.ops, merged)
+        # One decision per shard: forwarding can make a shard vote twice
+        # (two key-slices of the same txn), and a duplicate commit would
+        # find no prepared state the second time.
+        keys_by_shard: dict[int, set] = {}
+        for v in record.votes:
+            if not v.commit:
+                continue  # refusing shards released their locks already
+            keys_by_shard.setdefault(v.shard, set()).update(v.keys)
+        for shard_id in sorted(keys_by_shard):
+            slice_writes = {
+                k: writes[k] for k in keys_by_shard[shard_id] if k in writes
+            }
+            self._send(
+                shard_endpoint(shard_id),
+                TxnDecision(
+                    txn_id=record.txn_id,
+                    commit=commit,
+                    writes=slice_writes if commit else {},
+                    tick=self.net.now,
+                ),
+            )
+        self._finish(record, committed=commit)
+
+    def _finish(self, record: _TxnRecord, committed: bool) -> None:
+        record.finished = True
+        record.committed = committed
+        if record.local:
+            if committed:
+                self.local_committed += 1
+            else:
+                self.local_aborted += 1
+        elif committed:
+            self.cross_committed += 1
+        else:
+            self.cross_aborted += 1
+
+    # -- interaction feed ---------------------------------------------------------
+
+    def report_interactions(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Feed observed interaction pairs (drives rebalancer metrics)."""
+        self._recent_pairs.update(pairs)
+
+    # -- the global tick ----------------------------------------------------------
+
+    def tick(self) -> int:
+        """One global barrier tick; returns the new tick number."""
+        self.net.advance(1)
+        for msg in self.net.receive(COORD_ENDPOINT):
+            payload = msg.payload
+            if isinstance(payload, TxnVote):
+                self._on_vote(payload)
+            elif isinstance(payload, HandoffAck):
+                self._on_handoff_ack(payload)
+            else:
+                raise ClusterError(f"coordinator: unexpected message {msg!r}")
+        self._dispatch_pending()
+        for host in self.shards:
+            host.process_inbox(self.net.receive(host.endpoint))
+            host.tick()
+        self.tick_count += 1
+        if self.tick_count % self.repartition_interval == 0:
+            self._repartition()
+        return self.tick_count
+
+    def run(self, ticks: int) -> None:
+        """Advance the whole cluster ``ticks`` global ticks."""
+        for _ in range(ticks):
+            self.tick()
+
+    def _on_handoff_ack(self, ack: HandoffAck) -> None:
+        self.directory[ack.entity] = ack.dst_shard
+        self._in_flight.pop(ack.entity, None)
+        self.migrations_done += 1
+
+    # -- repartitioning -----------------------------------------------------------
+
+    def _estimate_velocities(
+        self, positions: Mapping[int, tuple[float, float]]
+    ) -> dict[int, tuple[float, float]]:
+        elapsed = (self.tick_count - self._prev_tick) * self.dt
+        if not self._prev_positions or elapsed <= 0:
+            return {}
+        out = {}
+        for eid, (x, y) in positions.items():
+            prev = self._prev_positions.get(eid)
+            if prev is not None:
+                out[eid] = ((x - prev[0]) / elapsed, (y - prev[1]) / elapsed)
+        return out
+
+    def _repartition(self) -> None:
+        positions = self.positions()
+        velocities = self._estimate_velocities(positions)
+        desired = self.placement.desired_assignment(
+            positions, velocities, dict(self.directory)
+        )
+        if self.rebalancer is not None:
+            desired, moves = self.rebalancer.rebalance(
+                desired, range(len(self.shards)), self._recent_pairs
+            )
+            self.rebalance_moves += moves
+        for entity in sorted(desired):
+            target = desired[entity]
+            if entity in self._in_flight:
+                continue
+            if self.directory.get(entity) != target:
+                self.migrate(entity, target)
+        self._prev_positions = positions
+        self._prev_tick = self.tick_count
+        self._recent_pairs.clear()
+
+    # -- observability ------------------------------------------------------------
+
+    def _send(self, dst: str, payload: Any) -> None:
+        self.net.send(COORD_ENDPOINT, dst, payload, payload.wire_size())
+
+    def stats(self) -> ClusterStats:
+        """Assemble the cluster-wide observability record."""
+        return ClusterStats(
+            ticks=self.tick_count,
+            shards=[host.stats for host in self.shards],
+            local_committed=self.local_committed,
+            local_aborted=self.local_aborted,
+            cross_committed=self.cross_committed,
+            cross_aborted=self.cross_aborted,
+            migrations=self.migrations_done,
+            rebalance_moves=self.rebalance_moves,
+        )
+
+    def state_hash(self) -> str:
+        """Deterministic digest of every shard's world plus the directory.
+
+        Two same-seed runs of the same workload must produce identical
+        digests — the cluster's replay guarantee.
+        """
+        digest = hashlib.sha256()
+        for host in self.shards:
+            digest.update(f"shard:{host.shard_id}\n".encode())
+            digest.update(host.world.state_hash().encode())
+        for entity in sorted(self.directory):
+            digest.update(f"\nd:{entity}->{self.directory[entity]}".encode())
+        return digest.hexdigest()
+
+    def check_invariants(self) -> None:
+        """Assert cluster ownership invariants (used heavily by tests).
+
+        Every entity is owned by at most one shard; entities not in
+        flight are owned by exactly the shard the directory names.
+        """
+        seen: dict[int, int] = {}
+        for host in self.shards:
+            for entity in host.owned:
+                if entity in seen:
+                    raise ClusterError(
+                        f"entity {entity} owned by shards {seen[entity]} "
+                        f"and {host.shard_id}"
+                    )
+                seen[entity] = host.shard_id
+        for entity, shard_id in self.directory.items():
+            if entity in self._in_flight:
+                continue
+            owner = seen.get(entity)
+            if owner is None:
+                raise ClusterError(
+                    f"entity {entity} (directory: shard {shard_id}) "
+                    f"is owned by no shard and not in flight"
+                )
+        extras = set(seen) - set(self.directory)
+        if extras:
+            raise ClusterError(f"shards own undirectoried entities: {extras}")
+
+    @property
+    def in_flight_handoffs(self) -> int:
+        """Handoffs currently between eviction and directory update."""
+        return len(self._in_flight)
+
+    def quiesce(self, max_ticks: int = 64) -> None:
+        """Tick until no handoffs or undecided transactions remain."""
+        for _ in range(max_ticks):
+            quiet = (
+                not self._in_flight
+                and not self._pending_specs
+                and not self.net.in_flight_count()
+                and all(r.finished for r in self._txns.values())
+                and not any(host.deferred_handoffs for host in self.shards)
+            )
+            if quiet:
+                return
+            self.tick()
+        raise ClusterError("cluster failed to quiesce")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ClusterCoordinator(shards={len(self.shards)}, "
+            f"entities={len(self.directory)}, tick={self.tick_count})"
+        )

@@ -1,0 +1,57 @@
+"""Entity migration bookkeeping: in-flight handoffs and forwarding.
+
+The handoff protocol itself is three messages (see
+:mod:`repro.net.protocol`): the coordinator sends ``HandoffCommand`` to
+the source shard, which evicts the entity and ships a
+``HandoffRequest`` to the destination, which installs it and reports
+``HandoffAck`` back to the coordinator.  This module holds the state
+that makes the window between eviction and directory update safe:
+
+* :class:`InFlightHandoff` — the coordinator's record of one move, so
+  repartitioning never double-moves an entity mid-flight;
+* :class:`ForwardingTable` — the source shard's breadcrumbs.  A message
+  addressed to an entity the shard no longer owns is re-sent to the
+  shard it was handed to, exactly like mail forwarding; chains collapse
+  as each hop rewrites its own entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InFlightHandoff:
+    """Coordinator-side record of one entity move."""
+
+    entity: int
+    src_shard: int
+    dst_shard: int
+    started_tick: int
+
+
+class ForwardingTable:
+    """Per-shard map of evicted entities to their new owner."""
+
+    def __init__(self) -> None:
+        self._next_hop: dict[int, int] = {}
+        self.forwards = 0
+
+    def record_eviction(self, entity: int, dst_shard: int) -> None:
+        """Remember where an evicted entity went."""
+        self._next_hop[entity] = dst_shard
+
+    def clear(self, entity: int) -> None:
+        """Drop the breadcrumb (the entity migrated back here)."""
+        self._next_hop.pop(entity, None)
+
+    def next_hop(self, entity: int) -> int | None:
+        """Shard to forward an entity-addressed message to, if known."""
+        return self._next_hop.get(entity)
+
+    def count_forward(self) -> None:
+        """Account one forwarded message."""
+        self.forwards += 1
+
+    def __len__(self) -> int:
+        return len(self._next_hop)

@@ -1,0 +1,224 @@
+"""Entity placement policies and the dynamic rebalancer.
+
+A placement policy answers two questions for the coordinator: where a
+fresh entity spawns, and — every repartition interval — the *desired*
+entity→shard assignment that the migration protocol then realises.
+
+* :class:`StaticGridPlacement` is classic MMO geography, delegating to
+  :class:`~repro.consistency.partition.StaticGridPartitioner`: entities
+  migrate when they cross a region border, and the cluster pays a
+  cross-shard transaction for every interacting pair the grid splits.
+* :class:`BubbleAwarePlacement` delegates to
+  :class:`~repro.consistency.bubbles.CausalityBubblePartitioner`:
+  entities that can interact within the horizon land on the same shard,
+  so cross-shard transactions only arise from directory staleness — at
+  the price of load skew when the workload crowds into one bubble.
+
+:class:`DynamicRebalancer` is the counterweight to that skew: it
+consumes :class:`~repro.consistency.partition.PartitionMetrics` for the
+desired assignment and moves entities off hot shards until imbalance
+falls under its threshold, preferring entities with the fewest
+interaction partners on the hot shard so each move severs as few edges
+as possible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.consistency.bubbles import CausalityBubblePartitioner, KinematicState
+from repro.consistency.partition import (
+    PartitionMetrics,
+    StaticGridPartitioner,
+    evaluate_assignment,
+)
+from repro.errors import ClusterError
+
+Positions = Mapping[int, tuple[float, float]]
+Velocities = Mapping[int, tuple[float, float]]
+
+
+class PlacementPolicy:
+    """Interface the coordinator drives; subclasses pick the strategy."""
+
+    name = "base"
+
+    def initial_shard(self, entity: int, x: float, y: float) -> int:
+        """Shard a fresh entity spawns on."""
+        raise NotImplementedError
+
+    def desired_assignment(
+        self,
+        positions: Positions,
+        velocities: Velocities,
+        current: Mapping[int, int],
+    ) -> dict[int, int]:
+        """Full entity→shard assignment the cluster should converge to."""
+        raise NotImplementedError
+
+
+class StaticGridPlacement(PlacementPolicy):
+    """Fixed-region geography via :class:`StaticGridPartitioner`."""
+
+    name = "static-grid"
+
+    def __init__(self, partitioner: StaticGridPartitioner):
+        self.partitioner = partitioner
+
+    def initial_shard(self, entity: int, x: float, y: float) -> int:
+        """Shard owning the spawn point's grid cell."""
+        return self.partitioner.shard_of(x, y)
+
+    def desired_assignment(
+        self,
+        positions: Positions,
+        velocities: Velocities,
+        current: Mapping[int, int],
+    ) -> dict[int, int]:
+        """Pure geography: each entity belongs to its cell's shard."""
+        return self.partitioner.assign(positions)
+
+
+class BubbleAwarePlacement(PlacementPolicy):
+    """Interaction-structure placement via causality bubbles.
+
+    Bubbles are packed onto shards *stickily*: each bubble goes to the
+    shard already owning the plurality of its members when that shard
+    has capacity, so a stable workload causes near-zero migrations per
+    repartition instead of a reshuffle every horizon.
+    """
+
+    name = "bubble-aware"
+
+    def __init__(
+        self,
+        partitioner: CausalityBubblePartitioner,
+        a_max: float = 1.0,
+        capacity_slack: float = 1.5,
+    ):
+        if capacity_slack < 1.0:
+            raise ClusterError("capacity_slack must be >= 1.0")
+        self.partitioner = partitioner
+        self.a_max = a_max
+        self.capacity_slack = capacity_slack
+
+    def initial_shard(self, entity: int, x: float, y: float) -> int:
+        """Spawns spread round-robin; the next repartition refines."""
+        return entity % self.partitioner.shards
+
+    def desired_assignment(
+        self,
+        positions: Positions,
+        velocities: Velocities,
+        current: Mapping[int, int],
+    ) -> dict[int, int]:
+        """Partition into bubbles, then pack bubbles stickily."""
+        states = {
+            eid: KinematicState(
+                x, y, *velocities.get(eid, (0.0, 0.0)), a_max=self.a_max
+            )
+            for eid, (x, y) in positions.items()
+        }
+        partition = self.partitioner.partition(states)
+        shards = self.partitioner.shards
+        total = len(positions)
+        capacity = max(1.0, total * self.capacity_slack / shards)
+        loads = [0] * shards
+        assignment: dict[int, int] = {}
+        for bubble in sorted(
+            partition.bubbles, key=lambda b: (-b.size, min(b.members))
+        ):
+            votes: dict[int, int] = defaultdict(int)
+            for eid in bubble.members:
+                owner = current.get(eid)
+                if owner is not None:
+                    votes[owner] += 1
+            preferred = None
+            if votes:
+                preferred = min(
+                    votes, key=lambda s: (-votes[s], s)
+                )
+            if preferred is None or loads[preferred] + bubble.size > capacity:
+                fallback = min(range(shards), key=lambda s: (loads[s], s))
+                if (
+                    preferred is None
+                    or loads[fallback] + bubble.size <= capacity
+                ):
+                    preferred = fallback
+            loads[preferred] += bubble.size
+            for eid in bubble.members:
+                assignment[eid] = preferred
+        return assignment
+
+
+class DynamicRebalancer:
+    """Moves entities off hot shards until imbalance is acceptable.
+
+    Consumes the :class:`PartitionMetrics` of the desired assignment;
+    while ``imbalance`` exceeds ``threshold`` it reassigns the cheapest
+    entity (fewest interaction partners left behind) from the hottest
+    shard to the coldest, up to ``max_moves_per_pass`` per call.
+    """
+
+    def __init__(self, threshold: float = 1.25, max_moves_per_pass: int = 16):
+        if threshold < 1.0:
+            raise ClusterError("threshold must be >= 1.0")
+        if max_moves_per_pass < 1:
+            raise ClusterError("max_moves_per_pass must be positive")
+        self.threshold = threshold
+        self.max_moves_per_pass = max_moves_per_pass
+        self.total_moves = 0
+
+    def rebalance(
+        self,
+        assignment: Mapping[int, int],
+        shard_ids: Iterable[int],
+        pairs: Iterable[tuple[int, int]] = (),
+    ) -> tuple[dict[int, int], int]:
+        """Return (adjusted assignment, moves made this pass)."""
+        result = dict(assignment)
+        shard_ids = sorted(shard_ids)
+        degree: dict[int, set[int]] = defaultdict(set)
+        pair_list = list(pairs)
+        for a, b in pair_list:
+            degree[a].add(b)
+            degree[b].add(a)
+        moves = 0
+        while moves < self.max_moves_per_pass:
+            metrics = self._metrics(result, shard_ids, pair_list)
+            if metrics.imbalance <= self.threshold:
+                break
+            hot = max(shard_ids, key=lambda s: (metrics.loads.get(s, 0), -s))
+            cold = min(shard_ids, key=lambda s: (metrics.loads.get(s, 0), s))
+            if hot == cold or metrics.loads.get(hot, 0) <= 1:
+                break
+            candidates = [e for e, s in result.items() if s == hot]
+            victim = min(
+                candidates,
+                key=lambda e: (
+                    sum(1 for p in degree.get(e, ()) if result.get(p) == hot),
+                    e,
+                ),
+            )
+            result[victim] = cold
+            moves += 1
+        self.total_moves += moves
+        return result, moves
+
+    def _metrics(
+        self,
+        assignment: Mapping[int, int],
+        shard_ids: list[int],
+        pairs: list[tuple[int, int]],
+    ) -> PartitionMetrics:
+        """Metrics including empty shards (loads must cover every shard)."""
+        metrics = evaluate_assignment(assignment, pairs)
+        loads = {s: 0 for s in shard_ids}
+        loads.update(metrics.loads)
+        return PartitionMetrics(
+            shard_count=len(shard_ids),
+            loads=loads,
+            cross_partition_pairs=metrics.cross_partition_pairs,
+            internal_pairs=metrics.internal_pairs,
+        )

@@ -1,0 +1,273 @@
+"""One shard of a sharded world: a `GameWorld` slice plus protocol glue.
+
+A :class:`ShardHost` owns a subset of the cluster's entities inside its
+own :class:`~repro.core.world.GameWorld`, runs that world's systems on
+every global tick, and speaks the cluster protocol over the simulated
+network: it evicts/installs entities for the handoff protocol, forwards
+messages addressed to entities it handed away, and acts as a two-phase
+commit participant by exposing its component tables as the keyed store
+behind :class:`~repro.consistency.transactions.TwoPhaseParticipant`.
+
+Transaction keys are ``(entity_id, component, field)`` tuples, the same
+grain the lock-manager docs name, so a distributed transaction locks
+exactly the fields it touches inside each shard's world.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Mapping
+
+from repro.cluster.migration import ForwardingTable
+from repro.cluster.stats import ShardStats
+from repro.consistency.transactions import TwoPhaseParticipant
+from repro.core.component import ComponentSchema
+from repro.core.world import GameWorld
+from repro.errors import ClusterError
+from repro.net.protocol import (
+    HandoffAck,
+    HandoffCommand,
+    HandoffRequest,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
+)
+from repro.net.simnet import Message, SimNetwork
+
+#: Network endpoint name of a shard / the coordinator.
+COORD_ENDPOINT = "coord"
+
+
+def shard_endpoint(shard_id: int) -> str:
+    """Network endpoint name for a shard id."""
+    return f"shard:{shard_id}"
+
+
+class _WorldStore:
+    """Adapter exposing world component fields as a keyed store.
+
+    Keys are ``(entity_id, component, field)``; this is the store the
+    2PC participant reads and writes, so commit lands directly in the
+    shard's columnar tables (and through them, indexes, aggregates, and
+    persistence hooks).
+    """
+
+    def __init__(self, world: GameWorld):
+        self.world = world
+
+    def get(self, key: Hashable) -> Any:
+        entity, component, fieldname = key
+        return self.world.get_field(entity, component, fieldname)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        entity, component, fieldname = key
+        self.world.set(entity, component, **{fieldname: value})
+
+
+class ShardHost:
+    """Hosts one shard's world slice and speaks the cluster protocol."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        net: SimNetwork,
+        schemas: Iterable[ComponentSchema],
+        dt: float = 1.0 / 30.0,
+    ):
+        self.shard_id = shard_id
+        self.endpoint = shard_endpoint(shard_id)
+        self.net = net
+        self.world = GameWorld(dt)
+        for schema in schemas:
+            self.world.register_component(schema)
+        self.owned: set[int] = set()
+        self.forwarding = ForwardingTable()
+        self.participant = TwoPhaseParticipant(_WorldStore(self.world))
+        self.stats = ShardStats(shard_id)
+        self._deferred_handoffs: list[HandoffCommand] = []
+        net.add_endpoint(self.endpoint)
+
+    # -- ownership ----------------------------------------------------------------
+
+    def owns(self, entity: int) -> bool:
+        """Whether this shard currently owns the entity."""
+        return entity in self.owned
+
+    def install_entity(
+        self, entity: int, components: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Install an entity (spawn-time placement or inbound handoff)."""
+        if entity in self.owned:
+            raise ClusterError(
+                f"shard {self.shard_id} already owns entity {entity}"
+            )
+        self.world.restore_entity(entity, components)
+        self.owned.add(entity)
+        self.forwarding.clear(entity)
+        self.stats.entities_owned = len(self.owned)
+
+    def evict_entity(self, entity: int, dst_shard: int) -> dict[str, dict[str, Any]]:
+        """Serialize an entity out of this shard's tables and drop it."""
+        if entity not in self.owned:
+            raise ClusterError(
+                f"shard {self.shard_id} does not own entity {entity}"
+            )
+        payload = self.world.snapshot_entity(entity)
+        self.world.destroy(entity)
+        self.owned.discard(entity)
+        self.forwarding.record_eviction(entity, dst_shard)
+        self.stats.entities_owned = len(self.owned)
+        return payload
+
+    # -- message plane ------------------------------------------------------------
+
+    def send(self, dst: str, payload: Any, size: int | None = None) -> None:
+        """Send one protocol message, billing wire size and counters."""
+        size = size if size is not None else payload.wire_size()
+        self.net.send(self.endpoint, dst, payload, size)
+        self.stats.cross_shard_messages += 1
+
+    def process_inbox(self, messages: Iterable[Message]) -> None:
+        """Handle this tick's delivered protocol messages in order."""
+        for msg in messages:
+            payload = msg.payload
+            if isinstance(payload, HandoffCommand):
+                self._on_handoff_command(payload)
+            elif isinstance(payload, HandoffRequest):
+                self._on_handoff_request(payload)
+            elif isinstance(payload, TxnPrepare):
+                self._on_prepare(payload)
+            elif isinstance(payload, TxnDecision):
+                self._on_decision(payload)
+            else:
+                raise ClusterError(
+                    f"shard {self.shard_id}: unexpected message {msg!r}"
+                )
+
+    def tick(self) -> None:
+        """Advance this shard's world one frame."""
+        self._retry_deferred_handoffs()
+        self.world.tick()
+        self.stats.ticks += 1
+
+    @property
+    def deferred_handoffs(self) -> int:
+        """Handoffs waiting for prepared transactions to release locks."""
+        return len(self._deferred_handoffs)
+
+    # -- handoff protocol -------------------------------------------------------
+
+    def _entity_lock_held(self, entity: int) -> bool:
+        """Whether a prepared transaction has locks on the entity."""
+        return any(key[0] == entity for key in self.participant.prepared_keys())
+
+    def _retry_deferred_handoffs(self) -> None:
+        deferred, self._deferred_handoffs = self._deferred_handoffs, []
+        for cmd in deferred:
+            self._on_handoff_command(cmd)
+
+    def _on_handoff_command(self, cmd: HandoffCommand) -> None:
+        """Coordinator told us to hand an entity to another shard.
+
+        Eviction waits while a prepared transaction holds locks on the
+        entity — shipping the state away would orphan the commit — and
+        retries on the next tick, after decisions have been processed.
+        """
+        if self._entity_lock_held(cmd.entity):
+            self._deferred_handoffs.append(cmd)
+            return
+        components = self.evict_entity(cmd.entity, cmd.dst_shard)
+        self.stats.migrations_out += 1
+        request = HandoffRequest(
+            entity=cmd.entity,
+            components=components,
+            src_shard=self.shard_id,
+            dst_shard=cmd.dst_shard,
+            tick=self.net.now,
+        )
+        self.send(shard_endpoint(cmd.dst_shard), request)
+
+    def _on_handoff_request(self, req: HandoffRequest) -> None:
+        """A peer shipped us an entity: install it and tell the coordinator."""
+        self.install_entity(req.entity, req.components)
+        self.stats.migrations_in += 1
+        self.send(
+            COORD_ENDPOINT,
+            HandoffAck(
+                entity=req.entity,
+                src_shard=req.src_shard,
+                dst_shard=self.shard_id,
+                tick=self.net.now,
+            ),
+        )
+
+    # -- two-phase commit participant ---------------------------------------------
+
+    def _entities_of(self, keyed_ops: Iterable[tuple[str, Hashable]]) -> set[int]:
+        return {key[0] for _kind, key in keyed_ops}
+
+    def _forward_prepare(self, prepare: TxnPrepare, next_hop: int) -> None:
+        """In-flight forwarding: the entity moved, chase it."""
+        self.forwarding.count_forward()
+        self.stats.forwarded_messages += 1
+        self.send(shard_endpoint(next_hop), prepare)
+
+    def _on_prepare(self, prepare: TxnPrepare) -> None:
+        """Phase one: vote, execute locally, or forward to the new owner."""
+        self.stats.txn_prepares += 1
+        entities = self._entities_of(prepare.keyed_ops)
+        missing = [e for e in sorted(entities) if e not in self.owned]
+        if missing:
+            hops = {self.forwarding.next_hop(e) for e in missing}
+            if len(hops) == 1 and None not in hops:
+                self._forward_prepare(prepare, hops.pop())
+                return
+            # No breadcrumb (or the keys scattered): refuse safely.
+            self.stats.txn_aborts_2pc += 1
+            self._vote(prepare, commit=False, reads={})
+            return
+        if prepare.local:
+            ok = self.participant.execute_local(prepare.txn_id, prepare.ops)
+            if not ok:
+                self.stats.txn_aborts_2pc += 1
+            self._vote(prepare, commit=ok, reads={}, applied=True)
+            return
+        reads = self.participant.prepare(prepare.txn_id, prepare.keyed_ops)
+        if reads is None:
+            self.stats.txn_aborts_2pc += 1
+            self._vote(prepare, commit=False, reads={})
+        else:
+            self._vote(prepare, commit=True, reads=reads)
+
+    def _vote(
+        self,
+        prepare: TxnPrepare,
+        commit: bool,
+        reads: Mapping[Hashable, Any],
+        applied: bool = False,
+    ) -> None:
+        self.send(
+            COORD_ENDPOINT,
+            TxnVote(
+                txn_id=prepare.txn_id,
+                shard=self.shard_id,
+                commit=commit,
+                keys=tuple(key for _kind, key in prepare.keyed_ops),
+                reads=dict(reads),
+                applied=applied,
+            ),
+        )
+
+    def _on_decision(self, decision: TxnDecision) -> None:
+        """Phase two: apply the coordinator's outcome."""
+        if decision.commit:
+            self.participant.commit(decision.txn_id, decision.writes)
+        else:
+            self.participant.abort(decision.txn_id)
+            self.stats.txn_aborts_2pc += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ShardHost(id={self.shard_id}, owned={len(self.owned)}, "
+            f"tick={self.world.clock.tick})"
+        )
+

@@ -1,0 +1,113 @@
+"""Cluster observability: per-shard and cluster-wide counters.
+
+The first slice of an observability layer for the sharded runtime:
+every shard keeps a :class:`ShardStats`, the coordinator keeps the
+cluster-level transaction/migration tallies, and :class:`ClusterStats`
+assembles both into the record the E14 bench prints.  Imbalance is
+computed through :class:`~repro.consistency.partition.PartitionMetrics`
+so the runtime and the offline partitioning experiments report load
+skew identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.partition import PartitionMetrics
+
+
+@dataclass
+class ShardStats:
+    """Counters one :class:`~repro.cluster.shard.ShardHost` maintains."""
+
+    shard_id: int
+    ticks: int = 0
+    entities_owned: int = 0
+    migrations_in: int = 0
+    migrations_out: int = 0
+    txn_prepares: int = 0
+    txn_aborts_2pc: int = 0
+    cross_shard_messages: int = 0
+    forwarded_messages: int = 0
+
+    def as_row(self) -> tuple:
+        """Values in the order the E14 per-shard table prints them."""
+        return (
+            self.shard_id,
+            self.ticks,
+            self.entities_owned,
+            self.migrations_in,
+            self.migrations_out,
+            self.txn_prepares,
+            self.txn_aborts_2pc,
+            self.cross_shard_messages,
+            self.forwarded_messages,
+        )
+
+    #: Column names matching :meth:`as_row`.
+    COLUMNS = (
+        "shard", "ticks", "owned", "mig_in", "mig_out",
+        "prepares", "aborts_2pc", "msgs", "forwards",
+    )
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide roll-up: shard counters plus coordinator tallies."""
+
+    ticks: int = 0
+    shards: list[ShardStats] = field(default_factory=list)
+    local_committed: int = 0
+    local_aborted: int = 0
+    cross_committed: int = 0
+    cross_aborted: int = 0
+    migrations: int = 0
+    rebalance_moves: int = 0
+
+    @property
+    def committed(self) -> int:
+        """All committed transactions (local + cross-shard)."""
+        return self.local_committed + self.cross_committed
+
+    @property
+    def aborted(self) -> int:
+        """All aborted transactions (local + cross-shard)."""
+        return self.local_aborted + self.cross_aborted
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        """Fraction of finished transactions that spanned shards."""
+        total = self.committed + self.aborted
+        cross = self.cross_committed + self.cross_aborted
+        return cross / total if total else 0.0
+
+    @property
+    def abort_fraction(self) -> float:
+        """Fraction of finished transactions that aborted."""
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    @property
+    def total_messages(self) -> int:
+        """Cross-shard messages originated by all shards."""
+        return sum(s.cross_shard_messages for s in self.shards)
+
+    def load_metrics(self) -> PartitionMetrics:
+        """Current entity loads as a :class:`PartitionMetrics`."""
+        return PartitionMetrics.from_loads(
+            {s.shard_id: s.entities_owned for s in self.shards}
+        )
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean entity load across shards (1.0 = balanced)."""
+        return self.load_metrics().imbalance
+
+    def summary(self) -> str:
+        """One-line roll-up for logs and the bench footer."""
+        return (
+            f"ticks={self.ticks} shards={len(self.shards)} "
+            f"committed={self.committed} aborted={self.aborted} "
+            f"cross={self.cross_shard_fraction:.1%} "
+            f"migrations={self.migrations} imbalance={self.imbalance:.2f}"
+        )

@@ -39,6 +39,20 @@ class PartitionMetrics:
     cross_partition_pairs: int
     internal_pairs: int
 
+    @classmethod
+    def from_loads(cls, loads: Mapping[Hashable, int]) -> "PartitionMetrics":
+        """Metrics from shard loads alone (no interaction information).
+
+        The cluster's observability layer reports load imbalance every
+        tick, long before any interaction pairs are observed.
+        """
+        return cls(
+            shard_count=len(loads),
+            loads=dict(loads),
+            cross_partition_pairs=0,
+            internal_pairs=0,
+        )
+
     @property
     def max_load(self) -> int:
         return max(self.loads.values()) if self.loads else 0

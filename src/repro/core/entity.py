@@ -51,6 +51,30 @@ class EntityAllocator:
         self._live.add(entity_id)
         return entity_id
 
+    def adopt(self, entity_id: int) -> None:
+        """Register an externally-allocated id as live.
+
+        Used by cluster shards installing a migrated entity: the id was
+        allocated by the coordinator's allocator and must be preserved
+        exactly so references in component data stay valid.  Raises when
+        the slot is already occupied by a different incarnation.
+        """
+        if entity_id in self._live:
+            raise UnknownEntityError(f"entity id {entity_id} is already live")
+        slot, gen = unpack_id(entity_id)
+        while len(self._generations) <= slot:
+            self._free.append(len(self._generations))
+            self._generations.append(0)
+        live_slots = {unpack_id(eid)[0] for eid in self._live}
+        if slot in live_slots:
+            raise UnknownEntityError(
+                f"slot {slot} already holds a live entity of another generation"
+            )
+        self._generations[slot] = gen
+        if slot in self._free:
+            self._free.remove(slot)
+        self._live.add(entity_id)
+
     def free(self, entity_id: int) -> None:
         """Release an id; the slot's generation is bumped for reuse."""
         self.require(entity_id)

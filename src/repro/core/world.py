@@ -354,6 +354,58 @@ class GameWorld:
             "tick": self.clock.tick,
         }
 
+    def snapshot_entity(self, entity_id: int) -> dict[str, dict[str, Any]]:
+        """Snapshot one entity as ``{component: row}`` plain data.
+
+        The unit of cross-shard migration: together with
+        :meth:`restore_entity` it moves an entity between worlds while
+        preserving its id.
+        """
+        self._allocator.require(entity_id)
+        return {
+            comp: self.table(comp).get(entity_id)
+            for comp in sorted(self._components_of[entity_id])
+        }
+
+    def restore_entity(
+        self, entity_id: int, components: Mapping[str, Mapping[str, Any]]
+    ) -> int:
+        """Install an entity under an exact, externally-allocated id.
+
+        The inverse of :meth:`snapshot_entity`; used by cluster shards
+        accepting a handoff.  Change hooks observe a normal spawn.
+        """
+        self._allocator.adopt(entity_id)
+        self._components_of[entity_id] = set()
+        self._emit_change("spawn", entity_id)
+        for comp, values in components.items():
+            self.attach(entity_id, comp, **values)
+        return entity_id
+
+    def state_hash(self) -> str:
+        """Deterministic hex digest of all entity/component state.
+
+        Canonicalises :meth:`snapshot` (sorted entities, tables, and
+        fields) before hashing, so two worlds that hold the same logical
+        state hash identically regardless of insertion order.  The
+        cluster's deterministic-replay tests compare these digests.
+        """
+        import hashlib
+
+        snap = self.snapshot()
+        parts: list[str] = [f"tick={snap['tick']}"]
+        for eid in sorted(snap["entities"]):
+            parts.append(f"e{eid}:{','.join(snap['entities'][eid])}")
+        for name in sorted(snap["tables"]):
+            rows = snap["tables"][name]
+            parts.append(f"t:{name}")
+            for eid in sorted(rows):
+                fields = ",".join(
+                    f"{k}={rows[eid][k]!r}" for k in sorted(rows[eid])
+                )
+                parts.append(f"{eid}|{fields}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
     def restore(self, snapshot: Mapping[str, Any]) -> None:
         """Restore entity/component state from :meth:`snapshot`.
 

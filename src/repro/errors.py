@@ -185,3 +185,12 @@ class SQLError(PersistenceError):
 
 class NetError(ReproError):
     """A network-simulation component was misconfigured."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster runtime errors
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """The sharded world runtime was misconfigured or misused."""

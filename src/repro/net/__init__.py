@@ -12,9 +12,15 @@ from repro.net.protocol import (
     ENVELOPE_BYTES,
     EntityEnter,
     EntityExit,
+    HandoffAck,
+    HandoffCommand,
+    HandoffRequest,
     InputAck,
     InputCommand,
     StateUpdate,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
     VALUE_BYTES,
 )
 from repro.net.server import ReplicationServer
@@ -30,9 +36,15 @@ __all__ = [
     "ENVELOPE_BYTES",
     "EntityEnter",
     "EntityExit",
+    "HandoffAck",
+    "HandoffCommand",
+    "HandoffRequest",
     "InputAck",
     "InputCommand",
     "StateUpdate",
+    "TxnDecision",
+    "TxnPrepare",
+    "TxnVote",
     "VALUE_BYTES",
     "ReplicationServer",
     "LinkConfig",

@@ -82,3 +82,113 @@ class InputAck:
 
     def wire_size(self) -> int:
         return ENVELOPE_BYTES + 8 + len(self.authoritative) * (VALUE_BYTES + 4)
+
+
+# ---------------------------------------------------------------------------
+# Cluster control plane: entity handoff and two-phase commit
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HandoffCommand:
+    """Coordinator -> source shard: evict and hand off an entity."""
+
+    entity: int
+    dst_shard: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16
+
+
+@dataclass(frozen=True)
+class HandoffRequest:
+    """Source shard -> destination shard: the serialized entity.
+
+    ``components`` maps component name to its full row, produced by
+    ``GameWorld.snapshot_entity`` — the entity's entire database record
+    crossing the wire.
+    """
+
+    entity: int
+    components: dict[str, dict[str, Any]]
+    src_shard: int
+    dst_shard: int
+    tick: int
+
+    def wire_size(self) -> int:
+        fields = sum(len(row) for row in self.components.values())
+        return ENVELOPE_BYTES + 16 + fields * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class HandoffAck:
+    """Destination shard -> coordinator: entity installed, update the directory."""
+
+    entity: int
+    src_shard: int
+    dst_shard: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 24
+
+
+@dataclass(frozen=True)
+class TxnPrepare:
+    """Coordinator -> participant shard: phase-one vote request.
+
+    ``keyed_ops`` is the shard's slice of the transaction as ``(kind,
+    key)`` pairs.  When ``local`` is true the shard owns *every* key and
+    ``ops`` carries the full op objects so the shard can execute the
+    transaction in one round trip (the single-shard fast path; op
+    callables never cross a real wire, but this simulator's payloads are
+    in-process).
+    """
+
+    txn_id: int
+    keyed_ops: tuple
+    tick: int
+    local: bool = False
+    ops: tuple = ()
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.keyed_ops) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class TxnVote:
+    """Participant -> coordinator: phase-one vote.
+
+    ``reads`` carries the values under lock for the keys this vote
+    covers; ``applied`` marks the single-shard fast path where the
+    participant already executed and no decision round is needed.
+    """
+
+    txn_id: int
+    shard: int
+    commit: bool
+    keys: tuple
+    reads: dict[Any, Any]
+    applied: bool = False
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.reads) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class TxnDecision:
+    """Coordinator -> participant: phase-two outcome.
+
+    On commit, ``writes`` holds the coordinator-computed values for the
+    keys this participant prepared; on abort it is empty and the
+    participant's tables stay untouched.
+    """
+
+    txn_id: int
+    commit: bool
+    writes: dict[Any, Any]
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 8 + len(self.writes) * (VALUE_BYTES + 4)

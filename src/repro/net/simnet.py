@@ -33,6 +33,19 @@ class Message:
     deliver_tick: int
     seq: int
 
+    def __repr__(self) -> str:
+        """Stable one-line form for debugging traces.
+
+        Identifies the payload by type name instead of dumping it, so
+        trace lines stay short and identical across runs — diffing two
+        same-seed traces is the cluster's first debugging tool.
+        """
+        return (
+            f"Message#{self.seq} {self.src}->{self.dst} "
+            f"{type(self.payload).__name__} t{self.sent_tick}->t{self.deliver_tick} "
+            f"{self.size_bytes}B"
+        )
+
 
 @dataclass
 class LinkConfig:

@@ -8,6 +8,16 @@ from repro.workloads.combat import (
     jitter_positions,
     run_encounter,
 )
+from repro.workloads.hotspot import (
+    HotspotConfig,
+    cluster_schemas,
+    hot_center,
+    interaction_pairs,
+    make_hotspot_system,
+    sample_transfers,
+    spawn_hotspot_population,
+    transfer_spec,
+)
 from repro.workloads.movement import FlockingModel, OrbitalModel, RandomWaypoint
 from repro.workloads.players import (
     HotspotSampler,
@@ -30,6 +40,14 @@ __all__ = [
     "generate_encounter",
     "jitter_positions",
     "run_encounter",
+    "HotspotConfig",
+    "cluster_schemas",
+    "hot_center",
+    "interaction_pairs",
+    "make_hotspot_system",
+    "sample_transfers",
+    "spawn_hotspot_population",
+    "transfer_spec",
     "FlockingModel",
     "OrbitalModel",
     "RandomWaypoint",

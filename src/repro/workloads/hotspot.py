@@ -1,0 +1,167 @@
+"""Hotspot cluster workload: a crowd that forces migration.
+
+The scenario every MMO shard operator dreads: a world event pulls the
+population toward one point — and the point *moves* (a world boss
+kiting across the map), dragging the crowd across region borders.
+Static geographic sharding concentrates load on whichever shard owns
+the hotspot and leaks cross-shard transactions along the crowd's seams;
+this is the workload the cluster's dynamic rebalancer and bubble-aware
+placement exist to survive.
+
+Everything is deterministic by construction: per-entity motion depends
+only on ``(seed, entity, tick)`` — via python's stable int/tuple
+hashing — and the entity's own position, never on which shard currently
+hosts the entity.  Two same-seed cluster runs therefore produce
+identical trajectories even when their migration timing differs, which
+is what makes the cluster's replay test meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.consistency.transactions import TxnSpec, read_for_update, write
+from repro.core.component import ComponentSchema, schema
+from repro.spatial.geometry import AABB
+from repro.spatial.joins import grid_join
+
+
+def cluster_schemas() -> list[ComponentSchema]:
+    """Component schemas the hotspot workload needs on every shard."""
+    return [
+        schema("Position", x="float", y="float"),
+        schema("Wealth", gold=("int", 100)),
+    ]
+
+
+@dataclass
+class HotspotConfig:
+    """Knobs for the hotspot crowd.
+
+    ``pull`` is the fraction of each step aimed at the hot center (the
+    rest is jitter); ``orbit_period`` is how many ticks the hotspot
+    takes to circle the map, so shorter periods drag the crowd across
+    more region borders per run.
+    """
+
+    bounds: AABB
+    count: int = 64
+    speed: float = 3.0
+    pull: float = 0.55
+    orbit_period: int = 240
+    orbit_radius_frac: float = 0.3
+    interact_range: float = 15.0
+    gold: int = 100
+    seed: int = 0
+
+
+def hot_center(cfg: HotspotConfig, tick: int) -> tuple[float, float]:
+    """Where the hotspot sits at a tick (a slow circle around the map)."""
+    cx = (cfg.bounds.min_x + cfg.bounds.max_x) / 2
+    cy = (cfg.bounds.min_y + cfg.bounds.max_y) / 2
+    radius = min(cfg.bounds.width, cfg.bounds.height) * cfg.orbit_radius_frac / 2
+    angle = 2 * math.pi * tick / cfg.orbit_period
+    return cx + radius * math.cos(angle), cy + radius * math.sin(angle)
+
+
+def _unit_jitter(seed: int, entity: int, tick: int) -> tuple[float, float]:
+    """Deterministic unit vector from (seed, entity, tick)."""
+    h = hash((seed, entity, tick))
+    angle = ((h & 0xFFFFF) / float(0x100000)) * 2 * math.pi
+    return math.cos(angle), math.sin(angle)
+
+
+def make_hotspot_system(cfg: HotspotConfig) -> Callable[[Any, int, float], None]:
+    """Per-entity movement system pulling the crowd toward the hotspot.
+
+    Register it on every shard world (``ClusterCoordinator.
+    add_per_entity_system``); because the step depends only on the
+    entity's own row and ``(seed, entity, tick)``, trajectories are
+    identical no matter which shard executes them.
+    """
+
+    def step(world: Any, entity: int, dt: float) -> None:
+        tick = world.clock.tick
+        x = world.get_field(entity, "Position", "x")
+        y = world.get_field(entity, "Position", "y")
+        cx, cy = hot_center(cfg, tick)
+        dx, dy = cx - x, cy - y
+        dist = math.hypot(dx, dy)
+        jx, jy = _unit_jitter(cfg.seed, entity, tick)
+        if dist > 1e-9:
+            sx = cfg.pull * dx / dist + (1 - cfg.pull) * jx
+            sy = cfg.pull * dy / dist + (1 - cfg.pull) * jy
+        else:
+            sx, sy = jx, jy
+        nx = min(max(x + cfg.speed * sx, cfg.bounds.min_x), cfg.bounds.max_x)
+        ny = min(max(y + cfg.speed * sy, cfg.bounds.min_y), cfg.bounds.max_y)
+        world.set(entity, "Position", x=nx, y=ny)
+
+    return step
+
+
+def spawn_hotspot_population(cluster: Any, cfg: HotspotConfig) -> list[int]:
+    """Spawn the crowd uniformly over the bounds (seeded, deterministic)."""
+    rng = random.Random(cfg.seed)
+    entities = []
+    for _ in range(cfg.count):
+        entities.append(
+            cluster.spawn(
+                {
+                    "Position": {
+                        "x": rng.uniform(cfg.bounds.min_x, cfg.bounds.max_x),
+                        "y": rng.uniform(cfg.bounds.min_y, cfg.bounds.max_y),
+                    },
+                    "Wealth": {"gold": cfg.gold},
+                }
+            )
+        )
+    return entities
+
+
+def interaction_pairs(
+    positions: dict[int, tuple[float, float]], interact_range: float
+) -> set[tuple[int, int]]:
+    """Pairs close enough to interact (the cluster's txn generators feed
+    on these; also what the rebalancer scores assignments against)."""
+    return grid_join(positions, interact_range)
+
+
+def transfer_spec(a: int, b: int, amount: int = 1) -> TxnSpec:
+    """A gold transfer between two entities as a cluster transaction.
+
+    Keys are ``(entity, component, field)`` — the grain the cluster's
+    two-phase commit locks.  When both entities live on one shard this
+    runs as a local transaction; otherwise it pays the full 2PC round.
+    """
+    ka = (a, "Wealth", "gold")
+    kb = (b, "Wealth", "gold")
+    return TxnSpec(
+        name=f"transfer:{a}->{b}",
+        ops=[
+            read_for_update(ka),
+            read_for_update(kb),
+            write(ka, lambda old, reads, amt=amount: old - amt),
+            write(kb, lambda old, reads, amt=amount: old + amt),
+        ],
+    )
+
+
+def sample_transfers(
+    rng: random.Random,
+    pairs: Iterable[tuple[int, int]],
+    max_txns: int,
+    amount: int = 1,
+) -> list[TxnSpec]:
+    """Pick up to ``max_txns`` interacting pairs and make transfers.
+
+    Pairs are sorted before sampling so the draw depends only on the rng
+    state, not set iteration order — the determinism contract again.
+    """
+    ordered = sorted(pairs)
+    if len(ordered) > max_txns:
+        ordered = rng.sample(ordered, max_txns)
+    return [transfer_spec(a, b, amount) for a, b in sorted(ordered)]

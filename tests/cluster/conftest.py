@@ -1,0 +1,100 @@
+"""Shared builders for the cluster test suite."""
+
+import pytest
+
+from repro.cluster import (
+    BubbleAwarePlacement,
+    ClusterCoordinator,
+    DynamicRebalancer,
+    StaticGridPlacement,
+)
+from repro.consistency import CausalityBubblePartitioner, StaticGridPartitioner
+from repro.spatial import AABB
+from repro.workloads import (
+    HotspotConfig,
+    cluster_schemas,
+    make_hotspot_system,
+    spawn_hotspot_population,
+)
+
+BOUNDS = AABB(0.0, 0.0, 200.0, 200.0)
+
+
+def make_static_cluster(
+    shards=2,
+    seed=0,
+    cells=2,
+    repartition_interval=1000,
+    rebalancer=None,
+):
+    """A cluster with static-grid placement and no automatic churn."""
+    placement = StaticGridPlacement(
+        StaticGridPartitioner(BOUNDS, cells, cells, shards)
+    )
+    return ClusterCoordinator(
+        shards,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        rebalancer=rebalancer,
+        repartition_interval=repartition_interval,
+    )
+
+
+def make_bubble_cluster(shards=2, seed=0, repartition_interval=10):
+    """A cluster with bubble-aware placement repartitioning regularly."""
+    placement = BubbleAwarePlacement(
+        CausalityBubblePartitioner(
+            interaction_range=15.0, horizon=2.0, shards=shards
+        ),
+        a_max=2.0,
+    )
+    return ClusterCoordinator(
+        shards,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        repartition_interval=repartition_interval,
+    )
+
+
+def spawn_grid_entities(cluster, coords, gold=100):
+    """Spawn one entity per (x, y) coordinate; returns entity ids."""
+    return [
+        cluster.spawn({"Position": {"x": x, "y": y}, "Wealth": {"gold": gold}})
+        for x, y in coords
+    ]
+
+
+def make_hotspot_cluster(
+    shards=4,
+    seed=0,
+    count=48,
+    rebalancer=None,
+    bubble=False,
+    repartition_interval=10,
+):
+    """Cluster + hotspot crowd + movement systems, ready to run."""
+    cfg = HotspotConfig(BOUNDS, count=count, seed=seed, orbit_period=120)
+    if bubble:
+        cluster = make_bubble_cluster(
+            shards, seed=seed, repartition_interval=repartition_interval
+        )
+        cluster.rebalancer = rebalancer
+    else:
+        cluster = make_static_cluster(
+            shards,
+            seed=seed,
+            repartition_interval=repartition_interval,
+            rebalancer=rebalancer,
+        )
+    entities = spawn_hotspot_population(cluster, cfg)
+    cluster.add_per_entity_system(
+        "hotspot-move", ("Position",), make_hotspot_system(cfg)
+    )
+    return cluster, cfg, entities
+
+
+@pytest.fixture
+def static_cluster():
+    return make_static_cluster()

@@ -1,0 +1,125 @@
+"""Migration/handoff protocol: ownership invariants and forwarding."""
+
+import random
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.workloads import transfer_spec
+
+from tests.cluster.conftest import make_static_cluster, spawn_grid_entities
+
+
+class TestHandoff:
+    def test_entity_state_survives_migration(self):
+        cluster = make_static_cluster()
+        (eid,) = spawn_grid_entities(cluster, [(10.0, 10.0)], gold=73)
+        src = cluster.owner_of(eid)
+        dst = (src + 1) % cluster.shard_count
+        assert cluster.migrate(eid, dst)
+        cluster.quiesce()
+        assert cluster.owner_of(eid) == dst
+        host = cluster.shard(dst)
+        assert host.world.get_field(eid, "Wealth", "gold") == 73
+        assert host.world.get_field(eid, "Position", "x") == 10.0
+        cluster.check_invariants()
+
+    def test_migrate_to_current_owner_is_noop(self):
+        cluster = make_static_cluster()
+        (eid,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        assert not cluster.migrate(eid, cluster.owner_of(eid))
+        assert cluster.in_flight_handoffs == 0
+
+    def test_double_migrate_refused_while_in_flight(self):
+        cluster = make_static_cluster()
+        (eid,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        src = cluster.owner_of(eid)
+        assert cluster.migrate(eid, (src + 1) % 2)
+        assert not cluster.migrate(eid, src)
+        cluster.quiesce()
+        cluster.check_invariants()
+
+    def test_bad_destination_raises(self):
+        cluster = make_static_cluster()
+        (eid,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        with pytest.raises(ClusterError):
+            cluster.migrate(eid, 99)
+
+    def test_migration_counters(self):
+        cluster = make_static_cluster()
+        (eid,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        src = cluster.owner_of(eid)
+        dst = (src + 1) % 2
+        cluster.migrate(eid, dst)
+        cluster.quiesce()
+        stats = cluster.stats()
+        assert stats.migrations == 1
+        assert stats.shards[src].migrations_out == 1
+        assert stats.shards[dst].migrations_in == 1
+        assert stats.shards[dst].entities_owned == 1
+
+
+class TestOwnershipInvariants:
+    def test_arbitrary_migration_sequence_keeps_single_ownership(self):
+        """Every entity owned by exactly one shard after random churn."""
+        cluster = make_static_cluster(shards=4, cells=4)
+        rng = random.Random(11)
+        entities = spawn_grid_entities(
+            cluster,
+            [(rng.uniform(0, 200), rng.uniform(0, 200)) for _ in range(30)],
+        )
+        for tick in range(120):
+            if tick % 3 == 0:
+                eid = rng.choice(entities)
+                cluster.migrate(eid, rng.randrange(4))
+            cluster.tick()
+            cluster.check_invariants()
+        cluster.quiesce()
+        cluster.check_invariants()
+        owned = [e for host in cluster.shards for e in host.owned]
+        assert sorted(owned) == sorted(entities)
+
+    def test_total_gold_conserved_under_churn_with_txns(self):
+        cluster = make_static_cluster(shards=3, cells=3)
+        rng = random.Random(5)
+        entities = spawn_grid_entities(
+            cluster,
+            [(rng.uniform(0, 200), rng.uniform(0, 200)) for _ in range(18)],
+        )
+        for tick in range(90):
+            if tick % 2 == 0:
+                a, b = rng.sample(entities, 2)
+                cluster.submit(transfer_spec(a, b, amount=3))
+            if tick % 5 == 0:
+                cluster.migrate(rng.choice(entities), rng.randrange(3))
+            cluster.tick()
+        cluster.quiesce()
+        total = sum(
+            host.world.get_field(e, "Wealth", "gold")
+            for host in cluster.shards
+            for e in host.owned
+        )
+        assert total == 18 * 100
+
+
+class TestForwarding:
+    def test_prepare_follows_entity_to_new_shard(self):
+        """A txn dispatched against a stale directory still commits."""
+        cluster = make_static_cluster()
+        a, b = spawn_grid_entities(cluster, [(10.0, 10.0), (10.0, 20.0)])
+        assert cluster.owner_of(a) == cluster.owner_of(b)
+        src = cluster.owner_of(a)
+        dst = (src + 1) % 2
+        # Same tick: the handoff command and the prepare both race to the
+        # source shard; the prepare is dispatched one tick later, so it
+        # arrives after eviction and must be forwarded.
+        cluster.migrate(a, dst)
+        cluster.migrate(b, dst)
+        txn = cluster.submit(transfer_spec(a, b, amount=10))
+        cluster.quiesce()
+        assert cluster.txn_outcome(txn) is True
+        host = cluster.shard(dst)
+        assert host.world.get_field(a, "Wealth", "gold") == 90
+        assert host.world.get_field(b, "Wealth", "gold") == 110
+        stats = cluster.stats()
+        assert stats.shards[src].forwarded_messages >= 1

@@ -1,0 +1,73 @@
+"""Placement policies, rebalancing, and cluster statistics."""
+
+import random
+
+from repro.cluster import DynamicRebalancer, ShardStats
+from repro.workloads import interaction_pairs, sample_transfers
+
+from tests.cluster.conftest import make_hotspot_cluster
+
+
+def run_hotspot(seed=0, ticks=80, rebalancer=None, bubble=False):
+    cluster, cfg, _ = make_hotspot_cluster(
+        seed=seed, rebalancer=rebalancer, bubble=bubble
+    )
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        cluster.report_interactions(pairs)
+        for spec in sample_transfers(rng, pairs, max_txns=4, amount=1):
+            cluster.submit(spec)
+        cluster.tick()
+    cluster.quiesce()
+    return cluster
+
+
+class TestRebalancer:
+    def test_rebalancer_reduces_imbalance_on_hotspot(self):
+        """Everyone converging on one hotspot skews static placement;
+        the rebalancer must keep shard loads closer to even."""
+        plain = run_hotspot()
+        balanced = run_hotspot(
+            rebalancer=DynamicRebalancer(threshold=1.2, max_moves_per_pass=6)
+        )
+        assert balanced.stats().imbalance < plain.stats().imbalance
+        assert balanced.stats().rebalance_moves > 0
+
+    def test_rebalance_moves_preserve_invariants(self):
+        cluster = run_hotspot(
+            rebalancer=DynamicRebalancer(threshold=1.1, max_moves_per_pass=8)
+        )
+        cluster.check_invariants()
+
+
+class TestBubblePlacement:
+    def test_bubble_placement_cuts_cross_shard_fraction(self):
+        """Co-locating causality bubbles keeps interacting entities on
+        the same shard, so fewer transfers need cross-shard 2PC."""
+        static = run_hotspot(seed=1)
+        bubble = run_hotspot(seed=1, bubble=True)
+        assert static.stats().committed > 0
+        assert bubble.stats().committed > 0
+        assert (
+            bubble.stats().cross_shard_fraction
+            <= static.stats().cross_shard_fraction
+        )
+
+
+class TestClusterStats:
+    def test_summary_mentions_key_counters(self):
+        cluster = run_hotspot(ticks=30)
+        text = cluster.stats().summary()
+        for token in ("ticks", "committed", "cross", "imbalance"):
+            assert token in text
+
+    def test_shard_rows_align_with_columns(self):
+        cluster = run_hotspot(ticks=20)
+        for shard_stats in cluster.stats().shards:
+            assert len(shard_stats.as_row()) == len(ShardStats.COLUMNS)
+
+    def test_entities_owned_totals_population(self):
+        cluster = run_hotspot(ticks=20)
+        stats = cluster.stats()
+        assert sum(s.entities_owned for s in stats.shards) == 48

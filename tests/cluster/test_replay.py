@@ -1,0 +1,49 @@
+"""Deterministic replay: same seed, same cluster, same state hash."""
+
+import random
+
+from repro.workloads import interaction_pairs, sample_transfers
+
+from tests.cluster.conftest import make_hotspot_cluster
+
+
+def run_workload(seed, ticks=60, bubble=False):
+    """Run the hotspot workload with transfers + repartitioning churn."""
+    cluster, cfg, _entities = make_hotspot_cluster(seed=seed, bubble=bubble)
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        cluster.report_interactions(pairs)
+        for spec in sample_transfers(rng, pairs, max_txns=4, amount=2):
+            cluster.submit(spec)
+        cluster.tick()
+    cluster.quiesce()
+    return cluster
+
+
+class TestReplay:
+    def test_same_seed_same_state_hash(self):
+        a = run_workload(seed=7)
+        b = run_workload(seed=7)
+        assert a.state_hash() == b.state_hash()
+
+    def test_same_seed_same_stats(self):
+        a = run_workload(seed=7)
+        b = run_workload(seed=7)
+        assert a.stats().summary() == b.stats().summary()
+
+    def test_same_seed_same_hash_with_bubble_placement(self):
+        a = run_workload(seed=3, bubble=True)
+        b = run_workload(seed=3, bubble=True)
+        assert a.state_hash() == b.state_hash()
+
+    def test_different_seed_diverges(self):
+        a = run_workload(seed=7)
+        b = run_workload(seed=8)
+        assert a.state_hash() != b.state_hash()
+
+    def test_invariants_hold_after_replay(self):
+        cluster = run_workload(seed=2)
+        cluster.check_invariants()
+        total_owned = sum(len(host.owned) for host in cluster.shards)
+        assert total_owned == 48

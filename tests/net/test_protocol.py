@@ -4,9 +4,17 @@ from repro.net import (
     ENVELOPE_BYTES,
     EntityEnter,
     EntityExit,
+    HandoffAck,
+    HandoffCommand,
+    HandoffRequest,
     InputAck,
     InputCommand,
+    LinkConfig,
+    SimNetwork,
     StateUpdate,
+    TxnDecision,
+    TxnPrepare,
+    TxnVote,
 )
 
 
@@ -39,3 +47,73 @@ class TestWireSizes:
         msg = StateUpdate(1, {}, tick=0)
         with pytest.raises(dataclasses.FrozenInstanceError):
             msg.entity = 2
+
+
+class TestClusterMessages:
+    def test_handoff_request_scales_with_payload(self):
+        bare = HandoffRequest(1, {}, src_shard=0, dst_shard=1, tick=0)
+        loaded = HandoffRequest(
+            1,
+            {"Position": {"x": 1.0, "y": 2.0}, "Wealth": {"gold": 5}},
+            src_shard=0,
+            dst_shard=1,
+            tick=0,
+        )
+        assert loaded.wire_size() > bare.wire_size() > ENVELOPE_BYTES
+
+    def test_handoff_control_messages_are_small(self):
+        cmd = HandoffCommand(1, dst_shard=1, tick=0)
+        ack = HandoffAck(1, src_shard=0, dst_shard=1, tick=0)
+        req = HandoffRequest(
+            1, {"Position": {"x": 1.0}}, src_shard=0, dst_shard=1, tick=0
+        )
+        assert cmd.wire_size() < req.wire_size()
+        assert ack.wire_size() < req.wire_size()
+
+    def test_txn_prepare_scales_with_ops(self):
+        one = TxnPrepare(7, (("u", (1, "Wealth", "gold")),), tick=0)
+        two = TxnPrepare(
+            7,
+            (
+                ("u", (1, "Wealth", "gold")),
+                ("u", (2, "Wealth", "gold")),
+            ),
+            tick=0,
+        )
+        assert two.wire_size() > one.wire_size()
+
+    def test_txn_vote_and_decision_sized(self):
+        vote = TxnVote(
+            7, shard=0, commit=True, keys=((1, "Wealth", "gold"),),
+            reads={(1, "Wealth", "gold"): 100},
+        )
+        decision = TxnDecision(
+            7, commit=True, writes={(1, "Wealth", "gold"): 90}, tick=3
+        )
+        assert vote.wire_size() > ENVELOPE_BYTES
+        assert decision.wire_size() > ENVELOPE_BYTES
+
+
+class TestMessageRepr:
+    def test_repr_names_payload_type_and_timing(self):
+        net = SimNetwork(seed=0)
+        net.connect("a", "b", LinkConfig(latency_ticks=2))
+        net.send("a", "b", HandoffCommand(1, dst_shard=1, tick=0), 48)
+        net.advance(2)
+        (msg,) = net.receive("b")
+        text = repr(msg)
+        assert "a->b" in text
+        assert "HandoffCommand" in text
+        assert "48B" in text
+
+    def test_repr_stable_across_same_seed_runs(self):
+        def trace():
+            net = SimNetwork(seed=5)
+            net.connect("a", "b", LinkConfig(latency_ticks=1, jitter_ticks=2))
+            for i in range(6):
+                net.send("a", "b", HandoffAck(i, 0, 1, tick=i), 32)
+                net.advance(1)
+            net.advance(8)
+            return [repr(m) for m in net.receive("b")]
+
+        assert trace() == trace()

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.content",
     "repro.spatial",
     "repro.consistency",
+    "repro.cluster",
     "repro.net",
     "repro.persistence",
     "repro.workloads",
