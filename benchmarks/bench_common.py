@@ -8,8 +8,13 @@ table/figure for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import argparse
+import contextlib
+import io
+import sys
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
 from repro.bench import BenchTable, series_shape  # noqa: F401  (re-export)
 
@@ -22,3 +27,32 @@ def wall_time(fn: Callable[[], object], repeats: int = 3) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def make_parser(description: str) -> argparse.ArgumentParser:
+    """Standard benchmark CLI; every report accepts ``--seed``/``--out``.
+
+    Callers add their experiment-specific flags on top, then hand the
+    parsed namespace to :func:`emit_report`.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed for the workload")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write the printed report to this file")
+    return parser
+
+
+def emit_report(
+    print_report: Callable[..., None], out: str | None = None, **kwargs: Any
+) -> None:
+    """Run a report printer, teeing its stdout to ``out`` when given."""
+    if out is None:
+        print_report(**kwargs)
+        return
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        print_report(**kwargs)
+    text = buffer.getvalue()
+    sys.stdout.write(text)
+    Path(out).write_text(text, encoding="utf-8")

@@ -25,7 +25,7 @@ import random
 from bench_common import BenchTable, wall_time
 
 from repro.core import GameWorld, schema
-from repro.errors import ReproError, RestrictionError
+from repro.errors import RestrictionError
 from repro.scripting import (
     CompiledScript,
     CostAnalyzer,

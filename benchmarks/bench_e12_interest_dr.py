@@ -16,7 +16,6 @@ rises, with error bounded by the threshold (plus one-frame lag).
 """
 
 import math
-import random
 
 from bench_common import BenchTable
 

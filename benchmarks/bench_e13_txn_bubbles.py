@@ -23,10 +23,8 @@ from bench_common import BenchTable
 from repro.consistency import (
     TransactionBubblePartitioner,
     TxnSpec,
-    VersionedStore,
     make_scheduler,
     read_for_update,
-    serial_replay,
     write,
 )
 from repro.consistency.txn_bubbles import run_sharded

@@ -21,11 +21,10 @@ whoever it bumps into.  Expected shape:
   piles onto the hotspot (lower max/mean imbalance).
 """
 
-import argparse
 import random
 import time
 
-from bench_common import BenchTable
+from bench_common import BenchTable, emit_report, make_parser
 
 from repro.cluster import (
     BubbleAwarePlacement,
@@ -102,7 +101,7 @@ def run_cell(
     return cluster.stats(), elapsed
 
 
-def run_experiment(ticks=120, count=64) -> BenchTable:
+def run_experiment(ticks=120, count=64, seed=0) -> BenchTable:
     table = BenchTable(
         f"E14: sharded world, hotspot workload ({count} entities, "
         f"{ticks} ticks)",
@@ -120,7 +119,8 @@ def run_experiment(ticks=120, count=64) -> BenchTable:
     ]
     for shards, placement_kind, rebalance in cells:
         stats, elapsed = run_cell(
-            shards, placement_kind, rebalance, ticks=ticks, count=count
+            shards, placement_kind, rebalance, ticks=ticks, count=count,
+            seed=seed,
         )
         table.add_row(
             shards,
@@ -136,13 +136,13 @@ def run_experiment(ticks=120, count=64) -> BenchTable:
     return table
 
 
-def print_report(ticks=120, count=64) -> None:
-    table = run_experiment(ticks=ticks, count=count)
+def print_report(ticks=120, count=64, seed=0) -> None:
+    table = run_experiment(ticks=ticks, count=count, seed=seed)
     table.print()
 
     # Per-shard counters for the headline comparison (4 shards, bubble
     # placement + rebalancing — the full machinery in one cell).
-    stats, _ = run_cell(4, "bubble", True, ticks=ticks, count=count)
+    stats, _ = run_cell(4, "bubble", True, ticks=ticks, count=count, seed=seed)
     print()
     print(stats.summary())
     header = "  ".join(f"{c:>12}" for c in stats.shards[0].COLUMNS)
@@ -207,10 +207,13 @@ def test_e14_shape_holds(benchmark):
 
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description="E14 sharding benchmark")
+    parser = make_parser("E14 sharding benchmark")
     parser.add_argument("--ticks", type=int, default=120,
                         help="global ticks per experiment cell")
     parser.add_argument("--count", type=int, default=64,
                         help="entities in the hotspot crowd")
     cli = parser.parse_args()
-    print_report(ticks=cli.ticks, count=cli.count)
+    emit_report(
+        print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
+        seed=cli.seed,
+    )

@@ -18,7 +18,7 @@ boundaries; the single server never leaks but its max load is the whole
 population.
 """
 
-from bench_common import BenchTable, wall_time
+from bench_common import BenchTable
 
 from repro.consistency import (
     CausalityBubblePartitioner,

@@ -97,6 +97,14 @@ EXPERIMENTS = [
      "transaction fraction; bubble-aware placement cuts that fraction "
      "versus the static grid; the dynamic rebalancer lowers hotspot "
      "imbalance."),
+    ("E15 / Fig 12", "bench_e15_replication",
+     "Persistence and availability are engineering challenges: the "
+     "in-memory tier journals actions so crashes lose bounded work, and "
+     "MMO shards must survive server failures (Engineering Challenges).",
+     "WAL-shipping cost is linear in the replica count; semi-sync pays "
+     "per-tick envelopes over async but loses zero records or entities "
+     "at failover; async loses exactly its unshipped window; detection "
+     "latency is bounded by the heartbeat timeout."),
 ]
 
 HEADER = """\

@@ -34,7 +34,12 @@ from repro.core import (
     FieldDef,
     schema,
 )
-from repro.errors import ClusterError, ReproError
+from repro.errors import ClusterError, ReplicationError, ReproError
+from repro.replication import (
+    ReplicatedClusterCoordinator,
+    ReplicatedShardHost,
+    ReplicaHost,
+)
 
 __version__ = "1.0.0"
 
@@ -51,7 +56,11 @@ __all__ = [
     "ShardHost",
     "ShardStats",
     "StaticGridPlacement",
+    "ReplicatedClusterCoordinator",
+    "ReplicatedShardHost",
+    "ReplicaHost",
     "ClusterError",
+    "ReplicationError",
     "ReproError",
     "__version__",
 ]

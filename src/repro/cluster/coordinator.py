@@ -39,19 +39,28 @@ from repro.errors import ClusterError
 from repro.net.protocol import (
     HandoffAck,
     HandoffCommand,
+    HandoffComplete,
     TxnDecision,
     TxnPrepare,
     TxnVote,
 )
-from repro.net.simnet import LinkConfig, SimNetwork
+from repro.net.simnet import LinkConfig, Message, SimNetwork
 
 
 class _TxnRecord:
-    """Coordinator-side state of one distributed transaction."""
+    """Coordinator-side state of one distributed transaction.
+
+    ``shard_keys`` (participant shard -> its key slice, from dispatch)
+    and ``writes_by_shard`` (filled at decision time) exist so a
+    failover coordinator can re-derive exactly what each participant
+    was told — the raw material for re-applying or aborting a
+    transaction interrupted by a primary crash.
+    """
 
     __slots__ = (
         "txn_id", "spec", "all_keys", "covered", "votes", "local",
-        "participants", "finished", "committed",
+        "participants", "finished", "committed", "shard_keys",
+        "writes_by_shard",
     )
 
     def __init__(
@@ -67,6 +76,8 @@ class _TxnRecord:
         self.participants = participants
         self.finished = False
         self.committed = False
+        self.shard_keys: dict[int, tuple] = {}
+        self.writes_by_shard: dict[int, dict] = {}
 
 
 class ClusterCoordinator:
@@ -95,10 +106,12 @@ class ClusterCoordinator:
         self.net = SimNetwork(seed)
         self.net.add_endpoint(COORD_ENDPOINT)
         schemas = list(schemas)
+        self._schemas = schemas
         self.shards: list[ShardHost] = [
-            ShardHost(i, self.net, schemas, dt) for i in range(shards)
+            self._make_shard(i, schemas) for i in range(shards)
         ]
         link = link or LinkConfig(latency_ticks=1)
+        self._link = link
         for host in self.shards:
             self.net.connect(COORD_ENDPOINT, host.endpoint, link)
         for a in self.shards:
@@ -123,6 +136,10 @@ class ClusterCoordinator:
         self.rebalance_moves = 0
 
     # -- topology / setup ---------------------------------------------------------
+
+    def _make_shard(self, shard_id: int, schemas: list[ComponentSchema]) -> ShardHost:
+        """Shard factory; the replicated coordinator overrides this."""
+        return ShardHost(shard_id, self.net, schemas, self.dt)
 
     def shard(self, shard_id: int) -> ShardHost:
         """The shard host with the given id."""
@@ -233,6 +250,7 @@ class ClusterCoordinator:
         self._txns[txn_id] = record
         for shard_id in sorted(by_shard):
             keyed_ops = tuple(by_shard[shard_id])
+            record.shard_keys[shard_id] = keyed_ops
             prepare = TxnPrepare(
                 txn_id=txn_id,
                 keyed_ops=keyed_ops,
@@ -245,6 +263,25 @@ class ClusterCoordinator:
     def _on_vote(self, vote: TxnVote) -> None:
         record = self._txns.get(vote.txn_id)
         if record is None or record.finished:
+            # A commit-vote arriving after the record finished aborted
+            # (failover can abort a txn whose votes are still on the
+            # wire) would leave that participant's locks held forever;
+            # answer it with an abort decision so they release.
+            if (
+                record is not None
+                and not record.committed
+                and vote.commit
+                and not vote.applied
+            ):
+                self._send(
+                    shard_endpoint(vote.shard),
+                    TxnDecision(
+                        txn_id=vote.txn_id,
+                        commit=False,
+                        writes={},
+                        tick=self.net.now,
+                    ),
+                )
             return
         record.votes.append(vote)
         record.covered |= set(vote.keys)
@@ -275,6 +312,8 @@ class ClusterCoordinator:
             slice_writes = {
                 k: writes[k] for k in keys_by_shard[shard_id] if k in writes
             }
+            if commit:
+                record.writes_by_shard[shard_id] = slice_writes
             self._send(
                 shard_endpoint(shard_id),
                 TxnDecision(
@@ -311,21 +350,37 @@ class ClusterCoordinator:
         """One global barrier tick; returns the new tick number."""
         self.net.advance(1)
         for msg in self.net.receive(COORD_ENDPOINT):
-            payload = msg.payload
-            if isinstance(payload, TxnVote):
-                self._on_vote(payload)
-            elif isinstance(payload, HandoffAck):
-                self._on_handoff_ack(payload)
-            else:
-                raise ClusterError(f"coordinator: unexpected message {msg!r}")
+            self._on_coord_message(msg)
         self._dispatch_pending()
+        self._step_shards()
+        self.tick_count += 1
+        self._maybe_repartition()
+        return self.tick_count
+
+    def _on_coord_message(self, msg: Message) -> None:
+        """Handle one message delivered to the coordinator endpoint."""
+        payload = msg.payload
+        if isinstance(payload, TxnVote):
+            self._on_vote(payload)
+        elif isinstance(payload, HandoffAck):
+            self._on_handoff_ack(payload)
+        else:
+            raise ClusterError(f"coordinator: unexpected message {msg!r}")
+
+    def _step_shards(self) -> None:
+        """Step every shard host (inbox + one world frame) in id order.
+
+        The replicated coordinator overrides this to weave in fault
+        injection, log shipping, replica apply, and failure detection.
+        """
         for host in self.shards:
             host.process_inbox(self.net.receive(host.endpoint))
             host.tick()
-        self.tick_count += 1
+
+    def _maybe_repartition(self) -> None:
+        """Repartition when the interval elapses (hook for subclasses)."""
         if self.tick_count % self.repartition_interval == 0:
             self._repartition()
-        return self.tick_count
 
     def run(self, ticks: int) -> None:
         """Advance the whole cluster ``ticks`` global ticks."""
@@ -336,6 +391,12 @@ class ClusterCoordinator:
         self.directory[ack.entity] = ack.dst_shard
         self._in_flight.pop(ack.entity, None)
         self.migrations_done += 1
+        # The directory now names the new owner: tell the source it may
+        # drop its retained copy of the evicted entity.
+        self._send(
+            shard_endpoint(ack.src_shard),
+            HandoffComplete(entity=ack.entity, tick=self.net.now),
+        )
 
     # -- repartitioning -----------------------------------------------------------
 
@@ -438,17 +499,25 @@ class ClusterCoordinator:
         """Handoffs currently between eviction and directory update."""
         return len(self._in_flight)
 
+    def _quiet(self) -> bool:
+        """Whether the control plane has fully settled.
+
+        The replicated coordinator overrides this: steady-state log
+        shipping keeps the network permanently busy, so it cannot wait
+        for an empty wire.
+        """
+        return (
+            not self._in_flight
+            and not self._pending_specs
+            and not self.net.in_flight_count()
+            and all(r.finished for r in self._txns.values())
+            and not any(host.deferred_handoffs for host in self.shards)
+        )
+
     def quiesce(self, max_ticks: int = 64) -> None:
         """Tick until no handoffs or undecided transactions remain."""
         for _ in range(max_ticks):
-            quiet = (
-                not self._in_flight
-                and not self._pending_specs
-                and not self.net.in_flight_count()
-                and all(r.finished for r in self._txns.values())
-                and not any(host.deferred_handoffs for host in self.shards)
-            )
-            if quiet:
+            if self._quiet():
                 return
             self.tick()
         raise ClusterError("cluster failed to quiesce")

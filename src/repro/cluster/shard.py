@@ -26,7 +26,9 @@ from repro.errors import ClusterError
 from repro.net.protocol import (
     HandoffAck,
     HandoffCommand,
+    HandoffComplete,
     HandoffRequest,
+    HandoffResend,
     TxnDecision,
     TxnPrepare,
     TxnVote,
@@ -84,6 +86,7 @@ class ShardHost:
         self.participant = TwoPhaseParticipant(_WorldStore(self.world))
         self.stats = ShardStats(shard_id)
         self._deferred_handoffs: list[HandoffCommand] = []
+        self._retained_evictions: dict[int, HandoffRequest] = {}
         net.add_endpoint(self.endpoint)
 
     # -- ownership ----------------------------------------------------------------
@@ -134,6 +137,10 @@ class ShardHost:
                 self._on_handoff_command(payload)
             elif isinstance(payload, HandoffRequest):
                 self._on_handoff_request(payload)
+            elif isinstance(payload, HandoffComplete):
+                self._retained_evictions.pop(payload.entity, None)
+            elif isinstance(payload, HandoffResend):
+                self._on_handoff_resend(payload)
             elif isinstance(payload, TxnPrepare):
                 self._on_prepare(payload)
             elif isinstance(payload, TxnDecision):
@@ -184,7 +191,34 @@ class ShardHost:
             dst_shard=cmd.dst_shard,
             tick=self.net.now,
         )
+        # Retain the payload until the coordinator confirms the handoff
+        # is durable (HandoffComplete); a crash of the destination while
+        # the request is in flight can then be repaired by re-sending.
+        self._retained_evictions[cmd.entity] = request
         self.send(shard_endpoint(cmd.dst_shard), request)
+
+    def _on_handoff_resend(self, cmd: HandoffResend) -> None:
+        """Failover repair: re-ship a retained eviction to the new owner."""
+        retained = self._retained_evictions.get(cmd.entity)
+        if retained is None:
+            raise ClusterError(
+                f"shard {self.shard_id}: no retained eviction for "
+                f"entity {cmd.entity}"
+            )
+        request = HandoffRequest(
+            entity=retained.entity,
+            components=retained.components,
+            src_shard=self.shard_id,
+            dst_shard=cmd.dst_shard,
+            tick=self.net.now,
+        )
+        self._retained_evictions[cmd.entity] = request
+        self.send(shard_endpoint(cmd.dst_shard), request)
+
+    @property
+    def retained_evictions(self) -> int:
+        """Eviction payloads held until the coordinator confirms them."""
+        return len(self._retained_evictions)
 
     def _on_handoff_request(self, req: HandoffRequest) -> None:
         """A peer shipped us an entity: install it and tell the coordinator."""

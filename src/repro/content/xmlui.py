@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Iterator
 
 from repro.errors import UISpecError
 

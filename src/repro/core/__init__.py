@@ -31,7 +31,7 @@ from repro.core.systems import (
     SystemScheduler,
 )
 from repro.core.table import ComponentTable
-from repro.core.world import GameWorld
+from repro.core.world import GameWorld, diff_worlds
 
 __all__ = [
     "AggregateView",
@@ -75,4 +75,5 @@ __all__ = [
     "SystemScheduler",
     "ComponentTable",
     "GameWorld",
+    "diff_worlds",
 ]

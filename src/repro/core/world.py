@@ -447,3 +447,40 @@ class GameWorld:
             f"GameWorld(entities={self.entity_count}, "
             f"components={len(self._tables)}, tick={self.clock.tick})"
         )
+
+
+def diff_worlds(a: "GameWorld", b: "GameWorld") -> list[str]:
+    """Human-readable divergence report between two worlds.
+
+    Returns an empty list when the worlds hold identical logical state
+    (same tick, entities, components, and field values); otherwise one
+    line per difference.  ``state_hash`` says *that* two worlds diverged;
+    this says *where* — the first tool to reach for when a replica or a
+    replayed run stops matching its reference.
+    """
+    out: list[str] = []
+    snap_a, snap_b = a.snapshot(), b.snapshot()
+    if snap_a["tick"] != snap_b["tick"]:
+        out.append(f"tick: {snap_a['tick']} != {snap_b['tick']}")
+    ents_a, ents_b = snap_a["entities"], snap_b["entities"]
+    for eid in sorted(set(ents_a) - set(ents_b)):
+        out.append(f"entity {eid}: only in first world")
+    for eid in sorted(set(ents_b) - set(ents_a)):
+        out.append(f"entity {eid}: only in second world")
+    for eid in sorted(set(ents_a) & set(ents_b)):
+        if ents_a[eid] != ents_b[eid]:
+            out.append(
+                f"entity {eid}: components {ents_a[eid]} != {ents_b[eid]}"
+            )
+    tables_a, tables_b = snap_a["tables"], snap_b["tables"]
+    for name in sorted(set(tables_a) & set(tables_b)):
+        rows_a, rows_b = tables_a[name], tables_b[name]
+        for eid in sorted(set(rows_a) & set(rows_b)):
+            row_a, row_b = rows_a[eid], rows_b[eid]
+            for fieldname in sorted(set(row_a) | set(row_b)):
+                va, vb = row_a.get(fieldname), row_b.get(fieldname)
+                if va != vb:
+                    out.append(
+                        f"{name}[{eid}].{fieldname}: {va!r} != {vb!r}"
+                    )
+    return out

@@ -194,3 +194,7 @@ class NetError(ReproError):
 
 class ClusterError(ReproError):
     """The sharded world runtime was misconfigured or misused."""
+
+
+class ReplicationError(ClusterError):
+    """The primary/replica replication layer hit an unrecoverable state."""

@@ -1,5 +1,6 @@
-"""Network simulation substrate: deterministic message fabric, replication
-protocol, authoritative server, predicting client, dead reckoning."""
+"""Network simulation substrate: deterministic message fabric with
+first-class fault injection, replication protocol, authoritative server,
+predicting client, dead reckoning."""
 
 from repro.net.client import ClientStats, ReplicationClient
 from repro.net.deadreckon import (
@@ -8,13 +9,17 @@ from repro.net.deadreckon import (
     DeadReckoningStats,
     MotionSample,
 )
+from repro.net.faults import CrashFault, DropBurst, FaultInjector, PartitionFault
 from repro.net.protocol import (
     ENVELOPE_BYTES,
     EntityEnter,
     EntityExit,
     HandoffAck,
     HandoffCommand,
+    HandoffComplete,
     HandoffRequest,
+    HandoffResend,
+    Heartbeat,
     InputAck,
     InputCommand,
     StateUpdate,
@@ -22,6 +27,8 @@ from repro.net.protocol import (
     TxnPrepare,
     TxnVote,
     VALUE_BYTES,
+    WalAck,
+    WalShip,
 )
 from repro.net.server import ReplicationServer
 from repro.net.simnet import LinkConfig, LinkStats, Message, SimNetwork
@@ -33,12 +40,19 @@ __all__ = [
     "DeadReckoningSender",
     "DeadReckoningStats",
     "MotionSample",
+    "CrashFault",
+    "DropBurst",
+    "FaultInjector",
+    "PartitionFault",
     "ENVELOPE_BYTES",
     "EntityEnter",
     "EntityExit",
     "HandoffAck",
     "HandoffCommand",
+    "HandoffComplete",
     "HandoffRequest",
+    "HandoffResend",
+    "Heartbeat",
     "InputAck",
     "InputCommand",
     "StateUpdate",
@@ -46,6 +60,8 @@ __all__ = [
     "TxnPrepare",
     "TxnVote",
     "VALUE_BYTES",
+    "WalAck",
+    "WalShip",
     "ReplicationServer",
     "LinkConfig",
     "LinkStats",

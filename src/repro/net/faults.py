@@ -1,0 +1,131 @@
+"""Scheduled fault injection for :class:`~repro.net.simnet.SimNetwork`.
+
+Failures become first-class test inputs: a :class:`FaultInjector` holds
+a deterministic schedule of faults — host crashes, link partitions, and
+message-drop bursts — and applies them to the network as simulated time
+passes.  The replicated cluster coordinator consults the injector every
+global tick, so a run with a fault plan replays exactly like any other
+seeded run (the fault tests and the E15 failover benchmark depend on
+this).
+
+Faults are expressed against endpoint names (``shard:0``,
+``replica:0:1``, ``coord``), the same names the cluster uses, so a test
+reads like an incident report::
+
+    injector = FaultInjector()
+    injector.crash("shard:0", at_tick=40)
+    injector.partition_link("coord", "shard:1", at_tick=10, until_tick=20)
+    injector.drop_burst("shard:1", "replica:1:0", at_tick=25, until_tick=30)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import NetError
+from repro.net.simnet import SimNetwork
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill an endpoint at a tick (it never comes back by itself)."""
+
+    endpoint: str
+    at_tick: int
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    """Sever a pair of endpoints both ways for [at_tick, until_tick)."""
+
+    a: str
+    b: str
+    at_tick: int
+    until_tick: int
+
+
+@dataclass(frozen=True)
+class DropBurst:
+    """Drop every message on one directed link for [at_tick, until_tick)."""
+
+    src: str
+    dst: str
+    at_tick: int
+    until_tick: int
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic fault schedule applied to a :class:`SimNetwork`.
+
+    :meth:`apply` is called once per simulated tick (after the network
+    advanced to that tick); it turns scheduled faults on and off and
+    returns the endpoints that crashed *this* tick so the caller — the
+    replicated cluster coordinator — can take the host out of the tick
+    barrier.  All bookkeeping is ordered, so fault runs replay.
+    """
+
+    crashes: list[CrashFault] = field(default_factory=list)
+    partitions: list[PartitionFault] = field(default_factory=list)
+    bursts: list[DropBurst] = field(default_factory=list)
+    applied_crashes: int = 0
+    applied_partitions: int = 0
+    applied_bursts: int = 0
+
+    # -- schedule building --------------------------------------------------------
+
+    def crash(self, endpoint: str, at_tick: int) -> "FaultInjector":
+        """Schedule a crash; returns self for chaining."""
+        if at_tick < 0:
+            raise NetError("crash tick must be non-negative")
+        self.crashes.append(CrashFault(endpoint, at_tick))
+        return self
+
+    def partition_link(
+        self, a: str, b: str, at_tick: int, until_tick: int
+    ) -> "FaultInjector":
+        """Schedule a bidirectional partition for [at_tick, until_tick)."""
+        if until_tick <= at_tick:
+            raise NetError("partition must end after it starts")
+        self.partitions.append(PartitionFault(a, b, at_tick, until_tick))
+        return self
+
+    def drop_burst(
+        self, src: str, dst: str, at_tick: int, until_tick: int
+    ) -> "FaultInjector":
+        """Schedule a one-way message-drop burst for [at_tick, until_tick)."""
+        if until_tick <= at_tick:
+            raise NetError("drop burst must end after it starts")
+        self.bursts.append(DropBurst(src, dst, at_tick, until_tick))
+        return self
+
+    # -- application --------------------------------------------------------------
+
+    def crashes_due(self, tick: int) -> list[str]:
+        """Endpoints whose scheduled crash tick is exactly ``tick``."""
+        return sorted(f.endpoint for f in self.crashes if f.at_tick == tick)
+
+    def apply(self, net: SimNetwork, tick: int) -> list[str]:
+        """Apply the schedule for one tick; returns endpoints crashing now.
+
+        The caller is responsible for the host-level consequences of a
+        crash (skipping its tick, discarding its inbox); the injector
+        only flips the network-level fault state.
+        """
+        crashed = self.crashes_due(tick)
+        for endpoint in crashed:
+            net.set_down(endpoint)
+            self.applied_crashes += 1
+        for fault in self.partitions:
+            if fault.at_tick == tick:
+                net.partition(fault.a, fault.b)
+                self.applied_partitions += 1
+            elif fault.until_tick == tick:
+                net.heal(fault.a, fault.b)
+        for burst in self.bursts:
+            if burst.at_tick == tick:
+                net.block(burst.src, burst.dst)
+                self.applied_bursts += 1
+            elif burst.until_tick == tick:
+                net.unblock(burst.src, burst.dst)
+        return crashed

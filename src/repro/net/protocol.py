@@ -135,6 +135,39 @@ class HandoffAck:
 
 
 @dataclass(frozen=True)
+class HandoffComplete:
+    """Coordinator -> source shard: the handoff is durable, drop the copy.
+
+    Until this arrives the source retains the evicted entity's payload,
+    so a handoff whose destination dies mid-flight can be re-sent to the
+    promoted replacement (see ``HandoffResend``).
+    """
+
+    entity: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16
+
+
+@dataclass(frozen=True)
+class HandoffResend:
+    """Coordinator -> source shard: re-ship a retained eviction payload.
+
+    Issued during failover when an in-flight handoff's destination
+    crashed before installing the entity; the source re-sends its
+    retained ``HandoffRequest`` to the (now promoted) destination.
+    """
+
+    entity: int
+    dst_shard: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16
+
+
+@dataclass(frozen=True)
 class TxnPrepare:
     """Coordinator -> participant shard: phase-one vote request.
 
@@ -192,3 +225,65 @@ class TxnDecision:
 
     def wire_size(self) -> int:
         return ENVELOPE_BYTES + 8 + len(self.writes) * (VALUE_BYTES + 4)
+
+
+# ---------------------------------------------------------------------------
+# Primary/replica shard replication: WAL shipping, acks, heartbeats
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WalShip:
+    """Primary shard -> replica: a batch of journal records.
+
+    ``records`` is a tuple of ``(lsn, payload)`` pairs with contiguous,
+    ascending LSNs — the primary's durable journal tail past what it
+    believes the replica has.  The wire size bills the encoded payloads,
+    so the E15 bytes-shipped numbers reflect what log shipping actually
+    costs at each replication factor.
+    """
+
+    shard: int
+    records: tuple
+    tick: int
+
+    def wire_size(self) -> int:
+        size = ENVELOPE_BYTES + 8
+        for _lsn, payload in self.records:
+            size += 8 + len(repr(payload))
+        return size
+
+
+@dataclass(frozen=True)
+class WalAck:
+    """Replica -> primary shard: journal applied through ``applied_lsn``.
+
+    The primary uses acks both as the semi-sync durability watermark and
+    as the gap detector: a replica whose ack stagnates below the shipped
+    watermark gets the missing tail re-shipped.
+    """
+
+    shard: int
+    replica: int
+    applied_lsn: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 24
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Primary shard -> coordinator: still alive at this tick barrier.
+
+    Carries the journal's flushed LSN so the coordinator's view of each
+    replication group's progress rides on the liveness signal itself.
+    Missed heartbeats past the timeout trigger failover.
+    """
+
+    shard: int
+    tick: int
+    flushed_lsn: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 24

@@ -9,6 +9,14 @@ over a link with latency L arrives in the recipient's inbox at tick
 Determinism: jitter and loss come from a seeded ``random.Random`` per
 link, so runs replay exactly — a property every test in
 :mod:`tests.net` leans on.
+
+Failures are first-class: an endpoint can be marked **down** (a crashed
+host — sends from it fail, deliveries to it are dropped), a directed
+link can be **blocked** (a message-drop burst), and a pair of endpoints
+can be **partitioned** (blocked both ways).  Every fault drop is counted
+separately from random loss so tests can assert on exactly what the
+network did; :class:`~repro.net.faults.FaultInjector` schedules these
+faults against simulated time.
 """
 
 from __future__ import annotations
@@ -72,12 +80,35 @@ class LinkConfig:
 
 @dataclass
 class LinkStats:
-    """Per-link accounting."""
+    """Per-link accounting.
+
+    ``dropped`` counts random (loss-rate) drops; ``dropped_fault``
+    counts drops caused by injected faults (down endpoints, blocked
+    links, partitions); ``delayed`` counts messages that drew non-zero
+    jitter and ``delay_ticks`` sums the extra ticks they waited — the
+    counters the fault injector and the replication benchmarks assert
+    against.
+    """
 
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    dropped_fault: int = 0
+    delayed: int = 0
+    delay_ticks: int = 0
     bytes_sent: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form used by :meth:`SimNetwork.stats`."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "dropped_fault": self.dropped_fault,
+            "delayed": self.delayed,
+            "delay_ticks": self.delay_ticks,
+            "bytes_sent": self.bytes_sent,
+        }
 
 
 class SimNetwork:
@@ -86,9 +117,11 @@ class SimNetwork:
     def __init__(self, seed: int = 0):
         self._links: dict[tuple[str, str], LinkConfig] = {}
         self._rngs: dict[tuple[str, str], random.Random] = {}
-        self.stats: dict[tuple[str, str], LinkStats] = {}
+        self.link_stats: dict[tuple[str, str], LinkStats] = {}
         self._in_flight: list[tuple[int, int, Message]] = []  # (deliver, seq, msg)
         self._inboxes: dict[str, list[Message]] = {}
+        self._down: set[str] = set()
+        self._blocked: set[tuple[str, str]] = set()
         self._seq = 0
         self._seed = seed
         self.now = 0
@@ -109,11 +142,52 @@ class SimNetwork:
             self._rngs[pair] = random.Random(
                 (self._seed, pair[0], pair[1]).__hash__()
             )
-            self.stats[pair] = LinkStats()
+            self.link_stats.setdefault(pair, LinkStats())
 
     def endpoints(self) -> list[str]:
         """All registered endpoint names."""
         return sorted(self._inboxes)
+
+    # -- fault plane --------------------------------------------------------------
+
+    def set_down(self, endpoint: str) -> None:
+        """Mark an endpoint crashed: sends fail, deliveries are dropped."""
+        if endpoint not in self._inboxes:
+            raise NetError(f"unknown endpoint {endpoint!r}")
+        self._down.add(endpoint)
+
+    def set_up(self, endpoint: str) -> None:
+        """Bring a crashed endpoint back (a replacement host took over)."""
+        self._down.discard(endpoint)
+
+    def is_down(self, endpoint: str) -> bool:
+        """Whether the endpoint is currently marked down."""
+        return endpoint in self._down
+
+    def block(self, src: str, dst: str) -> None:
+        """Start dropping every message on the directed link src→dst."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: str, dst: str) -> None:
+        """Stop dropping on the directed link src→dst."""
+        self._blocked.discard((src, dst))
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever the pair in both directions (a network partition)."""
+        self.block(a, b)
+        self.block(b, a)
+
+    def heal(self, a: str, b: str) -> None:
+        """Undo :meth:`partition` for the pair."""
+        self.unblock(a, b)
+        self.unblock(b, a)
+
+    def _faulted(self, src: str, dst: str) -> bool:
+        return (
+            src in self._down
+            or dst in self._down
+            or (src, dst) in self._blocked
+        )
 
     # -- send/receive ----------------------------------------------------------------
 
@@ -122,14 +196,20 @@ class SimNetwork:
         link = self._links.get((src, dst))
         if link is None:
             raise NetError(f"no link {src} -> {dst}")
-        stats = self.stats[(src, dst)]
+        stats = self.link_stats[(src, dst)]
         stats.sent += 1
         stats.bytes_sent += size_bytes
+        if self._faulted(src, dst):
+            stats.dropped_fault += 1
+            return False
         rng = self._rngs[(src, dst)]
         if link.loss_rate and rng.random() < link.loss_rate:
             stats.dropped += 1
             return False
         jitter = rng.randint(0, link.jitter_ticks) if link.jitter_ticks else 0
+        if jitter:
+            stats.delayed += 1
+            stats.delay_ticks += jitter
         deliver = self.now + max(1, link.latency_ticks + jitter)
         self._seq += 1
         msg = Message(
@@ -153,14 +233,22 @@ class SimNetwork:
         )
 
     def advance(self, ticks: int = 1) -> int:
-        """Advance simulated time, moving due messages into inboxes."""
+        """Advance simulated time, moving due messages into inboxes.
+
+        A message whose destination went down while it was on the wire
+        is dropped at delivery time — exactly what happens to packets
+        addressed to a crashed host.
+        """
         delivered = 0
         for _ in range(ticks):
             self.now += 1
             while self._in_flight and self._in_flight[0][0] <= self.now:
                 _d, _s, msg = heapq.heappop(self._in_flight)
+                if msg.dst in self._down:
+                    self.link_stats[(msg.src, msg.dst)].dropped_fault += 1
+                    continue
                 self._inboxes[msg.dst].append(msg)
-                self.stats[(msg.src, msg.dst)].delivered += 1
+                self.link_stats[(msg.src, msg.dst)].delivered += 1
                 delivered += 1
         return delivered
 
@@ -178,4 +266,36 @@ class SimNetwork:
 
     def total_bytes(self) -> int:
         """Total bytes offered to the network across all links."""
-        return sum(s.bytes_sent for s in self.stats.values())
+        return sum(s.bytes_sent for s in self.link_stats.values())
+
+    # -- observability ------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Summary dict of everything the network actually did.
+
+        ``links`` maps ``"src->dst"`` to that link's counters (see
+        :class:`LinkStats`), ``totals`` sums them, and the fault state
+        (down endpoints, blocked directed links) is included so tests
+        and benchmarks can assert drops against the injected faults.
+        """
+        links = {
+            f"{src}->{dst}": stats.as_dict()
+            for (src, dst), stats in sorted(self.link_stats.items())
+        }
+        totals = LinkStats()
+        for stats in self.link_stats.values():
+            totals.sent += stats.sent
+            totals.delivered += stats.delivered
+            totals.dropped += stats.dropped
+            totals.dropped_fault += stats.dropped_fault
+            totals.delayed += stats.delayed
+            totals.delay_ticks += stats.delay_ticks
+            totals.bytes_sent += stats.bytes_sent
+        return {
+            "now": self.now,
+            "in_flight": len(self._in_flight),
+            "down": sorted(self._down),
+            "blocked": sorted(self._blocked),
+            "links": links,
+            "totals": totals.as_dict(),
+        }

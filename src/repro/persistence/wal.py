@@ -96,9 +96,22 @@ class WriteAheadLog:
 
     def corrupt_tail(self) -> None:
         """Damage the final durable record (torn-write simulation)."""
+        self.corrupt_at(-1)
+
+    def corrupt_at(self, index: int) -> None:
+        """Damage the durable record at ``index`` (bit-rot simulation).
+
+        Unlike a torn tail, mid-file corruption cuts recovery short:
+        :meth:`records` stops at the bad record and everything after it
+        is unreachable — the case checksums exist to detect.
+        """
         if not self._durable:
             raise WALError("nothing to corrupt")
-        self._durable[-1] = self._durable[-1][:-4] + "XXXX"
+        try:
+            line = self._durable[index]
+        except IndexError:
+            raise WALError(f"no durable record at index {index}") from None
+        self._durable[index] = line[:-4] + "XXXX"
 
     # -- truncation ---------------------------------------------------------------------
 

@@ -1,0 +1,38 @@
+"""Primary/replica shard fault tolerance: WAL shipping and failover.
+
+Each shard of the clustered world becomes a replication group — a
+primary :class:`ReplicatedShardHost` that journals every change to a
+:class:`ShardJournal` and ships the durable tail to ``k``
+:class:`ReplicaHost` standbys, and a
+:class:`ReplicatedClusterCoordinator` that detects dead primaries by
+missed heartbeats and promotes the most-caught-up replica.  Semi-sync
+acknowledgement (:data:`ACK_SEMISYNC`) guarantees acknowledged writes
+survive a primary crash; async (:data:`ACK_ASYNC`) trades a bounded
+loss window for less shipping.  Experiment E15 measures both.
+"""
+
+from repro.replication.coordinator import (
+    FailoverReport,
+    GroupStatus,
+    ReplicatedClusterCoordinator,
+)
+from repro.replication.journal import ShardJournal, apply_record
+from repro.replication.primary import (
+    ACK_ASYNC,
+    ACK_SEMISYNC,
+    ReplicatedShardHost,
+)
+from repro.replication.replica import ReplicaHost, replica_endpoint
+
+__all__ = [
+    "FailoverReport",
+    "GroupStatus",
+    "ReplicatedClusterCoordinator",
+    "ShardJournal",
+    "apply_record",
+    "ACK_ASYNC",
+    "ACK_SEMISYNC",
+    "ReplicatedShardHost",
+    "ReplicaHost",
+    "replica_endpoint",
+]

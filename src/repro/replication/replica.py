@@ -1,0 +1,150 @@
+"""Replica host: a standby world that replays a primary's journal.
+
+A :class:`ReplicaHost` holds a standby :class:`~repro.core.world.GameWorld`
+for one shard.  It never runs systems and never originates writes; its
+only inputs are :class:`~repro.net.protocol.WalShip` batches from its
+primary, which it applies in strict LSN order (buffering nothing — a
+gap means the batch is ignored and the stagnating ack tells the primary
+to re-ship).  Each applied batch is also appended to the replica's own
+WAL, so "applied" means *durable at the replica*, which is exactly the
+guarantee semi-sync acknowledgement claims.
+
+Because the standby world is a faithful copy, a replica can serve
+read-only interest queries (who is near this point?) while the primary
+does the writing — the classic read-scaling use of log shipping, and
+the freshness the E15 benchmark measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.component import ComponentSchema
+from repro.core.world import GameWorld
+from repro.errors import ReplicationError
+from repro.net.protocol import WalAck, WalShip
+from repro.net.simnet import Message, SimNetwork
+from repro.persistence.wal import WriteAheadLog
+from repro.replication.journal import apply_record
+
+
+def replica_endpoint(shard_id: int, idx: int) -> str:
+    """Network endpoint name for replica ``idx`` of a shard."""
+    return f"replica:{shard_id}:{idx}"
+
+
+class ReplicaHost:
+    """One replica of a shard: standby world + local WAL + ack stream."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        idx: int,
+        net: SimNetwork,
+        schemas: Iterable[ComponentSchema],
+        dt: float = 1.0 / 30.0,
+    ):
+        self.shard_id = shard_id
+        self.idx = idx
+        self.endpoint = replica_endpoint(shard_id, idx)
+        self.net = net
+        self.dt = dt
+        self._schemas = list(schemas)
+        self.world = self._fresh_world()
+        self.owned: set[int] = set()
+        self.wal = WriteAheadLog(auto_flush=False)
+        self.applied_lsn = 0
+        self.applied_txns: set[int] = set()
+        self.crashed = False
+        self.batches_applied = 0
+        self.gaps_detected = 0
+        net.add_endpoint(self.endpoint)
+
+    def _fresh_world(self) -> GameWorld:
+        world = GameWorld(self.dt)
+        for schema in self._schemas:
+            world.register_component(schema)
+        return world
+
+    # -- log application ----------------------------------------------------------
+
+    def process_inbox(self, messages: Iterable[Message]) -> None:
+        """Apply this tick's shipped batches and acknowledge progress."""
+        got_ship = False
+        for msg in messages:
+            payload = msg.payload
+            if not isinstance(payload, WalShip):
+                raise ReplicationError(
+                    f"replica {self.endpoint}: unexpected message {msg!r}"
+                )
+            self._apply_batch(payload)
+            got_ship = True
+        if got_ship:
+            self._ack()
+
+    def _apply_batch(self, ship: WalShip) -> None:
+        """Apply a shipped batch in LSN order; ignore gaps and overlaps.
+
+        Records at or below ``applied_lsn`` are duplicates from a
+        re-ship and are skipped; a record that would skip an LSN is a
+        gap (an earlier batch was dropped), so the rest of the batch is
+        discarded — the primary re-ships from our acked watermark.
+        """
+        applied_any = False
+        for lsn, payload in ship.records:
+            if lsn <= self.applied_lsn:
+                continue
+            if lsn != self.applied_lsn + 1:
+                self.gaps_detected += 1
+                break
+            self.wal.append(payload)
+            apply_record(payload, self.world, self.owned, self.applied_txns)
+            self.applied_lsn = lsn
+            applied_any = True
+        if applied_any:
+            self.wal.flush()
+            self.batches_applied += 1
+
+    def _ack(self) -> None:
+        ack = WalAck(
+            shard=self.shard_id,
+            replica=self.idx,
+            applied_lsn=self.applied_lsn,
+            tick=self.net.now,
+        )
+        self.net.send(self.endpoint, f"shard:{self.shard_id}", ack, ack.wire_size())
+
+    # -- read-only queries --------------------------------------------------------
+
+    def entities_near(self, cx: float, cy: float, radius: float) -> list[int]:
+        """Interest query served from the standby: entity ids in range."""
+        return self.world.query("Position").within(cx, cy, radius).ids()
+
+    def entity_count(self) -> int:
+        """Live entities in the standby world."""
+        return self.world.entity_count
+
+    def state_hash(self) -> str:
+        """Digest of the standby world (compared against the primary's)."""
+        return self.world.state_hash()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Discard all standby state and re-sync from LSN zero.
+
+        Used after a failover: the promoted primary starts a fresh
+        journal (a new epoch), so surviving replicas drop their old
+        state and rebuild from the new journal's first record.
+        """
+        self.world = self._fresh_world()
+        self.owned = set()
+        self.wal = WriteAheadLog(auto_flush=False)
+        self.applied_lsn = 0
+        self.applied_txns = set()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ReplicaHost({self.endpoint}, applied_lsn={self.applied_lsn}, "
+            f"entities={self.world.entity_count})"
+        )

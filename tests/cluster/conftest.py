@@ -5,7 +5,6 @@ import pytest
 from repro.cluster import (
     BubbleAwarePlacement,
     ClusterCoordinator,
-    DynamicRebalancer,
     StaticGridPlacement,
 )
 from repro.consistency import CausalityBubblePartitioner, StaticGridPartitioner

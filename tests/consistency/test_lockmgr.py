@@ -1,7 +1,5 @@
 """Tests for the lock manager: compatibility, queues, deadlock detection."""
 
-import pytest
-
 from repro.consistency.lockmgr import LockManager, LockMode
 
 S = LockMode.SHARED

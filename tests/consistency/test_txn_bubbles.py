@@ -10,7 +10,6 @@ from repro.consistency import (
     TransactionBubblePartitioner,
     TxnFootprint,
     TxnSpec,
-    VersionedStore,
     make_scheduler,
     read,
     read_for_update,

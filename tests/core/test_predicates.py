@@ -5,11 +5,8 @@ import pytest
 from repro.core.predicates import (
     And,
     Between,
-    Compare,
     Custom,
     F,
-    IsIn,
-    Not,
     Or,
     compile_row_fn,
     split_sargable,

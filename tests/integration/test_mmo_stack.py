@@ -1,9 +1,6 @@
 """Integration tests for the MMO side: bubbles over moving workloads,
 replication of simulated worlds, transactions over game state."""
 
-import math
-
-import pytest
 
 from repro.consistency import (
     BubbleTimeline,

@@ -85,9 +85,10 @@ class TestLossAndJitter:
         net.connect("a", "b", LinkConfig(latency_ticks=1, loss_rate=0.9))
         for i in range(100):
             net.send("a", "b", i)
-        stats = net.stats[("a", "b")]
+        stats = net.link_stats[("a", "b")]
         assert stats.dropped > 50
         assert stats.sent == 100
+        assert net.stats()["links"]["a->b"]["dropped"] == stats.dropped
 
     def test_jitter_within_bounds(self):
         net = SimNetwork(seed=3)
@@ -116,8 +117,9 @@ class TestAccounting:
         net.connect("a", "b")
         net.send("a", "b", "x", size_bytes=100)
         net.send("a", "b", "y", size_bytes=50)
-        assert net.stats[("a", "b")].bytes_sent == 150
+        assert net.link_stats[("a", "b")].bytes_sent == 150
         assert net.total_bytes() == 150
+        assert net.stats()["totals"]["bytes_sent"] == 150
 
     def test_in_flight(self):
         net = SimNetwork()
@@ -132,3 +134,58 @@ class TestAccounting:
         net.connect("s", "c1")
         net.connect("s", "c2")
         assert net.endpoints() == ["c1", "c2", "s"]
+
+    def test_delay_counters(self):
+        net = SimNetwork(seed=3)
+        net.connect("a", "b", LinkConfig(latency_ticks=2, jitter_ticks=3))
+        for i in range(50):
+            net.send("a", "b", i)
+        stats = net.link_stats[("a", "b")]
+        assert 0 < stats.delayed < 50
+        assert stats.delay_ticks >= stats.delayed
+        summary = net.stats()
+        assert summary["links"]["a->b"]["delayed"] == stats.delayed
+        assert summary["totals"]["delay_ticks"] == stats.delay_ticks
+
+
+class TestFaults:
+    def test_down_endpoint_drops_sends(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        net.set_down("b")
+        assert net.send("a", "b", "x") is False
+        assert net.link_stats[("a", "b")].dropped_fault == 1
+        net.set_up("b")
+        assert net.send("a", "b", "x") is True
+
+    def test_down_endpoint_drops_in_flight_at_delivery(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=3))
+        net.send("a", "b", "x")
+        net.set_down("b")
+        net.advance(3)
+        assert net.receive("b") == []
+        assert net.link_stats[("a", "b")].dropped_fault == 1
+
+    def test_partition_blocks_both_ways_until_healed(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        net.partition("a", "b")
+        assert net.send("a", "b", "x") is False
+        assert net.send("b", "a", "y") is False
+        net.heal("a", "b")
+        assert net.send("a", "b", "x") is True
+        assert net.send("b", "a", "y") is True
+
+    def test_block_is_one_way(self):
+        net = SimNetwork()
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        net.block("a", "b")
+        assert net.send("a", "b", "x") is False
+        assert net.send("b", "a", "y") is True
+        assert net.stats()["blocked"] == [("a", "b")]
+
+    def test_unknown_down_endpoint_raises(self):
+        net = SimNetwork()
+        with pytest.raises(NetError):
+            net.set_down("ghost")

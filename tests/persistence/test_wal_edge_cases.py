@@ -1,0 +1,114 @@
+"""WAL edge cases: empty-log recovery, mid-file corruption, torn tails."""
+
+import pytest
+
+from repro.errors import WALError
+from repro.persistence import (
+    Action,
+    InMemoryGameDB,
+    SnapshotStore,
+    WriteAheadLog,
+    recover,
+)
+
+
+def action(tick, player=0):
+    return Action("put", "players", player, {"x": tick}, tick=tick)
+
+
+class TestEmptyLog:
+    def test_recover_from_empty_log(self):
+        """A server that crashed before writing anything recovers cleanly."""
+        wal = WriteAheadLog()
+        recovered, report = recover(wal, SnapshotStore())
+        assert report.checkpoint_lsn == 0
+        assert report.replayed_actions == 0
+        assert report.recovered_tick == 0
+        assert recovered.tables() == []
+
+    def test_empty_log_properties(self):
+        wal = WriteAheadLog()
+        assert wal.flushed_lsn == 0
+        assert wal.durable_count() == 0
+        assert list(wal.records()) == []
+        assert wal.crash() == 0  # nothing buffered, nothing lost
+
+    def test_corrupting_empty_log_raises(self):
+        with pytest.raises(WALError):
+            WriteAheadLog().corrupt_tail()
+        with pytest.raises(WALError):
+            WriteAheadLog().corrupt_at(0)
+
+
+class TestMidFileCorruption:
+    def test_reader_stops_cleanly_at_corrupt_record(self):
+        """Bit-rot in the middle of the log cuts recovery short, without
+        raising: everything before the bad record is served, everything
+        after is unreachable."""
+        wal = WriteAheadLog()
+        for i in range(10):
+            wal.append({"i": i})
+        wal.corrupt_at(4)  # damage the fifth record
+        recs = list(wal.records())
+        assert [r.payload["i"] for r in recs] == [0, 1, 2, 3]
+        assert recs[-1].lsn == 4
+
+    def test_corrupt_at_out_of_range(self):
+        wal = WriteAheadLog()
+        wal.append({"i": 0})
+        with pytest.raises(WALError):
+            wal.corrupt_at(5)
+
+    def test_recovery_replays_only_prefix(self):
+        db = InMemoryGameDB(WriteAheadLog())
+        db.create_table("players")
+        for t in range(1, 9):
+            db.apply(action(t))
+        db.wal.flush()
+        db.wal.corrupt_at(4)
+        recovered, report = recover(db.wal, SnapshotStore())
+        # only the four actions before the bad record replay
+        assert report.replayed_actions == 4
+        assert recovered.get("players", 0)["x"] == 4
+        assert report.recovered_tick == 4
+
+    def test_corrupt_tail_is_corrupt_at_last(self):
+        wal = WriteAheadLog()
+        for i in range(3):
+            wal.append({"i": i})
+        wal.corrupt_tail()
+        assert [r.payload["i"] for r in wal.records()] == [0, 1]
+
+
+class TestGroupCommitTailLoss:
+    def test_crash_loses_exactly_the_unflushed_group(self):
+        """With group_commit=4, a crash after 10 appends loses the two
+        records still waiting for their fsync — no more, no fewer."""
+        wal = WriteAheadLog(group_commit=4)
+        for i in range(10):
+            wal.append({"i": i})
+        assert wal.pending_count() == 2
+        lost = wal.crash()
+        assert lost == 2
+        assert wal.durable_count() == 8
+        assert [r.payload["i"] for r in wal.records()] == list(range(8))
+
+    def test_lsns_reissued_after_crash(self):
+        """The torn tail never existed: the next append reuses its LSN,
+        so the durable log stays gap-free."""
+        wal = WriteAheadLog(group_commit=4)
+        for i in range(6):
+            wal.append({"i": i})
+        wal.crash()  # loses records 5 and 6 (lsn 5, 6)
+        lsn = wal.append({"i": "retry"})
+        assert lsn == 5
+        wal.flush()
+        assert [r.lsn for r in wal.records()] == [1, 2, 3, 4, 5]
+
+    def test_flush_then_crash_loses_nothing(self):
+        wal = WriteAheadLog(group_commit=8)
+        for i in range(5):
+            wal.append({"i": i})
+        wal.flush()
+        assert wal.crash() == 0
+        assert wal.durable_count() == 5

@@ -1,7 +1,5 @@
 """Tests for WorldPersistence: full GameWorld journal/checkpoint/recover."""
 
-import pytest
-
 from repro.core import GameWorld, schema
 from repro.persistence import (
     EventDrivenPolicy,

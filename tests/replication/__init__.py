@@ -1,0 +1,1 @@
+"""Tests for the primary/replica replication subsystem."""

@@ -1,0 +1,99 @@
+"""Shared builders for the replication test suite.
+
+The workload is the hotspot crowd from the cluster tests — moving
+entities plus sampled gold transfers — because it exercises every
+journaled path at once: per-tick position updates, handoffs as entities
+cross the grid, and both local and cross-shard transactions.
+"""
+
+import random
+
+from repro.cluster import StaticGridPlacement
+from repro.consistency import StaticGridPartitioner
+from repro.replication import ACK_SEMISYNC, ReplicatedClusterCoordinator
+from repro.spatial import AABB
+from repro.workloads import (
+    HotspotConfig,
+    cluster_schemas,
+    interaction_pairs,
+    make_hotspot_system,
+    sample_transfers,
+    spawn_hotspot_population,
+)
+
+BOUNDS = AABB(0.0, 0.0, 200.0, 200.0)
+POPULATION = 16
+
+
+def build_replicated(
+    seed=7,
+    shards=2,
+    replication_factor=1,
+    ack_mode=ACK_SEMISYNC,
+    ship_interval=4,
+    heartbeat_timeout=4,
+    injector=None,
+    count=POPULATION,
+):
+    """A replicated hotspot cluster ready to run.
+
+    Repartitioning is effectively disabled so tests control handoffs
+    explicitly via ``migrate``.
+    """
+    placement = StaticGridPlacement(
+        StaticGridPartitioner(BOUNDS, 2, 2, shards)
+    )
+    cluster = ReplicatedClusterCoordinator(
+        shards,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        repartition_interval=1000,
+        replication_factor=replication_factor,
+        ack_mode=ack_mode,
+        ship_interval=ship_interval,
+        heartbeat_timeout=heartbeat_timeout,
+        injector=injector,
+    )
+    cfg = HotspotConfig(BOUNDS, count=count, seed=seed, orbit_period=60)
+    entities = spawn_hotspot_population(cluster, cfg)
+    cluster.add_per_entity_system(
+        "hotspot-move", ("Position",), make_hotspot_system(cfg)
+    )
+    return cluster, cfg, entities
+
+
+def run_workload(cluster, cfg, ticks, seed=7, txns_per_tick=2, at_tick=None):
+    """Drive movement plus sampled transfers for ``ticks`` global ticks.
+
+    ``at_tick`` maps iteration index -> callback, for injecting test
+    actions (migrations, probes) at exact points in the run.  Two runs
+    with the same seed, tick count, and callbacks are tick-for-tick
+    identical — the basis of every crash-free reference comparison.
+    """
+    rng = random.Random(seed)
+    for i in range(ticks):
+        if at_tick and i in at_tick:
+            at_tick[i](cluster)
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        cluster.report_interactions(pairs)
+        for spec in sample_transfers(rng, pairs, txns_per_tick):
+            cluster.submit(spec)
+        cluster.tick()
+
+
+def total_gold(cluster):
+    """Sum of Wealth.gold over every shard's owned entities."""
+    total = 0
+    for host in cluster.shards:
+        for eid, row in host.world.table("Wealth").rows():
+            if eid in host.owned:
+                total += row["gold"]
+    return total
+
+
+def owned_by(cluster, shard_id):
+    """Entities the directory currently places at a shard."""
+    return sorted(
+        e for e, s in cluster.directory.items() if s == shard_id
+    )

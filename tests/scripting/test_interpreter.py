@@ -11,7 +11,6 @@ from repro.errors import (
 from repro.scripting import (
     CompiledScript,
     Interpreter,
-    NO_ITERATION,
     UNRESTRICTED,
     build_stdlib,
 )

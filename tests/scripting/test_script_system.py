@@ -7,7 +7,6 @@ from repro.errors import ScriptError
 from repro.scripting import (
     NO_ITERATION,
     UNRESTRICTED,
-    ScriptSystem,
     add_script_system,
 )
 

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.spatial import AABB, BSPPointIndex, BSPTree, Segment, Vec2
 
 BOUNDS = AABB(0, 0, 100, 100)

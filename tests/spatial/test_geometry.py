@@ -1,7 +1,5 @@
 """Unit tests for geometry primitives."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

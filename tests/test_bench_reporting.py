@@ -1,7 +1,5 @@
 """Tests for the benchmark reporting helpers and the error hierarchy."""
 
-import math
-
 import pytest
 
 from repro.bench import BenchTable, geometric_mean, series_shape

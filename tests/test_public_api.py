@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.spatial",
     "repro.consistency",
     "repro.cluster",
+    "repro.replication",
     "repro.net",
     "repro.persistence",
     "repro.workloads",
