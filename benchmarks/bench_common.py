@@ -40,7 +40,36 @@ def make_parser(description: str) -> argparse.ArgumentParser:
                         help="base RNG seed for the workload")
     parser.add_argument("--out", type=str, default=None,
                         help="also write the printed report to this file")
+    parser.add_argument("--trace-out", type=str, default=None,
+                        help="write a Chrome trace_event JSON of the run "
+                             "(open in Perfetto / chrome://tracing)")
     return parser
+
+
+@contextlib.contextmanager
+def trace_session(trace_out: str | None):
+    """Install a session-default tracer and write a Chrome trace on exit.
+
+    With ``trace_out=None`` this is a no-op, so reports can wrap their
+    body unconditionally.  Otherwise every obs-aware component built
+    inside the block (worlds, clusters, WALs) picks up the tracer via
+    :func:`repro.obs.resolve_obs`, and the collected spans land in
+    ``trace_out`` as a trace_event JSON document.
+    """
+    if trace_out is None:
+        yield None
+        return
+    from repro.obs import Observability, set_default_observability
+
+    obs = Observability.tracing_only()
+    previous = set_default_observability(obs)
+    try:
+        yield obs
+    finally:
+        set_default_observability(previous)
+        obs.write_chrome_trace(trace_out)
+        print(f"trace written to {trace_out} "
+              f"({len(obs.recorder.spans())} spans)")
 
 
 def emit_report(

@@ -24,7 +24,7 @@ whoever it bumps into.  Expected shape:
 import random
 import time
 
-from bench_common import BenchTable, emit_report, make_parser
+from bench_common import BenchTable, emit_report, make_parser, trace_session
 
 from repro.cluster import (
     BubbleAwarePlacement,
@@ -213,7 +213,8 @@ if __name__ == "__main__":
     parser.add_argument("--count", type=int, default=64,
                         help="entities in the hotspot crowd")
     cli = parser.parse_args()
-    emit_report(
-        print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
-        seed=cli.seed,
-    )
+    with trace_session(cli.trace_out):
+        emit_report(
+            print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
+            seed=cli.seed,
+        )

@@ -20,7 +20,7 @@ semi-sync), on the E14 hotspot workload.  Two measurements per cell:
 import random
 import time
 
-from bench_common import BenchTable, emit_report, make_parser
+from bench_common import BenchTable, emit_report, make_parser, trace_session
 
 from repro.cluster import StaticGridPlacement
 from repro.consistency import StaticGridPartitioner
@@ -205,7 +205,8 @@ if __name__ == "__main__":
     parser.add_argument("--count", type=int, default=48,
                         help="entities in the hotspot crowd")
     cli = parser.parse_args()
-    emit_report(
-        print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
-        seed=cli.seed,
-    )
+    with trace_session(cli.trace_out):
+        emit_report(
+            print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
+            seed=cli.seed,
+        )

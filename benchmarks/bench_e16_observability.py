@@ -1,0 +1,339 @@
+"""E16 — what observability costs, and what a flight record buys.
+
+The tutorial's engineering sections assume you can *see* the engine:
+frame budgets, transaction tallies, replication lag.  ``repro.obs``
+unifies those counters in one registry, adds tick-scoped tracing with a
+Chrome ``trace_event`` exporter, and keeps a flight-recorder ring buffer
+that dumps automatically on crashes.  Instrumentation is only worth
+shipping if the disabled path is effectively free, so this experiment
+measures the stack at three settings:
+
+* **off** — ``Observability()``: every instrumented call site is one
+  attribute read and a branch;
+* **metrics** — counters/histograms live, tracing off (the production
+  setting);
+* **full** — tracing into a flight recorder (the debugging setting).
+
+Workloads: the E1 declarative interaction script (single world, script
+system per tick) and the E15 replicated hotspot cluster (WAL shipping,
+2PC, per-shard worlds).  The E1 cell also reports a ``baseline`` row —
+the tick body invoked without the tracer guard — so the disabled-path
+tax is measured, not asserted.  Expected shape: off ≈ baseline (< 2%),
+metrics within 10%, full tracing noticeably dearer but still usable;
+and two same-seed metric runs produce byte-identical snapshots.
+"""
+
+import gc
+import json
+import random
+import time
+from pathlib import Path
+
+from bench_common import BenchTable, emit_report, make_parser
+from bench_e1_script_scaling import DECLARATIVE_SRC, build_world
+
+from repro.cluster import StaticGridPlacement
+from repro.consistency import StaticGridPartitioner
+from repro.net import FaultInjector
+from repro.obs import Observability, validate_chrome_trace
+from repro.replication import ACK_SEMISYNC, ReplicatedClusterCoordinator
+from repro.scripting import add_script_system
+from repro.spatial import AABB
+from repro.workloads import (
+    HotspotConfig,
+    cluster_schemas,
+    interaction_pairs,
+    make_hotspot_system,
+    sample_transfers,
+    spawn_hotspot_population,
+)
+
+BOUNDS = AABB(0.0, 0.0, 200.0, 200.0)
+SHARDS = 2
+
+MODES = ("off", "metrics", "full")
+
+
+def make_obs(mode):
+    """The Observability preset for one experiment mode."""
+    if mode == "off":
+        return Observability()
+    if mode == "metrics":
+        return Observability.metrics_only()
+    if mode == "full":
+        return Observability.tracing_only()
+    raise ValueError(f"unknown mode: {mode}")
+
+
+# -- E1 cell: scripted world ----------------------------------------------------
+
+def make_script_world(obs, count=96, seed=1):
+    world = build_world(count, seed=seed)
+    world.obs = obs
+    add_script_system(world, "interact", DECLARATIVE_SRC)
+    return world
+
+
+def median(xs):
+    """Median of a non-empty sequence."""
+    s = sorted(xs)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else 0.5 * (s[mid - 1] + s[mid])
+
+
+def paired_blocks(step_a, step_b, blocks):
+    """Measure two tick closures in adjacent small blocks.
+
+    Percent-level deltas are unmeasurable on a shared host with
+    back-to-back whole runs — CPU-frequency epochs and co-tenant noise
+    are bigger than the effect.  So: advance both subjects in lockstep,
+    timing small alternating blocks (order flipped every block to
+    cancel any first-in-pair penalty), and take the median of per-block
+    ratios.  Adjacent blocks see near-identical host state, and the
+    median discards preemption outliers.
+
+    Returns ``(seconds_a, seconds_b, overhead_pct_of_b_over_a)`` where
+    the seconds are totals of the per-block medians scaled to all
+    blocks.
+    """
+    gc.collect()
+    ta, tb = [], []
+    for i in range(blocks):
+        first, second = (step_a, step_b) if i % 2 == 0 else (step_b, step_a)
+        t0 = time.process_time()
+        first()
+        t1 = time.process_time()
+        second()
+        t2 = time.process_time()
+        a, b = (t1 - t0, t2 - t1) if i % 2 == 0 else (t2 - t1, t1 - t0)
+        ta.append(a)
+        tb.append(b)
+    ratio = median([b / a for a, b in zip(ta, tb)])
+    return median(ta) * blocks, median(tb) * blocks, 100.0 * (ratio - 1.0)
+
+
+def run_script_pair(mode, ticks=300, count=96, seed=1, block=10):
+    """Baseline-vs-``mode`` E1 comparison over ``ticks`` lockstep frames.
+
+    The baseline world calls the tick body past the tracer guard — the
+    closest measurable stand-in for pre-instrumentation code.  Both
+    worlds run the identical deterministic workload, so block *k* does
+    the same work in each."""
+    base_world = make_script_world(Observability(), count=count, seed=seed)
+    mode_world = make_script_world(make_obs(mode), count=count, seed=seed)
+    # warm both code paths before timing
+    for _ in range(block):
+        base_world._tick_body()
+    mode_world.run(block)
+
+    def step_base():
+        for _ in range(block):
+            base_world._tick_body()
+
+    def step_mode():
+        mode_world.run(block)
+
+    return paired_blocks(step_base, step_mode, max(2, ticks // block))
+
+
+# -- E15 cell: replicated cluster -----------------------------------------------
+
+def make_replicated(obs, seed=0, injector=None, count=48):
+    placement = StaticGridPlacement(
+        StaticGridPartitioner(BOUNDS, 2, 2, SHARDS)
+    )
+    cluster = ReplicatedClusterCoordinator(
+        SHARDS,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        repartition_interval=1000,
+        replication_factor=1,
+        ack_mode=ACK_SEMISYNC,
+        ship_interval=4,
+        injector=injector,
+        obs=obs,
+    )
+    cfg = HotspotConfig(BOUNDS, count=count, seed=seed, orbit_period=120)
+    spawn_hotspot_population(cluster, cfg)
+    cluster.add_per_entity_system(
+        "hotspot-move", ("Position",), make_hotspot_system(cfg)
+    )
+    return cluster, cfg
+
+
+def drive(cluster, cfg, ticks, seed=0):
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        cluster.report_interactions(pairs)
+        for spec in sample_transfers(rng, pairs, max_txns=2):
+            cluster.submit(spec)
+        cluster.tick()
+
+
+def run_cluster_pair(mode, ticks=80, count=48, seed=0, block=5):
+    """Off-vs-``mode`` E15 comparison over ``ticks`` lockstep ticks.
+
+    Two same-seed replicated clusters are deterministic, so at block *k*
+    both simulate the identical state — the blocks are comparable tick
+    for tick."""
+    def make_driver(cluster, cfg):
+        rng = random.Random(seed)
+
+        def step():
+            for _ in range(block):
+                pairs = interaction_pairs(
+                    cluster.positions(), cfg.interact_range
+                )
+                cluster.report_interactions(pairs)
+                for spec in sample_transfers(rng, pairs, max_txns=2):
+                    cluster.submit(spec)
+                cluster.tick()
+
+        return step
+
+    step_off = make_driver(*make_replicated(Observability(), seed=seed,
+                                            count=count))
+    step_mode = make_driver(*make_replicated(make_obs(mode), seed=seed,
+                                             count=count))
+    step_off()  # warm both code paths before timing
+    step_mode()
+    return paired_blocks(step_off, step_mode, max(2, ticks // block))
+
+
+def run_flight_record_cell(ticks=40, count=48, seed=0, crash_tick=20):
+    """Crash a primary under full tracing; returns the validated dump.
+
+    This is the payoff cell: the flight recorder must hand us a valid
+    Chrome trace containing the failover span, with zero configuration
+    beyond ``Observability.full()``.
+    """
+    obs = Observability.full(last_ticks=64)
+    injector = FaultInjector().crash("shard:0", at_tick=crash_tick)
+    cluster, cfg = make_replicated(obs, seed=seed, injector=injector,
+                                   count=count)
+    drive(cluster, cfg, ticks, seed=seed)
+    assert len(cluster.failovers) == 1
+    doc = dict(obs.recorder.dumps)["failover:shard0"]
+    events = validate_chrome_trace(doc)
+    spans = [e for e in doc["traceEvents"]
+             if e.get("ph") == "X" and e["name"] == "failover"]
+    assert len(spans) == 1, "flight record must contain the failover span"
+    return doc, events, spans[0]
+
+
+# -- report ----------------------------------------------------------------------
+
+def run_experiment(ticks=300, count=96, cluster_ticks=80, seed=0) -> BenchTable:
+    table = BenchTable(
+        f"E16: observability overhead (E1 script world {count} entities / "
+        f"E15 replicated cluster)",
+        ["workload", "mode", "cpu_seconds", "overhead_pct"],
+    )
+    for i, mode in enumerate(MODES):
+        base_s, mode_s, pct = run_script_pair(mode, ticks=ticks, count=count)
+        if i == 0:
+            table.add_row("e1.script", "baseline", base_s, 0.0)
+        table.add_row("e1.script", mode, mode_s, pct)
+    for i, mode in enumerate(MODES[1:]):
+        off_s, mode_s, pct = run_cluster_pair(mode, ticks=cluster_ticks,
+                                              seed=seed)
+        if i == 0:
+            table.add_row("e15.cluster", "off", off_s, 0.0)
+        table.add_row("e15.cluster", mode, mode_s, pct)
+    return table
+
+
+def print_report(ticks=300, count=96, cluster_ticks=80, seed=0) -> None:
+    table = run_experiment(ticks=ticks, count=count,
+                           cluster_ticks=cluster_ticks, seed=seed)
+    table.print()
+
+    overhead = dict(zip(
+        [f"{w}/{m}" for w, m in zip(table.column("workload"),
+                                    table.column("mode"))],
+        table.column("overhead_pct"),
+    ))
+    print()
+    print(f"disabled-path tax (E1): {overhead['e1.script/off']:+.1f}% "
+          "(target < 2%)")
+    print(f"metrics-only tax (E1):  {overhead['e1.script/metrics']:+.1f}% "
+          "(target < 10%)")
+    print(f"full tracing tax (E1):  {overhead['e1.script/full']:+.1f}%")
+
+    doc, events, failover = run_flight_record_cell(seed=seed)
+    print()
+    print(f"flight record on injected crash: {events} trace events, "
+          f"failover span at tick {failover['args']['tick']} "
+          f"(promoted replica {failover['args']['promoted_replica']}, "
+          f"{failover['args']['records_lost']} records lost)")
+
+    snap_a = run_metrics_snapshot(seed=seed)
+    snap_b = run_metrics_snapshot(seed=seed)
+    print(f"same-seed snapshot equality: {snap_a == snap_b} "
+          f"({len(snap_a)} metric cells)")
+    print("-> the instrumented-but-off stack costs a branch; metrics are "
+          "production-safe; full tracing is a debugging gear whose crash "
+          "dumps open straight in Perfetto.")
+
+
+def run_metrics_snapshot(ticks=30, count=48, seed=0):
+    """One metrics-mode cluster run, reduced to its registry snapshot."""
+    obs = Observability.metrics_only()
+    cluster, cfg = make_replicated(obs, seed=seed, count=count)
+    drive(cluster, cfg, ticks, seed=seed)
+    cluster.quiesce()
+    return cluster.metrics.snapshot()
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+def test_e16_disabled_tick(benchmark):
+    world = make_script_world(Observability(), count=64)
+    benchmark(world.tick)
+
+
+def test_e16_traced_tick(benchmark):
+    world = make_script_world(Observability.tracing_only(), count=64)
+    benchmark(world.tick)
+
+
+def test_e16_shape_holds(benchmark):
+    def check():
+        # Overhead bounds, with slack over the report's targets so a
+        # noisy CI host doesn't flake: the report prints exact numbers.
+        _b, _m, off_pct = run_script_pair("off", ticks=100, count=64)
+        assert off_pct < 10.0, off_pct
+        _b, _m, met_pct = run_script_pair("metrics", ticks=100, count=64)
+        assert met_pct < 25.0, met_pct
+        # The payoff: a crash auto-dumps a valid trace with the span.
+        _doc, events, failover = run_flight_record_cell()
+        assert events > 0
+        assert failover["args"]["shard"] == 0
+        # Determinism: same seed, same snapshot.
+        assert run_metrics_snapshot() == run_metrics_snapshot()
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    parser = make_parser("E16 observability overhead benchmark")
+    parser.add_argument("--ticks", type=int, default=300,
+                        help="frames for the E1 script workload")
+    parser.add_argument("--count", type=int, default=96,
+                        help="entities in the E1 script world")
+    parser.add_argument("--cluster-ticks", type=int, default=80,
+                        help="ticks for the E15 cluster workload")
+    cli = parser.parse_args()
+    emit_report(
+        print_report, out=cli.out, ticks=cli.ticks, count=cli.count,
+        cluster_ticks=cli.cluster_ticks, seed=cli.seed,
+    )
+    if cli.trace_out:
+        # For E16, --trace-out emits the crash flight record itself —
+        # the artifact a paged-in operator would open in Perfetto.
+        doc, _events, _span = run_flight_record_cell(seed=cli.seed)
+        Path(cli.trace_out).write_text(json.dumps(doc, indent=1),
+                                       encoding="utf-8")
+        print(f"flight-record trace written to {cli.trace_out}")

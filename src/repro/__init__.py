@@ -34,7 +34,13 @@ from repro.core import (
     FieldDef,
     schema,
 )
-from repro.errors import ClusterError, ReplicationError, ReproError
+from repro.errors import ClusterError, ObsError, ReplicationError, ReproError
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 from repro.replication import (
     ReplicatedClusterCoordinator,
     ReplicatedShardHost,
@@ -59,7 +65,12 @@ __all__ = [
     "ReplicatedClusterCoordinator",
     "ReplicatedShardHost",
     "ReplicaHost",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "Observability",
+    "Tracer",
     "ClusterError",
+    "ObsError",
     "ReplicationError",
     "ReproError",
     "__version__",

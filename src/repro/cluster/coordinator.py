@@ -45,6 +45,7 @@ from repro.net.protocol import (
     TxnVote,
 )
 from repro.net.simnet import LinkConfig, Message, SimNetwork
+from repro.obs import MetricsRegistry, Observability, resolve_obs
 
 
 class _TxnRecord:
@@ -94,6 +95,7 @@ class ClusterCoordinator:
         link: LinkConfig | None = None,
         rebalancer: DynamicRebalancer | None = None,
         repartition_interval: int = 20,
+        obs: Observability | None = None,
     ):
         if shards < 1:
             raise ClusterError("cluster needs at least one shard")
@@ -103,7 +105,14 @@ class ClusterCoordinator:
         self.rebalancer = rebalancer
         self.repartition_interval = repartition_interval
         self.dt = dt
-        self.net = SimNetwork(seed)
+        # Explicit obs wins, then the session default, then disabled; a
+        # cluster without a shared registry gets a private one so that
+        # sequentially-built clusters never merge counters.
+        self.obs = resolve_obs(obs)
+        self.metrics = (
+            self.obs.metrics if self.obs.metrics is not None else MetricsRegistry()
+        )
+        self.net = SimNetwork(seed, registry=self.metrics)
         self.net.add_endpoint(COORD_ENDPOINT)
         schemas = list(schemas)
         self._schemas = schemas
@@ -128,18 +137,76 @@ class ClusterCoordinator:
         self._prev_positions: dict[int, tuple[float, float]] = {}
         self._prev_tick = 0
         self.tick_count = 0
-        self.local_committed = 0
-        self.local_aborted = 0
-        self.cross_committed = 0
-        self.cross_aborted = 0
-        self.migrations_done = 0
-        self.rebalance_moves = 0
+        # Coordinator tallies live in the registry; the properties below
+        # keep the historical attribute API (`coordinator.local_committed`).
+        self._c_local_committed = self.metrics.counter("cluster.txn.local_committed")
+        self._c_local_aborted = self.metrics.counter("cluster.txn.local_aborted")
+        self._c_cross_committed = self.metrics.counter("cluster.txn.cross_committed")
+        self._c_cross_aborted = self.metrics.counter("cluster.txn.cross_aborted")
+        self._c_migrations = self.metrics.counter("cluster.migrations_done")
+        self._c_rebalance_moves = self.metrics.counter("cluster.rebalance_moves")
+
+    # -- coordinator tallies (registry-backed) ------------------------------------
+
+    @property
+    def local_committed(self) -> int:
+        """Single-shard transactions that committed."""
+        return self._c_local_committed.value
+
+    @local_committed.setter
+    def local_committed(self, value: int) -> None:
+        self._c_local_committed.value = value
+
+    @property
+    def local_aborted(self) -> int:
+        """Single-shard transactions that aborted."""
+        return self._c_local_aborted.value
+
+    @local_aborted.setter
+    def local_aborted(self, value: int) -> None:
+        self._c_local_aborted.value = value
+
+    @property
+    def cross_committed(self) -> int:
+        """Cross-shard transactions that committed."""
+        return self._c_cross_committed.value
+
+    @cross_committed.setter
+    def cross_committed(self, value: int) -> None:
+        self._c_cross_committed.value = value
+
+    @property
+    def cross_aborted(self) -> int:
+        """Cross-shard transactions that aborted."""
+        return self._c_cross_aborted.value
+
+    @cross_aborted.setter
+    def cross_aborted(self, value: int) -> None:
+        self._c_cross_aborted.value = value
+
+    @property
+    def migrations_done(self) -> int:
+        """Handoffs fully acknowledged by the directory."""
+        return self._c_migrations.value
+
+    @migrations_done.setter
+    def migrations_done(self, value: int) -> None:
+        self._c_migrations.value = value
+
+    @property
+    def rebalance_moves(self) -> int:
+        """Entities the rebalancer relocated beyond the base placement."""
+        return self._c_rebalance_moves.value
+
+    @rebalance_moves.setter
+    def rebalance_moves(self, value: int) -> None:
+        self._c_rebalance_moves.value = value
 
     # -- topology / setup ---------------------------------------------------------
 
     def _make_shard(self, shard_id: int, schemas: list[ComponentSchema]) -> ShardHost:
         """Shard factory; the replicated coordinator overrides this."""
-        return ShardHost(shard_id, self.net, schemas, self.dt)
+        return ShardHost(shard_id, self.net, schemas, self.dt, obs=self.obs)
 
     def shard(self, shard_id: int) -> ShardHost:
         """The shard host with the given id."""
@@ -348,6 +415,14 @@ class ClusterCoordinator:
 
     def tick(self) -> int:
         """One global barrier tick; returns the new tick number."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._tick_impl()
+        tracer.begin_tick(self.tick_count + 1)
+        with tracer.span("cluster.tick", cat="cluster", tick=self.tick_count + 1):
+            return self._tick_impl()
+
+    def _tick_impl(self) -> int:
         self.net.advance(1)
         for msg in self.net.receive(COORD_ENDPOINT):
             self._on_coord_message(msg)

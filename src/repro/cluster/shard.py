@@ -34,6 +34,7 @@ from repro.net.protocol import (
     TxnVote,
 )
 from repro.net.simnet import Message, SimNetwork
+from repro.obs import Observability, resolve_obs
 
 #: Network endpoint name of a shard / the coordinator.
 COORD_ENDPOINT = "coord"
@@ -74,17 +75,20 @@ class ShardHost:
         net: SimNetwork,
         schemas: Iterable[ComponentSchema],
         dt: float = 1.0 / 30.0,
+        *,
+        obs: Observability | None = None,
     ):
         self.shard_id = shard_id
         self.endpoint = shard_endpoint(shard_id)
         self.net = net
-        self.world = GameWorld(dt)
+        self.obs = resolve_obs(obs)
+        self.world = GameWorld(dt, obs=self.obs)
         for schema in schemas:
             self.world.register_component(schema)
         self.owned: set[int] = set()
         self.forwarding = ForwardingTable()
         self.participant = TwoPhaseParticipant(_WorldStore(self.world))
-        self.stats = ShardStats(shard_id)
+        self.stats = ShardStats(shard_id, registry=net.metrics)
         self._deferred_handoffs: list[HandoffCommand] = []
         self._retained_evictions: dict[int, HandoffRequest] = {}
         net.add_endpoint(self.endpoint)
@@ -247,6 +251,16 @@ class ShardHost:
 
     def _on_prepare(self, prepare: TxnPrepare) -> None:
         """Phase one: vote, execute locally, or forward to the new owner."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            self._handle_prepare(prepare)
+            return
+        with tracer.span(
+            "2pc.prepare", cat="cluster", txn=prepare.txn_id, shard=self.shard_id
+        ):
+            self._handle_prepare(prepare)
+
+    def _handle_prepare(self, prepare: TxnPrepare) -> None:
         self.stats.txn_prepares += 1
         entities = self._entities_of(prepare.keyed_ops)
         missing = [e for e in sorted(entities) if e not in self.owned]

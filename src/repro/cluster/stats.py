@@ -1,12 +1,13 @@
 """Cluster observability: per-shard and cluster-wide counters.
 
-The first slice of an observability layer for the sharded runtime:
-every shard keeps a :class:`ShardStats`, the coordinator keeps the
-cluster-level transaction/migration tallies, and :class:`ClusterStats`
-assembles both into the record the E14 bench prints.  Imbalance is
-computed through :class:`~repro.consistency.partition.PartitionMetrics`
-so the runtime and the offline partitioning experiments report load
-skew identically.
+Per-shard counters for the sharded runtime, now backed by the unified
+:class:`~repro.obs.metrics.MetricsRegistry`: every shard keeps a
+:class:`ShardStats` (a thin view over ``cluster.shard.*`` registry
+cells), the coordinator keeps the cluster-level transaction/migration
+tallies in the same registry, and :class:`ClusterStats` assembles both
+into the record the E14 bench prints.  Imbalance is computed through
+:class:`~repro.consistency.partition.PartitionMetrics` so the runtime
+and the offline partitioning experiments report load skew identically.
 """
 
 from __future__ import annotations
@@ -14,21 +15,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.consistency.partition import PartitionMetrics
+from repro.obs.metrics import MetricsRegistry, StatView
+
+#: ShardStats counter fields, in :meth:`ShardStats.as_row` order
+#: (after the leading shard id).
+_SHARD_FIELDS = (
+    "ticks", "entities_owned", "migrations_in", "migrations_out",
+    "txn_prepares", "txn_aborts_2pc", "cross_shard_messages",
+    "forwarded_messages",
+)
 
 
-@dataclass
-class ShardStats:
-    """Counters one :class:`~repro.cluster.shard.ShardHost` maintains."""
+class ShardStats(StatView):
+    """Counters one :class:`~repro.cluster.shard.ShardHost` maintains.
 
-    shard_id: int
-    ticks: int = 0
-    entities_owned: int = 0
-    migrations_in: int = 0
-    migrations_out: int = 0
-    txn_prepares: int = 0
-    txn_aborts_2pc: int = 0
-    cross_shard_messages: int = 0
-    forwarded_messages: int = 0
+    Fields read and write like plain attributes; storage is registry
+    cells (``cluster.shard.<field>`` labelled by shard), so the E14
+    table and the cluster's metrics snapshot are views of one source.
+    ``entities_owned`` is a gauge (it tracks a level); the rest are
+    counters.
+    """
+
+    __slots__ = ("shard_id",)
+
+    def __init__(self, shard_id: int, registry: MetricsRegistry | None = None):
+        registry = registry if registry is not None else MetricsRegistry()
+        label = str(shard_id)
+        cells = {
+            f: registry.counter(f"cluster.shard.{f}", shard=label)
+            for f in _SHARD_FIELDS
+            if f != "entities_owned"
+        }
+        cells["entities_owned"] = registry.gauge(
+            "cluster.shard.entities_owned", shard=label
+        )
+        super().__init__(cells)
+        self.shard_id = shard_id
 
     def as_row(self) -> tuple:
         """Values in the order the E14 per-shard table prints them."""

@@ -6,12 +6,21 @@ budget or the game stutters.  :class:`FrameClock` advances simulated time
 deterministically (no wall-clock reads, so replays and tests are exact),
 while :class:`FrameBudget` tracks how much of a frame each system consumed
 and reports overruns — the measurement tool behind experiment E10.
+
+The budget's storage lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (one counter/gauge cell per
+system) and its clock is an injectable ``time_source``: the default is
+``time.perf_counter``, but replay tests inject a
+:class:`~repro.obs.metrics.ManualTimeSource` and two identical runs then
+report identical budgets.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
 
 
 class FrameClock:
@@ -19,8 +28,8 @@ class FrameClock:
 
     ``tick`` is the frame counter, ``now`` the simulated seconds since
     start.  The clock never consults the wall clock; benchmarks that need
-    real durations use :class:`FrameBudget` which samples
-    ``time.perf_counter`` explicitly.
+    real durations use :class:`FrameBudget` whose time source defaults to
+    ``time.perf_counter`` but is injectable.
     """
 
     def __init__(self, dt: float = 1.0 / 30.0):
@@ -47,23 +56,53 @@ class FrameClock:
         return f"FrameClock(tick={self.tick}, now={self.now:.3f}s)"
 
 
-@dataclass
 class SystemTiming:
-    """Accumulated wall-time statistics for one named system."""
+    """Accumulated time statistics for one named system.
 
-    name: str
-    calls: int = 0
-    total_seconds: float = 0.0
-    worst_seconds: float = 0.0
+    A thin view: the numbers live in registry cells
+    (``frame.system.calls`` / ``.seconds`` / ``.worst_seconds``, labelled
+    by system), so budget reports and the metrics snapshot can never
+    disagree.
+    """
+
+    __slots__ = ("name", "_calls", "_total", "_worst")
+
+    def __init__(self, name: str, registry: MetricsRegistry):
+        self.name = name
+        self._calls = registry.counter("frame.system.calls", system=name)
+        self._total = registry.counter("frame.system.seconds", system=name)
+        self._worst = registry.gauge("frame.system.worst_seconds", system=name)
+
+    @property
+    def calls(self) -> int:
+        """Number of measured invocations."""
+        return self._calls.value
+
+    @property
+    def total_seconds(self) -> float:
+        """Total seconds across all invocations."""
+        return self._total.value
+
+    @property
+    def worst_seconds(self) -> float:
+        """Slowest single invocation in seconds."""
+        return self._worst.value
 
     @property
     def mean_seconds(self) -> float:
         """Mean seconds per call (0.0 before any call)."""
-        return self.total_seconds / self.calls if self.calls else 0.0
+        calls = self.calls
+        return self.total_seconds / calls if calls else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SystemTiming({self.name!r}, calls={self.calls}, "
+            f"total={self.total_seconds:.6f}s)"
+        )
 
 
 class FrameBudget:
-    """Tracks per-system wall time against a frame budget.
+    """Tracks per-system time against a frame budget.
 
     Usage::
 
@@ -71,14 +110,38 @@ class FrameBudget:
         with budget.measure("physics"):
             run_physics()
         overruns = budget.overruns()
+
+    ``time_source`` is any zero-argument callable returning seconds;
+    the default samples the wall clock.  ``registry`` is the metrics
+    home for every cell — a private one unless the caller shares theirs.
     """
 
-    def __init__(self, frame_seconds: float = 1.0 / 30.0):
+    def __init__(
+        self,
+        frame_seconds: float = 1.0 / 30.0,
+        registry: MetricsRegistry | None = None,
+        time_source: Callable[[], float] | None = None,
+    ):
         self.frame_seconds = frame_seconds
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.time_source = (
+            time_source if time_source is not None else time.perf_counter
+        )
         self.timings: dict[str, SystemTiming] = {}
         self._frame_spent = 0.0
-        self.frames_over_budget = 0
-        self.frames_measured = 0
+        self._frames_over = self.registry.counter("frame.over_budget")
+        self._frames = self.registry.counter("frame.count")
+        self._frame_hist = self.registry.histogram("frame.seconds")
+
+    @property
+    def frames_over_budget(self) -> int:
+        """Frames whose total measured time exceeded the budget."""
+        return self._frames_over.value
+
+    @property
+    def frames_measured(self) -> int:
+        """Frames closed by :meth:`end_frame` so far."""
+        return self._frames.value
 
     def measure(self, name: str) -> "_Measurement":
         """Context manager timing one system invocation."""
@@ -87,9 +150,10 @@ class FrameBudget:
     def end_frame(self) -> float:
         """Close the current frame; returns seconds spent this frame."""
         spent = self._frame_spent
-        self.frames_measured += 1
+        self._frames.inc()
+        self._frame_hist.observe(spent)
         if spent > self.frame_seconds:
-            self.frames_over_budget += 1
+            self._frames_over.inc()
         self._frame_spent = 0.0
         return spent
 
@@ -106,11 +170,12 @@ class FrameBudget:
     def _record(self, name: str, seconds: float) -> None:
         timing = self.timings.get(name)
         if timing is None:
-            timing = SystemTiming(name)
+            timing = SystemTiming(name, self.registry)
             self.timings[name] = timing
-        timing.calls += 1
-        timing.total_seconds += seconds
-        timing.worst_seconds = max(timing.worst_seconds, seconds)
+        timing._calls.inc()
+        timing._total.inc(seconds)
+        if seconds > timing._worst.value:
+            timing._worst.set(seconds)
         self._frame_spent += seconds
 
 
@@ -125,8 +190,9 @@ class _Measurement:
         self._start = 0.0
 
     def __enter__(self) -> "_Measurement":
-        self._start = time.perf_counter()
+        self._start = self._budget.time_source()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._budget._record(self._name, time.perf_counter() - self._start)
+        budget = self._budget
+        budget._record(self._name, budget.time_source() - self._start)

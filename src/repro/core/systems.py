@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 from repro.errors import QueryError
+from repro.obs.tracer import NOOP_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.world import GameWorld
@@ -204,12 +205,23 @@ class SystemScheduler:
         return [s for _p, _q, s in self._systems]
 
     def run_tick(self, world: "GameWorld", tick: int, dt: float, budget: Any = None) -> None:
-        """Run all due systems for ``tick``; measure if a budget is given."""
+        """Run all due systems for ``tick``; measure if a budget is given.
+
+        When the world's tracer is enabled each system gets its own span
+        (child of the world's ``tick`` span); when disabled the only cost
+        is one attribute check per tick.
+        """
+        obs = getattr(world, "obs", None)
+        tracer = obs.tracer if obs is not None else None
+        traced = tracer is not None and tracer.enabled
         for _p, _q, system in self._systems:
             if not system.should_run(tick):
                 continue
-            if budget is not None:
-                with budget.measure(system.name):
+            with (
+                tracer.span(system.name, cat="system") if traced else NOOP_SPAN
+            ):
+                if budget is not None:
+                    with budget.measure(system.name):
+                        system.run(world, dt)
+                else:
                     system.run(world, dt)
-            else:
-                system.run(world, dt)

@@ -33,6 +33,7 @@ from repro.core.systems import (
 )
 from repro.core.table import ComponentTable
 from repro.errors import UnknownComponentError
+from repro.obs import Observability, resolve_obs
 
 #: Change-hook signature used by the persistence layer:
 #: (op, entity_id, component, payload) with op in
@@ -50,9 +51,21 @@ class GameWorld:
     frame_budget_seconds:
         Wall-clock budget per frame for the scheduler's budget report;
         defaults to ``dt``.
+    obs:
+        Observability bundle (metrics/tracer/recorder).  Defaults to the
+        session default (usually disabled).  The frame budget keeps a
+        private registry regardless — budget cells are labelled only by
+        system name, and sharing one registry across the many worlds of
+        a cluster would merge their per-frame timings.
     """
 
-    def __init__(self, dt: float = 1.0 / 30.0, frame_budget_seconds: float | None = None):
+    def __init__(
+        self,
+        dt: float = 1.0 / 30.0,
+        frame_budget_seconds: float | None = None,
+        obs: Observability | None = None,
+    ):
+        self.obs = resolve_obs(obs)
         self.clock = FrameClock(dt)
         self.budget = FrameBudget(frame_budget_seconds or dt)
         self.events = EventBus()
@@ -318,6 +331,14 @@ class GameWorld:
 
     def tick(self) -> int:
         """Advance the world one frame; returns the new tick number."""
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._tick_body()
+        tracer.begin_tick(self.clock.tick + 1)
+        with tracer.span("tick", cat="core", entities=self.entity_count):
+            return self._tick_body()
+
+    def _tick_body(self) -> int:
         tick = self.clock.advance()
         self.scheduler.run_tick(self, tick, self.clock.dt, self.budget)
         self.events.flush_deferred()

@@ -198,3 +198,12 @@ class ClusterError(ReproError):
 
 class ReplicationError(ClusterError):
     """The primary/replica replication layer hit an unrecoverable state."""
+
+
+# ---------------------------------------------------------------------------
+# Observability errors
+# ---------------------------------------------------------------------------
+
+
+class ObsError(ReproError):
+    """The observability layer was misconfigured or misused."""

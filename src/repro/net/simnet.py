@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import NetError
+from repro.obs.metrics import MetricsRegistry, StatView
 
 
 @dataclass(frozen=True)
@@ -78,43 +79,47 @@ class LinkConfig:
             raise NetError("loss_rate must be in [0, 1)")
 
 
-@dataclass
-class LinkStats:
-    """Per-link accounting.
+#: LinkStats field names, in the order :meth:`LinkStats.as_dict` emits.
+_LINK_FIELDS = (
+    "sent", "delivered", "dropped", "dropped_fault", "delayed",
+    "delay_ticks", "bytes_sent",
+)
+
+
+class LinkStats(StatView):
+    """Per-link accounting, backed by :class:`~repro.obs.metrics.MetricsRegistry`.
 
     ``dropped`` counts random (loss-rate) drops; ``dropped_fault``
     counts drops caused by injected faults (down endpoints, blocked
     links, partitions); ``delayed`` counts messages that drew non-zero
     jitter and ``delay_ticks`` sums the extra ticks they waited — the
     counters the fault injector and the replication benchmarks assert
-    against.
+    against.  Fields read and write like plain attributes; the storage
+    is registry counters (``net.link.<field>`` labelled by link), so the
+    network's metrics snapshot and these stats can never disagree.
     """
 
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-    dropped_fault: int = 0
-    delayed: int = 0
-    delay_ticks: int = 0
-    bytes_sent: int = 0
+    __slots__ = ()
+
+    def __init__(self, registry: MetricsRegistry | None = None, link: str = ""):
+        registry = registry if registry is not None else MetricsRegistry()
+        super().__init__(
+            {
+                f: registry.counter(f"net.link.{f}", link=link)
+                for f in _LINK_FIELDS
+            }
+        )
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict form used by :meth:`SimNetwork.stats`."""
-        return {
-            "sent": self.sent,
-            "delivered": self.delivered,
-            "dropped": self.dropped,
-            "dropped_fault": self.dropped_fault,
-            "delayed": self.delayed,
-            "delay_ticks": self.delay_ticks,
-            "bytes_sent": self.bytes_sent,
-        }
+        return {f: getattr(self, f) for f in _LINK_FIELDS}
 
 
 class SimNetwork:
     """The message fabric between named endpoints."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, registry: MetricsRegistry | None = None):
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self._links: dict[tuple[str, str], LinkConfig] = {}
         self._rngs: dict[tuple[str, str], random.Random] = {}
         self.link_stats: dict[tuple[str, str], LinkStats] = {}
@@ -142,7 +147,10 @@ class SimNetwork:
             self._rngs[pair] = random.Random(
                 (self._seed, pair[0], pair[1]).__hash__()
             )
-            self.link_stats.setdefault(pair, LinkStats())
+            if pair not in self.link_stats:
+                self.link_stats[pair] = LinkStats(
+                    self.metrics, link=f"{pair[0]}->{pair[1]}"
+                )
 
     def endpoints(self) -> list[str]:
         """All registered endpoint names."""

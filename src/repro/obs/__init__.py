@@ -1,0 +1,85 @@
+"""Unified observability: metrics, tick-scoped tracing, flight recording.
+
+The stack's one coherent way to see where ticks, bytes, and fsyncs go:
+
+* :class:`MetricsRegistry` — counters, gauges, fixed-bucket histograms;
+  deterministic under seeds (no wall-clock reads; real durations only
+  via an injectable time source such as :class:`ManualTimeSource`).
+  ``ShardStats``, ``LinkStats``, and ``FrameBudget`` are thin views over
+  registry cells.
+* :class:`Tracer` — tick-scoped spans with parent/child links
+  (``tick > system > script``, ``wal.append > wal.fsync``,
+  ``2pc.prepare``, ``repl.ship``, ``failover``), exported to the Chrome
+  ``trace_event`` format for about:tracing / Perfetto via
+  :func:`to_chrome_trace`.  Disabled tracing costs one branch per call
+  site (:class:`NullSink` fast path).
+* :class:`FlightRecorder` — ring buffer of the last N ticks of spans and
+  structured events, dumped automatically on shard crash, failover, or
+  WAL corruption.
+
+:class:`Observability` bundles the three; runtime constructors accept a
+single ``obs`` parameter and fall back to the session default installed
+by :func:`set_default_observability`.
+"""
+
+from repro.obs.export import (
+    events_from_chrome_trace,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.obs.hub import (
+    DISABLED_OBS,
+    DISABLED_TRACER,
+    Observability,
+    get_default_observability,
+    resolve_obs,
+    set_default_observability,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    ManualTimeSource,
+    MetricsRegistry,
+    StatView,
+)
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracer import (
+    NOOP_SPAN,
+    TICK_STRIDE_US,
+    MemorySink,
+    NullSink,
+    Span,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ManualTimeSource",
+    "StatView",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "NullSink",
+    "MemorySink",
+    "NOOP_SPAN",
+    "TICK_STRIDE_US",
+    "FlightRecorder",
+    "Observability",
+    "DISABLED_OBS",
+    "DISABLED_TRACER",
+    "set_default_observability",
+    "get_default_observability",
+    "resolve_obs",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "spans_from_chrome_trace",
+    "events_from_chrome_trace",
+]

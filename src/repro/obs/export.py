@@ -1,0 +1,141 @@
+"""Chrome ``trace_event`` export: spans/events → about:tracing / Perfetto.
+
+The exporter renders spans as complete events (``ph: "X"``) and instant
+events (``ph: "i"``) in the JSON-object flavour of the Trace Event
+Format, so a dump loads directly in ``chrome://tracing`` or
+https://ui.perfetto.dev.  Timestamps are microseconds (the format's
+unit); with the default logical clock one tick spans
+:data:`~repro.obs.tracer.TICK_STRIDE_US` fake microseconds, which makes
+ticks visually uniform in the timeline.
+
+:func:`validate_chrome_trace` is the shape check CI runs against
+exported artifacts, and :func:`spans_from_chrome_trace` is the parse
+half of the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.tracer import Span, TraceEvent
+
+#: pid stamped on every exported event (one simulated process).
+TRACE_PID = 1
+
+
+def to_chrome_trace(
+    spans: Iterable[Span],
+    events: Iterable[TraceEvent] = (),
+    label: str = "repro",
+    metadata: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Render spans + instant events as a Chrome trace_event document.
+
+    Events are sorted by timestamp with parents before their children
+    (longer duration first at equal start), so the JSON reads in
+    timeline order.  ``metadata`` lands in the document's ``metadata``
+    key — the flight recorder stamps the dump reason there.
+    """
+    out: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    for span in sorted(spans, key=lambda s: (s.ts, -s.dur, s.span_id)):
+        out.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.cat or "repro",
+                "ts": span.ts,
+                "dur": span.dur,
+                "pid": TRACE_PID,
+                "tid": 0,
+                "args": {
+                    "tick": span.tick,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.args,
+                },
+            }
+        )
+    for event in sorted(events, key=lambda e: e.ts):
+        out.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": event.name,
+                "cat": event.cat or "repro",
+                "ts": event.ts,
+                "pid": TRACE_PID,
+                "tid": 0,
+                "args": {"tick": event.tick, **event.args},
+            }
+        )
+    doc: dict[str, Any] = {"traceEvents": out, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["metadata"] = dict(metadata)
+    return doc
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Validate a document against the Chrome trace_event shape.
+
+    Checks the JSON-object form: a ``traceEvents`` list whose entries
+    carry the fields their phase requires (``X`` needs ``dur``, ``i``
+    needs a valid scope, every event needs ``name``/``ph``/``pid``/
+    ``ts``).  Returns the event count; raises ``ValueError`` on the
+    first violation.  This is the check CI runs on exported artifacts.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document needs a traceEvents list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"traceEvents[{i}] missing phase 'ph'")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"traceEvents[{i}] missing 'name'")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"traceEvents[{i}] missing integer 'pid'")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{i}] missing numeric 'ts'")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"traceEvents[{i}]: complete event needs dur >= 0"
+                )
+        elif ph == "i":
+            if event.get("s") not in ("g", "p", "t"):
+                raise ValueError(
+                    f"traceEvents[{i}]: instant event needs scope s in g/p/t"
+                )
+        elif ph not in ("B", "E", "C", "b", "e", "n"):
+            raise ValueError(f"traceEvents[{i}]: unknown phase {ph!r}")
+    return len(events)
+
+
+def spans_from_chrome_trace(doc: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """The complete (``ph: "X"``) events of a trace document.
+
+    The parse half of the exporter round-trip: returns the raw event
+    dicts (name, cat, ts, dur, and ``args`` with tick/span_id/parent_id)
+    in document order.
+    """
+    return [e for e in doc.get("traceEvents", ()) if e.get("ph") == "X"]
+
+
+def events_from_chrome_trace(doc: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """The instant (``ph: "i"``) events of a trace document."""
+    return [e for e in doc.get("traceEvents", ()) if e.get("ph") == "i"]

@@ -1,0 +1,155 @@
+"""The :class:`Observability` facade and the session default.
+
+One object bundles the three observability legs — metrics registry,
+tracer, flight recorder — so runtime constructors take a single ``obs``
+parameter.  The disabled facade is a shared singleton
+(:data:`DISABLED_OBS`): no registry, a null tracer, no recorder, zero
+allocation per world/cluster.
+
+``set_default_observability`` installs a session-wide default that
+constructors fall back to when not handed an ``obs`` explicitly — the
+mechanism behind the benchmark harness's ``--trace-out`` flag, which
+captures a whole benchmark run without threading a parameter through
+every layer.  The default deliberately carries **no metrics registry**:
+sharing one registry across sequentially-created clusters would merge
+their per-shard counters and break same-seed snapshot equality, so each
+cluster still creates its own.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.tracer import Tracer
+
+
+class Observability:
+    """Bundle of metrics registry, tracer, and flight recorder.
+
+    Construct directly for full control, or use the presets:
+    :meth:`metrics_only` (counters/gauges/histograms, no spans),
+    :meth:`full` (metrics + tracing into a flight recorder), and
+    :meth:`tracing_only` (spans without a registry — the trace-session
+    shape).  A bare ``Observability()`` is disabled on every leg.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
+    ):
+        if tracer is None:
+            tracer = Tracer(sink=recorder) if recorder is not None else DISABLED_TRACER
+        self.metrics = metrics
+        self.tracer = tracer
+        self.recorder = recorder
+
+    # -- presets ------------------------------------------------------------------
+
+    @classmethod
+    def metrics_only(cls) -> "Observability":
+        """Registry on, tracing off — the cheap always-on mode."""
+        return cls(metrics=MetricsRegistry())
+
+    @classmethod
+    def full(
+        cls,
+        last_ticks: int = 64,
+        max_items: int = 100_000,
+        dump_dir: str | Path | None = None,
+        wall_clock: Callable[[], float] | None = None,
+    ) -> "Observability":
+        """Metrics plus tracing into a flight recorder ring buffer."""
+        recorder = FlightRecorder(
+            last_ticks=last_ticks, max_items=max_items, dump_dir=dump_dir
+        )
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=Tracer(sink=recorder, wall_clock=wall_clock),
+            recorder=recorder,
+        )
+
+    @classmethod
+    def tracing_only(
+        cls, last_ticks: int = 1_000_000, max_items: int = 200_000
+    ) -> "Observability":
+        """Tracing without a registry — safe as a shared session default."""
+        recorder = FlightRecorder(last_ticks=last_ticks, max_items=max_items)
+        return cls(tracer=Tracer(sink=recorder), recorder=recorder)
+
+    # -- convenience --------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether tracing is on (metrics may still be active when off)."""
+        return self.tracer.enabled
+
+    def flight_dump(self, reason: str) -> dict[str, Any] | None:
+        """Dump the flight recorder (None when no recorder is attached)."""
+        if self.recorder is None:
+            return None
+        return self.recorder.dump(reason)
+
+    def snapshot(self) -> dict[str, Any]:
+        """The metrics snapshot ({} when no registry is attached)."""
+        return self.metrics.snapshot() if self.metrics is not None else {}
+
+    def write_chrome_trace(
+        self, path: str | Path, reason: str = "trace", label: str = "repro"
+    ) -> dict[str, Any]:
+        """Write the recorder's current window to ``path`` as JSON."""
+        if self.recorder is None:
+            raise ObsError("no flight recorder attached; nothing to write")
+        doc = self.recorder.export(reason, label=label)
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        legs = [
+            "metrics" if self.metrics is not None else None,
+            "tracing" if self.tracer.enabled else None,
+            "recorder" if self.recorder is not None else None,
+        ]
+        on = ", ".join(leg for leg in legs if leg) or "disabled"
+        return f"Observability({on})"
+
+
+#: Shared disabled tracer: one branch per instrumented call, no state.
+DISABLED_TRACER = Tracer()
+
+#: Shared fully-disabled facade used by constructors given obs=None.
+DISABLED_OBS = Observability()
+
+_default_obs: Observability | None = None
+
+
+def set_default_observability(
+    obs: Observability | None,
+) -> Observability | None:
+    """Install the session-wide default ``obs`` fallback; returns the old one.
+
+    Pass ``None`` to clear.  Used by the benchmark harness's trace
+    sessions; prefer passing ``obs`` explicitly everywhere else.
+    """
+    global _default_obs
+    previous = _default_obs
+    _default_obs = obs
+    return previous
+
+
+def get_default_observability() -> Observability | None:
+    """The session-wide default installed by :func:`set_default_observability`."""
+    return _default_obs
+
+
+def resolve_obs(obs: Observability | None) -> Observability:
+    """The facade a constructor should use: explicit > default > disabled."""
+    if obs is not None:
+        return obs
+    return _default_obs if _default_obs is not None else DISABLED_OBS

@@ -1,0 +1,256 @@
+"""Unified metrics: counters, gauges, and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` replaces the three counter idioms that grew
+ad hoc across the stack (``FrameBudget`` timings, ``ShardStats``,
+``LinkStats``): every runtime layer creates named, labelled cells in a
+registry and bumps them directly.  The registry is **deterministic under
+seeds** — nothing in this module reads the wall clock, and a snapshot is
+a sorted plain dict, so two same-seed runs produce identical snapshots.
+Real durations (frame budgets, benchmark timings) enter only through an
+injectable time source the caller controls; replay tests inject
+:class:`ManualTimeSource` and get bit-identical reports.
+
+Registries are cheap, per-instance objects.  A coordinator, network, or
+world creates its own unless handed one — sharing is an explicit choice,
+which keeps sequentially-created clusters from merging their counters.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Mapping
+
+from repro.errors import ObsError
+
+#: Default histogram bucket upper bounds, in seconds (frame-time scale).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class Counter:
+    """A monotonically-growing numeric cell.
+
+    ``value`` is public and writable on purpose: migrated stat facades
+    (``ShardStats``, ``LinkStats``) keep their ``stats.sent += 1`` call
+    sites by reading and writing it directly.
+    """
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}{self.labels or ''}={self.value})"
+
+
+class Gauge:
+    """A numeric cell that can move in both directions (a level, not a rate)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Mapping[str, str]):
+        self.name = name
+        self.labels = dict(labels)
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        """Set the gauge to an absolute value."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name}{self.labels or ''}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``bounds`` are inclusive upper edges; one overflow bucket catches
+    everything above the last bound.  Sum and count are tracked exactly,
+    so means are available without loss.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "total", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObsError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.labels = dict(labels)
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by :meth:`MetricsRegistry.snapshot`."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "buckets": {
+                str(bound): n
+                for bound, n in zip(self.bounds, self.bucket_counts)
+            },
+            "overflow": self.bucket_counts[-1],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6f})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric cell in one runtime instance.
+
+    Cells are keyed by name plus sorted labels, so
+    ``registry.counter("wal.fsyncs", shard="0")`` always returns the same
+    :class:`Counter`.  :meth:`snapshot` renders the whole registry as a
+    sorted plain dict — the object the determinism tests compare across
+    same-seed runs.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, Any]) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{name}{{{inner}}}"
+
+    def _get_or_create(self, cls: type, name: str, labels: dict, **extra: Any):
+        key = self._key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels, **extra)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ObsError(
+                f"metric {key!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get or create the counter with this name and label set."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get or create the gauge with this name and label set."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """Get or create the histogram with this name and label set."""
+        return self._get_or_create(Histogram, name, labels, bounds=bounds)
+
+    def get(self, name: str, **labels: Any) -> Counter | Gauge | Histogram | None:
+        """Look up a cell without creating it (None when absent)."""
+        return self._metrics.get(self._key(name, labels))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Deterministic plain-dict view of every cell, sorted by key.
+
+        Counters and gauges render as their value, histograms as their
+        :meth:`Histogram.as_dict`.  Two same-seed runs of any simulated
+        workload must produce equal snapshots.
+        """
+        out: dict[str, Any] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            if isinstance(metric, Histogram):
+                out[key] = metric.as_dict()
+            else:
+                out[key] = metric.value
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+class ManualTimeSource:
+    """Injectable fake clock for replay-exact duration measurements.
+
+    Calling the instance returns the current fake time and then advances
+    it by ``step`` — so a ``start``/``stop`` pair measures exactly
+    ``step`` seconds, every run, regardless of host load.  Use
+    :meth:`advance` to model a slow system explicitly.
+    """
+
+    __slots__ = ("now", "step")
+
+    def __init__(self, step: float = 0.001, start: float = 0.0):
+        self.now = start
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        """Jump the fake clock forward (models one slow call)."""
+        self.now += seconds
+
+
+class StatView:
+    """Base for stat facades whose fields live in a :class:`MetricsRegistry`.
+
+    Subclasses pass a mapping ``{field_name: cell}``; attribute reads
+    return the cell's value and attribute writes (including ``+=``)
+    store through to the cell.  This is how ``ShardStats`` and
+    ``LinkStats`` kept their public field API while their storage moved
+    into the registry.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Mapping[str, Counter | Gauge]):
+        object.__setattr__(self, "_cells", dict(cells))
+
+    def __getattr__(self, name: str) -> Any:
+        cells = object.__getattribute__(self, "_cells")
+        try:
+            return cells[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        cells = object.__getattribute__(self, "_cells")
+        if name in cells:
+            cells[name].value = value
+        else:
+            object.__setattr__(self, name, value)

@@ -1,0 +1,125 @@
+"""Flight recorder: a ring buffer of the last N ticks of trace data.
+
+Debugging a failover by diffing state hashes after the fact (the PR 2
+workflow) tells you *that* two runs diverged, not what the cluster was
+doing when it happened.  The :class:`FlightRecorder` is a tracer sink
+that keeps only the most recent ``last_ticks`` ticks of spans and
+structured events; when something goes wrong — a shard crash, a
+failover, WAL corruption detected during recovery — the wired-in layer
+calls :meth:`dump` and the window around the incident is preserved as a
+Chrome trace_event document (viewable in Perfetto), optionally written
+to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+from repro.obs.export import to_chrome_trace
+from repro.obs.tracer import Span, TraceEvent
+
+
+class FlightRecorder:
+    """Tracer sink that retains a sliding window of spans and events.
+
+    Parameters
+    ----------
+    last_ticks:
+        Ring horizon: items whose tick is more than this many ticks
+        behind the newest item are evicted (oldest first).
+    max_items:
+        Hard cap on retained items regardless of tick spread — the
+        memory backstop for span-heavy workloads.
+    dump_dir:
+        When set, every :meth:`dump` also writes
+        ``flight-<n>-<reason>.json`` under this directory.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        last_ticks: int = 64,
+        max_items: int = 100_000,
+        dump_dir: str | Path | None = None,
+    ):
+        self.last_ticks = last_ticks
+        self.max_items = max_items
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._items: deque[Span | TraceEvent] = deque()
+        #: Every dump taken, as ``(reason, chrome_trace_doc)`` pairs.
+        self.dumps: list[tuple[str, dict[str, Any]]] = []
+
+    # -- sink interface -----------------------------------------------------------
+
+    def on_span(self, span: Span) -> None:
+        """Retain a completed span, evicting expired items."""
+        self._push(span)
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Retain an instant event, evicting expired items."""
+        self._push(event)
+
+    def _push(self, item: Span | TraceEvent) -> None:
+        items = self._items
+        items.append(item)
+        horizon = item.tick - self.last_ticks
+        while items and items[0].tick < horizon:
+            items.popleft()
+        while len(items) > self.max_items:
+            items.popleft()
+
+    # -- inspection ---------------------------------------------------------------
+
+    def items(self) -> list[Span | TraceEvent]:
+        """Everything currently retained, oldest first."""
+        return list(self._items)
+
+    def spans(self) -> list[Span]:
+        """Retained spans, oldest first."""
+        return [i for i in self._items if isinstance(i, Span)]
+
+    def events(self) -> list[TraceEvent]:
+        """Retained instant events, oldest first."""
+        return [i for i in self._items if isinstance(i, TraceEvent)]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- dumping ------------------------------------------------------------------
+
+    def export(self, reason: str = "export", label: str = "repro") -> dict[str, Any]:
+        """Render the current window as a Chrome trace document."""
+        return to_chrome_trace(
+            self.spans(),
+            self.events(),
+            label=label,
+            metadata={"dump_reason": reason, "last_ticks": self.last_ticks},
+        )
+
+    def dump(self, reason: str, label: str = "repro") -> dict[str, Any]:
+        """Preserve the current window as an incident record.
+
+        The document is appended to :attr:`dumps` (so tests and callers
+        can inspect it) and, when ``dump_dir`` is set, written to disk.
+        Returns the document.
+        """
+        doc = self.export(reason, label=label)
+        self.dumps.append((reason, doc))
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            safe = "".join(
+                c if c.isalnum() or c in "-_." else "_" for c in reason
+            )
+            path = self.dump_dir / f"flight-{len(self.dumps)}-{safe}.json"
+            path.write_text(json.dumps(doc), encoding="utf-8")
+        return doc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FlightRecorder(items={len(self._items)}, "
+            f"last_ticks={self.last_ticks}, dumps={len(self.dumps)})"
+        )

@@ -1,0 +1,229 @@
+"""Tick-scoped tracing: spans with parent/child links, near-zero when off.
+
+A :class:`Tracer` produces :class:`Span` records nested by a span stack
+(``tick > system > script``, ``wal.append > wal.fsync``, ``2pc.prepare``,
+``repl.ship``, ``failover``) and hands completed spans to a *sink* —
+:class:`MemorySink` for tests, the flight recorder's ring buffer in
+production runs, or :class:`NullSink` when tracing is off.
+
+**Determinism.** Timestamps are *logical* by default: every tick owns a
+window of :data:`TICK_STRIDE_US` fake microseconds and events within the
+tick are sequenced by a per-tick counter — no wall-clock reads, so two
+same-seed runs emit identical traces.  Benchmarks that want real
+durations inject a ``wall_clock`` callable explicitly.
+
+**Zero overhead when disabled.** A disabled tracer's :meth:`Tracer.span`
+returns the shared :data:`NOOP_SPAN` without allocating; instrumented
+hot paths additionally guard on :attr:`Tracer.enabled` before building
+keyword arguments, so the disabled path costs one attribute read and a
+branch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+#: Logical microseconds per tick: tick T owns [T*stride, (T+1)*stride).
+TICK_STRIDE_US = 10_000
+
+
+class Span:
+    """One completed (or in-progress) unit of traced work.
+
+    Spans are context managers tied to their tracer: entering pushes
+    onto the span stack (fixing ``parent_id`` and the start timestamp),
+    exiting pops and delivers the finished span to the sink.
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "cat", "tick", "ts", "dur", "args",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str, cat: str,
+                 args: dict[str, Any]):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = 0
+        self.name = name
+        self.cat = cat
+        self.tick = 0
+        self.ts = 0
+        self.dur = 0
+        self.args = args
+
+    def set(self, **args: Any) -> None:
+        """Attach result arguments to the span (visible in the export)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        self.parent_id = stack[-1].span_id if stack else 0
+        self.tick = tracer.current_tick
+        self.ts = tracer._now()
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        tracer = self._tracer
+        tracer._stack.pop()
+        end = tracer._now()
+        self.dur = end - self.ts if end > self.ts else 0
+        tracer.sink.on_span(self)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Span(#{self.span_id} {self.name!r} tick={self.tick} "
+            f"ts={self.ts} dur={self.dur} parent={self.parent_id})"
+        )
+
+
+class TraceEvent:
+    """A structured instant event (no duration) — crash marks, corruption."""
+
+    __slots__ = ("name", "cat", "tick", "ts", "args")
+
+    def __init__(self, name: str, cat: str, tick: int, ts: int | float,
+                 args: dict[str, Any]):
+        self.name = name
+        self.cat = cat
+        self.tick = tick
+        self.ts = ts
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TraceEvent({self.name!r} tick={self.tick} ts={self.ts})"
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def set(self, **args: Any) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: Singleton no-op span/context manager; also usable directly as the
+#: ``else`` arm of ``with (tracer.span(...) if traced else NOOP_SPAN):``.
+NOOP_SPAN = _NoopSpan()
+
+
+class NullSink:
+    """Discards everything; marks the tracer disabled (the fast path)."""
+
+    enabled = False
+
+    def on_span(self, span: Span) -> None:
+        """Drop the span."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Drop the event."""
+
+
+class MemorySink:
+    """Collects spans and events in lists — the test/inspection sink."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+
+    def on_span(self, span: Span) -> None:
+        """Record a completed span."""
+        self.spans.append(span)
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Record an instant event."""
+        self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        self.spans.clear()
+        self.events.clear()
+
+
+class Tracer:
+    """Produces tick-scoped spans and instant events into a sink.
+
+    Parameters
+    ----------
+    sink:
+        Where completed spans/events go.  ``None`` means a
+        :class:`NullSink` — the tracer is disabled and
+        :meth:`span`/:meth:`event` cost a branch.
+    wall_clock:
+        Optional real time source (seconds, e.g. ``time.perf_counter``).
+        When given, timestamps are real microseconds; by default they
+        are deterministic logical microseconds derived from the tick.
+    """
+
+    def __init__(
+        self,
+        sink: Any | None = None,
+        wall_clock: Callable[[], float] | None = None,
+    ):
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled: bool = bool(getattr(self.sink, "enabled", True))
+        self.wall_clock = wall_clock
+        self.current_tick = 0
+        self._stack: list[Span] = []
+        self._seq = 0
+        self._next_id = 0
+
+    def begin_tick(self, tick: int) -> None:
+        """Mark the start of a tick, resetting the logical sequence.
+
+        Ignored while spans are open: in a cluster the coordinator owns
+        tick numbering, and the per-shard worlds ticking *inside* its
+        ``cluster.tick`` span must not restamp the window.
+        """
+        if self._stack:
+            return
+        self.current_tick = tick
+        self._seq = 0
+
+    def _now(self) -> int | float:
+        if self.wall_clock is not None:
+            return self.wall_clock() * 1e6
+        self._seq += 1
+        return self.current_tick * TICK_STRIDE_US + min(
+            self._seq, TICK_STRIDE_US - 1
+        )
+
+    def span(self, name: str, cat: str = "", **args: Any) -> Span | _NoopSpan:
+        """Open a span (use as a context manager).
+
+        Returns the shared :data:`NOOP_SPAN` when disabled; hot call
+        sites should still guard on :attr:`enabled` before building
+        keyword arguments.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        self._next_id += 1
+        return Span(self, self._next_id, name, cat, args)
+
+    def event(self, name: str, cat: str = "", **args: Any) -> None:
+        """Emit an instant event at the current logical time."""
+        if not self.enabled:
+            return
+        self.sink.on_event(
+            TraceEvent(name, cat, self.current_tick, self._now(), args)
+        )
+
+    @property
+    def depth(self) -> int:
+        """Currently open span count (0 between frames)."""
+        return len(self._stack)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = "on" if self.enabled else "off"
+        return f"Tracer({state}, tick={self.current_tick}, depth={self.depth})"

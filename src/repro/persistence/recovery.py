@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from repro.errors import RecoveryError
+from repro.obs import Observability, resolve_obs
 from repro.persistence.checkpoint import BackingStore
 from repro.persistence.memdb import Action, InMemoryGameDB
 from repro.persistence.wal import WriteAheadLog
@@ -39,13 +40,37 @@ def recover(
     wal: WriteAheadLog,
     store: BackingStore,
     expected_actions: list[Action] | None = None,
+    obs: "Observability | None" = None,
 ) -> tuple[InMemoryGameDB, RecoveryReport]:
     """Rebuild an in-memory DB from checkpoint + log.
 
     ``expected_actions`` (what the live server had applied before the
     crash, in order) enables exact lost-work accounting; without it the
-    loss fields are zeroed.
+    loss fields are zeroed.  When ``obs`` (or the session default)
+    traces, the replay runs under a ``recovery.replay`` span, and a WAL
+    read that stops at corruption emits a ``wal.corruption`` event and
+    dumps the flight recorder.
     """
+    obs = resolve_obs(obs)
+    tracer = obs.tracer
+    if not tracer.enabled:
+        return _recover_impl(wal, store, expected_actions, obs)
+    with tracer.span("recovery.replay", cat="persistence") as sp:
+        db, report = _recover_impl(wal, store, expected_actions, obs)
+        sp.set(
+            replayed=report.replayed_actions,
+            recovered_tick=report.recovered_tick,
+            lost=report.lost_actions,
+        )
+    return db, report
+
+
+def _recover_impl(
+    wal: WriteAheadLog,
+    store: BackingStore,
+    expected_actions: list[Action] | None,
+    obs: "Observability",
+) -> tuple[InMemoryGameDB, RecoveryReport]:
     snapshot = store.load_checkpoint()
     fresh_wal = WriteAheadLog()
     db = InMemoryGameDB(fresh_wal)
@@ -58,6 +83,7 @@ def recover(
     replayed = 0
     recovered_tick = checkpoint_tick
     recovered_lsns: set[int] = set()
+    wal.corruption_detected = False
     for record in wal.records(from_lsn=checkpoint_lsn + 1):
         action = Action.from_payload(record.payload)
         if action.table not in db.tables():
@@ -67,6 +93,12 @@ def recover(
         recovered_lsns.add(record.lsn)
         recovered_tick = max(recovered_tick, action.tick)
         replayed += 1
+    if wal.corruption_detected:
+        if obs.tracer.enabled:
+            obs.tracer.event(
+                "wal.corruption", cat="persistence", last_good_lsn=db.applied_lsn
+            )
+        obs.flight_dump("wal.corruption")
     lost = 0
     lost_importance = 0.0
     worst = 0.0

@@ -48,6 +48,30 @@ class WriteAheadLog:
         self._truncated_below = 1
         self.fsyncs = 0
         self.bytes_written = 0
+        #: Set by :meth:`records` when a read hit a corrupt record and
+        #: stopped early; recovery checks it to trigger a flight dump.
+        self.corruption_detected = False
+        self._tracer = None
+        self._c_appends = None
+        self._c_fsyncs = None
+        self._c_bytes = None
+
+    def bind_obs(self, obs: Any, **labels: str) -> "WriteAheadLog":
+        """Attach an observability bundle: spans + ``wal.*`` counters.
+
+        ``labels`` (e.g. ``wal="shard:0"``) distinguish multiple logs
+        sharing one registry.  Returns self for chaining.  Unbound logs
+        pay nothing.
+        """
+        tracer = getattr(obs, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            self._tracer = tracer
+        metrics = getattr(obs, "metrics", None)
+        if metrics is not None:
+            self._c_appends = metrics.counter("wal.appends", **labels)
+            self._c_fsyncs = metrics.counter("wal.fsyncs", **labels)
+            self._c_bytes = metrics.counter("wal.bytes_written", **labels)
+        return self
 
     # -- writing ------------------------------------------------------------------
 
@@ -63,10 +87,18 @@ class WriteAheadLog:
 
     def append(self, payload: dict[str, Any]) -> int:
         """Append a record; returns its LSN.  Durability needs flush."""
+        if self._tracer is not None and self._tracer.enabled:
+            with self._tracer.span("wal.append", cat="wal", lsn=self._next_lsn):
+                return self._append_impl(payload)
+        return self._append_impl(payload)
+
+    def _append_impl(self, payload: dict[str, Any]) -> int:
         lsn = self._next_lsn
         self._next_lsn += 1
         line = _encode(lsn, payload)
         self._buffer.append(line)
+        if self._c_appends is not None:
+            self._c_appends.inc()
         if self.auto_flush and len(self._buffer) >= self.group_commit:
             self.flush()
         return lsn
@@ -75,12 +107,25 @@ class WriteAheadLog:
         """Force the buffer to durable storage; returns records flushed."""
         if not self._buffer:
             return 0
+        if self._tracer is not None and self._tracer.enabled:
+            with self._tracer.span(
+                "wal.fsync", cat="wal", records=len(self._buffer)
+            ):
+                return self._flush_impl()
+        return self._flush_impl()
+
+    def _flush_impl(self) -> int:
         flushed = len(self._buffer)
+        written = 0
         for line in self._buffer:
             self._durable.append(line)
-            self.bytes_written += len(line)
+            written += len(line)
+        self.bytes_written += written
         self._buffer.clear()
         self.fsyncs += 1
+        if self._c_fsyncs is not None:
+            self._c_fsyncs.inc()
+            self._c_bytes.inc(written)
         return flushed
 
     def crash(self) -> int:
@@ -141,6 +186,7 @@ class WriteAheadLog:
             if rec is None:
                 # Torn tail: everything after the first bad record is
                 # untrustworthy; stop exactly like a real recovery pass.
+                self.corruption_detected = True
                 return
             if rec.lsn >= from_lsn:
                 yield rec

@@ -134,7 +134,9 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
     def _make_shard(
         self, shard_id: int, schemas: list[ComponentSchema]
     ) -> ShardHost:
-        return ReplicatedShardHost(shard_id, self.net, schemas, self.dt)
+        return ReplicatedShardHost(
+            shard_id, self.net, schemas, self.dt, obs=self.obs
+        )
 
     def _provision_replica(
         self, host: ReplicatedShardHost, idx: int
@@ -190,14 +192,24 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
             if host.endpoint == endpoint:
                 host.crashed = True
                 self.net.receive(endpoint)  # discard undelivered inbox
+                self._record_crash(endpoint)
                 return
         for group in self.replicas.values():
             for rep in group:
                 if rep.endpoint == endpoint:
                     rep.crashed = True
                     self.net.receive(endpoint)
+                    self._record_crash(endpoint)
                     return
         raise ReplicationError(f"crash fault on unknown endpoint {endpoint!r}")
+
+    def _record_crash(self, endpoint: str) -> None:
+        """Flight-record an injected crash (event + automatic dump)."""
+        if self.obs.tracer.enabled:
+            self.obs.tracer.event(
+                "fault.crash", cat="fault", endpoint=endpoint, tick=self.net.now
+            )
+        self.obs.flight_dump(f"crash:{endpoint}")
 
     def _maybe_repartition(self) -> None:
         # Rebalancing against a dead shard would strand handoffs; hold
@@ -226,7 +238,27 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
                 self._failover(host.shard_id)
 
     def _failover(self, shard_id: int) -> FailoverReport:
-        """Promote the most-caught-up replica over a silent primary."""
+        """Promote the most-caught-up replica over a silent primary.
+
+        When tracing, the whole promotion runs under a ``failover`` span
+        and the flight recorder dumps right after it closes — the span
+        is in the dump, which is the artifact the E16 bench validates.
+        """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._failover_impl(shard_id)
+        with tracer.span("failover", cat="replication", shard=shard_id) as sp:
+            report = self._failover_impl(shard_id)
+            sp.set(
+                promoted_replica=report.promoted_replica,
+                records_lost=report.records_lost,
+                entities_lost=report.entities_lost,
+                unavailable_ticks=report.unavailable_ticks,
+            )
+        self.obs.flight_dump(f"failover:shard{shard_id}")
+        return report
+
+    def _failover_impl(self, shard_id: int) -> FailoverReport:
         old = self.shards[shard_id]
         endpoint = old.endpoint
         detected_tick = self.net.now

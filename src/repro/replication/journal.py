@@ -33,8 +33,10 @@ class ShardJournal:
     the tick-granular atomicity the failover protocol relies on.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Any = None, name: str = "") -> None:
         self.wal = WriteAheadLog(auto_flush=False)
+        if obs is not None:
+            self.wal.bind_obs(obs, wal=name or "journal")
 
     # -- writing ------------------------------------------------------------------
 

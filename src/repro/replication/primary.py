@@ -47,7 +47,7 @@ class ReplicatedShardHost(ShardHost):
 
     def __init__(self, *args: Any, **kwargs: Any):
         super().__init__(*args, **kwargs)
-        self.journal = ShardJournal()
+        self.journal = ShardJournal(obs=self.obs, name=f"shard:{self.shard_id}")
         self.applied_txns: set[int] = set()
         self.crashed = False
         self.replica_endpoints: list[str] = []
@@ -169,8 +169,19 @@ class ReplicatedShardHost(ShardHost):
         self.journal.log_tick(self.world.clock.tick)
         self.journal.flush()
         if ship_now:
-            for endpoint in self.replica_endpoints:
-                self._ship_to(endpoint)
+            tracer = self.obs.tracer
+            if tracer.enabled and self.replica_endpoints:
+                with tracer.span(
+                    "repl.ship",
+                    cat="replication",
+                    shard=self.shard_id,
+                    replicas=len(self.replica_endpoints),
+                ):
+                    for endpoint in self.replica_endpoints:
+                        self._ship_to(endpoint)
+            else:
+                for endpoint in self.replica_endpoints:
+                    self._ship_to(endpoint)
         heartbeat = Heartbeat(
             shard=self.shard_id,
             tick=self.net.now,

@@ -83,7 +83,23 @@ class ScriptSystem(System):
         self._interpreter: Interpreter | None = None
 
     def run(self, world: Any, dt: float) -> None:
-        """Execute one frame of the script under the guard rails."""
+        """Execute one frame of the script under the guard rails.
+
+        When the world's tracer is enabled the frame gets a
+        ``script:<name>`` span carrying the executed instruction count;
+        the count also feeds a ``script.instructions`` counter when the
+        world's obs bundle carries a metrics registry.
+        """
+        obs = getattr(world, "obs", None)
+        tracer = obs.tracer if obs is not None else None
+        if tracer is None or not tracer.enabled:
+            self._run_guarded(world, dt, obs)
+            return
+        with tracer.span(f"script:{self.name}", cat="script") as sp:
+            self._run_guarded(world, dt, obs)
+            sp.set(instructions=self.instructions_last_run, strikes=self.strikes)
+
+    def _run_guarded(self, world: Any, dt: float, obs: Any = None) -> None:
         self.runs += 1
         interp = self._interpreter
         if interp is None or interp.world is not world:
@@ -103,6 +119,10 @@ class ScriptSystem(System):
             self._strike(world, f"error: {exc}")
         finally:
             self.instructions_last_run = interp.instructions_executed - before
+            if obs is not None and obs.metrics is not None:
+                obs.metrics.counter(
+                    "script.instructions", system=self.name
+                ).inc(self.instructions_last_run)
 
     def _strike(self, world: Any, reason: str) -> None:
         self.strikes += 1

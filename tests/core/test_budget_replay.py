@@ -1,0 +1,86 @@
+"""FrameBudget with an injected time source: replayed runs report
+identical budgets — the regression test for the wall-clock fix.
+
+FrameBudget historically called ``time.perf_counter`` directly, so two
+runs of the same workload reported different (host-load-dependent)
+budgets.  The time source is now injectable; with a
+:class:`~repro.obs.metrics.ManualTimeSource` every measurement costs an
+exact, reproducible amount of fake time.
+"""
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.core.clock import FrameBudget
+from repro.obs import ManualTimeSource
+
+
+def run_world(step=0.001, frames=20):
+    """A small deterministic workload with an injected budget clock."""
+    world = GameWorld(dt=1.0 / 30.0)
+    world.budget = FrameBudget(
+        frame_seconds=1.0 / 30.0, time_source=ManualTimeSource(step=step)
+    )
+    world.register_component(schema("Position", x="float", y="float"))
+    for i in range(8):
+        world.spawn(Position={"x": float(i), "y": 0.0})
+
+    def drift(w, eid, dt):
+        w.set(eid, "Position", x=w.get_field(eid, "Position", "x") + dt)
+
+    world.add_per_entity_system("drift", ("Position",), drift)
+    world.add_function_system("noop", lambda w, dt: None, priority=200)
+    world.run(frames)
+    return world
+
+
+def budget_fingerprint(world):
+    return (
+        world.budget.frames_measured,
+        world.budget.frames_over_budget,
+        {
+            name: (t.calls, t.total_seconds, t.worst_seconds)
+            for name, t in world.budget.timings.items()
+        },
+        world.budget.registry.snapshot(),
+    )
+
+
+class TestReplayExactBudgets:
+    def test_two_runs_report_identical_budgets(self):
+        assert budget_fingerprint(run_world()) == budget_fingerprint(run_world())
+
+    def test_measurement_costs_exactly_one_step(self):
+        world = run_world(step=0.002, frames=10)
+        drift = world.budget.timings["drift"]
+        assert drift.calls == 10
+        assert drift.total_seconds == pytest.approx(10 * 0.002)
+        assert drift.worst_seconds == pytest.approx(0.002)
+        assert drift.mean_seconds == pytest.approx(0.002)
+
+    def test_overrun_detection_is_deterministic(self):
+        # Each frame measures two systems at 0.02s fake each: 0.04s spent
+        # against a 1/30s ≈ 0.033s budget — every frame overruns.
+        world = run_world(step=0.02, frames=5)
+        assert world.budget.frames_measured == 5
+        assert world.budget.frames_over_budget == 5
+
+    def test_under_budget_frames_do_not_overrun(self):
+        world = run_world(step=0.001, frames=5)
+        assert world.budget.frames_over_budget == 0
+        assert world.budget.overruns() == []
+
+    def test_slow_system_flagged_via_manual_advance(self):
+        ts = ManualTimeSource(step=0.0)
+        budget = FrameBudget(frame_seconds=0.01, time_source=ts)
+        with budget.measure("pathological"):
+            ts.advance(0.5)
+        budget.end_frame()
+        assert [t.name for t in budget.overruns()] == ["pathological"]
+        assert budget.report()[0].name == "pathological"
+
+    def test_frame_histogram_is_replay_exact(self):
+        a = run_world().budget.registry.get("frame.seconds").as_dict()
+        b = run_world().budget.registry.get("frame.seconds").as_dict()
+        assert a == b
+        assert a["count"] == 20

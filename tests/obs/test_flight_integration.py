@@ -1,0 +1,215 @@
+"""End-to-end flight recording: crashes, failovers, and WAL corruption.
+
+These are the tests behind the PR's acceptance criterion: a
+fault-injected replicated run must *automatically* dump a flight record
+whose failover span parses out of a valid Chrome trace_event document.
+"""
+
+import json
+import random
+
+from repro.cluster import StaticGridPlacement
+from repro.consistency import StaticGridPartitioner
+from repro.net.faults import FaultInjector
+from repro.obs import (
+    Observability,
+    spans_from_chrome_trace,
+    validate_chrome_trace,
+)
+from repro.persistence import InMemoryGameDB, SnapshotStore, WriteAheadLog, recover
+from repro.persistence.memdb import Action
+from repro.replication import ACK_SEMISYNC, ReplicatedClusterCoordinator
+from repro.spatial import AABB
+from repro.workloads import (
+    HotspotConfig,
+    cluster_schemas,
+    interaction_pairs,
+    make_hotspot_system,
+    sample_transfers,
+    spawn_hotspot_population,
+)
+
+BOUNDS = AABB(0.0, 0.0, 200.0, 200.0)
+
+
+def build_traced_cluster(obs, seed=7, shards=2, injector=None, count=12):
+    placement = StaticGridPlacement(StaticGridPartitioner(BOUNDS, 2, 2, shards))
+    cluster = ReplicatedClusterCoordinator(
+        shards,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        repartition_interval=1000,
+        replication_factor=1,
+        ack_mode=ACK_SEMISYNC,
+        ship_interval=4,
+        heartbeat_timeout=4,
+        injector=injector,
+        obs=obs,
+    )
+    cfg = HotspotConfig(BOUNDS, count=count, seed=seed, orbit_period=60)
+    spawn_hotspot_population(cluster, cfg)
+    cluster.add_per_entity_system(
+        "hotspot-move", ("Position",), make_hotspot_system(cfg)
+    )
+    return cluster, cfg
+
+
+def drive(cluster, cfg, ticks, seed=7):
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        for spec in sample_transfers(rng, pairs, 2):
+            cluster.submit(spec)
+        cluster.tick()
+
+
+class TestCrashMidRun:
+    def test_failover_auto_dumps_flight_record_with_failover_span(self):
+        obs = Observability.full(last_ticks=64)
+        injector = FaultInjector()
+        injector.crash("shard:0", at_tick=20)
+        cluster, cfg = build_traced_cluster(obs, injector=injector)
+        drive(cluster, cfg, 40)
+        assert len(cluster.failovers) == 1
+
+        reasons = [reason for reason, _doc in obs.recorder.dumps]
+        assert "crash:shard:0" in reasons
+        assert "failover:shard0" in reasons
+
+        doc = dict(obs.recorder.dumps)["failover:shard0"]
+        # The dump must be a valid Chrome trace after a JSON round-trip.
+        doc = json.loads(json.dumps(doc))
+        validate_chrome_trace(doc)
+        failover_spans = [
+            s for s in spans_from_chrome_trace(doc) if s["name"] == "failover"
+        ]
+        assert len(failover_spans) == 1
+        span = failover_spans[0]
+        assert span["args"]["shard"] == 0
+        assert span["args"]["promoted_replica"] == 0
+        assert "records_lost" in span["args"]
+        assert doc["metadata"]["dump_reason"] == "failover:shard0"
+
+    def test_crash_event_lands_in_the_dump(self):
+        obs = Observability.full(last_ticks=64)
+        injector = FaultInjector()
+        injector.crash("shard:0", at_tick=10)
+        cluster, cfg = build_traced_cluster(obs, injector=injector)
+        drive(cluster, cfg, 20)
+        crash_doc = dict(obs.recorder.dumps)["crash:shard:0"]
+        instants = [
+            e
+            for e in crash_doc["traceEvents"]
+            if e.get("ph") == "i" and e["name"] == "fault.crash"
+        ]
+        assert instants and instants[0]["args"]["endpoint"] == "shard:0"
+
+    def test_untraced_run_takes_no_dumps_and_still_fails_over(self):
+        injector = FaultInjector()
+        injector.crash("shard:0", at_tick=20)
+        cluster, cfg = build_traced_cluster(Observability(), injector=injector)
+        drive(cluster, cfg, 40)
+        assert len(cluster.failovers) == 1
+        assert cluster.obs.recorder is None
+
+    def test_traced_and_untraced_runs_reach_the_same_state(self):
+        """Observability must not perturb the simulation."""
+        injector_a = FaultInjector()
+        injector_a.crash("shard:0", at_tick=20)
+        traced, cfg_a = build_traced_cluster(
+            Observability.full(), injector=injector_a
+        )
+        drive(traced, cfg_a, 40)
+        injector_b = FaultInjector()
+        injector_b.crash("shard:0", at_tick=20)
+        plain, cfg_b = build_traced_cluster(Observability(), injector=injector_b)
+        drive(plain, cfg_b, 40)
+        assert traced.state_hash() == plain.state_hash()
+
+
+class TestWalCorruptionDump:
+    def _crashed_db(self):
+        db = InMemoryGameDB(WriteAheadLog())
+        db.create_table("players")
+        for t in range(1, 9):
+            db.apply(Action("put", "players", t % 3, {"x": t}, tick=t))
+        db.wal.flush()
+        db.wal.corrupt_at(4)
+        return db
+
+    def test_recovery_over_corrupt_wal_dumps_flight_record(self):
+        obs = Observability.full()
+        db = self._crashed_db()
+        _recovered, report = recover(db.wal, SnapshotStore(), obs=obs)
+        assert report.replayed_actions == 4
+        reasons = [reason for reason, _doc in obs.recorder.dumps]
+        assert reasons == ["wal.corruption"]
+        doc = obs.recorder.dumps[0][1]
+        validate_chrome_trace(doc)
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert "wal.corruption" in names
+
+    def test_recovery_replay_span_carries_counts(self):
+        obs = Observability.full()
+        db = self._crashed_db()
+        recover(db.wal, SnapshotStore(), obs=obs)
+        replays = [
+            s for s in obs.recorder.spans() if s.name == "recovery.replay"
+        ]
+        assert len(replays) == 1
+        assert replays[0].args["replayed"] == 4
+
+    def test_clean_recovery_takes_no_dump(self):
+        obs = Observability.full()
+        db = InMemoryGameDB(WriteAheadLog())
+        db.create_table("players")
+        db.apply(Action("put", "players", 1, {"x": 1}, tick=1))
+        db.wal.flush()
+        recover(db.wal, SnapshotStore(), obs=obs)
+        assert obs.recorder.dumps == []
+
+
+class TestLayerSpans:
+    def test_world_tick_nests_systems(self):
+        from repro.core import GameWorld, schema
+
+        obs = Observability.full()
+        world = GameWorld(obs=obs)
+        world.register_component(schema("Position", x="float", y="float"))
+        world.spawn(Position={"x": 0.0, "y": 0.0})
+        world.add_per_entity_system(
+            "drift", ("Position",), lambda w, e, dt: None
+        )
+        world.tick()
+        spans = {s.name: s for s in obs.recorder.spans()}
+        assert spans["drift"].parent_id == spans["tick"].span_id
+        assert spans["tick"].tick == 1
+
+    def test_replication_run_produces_wal_and_ship_spans(self):
+        obs = Observability.full(last_ticks=1000)
+        cluster, cfg = build_traced_cluster(obs)
+        drive(cluster, cfg, 12)
+        names = {s.name for s in obs.recorder.spans()}
+        assert "cluster.tick" in names
+        assert "tick" in names
+        assert "wal.append" in names
+        assert "wal.fsync" in names
+        assert "repl.ship" in names
+
+    def test_script_span_reports_instructions(self):
+        from repro.core import GameWorld, schema
+        from repro.scripting import add_script_system
+
+        obs = Observability.full()
+        world = GameWorld(obs=obs)
+        world.register_component(schema("Health", hp=("int", 100)))
+        world.spawn(Health={})
+        add_script_system(world, "regen", "var x = 1 + 1")
+        world.tick()
+        scripts = [
+            s for s in obs.recorder.spans() if s.name == "script:regen"
+        ]
+        assert len(scripts) == 1
+        assert scripts[0].args["instructions"] > 0
+        assert scripts[0].cat == "script"

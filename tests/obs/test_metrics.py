@@ -1,0 +1,158 @@
+"""MetricsRegistry: cells, labels, snapshots, and the StatView facade."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    ManualTimeSource,
+    MetricsRegistry,
+    StatView,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("wal.fsyncs")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.sent", link="a->b")
+        b = reg.counter("net.sent", link="a->b")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_label_sets_are_distinct_cells(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.sent", link="a->b")
+        b = reg.counter("net.sent", link="b->a")
+        a.inc()
+        assert a is not b
+        assert b.value == 0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", p="1", q="2")
+        b = reg.counter("x", q="2", p="1")
+        assert a is b
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("frame.count")
+        with pytest.raises(ObsError):
+            reg.gauge("frame.count")
+
+    def test_get_without_create(self):
+        reg = MetricsRegistry()
+        assert reg.get("nope") is None
+        reg.counter("yep")
+        assert reg.get("yep").value == 0
+        assert len(reg) == 1
+
+
+class TestGauges:
+    def test_set_moves_both_directions(self):
+        g = MetricsRegistry().gauge("cluster.shard.entities_owned", shard="0")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+
+class TestHistograms:
+    def test_bucketing(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(0.001, 0.01, 0.1))
+        for v in (0.0005, 0.001, 0.005, 0.05, 5.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 5
+        # 0.0005 and 0.001 land at or below the first bound (inclusive).
+        assert d["buckets"]["0.001"] == 2
+        assert d["buckets"]["0.01"] == 1
+        assert d["buckets"]["0.1"] == 1
+        assert d["overflow"] == 1
+        assert h.mean == pytest.approx(d["sum"] / 5)
+
+    def test_unsorted_bounds_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObsError):
+            reg.histogram("bad", bounds=(0.1, 0.01))
+
+    def test_default_bounds(self):
+        h = MetricsRegistry().histogram("frame.seconds")
+        assert h.bounds == DEFAULT_BUCKETS
+
+
+class TestSnapshot:
+    def test_sorted_plain_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a", x="1").inc()
+        reg.histogram("h", bounds=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b"] == 2
+        assert snap["a{x=1}"] == 1
+        assert snap["h"]["count"] == 1
+
+    def test_same_operations_same_snapshot(self):
+        def build():
+            reg = MetricsRegistry()
+            for i in range(5):
+                reg.counter("ticks").inc()
+                reg.gauge("level", shard=str(i % 2)).set(i)
+                reg.histogram("d", bounds=(0.5, 1.0)).observe(i / 4)
+            return reg.snapshot()
+
+        assert build() == build()
+
+
+class TestManualTimeSource:
+    def test_step_per_call(self):
+        ts = ManualTimeSource(step=0.25)
+        assert ts() == 0.0
+        assert ts() == 0.25
+        ts.advance(1.0)
+        assert ts() == pytest.approx(1.5)
+
+    def test_measures_exactly_step(self):
+        ts = ManualTimeSource(step=0.002)
+        start = ts()
+        stop = ts()
+        assert stop - start == pytest.approx(0.002)
+
+
+class TestStatView:
+    def _view(self):
+        reg = MetricsRegistry()
+        cells = {"sent": reg.counter("sent"), "level": reg.gauge("level")}
+        return StatView(cells), reg
+
+    def test_reads_and_augmented_writes_hit_cells(self):
+        view, reg = self._view()
+        view.sent += 1
+        view.sent += 2
+        view.level = 7
+        assert view.sent == 3
+        assert reg.get("sent").value == 3
+        assert reg.get("level").value == 7
+
+    def test_unknown_field_raises_attribute_error(self):
+        view, _reg = self._view()
+        with pytest.raises(AttributeError):
+            _ = view.bogus
+
+    def test_non_cell_attribute_falls_back_to_object(self):
+        class Named(StatView):
+            __slots__ = ("name",)
+
+        reg = MetricsRegistry()
+        n = Named({"hits": reg.counter("hits")})
+        n.name = "x"
+        assert n.name == "x"
+        n.hits += 1
+        assert reg.get("hits").value == 1

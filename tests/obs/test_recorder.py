@@ -1,0 +1,119 @@
+"""FlightRecorder: ring-buffer eviction, dumping, and disk artifacts."""
+
+import json
+
+from repro.obs import (
+    FlightRecorder,
+    Observability,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+def fill_ticks(tracer, first_tick, last_tick):
+    for tick in range(first_tick, last_tick + 1):
+        tracer.begin_tick(tick)
+        with tracer.span("tick", n=tick):
+            pass
+
+
+class TestEviction:
+    def test_window_keeps_only_last_n_ticks(self):
+        rec = FlightRecorder(last_ticks=4)
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 20)
+        ticks = [s.tick for s in rec.spans()]
+        assert ticks == list(range(16, 21))  # horizon: 20 - 4
+
+    def test_eviction_is_oldest_first(self):
+        rec = FlightRecorder(last_ticks=2)
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 10)
+        items = rec.items()
+        assert [i.tick for i in items] == sorted(i.tick for i in items)
+        assert items[0].tick == 8
+
+    def test_max_items_backstop(self):
+        rec = FlightRecorder(last_ticks=1000, max_items=5)
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 50)
+        assert len(rec) == 5
+        assert [s.tick for s in rec.spans()] == list(range(46, 51))
+
+    def test_events_share_the_window(self):
+        rec = FlightRecorder(last_ticks=3)
+        tracer = Tracer(sink=rec)
+        for tick in range(1, 11):
+            tracer.begin_tick(tick)
+            tracer.event("mark", n=tick)
+        assert [e.tick for e in rec.events()] == list(range(7, 11))
+
+
+class TestDump:
+    def test_dump_records_reason_and_validates(self):
+        rec = FlightRecorder(last_ticks=8)
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 5)
+        doc = rec.dump("failover:shard0")
+        assert rec.dumps == [("failover:shard0", doc)]
+        assert doc["metadata"]["dump_reason"] == "failover:shard0"
+        validate_chrome_trace(doc)
+
+    def test_dump_dir_writes_json_artifact(self, tmp_path):
+        rec = FlightRecorder(last_ticks=8, dump_dir=tmp_path)
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 3)
+        rec.dump("crash:shard:0")
+        files = list(tmp_path.glob("flight-*.json"))
+        assert len(files) == 1
+        assert "crash_shard_0" in files[0].name
+        doc = json.loads(files[0].read_text())
+        validate_chrome_trace(doc)
+
+    def test_export_does_not_consume_the_window(self):
+        rec = FlightRecorder()
+        tracer = Tracer(sink=rec)
+        fill_ticks(tracer, 1, 3)
+        before = len(rec)
+        rec.export()
+        rec.dump("probe")
+        assert len(rec) == before
+
+
+class TestObservabilityFacade:
+    def test_disabled_facade(self):
+        obs = Observability()
+        assert not obs.enabled
+        assert obs.metrics is None
+        assert obs.flight_dump("x") is None
+        assert obs.snapshot() == {}
+
+    def test_full_preset_wires_tracer_to_recorder(self):
+        obs = Observability.full(last_ticks=4)
+        assert obs.enabled
+        with obs.tracer.span("tick"):
+            pass
+        assert len(obs.recorder.spans()) == 1
+        assert obs.flight_dump("probe")["metadata"]["dump_reason"] == "probe"
+
+    def test_metrics_only_preset(self):
+        obs = Observability.metrics_only()
+        assert not obs.enabled
+        obs.metrics.counter("x").inc()
+        assert obs.snapshot() == {"x": 1}
+
+    def test_write_chrome_trace(self, tmp_path):
+        obs = Observability.full()
+        with obs.tracer.span("tick"):
+            pass
+        path = tmp_path / "trace.json"
+        obs.write_chrome_trace(path)
+        validate_chrome_trace(json.loads(path.read_text()))
+
+    def test_write_without_recorder_raises(self, tmp_path):
+        import pytest
+
+        from repro.errors import ObsError
+
+        with pytest.raises(ObsError):
+            Observability().write_chrome_trace(tmp_path / "x.json")

@@ -1,0 +1,168 @@
+"""Stat facades after the registry migration: same API, one storage.
+
+``ShardStats`` and ``LinkStats`` used to be dataclasses with plain int
+fields; they are now views over ``MetricsRegistry`` cells.  These tests
+pin the compatibility contract: the E14 per-shard table renders
+byte-identically, ``as_dict``/``as_row`` keep their shapes, and
+same-seed runs produce equal metric snapshots (the PR's determinism
+acceptance criterion).
+"""
+
+import random
+
+from repro.cluster import ClusterCoordinator, ShardStats, StaticGridPlacement
+from repro.consistency import StaticGridPartitioner
+from repro.net.simnet import LinkStats, SimNetwork
+from repro.obs import MetricsRegistry
+from repro.spatial import AABB
+from repro.workloads import (
+    HotspotConfig,
+    cluster_schemas,
+    interaction_pairs,
+    make_hotspot_system,
+    sample_transfers,
+    spawn_hotspot_population,
+)
+
+BOUNDS = AABB(0.0, 0.0, 200.0, 200.0)
+
+
+def run_small_cluster(seed=3, shards=2, ticks=30, count=24):
+    placement = StaticGridPlacement(StaticGridPartitioner(BOUNDS, 2, 2, shards))
+    cluster = ClusterCoordinator(
+        shards,
+        placement,
+        cluster_schemas(),
+        seed=seed,
+        repartition_interval=10,
+    )
+    cfg = HotspotConfig(BOUNDS, count=count, seed=seed, orbit_period=60)
+    spawn_hotspot_population(cluster, cfg)
+    cluster.add_per_entity_system(
+        "hotspot-move", ("Position",), make_hotspot_system(cfg)
+    )
+    rng = random.Random(seed)
+    for _ in range(ticks):
+        pairs = interaction_pairs(cluster.positions(), cfg.interact_range)
+        cluster.report_interactions(pairs)
+        for spec in sample_transfers(rng, pairs, max_txns=2, amount=1):
+            cluster.submit(spec)
+        cluster.tick()
+    cluster.quiesce()
+    return cluster
+
+
+def format_shard_table(stats):
+    """Exactly the per-shard table bench_e14's print_report renders."""
+    lines = ["  ".join(f"{c:>12}" for c in stats.shards[0].COLUMNS)]
+    for shard_stats in stats.shards:
+        lines.append("  ".join(f"{v:>12}" for v in shard_stats.as_row()))
+    return "\n".join(lines)
+
+
+class TestE14TableCompatibility:
+    def test_per_shard_table_identical_across_same_seed_runs(self):
+        a = format_shard_table(run_small_cluster().stats())
+        b = format_shard_table(run_small_cluster().stats())
+        assert a == b
+
+    def test_row_values_mirror_registry_cells(self):
+        cluster = run_small_cluster()
+        for host in cluster.shards:
+            label = str(host.shard_id)
+            row = host.stats.as_row()
+            assert row[0] == host.shard_id
+            assert row[1] == cluster.metrics.get(
+                "cluster.shard.ticks", shard=label
+            ).value
+            assert row[2] == cluster.metrics.get(
+                "cluster.shard.entities_owned", shard=label
+            ).value
+
+    def test_as_row_matches_columns(self):
+        stats = ShardStats(0)
+        assert len(stats.as_row()) == len(ShardStats.COLUMNS)
+
+    def test_plain_int_semantics_survive(self):
+        stats = ShardStats(1)
+        stats.ticks += 5
+        stats.entities_owned = 7
+        assert stats.ticks == 5
+        assert stats.entities_owned == 7
+        assert isinstance(stats.as_row()[1], int)
+
+
+class TestLinkStatsCompatibility:
+    EXPECTED_FIELDS = (
+        "sent", "delivered", "dropped", "dropped_fault", "delayed",
+        "delay_ticks", "bytes_sent",
+    )
+
+    def test_as_dict_keeps_field_order(self):
+        assert tuple(LinkStats().as_dict()) == self.EXPECTED_FIELDS
+
+    def test_network_stats_totals_still_sum_links(self):
+        net = SimNetwork(seed=1)
+        net.connect("a", "b")
+        net.connect("a", "c")
+        for _ in range(3):
+            net.send("a", "b", "x", size_bytes=10)
+        net.send("a", "c", "y", size_bytes=5)
+        net.advance(4)
+        stats = net.stats()
+        assert stats["totals"]["sent"] == 4
+        assert stats["totals"]["bytes_sent"] == 35
+        assert stats["totals"]["delivered"] == 4
+        assert stats["links"]["a->b"]["sent"] == 3
+
+    def test_link_counters_land_in_shared_registry(self):
+        reg = MetricsRegistry()
+        net = SimNetwork(seed=1, registry=reg)
+        net.connect("a", "b")
+        net.send("a", "b", "x", size_bytes=10)
+        assert reg.get("net.link.sent", link="a->b").value == 1
+        assert reg.get("net.link.bytes_sent", link="a->b").value == 10
+
+
+class TestSnapshotDeterminism:
+    def test_same_seed_runs_produce_identical_snapshots(self):
+        """The acceptance criterion: two same-seed runs, equal snapshots."""
+        a = run_small_cluster().metrics.snapshot()
+        b = run_small_cluster().metrics.snapshot()
+        assert a == b
+        assert a  # non-trivial: the registry actually holds the run
+
+    def test_snapshot_covers_all_three_migrated_facades(self):
+        snap = run_small_cluster().metrics.snapshot()
+        assert "cluster.shard.ticks{shard=0}" in snap
+        assert "cluster.txn.local_committed" in snap
+        assert any(key.startswith("net.link.sent{") for key in snap)
+
+    def test_sequential_clusters_do_not_merge_counters(self):
+        first = run_small_cluster()
+        placement = StaticGridPlacement(StaticGridPartitioner(BOUNDS, 2, 2, 2))
+        fresh = ClusterCoordinator(2, placement, cluster_schemas(), seed=3)
+        assert fresh.metrics is not first.metrics
+        assert fresh.shards[0].stats.ticks == 0
+        assert fresh.local_committed == 0
+
+
+class TestCoordinatorTallies:
+    def test_tallies_are_registry_backed_properties(self):
+        placement = StaticGridPlacement(StaticGridPartitioner(BOUNDS, 2, 2, 2))
+        cluster = ClusterCoordinator(2, placement, cluster_schemas(), seed=0)
+        cluster.local_committed += 2
+        cluster.migrations_done += 1
+        assert cluster.local_committed == 2
+        snap = cluster.metrics.snapshot()
+        assert snap["cluster.txn.local_committed"] == 2
+        assert snap["cluster.migrations_done"] == 1
+
+    def test_cluster_stats_assembly_reads_tallies(self):
+        cluster = run_small_cluster()
+        stats = cluster.stats()
+        assert stats.local_committed == cluster.local_committed
+        assert stats.committed == (
+            cluster.local_committed + cluster.cross_committed
+        )
+        assert stats.committed > 0

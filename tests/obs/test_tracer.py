@@ -1,0 +1,202 @@
+"""Tracer: logical timestamps, nesting, and the Chrome export round-trip."""
+
+import json
+
+from repro.obs import (
+    NOOP_SPAN,
+    TICK_STRIDE_US,
+    MemorySink,
+    Tracer,
+    events_from_chrome_trace,
+    spans_from_chrome_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def make_tracer():
+    sink = MemorySink()
+    return Tracer(sink=sink), sink
+
+
+class TestDisabledPath:
+    def test_default_tracer_is_disabled(self):
+        t = Tracer()
+        assert not t.enabled
+
+    def test_disabled_span_is_the_shared_noop(self):
+        t = Tracer()
+        assert t.span("tick") is NOOP_SPAN
+        assert t.span("other", cat="x", k=1) is NOOP_SPAN
+
+    def test_noop_span_is_a_reusable_context_manager(self):
+        with NOOP_SPAN as sp:
+            sp.set(anything=1)
+        with NOOP_SPAN:
+            pass
+
+    def test_disabled_event_is_dropped(self):
+        t = Tracer()
+        t.event("crash", endpoint="shard:0")  # must not raise
+
+
+class TestLogicalTime:
+    def test_tick_owns_a_stride_window(self):
+        t, sink = make_tracer()
+        t.begin_tick(3)
+        with t.span("tick"):
+            pass
+        (span,) = sink.spans
+        assert span.tick == 3
+        assert 3 * TICK_STRIDE_US <= span.ts < 4 * TICK_STRIDE_US
+
+    def test_sequence_resets_per_tick(self):
+        t, sink = make_tracer()
+        t.begin_tick(1)
+        with t.span("a"):
+            pass
+        t.begin_tick(2)
+        with t.span("a"):
+            pass
+        first, second = sink.spans
+        assert first.ts - 1 * TICK_STRIDE_US == second.ts - 2 * TICK_STRIDE_US
+
+    def test_begin_tick_ignored_while_spans_open(self):
+        """The coordinator owns tick numbering; worlds ticking inside its
+        span must not restamp the window."""
+        t, sink = make_tracer()
+        t.begin_tick(5)
+        with t.span("cluster.tick"):
+            t.begin_tick(99)  # a shard world's own tick number
+            with t.span("tick"):
+                pass
+        assert all(s.tick == 5 for s in sink.spans)
+
+    def test_two_identical_runs_emit_identical_traces(self):
+        def run():
+            t, sink = make_tracer()
+            for tick in range(1, 4):
+                t.begin_tick(tick)
+                with t.span("tick", cat="core"):
+                    with t.span("physics", cat="system"):
+                        pass
+                    t.event("mark", n=tick)
+            return json.dumps(to_chrome_trace(sink.spans, sink.events))
+
+        assert run() == run()
+
+    def test_wall_clock_injection(self):
+        times = iter([1.0, 2.0])
+        t, sink = make_tracer()
+        t.wall_clock = lambda: next(times)
+        with t.span("real"):
+            pass
+        (span,) = sink.spans
+        assert span.ts == 1.0 * 1e6
+        assert span.dur == 1.0 * 1e6
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        t, sink = make_tracer()
+        t.begin_tick(1)
+        with t.span("tick") as root:
+            with t.span("system") as sys_span:
+                with t.span("script"):
+                    pass
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["tick"].parent_id == 0
+        assert by_name["system"].parent_id == root.span_id
+        assert by_name["script"].parent_id == sys_span.span_id
+
+    def test_parent_interval_contains_child(self):
+        t, sink = make_tracer()
+        t.begin_tick(1)
+        with t.span("parent"):
+            with t.span("child"):
+                pass
+        by_name = {s.name: s for s in sink.spans}
+        parent, child = by_name["parent"], by_name["child"]
+        assert parent.ts <= child.ts
+        assert child.ts + child.dur <= parent.ts + parent.dur
+
+    def test_siblings_do_not_overlap(self):
+        t, sink = make_tracer()
+        t.begin_tick(1)
+        with t.span("tick"):
+            with t.span("a"):
+                pass
+            with t.span("b"):
+                pass
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["a"].ts + by_name["a"].dur <= by_name["b"].ts
+
+    def test_depth_tracks_open_spans(self):
+        t, _sink = make_tracer()
+        assert t.depth == 0
+        with t.span("a"):
+            assert t.depth == 1
+            with t.span("b"):
+                assert t.depth == 2
+        assert t.depth == 0
+
+    def test_set_attaches_result_args(self):
+        t, sink = make_tracer()
+        with t.span("failover", shard=0) as sp:
+            sp.set(promoted_replica=2)
+        (span,) = sink.spans
+        assert span.args == {"shard": 0, "promoted_replica": 2}
+
+
+class TestChromeExport:
+    def _trace(self):
+        t, sink = make_tracer()
+        t.begin_tick(1)
+        with t.span("tick", cat="core"):
+            with t.span("physics", cat="system"):
+                pass
+        t.event("fault.crash", cat="fault", endpoint="shard:0")
+        return sink, to_chrome_trace(sink.spans, sink.events, label="test")
+
+    def test_validates(self):
+        _sink, doc = self._trace()
+        count = validate_chrome_trace(doc)
+        assert count == 4  # process_name meta + 2 spans + 1 instant
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_round_trip_preserves_spans(self):
+        sink, doc = self._trace()
+        parsed = spans_from_chrome_trace(json.loads(json.dumps(doc)))
+        assert [p["name"] for p in parsed] == ["tick", "physics"]
+        by_name = {p["name"]: p for p in parsed}
+        orig = {s.name: s for s in sink.spans}
+        for name, p in by_name.items():
+            assert p["ts"] == orig[name].ts
+            assert p["dur"] == orig[name].dur
+            assert p["args"]["tick"] == orig[name].tick
+            assert p["args"]["span_id"] == orig[name].span_id
+            assert p["args"]["parent_id"] == orig[name].parent_id
+
+    def test_round_trip_preserves_events(self):
+        _sink, doc = self._trace()
+        (ev,) = events_from_chrome_trace(doc)
+        assert ev["name"] == "fault.crash"
+        assert ev["s"] == "g"
+        assert ev["args"]["endpoint"] == "shard:0"
+
+    def test_parent_sorted_before_child(self):
+        _sink, doc = self._trace()
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names.index("tick") < names.index("physics")
+
+    def test_validator_rejects_bad_shapes(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            validate_chrome_trace([])
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"ph": "X", "name": "x"}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "i", "name": "x", "pid": 1, "ts": 0}]}
+            )

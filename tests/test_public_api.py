@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.replication",
     "repro.net",
+    "repro.obs",
     "repro.persistence",
     "repro.workloads",
     "repro.bench",
