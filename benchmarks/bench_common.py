@@ -11,6 +11,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import io
+import json
 import sys
 import time
 from pathlib import Path
@@ -70,6 +71,19 @@ def trace_session(trace_out: str | None):
         obs.write_chrome_trace(trace_out)
         print(f"trace written to {trace_out} "
               f"({len(obs.recorder.spans())} spans)")
+
+
+def emit_json(path: str, payload: dict[str, Any]) -> None:
+    """Write a per-run benchmark artifact as pretty-printed JSON.
+
+    Reports that support regression tracking call this when their
+    ``--out`` target ends in ``.json``; the resulting file is what
+    ``check_regression.py`` compares against a committed baseline.
+    """
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"benchmark JSON written to {path}")
 
 
 def emit_report(

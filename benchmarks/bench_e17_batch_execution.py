@@ -1,0 +1,320 @@
+"""E17 — set-at-a-time execution: plan cache + vectorized batch engine.
+
+The tutorial's central pitch is moving game state into a database-shaped
+runtime so database tricks apply.  PR 4 cashes in two of them:
+
+* **Plan caching** — ad-hoc queries are keyed on their *shape*
+  (components, predicate signature, order/limit) and planned once;
+  table-statistics epochs and the index-catalog version invalidate
+  stale entries, so `ids()` stops paying the optimizer on every call.
+* **Set-at-a-time execution** — `ids_batch()` evaluates residual
+  predicates as vector passes over the columnar storage instead of
+  row-at-a-time dict materialization, and `ScriptSystem` lowers
+  `for e in entities(...)` update loops to one batched read + one bulk
+  write-back per component (`world.update_batch`).
+
+Three cells, each scaling in entity count:
+
+* **query** — a residual-heavy scan query: tuple-at-a-time with the
+  planner re-run every call (``fresh``), tuple-at-a-time with the plan
+  cache warm (``cached``), and the vectorized path (``batched``);
+* **plan cache** — a selective hash-indexed point query where planning
+  is a visible fraction of the work, plus the cache's own hit counters;
+* **script** — the E1-style per-tick update script, interpreter
+  (``batch="off"``) vs lowered set-at-a-time (``batch="auto"``), with a
+  ``state_hash`` equality check pinning bit-identical results.
+
+Expected shape: batched query execution well over 2× tuple-at-a-time at
+10k entities, the lowered script an order of magnitude faster than the
+interpreter, a warm cache planning each shape exactly once, and every
+mode returning identical results.
+
+``--out foo.json`` writes the machine-readable per-run artifact that
+``check_regression.py`` compares against the committed baseline.
+"""
+
+import random
+
+from bench_common import (
+    BenchTable,
+    emit_json,
+    emit_report,
+    make_parser,
+    trace_session,
+    wall_time,
+)
+
+from repro.core import F, GameWorld, schema
+from repro.scripting import add_script_system
+
+UPDATE_SRC = """
+for e in entities("Unit"):
+    e.x = e.x + e.vx * dt
+    e.y = e.y + e.vy * dt
+    e.hp = max(0, e.hp - 1)
+end
+"""
+
+KINDS = [f"k{i}" for i in range(64)]
+
+
+def build_world(n: int, seed: int = 1) -> GameWorld:
+    world = GameWorld()
+    world.register_component(
+        schema(
+            "Unit",
+            x="float", y="float", vx="float", vy="float",
+            hp="int", speed="float", kind="str",
+        )
+    )
+    rng = random.Random(seed)
+    span = (n ** 0.5) * 4.0  # constant density as n grows
+    for _ in range(n):
+        world.spawn(
+            Unit={
+                "x": rng.uniform(0, span), "y": rng.uniform(0, span),
+                "vx": rng.uniform(-2, 2), "vy": rng.uniform(-2, 2),
+                "hp": rng.randrange(0, 1000),
+                "speed": rng.uniform(0, 5), "kind": rng.choice(KINDS),
+            }
+        )
+    return world
+
+
+def scan_query(world):
+    """Residual-heavy scan: ~35% selectivity, two vectorizable filters."""
+    return (
+        world.query("Unit")
+        .where("Unit", F.hp < 500)
+        .where("Unit", F.speed > 1.5)
+    )
+
+
+def point_query(world):
+    """Selective hash-index lookup (~n/64 rows) with one residual."""
+    return (
+        world.query("Unit")
+        .where("Unit", F.kind == "k0")
+        .where("Unit", F.hp < 500)
+    )
+
+
+# -- query cell ------------------------------------------------------------------
+
+def run_query_cell(n: int, reps: int = 20, seed: int = 1):
+    """(t_fresh, t_cached, t_batched, result_rows) for the scan query."""
+    world = build_world(n, seed)
+    expected = scan_query(world).ids()
+    assert scan_query(world).ids_batch() == expected, "modes must agree"
+
+    def fresh():
+        for _ in range(reps):
+            world.plan_cache.clear()
+            scan_query(world).ids()
+
+    def cached():
+        for _ in range(reps):
+            scan_query(world).ids()
+
+    def batched():
+        for _ in range(reps):
+            scan_query(world).ids_batch()
+
+    t_fresh = wall_time(fresh, repeats=2)
+    t_cached = wall_time(cached, repeats=2)
+    t_batched = wall_time(batched, repeats=2)
+    return t_fresh / reps, t_cached / reps, t_batched / reps, len(expected)
+
+
+def run_plan_cache_cell(n: int, reps: int = 300, seed: int = 1):
+    """(t_fresh, t_cached, hit_rate, plans_built_warm) for the point query."""
+    world = build_world(n, seed)
+    world.index_manager("Unit").create_hash_index("kind")
+
+    def fresh():
+        for _ in range(reps):
+            world.plan_cache.clear()
+            point_query(world).ids()
+
+    def cached():
+        for _ in range(reps):
+            point_query(world).ids()
+
+    t_fresh = wall_time(fresh, repeats=2)
+    world.plan_cache.clear()
+    before_plans = world.planner.plans_built
+    before = world.plan_cache.stats()
+    t_cached = wall_time(cached, repeats=2)
+    plans_built = world.planner.plans_built - before_plans
+    after = world.plan_cache.stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    hit_rate = hits / max(1, hits + misses)
+    return t_fresh / reps, t_cached / reps, hit_rate, plans_built
+
+
+# -- script cell -----------------------------------------------------------------
+
+def run_script_cell(n: int, ticks: int = 3, seed: int = 1):
+    """(t_scalar, t_batched, hash_equal, batched_runs) for the update script."""
+    scalar_world = build_world(n, seed)
+    batch_world = build_world(n, seed)
+    add_script_system(scalar_world, "update", UPDATE_SRC, batch="off")
+    system = add_script_system(batch_world, "update", UPDATE_SRC, batch="auto")
+    t_scalar = wall_time(lambda: scalar_world.run(ticks), repeats=1)
+    t_batched = wall_time(lambda: batch_world.run(ticks), repeats=1)
+    equal = scalar_world.state_hash() == batch_world.state_hash()
+    return t_scalar / ticks, t_batched / ticks, equal, system.batched_runs
+
+
+# -- report ----------------------------------------------------------------------
+
+def run_experiment(sizes=(1000, 4000, 10000), seed=1):
+    """Both tables plus the relative metrics the regression gate tracks."""
+    qtable = BenchTable(
+        "E17a: scan query, tuple-at-a-time vs plan cache vs batched",
+        ["n", "t_fresh_ms", "t_cached_ms", "t_batched_ms",
+         "batch_speedup", "rows"],
+    )
+    ptable = BenchTable(
+        "E17b: selective indexed query, planner every call vs plan cache",
+        ["n", "t_fresh_us", "t_cached_us", "cache_speedup",
+         "hit_rate", "plans_built"],
+    )
+    stable = BenchTable(
+        "E17c: per-tick update script, interpreter vs set-at-a-time",
+        ["n", "t_scalar_ms", "t_batched_ms", "script_speedup", "hash_equal"],
+    )
+    for n in sizes:
+        t_fresh, t_cached, t_batched, rows = run_query_cell(n, seed=seed)
+        qtable.add_row(
+            n, t_fresh * 1e3, t_cached * 1e3, t_batched * 1e3,
+            t_fresh / t_batched if t_batched else float("inf"), rows,
+        )
+        p_fresh, p_cached, hit_rate, plans = run_plan_cache_cell(n, seed=seed)
+        ptable.add_row(
+            n, p_fresh * 1e6, p_cached * 1e6,
+            p_fresh / p_cached if p_cached else float("inf"),
+            hit_rate, plans,
+        )
+        t_scalar, t_b, equal, _runs = run_script_cell(n, seed=seed)
+        stable.add_row(
+            n, t_scalar * 1e3, t_b * 1e3,
+            t_scalar / t_b if t_b else float("inf"), equal,
+        )
+    metrics = {
+        "query_batch_speedup": qtable.column("batch_speedup")[-1],
+        "plan_cache_speedup": ptable.column("cache_speedup")[-1],
+        "plan_cache_hit_rate": min(ptable.column("hit_rate")),
+        "script_batch_speedup": stable.column("script_speedup")[-1],
+        "hash_equal": all(stable.column("hash_equal")),
+    }
+    return {"tables": [qtable, ptable, stable], "metrics": metrics,
+            "sizes": list(sizes)}
+
+
+def to_payload(result, seed):
+    """The JSON artifact for one run (input to check_regression.py)."""
+    return {
+        "experiment": "E17",
+        "seed": seed,
+        "sizes": result["sizes"],
+        "tables": [t.to_dict() for t in result["tables"]],
+        "metrics": result["metrics"],
+    }
+
+
+def print_report(sizes=(1000, 4000, 10000), seed=1) -> None:
+    result = run_experiment(sizes=sizes, seed=seed)
+    for table in result["tables"]:
+        table.print()
+    m = result["metrics"]
+    print(f"batched query speedup at n={sizes[-1]}: "
+          f"{m['query_batch_speedup']:.2f}x (target >= 2x)")
+    print(f"plan-cache speedup on the indexed point query: "
+          f"{m['plan_cache_speedup']:.2f}x "
+          f"(warm hit rate {m['plan_cache_hit_rate']:.3f})")
+    print(f"lowered script speedup at n={sizes[-1]}: "
+          f"{m['script_batch_speedup']:.2f}x, "
+          f"state hashes equal: {m['hash_equal']}")
+    print("-> the optimizer runs once per query shape, residual filters "
+          "run as vector passes over the columns, and the canonical "
+          "update loop becomes one batched read plus one bulk write.")
+
+
+def run_traced_sample(n=500, seed=1):
+    """A small traced run, so --trace-out shows the new span families."""
+    world = build_world(n, seed)
+    add_script_system(world, "update", UPDATE_SRC, batch="auto")
+    for _ in range(3):
+        scan_query(world).ids()       # query.plan_cache spans
+        scan_query(world).ids_batch()  # query.batch spans
+        world.tick()                   # script.batch spans
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+N_BENCH = 2000
+
+
+def test_e17_fresh_query(benchmark):
+    world = build_world(N_BENCH)
+
+    def run():
+        world.plan_cache.clear()
+        return scan_query(world).ids()
+
+    benchmark(run)
+
+
+def test_e17_cached_query(benchmark):
+    world = build_world(N_BENCH)
+    scan_query(world).ids()
+    benchmark(lambda: scan_query(world).ids())
+
+
+def test_e17_batched_query(benchmark):
+    world = build_world(N_BENCH)
+    scan_query(world).ids_batch()
+    benchmark(lambda: scan_query(world).ids_batch())
+
+
+def test_e17_batched_script_tick(benchmark):
+    world = build_world(N_BENCH)
+    add_script_system(world, "update", UPDATE_SRC, batch="auto")
+    benchmark(world.tick)
+
+
+def test_e17_shape_holds(benchmark):
+    """The headline assertions, at CI-friendly sizes."""
+
+    def check():
+        result = run_experiment(sizes=(500, 2000))
+        m = result["metrics"]
+        assert m["hash_equal"], "lowered script must be bit-identical"
+        assert m["script_batch_speedup"] >= 2.0, m["script_batch_speedup"]
+        assert m["query_batch_speedup"] >= 2.0, m["query_batch_speedup"]
+        assert m["plan_cache_hit_rate"] > 0.99, m["plan_cache_hit_rate"]
+        return m
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    parser = make_parser("E17 set-at-a-time execution benchmark")
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[1000, 4000, 10000],
+        help="entity counts to scale over",
+    )
+    cli = parser.parse_args()
+    sizes = tuple(cli.sizes)
+    with trace_session(cli.trace_out):
+        if cli.out and cli.out.endswith(".json"):
+            result = run_experiment(sizes=sizes, seed=cli.seed)
+            for table in result["tables"]:
+                table.print()
+            emit_json(cli.out, to_payload(result, cli.seed))
+        else:
+            emit_report(print_report, out=cli.out, sizes=sizes, seed=cli.seed)
+        if cli.trace_out:
+            run_traced_sample(seed=cli.seed)

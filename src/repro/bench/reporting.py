@@ -35,6 +35,14 @@ class BenchTable:
         idx = self.columns.index(name)
         return [row[idx] for row in self.rows]
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form, for per-run benchmark artifacts."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+        }
+
     def render(self) -> str:
         """Fixed-width text rendering."""
         cells = [[_fmt(v) for v in row] for row in self.rows]

@@ -10,6 +10,7 @@ from repro.core.component import ComponentSchema, FieldDef, schema
 from repro.core.entity import EntityAllocator, EntityHandle, pack_id, unpack_id
 from repro.core.events import Event, EventBus, Subscription
 from repro.core.indexes import HashIndex, IndexAdvisor, IndexManager, SortedIndex
+from repro.core.plancache import PlanCache
 from repro.core.planner import AccessPath, Planner, QueryPlan
 from repro.core.predicates import (
     And,
@@ -53,6 +54,7 @@ __all__ = [
     "IndexManager",
     "SortedIndex",
     "AccessPath",
+    "PlanCache",
     "Planner",
     "QueryPlan",
     "And",

@@ -26,7 +26,9 @@ from repro.core.predicates import (
     Compare,
     IsIn,
     Predicate,
+    compile_batch_fn,
     compile_row_fn,
+    contains_custom,
     split_sargable,
 )
 from repro.errors import QueryError
@@ -37,15 +39,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass
 class AccessPath:
-    """How the driver component's candidate entities are produced."""
+    """How the driver component's candidate entities are produced.
+
+    The path stores only its *parameters* (kind, field, constants); the
+    actual index is resolved by :meth:`fetch` at execute time.  This makes
+    paths safe to cache: a plan built ten thousand ticks ago still reads
+    live index state, and if its index was dropped in the meantime it
+    degrades to a scan that re-applies the served predicates.
+    """
 
     kind: str  # "scan" | "hash_eq" | "hash_in" | "sorted_range" | "spatial"
     component: str
     field: str | None = None
     detail: str = ""
     estimated_rows: float = 0.0
-    #: zero-arg callable producing candidate entity ids
-    fetch: Callable[[], list[int]] | None = None
+    #: execute-time parameters; interpretation depends on ``kind``
+    params: tuple = ()
     #: sargable predicates fully answered by this path (excluded from residual)
     served: tuple = ()
 
@@ -56,6 +65,47 @@ class AccessPath:
             return f"{self.kind}({target} {self.detail})"
         return f"{self.kind}({target})"
 
+    def fetch(self, world: "GameWorld") -> list[int]:
+        """Produce candidate entity ids against *current* world state."""
+        if self.kind == "scan":
+            return world.table(self.component).scan()
+        manager = world.index_manager(self.component)
+        if self.kind == "hash_eq":
+            index = manager.hash_index(self.field)
+            if index is not None:
+                return list(index.lookup(self.params[0]))
+        elif self.kind == "hash_in":
+            index = manager.hash_index(self.field)
+            if index is not None:
+                return list(index.lookup_in(self.params[0]))
+        elif self.kind == "sorted_range":
+            index = manager.sorted_index(self.field)
+            if index is not None:
+                lo, hi, lo_inc, hi_inc = self.params
+                return index.range(lo, hi, lo_inc, hi_inc)
+        elif self.kind == "spatial":
+            x_field, y_field, cx, cy, radius = self.params
+            structure = manager.spatial_index(x_field, y_field)
+            if structure is not None:
+                return list(structure.query_circle(cx, cy, radius))
+        else:
+            raise QueryError(f"unknown access path kind {self.kind!r}")
+        return self._fallback_scan(world)
+
+    def _fallback_scan(self, world: "GameWorld") -> list[int]:
+        # The index this path was planned against no longer exists (dropped
+        # after the plan was cached).  Degrade to a scan, but re-apply the
+        # predicates the index would have served — dropping them would
+        # silently widen the result set.
+        preds = [
+            p.as_predicate() if hasattr(p, "as_predicate") else p
+            for p in self.served
+        ]
+        table = world.table(self.component)
+        if not preds:
+            return table.scan()
+        return table.scan(compile_row_fn(preds))
+
 
 @dataclass
 class QueryPlan:
@@ -65,6 +115,13 @@ class QueryPlan:
     probe_components: tuple[str, ...]
     residual_count: int
     residual: Callable[[int], bool]
+    #: per-component residual conjuncts, the input to the batch compiler
+    residual_specs: tuple[tuple[str, tuple[Predicate, ...]], ...] = ()
+    #: ("hit" | "scan", component, field) advisor observations captured at
+    #: plan time; the plan cache replays them on every hit so index advice
+    #: stays proportional to workload executions, not to distinct shapes
+    advisor_events: tuple[tuple[str, str, str], ...] = ()
+    _batch_filters: list | None = field(default=None, repr=False, compare=False)
 
     def describe(self) -> str:
         """Multi-line EXPLAIN output."""
@@ -73,6 +130,66 @@ class QueryPlan:
             lines.append(f"probe:  has_component({comp})")
         lines.append(f"filter: {self.residual_count} residual predicate(s)")
         return "\n".join(lines)
+
+    def replay_advisor(self, advisor: Any) -> None:
+        """Re-emit the advisor observations recorded at plan time."""
+        for event, comp, fname in self.advisor_events:
+            if event == "hit":
+                advisor.record_index_hit(comp, fname)
+            else:
+                advisor.record_scan(comp, fname)
+
+    def execute_batch(self, world: "GameWorld") -> list[int]:
+        """Set-at-a-time execution of this plan; returns unordered ids.
+
+        Instead of evaluating the residual row-by-row (a dict build plus
+        interpreted predicate walk per candidate), the batch path gathers
+        the referenced columns once per component and runs compiled vector
+        filters over a shrinking selection vector.  Results are exactly
+        the scalar path's set; ordering/limit are applied by the caller.
+        """
+        obs = getattr(world, "obs", None)
+        tracer = obs.tracer if obs is not None else None
+        if tracer is None or not tracer.enabled:
+            return self._execute_batch(world)
+        with tracer.span("query.batch", cat="query") as sp:
+            ids = self._execute_batch(world)
+            sp.set(driver=self.access.kind, rows=len(ids))
+            return ids
+
+    def _execute_batch(self, world: "GameWorld") -> list[int]:
+        driver_table = world.table(self.access.component)
+        ids = [e for e in self.access.fetch(world) if e in driver_table]
+        for comp in self.probe_components:
+            table = world.table(comp)
+            ids = [e for e in ids if e in table]
+        for comp, fields, batch_fn in self._filters(world):
+            if not ids:
+                break
+            _, columns = world.table(comp).batch_rows(fields, ids)
+            keep = batch_fn(columns, range(len(ids)))
+            if len(keep) != len(ids):
+                ids = [ids[i] for i in keep]
+        return ids
+
+    def _filters(self, world: "GameWorld") -> list:
+        cached = self._batch_filters
+        if cached is None:
+            cached = []
+            for comp, conjuncts in self.residual_specs:
+                schema = world.table(comp).schema
+                if any(contains_custom(c) for c in conjuncts):
+                    # Custom predicates may read beyond their declared
+                    # fields; gather the whole schema to stay exact.
+                    fields = tuple(schema.field_names)
+                else:
+                    names: set[str] = set()
+                    for c in conjuncts:
+                        names.update(c.fields())
+                    fields = tuple(sorted(names))
+                cached.append((comp, fields, compile_batch_fn(conjuncts)))
+            self._batch_filters = cached
+        return cached
 
 
 class Planner:
@@ -95,32 +212,37 @@ class Planner:
         components = query.component_names()
         if not components:
             raise QueryError("query references no components")
+        events: list[tuple[str, str, str]] = []
         candidates: list[AccessPath] = []
         for comp in components:
-            candidates.extend(self._paths_for(query, comp))
+            candidates.extend(self._paths_for(query, comp, events))
         best = min(candidates, key=lambda p: p.estimated_rows)
         probe_components = tuple(c for c in components if c != best.component)
-        residual = self._residual(query, best)
-        return QueryPlan(
+        residual_fn, residual_count, residual_specs = self._residual(query, best)
+        plan = QueryPlan(
             access=best,
             probe_components=probe_components,
-            residual_count=residual[1],
-            residual=residual[0],
+            residual_count=residual_count,
+            residual=residual_fn,
+            residual_specs=residual_specs,
+            advisor_events=tuple(events),
         )
+        plan.replay_advisor(self.world.index_advisor)
+        return plan
 
     # -- access-path enumeration -------------------------------------------------
 
-    def _paths_for(self, query: Any, comp: str) -> list[AccessPath]:
+    def _paths_for(
+        self, query: Any, comp: str, events: list[tuple[str, str, str]]
+    ) -> list[AccessPath]:
         table = self.world.table(comp)
         manager = self.world.index_manager(comp)
-        advisor = self.world.index_advisor
         n = len(table)
         paths: list[AccessPath] = [
             AccessPath(
                 kind="scan",
                 component=comp,
                 estimated_rows=float(n),
-                fetch=lambda t=table: t.scan(),
             )
         ]
         sargable, _ = split_sargable(query.predicate_for(comp))
@@ -136,8 +258,12 @@ class Planner:
                         field=f"{spatial.x_field},{spatial.y_field}",
                         detail=f"within r={spatial.radius:g}",
                         estimated_rows=est,
-                        fetch=lambda s=structure, sp=spatial: list(
-                            s.query_circle(sp.cx, sp.cy, sp.radius)
+                        params=(
+                            spatial.x_field,
+                            spatial.y_field,
+                            spatial.cx,
+                            spatial.cy,
+                            spatial.radius,
                         ),
                         served=(spatial,),
                     )
@@ -156,13 +282,13 @@ class Planner:
                             field=pfield,
                             detail=f"== {pred.value!r}",
                             estimated_rows=n / distinct,
-                            fetch=lambda i=hash_idx, p=pred: list(i.lookup(p.value)),
+                            params=(pred.value,),
                             served=(pred,),
                         )
                     )
-                    advisor.record_index_hit(comp, pfield)
+                    events.append(("hit", comp, pfield))
                 else:
-                    advisor.record_scan(comp, pfield)
+                    events.append(("scan", comp, pfield))
             elif isinstance(pred, IsIn):
                 if hash_idx is not None:
                     distinct = max(1, len(hash_idx.distinct_values()))
@@ -173,19 +299,16 @@ class Planner:
                             field=pfield,
                             detail=f"in {len(pred.values)} values",
                             estimated_rows=n * len(pred.values) / distinct,
-                            fetch=lambda i=hash_idx, p=pred: list(
-                                i.lookup_in(p.values)
-                            ),
+                            params=(pred.values,),
                             served=(pred,),
                         )
                     )
-                    advisor.record_index_hit(comp, pfield)
+                    events.append(("hit", comp, pfield))
                 else:
-                    advisor.record_scan(comp, pfield)
+                    events.append(("scan", comp, pfield))
             else:
                 # range-shaped predicate (<, <=, >, >=, between)
                 if sorted_idx is not None:
-                    lo, hi, lo_inc, hi_inc = _range_bounds(pred)
                     paths.append(
                         AccessPath(
                             kind="sorted_range",
@@ -193,15 +316,13 @@ class Planner:
                             field=pfield,
                             detail=_range_detail(pred),
                             estimated_rows=max(1.0, n / 3.0),
-                            fetch=lambda i=sorted_idx, b=(lo, hi, lo_inc, hi_inc): i.range(
-                                b[0], b[1], b[2], b[3]
-                            ),
+                            params=_range_bounds(pred),
                             served=(pred,),
                         )
                     )
-                    advisor.record_index_hit(comp, pfield)
+                    events.append(("hit", comp, pfield))
                 else:
-                    advisor.record_scan(comp, pfield)
+                    events.append(("scan", comp, pfield))
         return paths
 
     def _estimate_spatial(self, structure: Any, spatial: Any, n: int) -> float:
@@ -222,9 +343,14 @@ class Planner:
 
     def _residual(
         self, query: Any, access: AccessPath
-    ) -> tuple[Callable[[int], bool], int]:
+    ) -> tuple[
+        Callable[[int], bool],
+        int,
+        tuple[tuple[str, tuple[Predicate, ...]], ...],
+    ]:
         served = set(id(p) for p in access.served)
         checks: list[tuple[str, Callable[[dict], bool]]] = []
+        specs: list[tuple[str, tuple[Predicate, ...]]] = []
         count = 0
         for comp in query.component_names():
             pred = query.predicate_for(comp)
@@ -236,6 +362,7 @@ class Planner:
             if remaining:
                 count += len(remaining)
                 checks.append((comp, compile_row_fn(remaining)))
+                specs.append((comp, tuple(remaining)))
         world = self.world
 
         def residual(entity_id: int) -> bool:
@@ -244,7 +371,7 @@ class Planner:
                     return False
             return True
 
-        return residual, count
+        return residual, count, tuple(specs)
 
 
 def _range_bounds(pred: Predicate) -> tuple[Any, Any, bool, bool]:

@@ -14,11 +14,15 @@ closure for the residual filter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import QueryError
 
 Row = Mapping[str, Any]
+
+#: Parallel column slices as produced by ``ComponentTable.batch_rows``:
+#: ``columns[field][i]`` is the value of ``field`` for the i-th candidate.
+BatchColumns = Mapping[str, Sequence[Any]]
 
 
 class Predicate:
@@ -276,3 +280,145 @@ def compile_row_fn(conjuncts: Iterable[Predicate]) -> Callable[[Row], bool]:
         return all(p.evaluate(row) for p in preds)
 
     return _all
+
+
+def contains_custom(predicate: Predicate) -> bool:
+    """True when any node in the tree is a :class:`Custom` escape hatch.
+
+    Custom predicates may read fields beyond what ``referenced`` declares,
+    so batch execution must gather the full schema for them, and the plan
+    cache refuses to key on them (closure identity is not query shape).
+    """
+    if isinstance(predicate, Custom):
+        return True
+    if isinstance(predicate, (And, Or)):
+        return any(contains_custom(c) for c in predicate.children)
+    if isinstance(predicate, Not):
+        return contains_custom(predicate.child)
+    return False
+
+
+def predicate_signature(predicate: Predicate | None) -> tuple | None:
+    """Structural, hashable signature of a predicate tree.
+
+    Two predicates with equal signatures select the same rows on any
+    table, so the signature is a safe plan-cache key component.  Returns
+    ``None`` when the tree is uncacheable: it contains a :class:`Custom`
+    node, or a comparison constant that is unhashable.
+    """
+    if predicate is None:
+        return ()
+    try:
+        return _signature_of(predicate)
+    except TypeError:  # unhashable constant
+        return None
+
+
+def _signature_of(predicate: Predicate) -> tuple | None:
+    if isinstance(predicate, Compare):
+        hash(predicate.value)
+        return ("cmp", predicate.field, predicate.op, predicate.value)
+    if isinstance(predicate, Between):
+        hash(predicate.lo)
+        hash(predicate.hi)
+        return ("between", predicate.field, predicate.lo, predicate.hi)
+    if isinstance(predicate, IsIn):
+        return ("in", predicate.field, predicate.values)
+    if isinstance(predicate, And):
+        return _signature_children("and", predicate.children)
+    if isinstance(predicate, Or):
+        return _signature_children("or", predicate.children)
+    if isinstance(predicate, Not):
+        child = _signature_of(predicate.child)
+        return None if child is None else ("not", child)
+    return None  # Custom and unknown nodes are uncacheable
+
+
+def _signature_children(tag: str, children: Iterable[Predicate]) -> tuple | None:
+    sigs = []
+    for child in children:
+        sig = _signature_of(child)
+        if sig is None:
+            return None
+        sigs.append(sig)
+    return (tag, tuple(sigs))
+
+
+def _batch_one(pred: Predicate) -> Callable[[BatchColumns, Sequence[int]], list[int]]:
+    """Vector filter for one conjunct: indices in -> surviving indices out.
+
+    Compare/Between/IsIn get tight closures that touch only their own
+    column; everything else (Or/Not/Custom) falls back to building a row
+    dict per candidate — still batched at the call level, but row-at-a-time
+    inside, matching scalar semantics exactly (including the rule that a
+    ``None`` value never satisfies a comparison).
+    """
+    if isinstance(pred, Compare):
+        cmp = _COMPARE_OPS[pred.op]
+        field, value = pred.field, pred.value
+
+        def _compare(columns: BatchColumns, idxs: Sequence[int]) -> list[int]:
+            col = columns[field]
+            return [
+                i for i in idxs
+                if col[i] is not None and cmp(col[i], value)
+            ]
+
+        return _compare
+    if isinstance(pred, Between):
+        field, lo, hi = pred.field, pred.lo, pred.hi
+
+        def _between(columns: BatchColumns, idxs: Sequence[int]) -> list[int]:
+            col = columns[field]
+            return [
+                i for i in idxs
+                if col[i] is not None and lo <= col[i] <= hi
+            ]
+
+        return _between
+    if isinstance(pred, IsIn):
+        field, values = pred.field, pred.values
+
+        def _isin(columns: BatchColumns, idxs: Sequence[int]) -> list[int]:
+            col = columns[field]
+            return [i for i in idxs if col[i] in values]
+
+        return _isin
+
+    def _rowwise(columns: BatchColumns, idxs: Sequence[int]) -> list[int]:
+        names = list(columns)
+        out = []
+        for i in idxs:
+            if pred.evaluate({f: columns[f][i] for f in names}):
+                out.append(i)
+        return out
+
+    return _rowwise
+
+
+def compile_batch_fn(
+    conjuncts: Iterable[Predicate],
+) -> Callable[[BatchColumns, Sequence[int]], list[int]]:
+    """Build a set-at-a-time filter over column slices.
+
+    The returned callable takes ``(columns, candidate_indices)`` and
+    returns the indices whose rows satisfy every conjunct.  Conjuncts are
+    applied one column at a time — the selection vector shrinks between
+    stages, so later (more expensive) conjuncts see fewer candidates.
+    """
+    stages = [_batch_one(p) for p in conjuncts]
+    if not stages:
+        return lambda columns, idxs: list(idxs)
+    if len(stages) == 1:
+        only = stages[0]
+        return lambda columns, idxs: only(columns, idxs)
+
+    def _pipeline(columns: BatchColumns, idxs: Sequence[int]) -> list[int]:
+        survivors: Sequence[int] = idxs
+        for stage in stages:
+            if not survivors:
+                break
+            survivors = stage(columns, survivors)
+        return list(survivors)
+
+    return _pipeline

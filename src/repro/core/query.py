@@ -184,6 +184,14 @@ class Query:
         """The spatial clause bound to a component, or None."""
         return self._spatial.get(component)
 
+    def order_spec(self) -> tuple[str, str, bool] | None:
+        """The ``(component, field, descending)`` ordering, or None."""
+        return self._order
+
+    def limit_spec(self) -> int | None:
+        """The result limit, or None."""
+        return self._limit
+
     # -- execution ------------------------------------------------------------------
 
     def prepare(self) -> "PreparedQuery":
@@ -198,20 +206,39 @@ class Query:
         return PreparedQuery(self)
 
     def explain(self) -> str:
-        """Render the plan the optimizer would use right now."""
-        return self.world.planner.plan(self).describe()
+        """Render the plan this query would execute with right now.
+
+        Goes through the plan cache, so EXPLAIN shows exactly what a
+        subsequent :meth:`ids` call will run — cached or fresh.
+        """
+        return self.world.plan_cache.lookup(self).describe()
 
     def ids(self) -> list[int]:
-        """Execute and return matching entity ids only (cheapest form)."""
-        plan = self.world.planner.plan(self)
+        """Execute and return matching entity ids only (cheapest form).
+
+        Plans come from the world's :class:`~repro.core.plancache.PlanCache`:
+        steady-state frames that repeat the same query shape skip planning
+        entirely and jump straight to execution.
+        """
+        plan = self.world.plan_cache.lookup(self)
         return self._run_plan(plan)
 
+    def ids_batch(self) -> list[int]:
+        """Set-at-a-time execution of this query; same results as :meth:`ids`.
+
+        Residual predicates run as compiled vector functions over column
+        slices instead of per-row dicts — the paper's set-at-a-time
+        execution model.  Ordering and limit semantics are identical to
+        the scalar path.
+        """
+        plan = self.world.plan_cache.lookup(self)
+        return self._apply_order_limit(plan.execute_batch(self.world))
+
     def _run_plan(self, plan: Any) -> list[int]:
-        assert plan.access.fetch is not None
         out = []
         probes = [self.world.table(c) for c in plan.probe_components]
         driver_table = self.world.table(plan.access.component)
-        for entity_id in plan.access.fetch():
+        for entity_id in plan.access.fetch(self.world):
             if entity_id not in driver_table:
                 continue  # index returned a stale candidate; be safe
             if any(entity_id not in t for t in probes):

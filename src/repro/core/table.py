@@ -42,6 +42,11 @@ class ComponentTable:
         self._slot_of: dict[int, int] = {}
         self._observers: list[TableObserver] = []
         self.version = 0
+        #: Statistics epoch: bumped only when the row *set* changes
+        #: (insert/delete), i.e. when the planner's cardinality estimates
+        #: go stale.  Plain updates leave it alone, so steady-state frames
+        #: that only mutate fields keep their cached plans.
+        self.stats_epoch = 0
 
     # -- observers ----------------------------------------------------------
 
@@ -85,6 +90,7 @@ class ComponentTable:
         self._slot_of[entity_id] = slot
         for fname in self.schema.field_names:
             self._columns[fname].append(row[fname])
+        self.stats_epoch += 1
         self._notify("insert", entity_id, row)
         return row
 
@@ -162,6 +168,7 @@ class ComponentTable:
         if entity_id == moved_entity and self._entities and slot < len(self._entities):
             # entity was the last row; nothing actually moved
             pass
+        self.stats_epoch += 1
         self._notify("delete", entity_id, row)
         return row
 
@@ -213,6 +220,42 @@ class ComponentTable:
     def columns(self, fields: Iterable[str]) -> dict[str, tuple[Any, ...]]:
         """Snapshot of several columns at once (a batch read for systems)."""
         return {f: self.column(f) for f in fields}
+
+    def batch_rows(
+        self, fields: Iterable[str], entity_ids: Iterable[int] | None = None
+    ) -> tuple[list[int], dict[str, list[Any]]]:
+        """Gather parallel column slices for set-at-a-time execution.
+
+        Returns ``(ids, columns)`` where ``columns[f][i]`` is field ``f``
+        of entity ``ids[i]``.  With ``entity_ids=None`` the whole table is
+        materialized in row order (one list copy per column, no per-row
+        work); otherwise values are gathered for exactly the ids given, in
+        the given order.  This is the read half of the batch execution
+        path: ``Plan.execute_batch`` filters these slices with compiled
+        vector functions instead of building a dict per row.
+        """
+        field_list = list(fields)
+        for f in field_list:
+            if f not in self._columns:
+                raise SchemaError(
+                    f"component {self.schema.name!r} has no field {f!r}"
+                )
+        if entity_ids is None:
+            ids = list(self._entities)
+            return ids, {f: list(self._columns[f]) for f in field_list}
+        ids = list(entity_ids)
+        slot_of = self._slot_of
+        try:
+            slots = [slot_of[eid] for eid in ids]
+        except KeyError as exc:
+            raise ComponentMissingError(
+                f"entity {exc.args[0]} has no component {self.schema.name}"
+            ) from None
+        out: dict[str, list[Any]] = {}
+        for f in field_list:
+            col = self._columns[f]
+            out[f] = [col[s] for s in slots]
+        return ids, out
 
     def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
         """Iterate ``(entity_id, row_copy)`` over a snapshot of the table.

@@ -21,6 +21,7 @@ from repro.core.component import ComponentSchema
 from repro.core.entity import EntityAllocator, EntityHandle
 from repro.core.events import Event, EventBus
 from repro.core.indexes import IndexAdvisor, IndexManager
+from repro.core.plancache import PlanCache
 from repro.core.planner import Planner
 from repro.core.predicates import Predicate
 from repro.core.query import Query, nearest_neighbors
@@ -72,6 +73,7 @@ class GameWorld:
         self.scheduler = SystemScheduler()
         self.index_advisor = IndexAdvisor()
         self.planner = Planner(self)
+        self.plan_cache = PlanCache(self)
         self._allocator = EntityAllocator()
         self._tables: dict[str, ComponentTable] = {}
         self._indexes: dict[str, IndexManager] = {}
@@ -247,6 +249,26 @@ class GameWorld:
             for eid, old, new in zip(ids, before, vals):
                 if old != new:
                     self._emit_change("update", eid, component, {field: new})
+        return changed
+
+    def update_batch(
+        self,
+        component: str,
+        entity_ids: "Iterable[int]",
+        columns: "Mapping[str, Iterable[Any]]",
+    ) -> int:
+        """Bulk write-back of several columns at once; returns changed cells.
+
+        The write half of set-at-a-time script execution: a lowered script
+        loop computes new column values for the whole entity set, then
+        lands them here in one call per field.  Each field goes through
+        :meth:`set_column`, so validation, index maintenance, and change
+        hooks behave exactly as if the script had written row by row.
+        """
+        ids = list(entity_ids)
+        changed = 0
+        for field, values in columns.items():
+            changed += self.set_column(component, field, ids, values)
         return changed
 
     # ----------------------------------------------------------------- queries

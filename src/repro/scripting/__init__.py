@@ -21,6 +21,11 @@ from repro.scripting.behavior import (
     Succeeder,
     tree_from_dict,
 )
+from repro.scripting.batch_lowering import (
+    LoweredLoop,
+    LoweredProgram,
+    lower_script,
+)
 from repro.scripting.interpreter import (
     CompiledScript,
     EntityProxy,
@@ -59,6 +64,9 @@ __all__ = [
     "Status",
     "Succeeder",
     "tree_from_dict",
+    "LoweredLoop",
+    "LoweredProgram",
+    "lower_script",
     "CompiledScript",
     "EntityProxy",
     "Interpreter",

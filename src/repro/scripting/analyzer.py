@@ -114,6 +114,39 @@ class CostAnalyzer:
         report.worst_degree = worst
         return report
 
+    def batchable_loops(self, script: ast.Script) -> list[ast.For]:
+        """Top-level entity loops eligible for set-at-a-time lowering.
+
+        A loop qualifies when it iterates an entity-source builtin (scan
+        or indexed) and its body performs no further entity work — i.e.
+        the body's estimated degree is 0, so the loop is one flat pass
+        that batch execution can express as a single bulk query + update.
+        The lowering pass (:mod:`repro.scripting.batch_lowering`) applies
+        stricter per-statement rules on top of this shape filter.
+        """
+        func_degrees = self._function_degrees(script)
+        out: list[ast.For] = []
+        for stmt in script.body:
+            if not isinstance(stmt, ast.For):
+                continue
+            iterable = stmt.iterable
+            if not (
+                isinstance(iterable, ast.Call)
+                and isinstance(iterable.func, ast.Name)
+                and (
+                    iterable.func.ident in self.scan_sources
+                    or iterable.func.ident in self.indexed_sources
+                )
+            ):
+                continue
+            silent = AnalysisReport()
+            body_degree = self._body_degree(
+                stmt.body, 0, func_degrees, silent, "<loop>"
+            )
+            if body_degree == 0:
+                out.append(stmt)
+        return out
+
     # -- fixpoint over the call graph -----------------------------------------------
 
     def _function_degrees(self, script: ast.Script) -> dict[str, int]:

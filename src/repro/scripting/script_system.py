@@ -26,6 +26,7 @@ from typing import Any
 from repro.core.systems import System
 from repro.errors import BudgetExceededError, ScriptError, ScriptRuntimeError
 from repro.scripting.analyzer import CostAnalyzer
+from repro.scripting.batch_lowering import lower_script
 from repro.scripting.interpreter import CompiledScript, Interpreter
 from repro.scripting.restrictions import LanguageProfile, UNRESTRICTED
 from repro.scripting.stdlib import build_stdlib
@@ -51,6 +52,12 @@ class ScriptSystem(System):
     max_strikes:
         Budget overruns/errors tolerated before the script is disabled
         (``None`` = never auto-disable).
+    batch:
+        ``"auto"`` (default) lowers eligible per-entity loops to
+        set-at-a-time execution (see
+        :mod:`repro.scripting.batch_lowering`); ``"off"`` always runs the
+        interpreter.  Lowering is only attempted for profiles without an
+        instruction budget, because batched frames bypass the meter.
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class ScriptSystem(System):
         interval: int = 1,
         max_degree: int | None = None,
         max_strikes: int | None = 3,
+        batch: str = "auto",
     ):
         super().__init__(name, interval=interval)
         self.compiled = CompiledScript(source, profile, source_name=f"system:{name}")
@@ -74,12 +82,22 @@ class ScriptSystem(System):
                     f"O(n^{report.worst_degree}) exceeds the allowed "
                     f"O(n^{max_degree}){detail}"
                 )
+        if batch not in ("auto", "off"):
+            raise ScriptError(
+                f"script system {name!r}: batch must be 'auto' or 'off', "
+                f"got {batch!r}"
+            )
         self.profile = profile
         self.max_strikes = max_strikes
         self.strikes = 0
         self.overruns = 0
         self.errors = 0
         self.instructions_last_run = 0
+        self.batch = batch
+        self.batched_runs = 0
+        self.lowered = None
+        if batch == "auto" and profile.instruction_budget is None:
+            self.lowered = lower_script(self.compiled.tree)
         self._interpreter: Interpreter | None = None
 
     def run(self, world: Any, dt: float) -> None:
@@ -101,6 +119,16 @@ class ScriptSystem(System):
 
     def _run_guarded(self, world: Any, dt: float, obs: Any = None) -> None:
         self.runs += 1
+        if self.lowered is not None and self.lowered.execute(
+            world, {"dt": dt, "tick": world.clock.tick}
+        ):
+            # Set-at-a-time frame: interpreter dispatch never ran, so no
+            # instructions were metered.  A False return above means the
+            # batch aborted before any write; the interpreter then runs
+            # the frame normally (and reports errors with full fidelity).
+            self.batched_runs += 1
+            self.instructions_last_run = 0
+            return
         interp = self._interpreter
         if interp is None or interp.world is not world:
             interp = Interpreter(world, build_stdlib(world))
@@ -151,11 +179,13 @@ def add_script_system(
     interval: int = 1,
     max_degree: int | None = None,
     max_strikes: int | None = 3,
+    batch: str = "auto",
 ) -> ScriptSystem:
     """Compile, gate, and register a script system in one call."""
     system = ScriptSystem(
         name, source, profile,
         interval=interval, max_degree=max_degree, max_strikes=max_strikes,
+        batch=batch,
     )
     world.add_system(system, priority=priority)
     return system

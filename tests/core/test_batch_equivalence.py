@@ -1,0 +1,166 @@
+"""Property-style scalar/batch equivalence: ids() vs ids_batch().
+
+The batch execution path must be a pure optimization: for any query the
+engine can express, set-at-a-time execution returns the same entity ids,
+in the same order, without touching world state.  This file drives both
+paths with randomized queries over a seeded world — including joins,
+spatial clauses, Or/Not/Custom residuals, ordering, limits, and queries
+issued while indexes come and go.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Between, Compare, Custom, GameWorld, IsIn, Not, Or, schema
+from repro.spatial import UniformGrid
+
+SEED = 1234
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(
+        schema("Unit", x="float", y="float", hp="int", speed="float", kind="str")
+    )
+    w.register_component(schema("Combat", attack="int", defense="int"))
+    rng = random.Random(SEED)
+    kinds = ["orc", "human", "elf", "wisp"]
+    for _ in range(200):
+        eid = w.spawn(
+            Unit={
+                "x": rng.uniform(0.0, 100.0),
+                "y": rng.uniform(0.0, 100.0),
+                "hp": rng.randrange(0, 100),
+                "speed": rng.uniform(0.0, 5.0),
+                "kind": rng.choice(kinds),
+            }
+        )
+        if rng.random() < 0.6:
+            w.attach(
+                eid, "Combat",
+                attack=rng.randrange(1, 20), defense=rng.randrange(1, 20),
+            )
+    return w
+
+
+def _random_predicate(rng):
+    roll = rng.random()
+    if roll < 0.35:
+        field = rng.choice(["hp", "speed", "x"])
+        op = rng.choice(["==", "!=", "<", "<=", ">", ">="])
+        value = rng.randrange(0, 100) if field == "hp" else rng.uniform(0, 100)
+        return Compare(field, op, value)
+    if roll < 0.5:
+        lo = rng.randrange(0, 60)
+        return Between("hp", lo, lo + rng.randrange(5, 40))
+    if roll < 0.65:
+        return IsIn("kind", rng.sample(["orc", "human", "elf", "wisp"], 2))
+    if roll < 0.8:
+        return Or([_random_predicate(rng), _random_predicate(rng)])
+    if roll < 0.9:
+        return Not(_random_predicate(rng))
+    threshold = rng.randrange(0, 100)
+    return Custom(
+        lambda row, t=threshold: (row["hp"] * 3) % 7 < t % 7 + 1,
+        referenced=frozenset({"hp"}),
+    )
+
+
+def _random_query(world, rng):
+    q = world.query("Unit")
+    joined = rng.random() < 0.4
+    if joined:
+        q = q.join("Combat")
+    for _ in range(rng.randrange(0, 3)):
+        q = q.where("Unit", _random_predicate(rng))
+    if joined and rng.random() < 0.5:
+        q = q.where(
+            "Combat", Compare("attack", rng.choice(["<", ">="]), rng.randrange(1, 20))
+        )
+    if rng.random() < 0.3:
+        q = q.within(rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(5, 40))
+    if rng.random() < 0.3:
+        q = q.order_by("Unit", rng.choice(["hp", "speed"]), rng.random() < 0.5)
+    if rng.random() < 0.3:
+        q = q.limit(rng.randrange(0, 30))
+    return q
+
+
+class TestQueryEquivalence:
+    def test_randomized_queries_identical_ids_and_order(self, world):
+        rng = random.Random(SEED)
+        nonempty = 0
+        for i in range(60):
+            q = _random_query(world, rng)
+            scalar = q.ids()
+            batched = q.ids_batch()
+            assert scalar == batched, f"divergence on query {i}"
+            nonempty += bool(scalar)
+        assert nonempty > 10  # the workload must actually select things
+
+    def test_equivalence_holds_as_indexes_come_and_go(self, world):
+        rng = random.Random(SEED + 1)
+        manager = world.index_manager("Unit")
+        manager.create_hash_index("kind")
+        for i in range(40):
+            if i == 10:
+                manager.create_sorted_index("hp")
+            if i == 20:
+                manager.attach_spatial(UniformGrid(10.0))
+            if i == 30:
+                manager.drop_index("hp")
+            q = _random_query(world, rng)
+            assert q.ids() == q.ids_batch(), f"divergence on query {i}"
+
+    def test_equivalence_across_mutations(self, world):
+        rng = random.Random(SEED + 2)
+        for i in range(30):
+            q = _random_query(world, rng)
+            assert q.ids() == q.ids_batch(), f"divergence on query {i}"
+            victim = rng.choice(world.entities())
+            if rng.random() < 0.5:
+                world.destroy(victim)
+            else:
+                world.set(victim, "Unit", hp=rng.randrange(0, 100))
+            if rng.random() < 0.3:
+                world.spawn(
+                    Unit={
+                        "x": rng.uniform(0, 100), "y": rng.uniform(0, 100),
+                        "hp": rng.randrange(0, 100),
+                        "speed": rng.uniform(0, 5), "kind": "orc",
+                    }
+                )
+
+    def test_queries_leave_state_untouched(self, world):
+        before = world.state_hash()
+        rng = random.Random(SEED + 3)
+        for _ in range(20):
+            q = _random_query(world, rng)
+            q.ids()
+            q.ids_batch()
+        assert world.state_hash() == before
+
+    def test_none_values_never_match_comparisons_in_both_paths(self):
+        from repro.core.component import ComponentSchema, FieldDef
+
+        w = GameWorld()
+        w.register_component(
+            ComponentSchema(
+                "Opt",
+                [FieldDef("v", "int", nullable=True), FieldDef("w", "int", default=0)],
+            )
+        )
+        a = w.spawn(Opt={"v": 5, "w": 1})
+        w.spawn(Opt={"v": None, "w": 2})
+        for pred in (
+            Compare("v", "==", 5),
+            Compare("v", "!=", 5),
+            Compare("v", ">", -999),
+            Between("v", -999, 999),
+        ):
+            q = w.query("Opt").where("Opt", pred)
+            assert q.ids() == q.ids_batch()
+            assert None not in q.ids()
+        assert w.query("Opt").where("Opt", Compare("v", "==", 5)).ids() == [a]

@@ -1,0 +1,171 @@
+"""Plan-cache behaviour: hits, epoch invalidation, and fetch rebinding."""
+
+import pytest
+
+from repro.core import Custom, F, GameWorld, schema
+from repro.spatial import UniformGrid
+
+
+@pytest.fixture
+def world():
+    w = GameWorld()
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(schema("Health", hp=("int", 100)))
+    for i in range(30):
+        w.spawn(Position={"x": float(i), "y": 0.0}, Health={"hp": i * 4})
+    return w
+
+
+def _query(world):
+    return world.query("Health").where("Health", F.hp < 60)
+
+
+class TestCacheHits:
+    def test_repeated_shape_plans_once(self, world):
+        before = world.planner.plans_built
+        for _ in range(10):
+            _query(world).ids()
+        assert world.planner.plans_built == before + 1
+        assert world.plan_cache.hits == 9
+        assert world.plan_cache.misses == 1
+
+    def test_distinct_constants_are_distinct_shapes(self, world):
+        before = world.planner.plans_built
+        world.query("Health").where("Health", F.hp < 10).ids()
+        world.query("Health").where("Health", F.hp < 20).ids()
+        assert world.planner.plans_built == before + 2
+
+    def test_order_and_limit_are_part_of_the_shape(self, world):
+        before = world.planner.plans_built
+        _query(world).ids()
+        _query(world).order_by("Health", "hp").ids()
+        _query(world).order_by("Health", "hp").limit(3).ids()
+        assert world.planner.plans_built == before + 3
+
+    def test_cached_results_match_fresh(self, world):
+        fresh = world.planner.plan(_query(world))
+        cached_ids = _query(world).ids()
+        assert cached_ids == _query(world)._run_plan(fresh)
+
+    def test_fifo_cap_bounds_entries(self, world):
+        world.plan_cache.max_entries = 4
+        for i in range(20):
+            world.query("Health").where("Health", F.hp < i).ids()
+        assert len(world.plan_cache) <= 4
+
+
+class TestInvalidation:
+    def test_insert_evicts(self, world):
+        _query(world).ids()
+        before = world.planner.plans_built
+        newcomer = world.spawn(Health={"hp": 1})
+        ids = _query(world).ids()
+        assert newcomer in ids
+        assert world.planner.plans_built == before + 1
+        assert world.plan_cache.invalidations >= 1
+
+    def test_delete_evicts(self, world):
+        victim = _query(world).ids()[0]
+        before = world.planner.plans_built
+        world.destroy(victim)
+        assert victim not in _query(world).ids()
+        assert world.planner.plans_built == before + 1
+
+    def test_field_update_does_not_evict(self, world):
+        ids = _query(world).ids()
+        before = world.planner.plans_built
+        world.set(ids[0], "Health", hp=59)  # same bucket, data-only change
+        _query(world).ids()
+        assert world.planner.plans_built == before
+
+    def test_index_create_evicts_and_new_plan_uses_it(self, world):
+        _query(world).ids()
+        assert "scan" in _query(world).explain()
+        world.index_manager("Health").create_sorted_index("hp")
+        assert "sorted_range" in _query(world).explain()
+
+    def test_index_drop_evicts(self, world):
+        world.index_manager("Health").create_sorted_index("hp")
+        result = _query(world).ids()
+        assert "sorted_range" in _query(world).explain()
+        world.index_manager("Health").drop_index("hp")
+        assert "scan" in _query(world).explain()
+        assert _query(world).ids() == result
+
+
+class TestExplainIdentity:
+    def test_cached_and_fresh_explain_identical(self, world):
+        fresh = world.planner.plan(_query(world)).describe()
+        first = _query(world).explain()   # miss
+        second = _query(world).explain()  # hit
+        assert first == fresh
+        assert second == fresh
+
+
+class TestUncacheable:
+    def test_custom_predicate_bypasses_cache(self, world):
+        before = world.planner.plans_built
+        pred = Custom(lambda row: row["hp"] % 2 == 0, referenced=frozenset({"hp"}))
+        for _ in range(3):
+            world.query("Health").where("Health", pred).ids()
+        assert world.planner.plans_built == before + 3
+        assert world.plan_cache.uncacheable == 3
+
+    def test_spatial_queries_are_cacheable(self, world):
+        before = world.planner.plans_built
+        for _ in range(5):
+            world.query("Position").within(3.0, 0.0, 5.0).ids()
+        assert world.planner.plans_built == before + 1
+
+
+class TestFetchRebinding:
+    """The satellite fix: access paths resolve indexes at execute time."""
+
+    def test_scan_plan_sees_rows_inserted_after_planning(self, world):
+        plan = world.planner.plan(_query(world))
+        newcomer = world.spawn(Health={"hp": 5})
+        assert newcomer in plan.access.fetch(world)
+
+    def test_hash_plan_sees_rows_inserted_after_planning(self, world):
+        world.register_component(schema("Tag", kind="str"))
+        world.index_manager("Tag").create_hash_index("kind")
+        a = world.spawn(Tag={"kind": "orc"})
+        for _ in range(5):
+            world.spawn(Tag={"kind": "human"})
+        query = world.query("Tag").where("Tag", F.kind == "orc")
+        plan = world.planner.plan(query)
+        assert plan.access.kind == "hash_eq"
+        b = world.spawn(Tag={"kind": "orc"})
+        assert set(plan.access.fetch(world)) == {a, b}
+
+    def test_dropped_index_degrades_to_filtered_scan(self, world):
+        world.index_manager("Health").create_sorted_index("hp")
+        query = _query(world)
+        plan = world.planner.plan(query)
+        assert plan.access.kind == "sorted_range"
+        expected = set(query.ids())
+        world.index_manager("Health").drop_index("hp")
+        # The stale plan must not silently widen results: the served
+        # range predicate is re-applied by the fallback scan.
+        assert set(plan.access.fetch(world)) == expected
+
+    def test_dropped_spatial_index_degrades_to_filtered_scan(self, world):
+        manager = world.index_manager("Position")
+        manager.attach_spatial(UniformGrid(4.0))
+        query = world.query("Position").within(5.0, 0.0, 3.0)
+        plan = world.planner.plan(query)
+        assert plan.access.kind == "spatial"
+        expected = set(query.ids())
+        # No public spatial drop exists; detach directly to simulate one.
+        manager._spatial.clear()
+        assert set(plan.access.fetch(world)) == expected
+
+
+class TestAdvisorReplay:
+    def test_cache_hits_still_feed_the_advisor(self, world):
+        # 12 executions of an unindexed shape must cross the advisor's
+        # scan threshold even though only the first one actually plans.
+        for _ in range(12):
+            _query(world).ids()
+        recs = world.index_advisor.recommend()
+        assert any(comp == "Health" and fname == "hp" for comp, fname, _ in recs)

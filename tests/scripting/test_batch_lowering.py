@@ -1,0 +1,225 @@
+"""Set-at-a-time script lowering: shape detection, equivalence, fallback."""
+
+import random
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.scripting import UNRESTRICTED, add_script_system, lower_script, parse
+from repro.scripting.analyzer import CostAnalyzer
+
+MOVE_SRC = (
+    'for e in entities("Unit"):\n'
+    " e.x = e.x + e.vx * dt\n"
+    " e.y = e.y + e.vy * dt\n"
+    "end"
+)
+
+
+def make_world(n=50, seed=7, second_component=False):
+    w = GameWorld()
+    w.register_component(
+        schema("Unit", x="float", y="float", vx="float", vy="float", hp=("int", 10))
+    )
+    if second_component:
+        w.register_component(schema("Shadow", x="float"))  # ambiguous "x"
+    rng = random.Random(seed)
+    for _ in range(n):
+        w.spawn(
+            Unit={
+                "x": rng.uniform(0, 100), "y": rng.uniform(0, 100),
+                "vx": rng.uniform(-2, 2), "vy": rng.uniform(-2, 2),
+            }
+        )
+    return w
+
+
+def paired_run(source, ticks=4, n=50, seed=7, **kwargs):
+    """Run the same script scalar-only and auto-batched on twin worlds."""
+    scalar_world = make_world(n, seed)
+    batch_world = make_world(n, seed)
+    scalar_sys = add_script_system(scalar_world, "s", source, batch="off", **kwargs)
+    batch_sys = add_script_system(batch_world, "s", source, batch="auto", **kwargs)
+    scalar_world.run(ticks)
+    batch_world.run(ticks)
+    return scalar_world, batch_world, scalar_sys, batch_sys
+
+
+class TestShapeDetection:
+    def test_canonical_update_loop_lowers(self):
+        assert lower_script(parse(MOVE_SRC)) is not None
+
+    def test_find_source_lowers(self):
+        src = 'for e in find("Unit", "hp", "<", 5):\n e.hp = e.hp + 1\nend'
+        assert lower_script(parse(src)) is not None
+
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "var x = 1",  # not a loop
+            'for e in entities("Unit"):\n if e.hp > 0:\n  e.hp = e.hp - 1\n end\nend',
+            'for e in entities("Unit"):\n emit("boom", {})\nend',  # side effect
+            'for e in entities("Unit"):\n e.hp = count("Unit")\nend',  # world read
+            'for e in entities("Unit"):\n e.hp = e.hp - 1\nend\nvar tail = 1',
+            'for e in within("Unit", 0.0, 0.0, 5.0):\n e.hp = 1\nend',  # unsupported source
+            'for e in entities("Unit"):\n e.kind = "orc"\nend',  # non-numeric literal
+            'for e in entities("Unit"):\n e.hp = (e.hp > 1) + 1\nend',  # bool arithmetic
+            'for e in entities("Unit"):\n e.id = 3\nend',  # id write
+            'for a in entities("Unit"):\n for b in entities("Unit"):\n  a.hp = b.hp\n end\nend',
+        ],
+    )
+    def test_unlowerable_shapes_return_none(self, src):
+        assert lower_script(parse(src)) is None
+
+    def test_cross_loop_read_after_write_rejected(self):
+        src = (
+            'for e in entities("Unit"):\n e.x = e.x + 1.0\nend\n'
+            'for e in entities("Unit"):\n e.y = e.x * 2.0\nend'
+        )
+        assert lower_script(parse(src)) is None
+
+    def test_independent_loops_accepted(self):
+        src = (
+            'for e in entities("Unit"):\n e.x = e.x + 1.0\nend\n'
+            'for e in entities("Unit"):\n e.y = e.y * 2.0\nend'
+        )
+        assert lower_script(parse(src)) is not None
+
+    def test_analyzer_batchable_loops_filters_nested(self):
+        nested = (
+            'for a in entities("Unit"):\n'
+            ' for b in entities("Unit"):\n  var d = a.x\n end\nend'
+        )
+        assert CostAnalyzer().batchable_loops(parse(nested)) == []
+        flat = parse(MOVE_SRC)
+        assert len(CostAnalyzer().batchable_loops(flat)) == 1
+
+
+class TestEquivalence:
+    def test_same_seed_same_state_hash(self):
+        scalar_world, batch_world, _, batch_sys = paired_run(MOVE_SRC)
+        assert batch_sys.batched_runs == 4
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_find_source_equivalence(self):
+        src = 'for e in find("Unit", "x", "<", 50.0):\n e.vx = e.vx * 0.9\nend'
+        scalar_world, batch_world, _, batch_sys = paired_run(src)
+        assert batch_sys.batched_runs == 4
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_intra_loop_read_after_write(self):
+        # e.x is written, then read by the next statement: the lowered
+        # path must see the updated value, exactly like the interpreter.
+        src = (
+            'for e in entities("Unit"):\n'
+            " e.x = e.x + 1.0\n"
+            " e.y = e.x * 2.0\n"
+            "end"
+        )
+        scalar_world, batch_world, _, batch_sys = paired_run(src)
+        assert batch_sys.batched_runs == 4
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_pure_builtins_and_env_bindings(self):
+        src = (
+            'for e in entities("Unit"):\n'
+            " e.vx = clamp(e.vx + dt, -1.5, 1.5)\n"
+            " e.hp = max(0, min(e.hp, tick + 5))\n"
+            "end"
+        )
+        scalar_world, batch_world, _, batch_sys = paired_run(src)
+        assert batch_sys.batched_runs == 4
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_randomized_numeric_scripts(self):
+        rng = random.Random(99)
+        fields = ["x", "y", "vx", "vy"]
+        for trial in range(8):
+            target, src_a, src_b = rng.choice(fields), rng.choice(fields), rng.choice(fields)
+            c1, c2 = round(rng.uniform(-2, 2), 3), round(rng.uniform(0.5, 1.5), 3)
+            source = (
+                f'for e in entities("Unit"):\n'
+                f" e.{target} = e.{src_a} * {c2} + e.{src_b} - {c1}\n"
+                f"end"
+            )
+            scalar_world, batch_world, _, batch_sys = paired_run(
+                source, ticks=2, seed=trial
+            )
+            assert batch_sys.batched_runs == 2, source
+            assert scalar_world.state_hash() == batch_world.state_hash(), source
+
+
+class TestFallback:
+    def test_budgeted_profile_never_lowers(self):
+        world = make_world()
+        system = add_script_system(
+            world, "s", MOVE_SRC, profile=UNRESTRICTED.with_budget(100000)
+        )
+        world.run(2)
+        assert system.lowered is None
+        assert system.batched_runs == 0
+
+    def test_batch_off_disables_lowering(self):
+        world = make_world()
+        system = add_script_system(world, "s", MOVE_SRC, batch="off")
+        world.run(2)
+        assert system.lowered is None
+
+    def test_invalid_batch_mode_rejected(self):
+        from repro.errors import ScriptError
+
+        world = make_world()
+        with pytest.raises(ScriptError, match="batch"):
+            add_script_system(world, "s", MOVE_SRC, batch="sideways")
+
+    def test_ambiguous_field_falls_back_to_interpreter(self):
+        # "Shadow" also declares "x": EntityProxy resolution could differ,
+        # so the lowered program must decline at run time and the scalar
+        # interpreter must produce the results.
+        scalar_world = make_world(second_component=True)
+        batch_world = make_world(second_component=True)
+        add_script_system(scalar_world, "s", MOVE_SRC, batch="off")
+        system = add_script_system(batch_world, "s", MOVE_SRC, batch="auto")
+        scalar_world.run(3)
+        batch_world.run(3)
+        assert system.lowered is not None  # statically fine
+        assert system.batched_runs == 0    # dynamically declined
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_late_component_registration_revalidates(self):
+        world = make_world()
+        system = add_script_system(world, "s", MOVE_SRC)
+        world.run(2)
+        assert system.batched_runs == 2
+        world.register_component(schema("Shadow", x="float"))  # now ambiguous
+        world.run(2)
+        assert system.batched_runs == 2  # stopped batching after the change
+
+    def test_runtime_error_falls_back_with_scalar_semantics(self):
+        # Division by zero is data-dependent: the batch aborts before any
+        # write and the interpreter reruns the frame, striking the script
+        # with identical partial-write semantics to a scalar-only system.
+        src = 'for e in entities("Unit"):\n e.vx = e.vx / e.hp\nend'
+
+        def poison(world):
+            victim = sorted(world.entities())[25]
+            world.set(victim, "Unit", hp=0)
+
+        scalar_world = make_world()
+        batch_world = make_world()
+        poison(scalar_world)
+        poison(batch_world)
+        scalar_sys = add_script_system(scalar_world, "s", src, batch="off", max_strikes=None)
+        batch_sys = add_script_system(batch_world, "s", src, batch="auto", max_strikes=None)
+        scalar_world.run(2)
+        batch_world.run(2)
+        assert batch_sys.batched_runs == 0
+        assert batch_sys.errors == scalar_sys.errors == 2
+        assert scalar_world.state_hash() == batch_world.state_hash()
+
+    def test_instruction_count_zero_on_batched_frames(self):
+        world = make_world()
+        system = add_script_system(world, "s", MOVE_SRC)
+        world.tick()
+        assert system.batched_runs == 1
+        assert system.instructions_last_run == 0
