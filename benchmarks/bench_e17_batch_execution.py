@@ -104,21 +104,21 @@ def point_query(world):
 def run_query_cell(n: int, reps: int = 20, seed: int = 1):
     """(t_fresh, t_cached, t_batched, result_rows) for the scan query."""
     world = build_world(n, seed)
-    expected = scan_query(world).ids()
-    assert scan_query(world).ids_batch() == expected, "modes must agree"
+    expected = scan_query(world).execute(mode="tuple").ids
+    assert scan_query(world).execute(mode="batch").ids == expected, "modes must agree"
 
     def fresh():
         for _ in range(reps):
             world.plan_cache.clear()
-            scan_query(world).ids()
+            scan_query(world).execute(mode="tuple").ids
 
     def cached():
         for _ in range(reps):
-            scan_query(world).ids()
+            scan_query(world).execute(mode="tuple").ids
 
     def batched():
         for _ in range(reps):
-            scan_query(world).ids_batch()
+            scan_query(world).execute(mode="batch").ids
 
     t_fresh = wall_time(fresh, repeats=2)
     t_cached = wall_time(cached, repeats=2)
@@ -134,11 +134,11 @@ def run_plan_cache_cell(n: int, reps: int = 300, seed: int = 1):
     def fresh():
         for _ in range(reps):
             world.plan_cache.clear()
-            point_query(world).ids()
+            point_query(world).execute(mode="tuple").ids
 
     def cached():
         for _ in range(reps):
-            point_query(world).ids()
+            point_query(world).execute(mode="tuple").ids
 
     t_fresh = wall_time(fresh, repeats=2)
     world.plan_cache.clear()
@@ -247,8 +247,8 @@ def run_traced_sample(n=500, seed=1):
     world = build_world(n, seed)
     add_script_system(world, "update", UPDATE_SRC, batch="auto")
     for _ in range(3):
-        scan_query(world).ids()       # query.plan_cache spans
-        scan_query(world).ids_batch()  # query.batch spans
+        scan_query(world).execute(mode="tuple").ids       # query.plan_cache spans
+        scan_query(world).execute(mode="batch").ids  # query.batch spans
         world.tick()                   # script.batch spans
 
 
@@ -262,21 +262,21 @@ def test_e17_fresh_query(benchmark):
 
     def run():
         world.plan_cache.clear()
-        return scan_query(world).ids()
+        return scan_query(world).execute(mode="tuple").ids
 
     benchmark(run)
 
 
 def test_e17_cached_query(benchmark):
     world = build_world(N_BENCH)
-    scan_query(world).ids()
-    benchmark(lambda: scan_query(world).ids())
+    scan_query(world).execute(mode="tuple").ids
+    benchmark(lambda: scan_query(world).execute(mode="tuple").ids)
 
 
 def test_e17_batched_query(benchmark):
     world = build_world(N_BENCH)
-    scan_query(world).ids_batch()
-    benchmark(lambda: scan_query(world).ids_batch())
+    scan_query(world).execute(mode="batch").ids
+    benchmark(lambda: scan_query(world).execute(mode="batch").ids)
 
 
 def test_e17_batched_script_tick(benchmark):

@@ -1,0 +1,365 @@
+"""E18 — parallel tick execution: state-effect phases + shard workers.
+
+Sowell et al.'s state-effect pattern makes game scripts parallelizable:
+systems read frozen pre-phase state and emit effect buffers that merge
+in canonical order, so concurrency never changes results.  PR 5 cashes
+that in at two levels, and this experiment measures both:
+
+* **E18a — in-world thread pool**: a 10k-entity movement/regen/economy
+  workload whose batch systems declare disjoint read/write sets, run
+  serially and with ``world.enable_parallel(workers)`` for increasing
+  worker counts.  Every cell asserts ``state_hash`` equality with the
+  serial run inline — the determinism check is part of the benchmark.
+* **E18b — multiprocess shard cluster**: a 4-shard cluster (drift
+  system, migrations, cross-shard transfers) under
+  ``ClusterCoordinator(parallel=N)``, where whole ``ShardHost``s run in
+  forked worker processes and SimNetwork messages cross process
+  boundaries over pipes.  Hash equality with the serial cluster is
+  asserted per worker count.
+* **E18c — phase structure**: the conflict-graph scheduler's cut for a
+  mixed workload (disjoint writers, a write-write conflict, an opaque
+  system), reporting phases and mean parallelism.
+
+Speedup numbers are **hardware dependent** — on a single-core container
+the parallel runs pay coordination overhead for no gain; on a 4-vCPU CI
+runner the in-world pool approaches the core count for effect-capable
+workloads.  The regression gate therefore pins the host-independent
+booleans (hash equality, phase counts) exactly and tracks the speedup
+ratios only within a generous tolerance.
+
+``--out foo.json`` writes the machine-readable per-run artifact that
+``check_regression.py`` compares against ``BENCH_E18.baseline.json``.
+"""
+
+import os
+import random
+
+from bench_common import (
+    BenchTable,
+    emit_json,
+    emit_report,
+    make_parser,
+    trace_session,
+    wall_time,
+)
+
+from repro.cluster import ClusterCoordinator, StaticGridPlacement
+from repro.consistency.partition import StaticGridPartitioner
+from repro.core import GameWorld, schema
+from repro.parallel import build_tick_plan
+from repro.spatial.geometry import AABB
+from repro.workloads.hotspot import cluster_schemas, transfer_spec
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+# -- E18a: in-world state-effect phases ------------------------------------------
+
+def _integrate(world, ids, cols, dt):
+    return {
+        "Position.x": [
+            x + dx * dt for x, dx in zip(cols["Position.x"], cols["Velocity.dx"])
+        ],
+        "Position.y": [
+            y + dy * dt for y, dy in zip(cols["Position.y"], cols["Velocity.dy"])
+        ],
+    }
+
+
+def _regen(world, ids, cols, dt):
+    return {"Health.hp": [min(1000, hp + 3) for hp in cols["Health.hp"]]}
+
+
+def _economy(world, ids, cols, dt):
+    return {
+        "Gold.amount": [a + a // 50 - (a % 7 == 0) for a in cols["Gold.amount"]]
+    }
+
+
+def build_world(n: int, seed: int = 1) -> GameWorld:
+    world = GameWorld()
+    world.register_component(schema("Position", x="float", y="float"))
+    world.register_component(schema("Velocity", dx="float", dy="float"))
+    world.register_component(schema("Health", hp=("int", 100)))
+    world.register_component(schema("Gold", amount=("int", 100)))
+    rng = random.Random(seed)
+    for _ in range(n):
+        world.spawn(
+            Position={"x": rng.uniform(0, 1000), "y": rng.uniform(0, 1000)},
+            Velocity={"dx": rng.uniform(-3, 3), "dy": rng.uniform(-3, 3)},
+            Health={"hp": rng.randrange(1, 1000)},
+            Gold={"amount": rng.randrange(0, 500)},
+        )
+    world.add_batch_system(
+        "integrate",
+        reads=["Position.x", "Position.y", "Velocity.dx", "Velocity.dy"],
+        fn=_integrate,
+        writes=["Position.x", "Position.y"],
+    )
+    world.add_batch_system(
+        "regen", reads=["Health.hp"], fn=_regen, writes=["Health.hp"]
+    )
+    world.add_batch_system(
+        "economy", reads=["Gold.amount"], fn=_economy, writes=["Gold.amount"]
+    )
+    return world
+
+
+def run_world_cell(n: int, ticks: int = 10, seed: int = 1):
+    """[(workers, t_per_tick, hash_equal, parallel_phases)] per count."""
+    serial = build_world(n, seed)
+    t_serial = wall_time(lambda: serial.run(ticks), repeats=1) / ticks
+    serial_hash = serial.state_hash()
+    rows = [(0, t_serial, True, 0)]
+    for workers in WORKER_COUNTS:
+        world = build_world(n, seed)
+        executor = world.enable_parallel(workers=workers)
+        t = wall_time(lambda: world.run(ticks), repeats=1) / ticks
+        equal = world.state_hash() == serial_hash
+        stats = executor.stats()
+        world.disable_parallel()
+        rows.append((workers, t, equal, stats["parallel_phases"]))
+    return rows
+
+
+# -- E18b: multiprocess shard cluster --------------------------------------------
+
+def _drift(world, eid, dt):
+    pos = world.get(eid, "Position")
+    world.set(eid, "Position", x=pos["x"] + 0.9, y=pos["y"] + 0.4)
+
+
+def build_cluster(parallel, seed: int = 1, entities: int = 200):
+    placement = StaticGridPlacement(
+        StaticGridPartitioner(AABB(0, 0, 800, 800), 2, 2, 4)
+    )
+    coord = ClusterCoordinator(
+        4, placement, cluster_schemas(), seed=seed, parallel=parallel
+    )
+    rng = random.Random(seed + 17)
+    eids = [
+        coord.spawn(
+            {
+                "Position": {
+                    "x": rng.uniform(0, 800), "y": rng.uniform(0, 800)
+                },
+                "Wealth": {},
+            }
+        )
+        for _ in range(entities)
+    ]
+    coord.add_per_entity_system("drift", ["Position"], _drift)
+    return coord, eids, rng
+
+
+def run_cluster_ticks(coord, eids, rng, ticks: int):
+    for t in range(ticks):
+        if t % 4 == 0:
+            a, b = rng.sample(eids, 2)
+            coord.submit(transfer_spec(a, b, 2))
+        coord.tick()
+    coord.quiesce()
+
+
+def run_cluster_cell(ticks: int = 30, seed: int = 1, entities: int = 200):
+    """[(workers, t_per_tick, hash_equal)] for serial + each worker count."""
+    coord, eids, rng = build_cluster(None, seed, entities)
+    t_serial = (
+        wall_time(lambda: run_cluster_ticks(coord, eids, rng, ticks), repeats=1)
+        / ticks
+    )
+    serial_hash = coord.state_hash()
+    rows = [(0, t_serial, True)]
+    if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX host
+        return rows
+    for workers in WORKER_COUNTS:
+        coord, eids, rng = build_cluster(workers, seed, entities)
+        t = (
+            wall_time(
+                lambda: run_cluster_ticks(coord, eids, rng, ticks), repeats=1
+            )
+            / ticks
+        )
+        equal = coord.state_hash() == serial_hash
+        coord.stop_parallel(sync=False)
+        rows.append((workers, t, equal))
+    return rows
+
+
+# -- E18c: phase structure -------------------------------------------------------
+
+def run_phase_cell(seed: int = 1):
+    """(phases, parallel_phases, parallelism, conflict_edges) for a mixed mix."""
+    world = build_world(64, seed)
+    # A conflicting writer (write-write on Gold) and an opaque system.
+    world.add_batch_system(
+        "tax",
+        reads=["Gold.amount"],
+        fn=lambda w, ids, cols, dt: {
+            "Gold.amount": [max(0, a - 1) for a in cols["Gold.amount"]]
+        },
+        writes=["Gold.amount"],
+    )
+    world.add_per_entity_system(
+        "opaque", ["Health"], lambda w, eid, dt: None
+    )
+    plan = build_tick_plan(world.scheduler.systems())
+    return (
+        len(plan.phases),
+        sum(1 for p in plan.phases if p.concurrent),
+        plan.parallelism,
+        len(plan.graph.edges()),
+    )
+
+
+# -- report ----------------------------------------------------------------------
+
+def run_experiment(n=10_000, ticks=10, cluster_ticks=30, seed=1):
+    wtable = BenchTable(
+        "E18a: in-world parallel tick (0 workers = serial scheduler)",
+        ["workers", "t_tick_ms", "ticks_per_s", "speedup", "hash_equal",
+         "parallel_phases"],
+    )
+    world_rows = run_world_cell(n, ticks=ticks, seed=seed)
+    t_serial = world_rows[0][1]
+    for workers, t, equal, phases in world_rows:
+        wtable.add_row(
+            workers, t * 1e3, 1.0 / t if t else float("inf"),
+            t_serial / t if t else float("inf"), equal, phases,
+        )
+    ctable = BenchTable(
+        "E18b: multiprocess shard cluster (0 workers = serial step)",
+        ["workers", "t_tick_ms", "ticks_per_s", "speedup", "hash_equal"],
+    )
+    cluster_rows = run_cluster_cell(ticks=cluster_ticks, seed=seed)
+    c_serial = cluster_rows[0][1]
+    for workers, t, equal in cluster_rows:
+        ctable.add_row(
+            workers, t * 1e3, 1.0 / t if t else float("inf"),
+            c_serial / t if t else float("inf"), equal,
+        )
+    phases, parallel_phases, parallelism, edges = run_phase_cell(seed)
+    ptable = BenchTable(
+        "E18c: conflict-graph phase structure (mixed workload)",
+        ["phases", "parallel_phases", "mean_parallelism", "conflict_edges"],
+    )
+    ptable.add_row(phases, parallel_phases, parallelism, edges)
+    metrics = {
+        # Host-independent: gated exactly.
+        "world_hash_equal": all(wtable.column("hash_equal")),
+        "cluster_hash_equal": all(ctable.column("hash_equal")),
+        "parallel_phases": parallel_phases,
+        "phases": phases,
+        # Hardware dependent: gated within tolerance only.
+        "world_speedup_w4": wtable.column("speedup")[-1],
+        "cluster_speedup_w4": ctable.column("speedup")[-1],
+    }
+    return {
+        "tables": [wtable, ctable, ptable],
+        "metrics": metrics,
+        "n": n,
+    }
+
+
+def to_payload(result, seed):
+    """The JSON artifact for one run (input to check_regression.py)."""
+    return {
+        "experiment": "E18",
+        "seed": seed,
+        "n": result["n"],
+        "tables": [t.to_dict() for t in result["tables"]],
+        "metrics": result["metrics"],
+    }
+
+
+def print_report(n=10_000, ticks=10, cluster_ticks=30, seed=1) -> None:
+    result = run_experiment(n=n, ticks=ticks, cluster_ticks=cluster_ticks,
+                            seed=seed)
+    for table in result["tables"]:
+        table.print()
+    m = result["metrics"]
+    print(f"in-world speedup at 4 workers: {m['world_speedup_w4']:.2f}x "
+          f"(hardware dependent; hashes equal: {m['world_hash_equal']})")
+    print(f"cluster speedup at 4 workers: {m['cluster_speedup_w4']:.2f}x "
+          f"(hashes equal: {m['cluster_hash_equal']})")
+    print(f"phase cut: {m['phases']} phases, "
+          f"{m['parallel_phases']} concurrent")
+    print("-> systems with declared read/write sets fuse into concurrent "
+          "phases; effect merges in canonical order keep every parallel "
+          "run bit-identical to serial.")
+
+
+def run_traced_sample(n=500, seed=1):
+    """A small traced run, so --trace-out shows the new span families."""
+    world = build_world(n, seed)
+    world.enable_parallel(workers=2)  # traced → serial shadow w/ phase spans
+    world.run(3)
+    world.disable_parallel()
+
+
+# -- pytest-benchmark entries ----------------------------------------------------
+
+N_BENCH = 2000
+
+
+def test_e18_serial_tick(benchmark):
+    world = build_world(N_BENCH)
+    benchmark(world.tick)
+
+
+def test_e18_parallel_tick(benchmark):
+    world = build_world(N_BENCH)
+    world.enable_parallel(workers=2)
+    benchmark(world.tick)
+    world.disable_parallel()
+
+
+def test_e18_shape_holds(benchmark):
+    """The determinism assertions, at CI-friendly sizes.
+
+    Speedup is deliberately NOT asserted here — it depends on host core
+    count; the hash-equality booleans are the invariants.
+    """
+
+    def check():
+        result = run_experiment(n=1000, ticks=4, cluster_ticks=12)
+        m = result["metrics"]
+        assert m["world_hash_equal"], "parallel world must be bit-identical"
+        assert m["cluster_hash_equal"], "parallel cluster must be bit-identical"
+        assert m["parallel_phases"] >= 1, "scheduler must fuse disjoint systems"
+        return m
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    parser = make_parser("E18 parallel tick execution benchmark")
+    parser.add_argument(
+        "--entities", type=int, default=10_000,
+        help="entity count for the in-world cell",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=10,
+        help="frames per in-world measurement",
+    )
+    parser.add_argument(
+        "--cluster-ticks", type=int, default=30,
+        help="global ticks per cluster measurement",
+    )
+    cli = parser.parse_args()
+    with trace_session(cli.trace_out):
+        if cli.out and cli.out.endswith(".json"):
+            result = run_experiment(
+                n=cli.entities, ticks=cli.ticks,
+                cluster_ticks=cli.cluster_ticks, seed=cli.seed,
+            )
+            for table in result["tables"]:
+                table.print()
+            emit_json(cli.out, to_payload(result, cli.seed))
+        else:
+            emit_report(
+                print_report, out=cli.out, n=cli.entities, ticks=cli.ticks,
+                cluster_ticks=cli.cluster_ticks, seed=cli.seed,
+            )
+        if cli.trace_out:
+            run_traced_sample(seed=cli.seed)

@@ -123,6 +123,16 @@ EXPERIMENTS = [
      "entities and the lowered update script by an order of magnitude, "
      "with bit-identical results; a warm plan cache plans each shape "
      "exactly once (hit rate ~1.0)."),
+    ("E18 / Fig 15", "bench_e18_parallel",
+     "The state-effect pattern — scripts read frozen state and emit "
+     "effects merged later — makes scripts parallelizable without "
+     "changing results (Performance Challenges).",
+     "Every parallel run, in-world threads and forked shard workers "
+     "alike, produces a state_hash bit-identical to serial; the "
+     "conflict-graph scheduler fuses disjoint systems into concurrent "
+     "phases.  Speedup is hardware dependent — near-linear on "
+     "multi-core hosts for effect-capable workloads, below 1x on a "
+     "single core where only coordination overhead remains."),
 ]
 
 HEADER = """\

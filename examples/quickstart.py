@@ -70,7 +70,7 @@ def main() -> None:
 
     # ------------------------------------------------------ per-frame systems
     def regen(world, dt):
-        for eid in world.query("Health").where("Health", F.hp < 100).ids():
+        for eid in world.query("Health").where("Health", F.hp < 100).execute(mode="tuple").ids:
             hp = world.get_field(eid, "Health", "hp")
             world.set(eid, "Health", hp=min(100, hp + 1))
 

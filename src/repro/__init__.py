@@ -15,7 +15,7 @@ Quickstart::
     world.register_component(schema("Position", x="float", y="float"))
     world.register_component(schema("Health", hp=("int", 100)))
     eid = world.spawn(Position={"x": 1.0, "y": 2.0}, Health={})
-    hurt = world.query("Health").where("Health", F.hp < 50).ids()
+    hurt = world.query("Health").where("Health", F.hp < 50).execute().ids
 """
 
 from repro.cluster import (
@@ -32,14 +32,24 @@ from repro.core import (
     GameWorld,
     ComponentSchema,
     FieldDef,
+    ResultSet,
+    SystemSpec,
     schema,
+    system,
 )
 from repro.errors import ClusterError, ObsError, ReplicationError, ReproError
 from repro.obs import (
     FlightRecorder,
     MetricsRegistry,
     Observability,
+    StatsRow,
     Tracer,
+)
+from repro.parallel import (
+    EffectBuffer,
+    ParallelTickExecutor,
+    ProcessShardExecutor,
+    build_tick_plan,
 )
 from repro.replication import (
     ReplicatedClusterCoordinator,
@@ -54,7 +64,15 @@ __all__ = [
     "GameWorld",
     "ComponentSchema",
     "FieldDef",
+    "ResultSet",
+    "SystemSpec",
     "schema",
+    "system",
+    "EffectBuffer",
+    "ParallelTickExecutor",
+    "ProcessShardExecutor",
+    "build_tick_plan",
+    "StatsRow",
     "BubbleAwarePlacement",
     "ClusterCoordinator",
     "ClusterStats",

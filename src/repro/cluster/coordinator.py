@@ -96,11 +96,14 @@ class ClusterCoordinator:
         rebalancer: DynamicRebalancer | None = None,
         repartition_interval: int = 20,
         obs: Observability | None = None,
+        parallel: int | None = None,
     ):
         if shards < 1:
             raise ClusterError("cluster needs at least one shard")
         if repartition_interval < 1:
             raise ClusterError("repartition_interval must be positive")
+        if parallel is not None and parallel < 1:
+            raise ClusterError("parallel worker count must be positive")
         self.placement = placement
         self.rebalancer = rebalancer
         self.repartition_interval = repartition_interval
@@ -145,6 +148,12 @@ class ClusterCoordinator:
         self._c_cross_aborted = self.metrics.counter("cluster.txn.cross_aborted")
         self._c_migrations = self.metrics.counter("cluster.migrations_done")
         self._c_rebalance_moves = self.metrics.counter("cluster.rebalance_moves")
+        # Parallel execution policy: `parallel=N` starts N worker
+        # processes lazily on the first tick (so spawns and system
+        # registrations made before ticking are inherited by the fork).
+        self._parallel_workers = parallel
+        self._parallel = None
+        self.obs.register_stats("cluster.migration", self.migration_stats)
 
     # -- coordinator tallies (registry-backed) ------------------------------------
 
@@ -230,6 +239,32 @@ class ClusterCoordinator:
         for host in self.shards:
             host.world.add_per_entity_system(name, components, fn, priority, interval)
 
+    def add_system(self, system: Any, priority: int | None = None) -> None:
+        """Register a system on every shard world.
+
+        Accepts a ``@system``-decorated function (shared across shards —
+        it must be stateless) or a zero-argument factory returning a
+        fresh :class:`~repro.core.systems.System` per shard.
+        """
+        from repro.core.systems import System
+
+        if isinstance(system, System):
+            raise ClusterError(
+                "pass a decorated function or a factory, not a System "
+                "instance — each shard world needs its own"
+            )
+        decorated = hasattr(system, "__system_name__")
+        for host in self.shards:
+            instance = system if decorated else system()
+            host.world.add_system(instance, priority=priority)
+
+    def add_script_system(self, name: str, source: str, **kwargs: Any) -> None:
+        """Compile and register the same GSL script on every shard world."""
+        from repro.scripting.script_system import add_script_system
+
+        for host in self.shards:
+            add_script_system(host.world, name, source, **kwargs)
+
     # -- entity plane -------------------------------------------------------------
 
     def spawn(self, components: Mapping[str, Mapping[str, Any]]) -> int:
@@ -240,7 +275,15 @@ class ClusterCoordinator:
         shard_id = self.placement.initial_shard(entity, x, y)
         if not 0 <= shard_id < len(self.shards):
             raise ClusterError(f"placement returned bad shard {shard_id}")
-        self.shards[shard_id].install_entity(entity, components)
+        if self._parallel is not None:
+            # The worker owns the live world; mirror ownership locally so
+            # check_invariants and the directory stay accurate.
+            self._parallel.install(shard_id, entity, components)
+            host = self.shards[shard_id]
+            host.owned.add(entity)
+            host.stats.entities_owned = len(host.owned)
+        else:
+            self.shards[shard_id].install_entity(entity, components)
         self.directory[entity] = shard_id
         return entity
 
@@ -258,6 +301,8 @@ class ClusterCoordinator:
 
     def positions(self) -> dict[int, tuple[float, float]]:
         """Global Position snapshot gathered from every shard."""
+        if self._parallel is not None:
+            return self._parallel.positions()
         out: dict[int, tuple[float, float]] = {}
         for host in self.shards:
             if "Position" not in host.world.component_names():
@@ -447,10 +492,49 @@ class ClusterCoordinator:
 
         The replicated coordinator overrides this to weave in fault
         injection, log shipping, replica apply, and failure detection.
+        Under a ``parallel=`` policy the step fans out to the worker
+        processes instead (same message order — see
+        :mod:`repro.parallel.procpool`).
         """
+        if self._parallel is None and self._parallel_workers is not None:
+            self.start_parallel(self._parallel_workers)
+        if self._parallel is not None:
+            self._parallel.step()
+            return
         for host in self.shards:
             host.process_inbox(self.net.receive(host.endpoint))
             host.tick()
+
+    # -- parallel execution policy -----------------------------------------------
+
+    @property
+    def parallel_active(self) -> bool:
+        """Whether shard ticks currently run on worker processes."""
+        return self._parallel is not None
+
+    def start_parallel(self, workers: int | None = None) -> Any:
+        """Fork shard workers and route subsequent ticks through them."""
+        if self._parallel is not None:
+            return self._parallel
+        if type(self)._step_shards is not ClusterCoordinator._step_shards:
+            raise ClusterError(
+                "parallel execution requires the base shard step "
+                "(replicated clusters override it)"
+            )
+        from repro.parallel.procpool import ProcessShardExecutor
+
+        self._parallel = ProcessShardExecutor(
+            self, workers if workers is not None else (self._parallel_workers or 2)
+        )
+        return self._parallel
+
+    def stop_parallel(self, sync: bool = True) -> None:
+        """Stop the shard workers; ``sync=True`` pulls their state back."""
+        if self._parallel is None:
+            return
+        executor, self._parallel = self._parallel, None
+        self._parallel_workers = None
+        executor.stop(sync=sync)
 
     def _maybe_repartition(self) -> None:
         """Repartition when the interval elapses (hook for subclasses)."""
@@ -514,6 +598,28 @@ class ClusterCoordinator:
     def _send(self, dst: str, payload: Any) -> None:
         self.net.send(COORD_ENDPOINT, dst, payload, payload.wire_size())
 
+    def migration_stats(self) -> "StatsRow":
+        """Handoff/rebalance counters as a :class:`StatsRow` snapshot."""
+        from repro.obs.metrics import StatsRow
+
+        return StatsRow(
+            ("migrations_done", "in_flight", "rebalance_moves",
+             "deferred", "retained"),
+            migrations_done=self.migrations_done,
+            in_flight=len(self._in_flight),
+            rebalance_moves=self.rebalance_moves,
+            deferred=(
+                sum(self._parallel.deferred_counts.values())
+                if self._parallel is not None
+                else sum(host.deferred_handoffs for host in self.shards)
+            ),
+            retained=(
+                sum(self._parallel.retained_counts.values())
+                if self._parallel is not None
+                else sum(host.retained_evictions for host in self.shards)
+            ),
+        )
+
     def stats(self) -> ClusterStats:
         """Assemble the cluster-wide observability record."""
         return ClusterStats(
@@ -534,9 +640,15 @@ class ClusterCoordinator:
         digests — the cluster's replay guarantee.
         """
         digest = hashlib.sha256()
+        shard_hashes = (
+            self._parallel.state_hashes() if self._parallel is not None else None
+        )
         for host in self.shards:
             digest.update(f"shard:{host.shard_id}\n".encode())
-            digest.update(host.world.state_hash().encode())
+            if shard_hashes is not None:
+                digest.update(shard_hashes[host.shard_id].encode())
+            else:
+                digest.update(host.world.state_hash().encode())
         for entity in sorted(self.directory):
             digest.update(f"\nd:{entity}->{self.directory[entity]}".encode())
         return digest.hexdigest()
@@ -581,12 +693,16 @@ class ClusterCoordinator:
         shipping keeps the network permanently busy, so it cannot wait
         for an empty wire.
         """
+        if self._parallel is not None:
+            deferred = any(self._parallel.deferred_counts.values())
+        else:
+            deferred = any(host.deferred_handoffs for host in self.shards)
         return (
             not self._in_flight
             and not self._pending_specs
             and not self.net.in_flight_count()
             and all(r.finished for r in self._txns.values())
-            and not any(host.deferred_handoffs for host in self.shards)
+            and not deferred
         )
 
     def quiesce(self, max_ticks: int = 64) -> None:

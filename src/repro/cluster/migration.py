@@ -19,6 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import StatsRow
+
+
+class ForwardingStats(StatsRow):
+    """Snapshot of one shard's forwarding-table state."""
+
+    COLUMNS = ("entries", "forwards")
+
 
 @dataclass(frozen=True)
 class InFlightHandoff:
@@ -52,6 +60,12 @@ class ForwardingTable:
     def count_forward(self) -> None:
         """Account one forwarded message."""
         self.forwards += 1
+
+    def stats(self) -> ForwardingStats:
+        """Point-in-time :class:`StatsRow` snapshot."""
+        return ForwardingStats(
+            entries=len(self._next_hop), forwards=self.forwards
+        )
 
     def __len__(self) -> int:
         return len(self._next_hop)

@@ -73,9 +73,27 @@ def write(key: Hashable, fn: WriteFn) -> Op:
     return Op("w", key, fn)
 
 
+class Increment:
+    """Picklable add-``amount`` write function.
+
+    A module-level class instead of a lambda so transaction ops survive
+    the pipe crossing into parallel shard workers (see
+    :mod:`repro.parallel.procpool`); custom :func:`write` functions must
+    follow the same rule to be usable under ``parallel=``.
+    """
+
+    __slots__ = ("amount",)
+
+    def __init__(self, amount: float = 1):
+        self.amount = amount
+
+    def __call__(self, old: Any, reads: Mapping[Hashable, Any]) -> Any:
+        return (old or 0) + self.amount
+
+
 def increment(key: Hashable, amount: float = 1) -> Op:
     """Write op adding ``amount`` to the key's current value."""
-    return Op("w", key, lambda old, reads: (old or 0) + amount)
+    return Op("w", key, Increment(amount))
 
 
 @dataclass

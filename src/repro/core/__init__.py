@@ -23,13 +23,22 @@ from repro.core.predicates import (
     Or,
     Predicate,
 )
-from repro.core.query import PreparedQuery, Query, ResultRow, nearest_neighbors
+from repro.core.query import (
+    EXECUTE_MODES,
+    PreparedQuery,
+    Query,
+    ResultRow,
+    ResultSet,
+    nearest_neighbors,
+)
 from repro.core.systems import (
     BatchSystem,
     FunctionSystem,
     PerEntitySystem,
     System,
     SystemScheduler,
+    SystemSpec,
+    system,
 )
 from repro.core.table import ComponentTable
 from repro.core.world import GameWorld, diff_worlds
@@ -66,15 +75,19 @@ __all__ = [
     "Not",
     "Or",
     "Predicate",
+    "EXECUTE_MODES",
     "PreparedQuery",
     "Query",
     "ResultRow",
+    "ResultSet",
     "nearest_neighbors",
     "BatchSystem",
     "FunctionSystem",
     "PerEntitySystem",
     "System",
     "SystemScheduler",
+    "SystemSpec",
+    "system",
     "ComponentTable",
     "GameWorld",
     "diff_worlds",

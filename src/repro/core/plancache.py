@@ -25,13 +25,21 @@ shape, not to how often it gets planned.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, TYPE_CHECKING
 
 from repro.core.predicates import predicate_signature
 from repro.core.planner import QueryPlan
+from repro.obs.metrics import Counter, StatsRow
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.world import GameWorld
+
+
+class PlanCacheStats(StatsRow):
+    """Snapshot of the cache's registry-backed counters."""
+
+    COLUMNS = ("entries", "hits", "misses", "invalidations", "uncacheable")
 
 
 class PlanCache:
@@ -52,10 +60,59 @@ class PlanCache:
         self.world = world
         self.max_entries = max_entries
         self._entries: dict[Any, tuple[QueryPlan, tuple]] = {}
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.uncacheable = 0
+        # Counters live in the world's metrics registry when one is
+        # attached (so ``obs.snapshot()`` sees them); otherwise they are
+        # free-standing cells with the same API.
+        obs = getattr(world, "obs", None)
+        registry = obs.metrics if obs is not None else None
+
+        def cell(name: str) -> Counter:
+            if registry is not None:
+                return registry.counter(f"query.plan_cache.{name}")
+            return Counter(f"query.plan_cache.{name}", {})
+
+        self._c_hits = cell("hits")
+        self._c_misses = cell("misses")
+        self._c_invalidations = cell("invalidations")
+        self._c_uncacheable = cell("uncacheable")
+        # The parallel executor's thread pool may run queries from several
+        # worker threads at once; the lock keeps counter totals and FIFO
+        # bookkeeping exact (completion order may vary, counts may not).
+        self._lock = threading.Lock()
+
+    # -- counter facade (attribute API preserved) ----------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._c_hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._c_misses.value = value
+
+    @property
+    def invalidations(self) -> int:
+        return self._c_invalidations.value
+
+    @invalidations.setter
+    def invalidations(self, value: int) -> None:
+        self._c_invalidations.value = value
+
+    @property
+    def uncacheable(self) -> int:
+        return self._c_uncacheable.value
+
+    @uncacheable.setter
+    def uncacheable(self, value: int) -> None:
+        self._c_uncacheable.value = value
 
     # -- key construction ----------------------------------------------------
 
@@ -106,29 +163,30 @@ class PlanCache:
             return plan
 
     def _lookup(self, query: Any) -> QueryPlan:
-        key = self.signature(query)
-        if key is None:
-            self.uncacheable += 1
-            return self.world.planner.plan(query)
-        components = query.component_names()
-        epochs = self._epochs(components)
-        entry = self._entries.get(key)
-        if entry is not None:
-            plan, cached_epochs = entry
-            if cached_epochs == epochs:
-                self.hits += 1
-                plan.replay_advisor(self.world.index_advisor)
-                return plan
-            del self._entries[key]
-            self.invalidations += 1
-        self.misses += 1
-        plan = self.world.planner.plan(query)
-        if len(self._entries) >= self.max_entries:
-            # FIFO eviction: drop the oldest insertion (dict preserves
-            # insertion order), bounding memory under per-entity shapes.
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = (plan, epochs)
-        return plan
+        with self._lock:
+            key = self.signature(query)
+            if key is None:
+                self.uncacheable += 1
+                return self.world.planner.plan(query)
+            components = query.component_names()
+            epochs = self._epochs(components)
+            entry = self._entries.get(key)
+            if entry is not None:
+                plan, cached_epochs = entry
+                if cached_epochs == epochs:
+                    self.hits += 1
+                    plan.replay_advisor(self.world.index_advisor)
+                    return plan
+                del self._entries[key]
+                self.invalidations += 1
+            self.misses += 1
+            plan = self.world.planner.plan(query)
+            if len(self._entries) >= self.max_entries:
+                # FIFO eviction: drop the oldest insertion (dict preserves
+                # insertion order), bounding memory under per-entity shapes.
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = (plan, epochs)
+            return plan
 
     # -- maintenance / introspection ----------------------------------------
 
@@ -139,12 +197,12 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def stats(self) -> dict[str, int]:
-        """Counter snapshot for reports and benchmarks."""
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "uncacheable": self.uncacheable,
-        }
+    def stats(self) -> PlanCacheStats:
+        """Counter snapshot (a :class:`StatsRow`) for reports and benchmarks."""
+        return PlanCacheStats(
+            entries=len(self._entries),
+            hits=self.hits,
+            misses=self.misses,
+            invalidations=self.invalidations,
+            uncacheable=self.uncacheable,
+        )

@@ -21,6 +21,7 @@ Example
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterator, TYPE_CHECKING
 
@@ -29,6 +30,17 @@ from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.world import GameWorld
+
+#: Execution modes accepted by :meth:`Query.execute`.
+EXECUTE_MODES = ("auto", "tuple", "batch")
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
@@ -85,6 +97,94 @@ class ResultRow:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ResultRow(entity={self.entity}, {self._components})"
+
+
+class ResultSet:
+    """The result of one :meth:`Query.execute` call.
+
+    One object, three views of the same matching entities:
+
+    * :attr:`ids` — the ordered entity-id list (the cheapest view);
+    * :meth:`rows` — materialized :class:`ResultRow` objects;
+    * :meth:`columns` — ``{"Comp.field": tuple_of_values}`` column slices,
+      the shape batch systems and benchmarks consume.
+
+    The set is also a sequence of :class:`ResultRow` (iteration, ``len``,
+    indexing), so pre-redesign call sites that looped over
+    ``query.execute()`` keep working unchanged.  Rows materialize lazily;
+    the id list is computed exactly once at execute time.
+    """
+
+    __slots__ = ("_world", "_component_names", "_ids", "mode")
+
+    def __init__(
+        self,
+        world: "GameWorld",
+        component_names: tuple[str, ...],
+        ids: list[int],
+        mode: str,
+    ):
+        self._world = world
+        self._component_names = component_names
+        self._ids = ids
+        #: Which execution path actually ran: ``"tuple"`` or ``"batch"``.
+        self.mode = mode
+
+    @property
+    def ids(self) -> list[int]:
+        """Matching entity ids in result order."""
+        return self._ids
+
+    def _row(self, entity_id: int) -> ResultRow:
+        return ResultRow(
+            entity_id,
+            {
+                c: self._world.table(c).get(entity_id)
+                for c in self._component_names
+            },
+        )
+
+    def rows(self) -> list[ResultRow]:
+        """Materialize every result as a :class:`ResultRow`."""
+        return [self._row(eid) for eid in self._ids]
+
+    def columns(self, *refs: str) -> dict[str, tuple[Any, ...]]:
+        """Column slices for ``"Component.field"`` references.
+
+        Values align with :attr:`ids` position-for-position — the layout
+        batch systems and vectorized workloads consume directly.
+        """
+        if not refs:
+            raise QueryError("columns() needs at least one 'Comp.field' ref")
+        out: dict[str, tuple[Any, ...]] = {}
+        for ref in refs:
+            comp, _, fld = ref.partition(".")
+            if not fld:
+                raise QueryError(f"column ref {ref!r} must be 'Comp.field'")
+            if comp not in self._component_names:
+                raise QueryError(
+                    f"column ref {ref!r} names a component outside the query"
+                )
+            out[ref] = tuple(self._world.table(comp).gather(fld, self._ids))
+        return out
+
+    def first(self) -> ResultRow | None:
+        """The first result row, or None when the set is empty."""
+        return self._row(self._ids[0]) if self._ids else None
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return (self._row(eid) for eid in self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._row(eid) for eid in self._ids[index]]
+        return self._row(self._ids[index])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResultSet({len(self._ids)} rows, mode={self.mode!r})"
 
 
 class Query:
@@ -209,30 +309,63 @@ class Query:
         """Render the plan this query would execute with right now.
 
         Goes through the plan cache, so EXPLAIN shows exactly what a
-        subsequent :meth:`ids` call will run — cached or fresh.
+        subsequent :meth:`execute` call will run — cached or fresh.
         """
         return self.world.plan_cache.lookup(self).describe()
 
-    def ids(self) -> list[int]:
-        """Execute and return matching entity ids only (cheapest form).
+    def execute(self, mode: str = "auto") -> ResultSet:
+        """Execute the query; the one entry point for all result shapes.
 
-        Plans come from the world's :class:`~repro.core.plancache.PlanCache`:
-        steady-state frames that repeat the same query shape skip planning
-        entirely and jump straight to execution.
+        ``mode`` selects the execution engine:
+
+        * ``"tuple"`` — tuple-at-a-time: walk the access path, evaluate
+          the residual per row;
+        * ``"batch"`` — set-at-a-time: gather referenced columns once and
+          run compiled vector filters (the paper's recommended style);
+        * ``"auto"`` (default) — batch when the plan has residual
+          predicates to vectorize, tuple otherwise; if the batch engine
+          fails, fall back to the tuple engine *on the same plan*.
+
+        Exactly one plan-cache lookup happens per call regardless of mode
+        or fallback, so plan-cache hit counts and advisor-event replays
+        count each execution exactly once.  Plans come from the world's
+        :class:`~repro.core.plancache.PlanCache`: steady-state frames that
+        repeat the same query shape skip planning entirely.
         """
-        plan = self.world.plan_cache.lookup(self)
-        return self._run_plan(plan)
+        if mode not in EXECUTE_MODES:
+            raise QueryError(
+                f"unknown execute mode {mode!r}; expected one of {EXECUTE_MODES}"
+            )
+        plan = self.world.plan_cache.lookup(self)  # the one observation
+        chosen = mode
+        if mode == "auto":
+            chosen = "batch" if plan.residual_count else "tuple"
+        if chosen == "batch":
+            if mode == "batch":
+                ids = self._apply_order_limit(plan.execute_batch(self.world))
+            else:
+                try:
+                    ids = self._apply_order_limit(
+                        plan.execute_batch(self.world)
+                    )
+                except QueryError:
+                    # Same plan, no second cache lookup: fallback must not
+                    # double-count the observation.
+                    chosen = "tuple"
+                    ids = self._run_plan(plan)
+        else:
+            ids = self._run_plan(plan)
+        return ResultSet(self.world, tuple(self._components), ids, chosen)
+
+    def ids(self) -> list[int]:
+        """Deprecated: use ``execute(mode="tuple").ids``."""
+        _deprecated("Query.ids()", 'Query.execute(mode="tuple").ids')
+        return self.execute(mode="tuple").ids
 
     def ids_batch(self) -> list[int]:
-        """Set-at-a-time execution of this query; same results as :meth:`ids`.
-
-        Residual predicates run as compiled vector functions over column
-        slices instead of per-row dicts — the paper's set-at-a-time
-        execution model.  Ordering and limit semantics are identical to
-        the scalar path.
-        """
-        plan = self.world.plan_cache.lookup(self)
-        return self._apply_order_limit(plan.execute_batch(self.world))
+        """Deprecated: use ``execute(mode="batch").ids``."""
+        _deprecated("Query.ids_batch()", 'Query.execute(mode="batch").ids')
+        return self.execute(mode="batch").ids
 
     def _run_plan(self, plan: Any) -> list[int]:
         out = []
@@ -249,31 +382,18 @@ class Query:
         out = self._apply_order_limit(out)
         return out
 
-    def execute(self) -> list[ResultRow]:
-        """Execute and materialize full result rows."""
-        rows = []
-        for entity_id in self.ids():
-            rows.append(
-                ResultRow(
-                    entity_id,
-                    {c: self.world.table(c).get(entity_id) for c in self._components},
-                )
-            )
-        return rows
-
     def count(self) -> int:
         """Number of matching entities."""
-        return len(self.ids())
+        return len(self.execute().ids)
 
     def first(self) -> ResultRow | None:
         """First result under the current ordering, or None."""
         saved = self._limit
         self._limit = 1
         try:
-            rows = self.execute()
+            return self.execute().first()
         finally:
             self._limit = saved
-        return rows[0] if rows else None
 
     def __iter__(self) -> Iterator[ResultRow]:
         return iter(self.execute())
@@ -322,22 +442,49 @@ class PreparedQuery:
             self.plans_built += 1
         return self._plan
 
-    def ids(self) -> list[int]:
-        """Execute with the cached plan; returns matching entity ids."""
-        return self.query._run_plan(self._ensure_plan())
+    def execute(self, mode: str = "auto") -> ResultSet:
+        """Execute with the cached plan; same modes as :meth:`Query.execute`.
 
-    def execute(self) -> list[ResultRow]:
-        """Execute with the cached plan; returns materialized rows."""
-        world = self.query.world
-        comps = self.query.component_names()
-        return [
-            ResultRow(eid, {c: world.table(c).get(eid) for c in comps})
-            for eid in self.ids()
-        ]
+        The prepared path never consults the plan cache (the plan lives on
+        this object), so plan-cache stats are untouched by prepared
+        executions.
+        """
+        if mode not in EXECUTE_MODES:
+            raise QueryError(
+                f"unknown execute mode {mode!r}; expected one of {EXECUTE_MODES}"
+            )
+        plan = self._ensure_plan()
+        query = self.query
+        chosen = mode
+        if mode == "auto":
+            chosen = "batch" if plan.residual_count else "tuple"
+        if chosen == "batch":
+            if mode == "batch":
+                ids = query._apply_order_limit(plan.execute_batch(query.world))
+            else:
+                try:
+                    ids = query._apply_order_limit(
+                        plan.execute_batch(query.world)
+                    )
+                except QueryError:
+                    chosen = "tuple"
+                    ids = query._run_plan(plan)
+        else:
+            ids = query._run_plan(plan)
+        return ResultSet(
+            query.world, query.component_names(), ids, chosen
+        )
+
+    def ids(self) -> list[int]:
+        """Deprecated: use ``execute(mode="tuple").ids``."""
+        _deprecated(
+            "PreparedQuery.ids()", 'PreparedQuery.execute(mode="tuple").ids'
+        )
+        return self.execute(mode="tuple").ids
 
     def count(self) -> int:
         """Number of matching entities under the cached plan."""
-        return len(self.ids())
+        return len(self.execute().ids)
 
     def explain(self) -> str:
         """Render the cached plan (building it if needed)."""

@@ -15,6 +15,7 @@ Experiment E3 measures the gap between the two on the same workload.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
 from repro.errors import QueryError
@@ -22,6 +23,99 @@ from repro.obs.tracer import NOOP_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.world import GameWorld
+    from repro.parallel.effects import EffectBuffer
+
+
+def _component_names(refs: Sequence[str]) -> frozenset[str]:
+    """Component names from a mix of ``"Comp"`` and ``"Comp.field"`` refs."""
+    return frozenset(ref.partition(".")[0] for ref in refs)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Declared read/write component sets — the scheduler's contract.
+
+    The parallel scheduler reasons at component granularity: two systems
+    may share a tick phase only when neither writes a component the other
+    touches.  A system without a spec (``spec is None``) is treated as
+    conflicting with everything and runs in its own serial phase.
+    """
+
+    reads: frozenset[str] = field(default_factory=frozenset)
+    writes: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(
+        cls, reads: Sequence[str] = (), writes: Sequence[str] = ()
+    ) -> "SystemSpec":
+        """Build a spec from component or ``"Comp.field"`` references.
+
+        Written components are implicitly read (an update observes the
+        old value), which keeps the conflict rule symmetric and safe.
+        """
+        write_comps = _component_names(writes)
+        return cls(
+            reads=_component_names(reads) | write_comps, writes=write_comps
+        )
+
+    def conflicts_with(self, other: "SystemSpec | None") -> bool:
+        """Whether the two systems may not share a tick phase."""
+        if other is None:
+            return True
+        return bool(
+            self.writes & (other.reads | other.writes)
+            or other.writes & (self.reads | self.writes)
+        )
+
+    def write_write_conflict(self, other: "SystemSpec | None") -> bool:
+        """Whether both systems write some common component."""
+        if other is None:
+            return bool(self.writes)
+        return bool(self.writes & other.writes)
+
+
+def system(
+    name: str | Callable[..., Any] | None = None,
+    *,
+    reads: Sequence[str] = (),
+    writes: Sequence[str] = (),
+    interval: int = 1,
+    priority: int = 100,
+) -> Callable[..., Any]:
+    """Declare a plain ``fn(world, dt)`` callable as a schedulable system.
+
+    The one declaration path shared by function systems, script systems,
+    and cluster tick hooks: the decorator attaches a :class:`SystemSpec`
+    (what the parallel scheduler consumes) plus name/interval/priority,
+    and ``GameWorld.add_system`` / ``ClusterCoordinator.add_system``
+    accept the decorated callable directly::
+
+        @system(reads=["Position"], writes=["Position"])
+        def drift(world, dt):
+            ...
+
+        world.add_system(drift)
+
+    Usable bare (``@system``) when no declaration is needed — the system
+    then schedules serially, conflicting with everything.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        # No declaration at all means "unknown", not "touches nothing":
+        # the scheduler must serialize it rather than run it anywhere.
+        fn.__system_spec__ = (
+            SystemSpec.of(reads, writes) if (reads or writes) else None
+        )
+        fn.__system_name__ = (
+            name if isinstance(name, str) else getattr(fn, "__name__", "system")
+        )
+        fn.__system_interval__ = interval
+        fn.__system_priority__ = priority
+        return fn
+
+    if callable(name):  # bare @system usage
+        return decorate(name)
+    return decorate
 
 
 class System:
@@ -37,15 +131,21 @@ class System:
         that natively so scripts don't hand-roll modulo counters.
     enabled:
         Disabled systems stay registered but are skipped.
+    spec:
+        Optional :class:`SystemSpec` declaring read/write component sets.
+        ``None`` means unknown: the parallel scheduler serializes it.
     """
 
-    def __init__(self, name: str, interval: int = 1):
+    def __init__(
+        self, name: str, interval: int = 1, *, spec: SystemSpec | None = None
+    ):
         if interval < 1:
             raise QueryError("system interval must be >= 1")
         self.name = name
         self.interval = interval
         self.enabled = True
         self.runs = 0
+        self.spec = spec
 
     def run(self, world: "GameWorld", dt: float) -> None:
         """Execute one frame of work.  Subclasses must override."""
@@ -55,13 +155,53 @@ class System:
         """Whether the scheduler should run this system at ``tick``."""
         return self.enabled and tick % self.interval == 0
 
+    @property
+    def supports_effects(self) -> bool:
+        """Whether :meth:`collect_effects` can run this system off-thread."""
+        return False
+
+    def collect_effects(
+        self, world: "GameWorld", dt: float
+    ) -> "EffectBuffer | None":
+        """State-effect execution: read state, return buffered writes.
+
+        Effect-capable systems (``supports_effects``) compute their frame
+        here *without mutating the world*, returning an
+        :class:`~repro.parallel.effects.EffectBuffer` the executor merges
+        in canonical order.  Returning ``None`` tells the executor to
+        fall back to :meth:`run` in this system's canonical slot — the
+        default for systems that must mutate state directly.
+        """
+        return None
+
 
 class FunctionSystem(System):
-    """Wraps a plain ``fn(world, dt)`` callable as a system."""
+    """Wraps a plain ``fn(world, dt)`` callable as a system.
 
-    def __init__(self, name: str, fn: Callable[["GameWorld", float], None], interval: int = 1):
-        super().__init__(name, interval=interval)
+    Callables decorated with :func:`system` carry their declaration
+    along; :meth:`from_callable` reads it back out.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[["GameWorld", float], None],
+        interval: int = 1,
+        *,
+        spec: SystemSpec | None = None,
+    ):
+        super().__init__(name, interval=interval, spec=spec)
         self.fn = fn
+
+    @classmethod
+    def from_callable(cls, fn: Callable[..., Any]) -> "FunctionSystem":
+        """Build a system from an ``@system``-decorated callable."""
+        return cls(
+            getattr(fn, "__system_name__", getattr(fn, "__name__", "system")),
+            fn,
+            interval=getattr(fn, "__system_interval__", 1),
+            spec=getattr(fn, "__system_spec__", None),
+        )
 
     def run(self, world: "GameWorld", dt: float) -> None:
         self.runs += 1
@@ -82,8 +222,13 @@ class PerEntitySystem(System):
         components: Sequence[str],
         fn: Callable[["GameWorld", int, float], None],
         interval: int = 1,
+        *,
+        writes: Sequence[str] | None = None,
     ):
-        super().__init__(name, interval=interval)
+        spec = None
+        if writes is not None:
+            spec = SystemSpec.of(reads=tuple(components), writes=tuple(writes))
+        super().__init__(name, interval=interval, spec=spec)
         if not components:
             raise QueryError("PerEntitySystem requires at least one component")
         self.components = tuple(components)
@@ -102,7 +247,7 @@ class PerEntitySystem(System):
 
     def run(self, world: "GameWorld", dt: float) -> None:
         self.runs += 1
-        for entity_id in self._signature_query(world).ids():
+        for entity_id in self._signature_query(world).execute(mode="tuple").ids:
             self.fn(world, entity_id, dt)
 
 
@@ -122,20 +267,26 @@ class BatchSystem(System):
         reads: Sequence[str],
         fn: Callable[..., dict[str, Sequence[Any]] | None],
         interval: int = 1,
+        *,
+        writes: Sequence[str] | None = None,
     ):
-        super().__init__(name, interval=interval)
+        spec = None
+        if writes is not None:
+            spec = SystemSpec.of(reads=tuple(reads), writes=tuple(writes))
+        super().__init__(name, interval=interval, spec=spec)
         self.reads = tuple(reads)
         if not self.reads:
             raise QueryError("BatchSystem requires at least one read column")
         self.fn = fn
+        self.writes = tuple(writes) if writes is not None else None
         self._parse_cache: list[tuple[str, str]] = []
         for ref in self.reads:
-            comp, _, field = ref.partition(".")
-            if not field:
+            comp, _, fld = ref.partition(".")
+            if not fld:
                 raise QueryError(
                     f"BatchSystem read {ref!r} must be 'Component.field'"
                 )
-            self._parse_cache.append((comp, field))
+            self._parse_cache.append((comp, fld))
         self._prepared = None
         self._prepared_world: "GameWorld | None" = None
 
@@ -150,25 +301,52 @@ class BatchSystem(System):
             self._prepared_world = world
         return self._prepared
 
-    def run(self, world: "GameWorld", dt: float) -> None:
-        self.runs += 1
-        ids = tuple(self._signature_query(world).ids())
+    def _compute(
+        self, world: "GameWorld", dt: float
+    ) -> tuple[tuple[int, ...], dict[str, Sequence[Any]]]:
+        ids = tuple(self._signature_query(world).execute().ids)
         columns: dict[str, tuple[Any, ...]] = {}
-        for comp, field in self._parse_cache:
-            columns[f"{comp}.{field}"] = tuple(
-                world.table(comp).gather(field, ids)
+        for comp, fld in self._parse_cache:
+            columns[f"{comp}.{fld}"] = tuple(
+                world.table(comp).gather(fld, ids)
             )
-        writes = self.fn(world, ids, columns, dt)
-        if not writes:
-            return
+        writes = self.fn(world, ids, columns, dt) or {}
         for ref, values in writes.items():
-            comp, _, field = ref.partition(".")
+            if self.writes is not None and ref not in self.writes:
+                raise QueryError(
+                    f"BatchSystem {self.name!r}: wrote undeclared column "
+                    f"{ref!r} (declared writes: {self.writes})"
+                )
             if len(values) != len(ids):
                 raise QueryError(
                     f"BatchSystem {self.name!r}: write column {ref!r} has "
                     f"{len(values)} values for {len(ids)} entities"
                 )
-            world.set_column(comp, field, ids, values)
+        return ids, writes
+
+    def run(self, world: "GameWorld", dt: float) -> None:
+        self.runs += 1
+        ids, writes = self._compute(world, dt)
+        for ref, values in writes.items():
+            comp, _, fld = ref.partition(".")
+            world.set_column(comp, fld, ids, values)
+
+    @property
+    def supports_effects(self) -> bool:
+        return self.spec is not None
+
+    def collect_effects(self, world: "GameWorld", dt: float):
+        if self.spec is None:
+            return None
+        from repro.parallel.effects import EffectBuffer
+
+        self.runs += 1
+        ids, writes = self._compute(world, dt)
+        buffer = EffectBuffer()
+        for ref, values in writes.items():
+            comp, _, fld = ref.partition(".")
+            buffer.write_column(comp, fld, ids, values)
+        return buffer
 
 
 class SystemScheduler:

@@ -79,6 +79,8 @@ class GameWorld:
         self._indexes: dict[str, IndexManager] = {}
         self._components_of: dict[int, set[str]] = {}
         self._change_hooks: list[ChangeHook] = []
+        self._parallel_executor = None
+        self.obs.register_stats("plan_cache", self.plan_cache.stats)
 
     # ------------------------------------------------------------------ schema
 
@@ -309,9 +311,21 @@ class GameWorld:
 
     # ------------------------------------------------------------------ systems
 
-    def add_system(self, system: System, priority: int = 100) -> System:
-        """Register a system with the scheduler."""
-        return self.scheduler.add(system, priority)
+    def add_system(
+        self, system: System | Callable[..., Any], priority: int | None = None
+    ) -> System:
+        """Register a system with the scheduler.
+
+        Accepts a :class:`System` instance or a plain callable decorated
+        with :func:`repro.core.systems.system` — the decorator's
+        name/spec/interval/priority are honoured (an explicit ``priority``
+        argument wins over the decorator's).
+        """
+        if not isinstance(system, System):
+            if priority is None:
+                priority = getattr(system, "__system_priority__", 100)
+            system = FunctionSystem.from_callable(system)
+        return self.scheduler.add(system, 100 if priority is None else priority)
 
     def add_function_system(
         self,
@@ -330,10 +344,22 @@ class GameWorld:
         fn: Callable[["GameWorld", int, float], None],
         priority: int = 100,
         interval: int = 1,
+        writes: Iterable[str] | None = None,
     ) -> System:
-        """Register a tuple-at-a-time system."""
+        """Register a tuple-at-a-time system.
+
+        Passing ``writes`` declares a :class:`SystemSpec` (reads are the
+        signature components) so the parallel scheduler can phase it.
+        """
         return self.scheduler.add(
-            PerEntitySystem(name, tuple(components), fn, interval), priority
+            PerEntitySystem(
+                name,
+                tuple(components),
+                fn,
+                interval,
+                writes=None if writes is None else tuple(writes),
+            ),
+            priority,
         )
 
     def add_batch_system(
@@ -343,10 +369,23 @@ class GameWorld:
         fn: Callable[..., dict | None],
         priority: int = 100,
         interval: int = 1,
+        writes: Iterable[str] | None = None,
     ) -> System:
-        """Register a set-at-a-time (columnar) system."""
+        """Register a set-at-a-time (columnar) system.
+
+        Passing ``writes`` (column refs the callback may return) declares
+        a :class:`SystemSpec` and enables state-effect execution: the
+        system can then run concurrently inside a parallel tick phase.
+        """
         return self.scheduler.add(
-            BatchSystem(name, tuple(reads), fn, interval), priority
+            BatchSystem(
+                name,
+                tuple(reads),
+                fn,
+                interval,
+                writes=None if writes is None else tuple(writes),
+            ),
+            priority,
         )
 
     # --------------------------------------------------------------------- tick
@@ -362,10 +401,43 @@ class GameWorld:
 
     def _tick_body(self) -> int:
         tick = self.clock.advance()
-        self.scheduler.run_tick(self, tick, self.clock.dt, self.budget)
+        if self._parallel_executor is not None:
+            self._parallel_executor.run_tick(tick, self.clock.dt)
+        else:
+            self.scheduler.run_tick(self, tick, self.clock.dt, self.budget)
         self.events.flush_deferred()
         self.budget.end_frame()
         return tick
+
+    # ---------------------------------------------------------------- parallel
+
+    def enable_parallel(self, workers: int = 2):
+        """Run ticks through the state-effect parallel executor.
+
+        Systems are partitioned into conflict-free phases from their
+        :class:`~repro.core.systems.SystemSpec` declarations; within a
+        phase, effect-capable systems compute concurrently on a thread
+        pool and their effect buffers merge in registration order, so
+        :meth:`state_hash` stays bit-identical to serial execution.
+        Returns the executor (its :meth:`stats` reports phase counts).
+        """
+        from repro.parallel.executor import ParallelTickExecutor
+
+        if self._parallel_executor is not None:
+            self._parallel_executor.close()
+        self._parallel_executor = ParallelTickExecutor(self, workers=workers)
+        return self._parallel_executor
+
+    def disable_parallel(self) -> None:
+        """Return to plain serial tick execution."""
+        if self._parallel_executor is not None:
+            self._parallel_executor.close()
+            self._parallel_executor = None
+
+    @property
+    def parallel_executor(self):
+        """The active parallel executor, or None when running serially."""
+        return self._parallel_executor
 
     def run(self, frames: int) -> None:
         """Advance ``frames`` frames."""

@@ -44,6 +44,7 @@ from repro.obs.metrics import (
     ManualTimeSource,
     MetricsRegistry,
     StatView,
+    StatsRow,
 )
 from repro.obs.recorder import FlightRecorder
 from repro.obs.tracer import (
@@ -63,6 +64,7 @@ __all__ = [
     "MetricsRegistry",
     "ManualTimeSource",
     "StatView",
+    "StatsRow",
     "DEFAULT_BUCKETS",
     "Tracer",
     "Span",

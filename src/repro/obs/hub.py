@@ -49,6 +49,7 @@ class Observability:
         self.metrics = metrics
         self.tracer = tracer
         self.recorder = recorder
+        self._stats_providers: dict[str, Callable[[], Any]] = {}
 
     # -- presets ------------------------------------------------------------------
 
@@ -99,6 +100,43 @@ class Observability:
     def snapshot(self) -> dict[str, Any]:
         """The metrics snapshot ({} when no registry is attached)."""
         return self.metrics.snapshot() if self.metrics is not None else {}
+
+    # -- stats providers ----------------------------------------------------------
+
+    def register_stats(self, name: str, provider: Callable[[], Any]) -> str:
+        """Register a subsystem's ``stats`` callable under ``name``.
+
+        Every subsystem with a ``stats()`` method registers it here so
+        the hub can enumerate them all (:meth:`collect_stats`).  Name
+        collisions are resolved by suffixing ``#2``, ``#3``, … — two
+        shards both registering ``"forwarding"`` each stay reachable.
+        Returns the name actually used.  On the shared disabled facade
+        this is a no-op (nothing is retained).
+        """
+        if self is DISABLED_OBS:
+            return name
+        unique = name
+        serial = 1
+        while unique in self._stats_providers:
+            serial += 1
+            unique = f"{name}#{serial}"
+        self._stats_providers[unique] = provider
+        return unique
+
+    def unregister_stats(self, name: str) -> None:
+        """Drop a provider registered under ``name`` (missing is fine)."""
+        self._stats_providers.pop(name, None)
+
+    def stats_providers(self) -> dict[str, Callable[[], Any]]:
+        """Copy of the registered provider map, keyed by unique name."""
+        return dict(self._stats_providers)
+
+    def collect_stats(self) -> dict[str, dict[str, Any]]:
+        """Invoke every registered provider; one snapshot dict per name."""
+        return {
+            name: dict(provider())
+            for name, provider in sorted(self._stats_providers.items())
+        }
 
     def write_chrome_trace(
         self, path: str | Path, reason: str = "trace", label: str = "repro"

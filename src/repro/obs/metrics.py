@@ -226,6 +226,35 @@ class ManualTimeSource:
         self.now += seconds
 
 
+class StatsRow(dict):
+    """A point-in-time ``stats()`` snapshot with a stable column order.
+
+    Subsystem ``stats()`` methods return one of these: it *is* a plain
+    dict (so ``stats()["hits"]`` and dict equality keep working), but it
+    also carries the tabular contract the benchmark tables and the
+    observability hub consume — ``COLUMNS`` names the canonical column
+    order and :meth:`as_row` renders the values in that order.  Storage
+    for the underlying counters lives in a :class:`MetricsRegistry`
+    wherever one is available; the row is a snapshot, never a live view,
+    so ``before``/``after`` deltas behave.
+    """
+
+    #: Canonical column order for :meth:`as_row`; subclasses override.
+    COLUMNS: tuple[str, ...] = ()
+
+    def __init__(self, columns: tuple[str, ...] | None = None, /, **values: Any):
+        super().__init__(values)
+        if columns is not None:
+            # Per-instance override so ad-hoc rows need no subclass.
+            self.COLUMNS = tuple(columns)
+        elif not self.COLUMNS:
+            self.COLUMNS = tuple(values)
+
+    def as_row(self) -> tuple:
+        """Values in ``COLUMNS`` order (missing columns render as None)."""
+        return tuple(self.get(c) for c in self.COLUMNS)
+
+
 class StatView:
     """Base for stat facades whose fields live in a :class:`MetricsRegistry`.
 

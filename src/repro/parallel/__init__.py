@@ -1,0 +1,43 @@
+"""repro.parallel — state-effect tick scheduling and multi-core execution.
+
+The parallelism layer from the tutorial's scripting line of work: systems
+declare (or have inferred) the component sets they read and write, a
+conflict-graph scheduler partitions each tick into phases of
+non-conflicting systems (:mod:`repro.parallel.scheduler`), and systems in
+a phase run concurrently against frozen state, emitting
+:class:`EffectBuffer`s merged in canonical order
+(:mod:`repro.parallel.effects`).  Two executors consume the plan:
+
+* :class:`ParallelTickExecutor` — a thread pool inside one
+  :class:`~repro.core.world.GameWorld` (install with
+  ``world.enable_parallel(workers)``);
+* :class:`ProcessShardExecutor` — whole
+  :class:`~repro.cluster.shard.ShardHost`s in forked worker processes,
+  with SimNetwork messages crossing process boundaries over pipes
+  (install with ``ClusterCoordinator(parallel=N)``).
+
+Both are bit-deterministic: ``state_hash`` after a parallel run equals
+the serial run's, which the equivalence tests assert.
+"""
+
+from repro.parallel.effects import EffectBuffer
+from repro.parallel.executor import ParallelExecutorStats, ParallelTickExecutor
+from repro.parallel.procpool import ProcessExecutorStats, ProcessShardExecutor
+from repro.parallel.scheduler import (
+    ConflictGraph,
+    Phase,
+    TickPlan,
+    build_tick_plan,
+)
+
+__all__ = [
+    "EffectBuffer",
+    "ConflictGraph",
+    "Phase",
+    "TickPlan",
+    "build_tick_plan",
+    "ParallelExecutorStats",
+    "ParallelTickExecutor",
+    "ProcessExecutorStats",
+    "ProcessShardExecutor",
+]

@@ -1,0 +1,88 @@
+"""Effect buffers — the write half of the state-effect pattern.
+
+Sowell et al. formalize parallel game scripting as *state-effect*: a
+system reads the frozen pre-phase state and emits **effects** (writes and
+event emissions) instead of mutating in place; the engine then merges all
+effects in a canonical order.  Two systems in the same phase can thus run
+on different threads without observing each other's writes, and the
+merged result is bit-identical to running them serially.
+
+:class:`EffectBuffer` is that effect set: ``update_batch``-shaped column
+writes plus deferred event emissions, applied via :meth:`apply` on the
+owning thread in registration order.  This module deliberately imports
+nothing from the rest of the package so ``repro.core`` can reference it
+lazily without an import cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+class EffectBuffer:
+    """Buffered writes + events from one system's state-effect frame.
+
+    Writes are ``GameWorld.update_batch``-shaped: a ``(component, ids,
+    {field: values})`` triple per entry, applied in insertion order.
+    Events go through ``world.emit`` at apply time, so handlers observe
+    the post-merge state exactly as they would under serial execution.
+    """
+
+    __slots__ = ("writes", "events")
+
+    def __init__(self) -> None:
+        self.writes: list[tuple[str, list[int], dict[str, Sequence[Any]]]] = []
+        self.events: list[tuple[str, dict, Any, float]] = []
+
+    def write_column(
+        self,
+        component: str,
+        field: str,
+        ids: Iterable[int],
+        values: Sequence[Any],
+    ) -> None:
+        """Buffer a single-column bulk write."""
+        self.writes.append((component, list(ids), {field: values}))
+
+    def write_batch(
+        self,
+        component: str,
+        ids: Iterable[int],
+        columns: Mapping[str, Sequence[Any]],
+    ) -> None:
+        """Buffer a multi-column bulk write (``update_batch`` shape)."""
+        self.writes.append((component, list(ids), dict(columns)))
+
+    def emit(
+        self,
+        topic: str,
+        data: dict | None = None,
+        source: Any = None,
+        importance: float = 0.0,
+    ) -> None:
+        """Buffer an event emission to publish at merge time."""
+        self.events.append((topic, data or {}, source, importance))
+
+    @property
+    def empty(self) -> bool:
+        """Whether the buffer holds no effects at all."""
+        return not self.writes and not self.events
+
+    def apply(self, world: Any) -> int:
+        """Land every buffered effect on ``world``; returns changed cells.
+
+        Must run on the world's owning thread: this is the merge step the
+        executor performs in canonical (registration) order.
+        """
+        changed = 0
+        for component, ids, columns in self.writes:
+            changed += world.update_batch(component, ids, columns)
+        for topic, data, source, importance in self.events:
+            world.emit(topic, data, source=source, importance=importance)
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"EffectBuffer({len(self.writes)} writes, "
+            f"{len(self.events)} events)"
+        )

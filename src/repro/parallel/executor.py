@@ -1,0 +1,221 @@
+"""In-world parallel tick executor: thread-pooled state-effect phases.
+
+Installed by :meth:`GameWorld.enable_parallel`, this replaces the serial
+``SystemScheduler.run_tick`` walk with the phased plan from
+:func:`repro.parallel.scheduler.build_tick_plan`:
+
+* **singleton phases** run exactly like the serial scheduler (same spans,
+  same frame-budget measurement) — these are the systems that mutate
+  state directly or declared no spec;
+* **concurrent phases** fan ``collect_effects`` out on a thread pool —
+  every system reads the same frozen pre-phase state — then merge the
+  returned :class:`~repro.parallel.effects.EffectBuffer`s on the main
+  thread in registration order.  A system whose collection returns
+  ``None`` (e.g. a lowered script aborting to the interpreter) runs
+  directly *in its canonical slot* during the merge, so the fallback is
+  invisible to determinism.
+
+When tracing is enabled the phases execute serially (the tracer's span
+stack is single-threaded) but still emit ``tick.phase`` and
+``effect.merge`` spans, so traces show the phase structure the untraced
+run would execute.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, TYPE_CHECKING
+
+from repro.errors import QueryError
+from repro.obs.metrics import StatsRow
+from repro.obs.tracer import NOOP_SPAN
+from repro.parallel.scheduler import TickPlan, build_tick_plan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.systems import System
+    from repro.core.world import GameWorld
+
+
+class ParallelExecutorStats(StatsRow):
+    """Snapshot of the executor's tick/phase/merge counters."""
+
+    COLUMNS = (
+        "workers",
+        "phases",
+        "parallel_phases",
+        "ticks",
+        "effects_merged",
+        "fallbacks",
+    )
+
+
+class ParallelTickExecutor:
+    """Phase-parallel tick execution for one :class:`GameWorld`.
+
+    The tick plan is rebuilt automatically whenever the scheduler's
+    system list changes.  ``workers`` bounds the thread pool; 1 is legal
+    and degenerates to serial execution through the same phased code
+    path (useful for debugging phase structure).
+    """
+
+    def __init__(self, world: "GameWorld", workers: int = 2):
+        if workers < 1:
+            raise QueryError("parallel executor needs at least 1 worker")
+        self.world = world
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-par"
+        )
+        self._plan: TickPlan | None = None
+        self._plan_key: tuple[int, ...] | None = None
+        self.ticks = 0
+        self.effects_merged = 0
+        self.fallbacks = 0
+        self._stats_name = world.obs.register_stats("parallel", self.stats)
+
+    # -- plan maintenance ----------------------------------------------------
+
+    def plan(self) -> TickPlan:
+        """The current phased tick plan (rebuilt on scheduler changes)."""
+        systems = self.world.scheduler.systems()
+        key = tuple(id(s) for s in systems)
+        if self._plan is None or key != self._plan_key:
+            self._plan = build_tick_plan(systems)
+            self._plan_key = key
+        return self._plan
+
+    def explain(self) -> str:
+        """Render the phase structure (the scheduler's EXPLAIN)."""
+        return self.plan().describe()
+
+    # -- execution -----------------------------------------------------------
+
+    def run_tick(self, tick: int, dt: float) -> None:
+        """Run one frame through the phased plan."""
+        world = self.world
+        plan = self.plan()
+        tracer = world.obs.tracer
+        traced = tracer.enabled
+        budget = world.budget
+        self.ticks += 1
+        for index, phase in enumerate(plan.phases):
+            due = [s for s in phase.systems if s.should_run(tick)]
+            if not due:
+                continue
+            if len(due) == 1:
+                self._run_serial(due[0], dt, tracer if traced else None, budget)
+            elif traced or self.workers == 1:
+                self._run_phase_serial(due, dt, tracer if traced else None,
+                                       budget, index)
+            else:
+                self._run_phase_parallel(due, dt, budget, index)
+
+    def _run_serial(self, system: "System", dt: float, tracer, budget) -> None:
+        with (
+            tracer.span(system.name, cat="system") if tracer else NOOP_SPAN
+        ):
+            if budget is not None:
+                with budget.measure(system.name):
+                    system.run(self.world, dt)
+            else:
+                system.run(self.world, dt)
+
+    def _run_phase_serial(
+        self, due: "list[System]", dt: float, tracer, budget, index: int
+    ) -> None:
+        # Tracing (or workers=1): same phase structure, one thread.  The
+        # tracer's span stack is not thread-safe, so the traced run is the
+        # serial shadow of what the untraced run does in parallel.
+        with (
+            tracer.span("tick.phase", cat="parallel", phase=index,
+                        systems=len(due))
+            if tracer
+            else NOOP_SPAN
+        ):
+            collected = []
+            for system in due:
+                with (
+                    tracer.span(system.name, cat="system")
+                    if tracer
+                    else NOOP_SPAN
+                ):
+                    if budget is not None:
+                        with budget.measure(system.name):
+                            collected.append(
+                                (system, system.collect_effects(self.world, dt))
+                            )
+                    else:
+                        collected.append(
+                            (system, system.collect_effects(self.world, dt))
+                        )
+            with (
+                tracer.span("effect.merge", cat="parallel", phase=index)
+                if tracer
+                else NOOP_SPAN
+            ):
+                self._merge(collected, dt)
+
+    def _run_phase_parallel(
+        self, due: "list[System]", dt: float, budget, index: int
+    ) -> None:
+        world = self.world
+        label = f"phase:{index}"
+        if budget is not None:
+            with budget.measure(label):
+                collected = self._collect_parallel(due, dt)
+                self._merge(collected, dt)
+        else:
+            collected = self._collect_parallel(due, dt)
+            self._merge(collected, dt)
+        metrics = world.obs.metrics
+        if metrics is not None:
+            for system, _buffer, worker in collected:
+                metrics.counter("parallel.worker.tasks", worker=worker).inc()
+
+    def _collect_parallel(self, due: "list[System]", dt: float):
+        world = self.world
+
+        def collect(system):
+            buffer = system.collect_effects(world, dt)
+            worker = threading.current_thread().name.rpartition("_")[2]
+            return system, buffer, worker
+
+        futures = [self._pool.submit(collect, system) for system in due]
+        return [f.result() for f in futures]
+
+    def _merge(self, collected, dt: float) -> None:
+        # Canonical order = registration order: apply each buffer (or run
+        # the fallen-back system directly) in the exact slot serial
+        # execution would have used.
+        world = self.world
+        for entry in collected:
+            system, buffer = entry[0], entry[1]
+            if buffer is None:
+                self.fallbacks += 1
+                system.run(world, dt)
+            else:
+                self.effects_merged += 1
+                buffer.apply(world)
+
+    # -- lifecycle / stats ---------------------------------------------------
+
+    def stats(self) -> ParallelExecutorStats:
+        """Counter snapshot (a :class:`StatsRow`)."""
+        plan = self.plan()
+        return ParallelExecutorStats(
+            workers=self.workers,
+            phases=len(plan.phases),
+            parallel_phases=sum(1 for p in plan.phases if p.concurrent),
+            ticks=self.ticks,
+            effects_merged=self.effects_merged,
+            fallbacks=self.fallbacks,
+        )
+
+    def close(self) -> None:
+        """Shut the thread pool down and deregister stats."""
+        self._pool.shutdown(wait=True)
+        self.world.obs.unregister_stats(self._stats_name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ParallelTickExecutor(workers={self.workers}, ticks={self.ticks})"

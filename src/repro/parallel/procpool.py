@@ -1,0 +1,372 @@
+"""Multiprocess shard execution: whole ``ShardHost``s in worker processes.
+
+The cluster's serial tick steps shards one after another on one core.
+:class:`ProcessShardExecutor` forks worker processes that each own a
+slice of the shards and step them in parallel, while the parent keeps
+the :class:`~repro.net.simnet.SimNetwork` authoritative:
+
+1. the parent drains each shard endpoint's delivered messages and ships
+   them over a pipe to the owning worker;
+2. each worker steps its shards **in shard-id order** (inbox + world
+   frame), buffering every outbound protocol message instead of touching
+   a network;
+3. the parent replays the buffered sends into the real ``SimNetwork`` in
+   shard-id order — the exact order serial execution would have produced
+   them (``SimNetwork`` never delivers same-tick, and its jitter RNGs
+   are per-link, so replayed order is the only thing that matters).
+
+That replay discipline is what keeps cluster ``state_hash`` bit-identical
+to serial execution.  Workers are created with the ``fork`` start method
+so the already-built hosts are inherited by memory, not pickled; only
+per-tick messages cross the pipes (which is why transaction ops must use
+picklable callables — see :mod:`repro.consistency.transactions`).
+
+The parent's copies of the shard worlds go stale the moment workers
+start; the executor therefore also answers ``positions()`` /
+``state_hashes()`` / entity installs on the workers' behalf and syncs
+ownership and stats back every tick.  :meth:`stop` pulls full world
+snapshots back into the parent so serial execution can resume.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.cluster.stats import _SHARD_FIELDS
+from repro.errors import ClusterError
+from repro.obs.metrics import StatsRow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.coordinator import ClusterCoordinator
+    from repro.cluster.shard import ShardHost
+
+
+class ProcessExecutorStats(StatsRow):
+    """Snapshot of the process executor's per-tick counters."""
+
+    COLUMNS = ("workers", "shards", "ticks", "messages_routed", "sends_replayed")
+
+
+class _BufferNet:
+    """Worker-side network stub: records sends, exposes the current tick.
+
+    Stands in for ``SimNetwork`` inside a worker process; everything a
+    stepping :class:`ShardHost` touches (``send`` and ``now``) is here,
+    and the buffered sends travel back to the parent for replay.
+    """
+
+    __slots__ = ("now", "sends")
+
+    def __init__(self) -> None:
+        self.now = 0
+        self.sends: list[tuple[str, str, Any, int]] = []
+
+    def send(self, src: str, dst: str, payload: Any, size: int = 0) -> None:
+        self.sends.append((src, dst, payload, size))
+
+
+def _shard_stats_dict(host: "ShardHost") -> dict[str, int]:
+    """Settable-field snapshot of a host's registry-backed ShardStats.
+
+    Keyed by the StatView *field* names (not the display COLUMNS), so the
+    parent can ``setattr`` the values straight back onto its own view.
+    """
+    return {f: getattr(host.stats, f) for f in _SHARD_FIELDS}
+
+
+def _worker_main(conn, hosts: "list[ShardHost]", worker_id: int) -> None:
+    """Worker loop: own ``hosts``, answer parent commands until "stop"."""
+    buffer = _BufferNet()
+    by_id = {}
+    last_owned: dict[int, tuple[int, ...]] = {}
+    for host in hosts:
+        host.net = buffer  # type: ignore[assignment]
+        by_id[host.shard_id] = host
+        last_owned[host.shard_id] = tuple(sorted(host.owned))
+    while True:
+        command = conn.recv()
+        op = command[0]
+        if op == "tick":
+            _, now, inboxes = command
+            buffer.now = now
+            reply: dict[int, dict[str, Any]] = {}
+            for sid in sorted(by_id):
+                host = by_id[sid]
+                buffer.sends = []
+                host.process_inbox(inboxes.get(sid, ()))
+                host.tick()
+                owned = tuple(sorted(host.owned))
+                reply[sid] = {
+                    "sends": buffer.sends,
+                    "owned": None if owned == last_owned[sid] else owned,
+                    "deferred": host.deferred_handoffs,
+                    "retained": host.retained_evictions,
+                    "stats": _shard_stats_dict(host),
+                }
+                last_owned[sid] = owned
+            conn.send(("tick", reply))
+        elif op == "install":
+            _, sid, entity, components = command
+            by_id[sid].install_entity(entity, components)
+            last_owned[sid] = tuple(sorted(by_id[sid].owned))
+            conn.send(("ok",))
+        elif op == "positions":
+            out: dict[int, tuple[float, float]] = {}
+            for sid in sorted(by_id):
+                world = by_id[sid].world
+                if "Position" in world.component_names():
+                    for eid, row in world.table("Position").rows():
+                        out[eid] = (row["x"], row["y"])
+            conn.send(("positions", out))
+        elif op == "state_hash":
+            conn.send(
+                (
+                    "state_hash",
+                    {
+                        sid: by_id[sid].world.state_hash()
+                        for sid in sorted(by_id)
+                    },
+                )
+            )
+        elif op == "snapshot":
+            snap = {}
+            for sid in sorted(by_id):
+                host = by_id[sid]
+                snap[sid] = {
+                    "world": host.world.snapshot(),
+                    "owned": tuple(sorted(host.owned)),
+                    "forwarding": (
+                        dict(host.forwarding._next_hop),
+                        host.forwarding.forwards,
+                    ),
+                    "retained": dict(host._retained_evictions),
+                    "deferred": list(host._deferred_handoffs),
+                    "stats": _shard_stats_dict(host),
+                }
+            conn.send(("snapshot", snap))
+        elif op == "stop":
+            conn.send(("bye",))
+            conn.close()
+            return
+        else:  # pragma: no cover - protocol guard
+            raise ClusterError(f"worker {worker_id}: unknown command {op!r}")
+
+
+class ProcessShardExecutor:
+    """Steps a coordinator's shards across forked worker processes."""
+
+    def __init__(self, coordinator: "ClusterCoordinator", workers: int = 2):
+        if workers < 1:
+            raise ClusterError("process executor needs at least 1 worker")
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform without fork
+            raise ClusterError(
+                "parallel cluster execution requires the 'fork' start method"
+            ) from None
+        self.coordinator = coordinator
+        shards = coordinator.shards
+        self.workers = min(workers, len(shards))
+        # Contiguous slices keep shard-id order trivially reconstructible.
+        assignment: list[list] = [[] for _ in range(self.workers)]
+        for i, host in enumerate(shards):
+            assignment[i % self.workers].append(host)
+        self._owner: dict[int, int] = {}
+        for wid, hosts in enumerate(assignment):
+            for host in hosts:
+                self._owner[host.shard_id] = wid
+        self._pipes = []
+        self._procs = []
+        for wid, hosts in enumerate(assignment):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, hosts, wid),
+                daemon=True,
+                name=f"repro-shard-worker-{wid}",
+            )
+            proc.start()
+            child_conn.close()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+        self.ticks = 0
+        self.messages_routed = 0
+        self.sends_replayed = 0
+        #: Per-shard deferred/retained counts from the latest tick, for
+        #: the coordinator's quiescence check.
+        self.deferred_counts: dict[int, int] = {
+            host.shard_id: host.deferred_handoffs for host in shards
+        }
+        self.retained_counts: dict[int, int] = {
+            host.shard_id: host.retained_evictions for host in shards
+        }
+        self._stats_name = coordinator.obs.register_stats(
+            "parallel.cluster", self.stats
+        )
+        self._stopped = False
+
+    # -- the parallel step ---------------------------------------------------
+
+    def step(self) -> None:
+        """One barrier step of every shard, fanned across the workers."""
+        coord = self.coordinator
+        net = coord.net
+        tracer = coord.obs.tracer
+        # 1. Drain this tick's deliveries per shard endpoint.
+        inboxes_by_worker: list[dict[int, list]] = [
+            {} for _ in range(self.workers)
+        ]
+        for host in coord.shards:
+            messages = list(net.receive(host.endpoint))
+            if messages:
+                self.messages_routed += len(messages)
+            inboxes_by_worker[self._owner[host.shard_id]][host.shard_id] = (
+                messages
+            )
+        # 2. Fan out, then barrier on every worker's reply.
+        for wid, pipe in enumerate(self._pipes):
+            pipe.send(("tick", net.now, inboxes_by_worker[wid]))
+        replies: dict[int, dict[str, Any]] = {}
+        for wid, pipe in enumerate(self._pipes):
+            tag, reply = pipe.recv()
+            if tag != "tick":  # pragma: no cover - protocol guard
+                raise ClusterError(f"worker {wid}: bad reply {tag!r}")
+            if tracer.enabled:
+                tracer.event(
+                    "worker",
+                    cat="parallel",
+                    worker=wid,
+                    shards=len(reply),
+                    sends=sum(len(r["sends"]) for r in reply.values()),
+                )
+            replies.update(reply)
+        # 3. Merge: replay sends in shard-id order (the serial order),
+        #    then sync ownership and stats into the parent's hosts.
+        if tracer.enabled:
+            span = tracer.span("effect.merge", cat="parallel")
+        else:
+            span = None
+        try:
+            if span is not None:
+                span.__enter__()
+            for sid in sorted(replies):
+                for src, dst, payload, size in replies[sid]["sends"]:
+                    net.send(src, dst, payload, size)
+                    self.sends_replayed += 1
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        metrics = coord.metrics
+        for sid in sorted(replies):
+            reply = replies[sid]
+            host = coord.shards[sid]
+            if reply["owned"] is not None:
+                host.owned = set(reply["owned"])
+            self.deferred_counts[sid] = reply["deferred"]
+            self.retained_counts[sid] = reply["retained"]
+            for fieldname, value in reply["stats"].items():
+                setattr(host.stats, fieldname, value)
+        for wid in range(self.workers):
+            shard_ids = [s for s, w in self._owner.items() if w == wid]
+            metrics.gauge("parallel.worker.shards", worker=wid).set(
+                len(shard_ids)
+            )
+            metrics.counter("parallel.worker.sends", worker=wid).inc(
+                sum(len(replies[s]["sends"]) for s in shard_ids)
+            )
+        self.ticks += 1
+
+    # -- reads routed to the workers ----------------------------------------
+
+    def install(
+        self, shard_id: int, entity: int, components: Mapping[str, Any]
+    ) -> None:
+        """Install a spawned entity on the worker that owns the shard."""
+        pipe = self._pipes[self._owner[shard_id]]
+        pipe.send(("install", shard_id, entity, components))
+        tag, *_ = pipe.recv()
+        if tag != "ok":  # pragma: no cover - protocol guard
+            raise ClusterError(f"install on shard {shard_id} failed: {tag!r}")
+
+    def positions(self) -> dict[int, tuple[float, float]]:
+        """Global Position snapshot gathered from every worker."""
+        for pipe in self._pipes:
+            pipe.send(("positions",))
+        out: dict[int, tuple[float, float]] = {}
+        for pipe in self._pipes:
+            tag, positions = pipe.recv()
+            if tag != "positions":  # pragma: no cover - protocol guard
+                raise ClusterError(f"bad positions reply {tag!r}")
+            out.update(positions)
+        return out
+
+    def state_hashes(self) -> dict[int, str]:
+        """Per-shard world state hashes computed inside the workers."""
+        for pipe in self._pipes:
+            pipe.send(("state_hash",))
+        out: dict[int, str] = {}
+        for pipe in self._pipes:
+            tag, hashes = pipe.recv()
+            if tag != "state_hash":  # pragma: no cover - protocol guard
+                raise ClusterError(f"bad state_hash reply {tag!r}")
+            out.update(hashes)
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self, sync: bool = True) -> None:
+        """Stop the workers; by default pull their state into the parent.
+
+        With ``sync=True`` every shard's world snapshot, ownership set,
+        forwarding table, and handoff bookkeeping are restored into the
+        parent's hosts, so serial ticking can resume exactly where the
+        workers left off.
+        """
+        if self._stopped:
+            return
+        if sync:
+            for pipe in self._pipes:
+                pipe.send(("snapshot",))
+            for pipe in self._pipes:
+                tag, snap = pipe.recv()
+                if tag != "snapshot":  # pragma: no cover - protocol guard
+                    raise ClusterError(f"bad snapshot reply {tag!r}")
+                for sid, state in snap.items():
+                    host = self.coordinator.shards[sid]
+                    host.world.restore(state["world"])
+                    host.owned = set(state["owned"])
+                    next_hop, forwards = state["forwarding"]
+                    host.forwarding._next_hop = dict(next_hop)
+                    host.forwarding.forwards = forwards
+                    host._retained_evictions = dict(state["retained"])
+                    host._deferred_handoffs = list(state["deferred"])
+                    for fieldname, value in state["stats"].items():
+                        setattr(host.stats, fieldname, value)
+        for pipe in self._pipes:
+            pipe.send(("stop",))
+        for pipe, proc in zip(self._pipes, self._procs):
+            try:
+                pipe.recv()
+            except EOFError:  # pragma: no cover - worker died first
+                pass
+            pipe.close()
+            proc.join(timeout=5)
+        self.coordinator.obs.unregister_stats(self._stats_name)
+        self._stopped = True
+
+    def stats(self) -> ProcessExecutorStats:
+        """Counter snapshot (a :class:`StatsRow`)."""
+        return ProcessExecutorStats(
+            workers=self.workers,
+            shards=len(self._owner),
+            ticks=self.ticks,
+            messages_routed=self.messages_routed,
+            sends_replayed=self.sends_replayed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ProcessShardExecutor(workers={self.workers}, "
+            f"shards={len(self._owner)}, ticks={self.ticks})"
+        )

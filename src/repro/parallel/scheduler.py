@@ -1,0 +1,139 @@
+"""Conflict-graph tick scheduling: partition systems into parallel phases.
+
+Each system's :class:`~repro.core.systems.SystemSpec` declares the
+components it reads and writes.  Two systems *conflict* when either
+writes a component the other touches; systems without a spec conflict
+with everything.  :class:`ConflictGraph` materializes those pairwise
+edges (with write-write detection for diagnostics), and
+:func:`build_tick_plan` cuts the scheduler order into **phases**.
+
+Phase construction is deliberately *order-preserving*: a phase is a
+maximal **consecutive** run of mutually-non-conflicting, effect-capable
+systems in scheduler order, and anything else becomes a singleton serial
+phase.  A graph coloring could pack more systems per phase, but it would
+reorder execution between non-conflicting systems — and since systems
+may emit events whose handlers mutate arbitrary state, only the
+consecutive-block cut preserves the serial event order exactly.  That is
+what keeps ``state_hash`` (and the event history) bit-identical to
+serial execution, which the determinism tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.systems import System
+
+
+class ConflictGraph:
+    """Pairwise conflict edges between scheduled systems.
+
+    Built from the systems' specs; queryable by name.  Mostly a
+    diagnostic/introspection structure — phase construction only needs
+    the pairwise test — but it is what ``explain()`` renders and what the
+    scheduler unit tests assert against.
+    """
+
+    def __init__(self, systems: "list[System]"):
+        self.names = [s.name for s in systems]
+        self._specs = {s.name: s.spec for s in systems}
+        self._edges: set[frozenset[str]] = set()
+        self._write_write: set[frozenset[str]] = set()
+        for i, a in enumerate(systems):
+            for b in systems[i + 1 :]:
+                sa, sb = a.spec, b.spec
+                if sa is None or sb is None or sa.conflicts_with(sb):
+                    self._edges.add(frozenset((a.name, b.name)))
+                    if sa is not None and sb is not None and sa.write_write_conflict(sb):
+                        self._write_write.add(frozenset((a.name, b.name)))
+
+    def conflicts(self, a: str, b: str) -> bool:
+        """Whether systems ``a`` and ``b`` may not share a phase."""
+        return frozenset((a, b)) in self._edges
+
+    def write_write(self, a: str, b: str) -> bool:
+        """Whether ``a`` and ``b`` both write some common component."""
+        return frozenset((a, b)) in self._write_write
+
+    def edges(self) -> list[tuple[str, str]]:
+        """All conflict edges as sorted name pairs, sorted."""
+        return sorted(tuple(sorted(e)) for e in self._edges)
+
+    def degree(self, name: str) -> int:
+        """Number of systems ``name`` conflicts with."""
+        return sum(1 for e in self._edges if name in e)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ConflictGraph({len(self.names)} systems, {len(self._edges)} edges)"
+
+
+@dataclass
+class Phase:
+    """One tick phase: systems that may run concurrently."""
+
+    systems: "list[System]" = field(default_factory=list)
+
+    @property
+    def concurrent(self) -> bool:
+        """Whether the phase holds more than one system."""
+        return len(self.systems) > 1
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.systems)
+
+
+@dataclass
+class TickPlan:
+    """The phased execution plan for one scheduler configuration."""
+
+    phases: list[Phase]
+    graph: ConflictGraph
+
+    @property
+    def parallelism(self) -> float:
+        """Mean systems per phase (1.0 == fully serial)."""
+        n = sum(len(p.systems) for p in self.phases)
+        return n / len(self.phases) if self.phases else 0.0
+
+    def describe(self) -> str:
+        """Multi-line EXPLAIN of the phase structure."""
+        lines = []
+        for i, phase in enumerate(self.phases):
+            kind = "parallel" if phase.concurrent else "serial"
+            lines.append(f"phase {i} ({kind}): {', '.join(phase.names())}")
+        return "\n".join(lines)
+
+
+def build_tick_plan(systems: "list[System]") -> TickPlan:
+    """Partition ``systems`` (in scheduler order) into phases.
+
+    A system joins the current phase only when (a) it supports
+    state-effect execution, (b) so does everything already in the phase,
+    and (c) it conflicts with none of them.  Any other system closes the
+    current phase and runs alone.  Consecutive-block construction keeps
+    cross-system execution order identical to serial — see the module
+    docstring for why that is load-bearing.
+    """
+    graph = ConflictGraph(systems)
+    phases: list[Phase] = []
+    current: list = []
+
+    def close() -> None:
+        nonlocal current
+        if current:
+            phases.append(Phase(current))
+            current = []
+
+    for system in systems:
+        spec = system.spec
+        if spec is None or not system.supports_effects:
+            close()
+            phases.append(Phase([system]))
+            continue
+        if any(spec.conflicts_with(prev.spec) for prev in current):
+            close()
+        current.append(system)
+    close()
+    return TickPlan(phases=phases, graph=graph)

@@ -85,6 +85,17 @@ class ShardJournal:
         """Highest durable LSN (0 when nothing is durable yet)."""
         return self.wal.flushed_lsn
 
+    def stats(self) -> "StatsRow":
+        """Durable/pending record counts as a :class:`StatsRow` snapshot."""
+        from repro.obs.metrics import StatsRow
+
+        return StatsRow(
+            ("durable", "pending", "flushed_lsn"),
+            durable=self.wal.durable_count(),
+            pending=self.wal.pending_count(),
+            flushed_lsn=self.flushed_lsn,
+        )
+
     # -- shipping -----------------------------------------------------------------
 
     def ship_since(self, after_lsn: int) -> tuple[tuple[int, dict[str, Any]], ...]:

@@ -118,7 +118,9 @@ class ReplicaHost:
 
     def entities_near(self, cx: float, cy: float, radius: float) -> list[int]:
         """Interest query served from the standby: entity ids in range."""
-        return self.world.query("Position").within(cx, cy, radius).ids()
+        return (
+            self.world.query("Position").within(cx, cy, radius).execute().ids
+        )
 
     def entity_count(self) -> int:
         """Live entities in the standby world."""

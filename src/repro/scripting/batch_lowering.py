@@ -317,6 +317,18 @@ class LoweredProgram:
                     return False
         return True
 
+    # -- component census (the parallel scheduler's inference input) ---------
+
+    def read_components(self) -> frozenset[str]:
+        """Components any loop reads (drives its query or gathers from)."""
+        return frozenset(loop.component for loop in self.loops)
+
+    def write_components(self) -> frozenset[str]:
+        """Components any loop writes back to."""
+        return frozenset(
+            loop.component for loop in self.loops if loop.write_fields
+        )
+
     # -- execution -----------------------------------------------------------
 
     def execute(self, world: Any, env: Mapping[str, Any]) -> bool:
@@ -328,18 +340,46 @@ class LoweredProgram:
         compute returns False before a single write, so the scalar rerun
         starts from an untouched world.
         """
-        if not self._validate(world):
+        computed = self.compute(world, env)
+        if computed is None:
             return False
+        self.apply_computed(world, computed)
+        return True
+
+    def compute(
+        self, world: Any, env: Mapping[str, Any]
+    ) -> list[tuple[str, list[int], dict[str, list]]] | None:
+        """The read/compute half: batched writes, not yet applied.
+
+        Returns ``None`` when validation or any loop's compute fails (the
+        scalar interpreter should run instead), else the per-loop
+        ``(component, ids, written_columns)`` list for
+        :meth:`apply_computed`.  This split is what lets the parallel
+        executor run the compute phase off-thread and merge the writes in
+        canonical order on the main thread.
+        """
+        if not self._validate(world):
+            return None
         obs = getattr(world, "obs", None)
         tracer = obs.tracer if obs is not None else None
         if tracer is None or not tracer.enabled:
-            return self._execute(world, env)
+            return self._compute(world, env)
         with tracer.span("script.batch", cat="script") as sp:
-            ok = self._execute(world, env)
-            sp.set(lowered=ok, loops=len(self.loops))
-            return ok
+            computed = self._compute(world, env)
+            sp.set(lowered=computed is not None, loops=len(self.loops))
+            return computed
 
-    def _execute(self, world: Any, env: Mapping[str, Any]) -> bool:
+    def apply_computed(
+        self, world: Any, computed: list[tuple[str, list[int], dict[str, list]]]
+    ) -> None:
+        """The write half: land every computed column via ``update_batch``."""
+        for component, ids, written in computed:
+            if ids and written:
+                world.update_batch(component, ids, written)
+
+    def _compute(
+        self, world: Any, env: Mapping[str, Any]
+    ) -> list[tuple[str, list[int], dict[str, list]]] | None:
         computed: list[tuple[str, list[int], dict[str, list]]] = []
         try:
             for loop in self.loops:
@@ -351,7 +391,7 @@ class LoweredProgram:
                     query = world.query(loop.component).where(
                         loop.component, Compare(fname, op, value)
                     )
-                    ids = query.ids_batch()
+                    ids = query.execute(mode="batch").ids
                     _, work = table.batch_rows(loop.read_fields, ids)
                 else:
                     ids, work = table.batch_rows(loop.read_fields, None)
@@ -366,11 +406,8 @@ class LoweredProgram:
                     written[st.field] = newcol
                 computed.append((loop.component, ids, written))
         except Exception:
-            return False
-        for component, ids, written in computed:
-            if ids and written:
-                world.update_batch(component, ids, written)
-        return True
+            return None
+        return computed
 
 
 def _apply_statement(

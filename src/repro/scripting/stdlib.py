@@ -57,13 +57,16 @@ def build_stdlib(world: Any) -> dict[str, Any]:
         from repro.core.predicates import Compare
 
         query = world.query(component).where(component, Compare(field, op, value))
-        return [_proxy(eid) for eid in query.ids()]
+        return [_proxy(eid) for eid in query.execute(mode="tuple").ids]
 
     def within(component: str, x: float, y: float, radius: float) -> list[EntityProxy]:
         """Entities with ``component`` within ``radius`` of (x, y)."""
         return [
             _proxy(eid)
-            for eid in world.query(component).within(x, y, radius).ids()
+            for eid in world.query(component)
+            .within(x, y, radius)
+            .execute(mode="tuple")
+            .ids
         ]
 
     def neighbors(e: Any, component: str, radius: float) -> list[EntityProxy]:
@@ -74,7 +77,8 @@ def build_stdlib(world: Any) -> dict[str, Any]:
             _proxy(other)
             for other in world.query(component)
             .within(pos["x"], pos["y"], radius)
-            .ids()
+            .execute(mode="tuple")
+            .ids
             if other != eid
         ]
 

@@ -29,6 +29,30 @@ from repro.spatial.geometry import AABB
 from repro.spatial.joins import grid_join
 
 
+class _Debit:
+    """Picklable gold-subtract write fn (lambdas can't cross worker pipes)."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, amount: int):
+        self.amount = amount
+
+    def __call__(self, old: Any, reads: Any) -> Any:
+        return old - self.amount
+
+
+class _Credit:
+    """Picklable gold-add write fn."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, amount: int):
+        self.amount = amount
+
+    def __call__(self, old: Any, reads: Any) -> Any:
+        return old + self.amount
+
+
 def cluster_schemas() -> list[ComponentSchema]:
     """Component schemas the hotspot workload needs on every shard."""
     return [
@@ -144,8 +168,8 @@ def transfer_spec(a: int, b: int, amount: int = 1) -> TxnSpec:
         ops=[
             read_for_update(ka),
             read_for_update(kb),
-            write(ka, lambda old, reads, amt=amount: old - amt),
-            write(kb, lambda old, reads, amt=amount: old + amt),
+            write(ka, _Debit(amount)),
+            write(kb, _Credit(amount)),
         ],
     )
 

@@ -1,0 +1,146 @@
+"""The unified query entry point: ``Query.execute`` and ``ResultSet``.
+
+Covers the API-façade contract: all three execution modes return the
+same entities, the deprecated ``ids()``/``ids_batch()`` shims warn but
+stay equivalent, and the plan cache observes exactly one lookup per
+``execute`` call — including when auto-mode falls back from batch to
+tuple execution (the double-count regression).
+"""
+
+import pytest
+
+from repro.core import F, GameWorld, ResultSet, schema
+from repro.errors import QueryError
+
+
+def make_world(n=50):
+    world = GameWorld()
+    world.register_component(schema("Position", x="float", y="float"))
+    world.register_component(schema("Health", hp=("int", 100)))
+    for i in range(n):
+        world.spawn(
+            Position={"x": float(i), "y": float(i % 7)},
+            Health={"hp": i * 2},
+        )
+    return world
+
+
+class TestExecuteModes:
+    def test_modes_agree(self):
+        world = make_world()
+        q = lambda: world.query("Health").where("Health", F.hp < 40)  # noqa: E731
+        auto = q().execute()
+        tup = q().execute(mode="tuple")
+        batch = q().execute(mode="batch")
+        assert auto.ids == tup.ids == batch.ids
+        assert isinstance(auto, ResultSet)
+
+    def test_bad_mode_rejected(self):
+        world = make_world(5)
+        with pytest.raises(QueryError):
+            world.query("Health").execute(mode="vectorized")
+
+    def test_resultset_reads(self):
+        world = make_world(10)
+        rs = world.query("Health").where("Health", F.hp < 10).execute()
+        assert len(rs) == len(rs.ids)
+        rows = rs.rows()
+        assert rows and all(r["Health"]["hp"] < 10 for r in rows)
+        cols = rs.columns("Health.hp")
+        assert list(cols["Health.hp"]) == [r["Health"]["hp"] for r in rows]
+        assert rs.first() is not None
+        assert rs[0].entity == rs.ids[0]
+        assert [r.entity for r in rs] == rs.ids
+        assert [r.entity for r in rs[1:3]] == rs.ids[1:3]
+
+    def test_columns_requires_selected_component(self):
+        world = make_world(5)
+        rs = world.query("Health").execute()
+        with pytest.raises(QueryError):
+            rs.columns("Position.x")
+
+    def test_empty_resultset(self):
+        world = make_world(5)
+        rs = world.query("Health").where("Health", F.hp > 10_000).execute()
+        assert rs.ids == []
+        assert rs.first() is None
+        assert len(rs) == 0
+
+    def test_prepared_query_execute(self):
+        world = make_world()
+        prepared = world.query("Health").where("Health", F.hp < 30).prepare()
+        assert prepared.execute().ids == prepared.execute(mode="batch").ids
+
+
+class TestDeprecatedShims:
+    def test_ids_warns_and_matches(self):
+        world = make_world()
+        expected = world.query("Health").where("Health", F.hp < 40).execute().ids
+        with pytest.warns(DeprecationWarning, match="Query.ids"):
+            got = world.query("Health").where("Health", F.hp < 40).ids()
+        assert got == expected
+
+    def test_ids_batch_warns_and_matches(self):
+        world = make_world()
+        expected = (
+            world.query("Health")
+            .where("Health", F.hp < 40)
+            .execute(mode="batch")
+            .ids
+        )
+        with pytest.warns(DeprecationWarning, match="ids_batch"):
+            got = world.query("Health").where("Health", F.hp < 40).ids_batch()
+        assert got == expected
+
+    def test_prepared_ids_warns(self):
+        world = make_world()
+        prepared = world.query("Health").where("Health", F.hp < 30).prepare()
+        expected = prepared.execute().ids
+        with pytest.warns(DeprecationWarning):
+            assert prepared.ids() == expected
+
+
+class TestSingleObservation:
+    """One ``execute`` call == one plan-cache observation, always."""
+
+    def lookups(self, world):
+        stats = world.plan_cache.stats()
+        return stats["hits"] + stats["misses"]
+
+    def test_each_mode_counts_once(self):
+        world = make_world()
+        for mode in ("auto", "tuple", "batch"):
+            before = self.lookups(world)
+            world.query("Health").where("Health", F.hp < 40).execute(mode=mode)
+            assert self.lookups(world) - before == 1, mode
+
+    def test_auto_fallback_does_not_double_count(self, monkeypatch):
+        """Regression: a batch failure inside auto mode must not trigger
+        a second plan-cache lookup (and must still return results)."""
+        from repro.core.planner import QueryPlan
+
+        world = make_world()
+        expected = (
+            world.query("Health").where("Health", F.hp < 40).execute().ids
+        )
+
+        def boom(self, world, limit=None):
+            raise QueryError("simulated batch kernel failure")
+
+        monkeypatch.setattr(QueryPlan, "execute_batch", boom)
+        before = self.lookups(world)
+        got = world.query("Health").where("Health", F.hp < 40).execute()
+        assert got.ids == expected
+        assert self.lookups(world) - before == 1
+
+    def test_explicit_batch_propagates_errors(self, monkeypatch):
+        from repro.core.planner import QueryPlan
+
+        world = make_world()
+
+        def boom(self, world, limit=None):
+            raise QueryError("simulated batch kernel failure")
+
+        monkeypatch.setattr(QueryPlan, "execute_batch", boom)
+        with pytest.raises(QueryError):
+            world.query("Health").where("Health", F.hp < 40).execute(mode="batch")

@@ -1,0 +1,146 @@
+"""Multiprocess shard execution equals serial, bit for bit.
+
+Runs the full hotspot-style cluster machinery — migrations, deferred
+handoffs, local and cross-shard 2PC transactions — under
+``ClusterCoordinator(parallel=N)`` and asserts ``state_hash`` equality
+with the serial run, plus correct state sync when workers stop.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, StaticGridPlacement
+from repro.consistency.partition import StaticGridPartitioner
+from repro.errors import ClusterError
+from repro.spatial.geometry import AABB
+from repro.workloads.hotspot import cluster_schemas, transfer_spec
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process executor requires fork"
+)
+
+
+def make_placement():
+    return StaticGridPlacement(
+        StaticGridPartitioner(AABB(0, 0, 400, 400), 2, 2, 4)
+    )
+
+
+def drift(world, eid, dt):
+    pos = world.get(eid, "Position")
+    world.set(eid, "Position", x=pos["x"] + 0.7, y=pos["y"] + 0.3)
+
+
+def run_cluster(parallel, ticks=40, seed=11, txn_every=5, obs=None):
+    coord = ClusterCoordinator(
+        4, make_placement(), cluster_schemas(), seed=seed, parallel=parallel,
+        obs=obs,
+    )
+    rng = random.Random(seed * 7 + 1)
+    eids = [
+        coord.spawn(
+            {
+                "Position": {
+                    "x": rng.uniform(0, 400), "y": rng.uniform(0, 400)
+                },
+                "Wealth": {},
+            }
+        )
+        for _ in range(100)
+    ]
+    coord.add_per_entity_system("drift", ["Position"], drift)
+    for t in range(ticks):
+        if t % txn_every == 0:
+            a, b = rng.sample(eids, 2)
+            coord.submit(transfer_spec(a, b, 3))
+        coord.tick()
+    coord.quiesce()
+    coord.check_invariants()
+    return coord
+
+
+class TestProcessClusterEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_hash_matches_serial(self, workers):
+        serial = run_cluster(None)
+        parallel = run_cluster(workers)
+        try:
+            assert serial.state_hash() == parallel.state_hash()
+            assert serial.stats().committed == parallel.stats().committed
+            assert serial.migrations_done == parallel.migrations_done
+        finally:
+            parallel.stop_parallel(sync=False)
+
+    def test_randomized_seeds(self):
+        rng = random.Random(2024)
+        for _ in range(2):
+            seed = rng.randrange(1 << 16)
+            serial = run_cluster(None, ticks=25, seed=seed)
+            parallel = run_cluster(2, ticks=25, seed=seed)
+            try:
+                assert serial.state_hash() == parallel.state_hash(), seed
+            finally:
+                parallel.stop_parallel(sync=False)
+
+    def test_stop_sync_resumes_serially(self):
+        parallel = run_cluster(2)
+        hash_before = parallel.state_hash()
+        parallel.stop_parallel(sync=True)
+        assert not parallel.parallel_active
+        # Synced state must reproduce the workers' hash exactly, and the
+        # cluster must keep ticking serially without protocol damage.
+        assert parallel.state_hash() == hash_before
+        parallel.run(10)
+        parallel.quiesce()
+        parallel.check_invariants()
+
+    def test_spawn_while_parallel(self):
+        coord = run_cluster(2, ticks=10)
+        try:
+            eid = coord.spawn(
+                {"Position": {"x": 10.0, "y": 10.0}, "Wealth": {}}
+            )
+            assert coord.owner_of(eid) == 0
+            coord.run(5)
+            coord.check_invariants()
+            assert eid in coord.positions()
+        finally:
+            coord.stop_parallel(sync=False)
+
+
+class TestExecutorPlumbing:
+    def test_stats_and_registration(self):
+        from repro.obs import Observability
+
+        coord = run_cluster(2, ticks=8, obs=Observability.metrics_only())
+        try:
+            stats = coord._parallel.stats()
+            assert stats["workers"] == 2
+            assert stats["shards"] == 4
+            assert stats["ticks"] >= 8
+            assert stats["sends_replayed"] > 0
+            assert "parallel.cluster" in coord.obs.stats_providers()
+            assert (
+                coord.metrics.gauge("parallel.worker.shards", worker=0).value
+                == 2
+            )
+        finally:
+            coord.stop_parallel(sync=False)
+        assert "parallel.cluster" not in coord.obs.stats_providers()
+
+    def test_worker_count_validated(self):
+        with pytest.raises(ClusterError):
+            ClusterCoordinator(
+                2, make_placement(), cluster_schemas(), parallel=0
+            )
+
+    def test_replicated_step_refuses_parallel(self):
+        from repro.replication import ReplicatedClusterCoordinator
+
+        coord = ReplicatedClusterCoordinator(
+            2, make_placement(), cluster_schemas(), seed=1
+        )
+        with pytest.raises(ClusterError):
+            coord.start_parallel(2)

@@ -1,0 +1,160 @@
+"""Conflict-graph scheduler unit tests: edges, phases, write-write."""
+
+from repro.core import GameWorld, SystemSpec, schema, system
+from repro.core.systems import FunctionSystem
+from repro.parallel import build_tick_plan
+
+
+def spec_system(name, reads=(), writes=()):
+    """A named no-op system carrying the given spec."""
+
+    @system(name, reads=reads, writes=writes)
+    def fn(world, dt):
+        pass
+
+    sys = FunctionSystem.from_callable(fn)
+    return sys
+
+
+def opaque_system(name):
+    """A system with no spec (conflicts with everything)."""
+    return FunctionSystem(name, lambda world, dt: None)
+
+
+class TestSystemSpec:
+    def test_of_strips_fields_and_implies_reads(self):
+        spec = SystemSpec.of(reads=["Position.x"], writes=["Health.hp"])
+        assert spec.reads == frozenset({"Position", "Health"})
+        assert spec.writes == frozenset({"Health"})
+
+    def test_conflict_rules(self):
+        a = SystemSpec.of(reads=["Position"], writes=["Position"])
+        b = SystemSpec.of(reads=["Position"], writes=[])
+        c = SystemSpec.of(reads=["Health"], writes=["Health"])
+        assert a.conflicts_with(b)  # write-read
+        assert b.conflicts_with(a)  # symmetric
+        assert not a.conflicts_with(c)  # disjoint
+        assert not b.conflicts_with(SystemSpec.of(reads=["Position"]))  # read-read
+        assert a.conflicts_with(None)  # unknown serializes
+
+    def test_write_write_detection(self):
+        a = SystemSpec.of(writes=["Gold"])
+        b = SystemSpec.of(writes=["Gold"])
+        c = SystemSpec.of(reads=["Gold"])
+        assert a.write_write_conflict(b)
+        assert not a.write_write_conflict(c)
+
+
+class TestConflictGraph:
+    def test_edges_and_degree(self):
+        systems = [
+            spec_system("move", reads=["Velocity"], writes=["Position"]),
+            spec_system("regen", writes=["Health"]),
+            spec_system("render", reads=["Position"]),
+            opaque_system("mystery"),
+        ]
+        plan = build_tick_plan(systems)
+        g = plan.graph
+        assert g.conflicts("move", "render")  # move writes what render reads
+        assert not g.conflicts("move", "regen")
+        # The opaque system conflicts with every other system.
+        assert g.degree("mystery") == 3
+        assert ("move", "render") in g.edges()
+
+    def test_write_write_edges(self):
+        systems = [
+            spec_system("a", writes=["Gold"]),
+            spec_system("b", writes=["Gold"]),
+        ]
+        g = build_tick_plan(systems).graph
+        assert g.conflicts("a", "b")
+        assert g.write_write("a", "b")
+
+
+class TestPhaseConstruction:
+    def test_disjoint_systems_share_a_phase(self):
+        systems = [
+            spec_system("move", reads=["Velocity"], writes=["Position"]),
+            spec_system("regen", writes=["Health"]),
+            spec_system("mine", writes=["Gold"]),
+        ]
+        # Plain FunctionSystems don't support effects, so they serialize
+        # even when specs are disjoint — phases need effect capability.
+        plan = build_tick_plan(systems)
+        assert all(len(p.systems) == 1 for p in plan.phases)
+
+    def test_batch_systems_fuse_into_phases(self):
+        world = GameWorld()
+        world.register_component(schema("Position", x="float"))
+        world.register_component(schema("Health", hp=("int", 100)))
+        world.register_component(schema("Gold", amount=("int", 0)))
+        a = world.add_batch_system(
+            "move", reads=["Position.x"],
+            fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
+            writes=["Position.x"],
+        )
+        b = world.add_batch_system(
+            "regen", reads=["Health.hp"],
+            fn=lambda w, ids, cols, dt: {"Health.hp": cols["Health.hp"]},
+            writes=["Health.hp"],
+        )
+        c = world.add_batch_system(
+            "tax", reads=["Gold.amount"],
+            fn=lambda w, ids, cols, dt: {"Gold.amount": cols["Gold.amount"]},
+            writes=["Gold.amount"],
+        )
+        plan = build_tick_plan([a, b, c])
+        assert len(plan.phases) == 1
+        assert plan.phases[0].names() == ("move", "regen", "tax")
+        assert plan.phases[0].concurrent
+        assert plan.parallelism == 3.0
+
+    def test_conflicting_system_splits_phase(self):
+        world = GameWorld()
+        world.register_component(schema("Position", x="float"))
+        world.register_component(schema("Health", hp=("int", 100)))
+        a = world.add_batch_system(
+            "move", reads=["Position.x"],
+            fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
+            writes=["Position.x"],
+        )
+        b = world.add_batch_system(
+            "push", reads=["Position.x"],
+            fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
+            writes=["Position.x"],
+        )
+        c = world.add_batch_system(
+            "regen", reads=["Health.hp"],
+            fn=lambda w, ids, cols, dt: {"Health.hp": cols["Health.hp"]},
+            writes=["Health.hp"],
+        )
+        plan = build_tick_plan([a, b, c])
+        # move | push+regen: push conflicts with move (write-write on
+        # Position) so it opens a new phase, and regen (disjoint) joins it.
+        assert [p.names() for p in plan.phases] == [("move",), ("push", "regen")]
+
+    def test_order_preserved_exactly(self):
+        """Phases must be consecutive runs — never reorder systems."""
+        world = GameWorld()
+        world.register_component(schema("Position", x="float"))
+        world.register_component(schema("Health", hp=("int", 100)))
+        a = world.add_batch_system(
+            "a", reads=["Position.x"],
+            fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
+            writes=["Position.x"],
+        )
+        mid = FunctionSystem("mid", lambda w, dt: None)  # opaque barrier
+        b = world.add_batch_system(
+            "b", reads=["Health.hp"],
+            fn=lambda w, ids, cols, dt: {"Health.hp": cols["Health.hp"]},
+            writes=["Health.hp"],
+        )
+        plan = build_tick_plan([a, mid, b])
+        flat = [name for p in plan.phases for name in p.names()]
+        assert flat == ["a", "mid", "b"]
+        assert len(plan.phases) == 3
+
+    def test_describe_mentions_phases(self):
+        systems = [opaque_system("only")]
+        text = build_tick_plan(systems).describe()
+        assert "phase 0" in text and "only" in text

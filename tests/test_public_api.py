@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.replication",
     "repro.net",
     "repro.obs",
+    "repro.parallel",
     "repro.persistence",
     "repro.workloads",
     "repro.bench",
