@@ -1,0 +1,557 @@
+"""E19 — the gateway edge: AOI-scoped delta streams under swarm load.
+
+The SIGMOD'09 paper frames an MMO as a data-management system whose
+clients subscribe to *interest queries* over the world state.  PR 6
+builds that edge — ``repro.gateway`` — and this experiment characterises
+it along the axes that matter for a serving tier:
+
+* **E19a — AOI radius sweep**: a swarm of simulated clients (memory
+  transports, deterministic) clustered in Zipfian hotspots, swept over
+  ≥3 interest radii.  Reports bytes/client/tick (must shrink
+  monotonically with the radius — interest management *is* bandwidth
+  control), dead-reckoning suppression rate, and p50/p99 client-visible
+  latency (tick-to-drain wall time; hardware dependent, reported not
+  gated).
+* **E19b — churn soak**: ramp plus continuous disconnect/reconnect
+  (resume tokens) with the flight recorder armed, asserting zero
+  evictions, zero protocol errors, and that session resume actually
+  carries streams across reconnects.
+* **E19c — backpressure/eviction**: deterministic slow readers against
+  tight queue bounds, demonstrating both eviction paths
+  (``evicted:slow`` via consecutive behind-ticks, ``evicted:overflow``
+  via backlog bytes) while well-behaved clients stay connected.
+* **E19d — TCP smoke** (``--transport tcp``): the same gateway behind
+  ``asyncio.start_server`` on localhost with real socket clients
+  measuring ping RTTs — the socket path the CI smoke job exercises.
+
+Wall-clock numbers are hardware dependent; the regression gate pins the
+booleans (monotonic bytes, zero evictions/errors, eviction paths fire)
+and relative ratios only.  ``--out foo.json`` writes the artifact
+``check_regression.py`` compares against ``BENCH_E19.baseline.json``.
+"""
+
+import asyncio
+import time
+
+from bench_common import (
+    BenchTable,
+    emit_json,
+    emit_report,
+    make_parser,
+    trace_session,
+)
+
+from repro.core import GameWorld
+from repro.gateway import (
+    BackpressureConfig,
+    GatewayConfig,
+    GatewayCore,
+    GatewayServer,
+    WorldView,
+)
+from repro.obs import Observability
+from repro.workloads import Swarm, SwarmConfig, socket_client
+
+DEFAULT_RADII = (6.0, 12.0, 24.0)
+
+
+def percentile(samples, q):
+    """The q-th percentile of a sample list (nearest-rank)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def build_swarm_config(clients, radius, seed, churn=0.0, slow_fraction=0.0):
+    """Swarm geometry scaled so per-hotspot AOI density stays constant."""
+    return SwarmConfig(
+        clients=clients,
+        ramp_ticks=max(5, min(20, clients // 50)),
+        churn_rate=churn,
+        zipf_theta=0.8,
+        hotspots=max(8, clients // 300),
+        world_size=2000.0,
+        hotspot_sigma=30.0,
+        speed=2.0,
+        move_rate=0.3,
+        aoi_radius=radius,
+        slow_fraction=slow_fraction,
+        seed=seed,
+    )
+
+
+def run_gateway_ticks(world, core, swarm, first_tick, ticks, latencies=None):
+    """Drive swarm -> world -> gateway -> drain for ``ticks`` ticks."""
+    for tick in range(first_tick, first_tick + ticks):
+        swarm.step(tick)
+        world.tick()
+        start = time.perf_counter()
+        core.tick()
+        swarm.drain()
+        if latencies is not None:
+            latencies.append(time.perf_counter() - start)
+
+
+# -- E19a: AOI radius sweep --------------------------------------------------------
+
+
+def run_radius_cell(clients, radius, ticks, seed):
+    """One radius point: bytes/client/tick, suppression, latency."""
+    world = GameWorld()
+    core = GatewayCore(
+        world_view := WorldView(world),
+        GatewayConfig(default_radius=radius, max_radius=max(radius, 128.0)),
+    )
+    cfg = build_swarm_config(clients, radius, seed)
+    swarm = Swarm(world, core, cfg)
+    run_gateway_ticks(world, core, swarm, 0, cfg.ramp_ticks)
+    bytes_before = core.bytes_sent
+    latencies = []
+    run_gateway_ticks(world, core, swarm, cfg.ramp_ticks, ticks, latencies)
+    connected = len(swarm.connected_clients())
+    stats = core.stats()
+    sw = swarm.stats()
+    updates_total = stats["updates_suppressed"] + sw["updates_seen"]
+    world_view.close()
+    return {
+        "radius": radius,
+        "connected": connected,
+        "bytes_per_client_tick": (core.bytes_sent - bytes_before)
+        / max(connected, 1)
+        / ticks,
+        "suppression_rate": stats["updates_suppressed"] / max(updates_total, 1),
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "protocol_errors": stats["protocol_errors"],
+        "evictions": stats["evictions"],
+    }
+
+
+# -- E19b: churn soak with the flight recorder armed -------------------------------
+
+
+def run_soak_cell(clients, radius, ticks, seed):
+    """Churny soak: resume-token reconnects, recorder armed, no errors."""
+    obs = Observability.full(last_ticks=32, max_items=50_000)
+    world = GameWorld(obs=obs)
+    core = GatewayCore(
+        WorldView(world),
+        GatewayConfig(default_radius=radius, max_radius=max(radius, 128.0)),
+        obs=obs,
+    )
+    cfg = build_swarm_config(clients, radius, seed, churn=0.02)
+    swarm = Swarm(world, core, cfg)
+    unhandled = 0
+    try:
+        run_gateway_ticks(world, core, swarm, 0, cfg.ramp_ticks + ticks)
+    except Exception:  # noqa: BLE001 - the soak's whole point is zero of these
+        unhandled = 1
+        raise
+    finally:
+        stats = core.stats()
+        dump = obs.flight_dump("soak-complete")
+        gateway_spans = sum(
+            1
+            for span in obs.recorder.spans()
+            if span.name.startswith("gateway.")
+        )
+    return {
+        "connected": len(swarm.connected_clients()),
+        "reconnects": swarm.reconnects,
+        "resumed": stats["resumed"],
+        "evictions": stats["evictions"],
+        "protocol_errors": stats["protocol_errors"],
+        "unhandled": unhandled,
+        "recorder_armed": dump is not None and gateway_spans > 0,
+        "gateway_spans": gateway_spans,
+        "coalesced": stats["deltas_coalesced"],
+    }
+
+
+# -- E19c: deterministic backpressure + eviction -----------------------------------
+
+
+def run_eviction_cell(seed):
+    """Two deterministic eviction paths beside well-behaved clients."""
+    results = {}
+    for label, bp in (
+        (
+            "slow",
+            BackpressureConfig(
+                max_queue_bytes=1 << 20,
+                high_watermark=2048,
+                low_watermark=512,
+                drain_watermark=4096,
+                evict_behind_ticks=5,
+            ),
+        ),
+        (
+            # high == max: the client is never marked behind (which would
+            # coalesce and bound the backlog) before the byte cap trips,
+            # so the overflow path is what fires.
+            "overflow",
+            BackpressureConfig(
+                max_queue_bytes=8192,
+                high_watermark=8192,
+                low_watermark=512,
+                drain_watermark=32768,
+                evict_behind_ticks=10_000,
+            ),
+        ),
+    ):
+        world = GameWorld()
+        core = GatewayCore(
+            WorldView(world),
+            GatewayConfig(
+                default_radius=50.0,
+                max_radius=128.0,
+                backpressure=bp,
+            ),
+        )
+        cfg = SwarmConfig(
+            clients=24,
+            ramp_ticks=1,
+            churn_rate=0.0,
+            hotspots=1,
+            world_size=200.0,
+            hotspot_sigma=10.0,
+            move_rate=1.0,
+            aoi_radius=50.0,
+            slow_fraction=0.25,
+            slow_budget=0,
+            seed=seed,
+        )
+        swarm = Swarm(world, core, cfg)
+        run_gateway_ticks(world, core, swarm, 0, 40)
+        stats = core.stats()
+        slow_clients = [c for c in swarm.clients if c.slow]
+        healthy = [c for c in swarm.clients if not c.slow]
+        results[label] = {
+            "evictions": stats["evictions"],
+            "by_reason": dict(core.evictions),
+            "slow_count": len(slow_clients),
+            "healthy_still_connected": sum(1 for c in healthy if c.connected),
+            "healthy_count": len(healthy),
+        }
+    return results
+
+
+# -- E19d: TCP socket smoke --------------------------------------------------------
+
+
+async def _run_tcp(clients, radius, seed, deltas_wanted=8):
+    world = GameWorld()
+    core = GatewayCore(
+        WorldView(world),
+        GatewayConfig(default_radius=radius, max_radius=max(radius, 128.0)),
+    )
+    cfg = build_swarm_config(clients, radius, seed)
+    swarm = Swarm(world, core, cfg)  # spawns + binds "swarm-*" avatars
+    server = GatewayServer(core)
+    await server.start()
+
+    def step(counter=[0]):
+        swarm.move(counter[0])
+        counter[0] += 1
+        world.tick()
+
+    server.start_ticking(0.01, step)
+    names = [c.name for c in swarm.clients[:clients]]
+    results = await asyncio.gather(
+        *(
+            socket_client(
+                "127.0.0.1", server.port, name,
+                aoi_radius=radius, deltas_wanted=deltas_wanted,
+            )
+            for name in names
+        )
+    )
+    stats = core.stats()
+    await server.stop()
+    rtts = [r for res in results for r in res["rtts"]]
+    return {
+        "clients": len(results),
+        "served": sum(1 for r in results if r["deltas"] >= deltas_wanted),
+        "rejects": sum(r["rejects"] for r in results),
+        "evictions": stats["evictions"],
+        "protocol_errors": stats["protocol_errors"],
+        "rtt_p50_ms": percentile(rtts, 0.50) * 1e3,
+        "rtt_p99_ms": percentile(rtts, 0.99) * 1e3,
+        "rtt_samples": len(rtts),
+    }
+
+
+def run_tcp_cell(clients, radius, seed):
+    """The socket path: N real TCP clients against the asyncio server."""
+    return asyncio.run(_run_tcp(clients, radius, seed))
+
+
+# -- report ------------------------------------------------------------------------
+
+
+def run_experiment(
+    clients=10_000,
+    radii=DEFAULT_RADII,
+    ticks=20,
+    soak_ticks=40,
+    seed=0,
+    transport="memory",
+    tcp_clients=200,
+):
+    radii = tuple(sorted(radii))
+    if len(radii) < 3:
+        raise ValueError("the radius sweep needs at least 3 radii")
+    sweep = BenchTable(
+        f"E19a: AOI radius sweep ({clients} simulated clients, "
+        f"{ticks} measured ticks)",
+        ["radius", "connected", "bytes_client_tick", "suppression",
+         "p50_ms", "p99_ms"],
+    )
+    cells = []
+    for radius in radii:
+        cell = run_radius_cell(clients, radius, ticks, seed)
+        cells.append(cell)
+        sweep.add_row(
+            radius, cell["connected"],
+            round(cell["bytes_per_client_tick"], 1),
+            round(cell["suppression_rate"], 3),
+            round(cell["p50_ms"], 2), round(cell["p99_ms"], 2),
+        )
+    byte_series = [c["bytes_per_client_tick"] for c in cells]
+    bytes_monotonic = all(
+        a < b for a, b in zip(byte_series, byte_series[1:])
+    )
+
+    soak = run_soak_cell(clients, radii[1], soak_ticks, seed)
+    soak_table = BenchTable(
+        f"E19b: churn soak ({soak_ticks} ticks, 2% churn, recorder armed)",
+        ["connected", "reconnects", "resumed", "evictions",
+         "protocol_errors", "recorder_armed", "gateway_spans"],
+    )
+    soak_table.add_row(
+        soak["connected"], soak["reconnects"], soak["resumed"],
+        soak["evictions"], soak["protocol_errors"], soak["recorder_armed"],
+        soak["gateway_spans"],
+    )
+
+    evict = run_eviction_cell(seed)
+    evict_table = BenchTable(
+        "E19c: backpressure eviction (slow readers vs tight queue bounds)",
+        ["path", "evictions", "slow_readers", "healthy_kept"],
+    )
+    for label, cell in evict.items():
+        evict_table.add_row(
+            label, cell["evictions"], cell["slow_count"],
+            f"{cell['healthy_still_connected']}/{cell['healthy_count']}",
+        )
+
+    tables = [sweep, soak_table, evict_table]
+    metrics = {
+        # Host-independent: gated exactly.
+        "bytes_monotonic": bytes_monotonic,
+        "soak_evictions_zero": soak["evictions"] == 0,
+        "disconnect_errors_zero": (
+            soak["protocol_errors"] == 0 and soak["unhandled"] == 0
+        ),
+        "resume_works": soak["resumed"] > 0,
+        "recorder_armed": soak["recorder_armed"],
+        "slow_eviction_fires": evict["slow"]["by_reason"].get(
+            "evicted:slow", 0
+        ) > 0,
+        "overflow_eviction_fires": evict["overflow"]["by_reason"].get(
+            "evicted:overflow", 0
+        ) > 0,
+        "healthy_survive_eviction": (
+            evict["slow"]["healthy_still_connected"]
+            == evict["slow"]["healthy_count"]
+        ),
+        # Relative ratios: gated within tolerance.
+        "bytes_ratio_max_min": byte_series[-1] / max(byte_series[0], 1e-9),
+        "suppression_rate": cells[-1]["suppression_rate"],
+        "clients": clients,
+    }
+    result = {
+        "tables": tables,
+        "metrics": metrics,
+        "cells": cells,
+        "soak": soak,
+        "clients": clients,
+    }
+    if transport == "tcp":
+        tcp = run_tcp_cell(min(clients, tcp_clients), radii[1], seed)
+        tcp_table = BenchTable(
+            f"E19d: TCP socket smoke ({tcp['clients']} real connections)",
+            ["clients", "served", "rtt_p50_ms", "rtt_p99_ms", "evictions",
+             "protocol_errors"],
+        )
+        tcp_table.add_row(
+            tcp["clients"], tcp["served"], round(tcp["rtt_p50_ms"], 2),
+            round(tcp["rtt_p99_ms"], 2), tcp["evictions"],
+            tcp["protocol_errors"],
+        )
+        tables.append(tcp_table)
+        result["tcp"] = tcp
+        metrics["tcp_errors_zero"] = (
+            tcp["protocol_errors"] == 0
+            and tcp["evictions"] == 0
+            and tcp["rejects"] == 0
+        )
+        metrics["tcp_served_fraction"] = tcp["served"] / max(tcp["clients"], 1)
+    return result
+
+
+def to_payload(result, seed):
+    """The JSON artifact for one run (input to check_regression.py)."""
+    payload = {
+        "experiment": "E19",
+        "seed": seed,
+        "clients": result["clients"],
+        "tables": [t.to_dict() for t in result["tables"]],
+        "metrics": result["metrics"],
+        "latency": {
+            str(c["radius"]): {"p50_ms": c["p50_ms"], "p99_ms": c["p99_ms"]}
+            for c in result["cells"]
+        },
+    }
+    if "tcp" in result:
+        payload["tcp"] = result["tcp"]
+    return payload
+
+
+def print_report(
+    clients=2000, radii=DEFAULT_RADII, ticks=12, soak_ticks=20, seed=0,
+    transport="tcp",
+):
+    # Defaults are sized for EXPERIMENTS.md regeneration; the CLI passes
+    # its own (full-scale) values explicitly.
+    result = run_experiment(
+        clients=clients, radii=radii, ticks=ticks, soak_ticks=soak_ticks,
+        seed=seed, transport=transport,
+    )
+    for table in result["tables"]:
+        table.print()
+    m = result["metrics"]
+    print(f"bytes/client falls monotonically with radius: "
+          f"{m['bytes_monotonic']} "
+          f"(max/min ratio {m['bytes_ratio_max_min']:.1f}x)")
+    print(f"soak: evictions_zero={m['soak_evictions_zero']} "
+          f"disconnect_errors_zero={m['disconnect_errors_zero']} "
+          f"resume_works={m['resume_works']} "
+          f"recorder_armed={m['recorder_armed']}")
+    print(f"eviction paths: slow={m['slow_eviction_fires']} "
+          f"overflow={m['overflow_eviction_fires']} "
+          f"healthy clients kept: {m['healthy_survive_eviction']}")
+    print("-> the interest radius is the bandwidth knob: the gateway "
+          "answers each client's standing AOI query and ships only the "
+          "delta, so narrowing the query shrinks the wire footprint "
+          "without touching the simulation.")
+
+
+def run_traced_sample(seed=0):
+    """A small traced run so --trace-out captures gateway span families."""
+    obs = Observability.tracing_only()
+    from repro.obs import set_default_observability
+
+    previous = set_default_observability(obs)
+    try:
+        world = GameWorld()
+        core = GatewayCore(
+            WorldView(world), GatewayConfig(default_radius=12.0)
+        )
+        cfg = build_swarm_config(100, 12.0, seed)
+        swarm = Swarm(world, core, cfg)
+        run_gateway_ticks(world, core, swarm, 0, 10)
+    finally:
+        set_default_observability(previous)
+
+
+# -- pytest-benchmark entries ------------------------------------------------------
+
+
+def test_e19_tick(benchmark):
+    world = GameWorld()
+    core = GatewayCore(WorldView(world), GatewayConfig(default_radius=12.0))
+    cfg = build_swarm_config(500, 12.0, 0)
+    swarm = Swarm(world, core, cfg)
+    run_gateway_ticks(world, core, swarm, 0, cfg.ramp_ticks)
+    ticker = iter(range(cfg.ramp_ticks, 10_000))
+
+    def one_tick():
+        run_gateway_ticks(world, core, swarm, next(ticker), 1)
+
+    benchmark(one_tick)
+
+
+def test_e19_shape_holds(benchmark):
+    """The experiment's invariants at CI-friendly scale.
+
+    Latency numbers are hardware dependent and deliberately unasserted;
+    the booleans — monotone bytes, clean soak, both eviction paths —
+    are the claims E19 exists to pin.
+    """
+
+    def check():
+        result = run_experiment(
+            clients=200, radii=(6.0, 12.0, 24.0), ticks=8, soak_ticks=12
+        )
+        m = result["metrics"]
+        assert m["bytes_monotonic"], "bytes/client must shrink with radius"
+        assert m["soak_evictions_zero"], "healthy soak must not evict"
+        assert m["disconnect_errors_zero"], "soak must be error free"
+        assert m["resume_works"], "churn must exercise session resume"
+        assert m["slow_eviction_fires"], "slow reader must be evicted"
+        assert m["overflow_eviction_fires"], "overflow must evict"
+        assert m["healthy_survive_eviction"], "eviction must be targeted"
+        return m
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    parser = make_parser("E19 gateway edge benchmark")
+    parser.add_argument(
+        "--clients", type=int, default=10_000,
+        help="simulated clients for the radius sweep and soak",
+    )
+    parser.add_argument(
+        "--radii", type=float, nargs="+", default=list(DEFAULT_RADII),
+        help="AOI radii for the sweep (>= 3 values)",
+    )
+    parser.add_argument(
+        "--ticks", type=int, default=20,
+        help="measured ticks per radius point (after the ramp)",
+    )
+    parser.add_argument(
+        "--soak-ticks", type=int, default=40,
+        help="post-ramp ticks for the churn soak",
+    )
+    parser.add_argument(
+        "--transport", choices=("memory", "tcp"), default="memory",
+        help="also run the real-socket cell with --transport tcp",
+    )
+    parser.add_argument(
+        "--tcp-clients", type=int, default=200,
+        help="TCP connections for the socket cell (tcp transport only)",
+    )
+    cli = parser.parse_args()
+    with trace_session(cli.trace_out):
+        if cli.out and cli.out.endswith(".json"):
+            result = run_experiment(
+                clients=cli.clients, radii=tuple(cli.radii), ticks=cli.ticks,
+                soak_ticks=cli.soak_ticks, seed=cli.seed,
+                transport=cli.transport, tcp_clients=cli.tcp_clients,
+            )
+            for table in result["tables"]:
+                table.print()
+            emit_json(cli.out, to_payload(result, cli.seed))
+        else:
+            emit_report(
+                print_report, out=cli.out, clients=cli.clients,
+                radii=tuple(cli.radii), ticks=cli.ticks,
+                soak_ticks=cli.soak_ticks, seed=cli.seed,
+                transport=cli.transport,
+            )
+        if cli.trace_out:
+            run_traced_sample(seed=cli.seed)

@@ -75,6 +75,14 @@ class InterestManager:
         """Current AOI set of an observer (copy)."""
         return set(self._aoi.get(observer, ()))
 
+    def drop_observer(self, observer: int) -> None:
+        """Forget an observer entirely (a disconnected subscriber).
+
+        No exit events are produced — the subscriber is gone, nobody is
+        listening — and the membership changes are not counted as churn.
+        """
+        self._aoi.pop(observer, None)
+
     def update(
         self,
         observers: Iterable[int],

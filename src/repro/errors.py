@@ -187,6 +187,10 @@ class NetError(ReproError):
     """A network-simulation component was misconfigured."""
 
 
+class GatewayError(NetError):
+    """The network gateway was misconfigured or a session misbehaved."""
+
+
 # ---------------------------------------------------------------------------
 # Cluster runtime errors
 # ---------------------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""repro.gateway: the network edge in front of the simulation.
+
+This package turns the reproduction's in-process replication machinery
+into a servable edge: an asyncio front end speaking a length-prefixed
+binary protocol, session lifecycle with resume tokens, per-client
+interest-managed delta streams (reusing ``consistency.interest`` and
+``net.deadreckon``), and explicit backpressure — bounded send queues,
+delta coalescing for slow clients, and eviction so one stuck socket
+never stalls the tick.
+
+The core (:class:`GatewayCore`) is sans-IO and fully deterministic
+under :class:`MemoryTransport`; :class:`GatewayServer` runs the same
+logic over real sockets.  Experiment E19 drives it with the
+``workloads.swarm`` load generator.
+"""
+
+from repro.gateway.backpressure import BackpressureConfig, SendQueue
+from repro.gateway.core import GatewayConfig, GatewayCore
+from repro.gateway.framing import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    frame,
+)
+from repro.gateway.messages import (
+    Delta,
+    Goodbye,
+    Hello,
+    Ping,
+    Pong,
+    Reject,
+    Welcome,
+)
+from repro.gateway.server import GatewayServer
+from repro.gateway.session import Session, SessionManager, default_auth
+from repro.gateway.streams import (
+    ClientStreamState,
+    ClusterView,
+    InterestStream,
+    Snapshot,
+    WorldView,
+)
+from repro.gateway.transport import AsyncioTransport, MemoryTransport
+
+__all__ = [
+    "HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "AsyncioTransport",
+    "BackpressureConfig",
+    "ClientStreamState",
+    "ClusterView",
+    "Delta",
+    "FrameDecoder",
+    "GatewayConfig",
+    "GatewayCore",
+    "GatewayServer",
+    "Goodbye",
+    "Hello",
+    "InterestStream",
+    "MemoryTransport",
+    "Ping",
+    "Pong",
+    "Reject",
+    "SendQueue",
+    "Session",
+    "SessionManager",
+    "Snapshot",
+    "WorldView",
+    "Welcome",
+    "default_auth",
+    "frame",
+]

@@ -1,0 +1,360 @@
+"""The sans-IO gateway core: sessions, deltas, backpressure, metrics.
+
+:class:`GatewayCore` contains every piece of gateway behaviour —
+handshake dispatch, per-tick interest evaluation, queue flushing,
+eviction — with **no sockets and no event loop**.  Bytes come in
+through :meth:`GatewayCore.on_bytes`, frames go out through whatever
+transport each connection was registered with, and time advances only
+when the host calls :meth:`GatewayCore.tick`.  That makes the whole
+edge deterministic under test (memory transports + a fake clock) while
+:class:`~repro.gateway.server.GatewayServer` runs the identical logic
+over real ``asyncio`` sockets.
+
+The per-tick pipeline, instrumented as ``gateway.tick > gateway.flush``
+tracer spans::
+
+    collect snapshot ── interest per radius group ── delta per session
+        ── offer to send queue (coalesce if behind) ── flush ── evict
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import GatewayError, NetError
+from repro.gateway.backpressure import BackpressureConfig
+from repro.gateway.framing import FrameDecoder, frame
+from repro.gateway.messages import Delta, Goodbye, Hello, Ping, Pong
+from repro.gateway.session import ACTIVE, Session, SessionManager
+from repro.gateway.streams import InterestStream
+from repro.net.protocol import InputCommand
+from repro.obs.hub import Observability, resolve_obs
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Gateway-wide tuning: interest, suppression, and backpressure."""
+
+    default_radius: float = 16.0
+    max_radius: float = 128.0
+    hysteresis: float = 0.15
+    dr_threshold: float = 0.5
+    stream_self: bool = True
+    backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.default_radius <= 0 or self.max_radius < self.default_radius:
+            raise GatewayError(
+                "radii must satisfy 0 < default_radius <= max_radius"
+            )
+
+
+class _Connection:
+    """One accepted transport and the session bound to it (if any).
+
+    The frame decoder lives on the *connection*, not the session: a
+    resumed session gets a new connection and therefore a fresh decoder,
+    and a partial frame can never straddle the handshake.
+    """
+
+    __slots__ = ("cid", "transport", "session", "decoder")
+
+    def __init__(self, cid: int, transport: Any):
+        self.cid = cid
+        self.transport = transport
+        self.session: Session | None = None
+        self.decoder = FrameDecoder()
+
+
+class GatewayCore:
+    """The gateway's entire behaviour, free of I/O.
+
+    Parameters
+    ----------
+    source:
+        A :class:`~repro.gateway.streams.WorldView` or ``ClusterView``
+        (anything with ``collect``/``fields_of``/``tick_count``/``dt``).
+    avatar_of:
+        Maps a client name to its avatar entity id; defaults to the
+        bindings registered via :meth:`bind_avatar`.
+    on_input:
+        Called with ``(session, InputCommand)`` for each client input;
+        a returned message (e.g. an ack) is queued back to the client.
+    clock:
+        Wall-clock source for tick timing (injectable for determinism).
+    """
+
+    def __init__(
+        self,
+        source: Any,
+        config: GatewayConfig | None = None,
+        obs: Observability | None = None,
+        avatar_of: Callable[[str], int | None] | None = None,
+        on_input: Callable[[Session, InputCommand], Any] | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self.source = source
+        self.config = config or GatewayConfig()
+        self.obs = resolve_obs(obs)
+        self.clock = clock or time.perf_counter
+        self.on_input = on_input
+        self._avatars: dict[str, int] = {}
+        self.avatar_of = avatar_of or self._avatars.get
+        self.sessions = SessionManager(
+            backpressure=self.config.backpressure,
+            default_radius=self.config.default_radius,
+            max_radius=self.config.max_radius,
+            seed=self.config.seed,
+            on_close=self._on_session_closed,
+        )
+        self.stream = InterestStream(
+            source,
+            self.config.default_radius,
+            hysteresis=self.config.hysteresis,
+            dr_threshold=self.config.dr_threshold,
+        )
+        self._conns: dict[int, _Connection] = {}
+        self._cid_by_sid: dict[str, int] = {}
+        self._next_cid = 0
+        self.ticks = 0
+        self.bytes_sent = 0
+        # Totals folded in from closed sessions, so stats() survives churn.
+        self._closed_totals = {
+            "deltas_sent": 0,
+            "deltas_coalesced": 0,
+            "updates_suppressed": 0,
+        }
+        self.inputs = 0
+        self.pings = 0
+        self.disconnects = 0
+        self.protocol_errors = 0
+        self.evictions: dict[str, int] = {}
+        self._stats_name = self.obs.register_stats("gateway", self.stats)
+
+    # -- connection plane ------------------------------------------------------------
+
+    def connect(self, transport: Any) -> int:
+        """Register a new connection; returns its connection id."""
+        self._next_cid += 1
+        conn = _Connection(self._next_cid, transport)
+        self._conns[conn.cid] = conn
+        return conn.cid
+
+    def on_bytes(self, cid: int, data: bytes) -> None:
+        """Feed raw received bytes from a connection into the gateway.
+
+        Corrupt framing (a protocol violation, not a partial read) closes
+        the connection; a session it carried stays resumable.
+        """
+        conn = self._conns.get(cid)
+        if conn is None:
+            return
+        try:
+            messages = conn.decoder.feed(data)
+        except (GatewayError, NetError):
+            self.protocol_errors += 1
+            self.disconnect(cid)
+            return
+        for msg in messages:
+            self.on_message(cid, msg)
+            if cid not in self._conns:
+                break  # the message closed the connection
+
+    def on_message(self, cid: int, msg: Any) -> None:
+        """Dispatch one decoded client message."""
+        conn = self._conns.get(cid)
+        if conn is None:
+            return
+        if isinstance(msg, Hello):
+            self._on_hello(conn, msg)
+        elif conn.session is None or conn.session.state != ACTIVE:
+            # Anything before a successful hello is a protocol violation.
+            self.protocol_errors += 1
+            self.disconnect(cid)
+        elif isinstance(msg, Ping):
+            self.pings += 1
+            conn.session.queue.offer(
+                Pong(msg.nonce, msg.client_time, self.source.tick_count())
+            )
+            conn.session.queue.flush()
+        elif isinstance(msg, InputCommand):
+            self.inputs += 1
+            if self.on_input is not None:
+                reply = self.on_input(conn.session, msg)
+                if reply is not None:
+                    conn.session.queue.offer(reply)
+        elif isinstance(msg, Goodbye):
+            self._close_session(conn.session, "client bye")
+        else:
+            self.protocol_errors += 1
+            self.disconnect(cid)
+
+    def _on_hello(self, conn: _Connection, msg: Hello) -> None:
+        if conn.session is not None:
+            self.protocol_errors += 1
+            self.disconnect(conn.cid)
+            return
+        session, reply = self.sessions.hello(
+            msg, conn.transport, self.avatar_of, self.source.tick_count()
+        )
+        if session is None:
+            # Rejects bypass the queue: there is no session to queue on.
+            conn.transport.send(frame(reply))
+            self.disconnect(conn.cid)
+            return
+        old_cid = self._cid_by_sid.get(session.sid)
+        if old_cid is not None and old_cid in self._conns:
+            self._conns[old_cid].session = None
+            self.disconnect(old_cid)
+        conn.session = session
+        self._cid_by_sid[session.sid] = conn.cid
+        session.queue.offer(reply)
+        session.queue.flush()
+
+    def bind_avatar(self, client: str, entity_id: int) -> None:
+        """Register the avatar entity a client name maps to."""
+        self._avatars[client] = entity_id
+
+    def disconnect(self, cid: int) -> None:
+        """A connection went away (EOF, error, or server-side close).
+
+        The session, if any, is detached — it stays resumable until it
+        is closed explicitly (client bye, eviction, shutdown).
+        """
+        conn = self._conns.pop(cid, None)
+        if conn is None:
+            return
+        self.disconnects += 1
+        conn.transport.close()
+        if conn.session is not None:
+            self._cid_by_sid.pop(conn.session.sid, None)
+            self.sessions.detach(conn.session)
+
+    def _on_session_closed(self, session: Session, reason: str) -> None:
+        """SessionManager close hook: release stream state + connection.
+
+        Runs for *every* terminal close, including a detached session
+        superseded by a fresh hello inside the manager's handshake.
+        """
+        self._closed_totals["deltas_sent"] += session.queue.deltas_sent
+        self._closed_totals["deltas_coalesced"] += session.queue.deltas_coalesced
+        self._closed_totals["updates_suppressed"] += session.stream.updates_suppressed
+        self.stream.drop_client(session.stream, session.avatar, session.aoi_radius)
+        cid = self._cid_by_sid.pop(session.sid, None)
+        if cid is not None:
+            conn = self._conns.pop(cid, None)
+            if conn is not None:
+                self.disconnects += 1
+                conn.transport.close()
+
+    def _close_session(self, session: Session, reason: str) -> None:
+        self.sessions.close(session, reason)
+
+    def evict(self, session: Session, reason: str) -> None:
+        """Forcibly close a slow session: goodbye, flush, drop."""
+        self.evictions[reason] = self.evictions.get(reason, 0) + 1
+        session.queue.offer(Goodbye(reason))
+        session.queue.flush()
+        self._close_session(session, reason)
+
+    def shutdown(self) -> None:
+        """Orderly teardown: goodbye every session, close every connection."""
+        for session in self.sessions.active():
+            session.queue.offer(Goodbye("shutdown"))
+            session.queue.flush()
+        for session in list(self.sessions.sessions.values()):
+            self._close_session(session, "shutdown")
+        for cid in list(self._conns):
+            self.disconnect(cid)
+        self.obs.unregister_stats(self._stats_name)
+        self.source.close()
+
+    # -- tick plane ------------------------------------------------------------------
+
+    def tick(self) -> dict[str, Any]:
+        """Run one gateway tick: interest, deltas, flush, eviction.
+
+        Call after the world/cluster has ticked.  Returns a small
+        per-tick summary (also folded into metrics).
+        """
+        t0 = self.clock()
+        tracer = self.obs.tracer
+        evicted: list[tuple[Session, str]] = []
+        flushed = 0
+        with tracer.span("gateway.tick", cat="gateway") as span:
+            active = self.sessions.active()
+            by_radius: dict[float, list[int]] = {}
+            for s in active:
+                by_radius.setdefault(s.aoi_radius, []).append(s.avatar)
+            self.stream.begin_tick(by_radius)
+            for s in active:
+                extra = (s.avatar,) if self.config.stream_self else ()
+                s.queue.offer_delta(
+                    self.stream.delta_for(s.stream, s.avatar, extra_known=extra)
+                )
+            with tracer.span("gateway.flush", cat="gateway"):
+                for s in active:
+                    flushed += s.queue.flush()
+                    reason = s.queue.note_tick()
+                    if reason is not None:
+                        evicted.append((s, reason))
+            for s, reason in evicted:
+                self.evict(s, reason)
+            span.set(clients=len(active), bytes=flushed, evicted=len(evicted))
+        self.ticks += 1
+        self.bytes_sent += flushed
+        elapsed_ms = (self.clock() - t0) * 1e3
+        self._record_metrics(active, flushed, elapsed_ms)
+        return {
+            "clients": len(active),
+            "bytes": flushed,
+            "evicted": len(evicted),
+            "ms": elapsed_ms,
+        }
+
+    def _record_metrics(
+        self, active: list[Session], flushed: int, elapsed_ms: float
+    ) -> None:
+        metrics = self.obs.metrics
+        if metrics is None:
+            return
+        metrics.gauge("gateway.clients").set(len(active))
+        metrics.gauge("gateway.sessions").set(len(self.sessions))
+        metrics.counter("gateway.bytes_sent").inc(flushed)
+        metrics.histogram("gateway.tick_ms").observe(elapsed_ms)
+        depth = metrics.histogram("gateway.queue_depth_bytes")
+        for s in active:
+            if s.state == ACTIVE:
+                depth.observe(s.queue.backlog_bytes())
+        for reason, count in self.evictions.items():
+            metrics.gauge("gateway.evictions", reason=reason).set(count)
+
+    # -- stats -----------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate gateway counters (the hub's ``collect_stats`` row)."""
+        sessions = list(self.sessions.sessions.values())
+        return {
+            "connections": len(self._conns),
+            "sessions": len(sessions),
+            "active": sum(1 for s in sessions if s.state == ACTIVE),
+            "accepted": self.sessions.accepted,
+            "resumed": self.sessions.resumed,
+            "rejected": self.sessions.rejected,
+            "ticks": self.ticks,
+            "bytes_sent": self.bytes_sent,
+            "deltas_sent": self._closed_totals["deltas_sent"]
+            + sum(s.queue.deltas_sent for s in sessions),
+            "deltas_coalesced": self._closed_totals["deltas_coalesced"]
+            + sum(s.queue.deltas_coalesced for s in sessions),
+            "updates_suppressed": self._closed_totals["updates_suppressed"]
+            + sum(s.stream.updates_suppressed for s in sessions),
+            "inputs": self.inputs,
+            "pings": self.pings,
+            "disconnects": self.disconnects,
+            "protocol_errors": self.protocol_errors,
+            "evictions": sum(self.evictions.values()),
+        }

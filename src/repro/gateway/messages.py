@@ -1,0 +1,157 @@
+"""Gateway session-plane messages.
+
+These ride the same codec as the replication protocol
+(:func:`repro.net.protocol.encode` / ``decode``), registered in the
+type-id block starting at 32.  Everything a client and the gateway say
+to each other is one of these frozen dataclasses, so the socket path,
+the in-memory test transport, and the simulator all speak bytes that
+round-trip exactly.
+
+Session lifecycle::
+
+    client                     gateway
+      | -- Hello ------------->  |   (version check, auth stub, resume)
+      | <------------ Welcome -- |   (or Reject + close)
+      | <-------------- Delta -- |   (one per tick: enters/updates/exits)
+      | -- InputCommand ------>  |   (forwarded to the world source)
+      | -- Ping -------------->  |
+      | <--------------- Pong -- |   (client-visible latency probe)
+      | <------------ Goodbye -- |   (server-initiated close, e.g. eviction)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.protocol import (
+    ENVELOPE_BYTES,
+    VALUE_BYTES,
+    WIRE_VERSION,
+    register_message,
+)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Client -> gateway: open (or resume) a session.
+
+    ``token`` is the auth-stub credential; ``resume`` carries a prior
+    session's resume token to reattach after a disconnect.  A non-zero
+    ``aoi_radius`` asks for a specific interest radius (clamped to the
+    gateway's configured maximum).
+    """
+
+    client: str
+    version: int = WIRE_VERSION
+    token: str = ""
+    resume: str = ""
+    aoi_radius: float = 0.0
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.client) + len(self.token) + 16
+
+
+@dataclass(frozen=True)
+class Welcome:
+    """Gateway -> client: the session is live.
+
+    ``resume_token`` lets the client reattach after a drop;
+    ``aoi_radius`` is the radius actually granted.
+    """
+
+    session: str
+    resume_token: str
+    tick: int
+    aoi_radius: float
+    resumed: bool = False
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.session) + len(self.resume_token) + 16
+
+
+@dataclass(frozen=True)
+class Reject:
+    """Gateway -> client: handshake refused (bad version, auth, …)."""
+
+    reason: str
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.reason)
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Gateway -> client: server-initiated close with a reason.
+
+    ``reason`` is machine-readable: ``"evicted:slow"`` for backpressure
+    eviction, ``"shutdown"`` for orderly teardown.
+    """
+
+    reason: str
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.reason)
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Client -> gateway: latency probe; echoed back as :class:`Pong`."""
+
+    nonce: int
+    client_time: float = 0.0
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Gateway -> client: echo of a :class:`Ping` plus the server tick."""
+
+    nonce: int
+    client_time: float
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 24
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Gateway -> client: one tick's interest-scoped state changes.
+
+    ``enters`` and ``updates`` are ``((entity, {field: value}), …)``
+    tuples; ``exits`` is a tuple of entity ids.  ``seq`` increments per
+    delta actually sent on the session, and ``coalesced`` counts how
+    many per-tick deltas were merged into this one while the client was
+    behind — a client can detect it missed intermediate states without
+    any gap in ``seq``.
+    """
+
+    tick: int
+    seq: int
+    enters: tuple = ()
+    updates: tuple = ()
+    exits: tuple = ()
+    coalesced: int = 0
+
+    def wire_size(self) -> int:
+        size = ENVELOPE_BYTES + 16 + 8 * len(self.exits)
+        for _eid, fields in self.enters:
+            size += 8 + len(fields) * (VALUE_BYTES + 4)
+        for _eid, fields in self.updates:
+            size += 8 + len(fields) * (VALUE_BYTES + 4)
+        return size
+
+    def change_count(self) -> int:
+        """Total entity-level changes carried (enters + updates + exits)."""
+        return len(self.enters) + len(self.updates) + len(self.exits)
+
+
+register_message(32, Hello)
+register_message(33, Welcome)
+register_message(34, Reject)
+register_message(35, Goodbye)
+register_message(36, Ping)
+register_message(37, Pong)
+register_message(38, Delta)

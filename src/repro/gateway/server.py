@@ -1,0 +1,121 @@
+"""The asyncio front end: real sockets around the sans-IO core.
+
+:class:`GatewayServer` is deliberately thin — accept loop, per-connection
+reader task, a tick driver — because every decision lives in
+:class:`~repro.gateway.core.GatewayCore`.  The server's only jobs are to
+pump bytes between sockets and the core and to make sure a client
+vanishing mid-anything surfaces as a clean ``disconnect``, never an
+unhandled exception (the acceptance bar the soak benchmark holds it to).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any
+
+from repro.errors import GatewayError
+from repro.gateway.core import GatewayCore
+from repro.gateway.transport import AsyncioTransport
+
+#: Socket read chunk size for connection reader loops.
+READ_CHUNK = 64 * 1024
+
+
+class GatewayServer:
+    """Serve a :class:`GatewayCore` over TCP with ``asyncio.start_server``."""
+
+    def __init__(self, core: GatewayCore, host: str = "127.0.0.1", port: int = 0):
+        self.core = core
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._readers: set[asyncio.Task] = set()
+        self._tick_task: asyncio.Task | None = None
+        self.connections_served = 0
+
+    async def start(self) -> None:
+        """Bind and start accepting (port 0 picks a free port)."""
+        if self._server is not None:
+            raise GatewayError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Reader loop for one accepted connection."""
+        self.connections_served += 1
+        transport = AsyncioTransport(writer)
+        cid = self.core.connect(transport)
+        task = asyncio.current_task()
+        if task is not None:
+            self._readers.add(task)
+        try:
+            while True:
+                data = await reader.read(READ_CHUNK)
+                if not data:
+                    break
+                self.core.on_bytes(cid, data)
+                if transport.closed:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer vanished: a disconnect, not an error
+        except asyncio.CancelledError:
+            pass  # server stopping: exit quietly, cleanup runs below
+        finally:
+            if task is not None:
+                self._readers.discard(task)
+            self.core.disconnect(cid)
+            with contextlib.suppress(ConnectionError, RuntimeError):
+                writer.close()
+
+    async def run_ticks(self, tick_interval: float, world_step: Any = None) -> None:
+        """Drive the gateway tick loop until cancelled.
+
+        ``world_step`` (a zero-argument callable) advances the
+        authoritative simulation before each gateway tick — the
+        single-process arrangement the benchmark uses.
+        """
+        try:
+            while True:
+                if world_step is not None:
+                    world_step()
+                self.core.tick()
+                await asyncio.sleep(tick_interval)
+        except asyncio.CancelledError:
+            raise
+
+    def start_ticking(self, tick_interval: float, world_step: Any = None) -> None:
+        """Spawn :meth:`run_ticks` as a background task."""
+        if self._tick_task is not None:
+            raise GatewayError("tick loop already running")
+        self._tick_task = asyncio.get_running_loop().create_task(
+            self.run_ticks(tick_interval, world_step)
+        )
+
+    async def stop(self) -> None:
+        """Stop ticking, close every connection, shut the core down."""
+        if self._tick_task is not None:
+            self._tick_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._tick_task
+            self._tick_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Shut the core down while writers are still open: the goodbye
+        # frames land in the socket buffers and the closes flush them,
+        # so connected clients learn *why* before EOF.  Reader loops
+        # then exit on their own; cancel any stragglers.
+        self.core.shutdown()
+        await asyncio.sleep(0)
+        for task in list(self._readers):
+            task.cancel()
+        for task in list(self._readers):
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._readers.clear()

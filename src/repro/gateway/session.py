@@ -1,0 +1,212 @@
+"""Session lifecycle: hello, auth stub, resume, eviction bookkeeping.
+
+A *session* outlives its connection: the gateway hands every accepted
+client a resume token, and a client that reconnects with it reattaches
+to its session — keeping its avatar binding and interest subscription —
+instead of re-entering the world cold.  This is the standard MMO edge
+trick for surviving flaky links without re-running login or replaying a
+full state snapshot.
+
+Authentication is deliberately a stub (a pluggable predicate over the
+``Hello`` token): the interesting engineering is everything *after*
+auth, and a real credential check slots in without touching the rest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+from repro.errors import GatewayError
+from repro.gateway.backpressure import BackpressureConfig, SendQueue
+from repro.gateway.messages import Hello, Reject, Welcome
+from repro.gateway.streams import ClientStreamState
+from repro.net.protocol import WIRE_VERSION
+
+#: States a session moves through, in order.
+HANDSHAKE, ACTIVE, DETACHED, CLOSED = "handshake", "active", "detached", "closed"
+
+
+def default_auth(client: str, token: str) -> bool:
+    """The auth stub: any token except the literal ``"invalid"`` passes."""
+    return token != "invalid"
+
+
+class Session:
+    """One client's server-side state, across reconnects."""
+
+    __slots__ = (
+        "sid", "client", "resume_token", "avatar", "aoi_radius", "state",
+        "transport", "queue", "stream", "connected_tick",
+        "resumes", "close_reason",
+    )
+
+    def __init__(
+        self,
+        sid: str,
+        client: str,
+        resume_token: str,
+        avatar: int,
+        aoi_radius: float,
+        transport: Any,
+        backpressure: BackpressureConfig,
+        tick: int,
+    ):
+        self.sid = sid
+        self.client = client
+        self.resume_token = resume_token
+        self.avatar = avatar
+        self.aoi_radius = aoi_radius
+        self.state = ACTIVE
+        self.transport = transport
+        self.queue = SendQueue(transport, backpressure)
+        self.stream = ClientStreamState()
+        self.connected_tick = tick
+        self.resumes = 0
+        self.close_reason: str | None = None
+
+    def attach(self, transport: Any, backpressure: BackpressureConfig) -> None:
+        """Reattach a resumed session to a fresh connection.
+
+        The send queue restarts empty (the old connection's unsent
+        frames died with it) but the stream state — known set, DR
+        models, sequence counter — carries over, so the client receives
+        a continuation, not a second copy of the world.
+        """
+        next_seq = self.queue.next_seq
+        self.transport = transport
+        self.queue = SendQueue(transport, backpressure)
+        self.queue.next_seq = next_seq
+        self.state = ACTIVE
+        self.resumes += 1
+        self.close_reason = None
+
+
+class SessionManager:
+    """Owns every session and runs the handshake state machine."""
+
+    def __init__(
+        self,
+        backpressure: BackpressureConfig | None = None,
+        auth: Callable[[str, str], bool] | None = None,
+        default_radius: float = 16.0,
+        max_radius: float = 128.0,
+        seed: int = 0,
+        on_close: Callable[[Session, str], None] | None = None,
+    ):
+        self.backpressure = backpressure or BackpressureConfig()
+        self.auth = auth or default_auth
+        self.on_close = on_close
+        self.default_radius = default_radius
+        self.max_radius = max_radius
+        self._seed = seed
+        self._serial = 0
+        self.sessions: dict[str, Session] = {}
+        self._by_resume: dict[str, Session] = {}
+        self._by_client: dict[str, Session] = {}
+        self.accepted = 0
+        self.resumed = 0
+        self.rejected = 0
+
+    # -- handshake -----------------------------------------------------------------
+
+    def hello(
+        self,
+        msg: Hello,
+        transport: Any,
+        avatar_of: Callable[[str], int | None],
+        tick: int,
+    ) -> tuple[Session | None, Welcome | Reject]:
+        """Run the handshake for one ``Hello``; returns (session, reply).
+
+        ``avatar_of`` maps a client name to its avatar entity (the
+        gateway's binding hook); returning ``None`` rejects the hello.
+        A valid ``resume`` token reattaches the existing session.
+        """
+        if msg.version != WIRE_VERSION:
+            self.rejected += 1
+            return None, Reject(f"version {msg.version} unsupported")
+        if msg.resume:
+            session = self._by_resume.get(msg.resume)
+            if session is None or session.state == CLOSED:
+                self.rejected += 1
+                return None, Reject("unknown or expired resume token")
+            session.attach(transport, self.backpressure)
+            self.resumed += 1
+            return session, Welcome(
+                session.sid, session.resume_token, tick,
+                session.aoi_radius, resumed=True,
+            )
+        if not self.auth(msg.client, msg.token):
+            self.rejected += 1
+            return None, Reject("authentication failed")
+        if msg.client in self._by_client:
+            existing = self._by_client[msg.client]
+            if existing.state == ACTIVE:
+                self.rejected += 1
+                return None, Reject(f"client {msg.client!r} already connected")
+            # A fresh hello supersedes a detached session the client
+            # chose not to resume; keeping it would leak under churn.
+            self.close(existing, "superseded")
+        avatar = avatar_of(msg.client)
+        if avatar is None:
+            self.rejected += 1
+            return None, Reject(f"no avatar for client {msg.client!r}")
+        radius = msg.aoi_radius or self.default_radius
+        radius = min(max(radius, 1e-6), self.max_radius)
+        self._serial += 1
+        sid = f"s{self._serial:08d}"
+        resume_token = hashlib.sha256(
+            f"{self._seed}:{sid}:{msg.client}".encode()
+        ).hexdigest()[:24]
+        session = Session(
+            sid, msg.client, resume_token, avatar, radius, transport,
+            self.backpressure, tick,
+        )
+        self.sessions[sid] = session
+        self._by_resume[resume_token] = session
+        self._by_client[msg.client] = session
+        self.accepted += 1
+        return session, Welcome(sid, resume_token, tick, radius)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def detach(self, session: Session) -> None:
+        """Connection dropped without a goodbye: keep the session resumable."""
+        if session.state == ACTIVE:
+            session.state = DETACHED
+
+    def close(self, session: Session, reason: str) -> None:
+        """Terminally close a session (client bye, eviction, shutdown).
+
+        The ``on_close`` callback fires exactly once per session, after
+        it has left every index — the gateway core uses it to release
+        the session's interest subscription and connection.
+        """
+        if session.state == CLOSED:
+            return
+        session.state = CLOSED
+        session.close_reason = reason
+        self._by_resume.pop(session.resume_token, None)
+        if self._by_client.get(session.client) is session:
+            del self._by_client[session.client]
+        del self.sessions[session.sid]
+        if self.on_close is not None:
+            self.on_close(session, reason)
+
+    def get(self, sid: str) -> Session:
+        """Look up a live session by id."""
+        try:
+            return self.sessions[sid]
+        except KeyError:
+            raise GatewayError(f"unknown session {sid!r}") from None
+
+    def active(self) -> list[Session]:
+        """Sessions currently attached to a connection, in sid order."""
+        return [
+            s for _sid, s in sorted(self.sessions.items())
+            if s.state == ACTIVE
+        ]
+
+    def __len__(self) -> int:
+        return len(self.sessions)

@@ -1,0 +1,107 @@
+"""Connection transports: the byte-out half of a gateway connection.
+
+The gateway core is sans-IO: it hands frames to a *transport* and reads
+its ``buffered_bytes()`` as the drain signal for backpressure.  Two
+implementations cover every use:
+
+* :class:`MemoryTransport` — a deterministic in-process pipe.  The
+  "client" consumes bytes by calling :meth:`MemoryTransport.drain` with
+  an explicit budget, so a slow client is literally a client with a
+  small read budget — the unit tests and the swarm load generator drive
+  tens of thousands of these without a socket in sight.
+* :class:`AsyncioTransport` — wraps an :class:`asyncio.StreamWriter`;
+  ``buffered_bytes()`` is the event loop's own write-buffer size, so
+  kernel-level backpressure feeds the same eviction logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import GatewayError
+
+
+class MemoryTransport:
+    """Deterministic in-memory transport with explicit client drain."""
+
+    __slots__ = ("_pending", "bytes_sent", "bytes_drained", "closed")
+
+    def __init__(self) -> None:
+        self._pending = bytearray()
+        self.bytes_sent = 0
+        self.bytes_drained = 0
+        self.closed = False
+
+    def send(self, data: bytes) -> None:
+        """Queue bytes toward the client (no-op after close)."""
+        if self.closed:
+            return
+        self._pending.extend(data)
+        self.bytes_sent += len(data)
+
+    def buffered_bytes(self) -> int:
+        """Bytes written but not yet consumed by the client."""
+        return len(self._pending)
+
+    def drain(self, budget: int | None = None) -> bytes:
+        """Consume up to ``budget`` bytes (everything when ``None``).
+
+        This is the client's read loop: a well-behaved client drains
+        with no budget; a slow client passes a small one and falls
+        behind, which is exactly what the backpressure tests model.
+        """
+        if budget is None or budget >= len(self._pending):
+            out = bytes(self._pending)
+            self._pending.clear()
+        else:
+            if budget < 0:
+                raise GatewayError("drain budget must be non-negative")
+            out = bytes(self._pending[:budget])
+            del self._pending[:budget]
+        self.bytes_drained += len(out)
+        return out
+
+    def close(self) -> None:
+        """Mark the transport closed; later sends are dropped."""
+        self.closed = True
+
+
+class AsyncioTransport:
+    """Transport over an asyncio stream writer (the real socket path)."""
+
+    __slots__ = ("writer", "bytes_sent", "closed")
+
+    def __init__(self, writer: Any) -> None:
+        self.writer = writer
+        self.bytes_sent = 0
+        self.closed = False
+
+    def send(self, data: bytes) -> None:
+        """Write bytes to the socket's buffer (no-op after close)."""
+        if self.closed:
+            return
+        try:
+            self.writer.write(data)
+            self.bytes_sent += len(data)
+        except (ConnectionError, RuntimeError):
+            # Peer vanished mid-write: the reader loop will observe EOF
+            # and disconnect the session; dropping the frame here keeps
+            # "zero unhandled disconnect errors" true under churn.
+            self.closed = True
+
+    def buffered_bytes(self) -> int:
+        """The event loop's unsent write-buffer size for this socket."""
+        if self.closed:
+            return 0
+        transport = self.writer.transport
+        return transport.get_write_buffer_size() if transport else 0
+
+    def close(self) -> None:
+        """Close the underlying writer, tolerating a dead peer."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+        except (ConnectionError, RuntimeError):
+            pass

@@ -3,17 +3,31 @@
 Plain dataclasses with explicit size accounting — the simulator bills
 bandwidth from ``wire_size()``, so the E7/E12 bandwidth numbers reflect
 message content rather than python object overhead.
+
+Messages also carry a real encoding: :func:`encode` renders any
+registered message as versioned bytes and :func:`decode` round-trips
+them exactly (``decode(encode(m)) == m``).  The gateway's socket path
+and :class:`~repro.net.simnet.SimNetwork` share this one codec, so a
+message costs the same whether it crosses a real TCP connection or the
+in-process simulator — the property the E19 bytes/client comparison
+rests on.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
+
+from repro.errors import NetError
 
 #: Fixed per-message envelope cost (headers, framing) in bytes.
 ENVELOPE_BYTES = 16
 #: Approximate encoded size of one field value.
 VALUE_BYTES = 8
+#: Codec version written as the first byte of every encoded message.
+WIRE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -287,3 +301,159 @@ class Heartbeat:
 
     def wire_size(self) -> int:
         return ENVELOPE_BYTES + 24
+
+
+# ---------------------------------------------------------------------------
+# Stable wire codec: encode()/decode() with a version byte
+# ---------------------------------------------------------------------------
+#
+# Header layout: byte 0 = WIRE_VERSION, byte 1 = message type id, then a
+# canonical JSON body (sorted keys, no whitespace).  Tuples and
+# non-string dict keys — both load-bearing in the protocol dataclasses —
+# are tagged so the decode restores the exact python types and
+# ``decode(encode(m)) == m`` holds for every registered message.
+
+_MESSAGE_TYPES: dict[int, type] = {}
+_TYPE_IDS: dict[type, int] = {}
+
+
+def register_message(type_id: int, cls: type | None = None):
+    """Register a frozen-dataclass message under a stable wire type id.
+
+    Usable as a plain call (``register_message(3, EntityExit)``) or a
+    decorator (``@register_message(32)``).  Ids are part of the wire
+    contract: never renumber a released message, only append.
+    """
+    def _register(target: type) -> type:
+        if not (0 <= type_id <= 255):
+            raise NetError(f"message type id {type_id} outside one byte")
+        existing = _MESSAGE_TYPES.get(type_id)
+        if existing is not None and existing is not target:
+            raise NetError(
+                f"wire type id {type_id} already taken by {existing.__name__}"
+            )
+        if not dataclasses.is_dataclass(target):
+            raise NetError(f"{target.__name__} must be a dataclass message")
+        _MESSAGE_TYPES[type_id] = target
+        _TYPE_IDS[target] = type_id
+        return target
+
+    return _register if cls is None else _register(cls)
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Lower a message field value to tagged, JSON-safe form."""
+    if isinstance(value, tuple):
+        return {"__t": [_to_jsonable(v) for v in value]}
+    if isinstance(value, list):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        plain = all(
+            isinstance(k, str) and not k.startswith("__") for k in value
+        )
+        if plain:
+            return {k: _to_jsonable(v) for k, v in value.items()}
+        return {
+            "__d": [[_to_jsonable(k), _to_jsonable(v)]
+                    for k, v in value.items()]
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise NetError(
+        f"unencodable value of type {type(value).__name__} "
+        f"(in-process-only payloads cannot cross a real wire)"
+    )
+
+
+def _from_jsonable(value: Any) -> Any:
+    """Invert :func:`_to_jsonable`."""
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if "__t" in value and len(value) == 1:
+            return tuple(_from_jsonable(v) for v in value["__t"])
+        if "__d" in value and len(value) == 1:
+            return {
+                _hashable(_from_jsonable(k)): _from_jsonable(v)
+                for k, v in value["__d"]
+            }
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _hashable(key: Any) -> Any:
+    if isinstance(key, list):
+        return tuple(_hashable(k) for k in key)
+    return key
+
+
+def encode(msg: Any) -> bytes:
+    """Render a registered message as versioned wire bytes."""
+    type_id = _TYPE_IDS.get(type(msg))
+    if type_id is None:
+        raise NetError(
+            f"{type(msg).__name__} is not a registered wire message"
+        )
+    body = {
+        f.name: _to_jsonable(getattr(msg, f.name))
+        for f in dataclasses.fields(msg)
+    }
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return bytes((WIRE_VERSION, type_id)) + payload.encode("utf-8")
+
+
+def decode(data: bytes) -> Any:
+    """Parse wire bytes back into the original message object."""
+    if len(data) < 2:
+        raise NetError("message truncated before the codec header")
+    if data[0] != WIRE_VERSION:
+        raise NetError(
+            f"wire version {data[0]} unsupported (speaking {WIRE_VERSION})"
+        )
+    cls = _MESSAGE_TYPES.get(data[1])
+    if cls is None:
+        raise NetError(f"unknown wire message type id {data[1]}")
+    try:
+        body = json.loads(data[2:].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetError(f"corrupt message body: {exc}") from None
+    return cls(**{k: _from_jsonable(v) for k, v in body.items()})
+
+
+def encoded_size(msg: Any) -> int:
+    """Exact byte length of :func:`encode`'s output for ``msg``."""
+    return len(encode(msg))
+
+
+def default_size_of(payload: Any, fallback: int = 64) -> int:
+    """The deterministic size model shared by sim and socket paths.
+
+    Protocol messages bill their analytic ``wire_size()`` (stable across
+    runs and python versions); anything else bills ``fallback`` bytes.
+    :class:`~repro.net.simnet.SimNetwork` uses this when a caller does
+    not pass an explicit size, so in-process byte counts line up with
+    what the gateway's socket path would have charged.
+    """
+    sizer: Callable[[], int] | None = getattr(payload, "wire_size", None)
+    return sizer() if callable(sizer) else fallback
+
+
+# Stable ids for the released protocol messages.  Client/server plane
+# first, cluster control plane from 16, replication plane from 24; the
+# gateway session plane registers from 32 (see repro.gateway.messages).
+register_message(1, StateUpdate)
+register_message(2, EntityEnter)
+register_message(3, EntityExit)
+register_message(4, InputCommand)
+register_message(5, InputAck)
+register_message(16, HandoffCommand)
+register_message(17, HandoffRequest)
+register_message(18, HandoffAck)
+register_message(19, HandoffComplete)
+register_message(20, HandoffResend)
+register_message(21, TxnPrepare)
+register_message(22, TxnVote)
+register_message(23, TxnDecision)
+register_message(24, WalShip)
+register_message(25, WalAck)
+register_message(26, Heartbeat)

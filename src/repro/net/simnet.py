@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import NetError
+from repro.net.protocol import default_size_of
 from repro.obs.metrics import MetricsRegistry, StatView
 
 
@@ -82,7 +83,7 @@ class LinkConfig:
 #: LinkStats field names, in the order :meth:`LinkStats.as_dict` emits.
 _LINK_FIELDS = (
     "sent", "delivered", "dropped", "dropped_fault", "delayed",
-    "delay_ticks", "bytes_sent",
+    "delay_ticks", "bytes_sent", "bytes_recv",
 )
 
 
@@ -94,9 +95,13 @@ class LinkStats(StatView):
     links, partitions); ``delayed`` counts messages that drew non-zero
     jitter and ``delay_ticks`` sums the extra ticks they waited — the
     counters the fault injector and the replication benchmarks assert
-    against.  Fields read and write like plain attributes; the storage
-    is registry counters (``net.link.<field>`` labelled by link), so the
-    network's metrics snapshot and these stats can never disagree.
+    against.  ``bytes_sent`` bills at send time, ``bytes_recv`` at
+    delivery, so their difference is exactly the bytes lost to drops
+    plus bytes still on the wire — the in-process baseline the E19
+    gateway bytes/client numbers are compared against.  Fields read and
+    write like plain attributes; the storage is registry counters
+    (``net.link.<field>`` labelled by link), so the network's metrics
+    snapshot and these stats can never disagree.
     """
 
     __slots__ = ()
@@ -199,11 +204,21 @@ class SimNetwork:
 
     # -- send/receive ----------------------------------------------------------------
 
-    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 64) -> bool:
-        """Send a message; returns False when the link dropped it."""
+    def send(
+        self, src: str, dst: str, payload: Any, size_bytes: int | None = 64
+    ) -> bool:
+        """Send a message; returns False when the link dropped it.
+
+        ``size_bytes=None`` bills the shared deterministic size model
+        (:func:`~repro.net.protocol.default_size_of`): protocol messages
+        cost their ``wire_size()``, everything else the 64-byte default —
+        the same accounting the gateway's socket path reports.
+        """
         link = self._links.get((src, dst))
         if link is None:
             raise NetError(f"no link {src} -> {dst}")
+        if size_bytes is None:
+            size_bytes = default_size_of(payload)
         stats = self.link_stats[(src, dst)]
         stats.sent += 1
         stats.bytes_sent += size_bytes
@@ -233,7 +248,7 @@ class SimNetwork:
         return True
 
     def broadcast(
-        self, src: str, dsts: list[str], payload: Any, size_bytes: int = 64
+        self, src: str, dsts: list[str], payload: Any, size_bytes: int | None = 64
     ) -> int:
         """Send to many endpoints; returns messages actually queued."""
         return sum(
@@ -256,7 +271,9 @@ class SimNetwork:
                     self.link_stats[(msg.src, msg.dst)].dropped_fault += 1
                     continue
                 self._inboxes[msg.dst].append(msg)
-                self.link_stats[(msg.src, msg.dst)].delivered += 1
+                stats = self.link_stats[(msg.src, msg.dst)]
+                stats.delivered += 1
+                stats.bytes_recv += msg.size_bytes
                 delivered += 1
         return delivered
 
@@ -292,13 +309,8 @@ class SimNetwork:
         }
         totals = LinkStats()
         for stats in self.link_stats.values():
-            totals.sent += stats.sent
-            totals.delivered += stats.delivered
-            totals.dropped += stats.dropped
-            totals.dropped_fault += stats.dropped_fault
-            totals.delayed += stats.delayed
-            totals.delay_ticks += stats.delay_ticks
-            totals.bytes_sent += stats.bytes_sent
+            for fname in _LINK_FIELDS:
+                setattr(totals, fname, getattr(totals, fname) + getattr(stats, fname))
         return {
             "now": self.now,
             "in_flight": len(self._in_flight),

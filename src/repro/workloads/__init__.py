@@ -26,6 +26,7 @@ from repro.workloads.players import (
     register_player_components,
     zipf_choice,
 )
+from repro.workloads.swarm import Swarm, SwarmClient, SwarmConfig, socket_client
 from repro.workloads.tracegen import (
     TraceConfig,
     TxnWorkloadConfig,
@@ -56,6 +57,10 @@ __all__ = [
     "PopulationConfig",
     "register_player_components",
     "zipf_choice",
+    "Swarm",
+    "SwarmClient",
+    "SwarmConfig",
+    "socket_client",
     "TraceConfig",
     "TxnWorkloadConfig",
     "generate_action_trace",

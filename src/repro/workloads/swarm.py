@@ -1,0 +1,353 @@
+"""Swarm: a gateway load generator with churn and Zipfian hotspots.
+
+Drives a :class:`~repro.gateway.core.GatewayCore` with up to 10⁴–10⁵
+simulated clients.  Each client is a :class:`SwarmClient` — an avatar
+entity in the world, a :class:`~repro.gateway.transport.MemoryTransport`
+it drains like a socket, and a frame decoder counting what it receives.
+The swarm itself supplies the three load shapes an edge has to survive:
+
+* **connection churn** — a ramp to the configured population, then a
+  per-tick disconnect/reconnect rate (reconnects use resume tokens, so
+  churn also exercises the session-resume path);
+* **Zipfian hotspots** — avatars cluster around a small set of hotspot
+  centres chosen with :func:`~repro.workloads.players.zipf_choice`, so
+  a few AOI neighbourhoods absorb most of the update traffic, exactly
+  the skew real MMO worlds exhibit;
+* **slow readers** — a configurable fraction of clients drain with a
+  tiny byte budget, forcing the backpressure/eviction machinery on.
+
+:func:`socket_client` is the same client over a real TCP connection,
+used by the E19 benchmark's socket mode and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.component import schema
+from repro.errors import GatewayError
+from repro.gateway.framing import FrameDecoder, frame
+from repro.gateway.messages import Delta, Goodbye, Hello, Ping, Reject, Welcome
+from repro.gateway.transport import MemoryTransport
+from repro.workloads.players import zipf_choice
+
+
+@dataclass
+class SwarmConfig:
+    """Shape of the synthetic client population and its traffic."""
+
+    clients: int = 1000
+    ramp_ticks: int = 50
+    churn_rate: float = 0.01
+    zipf_theta: float = 0.8
+    hotspots: int = 8
+    world_size: float = 1000.0
+    hotspot_sigma: float = 12.0
+    speed: float = 2.0
+    move_rate: float = 0.5
+    aoi_radius: float = 0.0
+    slow_fraction: float = 0.0
+    slow_budget: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise GatewayError("swarm needs at least one client")
+        if not 0 <= self.churn_rate < 1:
+            raise GatewayError("churn_rate must be in [0, 1)")
+        if self.hotspots < 1:
+            raise GatewayError("at least one hotspot required")
+
+
+@dataclass
+class SwarmClient:
+    """One simulated client: avatar, transport, and receive-side stats."""
+
+    name: str
+    avatar: int
+    hotspot: int
+    radius: float
+    slow: bool = False
+    transport: MemoryTransport | None = None
+    cid: int | None = None
+    decoder: FrameDecoder = field(default_factory=FrameDecoder)
+    session: str = ""
+    resume_token: str = ""
+    connected: bool = False
+    welcomes: int = 0
+    deltas: int = 0
+    enters_seen: int = 0
+    exits_seen: int = 0
+    updates_seen: int = 0
+    coalesced_seen: int = 0
+    bytes_received: int = 0
+    goodbye_reason: str = ""
+    rejects: int = 0
+
+    def absorb(self, messages: list[Any]) -> None:
+        """Update stats from freshly decoded messages."""
+        for msg in messages:
+            if isinstance(msg, Delta):
+                self.deltas += 1
+                self.enters_seen += len(msg.enters)
+                self.exits_seen += len(msg.exits)
+                self.updates_seen += len(msg.updates)
+                self.coalesced_seen += msg.coalesced
+            elif isinstance(msg, Welcome):
+                self.welcomes += 1
+                self.session = msg.session
+                self.resume_token = msg.resume_token
+            elif isinstance(msg, Goodbye):
+                self.goodbye_reason = msg.reason
+                self.connected = False
+            elif isinstance(msg, Reject):
+                self.rejects += 1
+                self.connected = False
+                # A dead resume token (e.g. the session was evicted)
+                # must not be retried; the next connect is a fresh hello.
+                self.resume_token = ""
+                self.session = ""
+
+
+class Swarm:
+    """Deterministic gateway load: ramp, churn, hotspots, slow readers."""
+
+    def __init__(self, world: Any, core: Any, config: SwarmConfig | None = None):
+        self.world = world
+        self.core = core
+        self.config = config or SwarmConfig()
+        self.rng = random.Random(self.config.seed)
+        cfg = self.config
+        for name, fields in (
+            ("Position", dict(x="float", y="float")),
+            ("Velocity", dict(vx=("float", 0.0), vy=("float", 0.0))),
+        ):
+            if name not in world.component_names():
+                world.register_component(schema(name, **fields))
+        self.centers = [
+            (
+                self.rng.uniform(0.1, 0.9) * cfg.world_size,
+                self.rng.uniform(0.1, 0.9) * cfg.world_size,
+            )
+            for _ in range(cfg.hotspots)
+        ]
+        self.clients: list[SwarmClient] = []
+        for i in range(cfg.clients):
+            hot = zipf_choice(self.rng, cfg.hotspots, cfg.zipf_theta)
+            cx, cy = self.centers[hot]
+            x = cx + self.rng.gauss(0.0, cfg.hotspot_sigma)
+            y = cy + self.rng.gauss(0.0, cfg.hotspot_sigma)
+            angle = self.rng.uniform(0.0, 2.0 * math.pi)
+            avatar = world.spawn(
+                Position={"x": x, "y": y},
+                Velocity={
+                    "vx": cfg.speed * math.cos(angle),
+                    "vy": cfg.speed * math.sin(angle),
+                },
+            )
+            name = f"swarm-{i:06d}"
+            core.bind_avatar(name, avatar)
+            self.clients.append(
+                SwarmClient(
+                    name=name,
+                    avatar=avatar,
+                    hotspot=hot,
+                    radius=cfg.aoi_radius,
+                    slow=self.rng.random() < cfg.slow_fraction,
+                )
+            )
+        self.connects = 0
+        self.reconnects = 0
+        self.disconnects = 0
+
+    # -- connection churn ------------------------------------------------------------
+
+    def connect(self, client: SwarmClient, resume: bool = False) -> None:
+        """Open a connection for one client (fresh hello or resume)."""
+        client.transport = MemoryTransport()
+        client.decoder = FrameDecoder()
+        client.cid = self.core.connect(client.transport)
+        hello = Hello(
+            client=client.name,
+            aoi_radius=client.radius,
+            resume=client.resume_token if resume else "",
+        )
+        self.core.on_bytes(client.cid, frame(hello))
+        client.connected = True
+        client.goodbye_reason = ""
+        self.connects += 1
+        if resume:
+            self.reconnects += 1
+
+    def disconnect(self, client: SwarmClient) -> None:
+        """Drop one client's connection (the session stays resumable)."""
+        if client.cid is not None:
+            self.core.disconnect(client.cid)
+        client.connected = False
+        self.disconnects += 1
+
+    def connected_clients(self) -> list[SwarmClient]:
+        """Clients currently holding a connection."""
+        return [c for c in self.clients if c.connected]
+
+    # -- one tick of load ------------------------------------------------------------
+
+    def step(self, tick: int) -> None:
+        """Advance the swarm one tick: ramp/churn, then hotspot movement.
+
+        Call before the world tick; drain with :meth:`drain` after the
+        gateway tick so clients see this tick's deltas.
+        """
+        cfg = self.config
+        connected = [c for c in self.clients if c.connected]
+        target = min(
+            cfg.clients,
+            math.ceil(cfg.clients * (tick + 1) / max(cfg.ramp_ticks, 1)),
+        )
+        if len(connected) < target:
+            for client in self.clients:
+                if len(connected) >= target:
+                    break
+                if not client.connected:
+                    self.connect(client, resume=bool(client.resume_token))
+                    connected.append(client)
+        elif cfg.churn_rate > 0:
+            n_churn = int(len(connected) * cfg.churn_rate)
+            for client in self.rng.sample(connected, n_churn):
+                self.disconnect(client)
+        self.move(tick)
+
+    def move(self, tick: int) -> None:
+        """Zipfian hotspot movement: hot avatars generate most updates.
+
+        Public so socket-mode drivers can generate traffic without the
+        memory-transport connection plane.
+        """
+        cfg = self.config
+        moves = max(1, int(len(self.clients) * cfg.move_rate))
+        world = self.world
+        for _ in range(moves):
+            client = self.clients[
+                zipf_choice(self.rng, len(self.clients), cfg.zipf_theta)
+            ]
+            eid = client.avatar
+            pos = world.get(eid, "Position")
+            vel = world.get(eid, "Velocity")
+            x = pos["x"] + vel["vx"]
+            y = pos["y"] + vel["vy"]
+            cx, cy = self.centers[client.hotspot]
+            # Bounce back toward the hotspot when drifting out of it.
+            if abs(x - cx) > 4 * cfg.hotspot_sigma or abs(y - cy) > 4 * cfg.hotspot_sigma:
+                angle = math.atan2(cy - y, cx - x) + self.rng.gauss(0.0, 0.3)
+                world.set(
+                    eid,
+                    "Velocity",
+                    vx=cfg.speed * math.cos(angle),
+                    vy=cfg.speed * math.sin(angle),
+                )
+            world.set(eid, "Position", x=x, y=y)
+
+    def drain(self) -> int:
+        """Every connected client reads its transport; returns total bytes.
+
+        Slow clients consume at most ``slow_budget`` bytes per tick —
+        that *is* the slow-reader model driving backpressure.
+        """
+        total = 0
+        for client in self.clients:
+            if client.transport is None:
+                continue
+            budget = self.config.slow_budget if client.slow else None
+            data = client.transport.drain(budget)
+            if not data:
+                continue
+            total += len(data)
+            client.bytes_received += len(data)
+            client.absorb(client.decoder.feed(data))
+        return total
+
+    def stats(self) -> dict[str, Any]:
+        """Aggregate swarm-side counters."""
+        return {
+            "clients": len(self.clients),
+            "connected": sum(1 for c in self.clients if c.connected),
+            "connects": self.connects,
+            "reconnects": self.reconnects,
+            "disconnects": self.disconnects,
+            "deltas": sum(c.deltas for c in self.clients),
+            "enters_seen": sum(c.enters_seen for c in self.clients),
+            "exits_seen": sum(c.exits_seen for c in self.clients),
+            "updates_seen": sum(c.updates_seen for c in self.clients),
+            "coalesced_seen": sum(c.coalesced_seen for c in self.clients),
+            "bytes_received": sum(c.bytes_received for c in self.clients),
+            "evicted": sum(
+                1 for c in self.clients if c.goodbye_reason.startswith("evicted")
+            ),
+            "rejects": sum(c.rejects for c in self.clients),
+        }
+
+
+async def socket_client(
+    host: str,
+    port: int,
+    name: str,
+    aoi_radius: float = 0.0,
+    deltas_wanted: int = 10,
+    ping_every: int = 4,
+    clock: Any = None,
+) -> dict[str, Any]:
+    """One swarm client over a real TCP connection (asyncio).
+
+    Connects, hellos, consumes ``deltas_wanted`` deltas while sending a
+    ping every ``ping_every`` deltas, then disconnects cleanly.  Returns
+    the client's stats dict, including measured ping RTTs in seconds —
+    the *client-visible* latency of the socket path.
+    """
+    now = clock or time.perf_counter
+    reader, writer = await asyncio.open_connection(host, port)
+    stats = SwarmClient(name=name, avatar=-1, hotspot=0, radius=aoi_radius)
+    rtts: list[float] = []
+    pending_pings: dict[int, float] = {}
+    nonce = 0
+    try:
+        writer.write(frame(Hello(client=name, aoi_radius=aoi_radius)))
+        await writer.drain()
+        decoder = FrameDecoder()
+        while stats.deltas < deltas_wanted and not stats.goodbye_reason:
+            data = await reader.read(64 * 1024)
+            if not data:
+                break
+            stats.bytes_received += len(data)
+            messages = decoder.feed(data)
+            for msg in messages:
+                if hasattr(msg, "nonce") and msg.nonce in pending_pings:
+                    rtts.append(now() - pending_pings.pop(msg.nonce))
+            stats.absorb(messages)
+            if stats.rejects:
+                break
+            if ping_every and stats.deltas and stats.deltas % ping_every == 0:
+                nonce += 1
+                pending_pings[nonce] = now()
+                writer.write(frame(Ping(nonce=nonce)))
+                await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass  # server closed on us (eviction/shutdown): still a clean exit
+    finally:
+        try:
+            writer.close()
+        except (ConnectionError, RuntimeError):
+            pass
+    return {
+        "name": name,
+        "deltas": stats.deltas,
+        "enters_seen": stats.enters_seen,
+        "bytes_received": stats.bytes_received,
+        "goodbye_reason": stats.goodbye_reason,
+        "rejects": stats.rejects,
+        "rtts": rtts,
+    }

@@ -1,0 +1,148 @@
+"""AOI churn invariants: hysteresis, and exactly-once enter/exit.
+
+The headline invariant (referenced from ``repro.gateway.streams``): an
+entity crossing an AOI boundary on the same tick a cluster handoff
+re-installs it on another shard produces exactly one enter or one exit
+on a client's stream — never a duplicate, never an enter+update pair.
+"""
+
+from repro.consistency import InterestManager
+from repro.gateway.streams import ClientStreamState, ClusterView, InterestStream
+
+from tests.cluster.conftest import make_static_cluster
+
+RADIUS = 20.0
+
+
+class TestInterestChurn:
+    def test_boundary_crossing_fires_one_enter(self):
+        mgr = InterestManager(RADIUS, hysteresis=0.15)
+        positions = {1: (0.0, 0.0), 2: (30.0, 0.0)}
+        assert mgr.update([1], positions) == []
+        positions[2] = (15.0, 0.0)
+        events = mgr.update([1], positions)
+        assert [(e.kind, e.subject) for e in events] == [("enter", 2)]
+        # Staying inside produces no further membership events.
+        assert mgr.update([1], positions) == []
+
+    def test_hysteresis_suppresses_flapping(self):
+        mgr = InterestManager(RADIUS, hysteresis=0.15)  # exit at 23
+        positions = {1: (0.0, 0.0), 2: (19.0, 0.0)}
+        mgr.update([1], positions)
+        # Oscillate across the enter radius but inside the exit radius:
+        # a zero-hysteresis AOI would churn every tick, this one never.
+        for tick in range(20):
+            positions[2] = (19.0 + 3.0 * (tick % 2), 0.0)  # 19 <-> 22
+            assert mgr.update([1], positions) == []
+        assert mgr.stats.churn == 1  # the single original enter
+
+    def test_exit_requires_leaving_exit_radius(self):
+        mgr = InterestManager(RADIUS, hysteresis=0.15)
+        positions = {1: (0.0, 0.0), 2: (10.0, 0.0)}
+        mgr.update([1], positions)
+        positions[2] = (22.0, 0.0)  # past enter radius, inside exit
+        assert mgr.update([1], positions) == []
+        positions[2] = (24.0, 0.0)  # past exit radius
+        events = mgr.update([1], positions)
+        assert [(e.kind, e.subject) for e in events] == [("exit", 2)]
+
+    def test_drop_observer_is_silent_and_resubscribes_fresh(self):
+        mgr = InterestManager(RADIUS)
+        positions = {1: (0.0, 0.0), 2: (10.0, 0.0)}
+        mgr.update([1], positions)
+        churn_before = mgr.stats.churn
+        mgr.drop_observer(1)
+        assert mgr.stats.churn == churn_before  # nobody is listening
+        # A returning observer gets its enters again from scratch.
+        events = mgr.update([1], positions)
+        assert [(e.kind, e.subject) for e in events] == [("enter", 2)]
+
+
+class TestHandoffChurn:
+    """Gateway stream over a sharded cluster during live handoffs."""
+
+    def _stream_over(self, cluster):
+        view = ClusterView(cluster)
+        stream = InterestStream(view, default_radius=RADIUS)
+        return view, stream
+
+    def _collect(self, stream, state, avatar, ticks, cluster):
+        """Run ``ticks`` cluster ticks, draining the avatar's deltas."""
+        enters, exits, updates = [], [], []
+        for _ in range(ticks):
+            cluster.tick()
+            stream.begin_tick({RADIUS: [avatar]})
+            delta = stream.delta_for(state, avatar)
+            enters.extend(eid for eid, _f in delta.enters)
+            exits.extend(delta.exits)
+            updates.extend(eid for eid, _f in delta.updates)
+        return enters, exits, updates
+
+    def test_aoi_enter_same_tick_as_handoff_is_exactly_once(self):
+        cluster = make_static_cluster(shards=2)
+        # Observer in shard 0's region, subject in shard 1's, far apart.
+        observer = cluster.spawn({"Position": {"x": 60.0, "y": 100.0}})
+        subject = cluster.spawn({"Position": {"x": 130.0, "y": 100.0}})
+        assert cluster.owner_of(observer) != cluster.owner_of(subject)
+        view, stream = self._stream_over(cluster)
+        state = ClientStreamState()
+        cluster.tick()
+        stream.begin_tick({RADIUS: [observer]})
+        assert stream.delta_for(state, observer).enters == ()
+        # Same tick: the subject steps into the AOI *and* begins its
+        # handoff to the observer's shard.  The handoff re-install fires
+        # attach/update hooks on the destination over the next ticks.
+        owner = cluster.owner_of(subject)
+        cluster.shard(owner).world.set(subject, "Position", x=70.0, y=100.0)
+        cluster.migrate(subject, cluster.owner_of(observer))
+        enters, exits, updates = self._collect(
+            stream, state, observer, 8, cluster
+        )
+        assert enters == [subject]  # exactly one enter, ever
+        assert exits == []
+        assert cluster.owner_of(subject) == cluster.owner_of(observer)
+        assert subject in state.known
+        view.close()
+
+    def test_aoi_exit_same_tick_as_handoff_is_exactly_once(self):
+        cluster = make_static_cluster(shards=2)
+        observer = cluster.spawn({"Position": {"x": 60.0, "y": 100.0}})
+        subject = cluster.spawn({"Position": {"x": 70.0, "y": 100.0}})
+        view, stream = self._stream_over(cluster)
+        state = ClientStreamState()
+        enters, exits, _ = self._collect(stream, state, observer, 2, cluster)
+        assert enters == [subject]
+        # Same tick: leave the AOI (past the exit radius) and hand off
+        # to the far shard, whose re-install must not resurrect it.
+        owner = cluster.owner_of(subject)
+        cluster.shard(owner).world.set(subject, "Position", x=130.0, y=100.0)
+        cluster.migrate(subject, 1 - cluster.owner_of(subject))
+        enters, exits, updates = self._collect(
+            stream, state, observer, 8, cluster
+        )
+        assert exits == [subject]  # exactly one exit, ever
+        assert enters == []
+        assert subject not in updates  # no post-exit stragglers
+        assert subject not in state.known
+        view.close()
+
+    def test_enter_never_doubles_as_update(self):
+        # The handoff-tick attach marks the entity dirty; on the tick it
+        # enters, that dirtiness must fold into the enter payload only.
+        cluster = make_static_cluster(shards=2)
+        observer = cluster.spawn({"Position": {"x": 60.0, "y": 100.0}})
+        subject = cluster.spawn({"Position": {"x": 130.0, "y": 100.0}})
+        view, stream = self._stream_over(cluster)
+        state = ClientStreamState()
+        self._collect(stream, state, observer, 2, cluster)
+        owner = cluster.owner_of(subject)
+        cluster.shard(owner).world.set(subject, "Position", x=70.0, y=100.0)
+        cluster.migrate(subject, cluster.owner_of(observer))
+        for _ in range(8):
+            cluster.tick()
+            stream.begin_tick({RADIUS: [observer]})
+            delta = stream.delta_for(state, observer)
+            entered = {eid for eid, _f in delta.enters}
+            updated = {eid for eid, _f in delta.updates}
+            assert not (entered & updated)
+        view.close()

@@ -1,0 +1,247 @@
+"""SendQueue backpressure: watermarks, coalescing, both eviction paths.
+
+All deterministic: a MemoryTransport whose "client" drains exactly the
+bytes each test allows, and explicit ``note_tick`` calls standing in
+for gateway ticks.
+"""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    BackpressureConfig,
+    Delta,
+    FrameDecoder,
+    MemoryTransport,
+    Ping,
+    SendQueue,
+)
+
+
+def delta(tick, *, enters=(), updates=(), exits=()):
+    return Delta(tick=tick, seq=0, enters=enters, updates=updates, exits=exits)
+
+
+def fat_delta(tick, entities=40):
+    """A delta big enough to move watermark state in one offer."""
+    return delta(
+        tick,
+        updates=tuple((eid, {"x": 1.0, "y": 2.0}) for eid in range(entities)),
+    )
+
+
+def decode_all(transport):
+    return FrameDecoder().feed(transport.drain())
+
+
+class TestConfig:
+    def test_watermark_ordering_enforced(self):
+        with pytest.raises(GatewayError):
+            BackpressureConfig(high_watermark=10, low_watermark=20)
+        with pytest.raises(GatewayError):
+            BackpressureConfig(max_queue_bytes=10, high_watermark=20)
+        with pytest.raises(GatewayError):
+            BackpressureConfig(evict_behind_ticks=0)
+
+
+class TestFlush:
+    def test_control_messages_flush_in_order(self):
+        transport = MemoryTransport()
+        queue = SendQueue(transport)
+        queue.offer(Ping(nonce=1))
+        queue.offer(Ping(nonce=2))
+        written = queue.flush()
+        assert written == transport.buffered_bytes()
+        assert decode_all(transport) == [Ping(nonce=1), Ping(nonce=2)]
+        assert queue.frames_sent == 2
+
+    def test_flush_stops_at_drain_watermark(self):
+        config = BackpressureConfig(
+            max_queue_bytes=100_000,
+            high_watermark=50_000,
+            low_watermark=1_000,
+            drain_watermark=200,
+        )
+        transport = MemoryTransport()
+        queue = SendQueue(transport, config)
+        for i in range(20):
+            queue.offer(Ping(nonce=i))
+        queue.flush()
+        # The transport took frames only until its buffer crossed the
+        # watermark; the rest wait in the queue, still coalescible.
+        assert transport.buffered_bytes() >= 200
+        assert queue.backlog_bytes() > transport.buffered_bytes()
+        # A client that keeps reading receives everything, in order.
+        received = []
+        while queue.backlog_bytes() > 0:
+            received.extend(decode_all(transport))
+            queue.flush()
+        received.extend(decode_all(transport))
+        assert received == [Ping(nonce=i) for i in range(20)]
+
+    def test_closed_transport_flushes_nothing(self):
+        transport = MemoryTransport()
+        queue = SendQueue(transport)
+        queue.offer(Ping(nonce=1))
+        transport.close()
+        assert queue.flush() == 0
+
+
+class TestCoalescing:
+    def make_behind_queue(self):
+        config = BackpressureConfig(
+            max_queue_bytes=1 << 20,
+            high_watermark=512,
+            # Low enough for hysteresis to bite, high enough that a
+            # small pending delta's own wire cost can clear it.
+            low_watermark=256,
+            drain_watermark=1 << 19,
+            evict_behind_ticks=1000,
+        )
+        transport = MemoryTransport()
+        queue = SendQueue(transport, config)
+        # Stuff the transport past the high watermark: behind.
+        queue.offer_delta(fat_delta(0, entities=60))
+        queue.flush()
+        queue.note_tick()  # the tick boundary is where behind is observed
+        assert queue.behind
+        return transport, queue
+
+    def test_empty_delta_is_free(self):
+        queue = SendQueue(MemoryTransport())
+        queue.offer_delta(delta(1))
+        assert queue.backlog_bytes() == 0
+        assert queue.deltas_sent == 0
+
+    def test_caught_up_client_gets_per_tick_deltas(self):
+        transport = MemoryTransport()
+        queue = SendQueue(transport)
+        queue.offer_delta(delta(1, updates=((7, {"x": 1.0}),)))
+        queue.offer_delta(delta(2, updates=((7, {"x": 2.0}),)))
+        queue.flush()
+        transport.drain()
+        assert queue.deltas_sent == 2
+        assert queue.deltas_coalesced == 0
+
+    def test_behind_client_coalesces_latest_wins(self):
+        transport, queue = self.make_behind_queue()
+        queue.offer_delta(delta(1, updates=((7, {"x": 1.0, "y": 0.0}),)))
+        queue.offer_delta(delta(2, updates=((7, {"x": 5.0}),)))
+        queue.offer_delta(delta(3, updates=((8, {"x": 9.0}),)))
+        assert queue.deltas_coalesced == 3
+        transport.drain()  # client catches up completely
+        queue.flush()
+        messages = decode_all(transport)
+        assert len(messages) == 1
+        merged = messages[0]
+        assert merged.coalesced == 2  # three ticks in one delta
+        assert dict(merged.updates)[7] == {"x": 5.0, "y": 0.0}
+        assert dict(merged.updates)[8] == {"x": 9.0}
+        assert merged.tick == 3
+
+    def test_enter_then_exit_cancels_entirely(self):
+        transport, queue = self.make_behind_queue()
+        queue.offer_delta(delta(1, enters=((7, {"x": 1.0}),)))
+        queue.offer_delta(delta(2, updates=((7, {"x": 2.0}),)))
+        queue.offer_delta(delta(3, exits=(7,)))
+        transport.drain()
+        queue.flush()
+        (merged,) = decode_all(transport)
+        # The client never saw 7; it must not hear about it at all.
+        assert merged.enters == ()
+        assert merged.updates == ()
+        assert merged.exits == ()
+        # An all-cancelling merge still carries the coalesced marker.
+        assert merged.coalesced == 2
+
+    def test_exit_then_reenter_becomes_enter(self):
+        transport, queue = self.make_behind_queue()
+        queue.offer_delta(delta(1, exits=(7,)))
+        queue.offer_delta(delta(2, enters=((7, {"x": 3.0}),)))
+        transport.drain()
+        queue.flush()
+        (merged,) = decode_all(transport)
+        assert merged.exits == ()
+        assert dict(merged.enters)[7] == {"x": 3.0}
+
+    def test_seq_is_gapless_across_coalescing(self):
+        transport, queue = self.make_behind_queue()
+        queue.offer_delta(delta(1, updates=((7, {"x": 1.0}),)))
+        queue.offer_delta(delta(2, updates=((7, {"x": 2.0}),)))
+        first = decode_all(transport)[-1]  # the pre-coalescing delta
+        queue.flush()
+        (merged,) = decode_all(transport)
+        # Two coalesced ticks consumed exactly one sequence number.
+        assert merged.seq == first.seq + 1
+        assert merged.coalesced == 1
+
+    def test_behind_state_is_hysteretic(self):
+        transport, queue = self.make_behind_queue()
+        # Drain to between low (256) and high (512): still behind.
+        transport.drain(transport.buffered_bytes() - 300)
+        queue.note_tick()
+        assert queue.behind
+        transport.drain()  # below low: caught up
+        queue.note_tick()
+        assert not queue.behind
+
+
+class TestEviction:
+    def test_slow_eviction_after_consecutive_behind_ticks(self):
+        config = BackpressureConfig(
+            max_queue_bytes=1 << 20,
+            high_watermark=256,
+            low_watermark=64,
+            drain_watermark=1 << 19,
+            evict_behind_ticks=3,
+        )
+        transport = MemoryTransport()
+        queue = SendQueue(transport, config)
+        queue.offer_delta(fat_delta(0))
+        queue.flush()
+        assert queue.note_tick() is None
+        assert queue.note_tick() is None
+        assert queue.note_tick() == "evicted:slow"
+        assert queue.evicted_reason == "evicted:slow"
+
+    def test_catching_up_resets_the_behind_clock(self):
+        config = BackpressureConfig(
+            max_queue_bytes=1 << 20,
+            high_watermark=256,
+            low_watermark=64,
+            drain_watermark=1 << 19,
+            evict_behind_ticks=3,
+        )
+        transport = MemoryTransport()
+        queue = SendQueue(transport, config)
+        queue.offer_delta(fat_delta(0))
+        queue.flush()
+        queue.note_tick()
+        queue.note_tick()
+        transport.drain()  # catches up just in time
+        assert queue.note_tick() is None
+        assert queue.behind_ticks == 0
+        # Falling behind again restarts the countdown from zero.
+        queue.offer_delta(fat_delta(1))
+        queue.flush()
+        assert queue.note_tick() is None
+
+    def test_overflow_eviction_on_backlog_cap(self):
+        config = BackpressureConfig(
+            max_queue_bytes=4096,
+            high_watermark=4096,
+            low_watermark=64,
+            drain_watermark=1 << 19,
+            evict_behind_ticks=1000,
+        )
+        transport = MemoryTransport()
+        queue = SendQueue(transport, config)
+        # high == max: frames keep flowing into the stuck transport
+        # (never marked behind, so never coalesced) until the byte cap.
+        for tick in range(40):
+            queue.offer_delta(fat_delta(tick))
+            queue.flush()
+            if queue.note_tick() is not None:
+                break
+        assert queue.evicted_reason == "evicted:overflow"
+        assert queue.backlog_bytes() > config.max_queue_bytes

@@ -1,0 +1,75 @@
+"""Length-prefixed framing: round trips, partial feeds, corruption."""
+
+import struct
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    Delta,
+    FrameDecoder,
+    Hello,
+    Ping,
+    frame,
+)
+
+
+class TestFraming:
+    def test_round_trip_one_frame(self):
+        decoder = FrameDecoder()
+        msg = Hello(client="alice", aoi_radius=12.0)
+        assert decoder.feed(frame(msg)) == [msg]
+
+    def test_round_trip_many_frames_one_chunk(self):
+        decoder = FrameDecoder()
+        messages = [Ping(nonce=i) for i in range(5)]
+        chunk = b"".join(frame(m) for m in messages)
+        assert decoder.feed(chunk) == messages
+
+    def test_byte_at_a_time_feed(self):
+        # The socket can deliver any fragmentation; one byte at a time
+        # is the worst case and must still yield every message intact.
+        decoder = FrameDecoder()
+        messages = [
+            Hello(client="bob"),
+            Delta(tick=3, seq=0, enters=((7, {"x": 1.0}),)),
+            Ping(nonce=9),
+        ]
+        chunk = b"".join(frame(m) for m in messages)
+        out = []
+        for i in range(len(chunk)):
+            out.extend(decoder.feed(chunk[i : i + 1]))
+        assert out == messages
+        assert decoder.pending_bytes() == 0
+        assert decoder.frames_decoded == 3
+
+    def test_partial_frame_held_across_feeds(self):
+        decoder = FrameDecoder()
+        data = frame(Ping(nonce=1))
+        assert decoder.feed(data[:HEADER_BYTES + 2]) == []
+        assert decoder.pending_bytes() == HEADER_BYTES + 2
+        assert decoder.feed(data[HEADER_BYTES + 2 :]) == [Ping(nonce=1)]
+
+    def test_oversized_header_is_protocol_violation(self):
+        decoder = FrameDecoder()
+        bad = struct.pack(">I", MAX_FRAME_BYTES + 1) + b"x"
+        with pytest.raises(GatewayError):
+            decoder.feed(bad)
+
+    def test_oversized_message_refused_at_frame_time(self):
+        huge = Delta(
+            tick=0,
+            seq=0,
+            enters=tuple((i, {"blob": "y" * 100}) for i in range(12_000)),
+        )
+        with pytest.raises(GatewayError):
+            frame(huge)
+
+    def test_counters(self):
+        decoder = FrameDecoder()
+        data = frame(Ping(nonce=1)) + frame(Ping(nonce=2))
+        decoder.feed(data)
+        assert decoder.bytes_fed == len(data)
+        assert decoder.frames_decoded == 2

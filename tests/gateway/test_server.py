@@ -1,0 +1,204 @@
+"""GatewayServer over real asyncio sockets on localhost."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    FrameDecoder,
+    GatewayServer,
+    Goodbye,
+    Hello,
+    Ping,
+    Pong,
+    Welcome,
+    frame,
+)
+from repro.workloads import socket_client
+
+from tests.gateway.conftest import make_core, make_world
+
+
+def make_served_world(entities=4):
+    world = make_world()
+    avatars = [
+        world.spawn(
+            Position={"x": float(i), "y": 0.0},
+            Velocity={"vx": 0.1, "vy": 0.0},
+        )
+        for i in range(entities)
+    ]
+    core = make_core(world)
+    for i, eid in enumerate(avatars):
+        core.bind_avatar(f"client-{i}", eid)
+    return world, core, avatars
+
+
+def world_stepper(world, avatars):
+    """Advance the world, jiggling every avatar so deltas keep flowing."""
+    state = {"tick": 0}
+
+    def step():
+        state["tick"] += 1
+        for eid in avatars:
+            pos = world.get(eid, "Position")
+            world.set(eid, "Position", x=pos["x"] + 0.3, y=pos["y"])
+        world.tick()
+
+    return step
+
+
+class TestGatewayServer:
+    def test_handshake_and_deltas_over_tcp(self):
+        async def scenario():
+            world, core, avatars = make_served_world()
+            server = GatewayServer(core)
+            await server.start()
+            server.start_ticking(0.005, world_stepper(world, avatars))
+            try:
+                result = await asyncio.wait_for(
+                    socket_client(
+                        "127.0.0.1",
+                        server.port,
+                        "client-0",
+                        aoi_radius=16.0,
+                        deltas_wanted=3,
+                    ),
+                    timeout=10.0,
+                )
+            finally:
+                await server.stop()
+            return result, core
+
+        result, core = asyncio.run(scenario())
+        assert result["deltas"] >= 3
+        assert result["enters_seen"] >= 1
+        assert result["rejects"] == 0
+        assert result["bytes_received"] > 0
+        assert core.protocol_errors == 0
+
+    def test_many_concurrent_clients(self):
+        async def scenario():
+            world, core, avatars = make_served_world(entities=8)
+            server = GatewayServer(core)
+            await server.start()
+            server.start_ticking(0.005, world_stepper(world, avatars))
+            try:
+                results = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(
+                            socket_client(
+                                "127.0.0.1",
+                                server.port,
+                                f"client-{i}",
+                                aoi_radius=32.0,
+                                deltas_wanted=2,
+                            )
+                            for i in range(8)
+                        )
+                    ),
+                    timeout=15.0,
+                )
+            finally:
+                await server.stop()
+            return results, server
+
+        results, server = asyncio.run(scenario())
+        assert server.connections_served == 8
+        assert all(r["deltas"] >= 2 for r in results)
+        assert all(r["rejects"] == 0 for r in results)
+
+    def test_ping_pong_over_tcp(self):
+        async def scenario():
+            world, core, _ = make_served_world()
+            server = GatewayServer(core)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                decoder = FrameDecoder()
+                writer.write(frame(Hello(client="client-0")))
+                writer.write(frame(Ping(nonce=5, client_time=2.0)))
+                await writer.drain()
+                messages = []
+                while len(messages) < 2:
+                    data = await asyncio.wait_for(reader.read(4096), timeout=5.0)
+                    assert data, "server closed before replying"
+                    messages.extend(decoder.feed(data))
+                writer.close()
+                return messages
+            finally:
+                await server.stop()
+
+        messages = asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+        assert isinstance(messages[0], Welcome)
+        assert messages[1] == Pong(nonce=5, client_time=2.0, tick=0)
+
+    def test_abrupt_client_disconnect_is_clean(self):
+        async def scenario():
+            world, core, _ = make_served_world()
+            server = GatewayServer(core)
+            await server.start()
+            try:
+                _reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                writer.write(frame(Hello(client="client-0")))
+                await writer.drain()
+                await asyncio.sleep(0.05)
+                writer.transport.abort()  # RST, not a polite FIN
+                await asyncio.sleep(0.05)
+            finally:
+                await server.stop()
+            return core
+
+        core = asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+        # The drop surfaced as a disconnect, never an unhandled error;
+        # shutdown then closed the (detached, resumable) session.
+        assert core.disconnects >= 1
+        assert core.protocol_errors == 0
+        assert core.stats()["sessions"] == 0
+
+    def test_shutdown_sends_goodbye(self):
+        async def scenario():
+            world, core, _ = make_served_world()
+            server = GatewayServer(core)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            decoder = FrameDecoder()
+            writer.write(frame(Hello(client="client-0")))
+            await writer.drain()
+            data = await asyncio.wait_for(reader.read(4096), timeout=5.0)
+            messages = decoder.feed(data)
+            await server.stop()
+            while True:
+                try:
+                    data = await asyncio.wait_for(reader.read(4096), timeout=2.0)
+                except (ConnectionError, asyncio.TimeoutError):
+                    break
+                if not data:
+                    break
+                messages.extend(decoder.feed(data))
+            writer.close()
+            return messages
+
+        messages = asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+        assert isinstance(messages[0], Welcome)
+        assert Goodbye("shutdown") in messages
+
+    def test_double_start_refused(self):
+        async def scenario():
+            world, core, _ = make_served_world()
+            server = GatewayServer(core)
+            await server.start()
+            try:
+                with pytest.raises(GatewayError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())

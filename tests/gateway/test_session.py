@@ -1,0 +1,197 @@
+"""Session lifecycle: handshake outcomes, resume, supersede, close."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import (
+    Hello,
+    MemoryTransport,
+    Reject,
+    SessionManager,
+    Welcome,
+)
+from repro.gateway.session import ACTIVE, CLOSED, DETACHED
+
+
+def avatars(mapping):
+    return mapping.get
+
+
+def make_manager(**kwargs):
+    return SessionManager(default_radius=16.0, max_radius=64.0, **kwargs)
+
+
+class TestHandshake:
+    def test_accept_issues_welcome_and_token(self):
+        mgr = make_manager()
+        session, reply = mgr.hello(
+            Hello(client="alice"), MemoryTransport(), avatars({"alice": 1}), 5
+        )
+        assert isinstance(reply, Welcome)
+        assert session.state == ACTIVE
+        assert session.avatar == 1
+        assert reply.tick == 5
+        assert reply.resume_token == session.resume_token
+        assert not reply.resumed
+        assert mgr.accepted == 1
+
+    def test_version_mismatch_rejected(self):
+        mgr = make_manager()
+        session, reply = mgr.hello(
+            Hello(client="alice", version=99),
+            MemoryTransport(),
+            avatars({"alice": 1}),
+            0,
+        )
+        assert session is None
+        assert isinstance(reply, Reject)
+        assert "version" in reply.reason
+        assert mgr.rejected == 1
+
+    def test_auth_stub_rejects_invalid_token(self):
+        mgr = make_manager()
+        session, reply = mgr.hello(
+            Hello(client="alice", token="invalid"),
+            MemoryTransport(),
+            avatars({"alice": 1}),
+            0,
+        )
+        assert session is None
+        assert "authentication" in reply.reason
+
+    def test_custom_auth_predicate(self):
+        mgr = make_manager(auth=lambda client, token: token == "sesame")
+        session, _ = mgr.hello(
+            Hello(client="a", token="nope"), MemoryTransport(), avatars({"a": 1}), 0
+        )
+        assert session is None
+        session, _ = mgr.hello(
+            Hello(client="a", token="sesame"),
+            MemoryTransport(),
+            avatars({"a": 1}),
+            0,
+        )
+        assert session is not None
+
+    def test_unknown_avatar_rejected(self):
+        mgr = make_manager()
+        session, reply = mgr.hello(
+            Hello(client="ghost"), MemoryTransport(), avatars({}), 0
+        )
+        assert session is None
+        assert "avatar" in reply.reason
+
+    def test_duplicate_active_client_rejected(self):
+        mgr = make_manager()
+        lookup = avatars({"alice": 1})
+        mgr.hello(Hello(client="alice"), MemoryTransport(), lookup, 0)
+        session, reply = mgr.hello(
+            Hello(client="alice"), MemoryTransport(), lookup, 1
+        )
+        assert session is None
+        assert "already connected" in reply.reason
+
+    def test_radius_clamped_and_defaulted(self):
+        mgr = make_manager()
+        lookup = avatars({"a": 1, "b": 2})
+        s1, _ = mgr.hello(Hello(client="a"), MemoryTransport(), lookup, 0)
+        assert s1.aoi_radius == 16.0  # default
+        s2, r2 = mgr.hello(
+            Hello(client="b", aoi_radius=500.0), MemoryTransport(), lookup, 0
+        )
+        assert s2.aoi_radius == 64.0  # clamped to max
+        assert r2.aoi_radius == 64.0
+
+
+class TestResume:
+    def test_resume_reattaches_with_state(self):
+        mgr = make_manager()
+        lookup = avatars({"alice": 1})
+        session, welcome = mgr.hello(
+            Hello(client="alice"), MemoryTransport(), lookup, 0
+        )
+        session.stream.known.add(42)
+        session.queue.next_seq = 7
+        mgr.detach(session)
+        assert session.state == DETACHED
+        resumed, reply = mgr.hello(
+            Hello(client="alice", resume=welcome.resume_token),
+            MemoryTransport(),
+            lookup,
+            9,
+        )
+        assert resumed is session
+        assert reply.resumed
+        assert session.state == ACTIVE
+        assert session.resumes == 1
+        # Stream memory and the delta sequence survive the reconnect.
+        assert session.stream.known == {42}
+        assert session.queue.next_seq == 7
+        assert mgr.resumed == 1
+
+    def test_unknown_resume_token_rejected(self):
+        mgr = make_manager()
+        session, reply = mgr.hello(
+            Hello(client="alice", resume="deadbeef"),
+            MemoryTransport(),
+            avatars({"alice": 1}),
+            0,
+        )
+        assert session is None
+        assert "resume" in reply.reason
+
+    def test_closed_session_token_rejected(self):
+        mgr = make_manager()
+        lookup = avatars({"alice": 1})
+        session, welcome = mgr.hello(
+            Hello(client="alice"), MemoryTransport(), lookup, 0
+        )
+        mgr.close(session, "client bye")
+        resumed, reply = mgr.hello(
+            Hello(client="alice", resume=welcome.resume_token),
+            MemoryTransport(),
+            lookup,
+            0,
+        )
+        assert resumed is None
+
+    def test_fresh_hello_supersedes_detached_session(self):
+        closed = []
+        mgr = make_manager(on_close=lambda s, reason: closed.append((s.sid, reason)))
+        lookup = avatars({"alice": 1})
+        old, _ = mgr.hello(Hello(client="alice"), MemoryTransport(), lookup, 0)
+        mgr.detach(old)
+        new, reply = mgr.hello(Hello(client="alice"), MemoryTransport(), lookup, 1)
+        assert isinstance(reply, Welcome)
+        assert new is not old
+        assert old.state == CLOSED
+        assert closed == [(old.sid, "superseded")]
+        assert len(mgr) == 1
+
+
+class TestClose:
+    def test_close_fires_on_close_exactly_once(self):
+        closed = []
+        mgr = make_manager(on_close=lambda s, reason: closed.append(reason))
+        session, _ = mgr.hello(
+            Hello(client="a"), MemoryTransport(), avatars({"a": 1}), 0
+        )
+        mgr.close(session, "evicted:slow")
+        mgr.close(session, "again")
+        assert closed == ["evicted:slow"]
+        assert session.close_reason == "evicted:slow"
+        assert len(mgr) == 0
+
+    def test_get_unknown_session_raises(self):
+        mgr = make_manager()
+        with pytest.raises(GatewayError):
+            mgr.get("s99999999")
+
+    def test_active_sorted_excludes_detached(self):
+        mgr = make_manager()
+        lookup = avatars({"a": 1, "b": 2, "c": 3})
+        sa, _ = mgr.hello(Hello(client="a"), MemoryTransport(), lookup, 0)
+        sb, _ = mgr.hello(Hello(client="b"), MemoryTransport(), lookup, 0)
+        sc, _ = mgr.hello(Hello(client="c"), MemoryTransport(), lookup, 0)
+        mgr.detach(sb)
+        assert mgr.active() == [sa, sc]

@@ -1,0 +1,111 @@
+"""Swarm load generator: determinism, ramp, churn/resume, slow readers."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import BackpressureConfig, GatewayConfig
+from repro.workloads import Swarm, SwarmConfig
+
+from tests.gateway.conftest import make_core, make_world
+
+
+def run_swarm(ticks, swarm_config, gateway_config=None):
+    world = make_world()
+    core = make_core(world, config=gateway_config)
+    swarm = Swarm(world, core, swarm_config)
+    for tick in range(ticks):
+        swarm.step(tick)
+        world.tick()
+        core.tick()
+        swarm.drain()
+    return world, core, swarm
+
+
+class TestSwarmDeterminism:
+    def test_same_seed_same_everything(self):
+        cfg = SwarmConfig(
+            clients=60, ramp_ticks=5, churn_rate=0.05, hotspots=3, seed=11
+        )
+        _, core_a, swarm_a = run_swarm(20, cfg)
+        _, core_b, swarm_b = run_swarm(20, cfg)
+        assert swarm_a.stats() == swarm_b.stats()
+        assert core_a.stats() == core_b.stats()
+
+    def test_different_seed_differs(self):
+        base = dict(clients=60, ramp_ticks=5, churn_rate=0.05, hotspots=3)
+        _, _, swarm_a = run_swarm(20, SwarmConfig(seed=1, **base))
+        _, _, swarm_b = run_swarm(20, SwarmConfig(seed=2, **base))
+        assert swarm_a.stats() != swarm_b.stats()
+
+
+class TestSwarmShape:
+    def test_ramp_reaches_full_population(self):
+        cfg = SwarmConfig(clients=40, ramp_ticks=8, churn_rate=0.0, seed=0)
+        _, core, swarm = run_swarm(10, cfg)
+        assert len(swarm.connected_clients()) == 40
+        assert core.stats()["active"] == 40
+
+    def test_churn_reconnects_via_resume(self):
+        cfg = SwarmConfig(
+            clients=50, ramp_ticks=4, churn_rate=0.1, hotspots=2, seed=3
+        )
+        _, core, swarm = run_swarm(30, cfg)
+        assert swarm.disconnects > 0
+        assert swarm.reconnects > 0
+        # Every reconnect went through the resume path, not a cold hello.
+        assert core.stats()["resumed"] == swarm.reconnects
+        assert core.stats()["protocol_errors"] == 0
+
+    def test_zipf_hotspots_skew_population(self):
+        cfg = SwarmConfig(clients=200, hotspots=8, zipf_theta=0.9, seed=5)
+        world = make_world()
+        core = make_core(world)
+        swarm = Swarm(world, core, cfg)
+        per_hotspot = [0] * cfg.hotspots
+        for client in swarm.clients:
+            per_hotspot[client.hotspot] += 1
+        # Zipf: the hottest spot holds far more than a uniform share.
+        assert max(per_hotspot) > 2 * (cfg.clients // cfg.hotspots)
+
+    def test_slow_readers_drive_evictions(self):
+        gateway_config = GatewayConfig(
+            default_radius=50.0,
+            # High watermark above one tick's delta (healthy clients
+            # drain after the gateway tick, so they briefly hold one
+            # frame at eviction-check time) but far below what a
+            # never-draining reader accumulates over a few ticks.
+            backpressure=BackpressureConfig(
+                max_queue_bytes=1 << 20,
+                high_watermark=4096,
+                low_watermark=1024,
+                drain_watermark=1 << 19,
+                evict_behind_ticks=3,
+            ),
+        )
+        cfg = SwarmConfig(
+            clients=16,
+            ramp_ticks=2,
+            churn_rate=0.0,
+            hotspots=1,
+            world_size=60.0,
+            hotspot_sigma=5.0,
+            move_rate=1.0,
+            slow_fraction=0.5,
+            slow_budget=0,
+            seed=4,
+        )
+        _, core, swarm = run_swarm(40, cfg, gateway_config)
+        assert core.stats()["evictions"] > 0
+        # Every healthy client kept its session; only slow readers paid.
+        active_names = {s.client for s in core.sessions.active()}
+        for client in swarm.clients:
+            if not client.slow:
+                assert client.name in active_names
+
+    def test_config_validation(self):
+        with pytest.raises(GatewayError):
+            SwarmConfig(clients=0)
+        with pytest.raises(GatewayError):
+            SwarmConfig(churn_rate=1.0)
+        with pytest.raises(GatewayError):
+            SwarmConfig(hotspots=0)

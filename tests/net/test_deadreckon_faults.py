@@ -1,0 +1,109 @@
+"""Dead reckoning error bounds under injected network faults.
+
+The sender believes the receiver has every sample it emitted — a drop
+burst breaks that assumption, so receiver-side error grows past the
+send threshold until a fresh sample makes it through.  These tests pin
+both halves: degradation during the burst is real, and re-convergence
+after it heals is bounded.
+"""
+
+import math
+
+from repro.net import (
+    DeadReckoningReceiver,
+    DeadReckoningSender,
+    DeadReckoningStats,
+    FaultInjector,
+    LinkConfig,
+    SimNetwork,
+)
+
+#: Circular motion: speed R*OMEGA per tick, curvature guarantees the
+#: straight-line extrapolation drifts and the sender keeps sending.
+RADIUS = 10.0
+OMEGA = 0.1
+THRESHOLD = 0.5
+
+
+def truth(tick: int) -> tuple[float, float, float, float]:
+    """True position and velocity on the circle at ``tick``."""
+    a = OMEGA * tick
+    return (
+        RADIUS * math.cos(a),
+        RADIUS * math.sin(a),
+        -RADIUS * OMEGA * math.sin(a),
+        RADIUS * OMEGA * math.cos(a),
+    )
+
+
+def run_link(ticks: int, injector: FaultInjector | None = None):
+    """Drive sender->receiver over a 1-tick SimNetwork link.
+
+    Returns (per-tick receiver error list, sender, network).
+    """
+    net = SimNetwork(seed=3)
+    net.connect("server", "client", LinkConfig(latency_ticks=1))
+    sender = DeadReckoningSender(THRESHOLD, dt=1.0)
+    receiver = DeadReckoningReceiver(dt=1.0)
+    stats = DeadReckoningStats()
+    errors: list[float] = []
+    for tick in range(ticks):
+        if injector is not None:
+            injector.apply(net, tick)
+        x, y, vx, vy = truth(tick)
+        sample = sender.update(tick, x, y, vx, vy)
+        if sample is not None:
+            net.send("server", "client", sample)
+        net.advance(1)
+        for msg in net.receive("client"):
+            receiver.on_sample(msg.payload)
+        err = receiver.record_error(stats, tick, x, y)
+        errors.append(err if err is not None else 0.0)
+    return errors, sender, net
+
+
+# With a healthy 1-tick link the receiver's model lags one send behind
+# the sender's, so its error is bounded by the threshold plus one tick
+# of divergence — comfortably under this.
+HEALTHY_BOUND = 2.0 * THRESHOLD + RADIUS * OMEGA
+
+
+class TestDeadReckoningUnderFaults:
+    def test_error_bounded_on_healthy_link(self):
+        errors, sender, _ = run_link(80)
+        assert max(errors[5:]) <= HEALTHY_BOUND
+        # DR is actually suppressing traffic, not sending every tick.
+        assert sender.stats.updates_suppressed > sender.stats.updates_sent
+
+    def test_drop_burst_degrades_then_reconverges(self):
+        injector = FaultInjector().drop_burst(
+            "server", "client", at_tick=30, until_tick=45
+        )
+        errors, _, net = run_link(80, injector)
+        # Before the burst: healthy bound holds.
+        assert max(errors[5:30]) <= HEALTHY_BOUND
+        # During the burst the receiver extrapolates a stale sample and
+        # error climbs well past anything a healthy link allows.
+        assert max(errors[30:45]) > 2.0 * HEALTHY_BOUND
+        # Bounded re-convergence: the sender's drift check fires within
+        # a few ticks of the heal, and one delivered sample snaps the
+        # receiver back under the healthy bound for good.
+        assert max(errors[50:]) <= HEALTHY_BOUND
+        assert net.stats()["totals"]["dropped_fault"] > 0
+
+    def test_sender_keeps_offering_during_burst(self):
+        # Drops are silent: the sender must keep re-sending on drift,
+        # not stall waiting for an ack that never existed.
+        injector = FaultInjector().drop_burst(
+            "server", "client", at_tick=10, until_tick=30
+        )
+        _, _, net = run_link(30, injector)
+        assert net.stats()["totals"]["dropped_fault"] >= 3
+
+    def test_partition_behaves_like_burst(self):
+        injector = FaultInjector().partition_link(
+            "server", "client", at_tick=30, until_tick=40
+        )
+        errors, _, _ = run_link(80, injector)
+        assert max(errors[30:40]) > HEALTHY_BOUND
+        assert max(errors[46:]) <= HEALTHY_BOUND

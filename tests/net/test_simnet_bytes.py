@@ -1,0 +1,86 @@
+"""Tests for SimNetwork byte accounting (bytes_sent / bytes_recv)."""
+
+from repro.net import LinkConfig, SimNetwork, StateUpdate
+
+
+def make_net(**link_kwargs):
+    net = SimNetwork(seed=7)
+    net.connect("a", "b", LinkConfig(**link_kwargs))
+    return net
+
+
+class TestByteAccounting:
+    def test_bytes_sent_billed_at_send_time(self):
+        net = make_net(latency_ticks=3)
+        net.send("a", "b", "hi", size_bytes=100)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_sent"] == 100
+        assert link["bytes_recv"] == 0  # still on the wire
+
+    def test_bytes_recv_billed_at_delivery(self):
+        net = make_net(latency_ticks=2)
+        net.send("a", "b", "hi", size_bytes=100)
+        net.advance(1)
+        assert net.stats()["links"]["a->b"]["bytes_recv"] == 0
+        net.advance(1)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_recv"] == 100
+        assert link["delivered"] == 1
+
+    def test_lost_message_still_bills_bytes_sent(self):
+        # Bandwidth is spent putting the packet on the wire whether or
+        # not it arrives; the receiver never pays for it.
+        net = make_net(latency_ticks=1, loss_rate=0.999)
+        for _ in range(20):
+            net.send("a", "b", "x", size_bytes=10)
+        net.advance(5)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_sent"] == 200
+        assert link["bytes_recv"] == link["delivered"] * 10
+        assert link["dropped"] > 0
+
+    def test_partitioned_send_bills_bytes_sent_only(self):
+        net = make_net(latency_ticks=1)
+        net.partition("a", "b")
+        assert net.send("a", "b", "x", size_bytes=50) is False
+        net.advance(3)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_sent"] == 50
+        assert link["bytes_recv"] == 0
+        assert link["dropped_fault"] == 1
+
+    def test_dest_down_at_delivery_drops_without_bytes_recv(self):
+        net = make_net(latency_ticks=2)
+        net.send("a", "b", "x", size_bytes=80)
+        net.set_down("b")  # crashes while the message is on the wire
+        net.advance(3)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_sent"] == 80
+        assert link["bytes_recv"] == 0
+        assert link["dropped_fault"] == 1
+        assert link["delivered"] == 0
+
+    def test_totals_sum_all_links(self):
+        net = SimNetwork(seed=0)
+        net.connect("a", "b", LinkConfig(latency_ticks=1))
+        net.connect("b", "a", LinkConfig(latency_ticks=1))
+        net.send("a", "b", "x", size_bytes=30)
+        net.send("b", "a", "y", size_bytes=70)
+        net.advance(2)
+        totals = net.stats()["totals"]
+        assert totals["bytes_sent"] == 100
+        assert totals["bytes_recv"] == 100
+
+    def test_default_size_model_bills_wire_size(self):
+        net = make_net(latency_ticks=1)
+        msg = StateUpdate(1, {"x": 1.0, "y": 2.0}, tick=0)
+        net.send("a", "b", msg, size_bytes=None)
+        net.advance(1)
+        link = net.stats()["links"]["a->b"]
+        assert link["bytes_sent"] == msg.wire_size()
+        assert link["bytes_recv"] == msg.wire_size()
+
+    def test_default_size_model_opaque_fallback(self):
+        net = make_net(latency_ticks=1)
+        net.send("a", "b", {"opaque": True}, size_bytes=None)
+        assert net.stats()["links"]["a->b"]["bytes_sent"] == 64

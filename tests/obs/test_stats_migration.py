@@ -95,7 +95,7 @@ class TestE14TableCompatibility:
 class TestLinkStatsCompatibility:
     EXPECTED_FIELDS = (
         "sent", "delivered", "dropped", "dropped_fault", "delayed",
-        "delay_ticks", "bytes_sent",
+        "delay_ticks", "bytes_sent", "bytes_recv",
     )
 
     def test_as_dict_keeps_field_order(self):

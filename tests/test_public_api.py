@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.replication",
     "repro.net",
+    "repro.gateway",
     "repro.obs",
     "repro.parallel",
     "repro.persistence",
