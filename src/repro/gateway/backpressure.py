@@ -18,6 +18,9 @@ client reads slowly.  The policy here, applied per session:
 * **Eviction** — a client behind for ``evict_behind_ticks`` consecutive
   ticks, or whose backlog exceeds ``max_queue_bytes``, is evicted: the
   100 ms of one stuck TCP peer must never become everyone's tick time.
+  Deltas too large for one frame are split into frameable parts; only a
+  single change that *still* cannot fit evicts (``evicted:oversize``) —
+  never raises into the shared tick loop.
 """
 
 from __future__ import annotations
@@ -173,11 +176,49 @@ class SendQueue:
 
     def _emit_delta(self, delta: Delta) -> None:
         stamped = replace(delta, seq=self.next_seq)
+        try:
+            data = frame(stamped)
+        except GatewayError:
+            self._emit_oversize(delta)
+            return
         self.next_seq += 1
-        data = frame(stamped)
         self._frames.append(data)
         self._queued_bytes += len(data)
         self.deltas_sent += 1
+
+    def _emit_oversize(self, delta: Delta) -> None:
+        """Split a delta too big for one frame into frameable parts.
+
+        A dense world seen through a large AOI radius (the initial
+        enter burst) or a long-behind client's coalesced catch-up can
+        legitimately exceed the frame cap; raising here would escape
+        the shared tick loop and stop the gateway for *every* client.
+        Halving by change count terminates: each part is strictly
+        smaller, and a single change that still cannot fit marks this
+        session for eviction (``note_tick`` reports it) instead.
+        """
+        tagged = (
+            [("enter", item) for item in delta.enters]
+            + [("update", item) for item in delta.updates]
+            + [("exit", eid) for eid in delta.exits]
+        )
+        if len(tagged) <= 1:
+            self.evicted_reason = "evicted:oversize"
+            return
+        mid = len(tagged) // 2
+        # The first part carries the coalesced count so the client
+        # still learns it missed intermediate states exactly once.
+        for part, coalesced in (
+            (tagged[:mid], delta.coalesced), (tagged[mid:], 0),
+        ):
+            self._emit_delta(Delta(
+                tick=delta.tick,
+                seq=0,
+                enters=tuple(i for kind, i in part if kind == "enter"),
+                updates=tuple(i for kind, i in part if kind == "update"),
+                exits=tuple(i for kind, i in part if kind == "exit"),
+                coalesced=coalesced,
+            ))
 
     # -- flush + tick bookkeeping ----------------------------------------------------
 
@@ -214,8 +255,11 @@ class SendQueue:
 
         Call once per gateway tick after :meth:`flush`.  ``None`` means
         the session stays; otherwise the returned string is the
-        ``Goodbye`` reason (``"evicted:slow"`` / ``"evicted:overflow"``).
+        ``Goodbye`` reason (``"evicted:slow"`` / ``"evicted:overflow"``
+        / ``"evicted:oversize"``).
         """
+        if self.evicted_reason is not None:
+            return self.evicted_reason
         backlog = self.backlog_bytes()
         if backlog > self.config.max_queue_bytes:
             self.evicted_reason = "evicted:overflow"

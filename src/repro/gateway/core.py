@@ -44,12 +44,17 @@ class GatewayConfig:
     stream_self: bool = True
     backpressure: BackpressureConfig = field(default_factory=BackpressureConfig)
     seed: int = 0
+    #: Ticks a detached (disconnected, unresumed) session survives
+    #: before it is reaped; ``None`` keeps sessions resumable forever.
+    detach_ttl_ticks: int | None = 600
 
     def __post_init__(self) -> None:
         if self.default_radius <= 0 or self.max_radius < self.default_radius:
             raise GatewayError(
                 "radii must satisfy 0 < default_radius <= max_radius"
             )
+        if self.detach_ttl_ticks is not None and self.detach_ttl_ticks < 1:
+            raise GatewayError("detach_ttl_ticks must be >= 1 or None")
 
 
 class _Connection:
@@ -109,6 +114,7 @@ class GatewayCore:
             max_radius=self.config.max_radius,
             seed=self.config.seed,
             on_close=self._on_session_closed,
+            detach_ttl_ticks=self.config.detach_ttl_ticks,
         )
         self.stream = InterestStream(
             source,
@@ -131,6 +137,7 @@ class GatewayCore:
         self.pings = 0
         self.disconnects = 0
         self.protocol_errors = 0
+        self.expired = 0
         self.evictions: dict[str, int] = {}
         self._stats_name = self.obs.register_stats("gateway", self.stats)
 
@@ -231,7 +238,7 @@ class GatewayCore:
         conn.transport.close()
         if conn.session is not None:
             self._cid_by_sid.pop(conn.session.sid, None)
-            self.sessions.detach(conn.session)
+            self.sessions.detach(conn.session, self.source.tick_count())
 
     def _on_session_closed(self, session: Session, reason: str) -> None:
         """SessionManager close hook: release stream state + connection.
@@ -285,19 +292,32 @@ class GatewayCore:
         evicted: list[tuple[Session, str]] = []
         flushed = 0
         with tracer.span("gateway.tick", cat="gateway") as span:
+            expired = self.sessions.reap_detached(self.source.tick_count())
+            self.expired += len(expired)
             active = self.sessions.active()
             by_radius: dict[float, list[int]] = {}
             for s in active:
                 by_radius.setdefault(s.aoi_radius, []).append(s.avatar)
             self.stream.begin_tick(by_radius)
+            # One misbehaving session must never take the shared tick
+            # loop down: any per-session GatewayError becomes that
+            # session's eviction (note_tick reports evicted_reason).
             for s in active:
                 extra = (s.avatar,) if self.config.stream_self else ()
-                s.queue.offer_delta(
-                    self.stream.delta_for(s.stream, s.avatar, extra_known=extra)
-                )
+                try:
+                    s.queue.offer_delta(
+                        self.stream.delta_for(
+                            s.stream, s.avatar, extra_known=extra
+                        )
+                    )
+                except GatewayError:
+                    s.queue.evicted_reason = "evicted:error"
             with tracer.span("gateway.flush", cat="gateway"):
                 for s in active:
-                    flushed += s.queue.flush()
+                    try:
+                        flushed += s.queue.flush()
+                    except GatewayError:
+                        s.queue.evicted_reason = "evicted:error"
                     reason = s.queue.note_tick()
                     if reason is not None:
                         evicted.append((s, reason))
@@ -356,5 +376,6 @@ class GatewayCore:
             "pings": self.pings,
             "disconnects": self.disconnects,
             "protocol_errors": self.protocol_errors,
+            "expired": self.expired,
             "evictions": sum(self.evictions.values()),
         }

@@ -14,7 +14,7 @@ auth, and a real credential check slots in without touching the rest.
 
 from __future__ import annotations
 
-import hashlib
+import secrets
 from typing import Any, Callable
 
 from repro.errors import GatewayError
@@ -37,7 +37,7 @@ class Session:
 
     __slots__ = (
         "sid", "client", "resume_token", "avatar", "aoi_radius", "state",
-        "transport", "queue", "stream", "connected_tick",
+        "transport", "queue", "stream", "connected_tick", "detached_tick",
         "resumes", "close_reason",
     )
 
@@ -62,6 +62,7 @@ class Session:
         self.queue = SendQueue(transport, backpressure)
         self.stream = ClientStreamState()
         self.connected_tick = tick
+        self.detached_tick: int | None = None
         self.resumes = 0
         self.close_reason: str | None = None
 
@@ -78,8 +79,22 @@ class Session:
         self.queue = SendQueue(transport, backpressure)
         self.queue.next_seq = next_seq
         self.state = ACTIVE
+        self.detached_tick = None
         self.resumes += 1
         self.close_reason = None
+
+
+def random_resume_token(sid: str, client: str) -> str:
+    """The default resume-token factory: 96 bits from the CSPRNG.
+
+    The resume path in :meth:`SessionManager.hello` bypasses auth — the
+    token *is* the credential — so it must be unguessable.  Anything
+    derived deterministically from public inputs (serial sids, client
+    names, a config seed) would let an attacker compute another
+    client's token offline and steal its session.  Tests that need
+    reproducible tokens inject their own ``token_factory`` instead.
+    """
+    return secrets.token_hex(12)
 
 
 class SessionManager:
@@ -93,13 +108,19 @@ class SessionManager:
         max_radius: float = 128.0,
         seed: int = 0,
         on_close: Callable[[Session, str], None] | None = None,
+        token_factory: Callable[[str, str], str] | None = None,
+        detach_ttl_ticks: int | None = None,
     ):
         self.backpressure = backpressure or BackpressureConfig()
         self.auth = auth or default_auth
         self.on_close = on_close
         self.default_radius = default_radius
         self.max_radius = max_radius
+        # ``seed`` steers non-secret determinism knobs only; resume
+        # tokens come from ``token_factory`` (CSPRNG by default).
         self._seed = seed
+        self.token_factory = token_factory or random_resume_token
+        self.detach_ttl_ticks = detach_ttl_ticks
         self._serial = 0
         self.sessions: dict[str, Session] = {}
         self._by_resume: dict[str, Session] = {}
@@ -156,9 +177,7 @@ class SessionManager:
         radius = min(max(radius, 1e-6), self.max_radius)
         self._serial += 1
         sid = f"s{self._serial:08d}"
-        resume_token = hashlib.sha256(
-            f"{self._seed}:{sid}:{msg.client}".encode()
-        ).hexdigest()[:24]
+        resume_token = self.token_factory(sid, msg.client)
         session = Session(
             sid, msg.client, resume_token, avatar, radius, transport,
             self.backpressure, tick,
@@ -171,10 +190,35 @@ class SessionManager:
 
     # -- lifecycle -----------------------------------------------------------------
 
-    def detach(self, session: Session) -> None:
-        """Connection dropped without a goodbye: keep the session resumable."""
+    def detach(self, session: Session, tick: int = 0) -> None:
+        """Connection dropped without a goodbye: keep the session resumable.
+
+        ``tick`` stamps when the session went quiet, so a configured
+        ``detach_ttl_ticks`` can expire it via :meth:`reap_detached`.
+        """
         if session.state == ACTIVE:
             session.state = DETACHED
+            session.detached_tick = tick
+
+    def reap_detached(self, tick: int) -> list[Session]:
+        """Close sessions detached longer than ``detach_ttl_ticks``.
+
+        Without a TTL a client that disconnects and never resumes would
+        pin its session — stream state, interest subscription, queue —
+        forever; under churn with unique client names that is unbounded
+        growth.  Returns the sessions closed (reason ``"expired"``).
+        """
+        if self.detach_ttl_ticks is None:
+            return []
+        expired = [
+            s for s in list(self.sessions.values())
+            if s.state == DETACHED
+            and s.detached_tick is not None
+            and tick - s.detached_tick >= self.detach_ttl_ticks
+        ]
+        for session in expired:
+            self.close(session, "expired")
+        return expired
 
     def close(self, session: Session, reason: str) -> None:
         """Terminally close a session (client bye, eviction, shutdown).

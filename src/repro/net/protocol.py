@@ -402,8 +402,30 @@ def encode(msg: Any) -> bytes:
     return bytes((WIRE_VERSION, type_id)) + payload.encode("utf-8")
 
 
+# Scalar annotations the decoder type-checks on the way in.  JSON has a
+# single number type, so ``float`` fields accept ints; ``int`` fields
+# reject bools (a json ``true`` is not a sequence number).  Container
+# annotations are left to the message's own consumers.
+_SCALAR_CHECKS: dict[str, Callable[[Any], bool]] = {
+    "str": lambda v: isinstance(v, str),
+    "bool": lambda v: isinstance(v, bool),
+    "int": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "float": lambda v: (
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+    ),
+}
+
+
 def decode(data: bytes) -> Any:
-    """Parse wire bytes back into the original message object."""
+    """Parse wire bytes back into the original message object.
+
+    Hostile input degrades to :class:`NetError`, never an unhandled
+    exception: the body must be a JSON object whose keys exactly fill
+    the message's fields, and scalar fields are type-checked against
+    the dataclass annotations.  Callers (the gateway's byte path, the
+    cluster transports) treat ``NetError`` as a protocol violation and
+    close the offending connection.
+    """
     if len(data) < 2:
         raise NetError("message truncated before the codec header")
     if data[0] != WIRE_VERSION:
@@ -417,7 +439,23 @@ def decode(data: bytes) -> Any:
         body = json.loads(data[2:].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise NetError(f"corrupt message body: {exc}") from None
-    return cls(**{k: _from_jsonable(v) for k, v in body.items()})
+    if not isinstance(body, dict):
+        raise NetError(
+            f"corrupt {cls.__name__} body: expected an object, "
+            f"got {type(body).__name__}"
+        )
+    try:
+        msg = cls(**{k: _from_jsonable(v) for k, v in body.items()})
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise NetError(f"corrupt {cls.__name__} body: {exc}") from None
+    for f in dataclasses.fields(cls):
+        check = _SCALAR_CHECKS.get(f.type)
+        if check is not None and not check(getattr(msg, f.name)):
+            raise NetError(
+                f"corrupt {cls.__name__} body: field {f.name!r} "
+                f"is not {f.type}"
+            )
+    return msg
 
 
 def encoded_size(msg: Any) -> int:

@@ -186,6 +186,54 @@ class TestCoalescing:
         assert not queue.behind
 
 
+class TestOversizeFrames:
+    """Deltas larger than MAX_FRAME_BYTES must split, never raise.
+
+    A raise here would escape GatewayCore.tick() and stop the gateway
+    for every client; only a single change that cannot fit alone is
+    allowed to cost the offending session its connection.
+    """
+
+    config = BackpressureConfig(
+        max_queue_bytes=64 << 20,
+        high_watermark=32 << 20,
+        low_watermark=1 << 20,
+        drain_watermark=32 << 20,
+        evict_behind_ticks=1000,
+    )
+
+    @staticmethod
+    def huge_update(eid, nfields):
+        return (eid, {f"f{i:05d}": "x" * 100 for i in range(nfields)})
+
+    def test_oversize_delta_splits_into_frameable_parts(self):
+        from repro.gateway.framing import MAX_FRAME_BYTES
+
+        transport = MemoryTransport()
+        queue = SendQueue(transport, self.config)
+        queue.offer_delta(delta(
+            1, updates=(self.huge_update(0, 6000), self.huge_update(1, 6000)),
+        ))
+        queue.flush()
+        raw = transport.drain()
+        assert len(raw) > MAX_FRAME_BYTES  # the payload really was oversize
+        messages = FrameDecoder().feed(raw)
+        assert len(messages) == 2
+        assert sorted(e for m in messages for e, _ in m.updates) == [0, 1]
+        assert [m.seq for m in messages] == [0, 1]  # gapless seqs
+        assert all(m.tick == 1 for m in messages)
+        assert queue.evicted_reason is None
+        assert queue.note_tick() is None  # drained and healthy
+
+    def test_unsplittable_change_evicts_instead_of_raising(self):
+        transport = MemoryTransport()
+        queue = SendQueue(transport, self.config)
+        queue.offer_delta(delta(1, updates=(self.huge_update(0, 12000),)))
+        assert queue.flush() == 0  # nothing frameable was queued
+        assert queue.note_tick() == "evicted:oversize"
+        assert queue.evicted_reason == "evicted:oversize"
+
+
 class TestEviction:
     def test_slow_eviction_after_consecutive_behind_ticks(self):
         config = BackpressureConfig(

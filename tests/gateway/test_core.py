@@ -14,7 +14,7 @@ from repro.gateway import (
     Welcome,
     WorldView,
 )
-from repro.net.protocol import InputCommand
+from repro.net.protocol import InputCommand, encode
 from repro.obs import Observability
 
 from tests.gateway.conftest import TestClient, make_core, make_world
@@ -83,6 +83,25 @@ class TestHandshakeThroughCore:
         core.on_bytes(client.cid, struct.pack(">I", 1 << 24) + b"junk")
         assert core.protocol_errors == 1
         assert client.transport.closed
+
+    def test_malformed_body_disconnects_without_crashing(self):
+        # Well-framed frames whose JSON bodies are hostile: unknown
+        # keys, a wrong-typed field, a non-object body.  Each must
+        # surface as a protocol error + disconnect, never an exception
+        # out of on_bytes (which would kill a server reader task).
+        codec_header = encode(Ping(nonce=1))[:2]
+        for body in (b'{"nonce":1,"evil":1}', b'{"nonce":"boom"}', b"[1,2]"):
+            world, core, e1, _ = make_pair()
+            client = TestClient(core, "alice", avatar=e1)
+            client.hello()
+            payload = codec_header + body
+            core.on_bytes(
+                client.cid, struct.pack(">I", len(payload)) + payload
+            )
+            assert core.protocol_errors == 1
+            assert client.transport.closed
+            # The session it carried stays resumable.
+            assert core.stats()["sessions"] == 1
 
 
 class TestStreaming:
@@ -228,6 +247,23 @@ class TestLifecycleThroughCore:
         # final goodbye — the client learns why it was dropped.
         messages = slow.drain()
         assert messages[-1] == Goodbye("evicted:slow")
+
+    def test_detached_session_expires_after_ttl(self):
+        config = GatewayConfig(detach_ttl_ticks=3)
+        world, core, e1, _ = make_pair(config=config)
+        client = TestClient(core, "alice", avatar=e1)
+        (welcome,) = client.hello()
+        core.disconnect(client.cid)
+        assert core.stats()["sessions"] == 1  # detached, still resumable
+        for _ in range(5):
+            world.tick()
+            core.tick()
+        assert core.stats()["sessions"] == 0
+        assert core.stats()["expired"] == 1
+        # The expired token no longer resumes.
+        revenant = TestClient(core, "alice")
+        (reply,) = revenant.hello(resume=welcome.resume_token)
+        assert isinstance(reply, Reject)
 
     def test_shutdown_says_goodbye_and_unhooks(self):
         world, core, e1, _ = make_pair()

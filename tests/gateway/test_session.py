@@ -21,6 +21,63 @@ def make_manager(**kwargs):
     return SessionManager(default_radius=16.0, max_radius=64.0, **kwargs)
 
 
+class TestResumeTokens:
+    def test_tokens_are_unpredictable_across_managers(self):
+        # The resume path bypasses auth — the token is the credential.
+        # Two managers issuing the same serial sid to the same client
+        # name must still hand out different tokens, or anyone could
+        # compute another client's token offline and steal its session.
+        tokens = set()
+        for _ in range(2):
+            mgr = make_manager()
+            session, _ = mgr.hello(
+                Hello(client="alice"), MemoryTransport(),
+                avatars({"alice": 1}), 0,
+            )
+            tokens.add(session.resume_token)
+        assert len(tokens) == 2
+
+    def test_injectable_factory_for_deterministic_tests(self):
+        mgr = make_manager(
+            token_factory=lambda sid, client: f"tok-{sid}-{client}"
+        )
+        session, _ = mgr.hello(
+            Hello(client="alice"), MemoryTransport(), avatars({"alice": 1}), 0
+        )
+        assert session.resume_token == "tok-s00000001-alice"
+
+
+class TestDetachTTL:
+    def test_reap_closes_only_expired_detached(self):
+        closed = []
+        mgr = make_manager(
+            detach_ttl_ticks=5,
+            on_close=lambda s, r: closed.append((s.client, r)),
+        )
+        a, _ = mgr.hello(
+            Hello(client="a"), MemoryTransport(), avatars({"a": 1}), 0
+        )
+        b, _ = mgr.hello(
+            Hello(client="b"), MemoryTransport(), avatars({"b": 2}), 0
+        )
+        mgr.detach(a, tick=10)
+        assert mgr.reap_detached(14) == []
+        assert mgr.reap_detached(15) == [a]
+        assert a.state == CLOSED
+        assert a.close_reason == "expired"
+        assert b.state == ACTIVE
+        assert closed == [("a", "expired")]
+
+    def test_no_ttl_keeps_detached_sessions_forever(self):
+        mgr = make_manager()
+        a, _ = mgr.hello(
+            Hello(client="a"), MemoryTransport(), avatars({"a": 1}), 0
+        )
+        mgr.detach(a, tick=0)
+        assert mgr.reap_detached(10 ** 9) == []
+        assert a.state == DETACHED
+
+
 class TestHandshake:
     def test_accept_issues_welcome_and_token(self):
         mgr = make_manager()

@@ -138,6 +138,42 @@ class TestWireFormat:
             encode(LinkConfig())  # a dataclass, but not a wire message
 
 
+class TestHostileDecode:
+    """Well-framed but malformed bodies must degrade to NetError.
+
+    The gateway feeds remote bytes straight into ``decode``; anything
+    other than NetError here would crash a connection's reader task.
+    """
+
+    @staticmethod
+    def wire(body_json):
+        header = encode(InputCommand("c", seq=0, action="a"))[:2]
+        return header + body_json.encode("utf-8")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(NetError):
+            decode(self.wire('{"client":"c","seq":0,"action":"a","evil":1}'))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(NetError):
+            decode(self.wire('{"client":"c"}'))
+
+    def test_non_object_body_rejected(self):
+        for body in ('[1,2,3]', '"hi"', '7', 'null', 'true'):
+            with pytest.raises(NetError):
+                decode(self.wire(body))
+
+    def test_wrong_scalar_type_rejected(self):
+        # A string seq, a bool seq, and a non-string action.
+        bad = (
+            '{"client":"c","seq":"nope","action":"a","args":{},"tick":0}',
+            '{"client":"c","seq":true,"action":"a","args":{},"tick":0}',
+            '{"client":"c","seq":0,"action":9,"args":{},"tick":0}',
+        )
+        for body in bad:
+            with pytest.raises(NetError):
+                decode(self.wire(body))
+
 class TestRegistry:
     def test_duplicate_id_rejected(self):
         with pytest.raises(NetError):
