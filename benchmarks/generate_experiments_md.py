@@ -150,6 +150,21 @@ EXPERIMENTS = [
      "slow readers trip both backpressure eviction paths while every "
      "healthy client keeps its session; the real-socket cell serves "
      "every connection with millisecond-scale ping RTTs."),
+    ("E20 / Fig 17", "bench_e20_durable",
+     "A game is a database workload: state changes need transactional "
+     "guarantees — atomicity across entity updates and their "
+     "notifications, optimistic concurrency instead of locks on the "
+     "hot path, and durability that survives server crashes "
+     "(Engineering Challenges).",
+     "Group-committing units of work amortises fsyncs linearly in the "
+     "batch size; Zipfian skew multiplies the first-try CAS conflict "
+     "rate over uniform access while the zero-sum ledger stays "
+     "conserved; a dead worker's tick lease is reclaimed within its "
+     "ttl under a larger fencing token with no double-applied tick; "
+     "an outbox replay into a loaded gateway dedups to exactly-once "
+     "per session and drains to zero lag; semisync failover loses "
+     "zero acknowledged commits or events, async exactly its "
+     "unshipped window."),
 ]
 
 HEADER = """\

@@ -153,6 +153,13 @@ class ClusterCoordinator:
         # registrations made before ticking are inherited by the fork).
         self._parallel_workers = parallel
         self._parallel = None
+        # Lease-guarded tick ownership (attach_tick_leases): when a
+        # durable lease table governs `tick:<shard>` keys, the
+        # coordinator only ticks shards whose lease it holds.
+        self._tick_leases: Any = None
+        self._tick_lease_ttl = 0
+        self._tick_lease_owner = ""
+        self.tick_deferrals: dict[int, int] = {}
         self.obs.register_stats("cluster.migration", self.migration_stats)
 
     # -- coordinator tallies (registry-backed) ------------------------------------
@@ -503,7 +510,55 @@ class ClusterCoordinator:
             return
         for host in self.shards:
             host.process_inbox(self.net.receive(host.endpoint))
-            host.tick()
+            if self._may_tick(host.shard_id):
+                host.tick()
+
+    # -- lease-guarded tick ownership ---------------------------------------------
+
+    def attach_tick_leases(
+        self, leases: Any, ttl: int = 8, owner: str = "coordinator"
+    ) -> None:
+        """Guard each shard's tick behind a durable ``tick:<shard>`` lease.
+
+        ``leases`` is a :class:`~repro.durable.leases.LeaseTable` (duck
+        typed; the cluster layer never imports the durable package).
+        Before ticking shard *s* the coordinator acquires ``tick:s`` for
+        ``owner``: a live lease held by a *worker* defers the shard's
+        tick (the worker owns that turn — deferrals are counted in
+        :attr:`tick_deferrals`), while an expired one is reclaimed under
+        a fresh fencing token — so a crashed worker's in-flight tick is
+        detected and taken over within ``ttl`` ticks, and the token
+        fences the worker out if it was merely paused: no double-applied
+        tick.
+        """
+        if ttl < 1:
+            raise ClusterError("tick-lease ttl must be positive")
+        if self._parallel is not None or self._parallel_workers is not None:
+            raise ClusterError(
+                "tick leases and parallel execution are mutually exclusive"
+            )
+        self._tick_leases = leases
+        self._tick_lease_ttl = ttl
+        self._tick_lease_owner = owner
+        self.tick_deferrals = {host.shard_id: 0 for host in self.shards}
+
+    def _may_tick(self, shard_id: int) -> bool:
+        """Whether this coordinator owns shard's tick for this round."""
+        if self._tick_leases is None:
+            return True
+        from repro.errors import LeaseHeldError
+
+        try:
+            self._tick_leases.acquire(
+                f"tick:{shard_id}",
+                self._tick_lease_owner,
+                self._tick_lease_ttl,
+                self.tick_count + 1,
+            )
+        except LeaseHeldError:
+            self.tick_deferrals[shard_id] += 1
+            return False
+        return True
 
     # -- parallel execution policy -----------------------------------------------
 

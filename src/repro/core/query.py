@@ -21,7 +21,6 @@ Example
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from typing import Any, Iterator, TYPE_CHECKING
 
@@ -33,14 +32,6 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Execution modes accepted by :meth:`Query.execute`.
 EXECUTE_MODES = ("auto", "tuple", "batch")
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass
@@ -357,16 +348,6 @@ class Query:
             ids = self._run_plan(plan)
         return ResultSet(self.world, tuple(self._components), ids, chosen)
 
-    def ids(self) -> list[int]:
-        """Deprecated: use ``execute(mode="tuple").ids``."""
-        _deprecated("Query.ids()", 'Query.execute(mode="tuple").ids')
-        return self.execute(mode="tuple").ids
-
-    def ids_batch(self) -> list[int]:
-        """Deprecated: use ``execute(mode="batch").ids``."""
-        _deprecated("Query.ids_batch()", 'Query.execute(mode="batch").ids')
-        return self.execute(mode="batch").ids
-
     def _run_plan(self, plan: Any) -> list[int]:
         out = []
         probes = [self.world.table(c) for c in plan.probe_components]
@@ -474,13 +455,6 @@ class PreparedQuery:
         return ResultSet(
             query.world, query.component_names(), ids, chosen
         )
-
-    def ids(self) -> list[int]:
-        """Deprecated: use ``execute(mode="tuple").ids``."""
-        _deprecated(
-            "PreparedQuery.ids()", 'PreparedQuery.execute(mode="tuple").ids'
-        )
-        return self.execute(mode="tuple").ids
 
     def count(self) -> int:
         """Number of matching entities under the cached plan."""

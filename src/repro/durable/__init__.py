@@ -1,0 +1,59 @@
+"""The transactional serving tier: acknowledged means durable.
+
+    "MMOs use commercial databases for persistence and to recover from
+    server crashes."
+
+Everything the in-memory game tier lacked on its own: a unit of work
+with optimistic CAS over ``row_version`` (:mod:`repro.durable.uow`),
+crash-reclaimable leases with fencing tokens
+(:mod:`repro.durable.leases`), an idempotent outbox drained into the
+gateway (:mod:`repro.durable.outbox`) — all projected from one redo WAL
+(:mod:`repro.durable.store`) — and the failover drill that keeps the
+promises across a primary crash (:mod:`repro.durable.failover`).
+"""
+
+from repro.durable.failover import (
+    ACK_ASYNC,
+    ACK_SEMISYNC,
+    AckedCommit,
+    DurableGroup,
+    DurableTier,
+    LossAccounting,
+    PromotionReport,
+)
+from repro.durable.leases import Lease, LeaseTable
+from repro.durable.outbox import (
+    OutboxDispatcher,
+    OutboxEvent,
+    RecordingSink,
+    gateway_sink,
+)
+from repro.durable.store import DurableStore, InjectedCrash
+from repro.durable.uow import (
+    CommitReceipt,
+    SqlUnitOfWork,
+    UnitOfWork,
+    run_unit,
+)
+
+__all__ = [
+    "ACK_ASYNC",
+    "ACK_SEMISYNC",
+    "AckedCommit",
+    "CommitReceipt",
+    "DurableGroup",
+    "DurableStore",
+    "DurableTier",
+    "InjectedCrash",
+    "Lease",
+    "LeaseTable",
+    "LossAccounting",
+    "OutboxDispatcher",
+    "OutboxEvent",
+    "PromotionReport",
+    "RecordingSink",
+    "SqlUnitOfWork",
+    "UnitOfWork",
+    "gateway_sink",
+    "run_unit",
+]

@@ -1,0 +1,294 @@
+"""Failover for the durable tier: promote, then replay the outbox.
+
+A :class:`DurableGroup` is one primary :class:`DurableStore` plus ``k``
+standbys, shipping the primary's durable WAL tail (commit, dispatch and
+lease records alike — the standby is a full projection, not just data).
+
+Acknowledgement mirrors the E15 replication modes:
+
+``async``
+    Acked at the primary's WAL flush; the tail shipped since the last
+    cadence dies with the primary — the documented loss window.
+``semisync``
+    Shipping happens synchronously inside every commit (via the store's
+    ``on_durable`` hook), so acked means *on a standby* — the mode under
+    which the kill-primary test proves zero acknowledged loss.
+
+On primary death: :meth:`promote` picks the most-caught-up standby,
+then runs the outbox replay — every outbox row on the new primary is
+marked undispatched and re-dispatched, because the old primary's
+dispatch marks may be arbitrarily stale.  Redelivery is the point:
+consumers dedupe, so replaying everything is how "no acknowledged event
+is ever lost" is actually enforced.  :meth:`loss_accounting` extends
+E15's accounting to the durable tier: which acked commits and events
+survived, entity by entity, dedup key by dedup key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConflictError, DurableError, RetriesExhaustedError
+from repro.durable.outbox import OutboxDispatcher, OutboxEvent
+from repro.durable.store import DurableStore
+from repro.durable.uow import CommitReceipt, SqlUnitOfWork
+from repro.obs.hub import Observability, resolve_obs
+
+ACK_ASYNC = "async"
+ACK_SEMISYNC = "semisync"
+
+
+@dataclass(frozen=True)
+class AckedCommit:
+    """One acknowledged commit: the promise loss accounting audits."""
+
+    commit_seq: int
+    writes: tuple[tuple[int, int], ...]  # (entity, row_version)
+    deduped: tuple[str, ...]  # outbox dedup keys
+
+
+@dataclass(frozen=True)
+class PromotionReport:
+    """What a promotion found and replayed."""
+
+    promoted: int
+    applied_lsn: int
+    outbox_replayed: int
+
+
+@dataclass
+class LossAccounting:
+    """Durable-tier extension of E15's acked-loss ledger."""
+
+    acked_commits: int = 0
+    commits_surviving: int = 0
+    commits_lost: int = 0
+    acked_events: int = 0
+    events_observed: int = 0
+    events_lost: int = 0
+    lost_commit_seqs: list[int] = field(default_factory=list)
+    lost_deduped: list[str] = field(default_factory=list)
+
+    @property
+    def zero_acked_loss(self) -> bool:
+        return self.commits_lost == 0 and self.events_lost == 0
+
+
+class DurableGroup:
+    """Primary + standbys over :class:`DurableStore`, E15 ack semantics."""
+
+    def __init__(
+        self,
+        standbys: int = 1,
+        ack_mode: str = ACK_SEMISYNC,
+        group_commit: int = 1,
+        obs: Observability | None = None,
+    ):
+        if ack_mode not in (ACK_ASYNC, ACK_SEMISYNC):
+            raise DurableError(f"unknown ack mode {ack_mode!r}")
+        if ack_mode == ACK_SEMISYNC and standbys < 1:
+            raise DurableError("semisync needs at least one standby")
+        self.obs = resolve_obs(obs)
+        self.ack_mode = ack_mode
+        self.primary = DurableStore(
+            group_commit=group_commit, obs=self.obs, name="primary"
+        )
+        self.standbys = [
+            DurableStore(obs=self.obs, name=f"standby:{i}")
+            for i in range(standbys)
+        ]
+        self._shipped: list[int] = [0] * standbys  # LSN per standby
+        self.acked: list[AckedCommit] = []
+        self.primary_dead = False
+        self.promotions = 0
+        if ack_mode == ACK_SEMISYNC:
+            self.primary.on_durable = self.ship
+
+    # -- the write path ------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[[SqlUnitOfWork], Any],
+        tick: int = 0,
+        retries: int = 5,
+    ) -> CommitReceipt:
+        """One unit of work against the primary, bounded optimistic retry.
+
+        Returns the receipt once the commit is *acknowledged* under the
+        group's ack mode (semisync ships inside the commit itself), and
+        records the acked promise for later loss accounting.
+        """
+        if self.primary_dead:
+            raise DurableError("primary is dead; promote() first")
+        last: ConflictError | None = None
+        for _attempt in range(retries):
+            uow = SqlUnitOfWork(self.primary, tick=tick)
+            try:
+                fn(uow)
+                receipt = uow.commit()
+            except ConflictError as exc:
+                last = exc
+                continue
+            record = self.primary.last_commit_record
+            self.acked.append(
+                AckedCommit(
+                    commit_seq=receipt.commit_seq,
+                    writes=tuple(
+                        (entity, version)
+                        for entity, version, _body in record["writes"]
+                    ),
+                    deduped=tuple(e[0] for e in record["events"]),
+                )
+            )
+            return receipt
+        raise RetriesExhaustedError(
+            f"unit of work conflicted {retries} times",
+            attempts=retries,
+            last=last,
+        )
+
+    # -- shipping ------------------------------------------------------------------
+
+    def ship(self) -> None:
+        """Ship the primary's durable tail to every live standby.
+
+        Semisync calls this from inside each commit; async calls it on
+        whatever cadence the caller chooses (the loss window).
+        """
+        if self.primary_dead:
+            return
+        for i, standby in enumerate(self.standbys):
+            tail = self.primary.ship_since(self._shipped[i])
+            if tail:
+                self._shipped[i] = standby.ingest(tail)
+
+    # -- crash and promotion -------------------------------------------------------
+
+    def kill_primary(self) -> int:
+        """The primary's node dies: memory, disk, everything.
+
+        Returns WAL records that were buffered but never durable.  From
+        here only :meth:`promote` restores service.
+        """
+        lost = self.primary.crash()
+        self.primary_dead = True
+        return lost
+
+    def promote(
+        self, sink: Callable[[OutboxEvent], Any] | None = None
+    ) -> PromotionReport:
+        """Promote the most-caught-up standby, then replay the outbox.
+
+        The new primary marks its whole outbox undispatched and — when a
+        ``sink`` is given — re-drains it immediately: at-least-once
+        redelivery into a deduping consumer is what makes acked events
+        survive the crash observably.
+        """
+        if not self.primary_dead:
+            raise DurableError("promote() needs a dead primary")
+        if not self.standbys:
+            raise DurableError("no standby to promote")
+        best = max(
+            range(len(self.standbys)),
+            key=lambda i: (self.standbys[i].wal.flushed_lsn, -i),
+        )
+        promoted = self.standbys.pop(best)
+        self._shipped.pop(best)
+        promoted.name = "primary"
+        self.primary = promoted
+        self.primary_dead = False
+        self.promotions += 1
+        if self.ack_mode == ACK_SEMISYNC:
+            self.primary.on_durable = self.ship
+        replayed = self.primary.reset_dispatched()
+        if sink is not None:
+            OutboxDispatcher(self.primary, sink).drain_all()
+        self.ship()
+        return PromotionReport(
+            promoted=best,
+            applied_lsn=self.primary.wal.flushed_lsn,
+            outbox_replayed=replayed,
+        )
+
+    # -- accounting ----------------------------------------------------------------
+
+    def loss_accounting(self, observed: set[str]) -> LossAccounting:
+        """Audit every acknowledged promise against the current primary.
+
+        A commit survives when each of its writes is present at (or
+        past) the acked ``row_version``; an event survives when its
+        dedup key was observed by the consumer.  Under semisync both
+        loss counts must be zero — that is the E20 acceptance bar.
+        """
+        acc = LossAccounting(acked_commits=len(self.acked))
+        for commit in self.acked:
+            present = all(
+                self.primary.entity_version(entity) >= version
+                for entity, version in commit.writes
+            )
+            if present:
+                acc.commits_surviving += 1
+            else:
+                acc.commits_lost += 1
+                acc.lost_commit_seqs.append(commit.commit_seq)
+            for dedup in commit.deduped:
+                acc.acked_events += 1
+                if dedup in observed:
+                    acc.events_observed += 1
+                else:
+                    acc.events_lost += 1
+                    acc.lost_deduped.append(dedup)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"DurableGroup(mode={self.ack_mode}, "
+            f"standbys={len(self.standbys)}, acked={len(self.acked)}, "
+            f"promotions={self.promotions})"
+        )
+
+
+class DurableTier:
+    """Per-shard durable groups bound to a replicated cluster's failover.
+
+    Registers on the coordinator's ``failover_hooks``: when shard *s*
+    loses its primary and the cluster promotes a replica, the shard's
+    durable group runs the same drill — kill, promote, replay the
+    outbox into ``sink`` — so world-state failover and event redelivery
+    ride one control path, in that order (promote-then-replay).
+    """
+
+    def __init__(
+        self,
+        coordinator: Any,
+        sink: Callable[[OutboxEvent], Any],
+        standbys: int = 1,
+        ack_mode: str = ACK_SEMISYNC,
+    ):
+        self.coordinator = coordinator
+        self.sink = sink
+        self.groups: dict[int, DurableGroup] = {
+            host.shard_id: DurableGroup(
+                standbys=standbys,
+                ack_mode=ack_mode,
+                obs=getattr(coordinator, "obs", None),
+            )
+            for host in coordinator.shards
+        }
+        self.reports: list[tuple[int, PromotionReport]] = []
+        coordinator.failover_hooks.append(self.on_failover)
+
+    def group(self, shard_id: int) -> DurableGroup:
+        """The durable group serving one shard."""
+        return self.groups[shard_id]
+
+    def on_failover(self, report: Any) -> None:
+        """The hook: mirror the cluster's promotion in the durable tier."""
+        grp = self.groups.get(report.shard)
+        if grp is None:
+            return
+        if not grp.primary_dead:
+            grp.kill_primary()
+        promotion = grp.promote(sink=self.sink)
+        self.reports.append((report.shard, promotion))

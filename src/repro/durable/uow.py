@@ -1,0 +1,231 @@
+"""The unit of work: read, stage, CAS-commit — with events in the same boat.
+
+    "…the state of the game is updated by the execution of a game
+    'script' … these scripts need transactional properties."
+
+:class:`SqlUnitOfWork` is the transaction surface game logic sees.  It
+reads entities (caching the ``row_version`` each read observed), stages
+full-state writes and outbox events, and on :meth:`commit`:
+
+1. **fence** — if the unit runs under a lease, validate the fencing
+   token, so a zombie worker cannot commit work it no longer owns;
+2. **CAS** — re-probe every touched entity's ``row_version`` against
+   the version the unit read; any mismatch raises the typed
+   :class:`~repro.errors.ConflictError` and nothing is written;
+3. **WAL** — append one commit record carrying the writes *and* the
+   events, and flush: this is the acknowledgement point;
+4. **apply** — project the record into the SQL tables.
+
+Because the events ride inside the commit record, a client can never
+observe an event whose state change was rolled back — they are durable
+together or not at all.  :func:`run_unit` wraps the whole thing in the
+bounded optimistic-retry loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.errors import ConflictError, DurableError, RetriesExhaustedError
+from repro.durable.leases import Lease, LeaseTable
+from repro.durable.store import DurableStore
+
+
+@dataclass(frozen=True)
+class CommitReceipt:
+    """What a successful commit hands back: proof and coordinates."""
+
+    lsn: int
+    commit_seq: int
+    writes: int
+    events: int
+
+
+class UnitOfWork(Protocol):
+    """The transaction surface game logic codes against."""
+
+    def get(self, entity: int) -> dict[str, Any] | None:
+        """Read one entity's state (version-tracked for the CAS)."""
+        ...
+
+    def put(self, entity: int, state: dict[str, Any]) -> None:
+        """Stage a full-state write for one entity."""
+        ...
+
+    def emit(self, event: str, entity: int = 0, key: str = "",
+             **payload: Any) -> None:
+        """Stage an outbox event, idempotent per entity + event + key."""
+        ...
+
+    def commit(self) -> CommitReceipt:
+        """Fence, CAS-validate, journal, apply; or raise and write nothing."""
+        ...
+
+
+@dataclass
+class _StagedEvent:
+    event: str
+    entity: int
+    key: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class SqlUnitOfWork:
+    """One optimistic transaction over a :class:`DurableStore`."""
+
+    def __init__(
+        self,
+        store: DurableStore,
+        tick: int = 0,
+        lease: Lease | None = None,
+        leases: LeaseTable | None = None,
+    ):
+        if lease is not None and leases is None:
+            raise DurableError("a lease-guarded unit needs its LeaseTable")
+        self.store = store
+        self.tick = tick
+        self.lease = lease
+        self.leases = leases
+        self._read_versions: dict[int, int] = {}
+        self._writes: dict[int, dict[str, Any]] = {}
+        self._events: list[_StagedEvent] = []
+        self._done = False
+
+    # -- reads / staging -----------------------------------------------------------
+
+    def get(self, entity: int) -> dict[str, Any] | None:
+        """Read an entity; the observed version joins the CAS footprint."""
+        state, version = self.store.read_entity(entity)
+        self._read_versions.setdefault(entity, version)
+        return state
+
+    def put(self, entity: int, state: dict[str, Any]) -> None:
+        """Stage a full-state write (read-before-write is enforced)."""
+        self._require_open()
+        if entity not in self._read_versions:
+            # Blind write: observe the current version now so the CAS
+            # still guards against a racing creator/updater.
+            self._read_versions[entity] = self.store.entity_version(entity)
+        self._writes[entity] = dict(state)
+
+    def update(self, entity: int, **fields: Any) -> dict[str, Any]:
+        """Read-modify-write convenience; returns the staged state."""
+        state = self.get(entity)
+        if state is None:
+            state = {}
+        state.update(fields)
+        self.put(entity, state)
+        return state
+
+    def emit(
+        self, event: str, entity: int = 0, key: str = "", **payload: Any
+    ) -> None:
+        """Stage an outbox event riding in this unit's commit record."""
+        self._require_open()
+        self._events.append(
+            _StagedEvent(event=event, entity=entity, key=key, payload=payload)
+        )
+
+    # -- commit --------------------------------------------------------------------
+
+    def commit(self) -> CommitReceipt:
+        """The four-step commit; see the module docstring for the order."""
+        self._require_open()
+        tracer = self.store.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "uow.commit",
+                cat="durable",
+                tick=self.tick,
+                writes=len(self._writes),
+                events=len(self._events),
+            ):
+                return self._commit_impl()
+        return self._commit_impl()
+
+    def _commit_impl(self) -> CommitReceipt:
+        # 1. Fence: a stale token means we were reclaimed — no writes.
+        if self.lease is not None:
+            self.leases.validate(self.lease, self.tick)
+        # 2. CAS: every entity this unit read or wrote must still be at
+        #    the version it observed, or somebody committed under us.
+        for entity, expected in sorted(self._read_versions.items()):
+            if entity not in self._writes:
+                continue  # read-only footprint: no write to protect
+            found = self.store.entity_version(entity)
+            if found != expected:
+                self.store.conflicts += 1
+                raise ConflictError(entity, expected, found)
+        self.store.hit_failpoint("pre-wal")
+        # 3. Journal: one record, writes + events together; the WAL
+        #    flush inside append_commit is the acknowledgement point.
+        writes = [
+            (entity, self._read_versions[entity] + 1, json.dumps(state, sort_keys=True))
+            for entity, state in sorted(self._writes.items())
+        ]
+        events = []
+        for staged in self._events:
+            self.store.outbox_seq += 1
+            dedup = f"{staged.entity}:{staged.event}:{staged.key}"
+            events.append(
+                (
+                    dedup,
+                    self.store.outbox_seq,
+                    staged.entity,
+                    staged.event,
+                    staged.key,
+                    json.dumps(staged.payload, sort_keys=True),
+                )
+            )
+        lsn, record = self.store.append_commit(writes, events, self.tick)
+        self.store.hit_failpoint("post-wal")
+        # 4. Apply: project into the serving tables.  A crash between
+        #    3 and here is invisible after recovery replay.
+        self.store.apply_commit(record)
+        self.store.hit_failpoint("post-apply")
+        self._done = True
+        return CommitReceipt(
+            lsn=lsn,
+            commit_seq=record["commit"],
+            writes=len(writes),
+            events=len(events),
+        )
+
+    def _require_open(self) -> None:
+        if self._done:
+            raise DurableError("unit of work already committed")
+
+
+def run_unit(
+    store: DurableStore,
+    fn: Callable[[SqlUnitOfWork], Any],
+    tick: int = 0,
+    retries: int = 5,
+    lease: Lease | None = None,
+    leases: LeaseTable | None = None,
+) -> Any:
+    """Run ``fn(uow)`` under bounded optimistic retry.
+
+    Each :class:`~repro.errors.ConflictError` builds a *fresh* unit (so
+    ``fn`` re-reads current versions) until ``retries`` attempts are
+    spent, then :class:`~repro.errors.RetriesExhaustedError` reports
+    the last collision.  Fencing errors are never retried — a fenced
+    worker must re-acquire, not hammer.
+    """
+    if retries < 1:
+        raise DurableError("retries must be >= 1")
+    last: ConflictError | None = None
+    for _attempt in range(retries):
+        uow = SqlUnitOfWork(store, tick=tick, lease=lease, leases=leases)
+        try:
+            result = fn(uow)
+            if not uow._done:
+                uow.commit()
+            return result
+        except ConflictError as exc:
+            last = exc
+    raise RetriesExhaustedError(
+        f"unit of work conflicted {retries} times", attempts=retries, last=last
+    )

@@ -166,6 +166,21 @@ class WALError(PersistenceError):
     """The write-ahead log is corrupt or was misused."""
 
 
+class WalCorruptionError(WALError):
+    """A durable WAL record failed its checksum during a strict read.
+
+    ``offset`` is the index of the bad record within the durable log
+    (0-based, in storage order) and ``last_good_lsn`` the LSN of the
+    last record that decoded cleanly before it — everything a recovery
+    pass needs to report exactly where the log went bad.
+    """
+
+    def __init__(self, message: str, offset: int, last_good_lsn: int = 0):
+        super().__init__(message)
+        self.offset = offset
+        self.last_good_lsn = last_good_lsn
+
+
 class RecoveryError(PersistenceError):
     """Crash recovery could not reconstruct a consistent state."""
 
@@ -176,6 +191,75 @@ class MigrationError(PersistenceError):
 
 class SQLError(PersistenceError):
     """The miniature SQL engine rejected a statement."""
+
+
+# ---------------------------------------------------------------------------
+# Durable serving-tier errors
+# ---------------------------------------------------------------------------
+
+
+class DurableError(PersistenceError):
+    """Base class for the transactional serving tier."""
+
+
+class ConflictError(DurableError):
+    """Optimistic CAS found another commit got there first.
+
+    Carries the losing write's coordinates so bounded-retry loops and
+    conflict accounting can see exactly what collided.
+    """
+
+    def __init__(self, entity: int, expected: int, found: int):
+        super().__init__(
+            f"entity {entity}: expected row_version {expected}, "
+            f"found {found}"
+        )
+        self.entity = entity
+        self.expected = expected
+        self.found = found
+
+
+class RetriesExhaustedError(DurableError):
+    """A unit of work kept conflicting past its retry budget."""
+
+    def __init__(self, message: str, attempts: int, last: "ConflictError"):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+class LeaseError(DurableError):
+    """A lease operation was malformed or misused."""
+
+
+class LeaseHeldError(LeaseError):
+    """The lease is currently held by a live (unexpired) owner."""
+
+    def __init__(self, key: str, owner: str, expires: int):
+        super().__init__(
+            f"lease {key!r} held by {owner!r} until tick {expires}"
+        )
+        self.key = key
+        self.owner = owner
+        self.expires = expires
+
+
+class LeaseFencedError(LeaseError):
+    """The caller's fencing token is stale: the lease moved on without it.
+
+    Raised on commit or renew by a worker whose lease expired and was
+    reclaimed — the mechanism that prevents a paused-but-alive worker
+    from double-applying work it no longer owns.
+    """
+
+    def __init__(self, key: str, token: int, current: int):
+        super().__init__(
+            f"lease {key!r}: fencing token {token} is stale "
+            f"(current {current})"
+        )
+        self.key = key
+        self.token = token
+        self.current = current
 
 
 # ---------------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.gateway.framing import (
 )
 from repro.gateway.messages import (
     Delta,
+    EventMsg,
     Goodbye,
     Hello,
     Ping,
@@ -50,6 +51,7 @@ __all__ = [
     "ClientStreamState",
     "ClusterView",
     "Delta",
+    "EventMsg",
     "FrameDecoder",
     "GatewayConfig",
     "GatewayCore",

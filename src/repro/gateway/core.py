@@ -26,11 +26,16 @@ from typing import Any, Callable
 from repro.errors import GatewayError, NetError
 from repro.gateway.backpressure import BackpressureConfig
 from repro.gateway.framing import FrameDecoder, frame
-from repro.gateway.messages import Delta, Goodbye, Hello, Ping, Pong
+from repro.gateway.messages import Delta, EventMsg, Goodbye, Hello, Ping, Pong
 from repro.gateway.session import ACTIVE, Session, SessionManager
 from repro.gateway.streams import InterestStream
 from repro.net.protocol import InputCommand
 from repro.obs.hub import Observability, resolve_obs
+
+#: Dedup keys each session remembers before the oldest fall off; a
+#: bound on memory, not on correctness — outbox redelivery bursts are
+#: recent by construction (a failover replays, then the set re-fills).
+EVENT_DEDUP_CAP = 4096
 
 
 @dataclass(frozen=True)
@@ -135,6 +140,10 @@ class GatewayCore:
         }
         self.inputs = 0
         self.pings = 0
+        self.events_published = 0
+        self.events_deduped = 0
+        self.events_dropped = 0
+        self._event_seq = 0
         self.disconnects = 0
         self.protocol_errors = 0
         self.expired = 0
@@ -224,6 +233,59 @@ class GatewayCore:
     def bind_avatar(self, client: str, entity_id: int) -> None:
         """Register the avatar entity a client name maps to."""
         self._avatars[client] = entity_id
+
+    # -- event plane (durable outbox feed) --------------------------------------------
+
+    def publish_event(
+        self,
+        entity: int,
+        event: str,
+        key: str = "",
+        payload: dict[str, Any] | None = None,
+        broadcast: bool = False,
+    ) -> int:
+        """Deliver one durable-tier event; returns sessions it reached.
+
+        This is the outbox dispatcher's sink: delivery is at-least-once
+        upstream (drain retries, failover replays the whole outbox), so
+        each session keeps a seen-set of dedup keys and silently drops
+        repeats — at-least-once in, exactly-once observed per session.
+        Targeted events go to the sessions whose avatar *is* ``entity``;
+        ``broadcast`` fans out to every active session.  Events for
+        entities nobody is watching count as dropped (an event is a
+        fact, not a subscription — nothing queues for later).
+        """
+        dedup = f"{entity}:{event}:{key}"
+        active = self.sessions.active()
+        targets = (
+            active if broadcast
+            else [s for s in active if s.avatar == entity]
+        )
+        if not targets:
+            self.events_dropped += 1
+            return 0
+        delivered = 0
+        for session in targets:
+            if dedup in session.seen_events:
+                self.events_deduped += 1
+                continue
+            session.seen_events[dedup] = None
+            if len(session.seen_events) > EVENT_DEDUP_CAP:
+                session.seen_events.pop(next(iter(session.seen_events)))
+            self._event_seq += 1
+            session.queue.offer(
+                EventMsg(
+                    tick=self.source.tick_count(),
+                    seq=self._event_seq,
+                    entity=entity,
+                    event=event,
+                    key=key,
+                    payload=dict(payload or {}),
+                )
+            )
+            delivered += 1
+            self.events_published += 1
+        return delivered
 
     def disconnect(self, cid: int) -> None:
         """A connection went away (EOF, error, or server-side close).
@@ -374,6 +436,9 @@ class GatewayCore:
             + sum(s.stream.updates_suppressed for s in sessions),
             "inputs": self.inputs,
             "pings": self.pings,
+            "events_published": self.events_published,
+            "events_deduped": self.events_deduped,
+            "events_dropped": self.events_dropped,
             "disconnects": self.disconnects,
             "protocol_errors": self.protocol_errors,
             "expired": self.expired,

@@ -21,7 +21,8 @@ Session lifecycle::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.net.protocol import (
     ENVELOPE_BYTES,
@@ -148,6 +149,37 @@ class Delta:
         return len(self.enters) + len(self.updates) + len(self.exits)
 
 
+@dataclass(frozen=True)
+class EventMsg:
+    """Gateway -> client: one durable outbox event.
+
+    Unlike a :class:`Delta` (a snapshot diff the stream recomputes each
+    tick), an event is a *fact* drained from the durable tier's outbox:
+    it happened exactly once, survives failover, and may legitimately be
+    redelivered after a promotion.  ``dedup`` (``entity:event:key``) is
+    the identity clients — and the gateway's own per-session seen-set —
+    use to collapse redelivery into exactly-once observation.
+    """
+
+    tick: int
+    seq: int
+    entity: int
+    event: str
+    key: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def dedup(self) -> str:
+        """The idempotency identity this event carries."""
+        return f"{self.entity}:{self.event}:{self.key}"
+
+    def wire_size(self) -> int:
+        return (
+            ENVELOPE_BYTES + 24 + len(self.event) + len(self.key)
+            + len(self.payload) * (VALUE_BYTES + 4)
+        )
+
+
 register_message(32, Hello)
 register_message(33, Welcome)
 register_message(34, Reject)
@@ -155,3 +187,4 @@ register_message(35, Goodbye)
 register_message(36, Ping)
 register_message(37, Pong)
 register_message(38, Delta)
+register_message(39, EventMsg)

@@ -38,7 +38,7 @@ class Session:
     __slots__ = (
         "sid", "client", "resume_token", "avatar", "aoi_radius", "state",
         "transport", "queue", "stream", "connected_tick", "detached_tick",
-        "resumes", "close_reason",
+        "resumes", "close_reason", "seen_events",
     )
 
     def __init__(
@@ -65,6 +65,11 @@ class Session:
         self.detached_tick: int | None = None
         self.resumes = 0
         self.close_reason: str | None = None
+        # Dedup keys of durable-tier events already delivered on this
+        # session (insertion-ordered so the cap evicts oldest-first).
+        # Survives resume — a reattached client must not re-see events
+        # the outbox redelivers after a failover.
+        self.seen_events: dict[str, None] = {}
 
     def attach(self, transport: Any, backpressure: BackpressureConfig) -> None:
         """Reattach a resumed session to a fresh connection.

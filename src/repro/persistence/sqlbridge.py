@@ -117,6 +117,10 @@ class MiniSQL:
     def __init__(self) -> None:
         self._tables: dict[str, _Table] = {}
         self.statements_executed = 0
+        #: Rows affected by the most recent INSERT/UPDATE/DELETE (rows
+        #: returned, for SELECT) — the signal optimistic CAS reads to
+        #: learn whether its guarded UPDATE actually landed.
+        self.rowcount = 0
 
     # -- public API ---------------------------------------------------------------
 
@@ -130,17 +134,21 @@ class MiniSQL:
         kind = parser.peek_kw()
         if kind == "CREATE":
             self._create(parser)
+            self.rowcount = 0
             return []
         if kind == "INSERT":
             self._insert(parser)
+            self.rowcount = 1
             return []
         if kind == "SELECT":
-            return self._select(parser)
+            rows = self._select(parser)
+            self.rowcount = len(rows)
+            return rows
         if kind == "UPDATE":
-            self._update(parser)
+            self.rowcount = self._update(parser)
             return []
         if kind == "DELETE":
-            self._delete(parser)
+            self.rowcount = self._delete(parser)
             return []
         raise SQLError(f"unsupported statement start: {kind!r}")
 
@@ -266,7 +274,7 @@ class MiniSQL:
                 raise SQLError(f"no column {col!r} in {table.name}")
         return [{c: r[c] for c in cols} for r in matched]
 
-    def _update(self, p: "_Parser") -> None:
+    def _update(self, p: "_Parser") -> int:
         p.expect_kw("UPDATE")
         table = self._require(p.expect_ident())
         p.expect_kw("SET")
@@ -282,13 +290,15 @@ class MiniSQL:
                 break
         predicate = self._where(p, table)
         p.expect_eof()
-        for row in self._match_rows(table, predicate):
+        matched = self._match_rows(table, predicate)
+        for row in matched:
             for col, value in updates:
                 if col == table.pk and value != row[col]:
                     raise SQLError("updating primary keys is not supported")
                 row[col] = value
+        return len(matched)
 
-    def _delete(self, p: "_Parser") -> None:
+    def _delete(self, p: "_Parser") -> int:
         p.expect_kw("DELETE")
         p.expect_kw("FROM")
         table = self._require(p.expect_ident())
@@ -301,6 +311,7 @@ class MiniSQL:
             table._pk_index = {
                 row[table.pk]: i for i, row in enumerate(table.rows)
             }
+        return len(doomed)
 
     # -- where handling -------------------------------------------------------------------
 

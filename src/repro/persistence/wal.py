@@ -18,7 +18,7 @@ import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.errors import WALError
+from repro.errors import WalCorruptionError, WALError
 
 
 @dataclass(frozen=True)
@@ -179,15 +179,35 @@ class WriteAheadLog:
 
     # -- reading ---------------------------------------------------------------------------
 
-    def records(self, from_lsn: int = 0) -> Iterator[WALRecord]:
-        """Durable records with LSN >= ``from_lsn``, stopping at corruption."""
-        for line in self._durable:
+    def records(
+        self, from_lsn: int = 0, strict: bool = False
+    ) -> Iterator[WALRecord]:
+        """Durable records with LSN >= ``from_lsn``.
+
+        A record that fails its checksum ends the scan: by default the
+        reader stops silently (sets :attr:`corruption_detected`, the
+        torn-tail convention), while ``strict=True`` raises a
+        :class:`~repro.errors.WalCorruptionError` carrying the bad
+        record's offset in the durable log and the last LSN that decoded
+        cleanly — the error contract the durable serving tier catches to
+        refuse serving from a log it cannot trust.
+        """
+        last_good = 0
+        for offset, line in enumerate(self._durable):
             rec = _try_decode(line)
             if rec is None:
                 # Torn tail: everything after the first bad record is
                 # untrustworthy; stop exactly like a real recovery pass.
                 self.corruption_detected = True
+                if strict:
+                    raise WalCorruptionError(
+                        f"WAL record at offset {offset} failed its "
+                        f"checksum (last good LSN {last_good})",
+                        offset=offset,
+                        last_good_lsn=last_good,
+                    )
                 return
+            last_good = rec.lsn
             if rec.lsn >= from_lsn:
                 yield rec
 

@@ -115,6 +115,11 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
         self.heartbeat_timeout = heartbeat_timeout
         self.injector = injector
         self.failovers: list[FailoverReport] = []
+        #: Called with each FailoverReport right after promotion — the
+        #: durable tier registers its promote-then-replay-outbox step
+        #: here, so event redelivery rides the same control path as the
+        #: world-state failover itself.
+        self.failover_hooks: list[Any] = []
         self._last_heartbeat: dict[int, int] = {}
         self._last_flushed: dict[int, int] = {}
         super().__init__(shards, placement, schemas, **kwargs)
@@ -178,7 +183,8 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
             if host.crashed:
                 continue
             host.process_inbox(self.net.receive(host.endpoint))
-            host.tick()
+            if self._may_tick(host.shard_id):
+                host.tick()
             host.replicate(ship_now)
         for host in self.shards:
             for rep in self.replicas[host.shard_id]:
@@ -312,6 +318,8 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
         )
         self._last_flushed[shard_id] = 0
         self.failovers.append(report)
+        for hook in self.failover_hooks:
+            hook(report)
         return report
 
     def _reconcile_handoffs(

@@ -18,6 +18,7 @@ from repro.workloads.hotspot import (
     spawn_hotspot_population,
     transfer_spec,
 )
+from repro.workloads.ledger import LedgerConfig, LedgerWorkload
 from repro.workloads.movement import FlockingModel, OrbitalModel, RandomWaypoint
 from repro.workloads.players import (
     HotspotSampler,
@@ -50,6 +51,8 @@ __all__ = [
     "spawn_hotspot_population",
     "transfer_spec",
     "FlockingModel",
+    "LedgerConfig",
+    "LedgerWorkload",
     "OrbitalModel",
     "RandomWaypoint",
     "HotspotSampler",

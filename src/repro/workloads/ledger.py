@@ -1,0 +1,160 @@
+"""A gold-ledger workload for the durable tier: transfers under contention.
+
+The canonical database-y game workload — move gold between player
+accounts — expressed as durable units of work so E20 can measure what
+the paper's "scripts need transactional properties" claim costs:
+commit throughput vs. WAL batch size, and optimistic CAS conflict
+rates when account popularity is Zipf-skewed (everyone trades with the
+market hub) versus uniform.
+
+Conservation is the built-in correctness oracle: every transfer is
+zero-sum, so ``total_gold()`` must equal ``accounts * starting_gold``
+after any interleaving, any crash, any failover — or the tier lost or
+double-applied a unit of work.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.durable.store import DurableStore
+from repro.durable.uow import SqlUnitOfWork, run_unit
+from repro.errors import ConflictError
+from repro.workloads.players import zipf_choice
+
+
+@dataclass(frozen=True)
+class LedgerConfig:
+    """Shape of the ledger population and its contention."""
+
+    accounts: int = 64
+    theta: float = 0.8  # Zipf skew; 0 = uniform
+    seed: int = 7
+    starting_gold: int = 100
+    amount: int = 1
+    emit_events: bool = True
+
+
+class LedgerWorkload:
+    """Drives Zipf-skewed transfers through one :class:`DurableStore`."""
+
+    def __init__(self, store: DurableStore, config: LedgerConfig | None = None):
+        self.store = store
+        self.config = config or LedgerConfig()
+        self.rng = random.Random(self.config.seed)
+        self.transfers = 0
+        self.committed = 0
+        self.attempts = 0
+        self.conflicts = 0
+
+    # -- population ----------------------------------------------------------------
+
+    def setup(self, tick: int = 0) -> int:
+        """Create every account row (one unit of work); returns count."""
+        cfg = self.config
+
+        def seed_accounts(uow: SqlUnitOfWork) -> None:
+            for account in range(1, cfg.accounts + 1):
+                uow.put(account, {"gold": cfg.starting_gold})
+
+        run_unit(self.store, seed_accounts, tick=tick)
+        return cfg.accounts
+
+    def total_gold(self) -> int:
+        """The conservation oracle: must never drift from the seed total."""
+        total = 0
+        for account in range(1, self.config.accounts + 1):
+            state, _version = self.store.read_entity(account)
+            total += 0 if state is None else state["gold"]
+        return total
+
+    # -- one transfer --------------------------------------------------------------
+
+    def pick_pair(self) -> tuple[int, int]:
+        """Draw a (src, dst) pair under the configured skew."""
+        cfg = self.config
+        src = 1 + zipf_choice(self.rng, cfg.accounts, cfg.theta)
+        dst = 1 + zipf_choice(self.rng, cfg.accounts, cfg.theta)
+        while dst == src:
+            dst = 1 + zipf_choice(self.rng, cfg.accounts, cfg.theta)
+        return src, dst
+
+    def stage_transfer(
+        self, uow: SqlUnitOfWork, src: int, dst: int, n: int
+    ) -> None:
+        """Stage one zero-sum transfer (and its outbox event) on ``uow``."""
+        amount = self.config.amount
+        src_state = uow.get(src) or {"gold": 0}
+        dst_state = uow.get(dst) or {"gold": 0}
+        uow.put(src, {"gold": src_state["gold"] - amount})
+        uow.put(dst, {"gold": dst_state["gold"] + amount})
+        if self.config.emit_events:
+            uow.emit(
+                "transfer", entity=src, key=f"t{n}",
+                dst=dst, amount=amount,
+            )
+
+    # -- drivers -------------------------------------------------------------------
+
+    def run(self, ops: int, tick: int = 0, retries: int = 8) -> dict[str, int]:
+        """Sequential transfers (no interleaving — throughput shape)."""
+        before = self.store.conflicts
+        for _ in range(ops):
+            self.transfers += 1
+            n = self.transfers
+            src, dst = self.pick_pair()
+            run_unit(
+                self.store,
+                lambda uow: self.stage_transfer(uow, src, dst, n),
+                tick=tick,
+                retries=retries,
+            )
+            self.committed += 1
+        self.conflicts += self.store.conflicts - before
+        return self.snapshot()
+
+    def run_interleaved(
+        self, rounds: int, workers: int = 4, tick: int = 0, retries: int = 8
+    ) -> dict[str, int]:
+        """Optimistic workers racing: the CAS conflict-rate shape.
+
+        Each round opens ``workers`` units that all *read first* (the
+        optimistic snapshot), then commits them in order — exactly the
+        interleaving CAS exists to catch.  Losers retry fresh, so every
+        transfer still lands; what varies with skew is how often the
+        first attempt collides.
+        """
+        for _ in range(rounds):
+            staged: list[tuple[SqlUnitOfWork, int, int, int]] = []
+            for _w in range(workers):
+                self.transfers += 1
+                n = self.transfers
+                src, dst = self.pick_pair()
+                uow = SqlUnitOfWork(self.store, tick=tick)
+                self.stage_transfer(uow, src, dst, n)
+                staged.append((uow, src, dst, n))
+            for uow, src, dst, n in staged:
+                self.attempts += 1
+                try:
+                    uow.commit()
+                    self.committed += 1
+                except ConflictError:
+                    self.conflicts += 1
+                    run_unit(
+                        self.store,
+                        lambda u: self.stage_transfer(u, src, dst, n),
+                        tick=tick,
+                        retries=retries,
+                    )
+                    self.committed += 1
+        return self.snapshot()
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters so far (rate math happens in the bench harness)."""
+        return {
+            "transfers": self.transfers,
+            "committed": self.committed,
+            "attempts": self.attempts,
+            "conflicts": self.conflicts,
+        }

@@ -81,8 +81,8 @@ class TestWorldSetColumn:
         world.index_manager("Position").attach_spatial(UniformGrid(5.0))
         ids = [world.spawn(Position={"x": float(i), "y": 0.0}) for i in range(5)]
         world.set_column("Position", "x", ids, [100.0 + i for i in range(5)])
-        assert world.query("Position").within(0.0, 0.0, 10.0).ids() == []
-        assert sorted(world.query("Position").within(102.0, 0.0, 3.0).ids()) == sorted(ids)
+        assert world.query("Position").within(0.0, 0.0, 10.0).execute(mode="tuple").ids == []
+        assert sorted(world.query("Position").within(102.0, 0.0, 3.0).execute(mode="tuple").ids) == sorted(ids)
 
     def test_aggregates_stay_exact(self, world):
         view = world.create_aggregate("Health", "sum", "hp")
@@ -139,16 +139,16 @@ class TestAdvisorPlannerIntegration:
         for i in range(10):
             world.spawn(Health={"hp": i})
         for _ in range(12):
-            world.query("Health").where("Health", F.hp < 5).ids()
+            world.query("Health").where("Health", F.hp < 5).execute(mode="tuple").ids
         recs = world.index_advisor.recommend()
         assert ("Health", "hp") in [(c, f) for c, f, _n in recs]
 
     def test_after_building_index_no_more_misses(self, world):
         for i in range(10):
             world.spawn(Health={"hp": i})
-        world.query("Health").where("Health", F.hp < 5).ids()
+        world.query("Health").where("Health", F.hp < 5).execute(mode="tuple").ids
         missed_before = world.index_advisor.stats()["missed_total"]
         world.index_manager("Health").create_sorted_index("hp")
-        world.query("Health").where("Health", F.hp < 5).ids()
+        world.query("Health").where("Health", F.hp < 5).execute(mode="tuple").ids
         assert world.index_advisor.stats()["missed_total"] == missed_before
         assert world.index_advisor.stats()["served_total"] > 0

@@ -94,8 +94,8 @@ class TestQueryEquivalence:
         nonempty = 0
         for i in range(60):
             q = _random_query(world, rng)
-            scalar = q.ids()
-            batched = q.ids_batch()
+            scalar = q.execute(mode="tuple").ids
+            batched = q.execute(mode="batch").ids
             assert scalar == batched, f"divergence on query {i}"
             nonempty += bool(scalar)
         assert nonempty > 10  # the workload must actually select things
@@ -112,13 +112,13 @@ class TestQueryEquivalence:
             if i == 30:
                 manager.drop_index("hp")
             q = _random_query(world, rng)
-            assert q.ids() == q.ids_batch(), f"divergence on query {i}"
+            assert q.execute(mode="tuple").ids == q.execute(mode="batch").ids, f"divergence on query {i}"
 
     def test_equivalence_across_mutations(self, world):
         rng = random.Random(SEED + 2)
         for i in range(30):
             q = _random_query(world, rng)
-            assert q.ids() == q.ids_batch(), f"divergence on query {i}"
+            assert q.execute(mode="tuple").ids == q.execute(mode="batch").ids, f"divergence on query {i}"
             victim = rng.choice(world.entities())
             if rng.random() < 0.5:
                 world.destroy(victim)
@@ -138,8 +138,8 @@ class TestQueryEquivalence:
         rng = random.Random(SEED + 3)
         for _ in range(20):
             q = _random_query(world, rng)
-            q.ids()
-            q.ids_batch()
+            q.execute(mode="tuple").ids
+            q.execute(mode="batch").ids
         assert world.state_hash() == before
 
     def test_none_values_never_match_comparisons_in_both_paths(self):
@@ -161,6 +161,6 @@ class TestQueryEquivalence:
             Between("v", -999, 999),
         ):
             q = w.query("Opt").where("Opt", pred)
-            assert q.ids() == q.ids_batch()
-            assert None not in q.ids()
-        assert w.query("Opt").where("Opt", Compare("v", "==", 5)).ids() == [a]
+            assert q.execute(mode="tuple").ids == q.execute(mode="batch").ids
+            assert None not in q.execute(mode="tuple").ids
+        assert w.query("Opt").where("Opt", Compare("v", "==", 5)).execute(mode="tuple").ids == [a]

@@ -24,73 +24,73 @@ class TestCacheHits:
     def test_repeated_shape_plans_once(self, world):
         before = world.planner.plans_built
         for _ in range(10):
-            _query(world).ids()
+            _query(world).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 1
         assert world.plan_cache.hits == 9
         assert world.plan_cache.misses == 1
 
     def test_distinct_constants_are_distinct_shapes(self, world):
         before = world.planner.plans_built
-        world.query("Health").where("Health", F.hp < 10).ids()
-        world.query("Health").where("Health", F.hp < 20).ids()
+        world.query("Health").where("Health", F.hp < 10).execute(mode="tuple").ids
+        world.query("Health").where("Health", F.hp < 20).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 2
 
     def test_order_and_limit_are_part_of_the_shape(self, world):
         before = world.planner.plans_built
-        _query(world).ids()
-        _query(world).order_by("Health", "hp").ids()
-        _query(world).order_by("Health", "hp").limit(3).ids()
+        _query(world).execute(mode="tuple").ids
+        _query(world).order_by("Health", "hp").execute(mode="tuple").ids
+        _query(world).order_by("Health", "hp").limit(3).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 3
 
     def test_cached_results_match_fresh(self, world):
         fresh = world.planner.plan(_query(world))
-        cached_ids = _query(world).ids()
+        cached_ids = _query(world).execute(mode="tuple").ids
         assert cached_ids == _query(world)._run_plan(fresh)
 
     def test_fifo_cap_bounds_entries(self, world):
         world.plan_cache.max_entries = 4
         for i in range(20):
-            world.query("Health").where("Health", F.hp < i).ids()
+            world.query("Health").where("Health", F.hp < i).execute(mode="tuple").ids
         assert len(world.plan_cache) <= 4
 
 
 class TestInvalidation:
     def test_insert_evicts(self, world):
-        _query(world).ids()
+        _query(world).execute(mode="tuple").ids
         before = world.planner.plans_built
         newcomer = world.spawn(Health={"hp": 1})
-        ids = _query(world).ids()
+        ids = _query(world).execute(mode="tuple").ids
         assert newcomer in ids
         assert world.planner.plans_built == before + 1
         assert world.plan_cache.invalidations >= 1
 
     def test_delete_evicts(self, world):
-        victim = _query(world).ids()[0]
+        victim = _query(world).execute(mode="tuple").ids[0]
         before = world.planner.plans_built
         world.destroy(victim)
-        assert victim not in _query(world).ids()
+        assert victim not in _query(world).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 1
 
     def test_field_update_does_not_evict(self, world):
-        ids = _query(world).ids()
+        ids = _query(world).execute(mode="tuple").ids
         before = world.planner.plans_built
         world.set(ids[0], "Health", hp=59)  # same bucket, data-only change
-        _query(world).ids()
+        _query(world).execute(mode="tuple").ids
         assert world.planner.plans_built == before
 
     def test_index_create_evicts_and_new_plan_uses_it(self, world):
-        _query(world).ids()
+        _query(world).execute(mode="tuple").ids
         assert "scan" in _query(world).explain()
         world.index_manager("Health").create_sorted_index("hp")
         assert "sorted_range" in _query(world).explain()
 
     def test_index_drop_evicts(self, world):
         world.index_manager("Health").create_sorted_index("hp")
-        result = _query(world).ids()
+        result = _query(world).execute(mode="tuple").ids
         assert "sorted_range" in _query(world).explain()
         world.index_manager("Health").drop_index("hp")
         assert "scan" in _query(world).explain()
-        assert _query(world).ids() == result
+        assert _query(world).execute(mode="tuple").ids == result
 
 
 class TestExplainIdentity:
@@ -107,14 +107,14 @@ class TestUncacheable:
         before = world.planner.plans_built
         pred = Custom(lambda row: row["hp"] % 2 == 0, referenced=frozenset({"hp"}))
         for _ in range(3):
-            world.query("Health").where("Health", pred).ids()
+            world.query("Health").where("Health", pred).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 3
         assert world.plan_cache.uncacheable == 3
 
     def test_spatial_queries_are_cacheable(self, world):
         before = world.planner.plans_built
         for _ in range(5):
-            world.query("Position").within(3.0, 0.0, 5.0).ids()
+            world.query("Position").within(3.0, 0.0, 5.0).execute(mode="tuple").ids
         assert world.planner.plans_built == before + 1
 
 
@@ -143,7 +143,7 @@ class TestFetchRebinding:
         query = _query(world)
         plan = world.planner.plan(query)
         assert plan.access.kind == "sorted_range"
-        expected = set(query.ids())
+        expected = set(query.execute(mode="tuple").ids)
         world.index_manager("Health").drop_index("hp")
         # The stale plan must not silently widen results: the served
         # range predicate is re-applied by the fallback scan.
@@ -155,7 +155,7 @@ class TestFetchRebinding:
         query = world.query("Position").within(5.0, 0.0, 3.0)
         plan = world.planner.plan(query)
         assert plan.access.kind == "spatial"
-        expected = set(query.ids())
+        expected = set(query.execute(mode="tuple").ids)
         # No public spatial drop exists; detach directly to simulate one.
         manager._spatial.clear()
         assert set(plan.access.fetch(world)) == expected
@@ -166,6 +166,6 @@ class TestAdvisorReplay:
         # 12 executions of an unindexed shape must cross the advisor's
         # scan threshold even though only the first one actually plans.
         for _ in range(12):
-            _query(world).ids()
+            _query(world).execute(mode="tuple").ids
         recs = world.index_advisor.recommend()
         assert any(comp == "Health" and fname == "hp" for comp, fname, _ in recs)

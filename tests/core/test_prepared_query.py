@@ -20,14 +20,14 @@ class TestPlanCaching:
     def test_prepared_results_match_adhoc(self, world):
         query = world.query("Health").where("Health", F.hp < 40)
         prepared = query.prepare()
-        assert prepared.ids() == query.ids()
-        assert [r.entity for r in prepared.execute()] == query.ids()
+        assert prepared.execute(mode="tuple").ids == query.execute(mode="tuple").ids
+        assert [r.entity for r in prepared.execute()] == query.execute(mode="tuple").ids
         assert prepared.count() == query.count()
 
     def test_plan_built_once_across_frames(self, world):
         prepared = world.query("Health").where("Health", F.hp < 40).prepare()
         for _ in range(10):
-            prepared.ids()
+            prepared.execute(mode="tuple").ids
         assert prepared.plans_built == 1
 
     def test_adhoc_plans_come_from_plan_cache(self, world):
@@ -35,33 +35,33 @@ class TestPlanCaching:
         # plans a repeated shape once and serves the rest from cache.
         before = world.planner.plans_built
         query = world.query("Health").where("Health", F.hp < 40)
-        first = query.ids()
-        assert query.ids() == first
+        first = query.execute(mode="tuple").ids
+        assert query.execute(mode="tuple").ids == first
         assert world.planner.plans_built == before + 1
         assert world.plan_cache.hits >= 1
 
     def test_data_changes_visible_without_replan(self, world):
         prepared = world.query("Health").where("Health", F.hp < 40).prepare()
-        before = set(prepared.ids())
+        before = set(prepared.execute(mode="tuple").ids)
         newcomer = world.spawn(Health={"hp": 1})
-        after = set(prepared.ids())
+        after = set(prepared.execute(mode="tuple").ids)
         assert after == before | {newcomer}
         assert prepared.plans_built == 1
 
     def test_catalog_change_triggers_replan(self, world):
         prepared = world.query("Health").where("Health", F.hp < 40).prepare()
         assert "scan" in prepared.explain()
-        result_before = prepared.ids()
+        result_before = prepared.execute(mode="tuple").ids
         world.index_manager("Health").create_sorted_index("hp")
-        assert prepared.ids() == result_before
+        assert prepared.execute(mode="tuple").ids == result_before
         assert prepared.plans_built >= 2
         assert "sorted_range" in prepared.explain()
 
     def test_spatial_catalog_change(self, world):
         prepared = world.query("Position").within(0, 0, 3.0).prepare()
-        before = prepared.ids()
+        before = prepared.execute(mode="tuple").ids
         world.index_manager("Position").attach_spatial(UniformGrid(3.0))
-        assert prepared.ids() == before
+        assert prepared.execute(mode="tuple").ids == before
         assert "spatial" in prepared.explain()
 
     def test_drop_index_triggers_replan(self, world):

@@ -27,12 +27,12 @@ def world():
 
 class TestQueryBasics:
     def test_scan_query(self, world):
-        ids = world.query("Health").where("Health", F.hp < 25).ids()
+        ids = world.query("Health").where("Health", F.hp < 25).execute(mode="tuple").ids
         assert len(ids) == 5
 
     def test_join_requires_both(self, world):
         lonely = world.spawn(Health={"hp": 1})
-        ids = world.query("Health").join("Position").ids()
+        ids = world.query("Health").join("Position").execute(mode="tuple").ids
         assert lonely not in ids
         assert len(ids) == 20
 
@@ -81,8 +81,8 @@ class TestQueryBasics:
         assert len(list(q)) == 2
 
     def test_deterministic_order_without_order_by(self, world):
-        a = world.query("Health").ids()
-        b = world.query("Health").ids()
+        a = world.query("Health").execute(mode="tuple").ids
+        b = world.query("Health").execute(mode="tuple").ids
         assert a == b == sorted(a)
 
     def test_within_requires_nonnegative_radius(self, world):
@@ -90,9 +90,9 @@ class TestQueryBasics:
             world.query("Position").within(0, 0, -1)
 
     def test_within_without_spatial_index_falls_back(self, world):
-        ids = world.query("Position").within(0.0, 0.0, 2.5).ids()
+        ids = world.query("Position").within(0.0, 0.0, 2.5).execute(mode="tuple").ids
         assert sorted(ids) == sorted(
-            world.query("Position").where("Position", F.x <= 2.5).ids()
+            world.query("Position").where("Position", F.x <= 2.5).execute(mode="tuple").ids
         )
 
 
@@ -128,9 +128,9 @@ class TestPlannerChoices:
         assert "hash_eq(Faction.name" in plan
 
     def test_index_and_scan_agree(self, world):
-        before = world.query("Health").where("Health", F.hp < 33).ids()
+        before = world.query("Health").where("Health", F.hp < 33).execute(mode="tuple").ids
         world.index_manager("Health").create_sorted_index("hp")
-        after = world.query("Health").where("Health", F.hp < 33).ids()
+        after = world.query("Health").where("Health", F.hp < 33).execute(mode="tuple").ids
         assert before == after
 
     def test_residual_applied_on_index_path(self, world):
@@ -140,16 +140,16 @@ class TestPlannerChoices:
             .join("Faction")
             .where("Faction", F.name == "orc")
             .where("Health", F.hp > 50)
-            .ids()
+            .execute(mode="tuple").ids
         )
         for eid in ids:
             assert world.get_field(eid, "Faction", "name") == "orc"
             assert world.get_field(eid, "Health", "hp") > 50
 
     def test_spatial_index_query_agrees_with_fallback(self, world):
-        expected = world.query("Position").within(3.0, 0.0, 4.0).ids()
+        expected = world.query("Position").within(3.0, 0.0, 4.0).execute(mode="tuple").ids
         world.index_manager("Position").attach_spatial(UniformGrid(4.0))
-        got = world.query("Position").within(3.0, 0.0, 4.0).ids()
+        got = world.query("Position").within(3.0, 0.0, 4.0).execute(mode="tuple").ids
         assert got == expected
 
     def test_is_in_uses_hash(self, world):
@@ -163,8 +163,8 @@ class TestNearest:
     def test_nearest_fallback(self, world):
         hits = world.nearest("Position", 4.2, 0.0, 2)
         assert [h[0] for h in hits] == [
-            world.query("Position").where("Position", F.x == 4.0).ids()[0],
-            world.query("Position").where("Position", F.x == 5.0).ids()[0],
+            world.query("Position").where("Position", F.x == 4.0).execute(mode="tuple").ids[0],
+            world.query("Position").where("Position", F.x == 5.0).execute(mode="tuple").ids[0],
         ]
 
     def test_nearest_with_index_matches_fallback(self, world):
@@ -189,6 +189,6 @@ def test_indexed_query_equals_bruteforce(hps, threshold):
     w.register_component(schema("Health", hp=("int", 100)))
     ids = [w.spawn(Health={"hp": hp}) for hp in hps]
     w.index_manager("Health").create_sorted_index("hp")
-    got = w.query("Health").where("Health", F.hp < threshold).ids()
+    got = w.query("Health").where("Health", F.hp < threshold).execute(mode="tuple").ids
     expected = sorted(e for e, hp in zip(ids, hps) if hp < threshold)
     assert got == expected

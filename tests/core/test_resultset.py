@@ -1,10 +1,10 @@
 """The unified query entry point: ``Query.execute`` and ``ResultSet``.
 
 Covers the API-façade contract: all three execution modes return the
-same entities, the deprecated ``ids()``/``ids_batch()`` shims warn but
-stay equivalent, and the plan cache observes exactly one lookup per
-``execute`` call — including when auto-mode falls back from batch to
-tuple execution (the double-count regression).
+same entities, the old ``ids()``/``ids_batch()`` shims are gone for
+good, and the plan cache observes exactly one lookup per ``execute``
+call — including when auto-mode falls back from batch to tuple
+execution (the double-count regression).
 """
 
 import pytest
@@ -72,32 +72,19 @@ class TestExecuteModes:
         assert prepared.execute().ids == prepared.execute(mode="batch").ids
 
 
-class TestDeprecatedShims:
-    def test_ids_warns_and_matches(self):
-        world = make_world()
-        expected = world.query("Health").where("Health", F.hp < 40).execute().ids
-        with pytest.warns(DeprecationWarning, match="Query.ids"):
-            got = world.query("Health").where("Health", F.hp < 40).ids()
-        assert got == expected
+class TestShimsRemoved:
+    """The deprecated entry points are gone, not silently different."""
 
-    def test_ids_batch_warns_and_matches(self):
-        world = make_world()
-        expected = (
-            world.query("Health")
-            .where("Health", F.hp < 40)
-            .execute(mode="batch")
-            .ids
-        )
-        with pytest.warns(DeprecationWarning, match="ids_batch"):
-            got = world.query("Health").where("Health", F.hp < 40).ids_batch()
-        assert got == expected
+    def test_query_shims_are_gone(self):
+        world = make_world(5)
+        query = world.query("Health")
+        assert not hasattr(query, "ids")
+        assert not hasattr(query, "ids_batch")
 
-    def test_prepared_ids_warns(self):
-        world = make_world()
-        prepared = world.query("Health").where("Health", F.hp < 30).prepare()
-        expected = prepared.execute().ids
-        with pytest.warns(DeprecationWarning):
-            assert prepared.ids() == expected
+    def test_prepared_shim_is_gone(self):
+        world = make_world(5)
+        prepared = world.query("Health").prepare()
+        assert not hasattr(prepared, "ids")
 
 
 class TestSingleObservation:

@@ -1,0 +1,140 @@
+"""Failover: promote-then-replay-outbox and the acked-loss ledger.
+
+Extends E15's loss accounting to the durable tier: under semisync, a
+primary crash must lose **zero** acknowledged state changes and zero
+acknowledged outbox events — the kill-primary-under-load acceptance
+test lives here (and the cluster-integrated variant below it).
+"""
+
+import pytest
+
+from repro.durable import (
+    ACK_ASYNC,
+    DurableGroup,
+    DurableTier,
+    RecordingSink,
+)
+from repro.errors import DurableError
+
+
+def transfer(uow, n, src=1, dst=2, amount=1):
+    a = uow.get(src) or {"gold": 100}
+    b = uow.get(dst) or {"gold": 100}
+    uow.put(src, {"gold": a["gold"] - amount})
+    uow.put(dst, {"gold": b["gold"] + amount})
+    uow.emit("transfer", entity=src, key=f"t{n}", amount=amount)
+
+
+class TestGroupBasics:
+    def test_semisync_ships_inside_commit(self):
+        group = DurableGroup(standbys=2)
+        group.run(lambda u: transfer(u, 1))
+        for standby in group.standbys:
+            assert standby.wal.flushed_lsn == group.primary.wal.flushed_lsn
+            assert standby.read_entity(1) == group.primary.read_entity(1)
+
+    def test_async_ships_on_cadence_only(self):
+        group = DurableGroup(standbys=1, ack_mode=ACK_ASYNC)
+        group.run(lambda u: transfer(u, 1))
+        assert group.standbys[0].wal.flushed_lsn == 0
+        group.ship()
+        assert (
+            group.standbys[0].wal.flushed_lsn
+            == group.primary.wal.flushed_lsn
+        )
+
+    def test_dead_primary_refuses_writes(self):
+        group = DurableGroup()
+        group.kill_primary()
+        with pytest.raises(DurableError):
+            group.run(lambda u: transfer(u, 1))
+
+    def test_promote_requires_dead_primary(self):
+        with pytest.raises(DurableError):
+            DurableGroup().promote()
+
+
+class TestKillPrimaryUnderLoad:
+    def test_semisync_zero_acked_loss(self):
+        """The acceptance bar: promotion + outbox replay loses nothing."""
+        group = DurableGroup(standbys=2)
+        sink = RecordingSink()
+        for n in range(40):
+            group.run(lambda u, n=n: transfer(u, n))
+        group.kill_primary()
+        group.promote(sink=sink)
+        acc = group.loss_accounting(set(sink.counts))
+        assert acc.acked_commits == 40
+        assert acc.acked_events == 40
+        assert acc.zero_acked_loss
+        # Conservation survives the promotion too.
+        assert group.primary.read_entity(1)[0]["gold"] == 100 - 40
+        assert group.primary.read_entity(2)[0]["gold"] == 100 + 40
+
+    def test_async_documents_its_loss_window(self):
+        group = DurableGroup(standbys=1, ack_mode=ACK_ASYNC)
+        sink = RecordingSink()
+        for n in range(10):
+            group.run(lambda u, n=n: transfer(u, n))
+        group.ship()
+        for n in range(10, 15):
+            group.run(lambda u, n=n: transfer(u, n))  # acked, unshipped
+        group.kill_primary()
+        group.promote(sink=sink)
+        acc = group.loss_accounting(set(sink.counts))
+        assert acc.commits_lost == 5
+        assert acc.events_lost == 5
+        assert not acc.zero_acked_loss
+
+    def test_unflushed_tail_was_never_acked(self):
+        """What dies in the buffer was never acknowledged — no lie told."""
+        group = DurableGroup(standbys=1, group_commit=8)
+        group.run(lambda u: transfer(u, 1))
+        lost = group.kill_primary()
+        # Commits flush inside append_commit, so nothing can be pending.
+        assert lost == 0
+
+    def test_second_failover_also_clean(self):
+        group = DurableGroup(standbys=2)
+        sink = RecordingSink()
+        for n in range(10):
+            group.run(lambda u, n=n: transfer(u, n))
+        group.kill_primary()
+        group.promote(sink=sink)
+        for n in range(10, 20):
+            group.run(lambda u, n=n: transfer(u, n))
+        group.kill_primary()
+        group.promote(sink=sink)
+        acc = group.loss_accounting(set(sink.counts))
+        assert acc.acked_commits == 20
+        assert acc.zero_acked_loss
+
+
+class TestClusterIntegration:
+    def _build(self):
+        from repro.net.faults import FaultInjector
+        from tests.replication.conftest import build_replicated
+
+        injector = FaultInjector().crash("shard:0", at_tick=6)
+        coordinator, _cfg, _entities = build_replicated(
+            injector=injector, heartbeat_timeout=3
+        )
+        return coordinator
+
+    def test_failover_hook_replays_outbox(self):
+        coordinator = self._build()
+        sink = RecordingSink()
+        tier = DurableTier(coordinator, sink, standbys=1)
+        group = tier.group(0)
+        for n in range(8):
+            group.run(lambda u, n=n: transfer(u, n))
+        for _ in range(14):
+            coordinator.tick()
+        assert len(coordinator.failovers) == 1
+        # The hook ran the durable drill for the crashed shard...
+        assert [shard for shard, _ in tier.reports] == [0]
+        assert group.promotions == 1
+        # ...and every acked event was redelivered through the sink.
+        acc = group.loss_accounting(set(sink.counts))
+        assert acc.zero_acked_loss
+        assert sink.unique == 8

@@ -71,7 +71,7 @@ class TestContentToWorld:
         content.templates.instantiate(
             world, "orc", overrides={"Position": {"x": 90.0, "y": 90.0}}
         )
-        hits = world.query("Position").within(0, 0, 5).ids()
+        hits = world.query("Position").within(0, 0, 5).execute(mode="tuple").ids
         assert hits == [near]
 
 

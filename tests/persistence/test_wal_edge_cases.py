@@ -80,6 +80,45 @@ class TestMidFileCorruption:
         assert [r.payload["i"] for r in wal.records()] == [0, 1]
 
 
+class TestStrictRecovery:
+    """``records(strict=True)``: corruption becomes a typed error."""
+
+    def test_strict_scan_raises_with_offset_and_last_good(self):
+        from repro.errors import WalCorruptionError
+
+        wal = WriteAheadLog()
+        for i in range(10):
+            wal.append({"i": i})
+        wal.corrupt_at(4)
+        with pytest.raises(WalCorruptionError) as exc:
+            list(wal.records(strict=True))
+        assert exc.value.offset == 4
+        assert exc.value.last_good_lsn == 4  # LSNs are 1-based
+        assert wal.corruption_detected
+
+    def test_strict_error_is_still_a_walerror(self):
+        from repro.errors import WalCorruptionError
+
+        wal = WriteAheadLog()
+        wal.append({"i": 0})
+        wal.append({"i": 1})
+        wal.corrupt_tail()
+        with pytest.raises(WALError):  # callers on the old contract hold
+            list(wal.records(strict=True))
+        with pytest.raises(WalCorruptionError) as exc:
+            list(wal.records(strict=True))
+        assert exc.value.offset == 1
+        assert exc.value.last_good_lsn == 1
+
+    def test_strict_scan_of_clean_log_yields_everything(self):
+        wal = WriteAheadLog()
+        for i in range(5):
+            wal.append({"i": i})
+        recs = list(wal.records(strict=True))
+        assert [r.payload["i"] for r in recs] == [0, 1, 2, 3, 4]
+        assert not wal.corruption_detected
+
+
 class TestGroupCommitTailLoss:
     def test_crash_loses_exactly_the_unflushed_group(self):
         """With group_commit=4, a crash after 10 appends loses the two

@@ -112,7 +112,7 @@ class TestRecoverWorld:
         from repro.core import F
 
         eid = recovered.spawn(Health={"hp": 3})
-        assert recovered.query("Health").where("Health", F.hp < 5).ids() == [eid]
+        assert recovered.query("Health").where("Health", F.hp < 5).execute(mode="tuple").ids == [eid]
 
     def test_entity_ids_preserved_exactly(self):
         world = make_world()

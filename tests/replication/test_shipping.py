@@ -48,7 +48,7 @@ class TestSteadyState:
         run_workload(cluster, cfg, 10)
         host = cluster.shards[0]
         expected = sorted(
-            host.world.query("Position").within(100.0, 100.0, 300.0).ids()
+            host.world.query("Position").within(100.0, 100.0, 300.0).execute(mode="tuple").ids
         )
         cluster.tick()
         rep = cluster.replicas[0][0]

@@ -276,7 +276,7 @@ class TestWorldAccess:
         eid = world.spawn(Health={"hp": 90})
         interp = Interpreter(world, build_stdlib(world))
         interp.run(CompiledScript("me.hp = 5"), {"me": interp.proxy(eid)})
-        assert world.query("Health").where("Health", F.hp < 10).ids() == [eid]
+        assert world.query("Health").where("Health", F.hp < 10).execute(mode="tuple").ids == [eid]
 
     def test_stdlib_entities_and_count(self, world):
         for i in range(4):
