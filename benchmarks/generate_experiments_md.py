@@ -165,6 +165,18 @@ EXPERIMENTS = [
      "per session and drains to zero lag; semisync failover loses "
      "zero acknowledged commits or events, async exactly its "
      "unshipped window."),
+    ("E21 / Fig 18", "bench_e21_causal_slo",
+     "Operating a live game means answering 'why was this player's "
+     "update slow' across tiers — monitoring must follow one request "
+     "through the whole stack without the instrumentation distorting "
+     "the game (Engineering Challenges).",
+     "Under a ≥1k-client traced swarm, ≥99% of requests close "
+     "ingress-to-delivered-delta with every flow arrow bound in the "
+     "exported trace; the instrumented-but-disabled causal plane sits "
+     "within the ±2% paired-lockstep noise band; a forced SLO breach "
+     "burns the error budget and dumps the flight recorder exactly "
+     "once, with the breaching trace id in the dump reason and the "
+     "offending trace inside a valid Chrome trace document."),
 ]
 
 HEADER = """\

@@ -45,7 +45,14 @@ from repro.net.protocol import (
     TxnVote,
 )
 from repro.net.simnet import LinkConfig, Message, SimNetwork
-from repro.obs import MetricsRegistry, Observability, resolve_obs
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    TraceContext,
+    accept_context,
+    emit_context,
+    resolve_obs,
+)
 
 
 class _TxnRecord:
@@ -61,12 +68,12 @@ class _TxnRecord:
     __slots__ = (
         "txn_id", "spec", "all_keys", "covered", "votes", "local",
         "participants", "finished", "committed", "shard_keys",
-        "writes_by_shard",
+        "writes_by_shard", "ctx",
     )
 
     def __init__(
         self, txn_id: int, spec: TxnSpec, all_keys: set, participants: int,
-        local: bool,
+        local: bool, ctx: TraceContext | None = None,
     ):
         self.txn_id = txn_id
         self.spec = spec
@@ -79,6 +86,7 @@ class _TxnRecord:
         self.committed = False
         self.shard_keys: dict[int, tuple] = {}
         self.writes_by_shard: dict[int, dict] = {}
+        self.ctx = ctx
 
 
 class ClusterCoordinator:
@@ -110,8 +118,10 @@ class ClusterCoordinator:
         self.dt = dt
         # Explicit obs wins, then the session default, then disabled; a
         # cluster without a shared registry gets a private one so that
-        # sequentially-built clusters never merge counters.
-        self.obs = resolve_obs(obs)
+        # sequentially-built clusters never merge counters.  The
+        # coordinator traces in its own "coord" lane; each shard host
+        # forks a further lane from it.
+        self.obs = resolve_obs(obs).lane("coord")
         self.metrics = (
             self.obs.metrics if self.obs.metrics is not None else MetricsRegistry()
         )
@@ -133,9 +143,10 @@ class ClusterCoordinator:
         self.directory: dict[int, int] = {}
         self._allocator = EntityAllocator()
         self._in_flight: dict[int, InFlightHandoff] = {}
+        self._handoff_ctx: dict[int, TraceContext] = {}
         self._txns: dict[int, _TxnRecord] = {}
         self._txn_counter = 0
-        self._pending_specs: list[tuple[int, TxnSpec]] = []
+        self._pending_specs: list[tuple[int, TxnSpec, TraceContext | None]] = []
         self._recent_pairs: set[tuple[int, int]] = set()
         self._prev_positions: dict[int, tuple[float, float]] = {}
         self._prev_tick = 0
@@ -318,8 +329,15 @@ class ClusterCoordinator:
                 out[eid] = (row["x"], row["y"])
         return out
 
-    def migrate(self, entity: int, dst_shard: int) -> bool:
-        """Begin a handoff; returns False when one is already in flight."""
+    def migrate(
+        self, entity: int, dst_shard: int,
+        ctx: TraceContext | None = None,
+    ) -> bool:
+        """Begin a handoff; returns False when one is already in flight.
+
+        ``ctx`` is the causal context of whatever requested the move; it
+        rides the whole command → request → ack → complete chain.
+        """
         if not 0 <= dst_shard < len(self.shards):
             raise ClusterError(f"bad destination shard {dst_shard}")
         if entity in self._in_flight:
@@ -330,19 +348,27 @@ class ClusterCoordinator:
         self._in_flight[entity] = InFlightHandoff(
             entity, src, dst_shard, self.net.now
         )
+        if ctx is not None:
+            self._handoff_ctx[entity] = ctx
         self._send(
             shard_endpoint(src),
             HandoffCommand(entity=entity, dst_shard=dst_shard, tick=self.net.now),
+            ctx=ctx,
         )
         return True
 
     # -- transaction plane --------------------------------------------------------
 
-    def submit(self, spec: TxnSpec) -> int:
-        """Queue a transaction; it is dispatched on the next tick."""
+    def submit(self, spec: TxnSpec, ctx: TraceContext | None = None) -> int:
+        """Queue a transaction; it is dispatched on the next tick.
+
+        ``ctx`` (optional) is the causal context of the request that
+        produced the transaction — it rides the prepare and decision
+        messages so the 2PC rounds join the request's trace.
+        """
         self._txn_counter += 1
         txn_id = self._txn_counter
-        self._pending_specs.append((txn_id, spec))
+        self._pending_specs.append((txn_id, spec, ctx))
         return txn_id
 
     def txn_outcome(self, txn_id: int) -> bool | None:
@@ -353,11 +379,13 @@ class ClusterCoordinator:
         return record.committed
 
     def _dispatch_pending(self) -> None:
-        for txn_id, spec in self._pending_specs:
-            self._dispatch(txn_id, spec)
+        for txn_id, spec, ctx in self._pending_specs:
+            self._dispatch(txn_id, spec, ctx)
         self._pending_specs.clear()
 
-    def _dispatch(self, txn_id: int, spec: TxnSpec) -> None:
+    def _dispatch(
+        self, txn_id: int, spec: TxnSpec, ctx: TraceContext | None = None
+    ) -> None:
         by_shard: dict[int, list[tuple[str, Hashable]]] = {}
         for op in spec.ops:
             entity = op.key[0]
@@ -365,7 +393,7 @@ class ClusterCoordinator:
             by_shard.setdefault(shard_id, []).append((op.kind, op.key))
         all_keys = {op.key for op in spec.ops}
         local = len(by_shard) == 1
-        record = _TxnRecord(txn_id, spec, all_keys, len(by_shard), local)
+        record = _TxnRecord(txn_id, spec, all_keys, len(by_shard), local, ctx)
         self._txns[txn_id] = record
         for shard_id in sorted(by_shard):
             keyed_ops = tuple(by_shard[shard_id])
@@ -377,7 +405,7 @@ class ClusterCoordinator:
                 local=local,
                 ops=tuple(spec.ops) if local else (),
             )
-            self._send(shard_endpoint(shard_id), prepare)
+            self._send(shard_endpoint(shard_id), prepare, ctx=ctx)
 
     def _on_vote(self, vote: TxnVote) -> None:
         record = self._txns.get(vote.txn_id)
@@ -400,6 +428,7 @@ class ClusterCoordinator:
                         writes={},
                         tick=self.net.now,
                     ),
+                    ctx=record.ctx,
                 )
             return
         record.votes.append(vote)
@@ -441,6 +470,7 @@ class ClusterCoordinator:
                     writes=slice_writes if commit else {},
                     tick=self.net.now,
                 ),
+                ctx=record.ctx,
             )
         self._finish(record, committed=commit)
 
@@ -487,6 +517,11 @@ class ClusterCoordinator:
     def _on_coord_message(self, msg: Message) -> None:
         """Handle one message delivered to the coordinator endpoint."""
         payload = msg.payload
+        if msg.ctx is not None:
+            accept_context(
+                self.obs.tracer, msg.ctx,
+                name=f"net.{type(payload).__name__}",
+            )
         if isinstance(payload, TxnVote):
             self._on_vote(payload)
         elif isinstance(payload, HandoffAck):
@@ -610,6 +645,7 @@ class ClusterCoordinator:
         self._send(
             shard_endpoint(ack.src_shard),
             HandoffComplete(entity=ack.entity, tick=self.net.now),
+            ctx=self._handoff_ctx.pop(ack.entity, None),
         )
 
     # -- repartitioning -----------------------------------------------------------
@@ -650,8 +686,15 @@ class ClusterCoordinator:
 
     # -- observability ------------------------------------------------------------
 
-    def _send(self, dst: str, payload: Any) -> None:
-        self.net.send(COORD_ENDPOINT, dst, payload, payload.wire_size())
+    def _send(
+        self, dst: str, payload: Any, ctx: TraceContext | None = None
+    ) -> None:
+        tracer = self.obs.tracer
+        if tracer.enabled or ctx is not None:
+            ctx = emit_context(
+                tracer, carry=ctx, name=f"net.{type(payload).__name__}"
+            )
+        self.net.send(COORD_ENDPOINT, dst, payload, payload.wire_size(), ctx)
 
     def migration_stats(self) -> "StatsRow":
         """Handoff/rebalance counters as a :class:`StatsRow` snapshot."""

@@ -34,7 +34,13 @@ from repro.net.protocol import (
     TxnVote,
 )
 from repro.net.simnet import Message, SimNetwork
-from repro.obs import Observability, resolve_obs
+from repro.obs import (
+    Observability,
+    TraceContext,
+    accept_context,
+    emit_context,
+    resolve_obs,
+)
 
 #: Network endpoint name of a shard / the coordinator.
 COORD_ENDPOINT = "coord"
@@ -81,7 +87,9 @@ class ShardHost:
         self.shard_id = shard_id
         self.endpoint = shard_endpoint(shard_id)
         self.net = net
-        self.obs = resolve_obs(obs)
+        # Each shard traces in its own (node, shard) timestamp lane so
+        # merged cluster traces keep per-host timelines apart.
+        self.obs = resolve_obs(obs).lane(self.endpoint)
         self.world = GameWorld(dt, obs=self.obs)
         for schema in schemas:
             self.world.register_component(schema)
@@ -89,7 +97,7 @@ class ShardHost:
         self.forwarding = ForwardingTable()
         self.participant = TwoPhaseParticipant(_WorldStore(self.world))
         self.stats = ShardStats(shard_id, registry=net.metrics)
-        self._deferred_handoffs: list[HandoffCommand] = []
+        self._deferred_handoffs: list[tuple[HandoffCommand, TraceContext | None]] = []
         self._retained_evictions: dict[int, HandoffRequest] = {}
         net.add_endpoint(self.endpoint)
 
@@ -127,26 +135,45 @@ class ShardHost:
 
     # -- message plane ------------------------------------------------------------
 
-    def send(self, dst: str, payload: Any, size: int | None = None) -> None:
-        """Send one protocol message, billing wire size and counters."""
+    def send(
+        self, dst: str, payload: Any, size: int | None = None,
+        ctx: TraceContext | None = None,
+    ) -> None:
+        """Send one protocol message, billing wire size and counters.
+
+        ``ctx`` continues a causal trace across the hop (a fresh flow
+        arrow is opened in this shard's lane; the carried trace_id
+        propagates even with tracing off).
+        """
         size = size if size is not None else payload.wire_size()
-        self.net.send(self.endpoint, dst, payload, size)
+        tracer = self.obs.tracer
+        if tracer.enabled or ctx is not None:
+            ctx = emit_context(
+                tracer, carry=ctx, name=f"net.{type(payload).__name__}"
+            )
+        self.net.send(self.endpoint, dst, payload, size, ctx)
         self.stats.cross_shard_messages += 1
 
     def process_inbox(self, messages: Iterable[Message]) -> None:
         """Handle this tick's delivered protocol messages in order."""
         for msg in messages:
             payload = msg.payload
+            ctx = msg.ctx
+            if ctx is not None:
+                accept_context(
+                    self.obs.tracer, ctx,
+                    name=f"net.{type(payload).__name__}",
+                )
             if isinstance(payload, HandoffCommand):
-                self._on_handoff_command(payload)
+                self._on_handoff_command(payload, ctx)
             elif isinstance(payload, HandoffRequest):
-                self._on_handoff_request(payload)
+                self._on_handoff_request(payload, ctx)
             elif isinstance(payload, HandoffComplete):
                 self._retained_evictions.pop(payload.entity, None)
             elif isinstance(payload, HandoffResend):
-                self._on_handoff_resend(payload)
+                self._on_handoff_resend(payload, ctx)
             elif isinstance(payload, TxnPrepare):
-                self._on_prepare(payload)
+                self._on_prepare(payload, ctx)
             elif isinstance(payload, TxnDecision):
                 self._on_decision(payload)
             else:
@@ -173,18 +200,21 @@ class ShardHost:
 
     def _retry_deferred_handoffs(self) -> None:
         deferred, self._deferred_handoffs = self._deferred_handoffs, []
-        for cmd in deferred:
-            self._on_handoff_command(cmd)
+        for cmd, ctx in deferred:
+            self._on_handoff_command(cmd, ctx)
 
-    def _on_handoff_command(self, cmd: HandoffCommand) -> None:
+    def _on_handoff_command(
+        self, cmd: HandoffCommand, ctx: TraceContext | None = None
+    ) -> None:
         """Coordinator told us to hand an entity to another shard.
 
         Eviction waits while a prepared transaction holds locks on the
         entity — shipping the state away would orphan the commit — and
         retries on the next tick, after decisions have been processed.
+        The causal context survives the deferral and rides the request.
         """
         if self._entity_lock_held(cmd.entity):
-            self._deferred_handoffs.append(cmd)
+            self._deferred_handoffs.append((cmd, ctx))
             return
         components = self.evict_entity(cmd.entity, cmd.dst_shard)
         self.stats.migrations_out += 1
@@ -199,9 +229,11 @@ class ShardHost:
         # is durable (HandoffComplete); a crash of the destination while
         # the request is in flight can then be repaired by re-sending.
         self._retained_evictions[cmd.entity] = request
-        self.send(shard_endpoint(cmd.dst_shard), request)
+        self.send(shard_endpoint(cmd.dst_shard), request, ctx=ctx)
 
-    def _on_handoff_resend(self, cmd: HandoffResend) -> None:
+    def _on_handoff_resend(
+        self, cmd: HandoffResend, ctx: TraceContext | None = None
+    ) -> None:
         """Failover repair: re-ship a retained eviction to the new owner."""
         retained = self._retained_evictions.get(cmd.entity)
         if retained is None:
@@ -217,16 +249,26 @@ class ShardHost:
             tick=self.net.now,
         )
         self._retained_evictions[cmd.entity] = request
-        self.send(shard_endpoint(cmd.dst_shard), request)
+        self.send(shard_endpoint(cmd.dst_shard), request, ctx=ctx)
 
     @property
     def retained_evictions(self) -> int:
         """Eviction payloads held until the coordinator confirms them."""
         return len(self._retained_evictions)
 
-    def _on_handoff_request(self, req: HandoffRequest) -> None:
+    def _on_handoff_request(
+        self, req: HandoffRequest, ctx: TraceContext | None = None
+    ) -> None:
         """A peer shipped us an entity: install it and tell the coordinator."""
-        self.install_entity(req.entity, req.components)
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            with tracer.span(
+                "handoff.install", cat="cluster",
+                entity=req.entity, src=req.src_shard,
+            ):
+                self.install_entity(req.entity, req.components)
+        else:
+            self.install_entity(req.entity, req.components)
         self.stats.migrations_in += 1
         self.send(
             COORD_ENDPOINT,
@@ -236,6 +278,7 @@ class ShardHost:
                 dst_shard=self.shard_id,
                 tick=self.net.now,
             ),
+            ctx=ctx,
         )
 
     # -- two-phase commit participant ---------------------------------------------
@@ -243,48 +286,55 @@ class ShardHost:
     def _entities_of(self, keyed_ops: Iterable[tuple[str, Hashable]]) -> set[int]:
         return {key[0] for _kind, key in keyed_ops}
 
-    def _forward_prepare(self, prepare: TxnPrepare, next_hop: int) -> None:
+    def _forward_prepare(
+        self, prepare: TxnPrepare, next_hop: int,
+        ctx: TraceContext | None = None,
+    ) -> None:
         """In-flight forwarding: the entity moved, chase it."""
         self.forwarding.count_forward()
         self.stats.forwarded_messages += 1
-        self.send(shard_endpoint(next_hop), prepare)
+        self.send(shard_endpoint(next_hop), prepare, ctx=ctx)
 
-    def _on_prepare(self, prepare: TxnPrepare) -> None:
+    def _on_prepare(
+        self, prepare: TxnPrepare, ctx: TraceContext | None = None
+    ) -> None:
         """Phase one: vote, execute locally, or forward to the new owner."""
         tracer = self.obs.tracer
         if not tracer.enabled:
-            self._handle_prepare(prepare)
+            self._handle_prepare(prepare, ctx)
             return
         with tracer.span(
             "2pc.prepare", cat="cluster", txn=prepare.txn_id, shard=self.shard_id
         ):
-            self._handle_prepare(prepare)
+            self._handle_prepare(prepare, ctx)
 
-    def _handle_prepare(self, prepare: TxnPrepare) -> None:
+    def _handle_prepare(
+        self, prepare: TxnPrepare, ctx: TraceContext | None = None
+    ) -> None:
         self.stats.txn_prepares += 1
         entities = self._entities_of(prepare.keyed_ops)
         missing = [e for e in sorted(entities) if e not in self.owned]
         if missing:
             hops = {self.forwarding.next_hop(e) for e in missing}
             if len(hops) == 1 and None not in hops:
-                self._forward_prepare(prepare, hops.pop())
+                self._forward_prepare(prepare, hops.pop(), ctx)
                 return
             # No breadcrumb (or the keys scattered): refuse safely.
             self.stats.txn_aborts_2pc += 1
-            self._vote(prepare, commit=False, reads={})
+            self._vote(prepare, commit=False, reads={}, ctx=ctx)
             return
         if prepare.local:
             ok = self.participant.execute_local(prepare.txn_id, prepare.ops)
             if not ok:
                 self.stats.txn_aborts_2pc += 1
-            self._vote(prepare, commit=ok, reads={}, applied=True)
+            self._vote(prepare, commit=ok, reads={}, applied=True, ctx=ctx)
             return
         reads = self.participant.prepare(prepare.txn_id, prepare.keyed_ops)
         if reads is None:
             self.stats.txn_aborts_2pc += 1
-            self._vote(prepare, commit=False, reads={})
+            self._vote(prepare, commit=False, reads={}, ctx=ctx)
         else:
-            self._vote(prepare, commit=True, reads=reads)
+            self._vote(prepare, commit=True, reads=reads, ctx=ctx)
 
     def _vote(
         self,
@@ -292,6 +342,7 @@ class ShardHost:
         commit: bool,
         reads: Mapping[Hashable, Any],
         applied: bool = False,
+        ctx: TraceContext | None = None,
     ) -> None:
         self.send(
             COORD_ENDPOINT,
@@ -303,6 +354,7 @@ class ShardHost:
                 reads=dict(reads),
                 applied=applied,
             ),
+            ctx=ctx,
         )
 
     def _on_decision(self, decision: TxnDecision) -> None:

@@ -31,6 +31,7 @@ from typing import Any, Callable, Protocol
 from repro.errors import ConflictError, DurableError, RetriesExhaustedError
 from repro.durable.leases import Lease, LeaseTable
 from repro.durable.store import DurableStore
+from repro.obs.causal import TraceContext
 
 
 @dataclass(frozen=True)
@@ -81,6 +82,8 @@ class SqlUnitOfWork:
         tick: int = 0,
         lease: Lease | None = None,
         leases: LeaseTable | None = None,
+        ctx: TraceContext | None = None,
+        tracker: Any = None,
     ):
         if lease is not None and leases is None:
             raise DurableError("a lease-guarded unit needs its LeaseTable")
@@ -88,6 +91,12 @@ class SqlUnitOfWork:
         self.tick = tick
         self.lease = lease
         self.leases = leases
+        # Causal plumbing: `ctx` names the request this unit serves;
+        # `tracker` (a RequestTracker, duck-typed) gets the "commit"
+        # segment stamped and each staged event's dedup key bound, so
+        # the gateway can complete the request when the event lands.
+        self.ctx = ctx
+        self.tracker = tracker
         self._read_versions: dict[int, int] = {}
         self._writes: dict[int, dict[str, Any]] = {}
         self._events: list[_StagedEvent] = []
@@ -135,13 +144,14 @@ class SqlUnitOfWork:
         self._require_open()
         tracer = self.store.obs.tracer
         if tracer.enabled:
-            with tracer.span(
-                "uow.commit",
-                cat="durable",
-                tick=self.tick,
-                writes=len(self._writes),
-                events=len(self._events),
-            ):
+            args: dict[str, Any] = {
+                "tick": self.tick,
+                "writes": len(self._writes),
+                "events": len(self._events),
+            }
+            if self.ctx is not None:
+                args["trace_id"] = self.ctx.trace_id
+            with tracer.span("uow.commit", cat="durable", **args):
                 return self._commit_impl()
         return self._commit_impl()
 
@@ -181,6 +191,10 @@ class SqlUnitOfWork:
             )
         lsn, record = self.store.append_commit(writes, events, self.tick)
         self.store.hit_failpoint("post-wal")
+        if self.tracker is not None and self.ctx is not None:
+            self.tracker.mark(self.ctx.trace_id, "commit", self.tick)
+            for dedup, *_rest in events:
+                self.tracker.bind_event(dedup, self.ctx.trace_id)
         # 4. Apply: project into the serving tables.  A crash between
         #    3 and here is invisible after recovery replay.
         self.store.apply_commit(record)
@@ -205,6 +219,8 @@ def run_unit(
     retries: int = 5,
     lease: Lease | None = None,
     leases: LeaseTable | None = None,
+    ctx: TraceContext | None = None,
+    tracker: Any = None,
 ) -> Any:
     """Run ``fn(uow)`` under bounded optimistic retry.
 
@@ -218,7 +234,9 @@ def run_unit(
         raise DurableError("retries must be >= 1")
     last: ConflictError | None = None
     for _attempt in range(retries):
-        uow = SqlUnitOfWork(store, tick=tick, lease=lease, leases=leases)
+        uow = SqlUnitOfWork(
+            store, tick=tick, lease=lease, leases=leases, ctx=ctx, tracker=tracker
+        )
         try:
             result = fn(uow)
             if not uow._done:

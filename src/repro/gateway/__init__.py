@@ -30,6 +30,8 @@ from repro.gateway.messages import (
     Ping,
     Pong,
     Reject,
+    TelemetryMsg,
+    TelemetrySub,
     Welcome,
 )
 from repro.gateway.server import GatewayServer
@@ -67,6 +69,8 @@ __all__ = [
     "Session",
     "SessionManager",
     "Snapshot",
+    "TelemetryMsg",
+    "TelemetrySub",
     "WorldView",
     "Welcome",
     "default_auth",

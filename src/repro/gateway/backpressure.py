@@ -116,12 +116,18 @@ class SendQueue:
         "config", "transport", "_frames", "_queued_bytes", "_pending",
         "_behind", "behind_ticks", "next_seq", "deltas_sent",
         "deltas_coalesced", "frames_sent", "bytes_sent", "evicted_reason",
+        "_flushed_delta_tick",
     )
 
     def __init__(self, transport: Any, config: BackpressureConfig | None = None):
         self.config = config or BackpressureConfig()
         self.transport = transport
-        self._frames: deque[bytes] = deque()
+        # Each queued frame remembers the delta tick it carries (None
+        # for control messages) so flush can report the newest world
+        # state that actually reached the transport — the causal
+        # tracker's "this delta answers that request" signal.
+        self._frames: deque[tuple[bytes, int | None]] = deque()
+        self._flushed_delta_tick: int | None = None
         self._queued_bytes = 0
         self._pending: _PendingDelta | None = None
         self._behind = False
@@ -158,7 +164,7 @@ class SendQueue:
     def offer(self, msg: Any) -> None:
         """Queue a control message (welcome, pong, goodbye, acks)."""
         data = frame(msg)
-        self._frames.append(data)
+        self._frames.append((data, None))
         self._queued_bytes += len(data)
 
     def offer_delta(self, delta: Delta) -> None:
@@ -182,7 +188,7 @@ class SendQueue:
             self._emit_oversize(delta)
             return
         self.next_seq += 1
-        self._frames.append(data)
+        self._frames.append((data, stamped.tick))
         self._queued_bytes += len(data)
         self.deltas_sent += 1
 
@@ -236,11 +242,16 @@ class SendQueue:
         while self._frames:
             if self.transport.buffered_bytes() >= self.config.drain_watermark:
                 break
-            data = self._frames.popleft()
+            data, delta_tick = self._frames.popleft()
             self._queued_bytes -= len(data)
             self.transport.send(data)
             written += len(data)
             self.frames_sent += 1
+            if delta_tick is not None and (
+                self._flushed_delta_tick is None
+                or delta_tick > self._flushed_delta_tick
+            ):
+                self._flushed_delta_tick = delta_tick
         self.bytes_sent += written
         if self._pending is not None and not self._frames:
             self._refresh_behind()
@@ -249,6 +260,16 @@ class SendQueue:
                 self._emit_delta(pending.to_delta(0))
                 written += self.flush()
         return written
+
+    def take_flushed_delta_tick(self) -> int | None:
+        """Newest delta tick flushed since the last call (then cleared).
+
+        ``None`` means no delta reached the transport — control frames
+        and still-queued deltas do not count.  The gateway core reads
+        this after each per-tick flush to complete pending requests.
+        """
+        tick, self._flushed_delta_tick = self._flushed_delta_tick, None
+        return tick
 
     def note_tick(self) -> str | None:
         """Advance per-tick eviction bookkeeping; returns an evict reason.

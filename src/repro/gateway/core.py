@@ -26,16 +26,47 @@ from typing import Any, Callable
 from repro.errors import GatewayError, NetError
 from repro.gateway.backpressure import BackpressureConfig
 from repro.gateway.framing import FrameDecoder, frame
-from repro.gateway.messages import Delta, EventMsg, Goodbye, Hello, Ping, Pong
+from repro.gateway.messages import (
+    Delta,
+    EventMsg,
+    Goodbye,
+    Hello,
+    Ping,
+    Pong,
+    TelemetryMsg,
+    TelemetrySub,
+)
 from repro.gateway.session import ACTIVE, Session, SessionManager
 from repro.gateway.streams import InterestStream
 from repro.net.protocol import InputCommand
+from repro.obs.causal import RequestTracker
 from repro.obs.hub import Observability, resolve_obs
+from repro.obs.slo import SLOPlane
 
 #: Dedup keys each session remembers before the oldest fall off; a
 #: bound on memory, not on correctness — outbox redelivery bursts are
 #: recent by construction (a failover replays, then the set re-fills).
 EVENT_DEDUP_CAP = 4096
+
+#: The telemetry auth stub's accepted token.  Ops access is a separate
+#: privilege from playing, so it gets its own (pluggable) check.
+DEFAULT_TELEMETRY_TOKEN = "ops"
+
+
+def _sanitize(value: Any) -> Any:
+    """Coerce a stats tree to JSON-safe values for the wire codec.
+
+    Telemetry payloads aggregate arbitrary subsystem stats; anything
+    the codec cannot serialise becomes its ``repr`` instead of taking
+    the ops channel down.
+    """
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
 
 
 @dataclass(frozen=True)
@@ -105,10 +136,13 @@ class GatewayCore:
         avatar_of: Callable[[str], int | None] | None = None,
         on_input: Callable[[Session, InputCommand], Any] | None = None,
         clock: Callable[[], float] | None = None,
+        slo: SLOPlane | None = None,
+        track_requests: bool | None = None,
+        telemetry_auth: Callable[[str], bool] | None = None,
     ):
         self.source = source
         self.config = config or GatewayConfig()
-        self.obs = resolve_obs(obs)
+        self.obs = resolve_obs(obs).lane("gw")
         self.clock = clock or time.perf_counter
         self.on_input = on_input
         self._avatars: dict[str, int] = {}
@@ -149,6 +183,28 @@ class GatewayCore:
         self.expired = 0
         self.evictions: dict[str, int] = {}
         self._stats_name = self.obs.register_stats("gateway", self.stats)
+        # Causal request tracking: on when tracing is live or an SLO
+        # plane is attached (both need per-request accounting); forced
+        # either way with ``track_requests``.
+        self.slo = slo
+        if track_requests is None:
+            track_requests = slo is not None or self.obs.tracer.enabled
+        self.requests: RequestTracker | None = (
+            RequestTracker(self.obs.tracer, slo=slo) if track_requests else None
+        )
+        self.telemetry_auth = telemetry_auth or (
+            lambda token: token == DEFAULT_TELEMETRY_TOKEN
+        )
+        self._telemetry_seq = 0
+        self._extra_stats: list[str] = []
+        if self.requests is not None:
+            self._extra_stats.append(
+                self.obs.register_stats("gateway.requests", self.requests.stats)
+            )
+        if slo is not None:
+            self._extra_stats.append(
+                self.obs.register_stats("gateway.slo", slo.state)
+            )
 
     # -- connection plane ------------------------------------------------------------
 
@@ -198,10 +254,20 @@ class GatewayCore:
             conn.session.queue.flush()
         elif isinstance(msg, InputCommand):
             self.inputs += 1
+            session = conn.session
+            if self.requests is not None:
+                # The request enters the causal plane here: one trace id
+                # per input, parked on the session so the host's
+                # on_input hook can thread it into cluster/durable work.
+                session.last_ctx = self.requests.ingress(
+                    session.sid, self.source.tick_count()
+                )
             if self.on_input is not None:
-                reply = self.on_input(conn.session, msg)
+                reply = self.on_input(session, msg)
                 if reply is not None:
-                    conn.session.queue.offer(reply)
+                    session.queue.offer(reply)
+        elif isinstance(msg, TelemetrySub):
+            self._on_telemetry_sub(conn.session, msg)
         elif isinstance(msg, Goodbye):
             self._close_session(conn.session, "client bye")
         else:
@@ -234,6 +300,36 @@ class GatewayCore:
         """Register the avatar entity a client name maps to."""
         self._avatars[client] = entity_id
 
+    # -- telemetry plane (ops channel) -------------------------------------------------
+
+    def _on_telemetry_sub(self, session: Session, msg: TelemetrySub) -> None:
+        """Handle an ops-channel subscription on an active session."""
+        if not self.telemetry_auth(msg.token):
+            session.queue.offer(Goodbye("telemetry:denied"))
+            session.queue.flush()
+            self._close_session(session, "telemetry:denied")
+            return
+        session.telemetry_interval = max(1, int(msg.interval))
+        # First sample immediately, so the subscriber never waits a
+        # full interval to learn the channel is live.
+        self._push_telemetry(session)
+        session.queue.flush()
+
+    def _telemetry_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"stats": self.obs.collect_stats()}
+        if self.slo is not None:
+            payload["slo"] = self.slo.state()
+        return _sanitize(payload)
+
+    def _push_telemetry(self, session: Session,
+                        payload: dict[str, Any] | None = None) -> None:
+        self._telemetry_seq += 1
+        session.queue.offer(TelemetryMsg(
+            tick=self.source.tick_count(),
+            seq=self._telemetry_seq,
+            payload=payload if payload is not None else self._telemetry_payload(),
+        ))
+
     # -- event plane (durable outbox feed) --------------------------------------------
 
     def publish_event(
@@ -256,6 +352,7 @@ class GatewayCore:
         fact, not a subscription — nothing queues for later).
         """
         dedup = f"{entity}:{event}:{key}"
+        now = self.source.tick_count()
         active = self.sessions.active()
         targets = (
             active if broadcast
@@ -275,7 +372,7 @@ class GatewayCore:
             self._event_seq += 1
             session.queue.offer(
                 EventMsg(
-                    tick=self.source.tick_count(),
+                    tick=now,
                     seq=self._event_seq,
                     entity=entity,
                     event=event,
@@ -285,6 +382,13 @@ class GatewayCore:
             )
             delivered += 1
             self.events_published += 1
+            if self.requests is not None:
+                # The event observably answers the request whose unit of
+                # work emitted it: stamp the outbox segment and complete
+                # it (note_event pops the bind, so an outbox redelivery
+                # of the same dedup key cannot complete it twice).
+                self.requests.mark_dedup(dedup, "outbox", now)
+                self.requests.note_event(dedup, now)
         return delivered
 
     def disconnect(self, cid: int) -> None:
@@ -311,6 +415,8 @@ class GatewayCore:
         self._closed_totals["deltas_sent"] += session.queue.deltas_sent
         self._closed_totals["deltas_coalesced"] += session.queue.deltas_coalesced
         self._closed_totals["updates_suppressed"] += session.stream.updates_suppressed
+        if self.requests is not None:
+            self.requests.drop_session(session.sid, self.source.tick_count())
         self.stream.drop_client(session.stream, session.avatar, session.aoi_radius)
         cid = self._cid_by_sid.pop(session.sid, None)
         if cid is not None:
@@ -339,6 +445,8 @@ class GatewayCore:
         for cid in list(self._conns):
             self.disconnect(cid)
         self.obs.unregister_stats(self._stats_name)
+        for name in self._extra_stats:
+            self.obs.unregister_stats(name)
         self.source.close()
 
     # -- tick plane ------------------------------------------------------------------
@@ -353,8 +461,11 @@ class GatewayCore:
         tracer = self.obs.tracer
         evicted: list[tuple[Session, str]] = []
         flushed = 0
+        now = self.source.tick_count()
         with tracer.span("gateway.tick", cat="gateway") as span:
-            expired = self.sessions.reap_detached(self.source.tick_count())
+            if self.requests is not None:
+                self.requests.on_tick(now)
+            expired = self.sessions.reap_detached(now)
             self.expired += len(expired)
             active = self.sessions.active()
             by_radius: dict[float, list[int]] = {}
@@ -380,11 +491,16 @@ class GatewayCore:
                         flushed += s.queue.flush()
                     except GatewayError:
                         s.queue.evicted_reason = "evicted:error"
+                    if self.requests is not None:
+                        delta_tick = s.queue.take_flushed_delta_tick()
+                        if delta_tick is not None:
+                            self.requests.deliver(s.sid, delta_tick, now)
                     reason = s.queue.note_tick()
                     if reason is not None:
                         evicted.append((s, reason))
             for s, reason in evicted:
                 self.evict(s, reason)
+            self._stream_telemetry(active)
             span.set(clients=len(active), bytes=flushed, evicted=len(evicted))
         self.ticks += 1
         self.bytes_sent += flushed
@@ -396,6 +512,24 @@ class GatewayCore:
             "evicted": len(evicted),
             "ms": elapsed_ms,
         }
+
+    def _stream_telemetry(self, active: list[Session]) -> None:
+        """Push a telemetry sample to every subscriber whose interval is due.
+
+        The payload is built once per tick (stats collection is not
+        free) and only when at least one subscriber is actually due.
+        """
+        due = [
+            s for s in active
+            if s.state == ACTIVE and s.telemetry_interval > 0
+            and self.ticks % s.telemetry_interval == 0
+        ]
+        if not due:
+            return
+        payload = self._telemetry_payload()
+        for s in due:
+            self._push_telemetry(s, payload)
+            s.queue.flush()
 
     def _record_metrics(
         self, active: list[Session], flushed: int, elapsed_ms: float

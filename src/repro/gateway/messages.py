@@ -180,6 +180,42 @@ class EventMsg:
         )
 
 
+@dataclass(frozen=True)
+class TelemetrySub:
+    """Client -> gateway: subscribe this session to the ops channel.
+
+    ``token`` is the telemetry credential (separate from session auth —
+    ops access is a different privilege than playing); a denied token
+    closes the session with ``Goodbye("telemetry:denied")``.
+    ``interval`` is how many gateway ticks between :class:`TelemetryMsg`
+    pushes (clamped to >= 1).
+    """
+
+    token: str = ""
+    interval: int = 10
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + len(self.token) + 8
+
+
+@dataclass(frozen=True)
+class TelemetryMsg:
+    """Gateway -> client: one ops-channel sample.
+
+    ``payload`` carries ``Observability.collect_stats()`` plus the SLO
+    plane's state, sanitised to JSON-safe values.  Streamed every
+    ``interval`` ticks to each subscribed session — the live feed
+    ``examples/ops_console.py`` renders.
+    """
+
+    tick: int
+    seq: int
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16 + len(self.payload) * (VALUE_BYTES + 4)
+
+
 register_message(32, Hello)
 register_message(33, Welcome)
 register_message(34, Reject)
@@ -188,3 +224,5 @@ register_message(36, Ping)
 register_message(37, Pong)
 register_message(38, Delta)
 register_message(39, EventMsg)
+register_message(40, TelemetrySub)
+register_message(41, TelemetryMsg)

@@ -38,7 +38,8 @@ class Session:
     __slots__ = (
         "sid", "client", "resume_token", "avatar", "aoi_radius", "state",
         "transport", "queue", "stream", "connected_tick", "detached_tick",
-        "resumes", "close_reason", "seen_events",
+        "resumes", "close_reason", "seen_events", "last_ctx",
+        "telemetry_interval",
     )
 
     def __init__(
@@ -70,6 +71,13 @@ class Session:
         # Survives resume — a reattached client must not re-see events
         # the outbox redelivers after a failover.
         self.seen_events: dict[str, None] = {}
+        # Causal context of the most recent input this session sent —
+        # the host's on_input hook reads it to thread the request's
+        # trace into cluster/durable work it kicks off.
+        self.last_ctx: Any = None
+        # Ops-channel subscription (0 = not subscribed).  Survives
+        # resume, like the rest of the session.
+        self.telemetry_interval = 0
 
     def attach(self, transport: Any, backpressure: BackpressureConfig) -> None:
         """Reattach a resumed session to a fresh connection.

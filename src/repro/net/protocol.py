@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import NetError
+from repro.obs.causal import TraceContext
 
 #: Fixed per-message envelope cost (headers, framing) in bytes.
 ENVELOPE_BYTES = 16
@@ -28,6 +29,8 @@ ENVELOPE_BYTES = 16
 VALUE_BYTES = 8
 #: Codec version written as the first byte of every encoded message.
 WIRE_VERSION = 1
+#: Reserved type id marking a trace-context wrapper around a message.
+CTX_TYPE_ID = 255
 
 
 @dataclass(frozen=True)
@@ -387,8 +390,15 @@ def _hashable(key: Any) -> Any:
     return key
 
 
-def encode(msg: Any) -> bytes:
-    """Render a registered message as versioned wire bytes."""
+def encode(msg: Any, ctx: TraceContext | None = None) -> bytes:
+    """Render a registered message as versioned wire bytes.
+
+    With a :class:`~repro.obs.causal.TraceContext` the message is
+    wrapped in a context header — type id :data:`CTX_TYPE_ID`, the
+    compact context JSON, a NUL terminator, then the inner encoding.
+    :func:`decode` unwraps transparently; :func:`decode_with_context`
+    hands the context back.
+    """
     type_id = _TYPE_IDS.get(type(msg))
     if type_id is None:
         raise NetError(
@@ -399,7 +409,33 @@ def encode(msg: Any) -> bytes:
         for f in dataclasses.fields(msg)
     }
     payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
-    return bytes((WIRE_VERSION, type_id)) + payload.encode("utf-8")
+    encoded = bytes((WIRE_VERSION, type_id)) + payload.encode("utf-8")
+    if ctx is None:
+        return encoded
+    header = json.dumps(ctx.to_wire(), sort_keys=True,
+                        separators=(",", ":")).encode("utf-8")
+    return bytes((WIRE_VERSION, CTX_TYPE_ID)) + header + b"\x00" + encoded
+
+
+def _unwrap_context(data: bytes) -> tuple[bytes, TraceContext | None]:
+    """Split a context wrapper from wire bytes (pass-through when bare)."""
+    if len(data) < 2 or data[0] != WIRE_VERSION or data[1] != CTX_TYPE_ID:
+        return data, None
+    end = data.find(b"\x00", 2)
+    if end < 0:
+        raise NetError("context wrapper missing its terminator")
+    try:
+        wire = json.loads(data[2:end].decode("utf-8"))
+        if not isinstance(wire, dict):
+            raise ValueError("context header is not an object")
+        ctx = TraceContext.from_wire(wire)
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError,
+            TypeError) as exc:
+        raise NetError(f"corrupt context header: {exc}") from None
+    inner = data[end + 1:]
+    if len(inner) >= 2 and inner[0] == WIRE_VERSION and inner[1] == CTX_TYPE_ID:
+        raise NetError("nested context wrappers are not allowed")
+    return inner, ctx
 
 
 # Scalar annotations the decoder type-checks on the way in.  JSON has a
@@ -424,8 +460,13 @@ def decode(data: bytes) -> Any:
     the message's fields, and scalar fields are type-checked against
     the dataclass annotations.  Callers (the gateway's byte path, the
     cluster transports) treat ``NetError`` as a protocol violation and
-    close the offending connection.
+    close the offending connection.  Context-wrapped messages decode
+    transparently (the context is dropped; use
+    :func:`decode_with_context` to keep it).
     """
+    if len(data) < 2:
+        raise NetError("message truncated before the codec header")
+    data, _ = _unwrap_context(data)
     if len(data) < 2:
         raise NetError("message truncated before the codec header")
     if data[0] != WIRE_VERSION:
@@ -456,6 +497,12 @@ def decode(data: bytes) -> Any:
                 f"is not {f.type}"
             )
     return msg
+
+
+def decode_with_context(data: bytes) -> tuple[Any, TraceContext | None]:
+    """Like :func:`decode`, but also return the trace context (or None)."""
+    inner, ctx = _unwrap_context(data)
+    return decode(inner), ctx
 
 
 def encoded_size(msg: Any) -> int:

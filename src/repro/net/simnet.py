@@ -33,7 +33,12 @@ from repro.obs.metrics import MetricsRegistry, StatView
 
 @dataclass(frozen=True)
 class Message:
-    """One message on the wire."""
+    """One message on the wire.
+
+    ``ctx`` is the optional causal :class:`~repro.obs.causal.TraceContext`
+    riding the message — in-process it travels as the object itself (the
+    socket paths use the ``net.protocol`` context wrapper instead).
+    """
 
     src: str
     dst: str
@@ -42,6 +47,7 @@ class Message:
     sent_tick: int
     deliver_tick: int
     seq: int
+    ctx: Any = None
 
     def __repr__(self) -> str:
         """Stable one-line form for debugging traces.
@@ -205,7 +211,8 @@ class SimNetwork:
     # -- send/receive ----------------------------------------------------------------
 
     def send(
-        self, src: str, dst: str, payload: Any, size_bytes: int | None = 64
+        self, src: str, dst: str, payload: Any, size_bytes: int | None = 64,
+        ctx: Any = None,
     ) -> bool:
         """Send a message; returns False when the link dropped it.
 
@@ -243,16 +250,18 @@ class SimNetwork:
             sent_tick=self.now,
             deliver_tick=deliver,
             seq=self._seq,
+            ctx=ctx,
         )
         heapq.heappush(self._in_flight, (deliver, msg.seq, msg))
         return True
 
     def broadcast(
-        self, src: str, dsts: list[str], payload: Any, size_bytes: int | None = 64
+        self, src: str, dsts: list[str], payload: Any, size_bytes: int | None = 64,
+        ctx: Any = None,
     ) -> int:
         """Send to many endpoints; returns messages actually queued."""
         return sum(
-            1 for dst in dsts if self.send(src, dst, payload, size_bytes)
+            1 for dst in dsts if self.send(src, dst, payload, size_bytes, ctx)
         )
 
     def advance(self, ticks: int = 1) -> int:

@@ -20,10 +20,27 @@ The stack's one coherent way to see where ticks, bytes, and fsyncs go:
 :class:`Observability` bundles the three; runtime constructors accept a
 single ``obs`` parameter and fall back to the session default installed
 by :func:`set_default_observability`.
+
+On top of them, the causal plane: :class:`TraceContext` headers follow
+one request across lanes and processes (:func:`emit_context` /
+:func:`accept_context` at every propagation site), the
+:class:`RequestTracker` decomposes per-request latency at the gateway,
+and the :class:`SLOPlane` holds it to declared objectives — dumping the
+flight recorder with the breaching trace when an error budget burns.
 """
 
+from repro.obs.causal import (
+    RequestTracker,
+    TraceContext,
+    accept_context,
+    emit_context,
+)
 from repro.obs.export import (
     events_from_chrome_trace,
+    flows_from_chrome_trace,
+    match_flows,
+    parse_text,
+    render_text,
     spans_from_chrome_trace,
     to_chrome_trace,
     validate_chrome_trace,
@@ -47,9 +64,11 @@ from repro.obs.metrics import (
     StatsRow,
 )
 from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLObjective, SLOPlane
 from repro.obs.tracer import (
     NOOP_SPAN,
     TICK_STRIDE_US,
+    FlowPoint,
     MemorySink,
     NullSink,
     Span,
@@ -84,4 +103,15 @@ __all__ = [
     "validate_chrome_trace",
     "spans_from_chrome_trace",
     "events_from_chrome_trace",
+    "flows_from_chrome_trace",
+    "match_flows",
+    "render_text",
+    "parse_text",
+    "FlowPoint",
+    "TraceContext",
+    "emit_context",
+    "accept_context",
+    "RequestTracker",
+    "SLObjective",
+    "SLOPlane",
 ]

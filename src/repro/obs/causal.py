@@ -1,0 +1,332 @@
+"""Causal trace context: follow one request across lanes and processes.
+
+The PR 3 tracer answers "what did tick T do on this host"; this module
+answers "why was *this* client's update slow" across the whole
+gateway → cluster → durable → outbox → delivery chain.  Three pieces:
+
+- :class:`TraceContext` — the tiny header stamped on gateway frames at
+  ingress and carried on every :class:`~repro.net.simnet.SimNetwork`
+  message (and, over real sockets, in the ``net.protocol`` context
+  wrapper).  It names the request (``trace_id``), the span that sent
+  the message, the in-flight flow arrow, and the origin tick.
+- :func:`emit_context` / :func:`accept_context` — the sender/receiver
+  halves every propagation site uses.  ``emit_context`` opens a flow
+  arrow in the sender's lane and returns a fresh context carrying the
+  same ``trace_id``; ``accept_context`` closes the arrow in the
+  receiver's lane.  With tracing disabled both collapse to (almost)
+  nothing — the context still rides through so SLO accounting works in
+  metrics-only deployments.
+- :class:`RequestTracker` — the gateway-side ledger that turns raw
+  ingress/delivery observations into per-request latency decomposition
+  (queue / tick / commit / outbox / flush segments), completion
+  accounting for the E21 completeness criterion, and SLO samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.slo import SLOPlane
+    from repro.obs.tracer import Tracer
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The causal header carried across lane and process boundaries.
+
+    Frozen and tiny on purpose: it is copied onto every propagated
+    message.  ``flow_id`` is the in-flight Perfetto arrow (empty when
+    tracing is off); ``span_id`` is the sender-side span for parent
+    linkage; ``origin_tick`` is when the request entered the system.
+    """
+
+    trace_id: str
+    span_id: int = 0
+    flow_id: str = ""
+    origin_tick: int = 0
+
+    def to_wire(self) -> dict[str, Any]:
+        """Compact dict form for the ``net.protocol`` context wrapper."""
+        return {
+            "t": self.trace_id,
+            "s": self.span_id,
+            "f": self.flow_id,
+            "o": self.origin_tick,
+        }
+
+    @classmethod
+    def from_wire(cls, payload: dict[str, Any]) -> "TraceContext":
+        """Rebuild a context from its :meth:`to_wire` form."""
+        return cls(
+            trace_id=str(payload.get("t", "")),
+            span_id=int(payload.get("s", 0)),
+            flow_id=str(payload.get("f", "")),
+            origin_tick=int(payload.get("o", 0)),
+        )
+
+
+def emit_context(
+    tracer: "Tracer",
+    carry: TraceContext | None = None,
+    name: str = "net.send",
+    cat: str = "net",
+) -> TraceContext | None:
+    """Open a flow arrow for an outgoing message; returns its context.
+
+    ``carry`` is the context the message continues (its ``trace_id``
+    propagates); ``None`` starts nothing — an uncontextualised message
+    with tracing off stays uncontextualised.  With tracing disabled the
+    carried context passes through untouched so trace ids still reach
+    the far side for SLO accounting.
+    """
+    if not tracer.enabled:
+        return carry
+    flow_id = tracer.flow_start(name, cat)
+    stack = tracer._stack
+    span_id = stack[-1].span_id if stack else 0
+    if carry is not None:
+        return TraceContext(carry.trace_id, span_id, flow_id,
+                            carry.origin_tick)
+    return TraceContext(f"msg:{flow_id}", span_id, flow_id,
+                        tracer.current_tick)
+
+
+def accept_context(
+    tracer: "Tracer",
+    ctx: TraceContext | None,
+    name: str = "net.recv",
+    cat: str = "net",
+) -> str:
+    """Close an incoming message's flow arrow; returns its ``trace_id``.
+
+    Call where the message is consumed (inside the handling span, so
+    Perfetto binds the arrow to that slice).  Tolerates ``None`` and
+    contexts whose flow was opened by a disabled tracer.
+    """
+    if ctx is None:
+        return ""
+    if tracer.enabled and ctx.flow_id:
+        tracer.flow_finish(ctx.flow_id, name, cat)
+    return ctx.trace_id
+
+
+class _Pending:
+    """One in-flight request in the :class:`RequestTracker` ledger."""
+
+    __slots__ = ("trace_id", "sid", "ingress_tick", "flow_id", "marks",
+                 "ticked_tick")
+
+    def __init__(self, trace_id: str, sid: Any, ingress_tick: int,
+                 flow_id: str):
+        self.trace_id = trace_id
+        self.sid = sid
+        self.ingress_tick = ingress_tick
+        self.flow_id = flow_id
+        self.marks: dict[str, int] = {}
+        self.ticked_tick = -1
+
+
+class RequestTracker:
+    """Per-request latency ledger: ingress → segments → delivered delta.
+
+    The gateway calls :meth:`ingress` when an ``InputCommand`` frame
+    arrives, :meth:`on_tick` every tick, and :meth:`deliver` when a
+    session's send queue flushes a delta whose tick post-dates the
+    request — at which point the request is *complete*: a terminal
+    ``request.delivered`` span is emitted carrying the segment
+    decomposition, the flow arrow closes, and the SLO plane (when
+    attached) records the end-to-end latency.  Cluster/durable layers
+    call :meth:`mark` to stamp commit/outbox segments onto the ledger
+    by trace id.  Event-carried requests bind a dedup key via
+    :meth:`bind_event`; the first delivery completes them and
+    redeliveries are no-ops (the bind is popped).
+
+    Keyed by session id, so resume (same sid, new transport) keeps the
+    pending request alive.  Requests whose session closes before
+    delivery count as *abandoned*, not incomplete — churned clients do
+    not poison the completeness ratio.
+    """
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        slo: "SLOPlane | None" = None,
+        ttl_ticks: int = 64,
+    ):
+        self.tracer = tracer
+        self.slo = slo
+        self.ttl_ticks = ttl_ticks
+        self._pending: dict[Any, list[_Pending]] = {}
+        self._by_trace: dict[str, _Pending] = {}
+        self._event_binds: dict[Any, str] = {}
+        self._serial = 0
+        self.issued = 0
+        self.completed = 0
+        self.abandoned = 0
+        self.expired = 0
+
+    # -- gateway-facing ----------------------------------------------------------
+
+    def ingress(self, sid: Any, tick: int) -> TraceContext:
+        """Record a request entering at the gateway; returns its context."""
+        tracer = self.tracer
+        self._serial += 1
+        trace_id = f"req:{self._serial}"
+        self.issued += 1
+        flow_id = ""
+        span_id = 0
+        if tracer.enabled:
+            with tracer.span("request.ingress", cat="request",
+                             trace_id=trace_id, sid=sid) as span:
+                flow_id = tracer.flow_start("request", "request")
+                span_id = span.span_id
+        pending = _Pending(trace_id, sid, tick, flow_id)
+        self._pending.setdefault(sid, []).append(pending)
+        self._by_trace[trace_id] = pending
+        return TraceContext(trace_id, span_id, flow_id, tick)
+
+    def on_tick(self, tick: int) -> None:
+        """Advance the ledger one tick: stamp queue→tick edges, expire."""
+        expired: list[_Pending] = []
+        for reqs in self._pending.values():
+            for pending in reqs:
+                if pending.ticked_tick < 0 and tick > pending.ingress_tick:
+                    pending.ticked_tick = tick
+                if tick - pending.ingress_tick > self.ttl_ticks:
+                    expired.append(pending)
+        for pending in expired:
+            self._forget(pending)
+            self.expired += 1
+            self.tracer.flow_finish(pending.flow_id, "request.expired",
+                                    "request")
+
+    def mark(self, trace_id: str, segment: str, tick: int) -> None:
+        """Stamp a named segment (``commit``, ``outbox``…) on a request."""
+        pending = self._by_trace.get(trace_id)
+        if pending is not None:
+            pending.marks.setdefault(segment, tick)
+
+    def bind_event(self, dedup: Any, trace_id: str) -> None:
+        """Tie an outbox event's dedup key to the request it answers."""
+        if trace_id in self._by_trace:
+            self._event_binds[dedup] = trace_id
+
+    def mark_dedup(self, dedup: Any, segment: str, tick: int) -> None:
+        """Stamp a segment on the request bound to an event's dedup key.
+
+        The outbox path knows the dedup key, not the trace id — this
+        resolves the bind (without consuming it) and stamps the mark.
+        """
+        trace_id = self._event_binds.get(dedup)
+        if trace_id:
+            self.mark(trace_id, segment, tick)
+
+    def note_event(self, dedup: Any, tick: int) -> None:
+        """An event reached a client: complete its bound request (once).
+
+        The bind is popped, so an outbox *redelivery* of the same dedup
+        key finds nothing and emits no second terminal span.
+        """
+        trace_id = self._event_binds.pop(dedup, None)
+        if trace_id is None:
+            return
+        pending = self._by_trace.get(trace_id)
+        if pending is not None:
+            self._complete(pending, tick, kind="event")
+
+    def deliver(self, sid: Any, delta_tick: int, tick: int) -> None:
+        """A delta for tick ``delta_tick`` flushed to session ``sid``.
+
+        Completes every pending request on the session that entered
+        before the delta's tick — the delta observably answers it.
+        """
+        reqs = self._pending.get(sid)
+        if not reqs:
+            return
+        answered = [p for p in reqs if p.ingress_tick < delta_tick]
+        for pending in answered:
+            self._complete(pending, tick, kind="delta")
+
+    def drop_session(self, sid: Any, tick: int) -> None:
+        """Session closed for good: abandon its in-flight requests."""
+        for pending in self._pending.pop(sid, ()):
+            self._by_trace.pop(pending.trace_id, None)
+            self.abandoned += 1
+            self.tracer.flow_finish(pending.flow_id, "request.abandoned",
+                                    "request")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _forget(self, pending: _Pending) -> None:
+        reqs = self._pending.get(pending.sid)
+        if reqs is not None:
+            try:
+                reqs.remove(pending)
+            except ValueError:
+                pass
+            if not reqs:
+                del self._pending[pending.sid]
+        self._by_trace.pop(pending.trace_id, None)
+
+    def _complete(self, pending: _Pending, tick: int, kind: str) -> None:
+        self._forget(pending)
+        self.completed += 1
+        e2e = tick - pending.ingress_tick
+        segments = self.segments_of(pending, tick)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("request.delivered", cat="request",
+                             trace_id=pending.trace_id, sid=pending.sid,
+                             kind=kind, e2e_ticks=e2e, **segments):
+                tracer.flow_finish(pending.flow_id, "request", "request")
+        if self.slo is not None:
+            self.slo.record(e2e, pending.trace_id)
+
+    @staticmethod
+    def segments_of(pending: _Pending, done_tick: int) -> dict[str, int]:
+        """The latency decomposition for one request, in ticks.
+
+        ``queue`` is ingress → first tick that saw it, ``tick`` the
+        simulation step itself, ``flush`` the remainder until the
+        answering delta left the send queue; ``commit``/``outbox``
+        appear when the durable tier stamped those marks.
+        """
+        ticked = (pending.ticked_tick if pending.ticked_tick >= 0
+                  else done_tick)
+        out = {
+            "queue": max(ticked - pending.ingress_tick - 1, 0),
+            "tick": min(1, max(done_tick - pending.ingress_tick, 0)),
+            "flush": max(done_tick - ticked, 0),
+        }
+        for segment, tick in pending.marks.items():
+            out[segment] = max(tick - pending.ingress_tick, 0)
+        return out
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently pending delivery."""
+        return len(self._by_trace)
+
+    def completeness(self) -> float:
+        """Completed / (issued − abandoned): the E21 acceptance ratio.
+
+        Abandoned requests (client churned away mid-flight) are excluded
+        from the denominator — nothing could have answered them.
+        """
+        denominator = self.issued - self.abandoned
+        return self.completed / denominator if denominator else 1.0
+
+    def stats(self) -> dict[str, Any]:
+        """Ledger counters for ``collect_stats()`` / the telemetry channel."""
+        return {
+            "issued": self.issued,
+            "completed": self.completed,
+            "abandoned": self.abandoned,
+            "expired": self.expired,
+            "in_flight": self.in_flight,
+            "completeness": round(self.completeness(), 6),
+        }

@@ -11,16 +11,59 @@ ticks visually uniform in the timeline.
 :func:`validate_chrome_trace` is the shape check CI runs against
 exported artifacts, and :func:`spans_from_chrome_trace` is the parse
 half of the round-trip tests.
+
+**Lanes and flows.** Spans from forked per-host tracers carry a *lane*
+(``"shard:0"``, ``"coord"``, ``"gw"``); the exporter maps each lane to
+its own ``tid`` with a ``thread_name`` metadata row, so merged
+multi-host traces render as parallel timelines instead of interleaving
+on colliding tick-derived timestamps.  :class:`~repro.obs.tracer.FlowPoint`
+pairs become flow events (``ph: "s"`` / ``ph: "f"``) sharing an ``id``
+— Perfetto draws an arrow from the slice enclosing the start point to
+the slice enclosing the finish.  Unbound flow ids (a message still in
+flight when the window was dumped) are dropped at export so every
+emitted document passes the binding check in
+:func:`validate_chrome_trace`.
+
+:func:`render_text` / :func:`parse_text` are the Prometheus-style text
+exposition of a metrics registry — scrapeable and diffable snapshots.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-from repro.obs.tracer import Span, TraceEvent
+from repro.obs.tracer import FlowPoint, Span, TraceEvent
 
 #: pid stamped on every exported event (one simulated process).
 TRACE_PID = 1
+
+
+def _lane_tids(lanes: set[str]) -> dict[str, int]:
+    """Stable lane → tid mapping; the default lane is always tid 0."""
+    tids = {"": 0}
+    for i, lane in enumerate(sorted(lane for lane in lanes if lane)):
+        tids[lane] = i + 1
+    return tids
+
+
+def match_flows(
+    flows: Iterable[FlowPoint],
+) -> tuple[list[FlowPoint], list[str]]:
+    """Split flow points into bound pairs and orphan ids.
+
+    Returns ``(bound, orphans)`` where *bound* holds every point whose
+    ``flow_id`` has both a start and a finish, and *orphans* lists the
+    ids that have only one end — messages still in flight, or whose
+    other end fell off the flight-recorder ring.
+    """
+    by_id: dict[str, set[str]] = {}
+    points = list(flows)
+    for fp in points:
+        by_id.setdefault(fp.flow_id, set()).add(fp.phase)
+    complete = {fid for fid, phases in by_id.items() if phases >= {"s", "f"}}
+    bound = [fp for fp in points if fp.flow_id in complete]
+    orphans = sorted(fid for fid in by_id if fid not in complete)
+    return bound, orphans
 
 
 def to_chrome_trace(
@@ -28,14 +71,25 @@ def to_chrome_trace(
     events: Iterable[TraceEvent] = (),
     label: str = "repro",
     metadata: Mapping[str, Any] | None = None,
+    flows: Iterable[FlowPoint] = (),
 ) -> dict[str, Any]:
     """Render spans + instant events as a Chrome trace_event document.
 
     Events are sorted by timestamp with parents before their children
     (longer duration first at equal start), so the JSON reads in
     timeline order.  ``metadata`` lands in the document's ``metadata``
-    key — the flight recorder stamps the dump reason there.
+    key — the flight recorder stamps the dump reason there.  Lanes map
+    to tids (named via ``thread_name`` metadata when any non-default
+    lane appears); flow points whose ids lack a matching other end are
+    dropped so the document always passes the binding check.
     """
+    spans = list(spans)
+    events = list(events)
+    bound_flows, _ = match_flows(flows)
+    lanes = {s.lane for s in spans}
+    lanes.update(e.lane for e in events)
+    lanes.update(fp.lane for fp in bound_flows)
+    tids = _lane_tids(lanes)
     out: list[dict[str, Any]] = [
         {
             "ph": "M",
@@ -45,6 +99,17 @@ def to_chrome_trace(
             "args": {"name": label},
         }
     ]
+    if len(tids) > 1:
+        for lane, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": {"name": lane or "main"},
+                }
+            )
     for span in sorted(spans, key=lambda s: (s.ts, -s.dur, s.span_id)):
         out.append(
             {
@@ -54,7 +119,7 @@ def to_chrome_trace(
                 "ts": span.ts,
                 "dur": span.dur,
                 "pid": TRACE_PID,
-                "tid": 0,
+                "tid": tids.get(span.lane, 0),
                 "args": {
                     "tick": span.tick,
                     "span_id": span.span_id,
@@ -72,10 +137,23 @@ def to_chrome_trace(
                 "cat": event.cat or "repro",
                 "ts": event.ts,
                 "pid": TRACE_PID,
-                "tid": 0,
+                "tid": tids.get(event.lane, 0),
                 "args": {"tick": event.tick, **event.args},
             }
         )
+    for fp in sorted(bound_flows, key=lambda f: (f.ts, f.phase)):
+        entry: dict[str, Any] = {
+            "ph": fp.phase,
+            "id": fp.flow_id,
+            "name": fp.name or "flow",
+            "cat": fp.cat or "net",
+            "ts": fp.ts,
+            "pid": TRACE_PID,
+            "tid": tids.get(fp.lane, 0),
+        }
+        if fp.phase == "f":
+            entry["bp"] = "e"  # bind to the enclosing slice, not the next
+        out.append(entry)
     doc: dict[str, Any] = {"traceEvents": out, "displayTimeUnit": "ms"}
     if metadata:
         doc["metadata"] = dict(metadata)
@@ -87,15 +165,18 @@ def validate_chrome_trace(doc: Any) -> int:
 
     Checks the JSON-object form: a ``traceEvents`` list whose entries
     carry the fields their phase requires (``X`` needs ``dur``, ``i``
-    needs a valid scope, every event needs ``name``/``ph``/``pid``/
-    ``ts``).  Returns the event count; raises ``ValueError`` on the
-    first violation.  This is the check CI runs on exported artifacts.
+    needs a valid scope, flow events ``s``/``t``/``f`` need an ``id``,
+    every event needs ``name``/``ph``/``pid``/``ts``), plus flow
+    *binding*: every flow ``id`` must have both a start and a finish.
+    Returns the event count; raises ``ValueError`` on the first
+    violation.  This is the check CI runs on exported artifacts.
     """
     if not isinstance(doc, dict):
         raise ValueError("trace document must be a JSON object")
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace document needs a traceEvents list")
+    flow_phases: dict[Any, set[str]] = {}
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError(f"traceEvents[{i}] is not an object")
@@ -121,8 +202,20 @@ def validate_chrome_trace(doc: Any) -> int:
                 raise ValueError(
                     f"traceEvents[{i}]: instant event needs scope s in g/p/t"
                 )
+        elif ph in ("s", "t", "f"):
+            fid = event.get("id")
+            if not isinstance(fid, (str, int)) or fid == "":
+                raise ValueError(
+                    f"traceEvents[{i}]: flow event needs an 'id'"
+                )
+            flow_phases.setdefault(fid, set()).add(ph)
         elif ph not in ("B", "E", "C", "b", "e", "n"):
             raise ValueError(f"traceEvents[{i}]: unknown phase {ph!r}")
+    for fid, phases in flow_phases.items():
+        if "s" not in phases:
+            raise ValueError(f"flow {fid!r} has no start ('s') event")
+        if "f" not in phases:
+            raise ValueError(f"flow {fid!r} has no finish ('f') event")
     return len(events)
 
 
@@ -139,3 +232,88 @@ def spans_from_chrome_trace(doc: Mapping[str, Any]) -> list[dict[str, Any]]:
 def events_from_chrome_trace(doc: Mapping[str, Any]) -> list[dict[str, Any]]:
     """The instant (``ph: "i"``) events of a trace document."""
     return [e for e in doc.get("traceEvents", ()) if e.get("ph") == "i"]
+
+
+def flows_from_chrome_trace(doc: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """The flow (``ph`` in s/t/f) events of a trace document."""
+    return [
+        e for e in doc.get("traceEvents", ()) if e.get("ph") in ("s", "t", "f")
+    ]
+
+
+# -- Prometheus-style text exposition ---------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Mapping[str, Any], extra: str = "") -> str:
+    parts = [
+        '{}="{}"'.format(
+            _prom_name(str(k)),
+            str(labels[k]).replace("\\", r"\\").replace('"', r"\"")
+            .replace("\n", r"\n"),
+        )
+        for k in sorted(labels)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_text(registry: Any) -> str:
+    """Render a :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text.
+
+    The classic exposition format: ``# TYPE`` headers, one sample per
+    line, labels escaped, histograms expanded into cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``.  Snapshots are
+    scrapeable by anything Prometheus-shaped and diffable line-by-line
+    across same-seed runs.  :func:`parse_text` is the inverse.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+    for cell in registry.cells():
+        name = _prom_name(cell.name)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {cell.kind}")
+        if cell.kind == "histogram":
+            cumulative = 0
+            for bound, n in zip(cell.bounds, cell.bucket_counts):
+                cumulative += n
+                labels = _prom_labels(cell.labels, f'le="{bound}"')
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _prom_labels(cell.labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{labels} {cell.count}")
+            lines.append(f"{name}_sum{_prom_labels(cell.labels)} {cell.total}")
+            lines.append(
+                f"{name}_count{_prom_labels(cell.labels)} {cell.count}"
+            )
+        else:
+            lines.append(f"{name}{_prom_labels(cell.labels)} {cell.value}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_text(text: str) -> dict[str, dict[str, float]]:
+    """Parse Prometheus exposition text back into nested dicts.
+
+    Returns ``{metric_name: {label_string: value}}`` where
+    ``label_string`` is the rendered ``{k="v",...}`` group (``""`` for
+    unlabelled samples).  The verify half of the exposition round-trip
+    test; intentionally minimal — handles exactly the subset
+    :func:`render_text` emits.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        if "{" in body:
+            name, _, rest = body.partition("{")
+            labels = "{" + rest
+        else:
+            name, labels = body, ""
+        out.setdefault(name, {})[labels] = float(value)
+    return out

@@ -91,6 +91,25 @@ class Observability:
         """Whether tracing is on (metrics may still be active when off)."""
         return self.tracer.enabled
 
+    def lane(self, name: str) -> "Observability":
+        """A per-host view of this facade in its own timestamp lane.
+
+        Returns a lightweight clone sharing the metrics registry,
+        recorder, and stats-provider map, but whose tracer is a
+        :meth:`~repro.obs.tracer.Tracer.fork` into ``name`` — the
+        (node_id, shard_id) namespace for that host's spans.  With
+        tracing disabled (including the shared :data:`DISABLED_OBS`)
+        this returns ``self``: no allocation on the off path.
+        """
+        if self is DISABLED_OBS or not self.tracer.enabled:
+            return self
+        clone = Observability.__new__(Observability)
+        clone.metrics = self.metrics
+        clone.tracer = self.tracer.fork(name)
+        clone.recorder = self.recorder
+        clone._stats_providers = self._stats_providers
+        return clone
+
     def flight_dump(self, reason: str) -> dict[str, Any] | None:
         """Dump the flight recorder (None when no recorder is attached)."""
         if self.recorder is None:

@@ -109,6 +109,32 @@ class Histogram:
         """Mean observed value (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Walks the cumulative bucket counts to the bucket holding the
+        target rank, then interpolates linearly between the bucket's
+        edges (the lower edge of the first bucket is 0.0).  Overflow
+        observations clamp to the last bound — a fixed-bucket histogram
+        cannot see past it.  Returns 0.0 with no observations; raises
+        :class:`~repro.errors.ObsError` for ``q`` outside [0, 1].
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if cumulative + n >= target:
+                if n == 0:
+                    return lower
+                return lower + (bound - lower) * (target - cumulative) / n
+            cumulative += n
+            lower = bound
+        return self.bounds[-1]
+
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict form used by :meth:`MetricsRegistry.snapshot`."""
         return {
@@ -119,6 +145,8 @@ class Histogram:
                 for bound, n in zip(self.bounds, self.bucket_counts)
             },
             "overflow": self.bucket_counts[-1],
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -177,6 +205,10 @@ class MetricsRegistry:
     def get(self, name: str, **labels: Any) -> Counter | Gauge | Histogram | None:
         """Look up a cell without creating it (None when absent)."""
         return self._metrics.get(self._key(name, labels))
+
+    def cells(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered cell, sorted by key (the exposition order)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.obs.export import to_chrome_trace
-from repro.obs.tracer import Span, TraceEvent
+from repro.obs.tracer import FlowPoint, Span, TraceEvent
 
 
 class FlightRecorder:
@@ -49,7 +49,7 @@ class FlightRecorder:
         self.last_ticks = last_ticks
         self.max_items = max_items
         self.dump_dir = Path(dump_dir) if dump_dir is not None else None
-        self._items: deque[Span | TraceEvent] = deque()
+        self._items: deque[Span | TraceEvent | FlowPoint] = deque()
         #: Every dump taken, as ``(reason, chrome_trace_doc)`` pairs.
         self.dumps: list[tuple[str, dict[str, Any]]] = []
 
@@ -63,7 +63,11 @@ class FlightRecorder:
         """Retain an instant event, evicting expired items."""
         self._push(event)
 
-    def _push(self, item: Span | TraceEvent) -> None:
+    def on_flow(self, flow: FlowPoint) -> None:
+        """Retain one end of a causal flow arrow, evicting expired items."""
+        self._push(flow)
+
+    def _push(self, item: Span | TraceEvent | FlowPoint) -> None:
         items = self._items
         items.append(item)
         horizon = item.tick - self.last_ticks
@@ -86,6 +90,10 @@ class FlightRecorder:
         """Retained instant events, oldest first."""
         return [i for i in self._items if isinstance(i, TraceEvent)]
 
+    def flows(self) -> list[FlowPoint]:
+        """Retained flow points, oldest first."""
+        return [i for i in self._items if isinstance(i, FlowPoint)]
+
     def __len__(self) -> int:
         return len(self._items)
 
@@ -98,6 +106,7 @@ class FlightRecorder:
             self.events(),
             label=label,
             metadata={"dump_reason": reason, "last_ticks": self.last_ticks},
+            flows=self.flows(),
         )
 
     def dump(self, reason: str, label: str = "repro") -> dict[str, Any]:

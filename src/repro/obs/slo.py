@@ -1,0 +1,159 @@
+"""Service-level objectives over per-request latency, with breach dumps.
+
+An :class:`SLObjective` names a latency threshold (in ticks) and a
+target fraction of requests that must meet it; the :class:`SLOPlane`
+ingests every completed request from the
+:class:`~repro.obs.causal.RequestTracker`, maintains a sliding
+good/bad window per objective, and computes the *error-budget burn
+rate* — bad fraction divided by the budget ``1 − target``.  A burn
+rate of 1.0 means the budget is being spent exactly as fast as it
+accrues; above the objective's ``burn_threshold`` the objective is
+*breached*.
+
+Breaches are latched: the first breach of each objective arms the
+watchdog exactly once — it dumps the flight recorder with the
+breaching ``trace_id`` in the dump reason (so the offending trace is
+preserved for Perfetto) and invokes the optional ``on_breach``
+callback.  :meth:`SLOPlane.reset` re-arms an objective after the
+operator has looked.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import ObsError
+from repro.obs.metrics import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.hub import Observability
+
+#: Bucket bounds for the end-to-end latency histogram, in ticks.
+LATENCY_BOUNDS_TICKS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0,
+                        32.0, 48.0, 64.0)
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One latency objective: ``target`` of requests within ``threshold_ticks``.
+
+    ``window`` caps the sliding sample window; ``min_samples`` keeps a
+    cold window from breaching on its first bad request;
+    ``burn_threshold`` is the burn rate at which the watchdog fires
+    (1.0 = spending budget exactly as fast as it accrues).
+    """
+
+    name: str
+    threshold_ticks: float
+    target: float = 0.99
+    window: int = 256
+    min_samples: int = 16
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ObsError(f"SLO target must be in (0, 1), got {self.target}")
+        if self.window < 1 or self.min_samples < 1:
+            raise ObsError("SLO window and min_samples must be >= 1")
+
+
+class SLOPlane:
+    """Sliding-window SLO accounting with a latched breach watchdog."""
+
+    def __init__(
+        self,
+        objectives: list[SLObjective] | tuple[SLObjective, ...],
+        obs: "Observability | None" = None,
+        on_breach: Callable[[str, str], None] | None = None,
+    ):
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ObsError(f"duplicate SLO objective names: {names}")
+        self.objectives = tuple(objectives)
+        self.obs = obs
+        self.on_breach = on_breach
+        self._windows: dict[str, deque[bool]] = {
+            o.name: deque(maxlen=o.window) for o in self.objectives
+        }
+        self._breached: dict[str, str] = {}
+        self.samples = 0
+        self.latency = Histogram("slo.e2e_ticks", {},
+                                 bounds=LATENCY_BOUNDS_TICKS)
+
+    def record(self, e2e_ticks: float, trace_id: str = "") -> None:
+        """Ingest one completed request's end-to-end latency."""
+        self.samples += 1
+        self.latency.observe(e2e_ticks)
+        for objective in self.objectives:
+            window = self._windows[objective.name]
+            good = e2e_ticks <= objective.threshold_ticks
+            window.append(good)
+            if good or objective.name in self._breached:
+                continue
+            if len(window) < objective.min_samples:
+                continue
+            if self.burn_rate(objective.name) > objective.burn_threshold:
+                self._breach(objective.name, trace_id)
+
+    def _breach(self, name: str, trace_id: str) -> None:
+        self._breached[name] = trace_id
+        reason = f"slo-breach:{name}:{trace_id or 'unknown'}"
+        if self.obs is not None:
+            self.obs.flight_dump(reason)
+        if self.on_breach is not None:
+            self.on_breach(name, trace_id)
+
+    def burn_rate(self, name: str) -> float:
+        """Error-budget burn rate for one objective (0.0 when cold)."""
+        objective = self._objective(name)
+        window = self._windows[name]
+        if not window:
+            return 0.0
+        bad = sum(1 for good in window if not good) / len(window)
+        return bad / (1.0 - objective.target)
+
+    def _objective(self, name: str) -> SLObjective:
+        for objective in self.objectives:
+            if objective.name == name:
+                return objective
+        raise ObsError(f"unknown SLO objective {name!r}")
+
+    def reset(self, name: str) -> None:
+        """Re-arm a breached objective and clear its window."""
+        self._objective(name)
+        self._breached.pop(name, None)
+        self._windows[name].clear()
+
+    @property
+    def breached(self) -> dict[str, str]:
+        """Latched breaches: objective name → breaching trace_id."""
+        return dict(self._breached)
+
+    def state(self) -> dict[str, Any]:
+        """The full SLO picture, as streamed on the telemetry channel."""
+        objectives: dict[str, Any] = {}
+        for objective in self.objectives:
+            window = self._windows[objective.name]
+            bad = sum(1 for good in window if not good)
+            objectives[objective.name] = {
+                "threshold_ticks": objective.threshold_ticks,
+                "target": objective.target,
+                "window": len(window),
+                "bad": bad,
+                "burn_rate": round(self.burn_rate(objective.name), 4),
+                "breached": self._breached.get(objective.name),
+            }
+        return {
+            "samples": self.samples,
+            "p50_ticks": round(self.latency.quantile(0.5), 3),
+            "p99_ticks": round(self.latency.quantile(0.99), 3),
+            "objectives": objectives,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SLOPlane({len(self.objectives)} objectives, "
+            f"samples={self.samples}, breached={sorted(self._breached)})"
+        )

@@ -17,6 +17,17 @@ returns the shared :data:`NOOP_SPAN` without allocating; instrumented
 hot paths additionally guard on :attr:`Tracer.enabled` before building
 keyword arguments, so the disabled path costs one attribute read and a
 branch.
+
+**Lanes.** A tracer carries a *lane* — the ``(node_id, shard_id)``
+namespace its logical timestamps live in (``"shard:0"``, ``"coord"``,
+``"gw"``).  :meth:`Tracer.fork` derives a per-host tracer sharing the
+sink and span-id allocator but owning its own tick window and span
+stack, so merged multi-host traces no longer interleave on colliding
+tick-derived timestamps: the exporter maps each lane to its own
+timeline row, and :class:`FlowPoint` pairs (emitted by
+:meth:`Tracer.flow_start` / :meth:`Tracer.flow_finish`) re-join the
+per-lane span trees into one causal graph — rendered as Perfetto's
+flow arrows.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ class Span:
 
     __slots__ = (
         "span_id", "parent_id", "name", "cat", "tick", "ts", "dur", "args",
-        "_tracer",
+        "lane", "_tracer",
     )
 
     def __init__(self, tracer: "Tracer", span_id: int, name: str, cat: str,
@@ -51,6 +62,7 @@ class Span:
         self.ts = 0
         self.dur = 0
         self.args = args
+        self.lane = tracer.lane
 
     def set(self, **args: Any) -> None:
         """Attach result arguments to the span (visible in the export)."""
@@ -82,18 +94,48 @@ class Span:
 class TraceEvent:
     """A structured instant event (no duration) — crash marks, corruption."""
 
-    __slots__ = ("name", "cat", "tick", "ts", "args")
+    __slots__ = ("name", "cat", "tick", "ts", "args", "lane")
 
     def __init__(self, name: str, cat: str, tick: int, ts: int | float,
-                 args: dict[str, Any]):
+                 args: dict[str, Any], lane: str = ""):
         self.name = name
         self.cat = cat
         self.tick = tick
         self.ts = ts
         self.args = args
+        self.lane = lane
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"TraceEvent({self.name!r} tick={self.tick} ts={self.ts})"
+
+
+class FlowPoint:
+    """One end of a cross-lane causal arrow (Chrome flow event).
+
+    A *flow* is a pair of points sharing a ``flow_id``: the start
+    (``phase == "s"``) is emitted where a message leaves one lane, the
+    finish (``phase == "f"``) where it is consumed in another.  The
+    exporter renders bound pairs as Perfetto flow arrows between the
+    slices enclosing each point's timestamp.
+    """
+
+    __slots__ = ("phase", "flow_id", "name", "cat", "tick", "ts", "lane")
+
+    def __init__(self, phase: str, flow_id: str, name: str, cat: str,
+                 tick: int, ts: int | float, lane: str = ""):
+        self.phase = phase
+        self.flow_id = flow_id
+        self.name = name
+        self.cat = cat
+        self.tick = tick
+        self.ts = ts
+        self.lane = lane
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FlowPoint({self.phase} {self.flow_id!r} {self.name!r} "
+            f"tick={self.tick} lane={self.lane!r})"
+        )
 
 
 class _NoopSpan:
@@ -127,15 +169,19 @@ class NullSink:
     def on_event(self, event: TraceEvent) -> None:
         """Drop the event."""
 
+    def on_flow(self, flow: FlowPoint) -> None:
+        """Drop the flow point."""
+
 
 class MemorySink:
-    """Collects spans and events in lists — the test/inspection sink."""
+    """Collects spans, events, and flow points — the test/inspection sink."""
 
     enabled = True
 
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
+        self.flows: list[FlowPoint] = []
 
     def on_span(self, span: Span) -> None:
         """Record a completed span."""
@@ -145,10 +191,15 @@ class MemorySink:
         """Record an instant event."""
         self.events.append(event)
 
+    def on_flow(self, flow: FlowPoint) -> None:
+        """Record one end of a causal flow arrow."""
+        self.flows.append(flow)
+
     def clear(self) -> None:
         """Drop everything collected so far."""
         self.spans.clear()
         self.events.clear()
+        self.flows.clear()
 
 
 class Tracer:
@@ -164,20 +215,30 @@ class Tracer:
         Optional real time source (seconds, e.g. ``time.perf_counter``).
         When given, timestamps are real microseconds; by default they
         are deterministic logical microseconds derived from the tick.
+    lane:
+        Timestamp namespace (``""`` for a single-process tracer,
+        ``"shard:0"``/``"coord"``/``"gw"`` for cluster hosts).  Forked
+        tracers (see :meth:`fork`) stamp their lane on every span so
+        the exporter can give each host its own timeline row.
     """
 
     def __init__(
         self,
         sink: Any | None = None,
         wall_clock: Callable[[], float] | None = None,
+        lane: str = "",
     ):
         self.sink = sink if sink is not None else NullSink()
         self.enabled: bool = bool(getattr(self.sink, "enabled", True))
         self.wall_clock = wall_clock
+        self.lane = lane
         self.current_tick = 0
         self._stack: list[Span] = []
         self._seq = 0
-        self._next_id = 0
+        # Span/flow ids are allocated from a *shared* mutable counter so
+        # forked per-lane tracers never collide (parent links and flow
+        # ids stay unique across the merged trace).
+        self._ids = {"span": 0, "flow": 0}
 
     def begin_tick(self, tick: int) -> None:
         """Mark the start of a tick, resetting the logical sequence.
@@ -208,15 +269,60 @@ class Tracer:
         """
         if not self.enabled:
             return NOOP_SPAN
-        self._next_id += 1
-        return Span(self, self._next_id, name, cat, args)
+        ids = self._ids
+        ids["span"] += 1
+        return Span(self, ids["span"], name, cat, args)
 
     def event(self, name: str, cat: str = "", **args: Any) -> None:
         """Emit an instant event at the current logical time."""
         if not self.enabled:
             return
         self.sink.on_event(
-            TraceEvent(name, cat, self.current_tick, self._now(), args)
+            TraceEvent(name, cat, self.current_tick, self._now(), args,
+                       self.lane)
+        )
+
+    def fork(self, lane: str) -> "Tracer":
+        """Derive a per-host tracer in its own timestamp *lane*.
+
+        The fork shares the sink, wall clock, and span/flow id
+        allocator with its parent, but owns its own span stack, tick
+        window, and sequence counter — two lanes ticking the same tick
+        number no longer interleave their timestamps in the merge.
+        """
+        child = Tracer(self.sink, self.wall_clock, lane)
+        child._ids = self._ids
+        return child
+
+    def flow_start(self, name: str, cat: str = "") -> str:
+        """Open a causal flow arrow; returns its id (``""`` when off).
+
+        Emit at the point a message *leaves* this lane (inside the span
+        that produced it); pass the id across the process/lane boundary
+        and close it with :meth:`flow_finish` where it is consumed.
+        """
+        if not self.enabled:
+            return ""
+        ids = self._ids
+        ids["flow"] += 1
+        flow_id = f"{self.lane or 'main'}:{ids['flow']}"
+        self.sink.on_flow(
+            FlowPoint("s", flow_id, name, cat, self.current_tick,
+                      self._now(), self.lane)
+        )
+        return flow_id
+
+    def flow_finish(self, flow_id: str, name: str = "", cat: str = "") -> None:
+        """Close a causal flow arrow at the consuming end.
+
+        No-op when disabled or when ``flow_id`` is empty (the start was
+        emitted by a disabled tracer).
+        """
+        if not self.enabled or not flow_id:
+            return
+        self.sink.on_flow(
+            FlowPoint("f", flow_id, name, cat, self.current_tick,
+                      self._now(), self.lane)
         )
 
     @property

@@ -62,7 +62,12 @@ class _BufferNet:
         self.now = 0
         self.sends: list[tuple[str, str, Any, int]] = []
 
-    def send(self, src: str, dst: str, payload: Any, size: int = 0) -> None:
+    def send(
+        self, src: str, dst: str, payload: Any, size: int = 0,
+        ctx: Any = None,
+    ) -> None:
+        # ctx is dropped: worker processes trace in their own address
+        # space; causal flows across the fork boundary are out of scope.
         self.sends.append((src, dst, payload, size))
 
 

@@ -40,6 +40,7 @@ from repro.errors import ReplicationError
 from repro.net.faults import FaultInjector
 from repro.net.protocol import HandoffResend, Heartbeat, TxnDecision
 from repro.net.simnet import Message
+from repro.obs import accept_context
 from repro.replication.primary import (
     ACK_ASYNC,
     ACK_SEMISYNC,
@@ -165,6 +166,8 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
     def _on_coord_message(self, msg: Message) -> None:
         payload = msg.payload
         if isinstance(payload, Heartbeat):
+            if msg.ctx is not None:
+                accept_context(self.obs.tracer, msg.ctx, name="net.Heartbeat")
             self._last_heartbeat[payload.shard] = self.net.now
             self._last_flushed[payload.shard] = payload.flushed_lsn
         else:

@@ -30,6 +30,7 @@ from typing import Any, Hashable, Iterable, Mapping
 from repro.cluster.shard import COORD_ENDPOINT, ShardHost
 from repro.net.protocol import Heartbeat, WalAck, WalShip
 from repro.net.simnet import Message
+from repro.obs import emit_context
 from repro.replication.journal import ShardJournal
 
 #: Ship-every-interval mode: acknowledged == locally durable.
@@ -91,13 +92,14 @@ class ReplicatedShardHost(ShardHost):
         commit: bool,
         reads: Mapping[Hashable, Any],
         applied: bool = False,
+        ctx: Any = None,
     ) -> None:
         # Single-shard fast path: the transaction executed inside
         # _on_prepare, so the marker goes down with this tick's records.
         if applied and commit:
             self.journal.log_txn(prepare.txn_id, True)
             self.applied_txns.add(prepare.txn_id)
-        super()._vote(prepare, commit, reads, applied)
+        super()._vote(prepare, commit, reads, applied, ctx)
 
     def apply_recovered_writes(
         self, txn_id: int, writes: Mapping[Hashable, Any]
@@ -187,8 +189,11 @@ class ReplicatedShardHost(ShardHost):
             tick=self.net.now,
             flushed_lsn=self.journal.flushed_lsn,
         )
+        tracer = self.obs.tracer
+        ctx = emit_context(tracer, name="net.Heartbeat") if tracer.enabled else None
         self.net.send(
-            self.endpoint, COORD_ENDPOINT, heartbeat, heartbeat.wire_size()
+            self.endpoint, COORD_ENDPOINT, heartbeat, heartbeat.wire_size(),
+            ctx,
         )
 
     def _ship_to(self, endpoint: str) -> None:
@@ -205,7 +210,9 @@ class ReplicatedShardHost(ShardHost):
         if not records:
             return
         ship = WalShip(shard=self.shard_id, records=records, tick=self.net.now)
-        self.net.send(self.endpoint, endpoint, ship, ship.wire_size())
+        tracer = self.obs.tracer
+        ctx = emit_context(tracer, name="net.WalShip") if tracer.enabled else None
+        self.net.send(self.endpoint, endpoint, ship, ship.wire_size(), ctx)
         self._shipped[endpoint] = max(shipped, records[-1][0])
 
     def __repr__(self) -> str:  # pragma: no cover

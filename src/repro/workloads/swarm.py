@@ -34,6 +34,7 @@ from repro.errors import GatewayError
 from repro.gateway.framing import FrameDecoder, frame
 from repro.gateway.messages import Delta, Goodbye, Hello, Ping, Reject, Welcome
 from repro.gateway.transport import MemoryTransport
+from repro.net.protocol import InputCommand
 from repro.workloads.players import zipf_choice
 
 
@@ -53,6 +54,10 @@ class SwarmConfig:
     aoi_radius: float = 0.0
     slow_fraction: float = 0.0
     slow_budget: int = 256
+    #: Fraction of connected clients that send an ``InputCommand``
+    #: each tick (0 disables input traffic).  Inputs are what the E21
+    #: causal plane traces end to end, so its benchmark turns this on.
+    input_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -88,6 +93,7 @@ class SwarmClient:
     bytes_received: int = 0
     goodbye_reason: str = ""
     rejects: int = 0
+    inputs_sent: int = 0
 
     def absorb(self, messages: list[Any]) -> None:
         """Update stats from freshly decoded messages."""
@@ -164,6 +170,7 @@ class Swarm:
         self.connects = 0
         self.reconnects = 0
         self.disconnects = 0
+        self.inputs_sent = 0
 
     # -- connection churn ------------------------------------------------------------
 
@@ -220,7 +227,28 @@ class Swarm:
             n_churn = int(len(connected) * cfg.churn_rate)
             for client in self.rng.sample(connected, n_churn):
                 self.disconnect(client)
+        if cfg.input_rate > 0:
+            self.send_inputs(tick)
         self.move(tick)
+
+    def send_inputs(self, tick: int) -> None:
+        """A fraction of connected clients each sends one input command."""
+        cfg = self.config
+        connected = [c for c in self.clients if c.connected]
+        if not connected:
+            return
+        n = max(1, int(len(connected) * cfg.input_rate))
+        for client in self.rng.sample(connected, min(n, len(connected))):
+            client.inputs_sent += 1
+            cmd = InputCommand(
+                client=client.name,
+                seq=client.inputs_sent,
+                action="move",
+                args={"dx": 1.0, "dy": 0.0},
+                tick=tick,
+            )
+            self.core.on_bytes(client.cid, frame(cmd))
+            self.inputs_sent += 1
 
     def move(self, tick: int) -> None:
         """Zipfian hotspot movement: hot avatars generate most updates.
@@ -289,6 +317,7 @@ class Swarm:
                 1 for c in self.clients if c.goodbye_reason.startswith("evicted")
             ),
             "rejects": sum(c.rejects for c in self.clients),
+            "inputs_sent": self.inputs_sent,
         }
 
 

@@ -1,0 +1,97 @@
+"""Causal context across the cluster control plane: handoff and 2PC.
+
+The propagation edges ISSUE E21 cares about: a request's trace context
+must survive a mid-request entity handoff and a two-phase abort — every
+flow arrow the hops open must close, so the merged trace has no orphan
+arrows for the request even when the work it triggered failed.
+"""
+
+from repro.obs import Observability, TraceContext, match_flows
+from repro.workloads import transfer_spec
+
+from tests.cluster.conftest import make_static_cluster, spawn_grid_entities
+
+
+def make_traced_cluster(shards=2):
+    obs = Observability.tracing_only()
+    cluster = make_static_cluster(shards)
+    # conftest builds the cluster; rebuild with tracing on.
+    cluster = type(cluster)(
+        shards,
+        cluster.placement,
+        cluster._schemas,
+        seed=0,
+        repartition_interval=1000,
+        obs=obs,
+    )
+    return cluster, obs
+
+
+def flows_named(obs, prefix):
+    return [fp for fp in obs.recorder.flows() if fp.name.startswith(prefix)]
+
+
+def cross_shard_pair(cluster):
+    a, b = spawn_grid_entities(cluster, [(10.0, 10.0), (190.0, 10.0)])
+    assert cluster.owner_of(a) != cluster.owner_of(b)
+    return a, b
+
+
+class TestHandoffPropagation:
+    def test_handoff_carries_ctx_and_closes_every_flow(self):
+        cluster, obs = make_traced_cluster()
+        (entity,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        src = cluster.owner_of(entity)
+        dst = 1 - src
+        ctx = TraceContext("req:42", origin_tick=0)
+        assert cluster.migrate(entity, dst, ctx=ctx)
+        cluster.quiesce()
+        assert cluster.owner_of(entity) == dst
+        # Every hop of the chain opened an arrow; all of them closed.
+        hops = flows_named(obs, "net.Handoff")
+        names = {fp.name for fp in hops}
+        assert {"net.HandoffCommand", "net.HandoffRequest",
+                "net.HandoffAck", "net.HandoffComplete"} <= names
+        _bound, orphans = match_flows(hops)
+        assert orphans == []
+
+    def test_handoff_flows_span_coordinator_and_shard_lanes(self):
+        cluster, obs = make_traced_cluster()
+        (entity,) = spawn_grid_entities(cluster, [(10.0, 10.0)])
+        dst = 1 - cluster.owner_of(entity)
+        cluster.migrate(entity, dst, ctx=TraceContext("req:1"))
+        cluster.quiesce()
+        lanes = {fp.lane for fp in flows_named(obs, "net.Handoff")}
+        assert len(lanes) >= 2, "arrows must cross lane boundaries"
+
+
+class TestTwoPhasePropagation:
+    def test_committed_txn_closes_every_flow(self):
+        cluster, obs = make_traced_cluster()
+        a, b = cross_shard_pair(cluster)
+        txn = cluster.submit(transfer_spec(a, b, amount=10),
+                             ctx=TraceContext("req:7"))
+        cluster.quiesce()
+        assert cluster.txn_outcome(txn) is True
+        hops = flows_named(obs, "net.Txn")
+        assert {fp.name for fp in hops} >= {"net.TxnPrepare", "net.TxnVote",
+                                            "net.TxnDecision"}
+        _bound, orphans = match_flows(hops)
+        assert orphans == []
+
+    def test_aborted_txn_still_closes_every_flow(self):
+        """The abort path is a propagation edge too: a refused prepare
+        must not leave the request's arrows dangling."""
+        cluster, obs = make_traced_cluster()
+        a, b = cross_shard_pair(cluster)
+        host_b = cluster.shard(cluster.owner_of(b))
+        host_b.participant.prepare(999_999, [("u", (b, "Wealth", "gold"))])
+        txn = cluster.submit(transfer_spec(a, b, amount=10),
+                             ctx=TraceContext("req:8"))
+        for _ in range(8):
+            cluster.tick()
+        assert cluster.txn_outcome(txn) is False
+        host_b.participant.abort(999_999)
+        cluster.quiesce()
+        _bound, orphans = match_flows(flows_named(obs, "net.Txn"))
+        assert orphans == []

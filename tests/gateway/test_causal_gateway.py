@@ -1,0 +1,189 @@
+"""Gateway propagation edges: resume, redelivery, telemetry, breach."""
+
+from repro.gateway import Goodbye, TelemetryMsg, TelemetrySub
+from repro.net.protocol import InputCommand
+from repro.obs import Observability, SLObjective, SLOPlane
+
+from tests.gateway.conftest import TestClient, make_core, make_world
+
+
+def spawn(world, x, y):
+    return world.spawn(Position={"x": x, "y": y},
+                       Velocity={"vx": 0.0, "vy": 0.0})
+
+
+def make_traced_pair(**core_kwargs):
+    obs = core_kwargs.pop("obs", None) or Observability.tracing_only()
+    world = make_world()
+    e1 = spawn(world, 0.0, 0.0)
+    spawn(world, 5.0, 0.0)
+    core = make_core(world, obs=obs, **core_kwargs)
+    return world, core, e1, obs
+
+
+def terminal_spans(obs):
+    return [s for s in obs.recorder.spans()
+            if s.name == "request.delivered"]
+
+
+class TestRequestLifecycle:
+    def test_input_to_delta_completes_with_one_tick_latency(self):
+        world, core, e1, obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(InputCommand("alice", 1, "move", {"dx": 1.0}))
+        world.tick()
+        core.tick()
+        assert core.requests.completed == 1
+        (span,) = terminal_spans(obs)
+        assert span.args["e2e_ticks"] == 1
+        assert span.args["trace_id"] == "req:1"
+
+    def test_session_resume_mid_request_still_completes(self):
+        """The ledger is keyed by session id, not connection: a request
+        in flight when the transport drops completes after resume."""
+        world, core, e1, obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        (welcome,) = client.hello()
+        client.send(InputCommand("alice", 1, "move", {"dx": 1.0}))
+        core.disconnect(client.cid)  # transport dies, session detaches
+        assert core.requests.in_flight == 1
+
+        revived = TestClient(core, "alice")
+        (back,) = revived.hello(resume=welcome.resume_token)
+        assert back.resumed
+        world.tick()
+        core.tick()
+        assert core.requests.completed == 1
+        assert core.requests.abandoned == 0
+        (span,) = terminal_spans(obs)
+        assert span.args["trace_id"] == "req:1"
+
+    def test_session_close_abandons_in_flight_requests(self):
+        world, core, e1, _obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(InputCommand("alice", 1, "move", {"dx": 1.0}))
+        client.send(Goodbye("done"))
+        assert core.requests.abandoned == 1
+        assert core.requests.completeness() == 1.0
+        assert terminal_spans(_obs) == []
+
+    def test_disabled_obs_means_no_ledger(self):
+        world = make_world()
+        e1 = spawn(world, 0.0, 0.0)
+        core = make_core(world)
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(InputCommand("alice", 1, "move", {"dx": 1.0}))
+        assert core.requests is None  # zero overhead when everything is off
+
+
+class TestOutboxRedelivery:
+    def test_redelivered_event_cannot_complete_twice(self):
+        """At-least-once outbox delivery, exactly one terminal span."""
+        world, core, e1, obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(InputCommand("alice", 1, "buy", {"item": 3.0}))
+        session = core.sessions.active()[0]
+        ctx = session.last_ctx
+        assert ctx is not None
+        # The durable tier's unit of work binds the outbox event's dedup
+        # key to the request (uow.commit does this via tracker).
+        dedup = f"{e1}:score:k1"
+        core.requests.bind_event(dedup, ctx.trace_id)
+
+        assert core.publish_event(e1, "score", key="k1") == 1
+        assert core.requests.completed == 1
+        (span,) = terminal_spans(obs)
+        assert span.args["kind"] == "event"
+        assert "outbox" in span.args
+
+        # The outbox dispatcher retries: same dedup key, same session.
+        assert core.publish_event(e1, "score", key="k1") == 0
+        assert core.events_deduped == 1
+        assert core.requests.completed == 1
+        assert len(terminal_spans(obs)) == 1
+
+
+class TestTelemetryChannel:
+    def test_subscribe_streams_on_the_interval(self):
+        world, core, e1, _obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(TelemetrySub(token="ops", interval=2))
+        first = [m for m in client.drain() if isinstance(m, TelemetryMsg)]
+        assert len(first) == 1, "one immediate sample on subscribe"
+        assert "stats" in first[0].payload
+        assert "gateway" in first[0].payload["stats"]
+        for _ in range(4):
+            world.tick()
+            core.tick()
+        streamed = [m for m in client.drain() if isinstance(m, TelemetryMsg)]
+        assert len(streamed) == 2, "every 2nd tick of 4"
+        assert streamed[0].seq < streamed[1].seq
+
+    def test_payload_carries_slo_state_when_attached(self):
+        slo = SLOPlane([SLObjective("lat", 4.0, target=0.9, window=8,
+                                    min_samples=2)])
+        world, core, e1, _obs = make_traced_pair(slo=slo)
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(TelemetrySub(token="ops", interval=5))
+        (sample,) = [m for m in client.drain()
+                     if isinstance(m, TelemetryMsg)]
+        assert "slo" in sample.payload
+        assert "lat" in sample.payload["slo"]["objectives"]
+
+    def test_bad_token_gets_goodbye_not_stats(self):
+        world, core, e1, _obs = make_traced_pair()
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(TelemetrySub(token="guess", interval=1))
+        replies = client.drain()
+        assert any(isinstance(m, Goodbye) and m.reason == "telemetry:denied"
+                   for m in replies)
+        assert not any(isinstance(m, TelemetryMsg) for m in replies)
+        assert core.stats()["active"] == 0, "denied session is closed"
+
+    def test_custom_auth_hook(self):
+        world, core, e1, _obs = make_traced_pair(
+            telemetry_auth=lambda token: token == "sesame"
+        )
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        client.send(TelemetrySub(token="ops", interval=1))  # default denied
+        assert any(isinstance(m, Goodbye) for m in client.drain())
+
+        other = TestClient(core, "bob", avatar=e1)
+        other.hello()
+        other.send(TelemetrySub(token="sesame", interval=1))
+        assert any(isinstance(m, TelemetryMsg) for m in other.drain())
+
+
+class TestBreachThroughGateway:
+    def test_slow_delivery_burns_budget_and_dumps_once(self):
+        obs = Observability.full(last_ticks=64)
+        slo = SLOPlane(
+            [SLObjective("delta-latency", threshold_ticks=0.5, target=0.5,
+                         window=8, min_samples=2)],
+            obs=obs,
+        )
+        world, core, e1, _ = make_traced_pair(obs=obs, slo=slo)
+        mover = spawn(world, 6.0, 0.0)
+        client = TestClient(core, "alice", avatar=e1)
+        client.hello()
+        # Normal-path latency is 1 tick — over the absurd 0.5-tick
+        # objective, so every completion is a bad sample.  The mover
+        # keeps every tick's delta non-empty so each request is answered.
+        for seq in range(4):
+            client.send(InputCommand("alice", seq, "move", {"dx": 1.0}))
+            world.set(mover, "Position", x=6.0 + seq, y=0.0)
+            world.tick()
+            core.tick()
+        assert core.requests.completed >= 2
+        dumps = [r for r, _doc in obs.recorder.dumps
+                 if r.startswith("slo-breach:delta-latency:req:")]
+        assert len(dumps) == 1, "the watchdog latches after one dump"
+        assert slo.breached.get("delta-latency", "").startswith("req:")

@@ -1,0 +1,87 @@
+"""The wire codec's trace-context wrapper and its failure modes."""
+
+import pytest
+
+from repro.errors import NetError
+from repro.net.protocol import (
+    CTX_TYPE_ID,
+    WIRE_VERSION,
+    InputCommand,
+    StateUpdate,
+    decode,
+    decode_with_context,
+    encode,
+)
+from repro.obs import TraceContext
+
+
+def sample_msg():
+    return InputCommand("alice", 3, "move", {"dx": 1.0}, tick=7)
+
+
+def sample_ctx():
+    return TraceContext("req:9", span_id=4, flow_id="gw:2", origin_tick=7)
+
+
+class TestWrapper:
+    def test_context_round_trips_with_the_message(self):
+        data = encode(sample_msg(), ctx=sample_ctx())
+        msg, ctx = decode_with_context(data)
+        assert msg == sample_msg()
+        assert ctx == sample_ctx()
+
+    def test_plain_decode_unwraps_transparently(self):
+        data = encode(sample_msg(), ctx=sample_ctx())
+        assert decode(data) == sample_msg()
+
+    def test_bare_message_has_no_context(self):
+        msg, ctx = decode_with_context(encode(sample_msg()))
+        assert msg == sample_msg() and ctx is None
+
+    def test_wrapper_is_marked_by_the_reserved_type_id(self):
+        data = encode(sample_msg(), ctx=sample_ctx())
+        assert data[0] == WIRE_VERSION and data[1] == CTX_TYPE_ID
+        bare = encode(sample_msg())
+        assert bare[1] != CTX_TYPE_ID
+
+    def test_any_registered_message_wraps(self):
+        msg = StateUpdate(entity=5, fields={"x": 1.0}, tick=3)
+        decoded, ctx = decode_with_context(encode(msg, ctx=sample_ctx()))
+        assert decoded == msg and ctx == sample_ctx()
+
+
+class TestHostileInput:
+    def test_missing_terminator_is_a_net_error(self):
+        data = bytes((WIRE_VERSION, CTX_TYPE_ID)) + b'{"t":"x"}'
+        with pytest.raises(NetError, match="terminator"):
+            decode(data)
+
+    def test_corrupt_context_json_is_a_net_error(self):
+        data = bytes((WIRE_VERSION, CTX_TYPE_ID)) + b"not-json\x00" + \
+            encode(sample_msg())
+        with pytest.raises(NetError, match="context"):
+            decode(data)
+
+    def test_non_object_context_is_a_net_error(self):
+        data = bytes((WIRE_VERSION, CTX_TYPE_ID)) + b"[1,2]\x00" + \
+            encode(sample_msg())
+        with pytest.raises(NetError, match="context"):
+            decode(data)
+
+    def test_nested_wrappers_are_rejected(self):
+        inner = encode(sample_msg(), ctx=sample_ctx())
+        header = bytes((WIRE_VERSION, CTX_TYPE_ID)) + b'{"t":"y"}\x00'
+        with pytest.raises(NetError, match="nested"):
+            decode(header + inner)
+
+    def test_wrapper_with_empty_body_is_truncated(self):
+        data = bytes((WIRE_VERSION, CTX_TYPE_ID)) + b'{"t":"x"}\x00'
+        with pytest.raises(NetError, match="truncated"):
+            decode(data)
+
+    def test_context_defaults_fill_missing_fields(self):
+        header = b'{"t":"req:1"}'
+        data = bytes((WIRE_VERSION, CTX_TYPE_ID)) + header + b"\x00" + \
+            encode(sample_msg())
+        _msg, ctx = decode_with_context(data)
+        assert ctx == TraceContext("req:1")

@@ -1,0 +1,222 @@
+"""Causal plane: trace contexts, flow arrows, and the request ledger."""
+
+import pytest
+
+from repro.obs import (
+    MemorySink,
+    RequestTracker,
+    TraceContext,
+    Tracer,
+    accept_context,
+    emit_context,
+    match_flows,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def make_tracer(lane=""):
+    sink = MemorySink()
+    return Tracer(sink=sink, lane=lane), sink
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext("req:7", span_id=3, flow_id="gw:2", origin_tick=11)
+        assert TraceContext.from_wire(ctx.to_wire()) == ctx
+
+    def test_from_wire_coerces_and_defaults(self):
+        ctx = TraceContext.from_wire({"t": 42, "s": "5"})
+        assert ctx == TraceContext("42", span_id=5, flow_id="", origin_tick=0)
+
+
+class TestEmitAccept:
+    def test_disabled_passes_carry_through(self):
+        tracer = Tracer()
+        carried = TraceContext("req:1", origin_tick=4)
+        assert emit_context(tracer, carry=carried) is carried
+        assert emit_context(tracer) is None
+        assert accept_context(tracer, carried) == "req:1"
+        assert accept_context(tracer, None) == ""
+
+    def test_enabled_opens_and_closes_a_flow(self):
+        sender, sink = make_tracer("coord")
+        receiver = sender.fork("shard:0")
+        with sender.span("cluster.tick"):
+            ctx = emit_context(sender, name="net.Prepare")
+        assert ctx.flow_id and ctx.trace_id == f"msg:{ctx.flow_id}"
+        with receiver.span("shard.handle"):
+            assert accept_context(receiver, ctx) == ctx.trace_id
+        phases = [(f.phase, f.lane) for f in sink.flows]
+        assert phases == [("s", "coord"), ("f", "shard:0")]
+
+    def test_carry_preserves_trace_identity(self):
+        tracer, sink = make_tracer()
+        origin = TraceContext("req:9", origin_tick=2)
+        hop = emit_context(tracer, carry=origin)
+        assert hop.trace_id == "req:9"
+        assert hop.origin_tick == 2
+        assert hop.flow_id != ""
+
+
+class TestLaneOrdering:
+    def test_merged_lanes_are_monotone_per_lane(self):
+        """Regression: two shards ticking the same tick numbers must not
+        interleave — each lane's exported timestamps stay monotone and
+        land on that lane's own timeline row."""
+        root, sink = make_tracer()
+        a = root.fork("shard:0")
+        b = root.fork("shard:1")
+        for tick in range(3):
+            for lane in (a, b):
+                lane.begin_tick(tick)
+                with lane.span("tick", tick=tick):
+                    with lane.span("inner"):
+                        pass
+        doc = to_chrome_trace(sink.spans, sink.events)
+        validate_chrome_trace(doc)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        tids = {e["tid"] for e in slices}
+        assert len(tids) == 2, "each lane gets its own timeline row"
+        by_tid = {}
+        for e in slices:
+            by_tid.setdefault(e["tid"], []).append(e["ts"])
+        for tid, stamps in by_tid.items():
+            assert stamps == sorted(stamps), f"lane row {tid} not monotone"
+        rows = {e["args"]["name"] for e in doc["traceEvents"]
+                if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert rows >= {"shard:0", "shard:1"}
+
+
+class TestFlowExport:
+    def test_bound_flows_become_arrow_events(self):
+        tracer, sink = make_tracer("gw")
+        shard = tracer.fork("shard:0")
+        with tracer.span("send"):
+            fid = tracer.flow_start("net.msg", "net")
+        with shard.span("recv"):
+            shard.flow_finish(fid, "net.msg", "net")
+        doc = to_chrome_trace(sink.spans, sink.events, flows=sink.flows)
+        validate_chrome_trace(doc)
+        arrows = {e["ph"]: e for e in doc["traceEvents"]
+                  if e.get("ph") in ("s", "f")}
+        assert set(arrows) == {"s", "f"}
+        assert arrows["s"]["id"] == arrows["f"]["id"] == fid
+        assert arrows["f"]["bp"] == "e", "finish binds to the enclosing slice"
+        assert arrows["s"]["tid"] != arrows["f"]["tid"], "arrow crosses lanes"
+
+    def test_unmatched_flows_are_dropped_not_exported(self):
+        tracer, sink = make_tracer()
+        with tracer.span("send"):
+            tracer.flow_start("lost", "net")
+        bound, orphans = match_flows(sink.flows)
+        assert bound == [] and len(orphans) == 1
+        doc = to_chrome_trace(sink.spans, sink.events, flows=sink.flows)
+        validate_chrome_trace(doc)  # must not raise: orphan was dropped
+        assert all(e.get("ph") not in ("s", "f") for e in doc["traceEvents"])
+
+    def test_validation_rejects_half_flows(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "id": "x:1", "name": "f", "cat": "net",
+                 "ts": 1, "pid": 1, "tid": 0},
+            ],
+            "displayTimeUnit": "ms",
+        }
+        with pytest.raises(ValueError, match="no finish"):
+            validate_chrome_trace(doc)
+
+
+def terminal_spans(sink):
+    return [s for s in sink.spans if s.name == "request.delivered"]
+
+
+class TestRequestTracker:
+    def test_delta_completes_requests_before_its_tick(self):
+        tracer, sink = make_tracer("gw")
+        tracker = RequestTracker(tracer)
+        ctx = tracker.ingress("s1", tick=5)
+        assert ctx.trace_id == "req:1"
+        tracker.on_tick(6)
+        tracker.deliver("s1", delta_tick=6, tick=6)
+        assert tracker.completed == 1 and tracker.in_flight == 0
+        (span,) = terminal_spans(sink)
+        assert span.args["trace_id"] == "req:1"
+        assert span.args["e2e_ticks"] == 1
+        # every flow opened by the ledger also closed: no orphans
+        bound, orphans = match_flows(sink.flows)
+        assert orphans == []
+
+    def test_delta_at_ingress_tick_does_not_complete(self):
+        tracer, _sink = make_tracer()
+        tracker = RequestTracker(tracer)
+        tracker.ingress("s1", tick=5)
+        tracker.deliver("s1", delta_tick=5, tick=5)
+        assert tracker.completed == 0 and tracker.in_flight == 1
+
+    def test_segments_decompose_latency(self):
+        tracer, sink = make_tracer()
+        tracker = RequestTracker(tracer)
+        ctx = tracker.ingress("s1", tick=10)
+        tracker.on_tick(11)
+        tracker.mark(ctx.trace_id, "commit", 11)
+        tracker.on_tick(12)
+        tracker.deliver("s1", delta_tick=12, tick=12)
+        (span,) = terminal_spans(sink)
+        assert span.args["queue"] == 0
+        assert span.args["tick"] == 1
+        assert span.args["commit"] == 1
+        assert span.args["flush"] == 1
+
+    def test_expiry_closes_flows_and_counts(self):
+        tracer, sink = make_tracer()
+        tracker = RequestTracker(tracer, ttl_ticks=4)
+        tracker.ingress("s1", tick=0)
+        tracker.on_tick(5)
+        assert tracker.expired == 1 and tracker.in_flight == 0
+        bound, orphans = match_flows(sink.flows)
+        assert orphans == [], "expiry must close the request's flow"
+        assert {f.phase for f in bound} == {"s", "f"}
+
+    def test_drop_session_abandons_and_excludes_from_completeness(self):
+        tracer, _sink = make_tracer()
+        tracker = RequestTracker(tracer)
+        tracker.ingress("s1", tick=0)
+        tracker.ingress("s2", tick=0)
+        tracker.drop_session("s1", tick=1)
+        tracker.deliver("s2", delta_tick=1, tick=1)
+        assert tracker.abandoned == 1
+        assert tracker.completeness() == 1.0
+
+    def test_event_bind_completes_once_and_redelivery_is_noop(self):
+        tracer, sink = make_tracer()
+        tracker = RequestTracker(tracer)
+        ctx = tracker.ingress("s1", tick=0)
+        tracker.bind_event("1:score:k", ctx.trace_id)
+        tracker.mark_dedup("1:score:k", "outbox", 2)
+        tracker.note_event("1:score:k", tick=2)
+        assert tracker.completed == 1
+        (span,) = terminal_spans(sink)
+        assert span.args["outbox"] == 2
+        # outbox redelivery of the same dedup key: bind is gone
+        tracker.note_event("1:score:k", tick=3)
+        assert tracker.completed == 1
+        assert len(terminal_spans(sink)) == 1
+
+    def test_disabled_tracer_still_accounts(self):
+        tracker = RequestTracker(Tracer())
+        tracker.ingress("s1", tick=0)
+        tracker.deliver("s1", delta_tick=1, tick=1)
+        assert tracker.completed == 1
+        assert tracker.stats()["completeness"] == 1.0
+
+    def test_slo_receives_completed_latency(self):
+        from repro.obs import SLObjective, SLOPlane
+
+        slo = SLOPlane([SLObjective("fast", 2.0, target=0.5, window=8,
+                                    min_samples=1)])
+        tracker = RequestTracker(Tracer(), slo=slo)
+        tracker.ingress("s1", tick=0)
+        tracker.deliver("s1", delta_tick=3, tick=3)
+        assert slo.samples == 1
+        assert slo.latency.as_dict()["count"] == 1

@@ -1,0 +1,96 @@
+"""Prometheus text exposition: render_text / parse_text round-trips."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_text, render_text
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestRenderText:
+    def test_counter_renders_with_type_header(self, registry):
+        registry.counter("gw.frames_in").inc(3)
+        text = render_text(registry)
+        assert "# TYPE gw_frames_in counter" in text
+        assert "gw_frames_in 3" in text
+
+    def test_labels_render_sorted_and_quoted(self, registry):
+        registry.counter("shard.sent", shard="1", kind="delta").inc(7)
+        text = render_text(registry)
+        assert 'shard_sent{kind="delta",shard="1"} 7' in text
+
+    def test_gauge_value(self, registry):
+        registry.gauge("gw.active").set(42)
+        assert "# TYPE gw_active gauge" in render_text(registry)
+        assert "gw_active 42" in render_text(registry)
+
+    def test_histogram_expands_cumulative_buckets(self, registry):
+        h = registry.histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 99.0):
+            h.observe(v)
+        text = render_text(registry)
+        assert 'lat_bucket{le="1.0"} 1' in text
+        assert 'lat_bucket{le="2.0"} 2' in text
+        assert 'lat_bucket{le="4.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_sum 104.0" in text
+        assert "lat_count 4" in text
+
+    def test_label_values_escape_quotes_and_newlines(self, registry):
+        registry.counter("odd", tag='say "hi"\nthere').inc()
+        line = next(
+            ln for ln in render_text(registry).splitlines()
+            if ln.startswith("odd")
+        )
+        assert r"\"hi\"" in line and r"\n" in line
+        assert "\n" not in line  # the newline itself must not survive
+
+    def test_dotted_and_dashed_names_normalise(self, registry):
+        registry.counter("a.b-c").inc()
+        assert "a_b_c 1" in render_text(registry)
+
+    def test_type_header_emitted_once_across_label_sets(self, registry):
+        registry.counter("hits", shard="0").inc()
+        registry.counter("hits", shard="1").inc()
+        text = render_text(registry)
+        assert text.count("# TYPE hits counter") == 1
+
+
+class TestRoundTrip:
+    def test_full_registry_round_trips(self, registry):
+        registry.counter("net.sent", link="a-b").inc(5)
+        registry.counter("net.sent", link="b-a").inc(2)
+        registry.gauge("gw.active").set(17)
+        h = registry.histogram("frame.ms", bounds=(1.0, 5.0))
+        for v in (0.5, 2.0, 2.0, 9.0):
+            h.observe(v)
+
+        parsed = parse_text(render_text(registry))
+
+        assert parsed["net_sent"] == {'{link="a-b"}': 5.0,
+                                      '{link="b-a"}': 2.0}
+        assert parsed["gw_active"] == {"": 17.0}
+        assert parsed["frame_ms_bucket"]['{le="1.0"}'] == 1.0
+        assert parsed["frame_ms_bucket"]['{le="5.0"}'] == 3.0
+        assert parsed["frame_ms_bucket"]['{le="+Inf"}'] == 4.0
+        assert parsed["frame_ms_sum"][""] == pytest.approx(13.5)
+        assert parsed["frame_ms_count"][""] == 4.0
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# TYPE x counter\n\nx 1\n# stray comment\nx{a=\"b\"} 2\n"
+        parsed = parse_text(text)
+        assert parsed["x"] == {"": 1.0, '{a="b"}': 2.0}
+
+    def test_empty_registry_renders_and_parses(self, registry):
+        assert parse_text(render_text(registry)) == {}
+
+    def test_hub_registry_is_exposable(self):
+        from repro.obs import Observability
+
+        obs = Observability.metrics_only()
+        obs.metrics.counter("ticks").inc(12)
+        parsed = parse_text(render_text(obs.metrics))
+        assert parsed["ticks"] == {"": 12.0}

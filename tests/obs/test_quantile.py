@@ -1,0 +1,84 @@
+"""Histogram.quantile against distributions with known percentiles."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.metrics import Histogram
+
+
+def hist(bounds=(1.0, 2.0, 4.0, 8.0)):
+    return Histogram("h", {}, bounds=bounds)
+
+
+class TestQuantile:
+    def test_empty_histogram_is_zero(self):
+        assert hist().quantile(0.5) == 0.0
+
+    def test_q_outside_unit_interval_raises(self):
+        h = hist()
+        h.observe(1.0)
+        with pytest.raises(ObsError, match="quantile"):
+            h.quantile(-0.1)
+        with pytest.raises(ObsError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_point_mass_lands_in_its_bucket(self):
+        h = hist()
+        for _ in range(100):
+            h.observe(1.5)  # all in the (1, 2] bucket
+        for q in (0.1, 0.5, 0.99):
+            assert 1.0 < h.quantile(q) <= 2.0
+
+    def test_uniform_distribution_interpolates(self):
+        # 1000 samples uniform over (0, 8] with bucket-aligned mass:
+        # an eighth of the samples per unit of x.
+        h = hist(bounds=(2.0, 4.0, 6.0, 8.0))
+        for i in range(1000):
+            h.observe(8.0 * (i + 0.5) / 1000)
+        assert h.quantile(0.5) == pytest.approx(4.0, abs=0.05)
+        assert h.quantile(0.25) == pytest.approx(2.0, abs=0.05)
+        assert h.quantile(0.75) == pytest.approx(6.0, abs=0.05)
+
+    def test_interpolation_within_one_bucket(self):
+        # 4 samples in (0, 10]: ranks interpolate linearly from the
+        # bucket's lower edge 0 to its upper bound 10.
+        h = hist(bounds=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = hist(bounds=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(100.0)  # all overflow
+        assert h.quantile(0.99) == 2.0
+
+    def test_skewed_tail_p99_exceeds_p50(self):
+        h = hist()
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(7.0)
+        assert h.quantile(0.5) < 1.0
+        assert h.quantile(0.995) > 4.0
+
+    def test_q0_is_the_distribution_floor(self):
+        h = hist()
+        h.observe(3.0)
+        assert h.quantile(0.0) == 0.0
+
+
+class TestAsDict:
+    def test_as_dict_carries_percentiles(self):
+        h = hist()
+        for v in (0.5, 1.5, 3.0, 7.0):
+            h.observe(v)
+        d = h.as_dict()
+        assert d["count"] == 4
+        assert d["p50"] == h.quantile(0.5)
+        assert d["p99"] == h.quantile(0.99)
+        assert d["p50"] <= d["p99"]
+
+    def test_empty_as_dict_percentiles_are_zero(self):
+        d = hist().as_dict()
+        assert d["p50"] == 0.0 and d["p99"] == 0.0

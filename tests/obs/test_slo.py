@@ -1,0 +1,146 @@
+"""SLO plane: burn rates, latched breaches, and the watchdog."""
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs import Observability, SLObjective, SLOPlane
+
+
+def fast_objective(**overrides):
+    kwargs = dict(name="fast", threshold_ticks=2.0, target=0.9,
+                  window=8, min_samples=2)
+    kwargs.update(overrides)
+    return SLObjective(**kwargs)
+
+
+class TestObjectiveValidation:
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ObsError, match="target"):
+            SLObjective("x", 1.0, target=1.0)
+        with pytest.raises(ObsError, match="target"):
+            SLObjective("x", 1.0, target=0.0)
+
+    def test_window_and_min_samples_positive(self):
+        with pytest.raises(ObsError, match="window"):
+            SLObjective("x", 1.0, window=0)
+        with pytest.raises(ObsError, match="window"):
+            SLObjective("x", 1.0, min_samples=0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ObsError, match="duplicate"):
+            SLOPlane([fast_objective(), fast_objective()])
+
+
+class TestBurnRate:
+    def test_cold_window_burns_nothing(self):
+        slo = SLOPlane([fast_objective()])
+        assert slo.burn_rate("fast") == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        # target 0.9 -> budget 0.1.  2 bad out of 4 = 0.5 bad fraction,
+        # burn rate 0.5 / 0.1 = 5.0.
+        slo = SLOPlane([fast_objective(min_samples=10)])
+        for e2e in (1, 1, 5, 5):
+            slo.record(e2e)
+        assert slo.burn_rate("fast") == pytest.approx(5.0)
+
+    def test_window_slides(self):
+        slo = SLOPlane([fast_objective(window=4, min_samples=100)])
+        for e2e in (5, 5, 5, 5):
+            slo.record(e2e)
+        for e2e in (1, 1, 1, 1):  # the bad samples age out
+            slo.record(e2e)
+        assert slo.burn_rate("fast") == 0.0
+
+    def test_unknown_objective_raises(self):
+        slo = SLOPlane([fast_objective()])
+        with pytest.raises(ObsError, match="unknown"):
+            slo.burn_rate("nope")
+
+
+class TestBreachLatch:
+    def test_breach_fires_once_and_latches(self):
+        fired = []
+        slo = SLOPlane([fast_objective()],
+                       on_breach=lambda name, tid: fired.append((name, tid)))
+        slo.record(9.0, "req:1")
+        slo.record(9.0, "req:2")  # min_samples met, burn >> 1 -> breach
+        slo.record(9.0, "req:3")  # still bad, but latched: no second fire
+        assert fired == [("fast", "req:2")]
+        assert slo.breached == {"fast": "req:2"}
+
+    def test_min_samples_guards_cold_start(self):
+        slo = SLOPlane([fast_objective(min_samples=5)])
+        for i in range(4):
+            slo.record(9.0, f"req:{i}")
+        assert slo.breached == {}
+        slo.record(9.0, "req:4")
+        assert slo.breached == {"fast": "req:4"}
+
+    def test_good_samples_never_trigger_evaluation(self):
+        slo = SLOPlane([fast_objective(min_samples=1)])
+        slo.record(1.0)
+        assert slo.breached == {}
+
+    def test_breach_dumps_flight_recorder_with_trace_id(self):
+        obs = Observability.full(last_ticks=16)
+        obs.tracer.begin_tick(0)
+        with obs.tracer.span("tick"):
+            pass
+        slo = SLOPlane([fast_objective()], obs=obs)
+        slo.record(9.0, "req:7")
+        slo.record(9.0, "req:8")
+        reasons = [reason for reason, _doc in obs.recorder.dumps]
+        assert reasons == ["slo-breach:fast:req:8"]
+
+    def test_breach_without_trace_id_says_unknown(self):
+        obs = Observability.full(last_ticks=16)
+        slo = SLOPlane([fast_objective()], obs=obs)
+        slo.record(9.0)
+        slo.record(9.0)
+        assert [r for r, _ in obs.recorder.dumps] == \
+            ["slo-breach:fast:unknown"]
+
+    def test_reset_rearms_and_clears_window(self):
+        fired = []
+        slo = SLOPlane([fast_objective()],
+                       on_breach=lambda name, tid: fired.append(tid))
+        slo.record(9.0, "a")
+        slo.record(9.0, "b")
+        slo.reset("fast")
+        assert slo.breached == {}
+        assert slo.burn_rate("fast") == 0.0
+        slo.record(9.0, "c")
+        slo.record(9.0, "d")
+        assert fired == ["b", "d"]
+
+    def test_objectives_latch_independently(self):
+        slo = SLOPlane([
+            fast_objective(),
+            fast_objective(name="slow", threshold_ticks=100.0),
+        ])
+        slo.record(9.0, "x")
+        slo.record(9.0, "y")
+        assert set(slo.breached) == {"fast"}
+
+
+class TestState:
+    def test_state_shape_is_telemetry_ready(self):
+        slo = SLOPlane([fast_objective(min_samples=100)])
+        for e2e in (1, 1, 3, 5):
+            slo.record(e2e)
+        state = slo.state()
+        assert state["samples"] == 4
+        assert state["p50_ticks"] > 0
+        assert state["p99_ticks"] >= state["p50_ticks"]
+        obj = state["objectives"]["fast"]
+        assert obj["window"] == 4 and obj["bad"] == 2
+        assert obj["burn_rate"] == pytest.approx(5.0)
+        assert obj["breached"] is None
+
+    def test_latency_histogram_percentiles(self):
+        slo = SLOPlane([fast_objective(min_samples=100)])
+        for _ in range(100):
+            slo.record(1.0)
+        assert slo.latency.as_dict()["count"] == 100
+        assert slo.state()["p50_ticks"] <= 1.0
