@@ -11,8 +11,15 @@ metrics only — speedups and hit rates — inside a tolerance band:
 A ratio metric regresses when it drops below ``baseline * (1 - tol)``;
 improvements never fail the gate (run ``--update`` to ratchet the
 baseline forward deliberately).  Boolean metrics (e.g. ``hash_equal``)
-must match exactly.  Exit status is the CI contract: 0 clean, 1
-regressed, 2 unusable input.
+must match exactly.  ``--min metric=value`` (repeatable) adds an
+*absolute* floor on top of the relative band — use it for ratios that
+are host independent by construction, e.g.::
+
+    python benchmarks/check_regression.py BENCH_E18.json \
+        --baseline benchmarks/BENCH_E18.baseline.json \
+        --min cluster_speedup_w4=2.0
+
+Exit status is the CI contract: 0 clean, 1 regressed, 2 unusable input.
 """
 
 import argparse
@@ -45,6 +52,39 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def check_floors(current: dict, floors: dict[str, float]) -> list[str]:
+    """Absolute-minimum failures (``--min``); empty == the gate passes."""
+    failures = []
+    cur = current.get("metrics", {})
+    for name, floor in sorted(floors.items()):
+        if name not in cur:
+            failures.append(f"{name}: missing from current run")
+            continue
+        actual = cur[name]
+        if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+            failures.append(f"{name}: not numeric ({actual!r})")
+        elif actual < floor:
+            failures.append(
+                f"{name}: {actual:.3f} < {floor:.3f} (absolute floor)"
+            )
+    return failures
+
+
+def parse_floor(spec: str) -> tuple[str, float]:
+    """``metric=value`` → ``(metric, value)``; raises on malformed input."""
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected metric=value, got {spec!r}"
+        )
+    try:
+        return name, float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"floor for {name!r} is not a number: {value!r}"
+        ) from exc
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="benchmark regression gate over relative metrics"
@@ -61,6 +101,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--update", action="store_true",
         help="overwrite the baseline with the current run and exit",
+    )
+    parser.add_argument(
+        "--min", dest="floors", type=parse_floor, action="append",
+        default=[], metavar="METRIC=VALUE",
+        help="absolute floor for a metric (repeatable); fails if the "
+             "current value is below it regardless of the baseline",
     )
     args = parser.parse_args(argv)
 
@@ -88,6 +134,8 @@ def main(argv=None) -> int:
         return 2
 
     failures = compare(current, baseline, args.tolerance)
+    floors = dict(args.floors)
+    failures += check_floors(current, floors)
     label = current.get("experiment", "?")
     if failures:
         print(f"{label}: {len(failures)} metric(s) regressed:")
@@ -95,8 +143,9 @@ def main(argv=None) -> int:
             print(f"  - {line}")
         return 1
     checked = len(baseline.get("metrics", {}))
+    extra = f" + {len(floors)} absolute floor(s)" if floors else ""
     print(f"{label}: {checked} metrics within {args.tolerance:.0%} "
-          f"of baseline — ok")
+          f"of baseline{extra} — ok")
     return 0
 
 

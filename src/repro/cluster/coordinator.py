@@ -276,6 +276,33 @@ class ClusterCoordinator:
             instance = system if decorated else system()
             host.world.add_system(instance, priority=priority)
 
+    def add_batch_system(
+        self,
+        name: str,
+        reads: Iterable[str],
+        fn: Callable[..., Any],
+        priority: int = 100,
+        interval: int = 1,
+        writes: Iterable[str] | None = None,
+        elementwise: bool = False,
+    ) -> None:
+        """Register the same set-at-a-time system on every shard world.
+
+        ``fn(world, entity_ids, columns, dt)`` runs once per shard frame
+        over that shard's whole entity set — the columnar formulation of
+        what :meth:`add_per_entity_system` does tuple-at-a-time.  Under a
+        ``parallel=`` policy the kernel executes inside the worker
+        processes against the shared-memory columns, which is where the
+        cluster's batch speedup comes from.
+        """
+        reads = tuple(reads)
+        writes = tuple(writes) if writes is not None else None
+        for host in self.shards:
+            host.world.add_batch_system(
+                name, reads, fn, priority=priority, interval=interval,
+                writes=writes, elementwise=elementwise,
+            )
+
     def add_script_system(self, name: str, source: str, **kwargs: Any) -> None:
         """Compile and register the same GSL script on every shard world."""
         from repro.scripting.script_system import add_script_system
@@ -602,8 +629,15 @@ class ClusterCoordinator:
         """Whether shard ticks currently run on worker processes."""
         return self._parallel is not None
 
-    def start_parallel(self, workers: int | None = None) -> Any:
-        """Fork shard workers and route subsequent ticks through them."""
+    def start_parallel(
+        self, workers: int | None = None, *, shm_headroom: int = 1024
+    ) -> Any:
+        """Fork shard workers and route subsequent ticks through them.
+
+        ``shm_headroom`` sizes the shared-memory column segments beyond
+        the current entity population: entities spawned while parallel
+        fit without spilling as long as their count stays under it.
+        """
         if self._parallel is not None:
             return self._parallel
         if type(self)._step_shards is not ClusterCoordinator._step_shards:
@@ -614,7 +648,9 @@ class ClusterCoordinator:
         from repro.parallel.procpool import ProcessShardExecutor
 
         self._parallel = ProcessShardExecutor(
-            self, workers if workers is not None else (self._parallel_workers or 2)
+            self,
+            workers if workers is not None else (self._parallel_workers or 2),
+            shm_headroom=shm_headroom,
         )
         return self._parallel
 

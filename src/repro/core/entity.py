@@ -65,8 +65,9 @@ class EntityAllocator:
         while len(self._generations) <= slot:
             self._free.append(len(self._generations))
             self._generations.append(0)
-        live_slots = {unpack_id(eid)[0] for eid in self._live}
-        if slot in live_slots:
+        # While an entity occupies a slot, ``_generations[slot]`` holds
+        # its generation, so occupancy is one O(1) membership probe.
+        if pack_id(slot, self._generations[slot]) in self._live:
             raise UnknownEntityError(
                 f"slot {slot} already holds a live entity of another generation"
             )

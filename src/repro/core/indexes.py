@@ -255,6 +255,21 @@ class IndexManager:
 
     # -- delta maintenance ----------------------------------------------------
 
+    def wants_update(self, field: str) -> bool:
+        """Whether an update to ``field`` needs per-row delta dispatch.
+
+        The table's set-at-a-time update path asks before paying per-row
+        observer calls: a manager with no index over the written field
+        has nothing to maintain, so the whole column can be replaced at
+        buffer speed.  Insert/delete deltas are always delivered — they
+        change row membership, which every index tracks.
+        """
+        if field in self._hash or field in self._sorted:
+            return True
+        return any(
+            e["x"] == field or e["y"] == field for e in self._spatial
+        )
+
     def _on_delta(self, kind: str, entity_id: int, payload: Mapping[str, Any]) -> None:
         if kind == "insert":
             for field, idx in self._hash.items():

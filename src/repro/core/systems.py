@@ -255,10 +255,18 @@ class BatchSystem(System):
     """Set-at-a-time system operating on whole columns.
 
     ``fn(world, entity_ids, columns, dt)`` receives a tuple of entity ids
-    and a mapping ``{"Component.field": tuple_of_values}`` and returns a
-    mapping ``{"Component.field": sequence_of_new_values}`` (or None for a
-    read-only system).  Writes are applied through the table layer in one
-    pass so observers still see per-entity deltas.
+    and a mapping ``{"Component.field": sequence_of_values}`` (zero-copy
+    memoryviews over the typed column buffers when available, else
+    materialized lists) and returns a mapping ``{"Component.field":
+    sequence_of_new_values}`` (or None for a read-only system).  Writes
+    are applied through the table layer in one pass so observers still
+    see per-entity deltas.
+
+    ``elementwise=True`` declares that row ``i`` of every returned column
+    depends only on row ``i`` of the inputs (no cross-row aggregates).
+    The parallel executor may then split the entity range into per-worker
+    chunks and run the kernel once per chunk — the results concatenate to
+    exactly what one whole-range call would produce.
     """
 
     def __init__(
@@ -269,6 +277,7 @@ class BatchSystem(System):
         interval: int = 1,
         *,
         writes: Sequence[str] | None = None,
+        elementwise: bool = False,
     ):
         spec = None
         if writes is not None:
@@ -279,6 +288,7 @@ class BatchSystem(System):
             raise QueryError("BatchSystem requires at least one read column")
         self.fn = fn
         self.writes = tuple(writes) if writes is not None else None
+        self.elementwise = bool(elementwise)
         self._parse_cache: list[tuple[str, str]] = []
         for ref in self.reads:
             comp, _, fld = ref.partition(".")
@@ -301,28 +311,65 @@ class BatchSystem(System):
             self._prepared_world = world
         return self._prepared
 
-    def _compute(
-        self, world: "GameWorld", dt: float
+    def gather_columns(
+        self, world: "GameWorld"
     ) -> tuple[tuple[int, ...], dict[str, Sequence[Any]]]:
+        """Resolve the entity set and read columns (zero-copy when possible).
+
+        Columns come from ``batch_rows(copy=False)``: when the signature
+        ids match a table's own row order (the all-entities steady state)
+        the values are memoryview slices straight over the typed buffers,
+        with no per-row gather at all.
+        """
         ids = tuple(self._signature_query(world).execute().ids)
-        columns: dict[str, tuple[Any, ...]] = {}
+        by_comp: dict[str, list[str]] = {}
         for comp, fld in self._parse_cache:
-            columns[f"{comp}.{fld}"] = tuple(
-                world.table(comp).gather(fld, ids)
-            )
-        writes = self.fn(world, ids, columns, dt) or {}
+            by_comp.setdefault(comp, []).append(fld)
+        columns: dict[str, Sequence[Any]] = {}
+        for comp, flds in by_comp.items():
+            _ids, cols = world.table(comp).batch_rows(flds, ids, copy=False)
+            for fld in flds:
+                columns[f"{comp}.{fld}"] = cols[fld]
+        return ids, columns
+
+    def _check_writes(
+        self, writes: dict[str, Sequence[Any]], count: int
+    ) -> dict[str, Sequence[Any]]:
         for ref, values in writes.items():
             if self.writes is not None and ref not in self.writes:
                 raise QueryError(
                     f"BatchSystem {self.name!r}: wrote undeclared column "
                     f"{ref!r} (declared writes: {self.writes})"
                 )
-            if len(values) != len(ids):
+            if len(values) != count:
                 raise QueryError(
                     f"BatchSystem {self.name!r}: write column {ref!r} has "
-                    f"{len(values)} values for {len(ids)} entities"
+                    f"{len(values)} values for {count} entities"
                 )
-        return ids, writes
+        return writes
+
+    def compute_chunk(
+        self,
+        world: "GameWorld",
+        ids: Sequence[int],
+        columns: dict[str, Sequence[Any]],
+        dt: float,
+    ) -> dict[str, Sequence[Any]]:
+        """Run the kernel on one pre-sliced chunk (elementwise systems).
+
+        The executor slices ``gather_columns`` output into per-worker
+        ranges (O(1) on memoryviews) and calls this per chunk; each
+        chunk's writes are validated against the chunk length.
+        """
+        writes = self.fn(world, ids, columns, dt) or {}
+        return self._check_writes(writes, len(ids))
+
+    def _compute(
+        self, world: "GameWorld", dt: float
+    ) -> tuple[tuple[int, ...], dict[str, Sequence[Any]]]:
+        ids, columns = self.gather_columns(world)
+        writes = self.fn(world, ids, columns, dt) or {}
+        return ids, self._check_writes(writes, len(ids))
 
     def run(self, world: "GameWorld", dt: float) -> None:
         self.runs += 1

@@ -17,12 +17,26 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.core.component import ComponentSchema
+from repro.core.columns import TypedColumn, make_column
 from repro.errors import ComponentMissingError, DuplicateComponentError, SchemaError
 
 #: Observer callback signature: (kind, entity_id, field_values) where kind is
 #: "insert" | "delete" | "update".  For updates, field_values maps each
 #: changed field to (old, new); for insert/delete it maps field -> value.
 TableObserver = Callable[[str, int, Mapping[str, Any]], None]
+
+
+def _wants_update(obs: TableObserver, field: str) -> bool:
+    """Whether an observer needs per-row "update" deltas for ``field``.
+
+    Observers opt out by exposing ``wants_update(field) -> bool`` — on
+    themselves, or on the owner when the observer is a bound method
+    (e.g. ``IndexManager._on_delta``).  Absence means interested, so
+    plain callables keep the exact-delta contract unchanged.
+    """
+    owner = getattr(obs, "__self__", obs)
+    wants = getattr(owner, "wants_update", None)
+    return True if wants is None else bool(wants(field))
 
 
 class ComponentTable:
@@ -35,8 +49,13 @@ class ComponentTable:
 
     def __init__(self, schema: ComponentSchema):
         self.schema = schema
-        self._columns: dict[str, list[Any]] = {
-            name: [] for name in schema.field_names
+        # Numeric non-nullable fields live on typed buffers (array('d') /
+        # array('q') or numpy, see repro.core.columns); the rest stay
+        # plain object lists.  Both satisfy the same list protocol, so
+        # every mutation path below is backend-oblivious.
+        self._columns: dict[str, Any] = {
+            name: make_column(schema.field(name))
+            for name in schema.field_names
         }
         self._entities: list[int] = []
         self._slot_of: dict[int, int] = {}
@@ -121,15 +140,22 @@ class ComponentTable:
 
         This is the columnar fast path used by
         :class:`~repro.core.systems.BatchSystem`: values are validated and
-        written directly into the column array.  Observers still receive
-        per-entity deltas (indexes must stay exact), but when no observer
-        is registered the loop collapses to raw column writes — the
-        "join-processing on GPUs" execution style the tutorial describes.
+        written directly into the column array.  Observers that need
+        per-entity deltas still receive them (indexes must stay exact),
+        but observers may opt out per field via ``wants_update(field)``
+        on themselves (or on a bound method's owner) — an index manager
+        with no index over the written field does.  With no interested
+        observer and ids in row order, the whole column is replaced in
+        one buffer-speed write — the "join-processing on GPUs" execution
+        style the tutorial describes.
         """
         fdef = self.schema.field(field)
         col = self._columns[field]
+        interested = [
+            obs for obs in self._observers if _wants_update(obs, field)
+        ]
         changed = 0
-        if self._observers:
+        if interested:
             for entity_id, value in zip(entity_ids, values):
                 slot = self._require_slot(entity_id)
                 new = fdef.validate(value)
@@ -137,15 +163,40 @@ class ComponentTable:
                 if old != new:
                     col[slot] = new
                     changed += 1
-                    self._notify("update", entity_id, {field: (old, new)})
-        else:
-            for entity_id, value in zip(entity_ids, values):
-                slot = self._require_slot(entity_id)
-                new = fdef.validate(value)
-                if col[slot] != new:
-                    col[slot] = new
-                    changed += 1
-            self.version += changed
+                    self.version += 1
+                    for obs in interested:
+                        obs("update", entity_id, {field: (old, new)})
+            return changed
+        ids = entity_ids if isinstance(entity_ids, (list, tuple)) else list(
+            entity_ids
+        )
+        if self._ids_in_row_order(ids):
+            # Row-order bulk write: one validation pass, one compare
+            # against the old contents, one in-place buffer replace.
+            validate = fdef.validate
+            new_vals = [validate(v) for v in values]
+            if len(new_vals) == len(ids):
+                old_vals = (
+                    col.tolist() if isinstance(col, TypedColumn) else col
+                )
+                for old, new in zip(old_vals, new_vals):
+                    if old != new:
+                        changed += 1
+                if changed:
+                    if isinstance(col, TypedColumn):
+                        col.replace(new_vals)
+                    else:
+                        col[:] = new_vals
+                self.version += changed
+                return changed
+            values = new_vals  # fewer values than rows: per-row semantics
+        for entity_id, value in zip(ids, values):
+            slot = self._require_slot(entity_id)
+            new = fdef.validate(value)
+            if col[slot] != new:
+                col[slot] = new
+                changed += 1
+        self.version += changed
         return changed
 
     def delete(self, entity_id: int) -> dict[str, Any]:
@@ -202,6 +253,8 @@ class ComponentTable:
             ) from None
         slot_of = self._slot_of
         try:
+            if isinstance(col, TypedColumn):
+                return col.gather([slot_of[eid] for eid in entity_ids])
             return [col[slot_of[eid]] for eid in entity_ids]
         except KeyError as exc:
             raise ComponentMissingError(
@@ -211,28 +264,80 @@ class ComponentTable:
     def column(self, field: str) -> tuple[Any, ...]:
         """Snapshot of an entire column (row order parallel to entity_ids)."""
         try:
-            return tuple(self._columns[field])
+            col = self._columns[field]
         except KeyError:
             raise SchemaError(
                 f"component {self.schema.name!r} has no field {field!r}"
             ) from None
+        return col.snapshot() if isinstance(col, TypedColumn) else tuple(col)
 
     def columns(self, fields: Iterable[str]) -> dict[str, tuple[Any, ...]]:
         """Snapshot of several columns at once (a batch read for systems)."""
         return {f: self.column(f) for f in fields}
 
+    def column_view(self, field: str) -> "memoryview | tuple[Any, ...]":
+        """Zero-copy read-only view of a typed column, in row order.
+
+        Typed (packed numeric) columns return a ``memoryview`` over the
+        live buffer: O(1), no materialization, and O(1) to slice — the
+        read primitive of the chunked batch kernels.  The view is *live*
+        for in-place cell writes but snapshot-stable across row growth
+        (copy-on-grow).  Object-list columns fall back to an immutable
+        tuple snapshot, so callers can treat the result uniformly as a
+        read-only sequence.
+        """
+        try:
+            col = self._columns[field]
+        except KeyError:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no field {field!r}"
+            ) from None
+        if isinstance(col, TypedColumn):
+            view = col.view()
+            if view is not None:
+                return view
+            return col.snapshot()
+        return tuple(col)
+
+    def typed_fields(self) -> tuple[str, ...]:
+        """Fields currently packed on typed buffers (not demoted).
+
+        The shared-memory shard plane uses this to decide which columns
+        can live in ``multiprocessing.shared_memory`` segments.
+        """
+        return tuple(
+            f
+            for f, col in self._columns.items()
+            if isinstance(col, TypedColumn) and not col.demoted
+        )
+
+    def _ids_in_row_order(self, ids: "list[int] | tuple[int, ...]") -> bool:
+        ents = self._entities
+        if len(ids) != len(ents):
+            return False
+        return all(a == b for a, b in zip(ids, ents))
+
     def batch_rows(
-        self, fields: Iterable[str], entity_ids: Iterable[int] | None = None
-    ) -> tuple[list[int], dict[str, list[Any]]]:
+        self,
+        fields: Iterable[str],
+        entity_ids: Iterable[int] | None = None,
+        copy: bool = True,
+    ) -> tuple[list[int], dict[str, Any]]:
         """Gather parallel column slices for set-at-a-time execution.
 
         Returns ``(ids, columns)`` where ``columns[f][i]`` is field ``f``
         of entity ``ids[i]``.  With ``entity_ids=None`` the whole table is
-        materialized in row order (one list copy per column, no per-row
-        work); otherwise values are gathered for exactly the ids given, in
-        the given order.  This is the read half of the batch execution
-        path: ``Plan.execute_batch`` filters these slices with compiled
-        vector functions instead of building a dict per row.
+        read in row order; otherwise values are gathered for exactly the
+        ids given, in the given order.  This is the read half of the
+        batch execution path: ``Plan.execute_batch`` filters these slices
+        with compiled vector functions instead of building a dict per row.
+
+        With ``copy=False`` the columns of typed numeric fields come back
+        as zero-copy read-only memoryviews whenever the requested ids are
+        the table's own row order (``entity_ids=None``, or an id sequence
+        that matches it — the common all-entities case).  Callers must
+        treat them as frozen sequences and not hold them across
+        structural mutations.
         """
         field_list = list(fields)
         for f in field_list:
@@ -242,8 +347,10 @@ class ComponentTable:
                 )
         if entity_ids is None:
             ids = list(self._entities)
-            return ids, {f: list(self._columns[f]) for f in field_list}
+            return ids, self._row_order_columns(field_list, copy)
         ids = list(entity_ids)
+        if not copy and self._ids_in_row_order(ids):
+            return ids, self._row_order_columns(field_list, copy)
         slot_of = self._slot_of
         try:
             slots = [slot_of[eid] for eid in ids]
@@ -251,11 +358,25 @@ class ComponentTable:
             raise ComponentMissingError(
                 f"entity {exc.args[0]} has no component {self.schema.name}"
             ) from None
-        out: dict[str, list[Any]] = {}
+        out: dict[str, Any] = {}
         for f in field_list:
             col = self._columns[f]
-            out[f] = [col[s] for s in slots]
+            if isinstance(col, TypedColumn):
+                out[f] = col.gather(slots)
+            else:
+                out[f] = [col[s] for s in slots]
         return ids, out
+
+    def _row_order_columns(self, field_list: list[str], copy: bool) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for f in field_list:
+            col = self._columns[f]
+            if isinstance(col, TypedColumn):
+                view = None if copy else col.view()
+                out[f] = col.tolist() if view is None else view
+            else:
+                out[f] = list(col)
+        return out
 
     def rows(self) -> Iterator[tuple[int, dict[str, Any]]]:
         """Iterate ``(entity_id, row_copy)`` over a snapshot of the table.
@@ -264,7 +385,10 @@ class ComponentTable:
         while iterating — the exact hazard naive per-frame scripts hit.
         """
         ids = tuple(self._entities)
-        snap = {f: tuple(col) for f, col in self._columns.items()}
+        snap = {
+            f: (col.snapshot() if isinstance(col, TypedColumn) else tuple(col))
+            for f, col in self._columns.items()
+        }
         for slot, entity_id in enumerate(ids):
             yield entity_id, {f: snap[f][slot] for f in snap}
 

@@ -42,6 +42,11 @@ from repro.obs import Observability, resolve_obs
 ChangeHook = Callable[[str, int, str | None, Mapping[str, Any] | None], None]
 
 
+def _never_skips(component: str, field: str) -> bool:
+    """Default ``skips_update`` for hooks that declare none: always fire."""
+    return False
+
+
 class GameWorld:
     """The authoritative in-memory game database.
 
@@ -241,7 +246,19 @@ class GameWorld:
         when any are registered.
         """
         table = self.table(component)
-        if not self._change_hooks:
+        hooks = self._change_hooks
+        if hooks:
+            # A hook may declare bulk-update disinterest for specific
+            # columns (``skips_update(component, field) -> bool``) — the
+            # shared-memory shard journal does this for fields that sync
+            # through shm segments instead of delta records.  When every
+            # hook skips this column the whole-column fast path stays.
+            hooks = [
+                h
+                for h in hooks
+                if not getattr(h, "skips_update", _never_skips)(component, field)
+            ]
+        if not hooks:
             return table.update_column(field, entity_ids, values)
         ids = list(entity_ids)
         vals = list(values)
@@ -250,7 +267,9 @@ class GameWorld:
         if changed:
             for eid, old, new in zip(ids, before, vals):
                 if old != new:
-                    self._emit_change("update", eid, component, {field: new})
+                    payload = {field: new}
+                    for hook in hooks:
+                        hook("update", eid, component, payload)
         return changed
 
     def update_batch(
@@ -370,12 +389,16 @@ class GameWorld:
         priority: int = 100,
         interval: int = 1,
         writes: Iterable[str] | None = None,
+        elementwise: bool = False,
     ) -> System:
         """Register a set-at-a-time (columnar) system.
 
         Passing ``writes`` (column refs the callback may return) declares
         a :class:`SystemSpec` and enables state-effect execution: the
         system can then run concurrently inside a parallel tick phase.
+        ``elementwise=True`` additionally lets the parallel executor
+        split the kernel into per-worker row chunks (legal only when row
+        ``i`` of the output depends solely on row ``i`` of the inputs).
         """
         return self.scheduler.add(
             BatchSystem(
@@ -384,6 +407,7 @@ class GameWorld:
                 fn,
                 interval,
                 writes=None if writes is None else tuple(writes),
+                elementwise=elementwise,
             ),
             priority,
         )

@@ -25,11 +25,14 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 from typing import Any, TYPE_CHECKING
 
+from repro.core.systems import BatchSystem
 from repro.errors import QueryError
 from repro.obs.metrics import StatsRow
 from repro.obs.tracer import NOOP_SPAN
+from repro.parallel.effects import EffectBuffer
 from repro.parallel.scheduler import TickPlan, build_tick_plan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ParallelExecutorStats(StatsRow):
-    """Snapshot of the executor's tick/phase/merge counters."""
+    """Snapshot of the executor's tick/phase/merge counters.
+
+    ``chunks_executed`` counts per-worker row-range kernels run for
+    elementwise batch systems; ``sync_ms`` is cumulative wall time spent
+    in the canonical-order merge (where parallel phases synchronize);
+    ``bytes_shipped`` is always 0 here (threads share memory) and exists
+    so the two executors' stats rows stay column-compatible.
+    """
 
     COLUMNS = (
         "workers",
@@ -47,6 +57,9 @@ class ParallelExecutorStats(StatsRow):
         "ticks",
         "effects_merged",
         "fallbacks",
+        "chunks_executed",
+        "bytes_shipped",
+        "sync_ms",
     )
 
 
@@ -72,6 +85,9 @@ class ParallelTickExecutor:
         self.ticks = 0
         self.effects_merged = 0
         self.fallbacks = 0
+        self.chunks_executed = 0
+        self.chunk_min_rows = 256
+        self._sync_s = 0.0
         self._stats_name = world.obs.register_stats("parallel", self.stats)
 
     # -- plan maintenance ----------------------------------------------------
@@ -103,7 +119,9 @@ class ParallelTickExecutor:
             due = [s for s in phase.systems if s.should_run(tick)]
             if not due:
                 continue
-            if len(due) == 1:
+            if len(due) == 1 and not (
+                self.workers > 1 and self._chunkable(due[0])
+            ):
                 self._run_serial(due[0], dt, tracer if traced else None, budget)
             elif traced or self.workers == 1:
                 self._run_phase_serial(due, dt, tracer if traced else None,
@@ -120,6 +138,71 @@ class ParallelTickExecutor:
                     system.run(self.world, dt)
             else:
                 system.run(self.world, dt)
+
+    # -- chunked elementwise kernels -----------------------------------------
+
+    def _chunk_bounds(self, n: int) -> "list[tuple[int, int]] | None":
+        """Split ``n`` rows into per-worker ranges, or None if not worth it."""
+        k = min(self.workers, max(1, n // self.chunk_min_rows))
+        if k <= 1:
+            return None
+        step = -(-n // k)
+        return [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+
+    @staticmethod
+    def _chunkable(system: "System") -> bool:
+        return (
+            isinstance(system, BatchSystem)
+            and system.elementwise
+            and system.spec is not None
+        )
+
+    @staticmethod
+    def _run_chunk(system, world, ids, columns, lo, hi, dt):
+        chunk_cols = {ref: col[lo:hi] for ref, col in columns.items()}
+        return system.compute_chunk(world, ids[lo:hi], chunk_cols, dt)
+
+    def _assemble_chunks(self, system, ids, parts) -> EffectBuffer:
+        """Concatenate per-chunk write dicts into one full-range buffer."""
+        buffer = EffectBuffer()
+        refs = list(parts[0].keys()) if parts else []
+        for part in parts[1:]:
+            if set(part.keys()) != set(refs):
+                raise QueryError(
+                    f"BatchSystem {system.name!r}: elementwise chunks returned "
+                    f"differing write sets"
+                )
+        for ref in refs:
+            comp, _, fld = ref.partition(".")
+            merged: list = []
+            for part in parts:
+                merged.extend(part[ref])
+            buffer.write_column(comp, fld, ids, merged)
+        return buffer
+
+    def _collect_chunked_serial(
+        self, system, dt: float, tracer, index: int
+    ) -> "EffectBuffer | None":
+        """Serial-shadow chunk execution with ``parallel.chunk`` spans."""
+        world = self.world
+        ids, columns = system.gather_columns(world)
+        bounds = self._chunk_bounds(len(ids))
+        if bounds is None:
+            return None
+        system.runs += 1
+        parts = []
+        for ci, (lo, hi) in enumerate(bounds):
+            with (
+                tracer.span("parallel.chunk", cat="parallel",
+                            system=system.name, phase=index, chunk=ci,
+                            rows=hi - lo)
+                if tracer
+                else NOOP_SPAN
+            ):
+                parts.append(self._run_chunk(system, world, ids, columns,
+                                             lo, hi, dt))
+        self.chunks_executed += len(bounds)
+        return self._assemble_chunks(system, ids, parts)
 
     def _run_phase_serial(
         self, due: "list[System]", dt: float, tracer, budget, index: int
@@ -143,11 +226,13 @@ class ParallelTickExecutor:
                     if budget is not None:
                         with budget.measure(system.name):
                             collected.append(
-                                (system, system.collect_effects(self.world, dt))
+                                (system, self._collect_one(system, dt, tracer,
+                                                           index))
                             )
                     else:
                         collected.append(
-                            (system, system.collect_effects(self.world, dt))
+                            (system, self._collect_one(system, dt, tracer,
+                                                       index))
                         )
             with (
                 tracer.span("effect.merge", cat="parallel", phase=index)
@@ -155,6 +240,13 @@ class ParallelTickExecutor:
                 else NOOP_SPAN
             ):
                 self._merge(collected, dt)
+
+    def _collect_one(self, system, dt: float, tracer, index: int):
+        if self._chunkable(system):
+            buffer = self._collect_chunked_serial(system, dt, tracer, index)
+            if buffer is not None:
+                return buffer
+        return system.collect_effects(self.world, dt)
 
     def _run_phase_parallel(
         self, due: "list[System]", dt: float, budget, index: int
@@ -179,16 +271,47 @@ class ParallelTickExecutor:
         def collect(system):
             buffer = system.collect_effects(world, dt)
             worker = threading.current_thread().name.rpartition("_")[2]
-            return system, buffer, worker
+            return buffer, worker
 
-        futures = [self._pool.submit(collect, system) for system in due]
-        return [f.result() for f in futures]
+        # Submit everything first — chunk kernels for eligible elementwise
+        # batch systems, whole-system collects for the rest — then gather.
+        entries = []
+        for system in due:
+            if self._chunkable(system):
+                ids, columns = system.gather_columns(world)
+                bounds = self._chunk_bounds(len(ids))
+                if bounds is not None:
+                    system.runs += 1
+                    futures = [
+                        self._pool.submit(self._run_chunk, system, world,
+                                          ids, columns, lo, hi, dt)
+                        for lo, hi in bounds
+                    ]
+                    entries.append((system, "chunks", (ids, futures)))
+                    continue
+            entries.append((system, "collect", self._pool.submit(collect,
+                                                                 system)))
+        collected = []
+        for system, kind, payload in entries:
+            if kind == "chunks":
+                ids, futures = payload
+                parts = [f.result() for f in futures]
+                self.chunks_executed += len(parts)
+                collected.append(
+                    (system, self._assemble_chunks(system, ids, parts),
+                     "chunked")
+                )
+            else:
+                buffer, worker = payload.result()
+                collected.append((system, buffer, worker))
+        return collected
 
     def _merge(self, collected, dt: float) -> None:
         # Canonical order = registration order: apply each buffer (or run
         # the fallen-back system directly) in the exact slot serial
         # execution would have used.
         world = self.world
+        started = perf_counter()
         for entry in collected:
             system, buffer = entry[0], entry[1]
             if buffer is None:
@@ -197,6 +320,7 @@ class ParallelTickExecutor:
             else:
                 self.effects_merged += 1
                 buffer.apply(world)
+        self._sync_s += perf_counter() - started
 
     # -- lifecycle / stats ---------------------------------------------------
 
@@ -210,6 +334,9 @@ class ParallelTickExecutor:
             ticks=self.ticks,
             effects_merged=self.effects_merged,
             fallbacks=self.fallbacks,
+            chunks_executed=self.chunks_executed,
+            bytes_shipped=0,
+            sync_ms=round(self._sync_s * 1000.0, 3),
         )
 
     def close(self) -> None:

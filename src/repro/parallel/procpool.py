@@ -6,7 +6,8 @@ slice of the shards and step them in parallel, while the parent keeps
 the :class:`~repro.net.simnet.SimNetwork` authoritative:
 
 1. the parent drains each shard endpoint's delivered messages and ships
-   them over a pipe to the owning worker;
+   them over a pipe to the owning worker (together with any entity
+   installs queued since the last barrier);
 2. each worker steps its shards **in shard-id order** (inbox + world
    frame), buffering every outbound protocol message instead of touching
    a network;
@@ -21,21 +22,34 @@ so the already-built hosts are inherited by memory, not pickled; only
 per-tick messages cross the pipes (which is why transaction ops must use
 picklable callables — see :mod:`repro.consistency.transactions`).
 
-The parent's copies of the shard worlds go stale the moment workers
-start; the executor therefore also answers ``positions()`` /
-``state_hashes()`` / entity installs on the workers' behalf and syncs
-ownership and stats back every tick.  :meth:`stop` pulls full world
-snapshots back into the parent so serial execution can resume.
+Two data planes keep the parent current without whole-world pickles:
+
+* **shared-memory columns** — before forking, the executor moves every
+  numeric component column into a :class:`~repro.parallel.shm.ShmColumnPlane`
+  segment that workers mutate in place.  ``positions()`` reads straight
+  from those segments; no pipe round-trip, no worker involvement.
+* **journal deltas** — each worker keeps a per-shard
+  :class:`~repro.replication.ShardJournal` fed by the world change hook,
+  *skipping* columns the shm plane already carries (the hook's
+  ``skips_update`` protocol keeps whole-column writes on the fast path).
+  The flushed tail ships with every tick reply and the parent replays it
+  eagerly, so parent worlds track all structural change; numeric state
+  is overlaid from the segments once at :meth:`stop`.  A block that
+  spills (capacity/overflow) reverts to journaling its numeric fields.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+from time import perf_counter
 from typing import Any, Mapping, TYPE_CHECKING
 
 from repro.cluster.stats import _SHARD_FIELDS
 from repro.errors import ClusterError
 from repro.obs.metrics import StatsRow
+from repro.parallel.shm import ShmColumnPlane
+from repro.replication.journal import ShardJournal, apply_record
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.coordinator import ClusterCoordinator
@@ -43,9 +57,38 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ProcessExecutorStats(StatsRow):
-    """Snapshot of the process executor's per-tick counters."""
+    """Snapshot of the process executor's per-tick counters.
 
-    COLUMNS = ("workers", "shards", "ticks", "messages_routed", "sends_replayed")
+    ``bytes_shipped`` counts pickled bytes crossing the pipes in either
+    direction (shared-memory reads are free and do not count);
+    ``sync_ms`` is parent wall time blocked on worker barriers and delta
+    application; ``chunks_executed`` counts per-shard step units — the
+    chunks one cluster tick splits into across the workers.
+    """
+
+    COLUMNS = (
+        "workers",
+        "shards",
+        "ticks",
+        "messages_routed",
+        "sends_replayed",
+        "chunks_executed",
+        "bytes_shipped",
+        "sync_ms",
+    )
+
+
+def _ship(conn, obj: Any) -> int:
+    """Pickle ``obj`` down the pipe; returns the byte count."""
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    conn.send_bytes(data)
+    return len(data)
+
+
+def _receive(conn) -> tuple[Any, int]:
+    """Receive one pickled object; returns ``(obj, byte_count)``."""
+    data = conn.recv_bytes()
+    return pickle.loads(data), len(data)
 
 
 class _BufferNet:
@@ -80,27 +123,117 @@ def _shard_stats_dict(host: "ShardHost") -> dict[str, int]:
     return {f: getattr(host.stats, f) for f in _SHARD_FIELDS}
 
 
-def _worker_main(conn, hosts: "list[ShardHost]", worker_id: int) -> None:
+class _JournalHook:
+    """World change hook feeding a shard's journal, minus shm columns.
+
+    ``skips_update`` lets ``GameWorld.set_column`` keep its whole-column
+    fast path for fields the shared-memory plane already synchronizes;
+    per-entity updates that touch *only* such fields are dropped here for
+    the same reason.  Once the block spills, numeric fields journal like
+    everything else.
+    """
+
+    __slots__ = ("journal", "numeric", "spilled")
+
+    def __init__(
+        self, journal: ShardJournal, numeric: dict[str, frozenset[str]],
+        spilled: set[str],
+    ):
+        self.journal = journal
+        self.numeric = numeric
+        self.spilled = spilled
+
+    def _shm_covers(self, component: str | None, field: str) -> bool:
+        return (
+            component not in self.spilled
+            and field in self.numeric.get(component, ())
+        )
+
+    def skips_update(self, component: str, field: str) -> bool:
+        return self._shm_covers(component, field)
+
+    def __call__(self, op, entity, component, payload) -> None:
+        if (
+            op == "update"
+            and payload
+            and all(self._shm_covers(component, f) for f in payload)
+        ):
+            return
+        self.journal.log_change(op, entity, component, payload)
+
+
+def _worker_main(
+    conn, hosts: "list[ShardHost]", worker_id: int, plane: ShmColumnPlane
+) -> None:
     """Worker loop: own ``hosts``, answer parent commands until "stop"."""
     buffer = _BufferNet()
-    by_id = {}
+    by_id: dict[int, "ShardHost"] = {}
     last_owned: dict[int, tuple[int, ...]] = {}
+    journals: dict[int, ShardJournal] = {}
+    shipped: dict[int, int] = {}
+    numeric_by_sid: dict[int, dict[str, frozenset[str]]] = {}
+    spilled: dict[int, set[str]] = {}
+    pending_dumps: list[tuple[int, str]] = []
+
+    def on_spill(sid: int, comp: str) -> None:
+        spilled[sid].add(comp)
+        pending_dumps.append((sid, comp))
+
     for host in hosts:
+        sid = host.shard_id
         host.net = buffer  # type: ignore[assignment]
-        by_id[host.shard_id] = host
-        last_owned[host.shard_id] = tuple(sorted(host.owned))
+        by_id[sid] = host
+        last_owned[sid] = tuple(sorted(host.owned))
+        journals[sid] = ShardJournal(name=f"shard:{sid}")
+        shipped[sid] = 0
+        numeric_by_sid[sid] = plane.numeric_fields(sid)
+        spilled[sid] = set()
+        plane.bind_worker(host, on_spill)
+        host.world.add_change_hook(
+            _JournalHook(journals[sid], numeric_by_sid[sid], spilled[sid])
+        )
+
+    def dump_spills() -> None:
+        # A freshly spilled block's numeric state lives only in worker
+        # memory now: journal a full per-row dump (plain "update" records)
+        # so the parent's delta stream stays complete.  Runs at command
+        # end, when the tables are in a consistent state.
+        for sid, comp in pending_dumps:
+            world = by_id[sid].world
+            fields = numeric_by_sid[sid][comp]
+            for eid, row in world.table(comp).rows():
+                journals[sid].log_change(
+                    "update", eid, comp, {f: row[f] for f in fields}
+                )
+        pending_dumps.clear()
+
+    def ship_journal(sid: int) -> list[dict[str, Any]]:
+        journal = journals[sid]
+        journal.flush()
+        records = journal.ship_since(shipped[sid])
+        shipped[sid] = journal.flushed_lsn
+        return [payload for _lsn, payload in records]
+
+    def apply_installs(installs) -> None:
+        for sid in sorted(installs):
+            for entity, components in installs[sid]:
+                by_id[sid].install_entity(entity, components)
+
     while True:
-        command = conn.recv()
+        command, _nbytes = _receive(conn)
         op = command[0]
         if op == "tick":
-            _, now, inboxes = command
+            _, now, inboxes, installs = command
             buffer.now = now
+            apply_installs(installs)
             reply: dict[int, dict[str, Any]] = {}
             for sid in sorted(by_id):
                 host = by_id[sid]
                 buffer.sends = []
                 host.process_inbox(inboxes.get(sid, ()))
                 host.tick()
+                journals[sid].log_tick(host.world.clock.tick)
+                dump_spills()
                 owned = tuple(sorted(host.owned))
                 reply[sid] = {
                     "sends": buffer.sends,
@@ -108,38 +241,48 @@ def _worker_main(conn, hosts: "list[ShardHost]", worker_id: int) -> None:
                     "deferred": host.deferred_handoffs,
                     "retained": host.retained_evictions,
                     "stats": _shard_stats_dict(host),
+                    "journal": ship_journal(sid),
+                    "spilled": tuple(sorted(spilled[sid])),
                 }
                 last_owned[sid] = owned
-            conn.send(("tick", reply))
-        elif op == "install":
-            _, sid, entity, components = command
-            by_id[sid].install_entity(entity, components)
-            last_owned[sid] = tuple(sorted(by_id[sid].owned))
-            conn.send(("ok",))
+            _ship(conn, ("tick", reply))
+        elif op == "install_batch":
+            _, installs = command
+            apply_installs(installs)
+            dump_spills()
+            _ship(
+                conn,
+                ("ok", {sid: tuple(sorted(spilled[sid])) for sid in by_id}),
+            )
         elif op == "positions":
-            out: dict[int, tuple[float, float]] = {}
-            for sid in sorted(by_id):
+            _, sids = command
+            out: dict[int, dict[int, tuple[float, float]]] = {}
+            for sid in sids:
                 world = by_id[sid].world
+                shard_pos: dict[int, tuple[float, float]] = {}
                 if "Position" in world.component_names():
                     for eid, row in world.table("Position").rows():
-                        out[eid] = (row["x"], row["y"])
-            conn.send(("positions", out))
+                        shard_pos[eid] = (row["x"], row["y"])
+                out[sid] = shard_pos
+            _ship(conn, ("positions", out))
         elif op == "state_hash":
-            conn.send(
+            _ship(
+                conn,
                 (
                     "state_hash",
                     {
                         sid: by_id[sid].world.state_hash()
                         for sid in sorted(by_id)
                     },
-                )
+                ),
             )
-        elif op == "snapshot":
-            snap = {}
+        elif op == "sync":
+            dump_spills()
+            state = {}
             for sid in sorted(by_id):
                 host = by_id[sid]
-                snap[sid] = {
-                    "world": host.world.snapshot(),
+                state[sid] = {
+                    "journal": ship_journal(sid),
                     "owned": tuple(sorted(host.owned)),
                     "forwarding": (
                         dict(host.forwarding._next_hop),
@@ -147,11 +290,15 @@ def _worker_main(conn, hosts: "list[ShardHost]", worker_id: int) -> None:
                     ),
                     "retained": dict(host._retained_evictions),
                     "deferred": list(host._deferred_handoffs),
+                    "prepared": host.participant.export_prepared(),
                     "stats": _shard_stats_dict(host),
+                    "spilled": tuple(sorted(spilled[sid])),
                 }
-            conn.send(("snapshot", snap))
+            _ship(conn, ("sync", state))
         elif op == "stop":
-            conn.send(("bye",))
+            # Deliberately no shm close here: the worker's tables still
+            # hold memoryview exports; process exit unmaps everything.
+            _ship(conn, ("bye",))
             conn.close()
             return
         else:  # pragma: no cover - protocol guard
@@ -161,9 +308,16 @@ def _worker_main(conn, hosts: "list[ShardHost]", worker_id: int) -> None:
 class ProcessShardExecutor:
     """Steps a coordinator's shards across forked worker processes."""
 
-    def __init__(self, coordinator: "ClusterCoordinator", workers: int = 2):
+    def __init__(
+        self,
+        coordinator: "ClusterCoordinator",
+        workers: int = 2,
+        shm_headroom: int = 1024,
+    ):
         if workers < 1:
             raise ClusterError("process executor needs at least 1 worker")
+        if shm_headroom < 0:
+            raise ClusterError("shm_headroom must be non-negative")
         try:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platform without fork
@@ -173,6 +327,10 @@ class ProcessShardExecutor:
         self.coordinator = coordinator
         shards = coordinator.shards
         self.workers = min(workers, len(shards))
+        # Segment capacity covers every directory entity landing on one
+        # shard, plus headroom for entities spawned while parallel.
+        capacity = max(1, len(coordinator.directory) + shm_headroom)
+        self.plane = ShmColumnPlane(shards, capacity)
         # Contiguous slices keep shard-id order trivially reconstructible.
         assignment: list[list] = [[] for _ in range(self.workers)]
         for i, host in enumerate(shards):
@@ -187,7 +345,7 @@ class ProcessShardExecutor:
             parent_conn, child_conn = self._ctx.Pipe()
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn, hosts, wid),
+                args=(child_conn, hosts, wid, self.plane),
                 daemon=True,
                 name=f"repro-shard-worker-{wid}",
             )
@@ -198,6 +356,14 @@ class ProcessShardExecutor:
         self.ticks = 0
         self.messages_routed = 0
         self.sends_replayed = 0
+        self.chunks_executed = 0
+        self.bytes_shipped = 0
+        self._sync_s = 0.0
+        self._spilled: set[tuple[int, str]] = set()
+        self._applied_txns: dict[int, set[int]] = {
+            host.shard_id: set() for host in shards
+        }
+        self._pending_installs: dict[int, list[tuple[int, dict]]] = {}
         #: Per-shard deferred/retained counts from the latest tick, for
         #: the coordinator's quiescence check.
         self.deferred_counts: dict[int, int] = {
@@ -218,7 +384,8 @@ class ProcessShardExecutor:
         coord = self.coordinator
         net = coord.net
         tracer = coord.obs.tracer
-        # 1. Drain this tick's deliveries per shard endpoint.
+        # 1. Drain this tick's deliveries per shard endpoint; pair them
+        #    with the entity installs queued since the last barrier.
         inboxes_by_worker: list[dict[int, list]] = [
             {} for _ in range(self.workers)
         ]
@@ -229,12 +396,24 @@ class ProcessShardExecutor:
             inboxes_by_worker[self._owner[host.shard_id]][host.shard_id] = (
                 messages
             )
+        installs_by_worker: list[dict[int, list]] = [
+            {} for _ in range(self.workers)
+        ]
+        for sid, items in self._pending_installs.items():
+            installs_by_worker[self._owner[sid]][sid] = items
+        self._pending_installs = {}
         # 2. Fan out, then barrier on every worker's reply.
         for wid, pipe in enumerate(self._pipes):
-            pipe.send(("tick", net.now, inboxes_by_worker[wid]))
+            self.bytes_shipped += _ship(
+                pipe,
+                ("tick", net.now, inboxes_by_worker[wid],
+                 installs_by_worker[wid]),
+            )
+        barrier_started = perf_counter()
         replies: dict[int, dict[str, Any]] = {}
         for wid, pipe in enumerate(self._pipes):
-            tag, reply = pipe.recv()
+            (tag, reply), nbytes = _receive(pipe)
+            self.bytes_shipped += nbytes
             if tag != "tick":  # pragma: no cover - protocol guard
                 raise ClusterError(f"worker {wid}: bad reply {tag!r}")
             if tracer.enabled:
@@ -247,7 +426,8 @@ class ProcessShardExecutor:
                 )
             replies.update(reply)
         # 3. Merge: replay sends in shard-id order (the serial order),
-        #    then sync ownership and stats into the parent's hosts.
+        #    then apply journal deltas and sync ownership and stats into
+        #    the parent's hosts.
         if tracer.enabled:
             span = tracer.span("effect.merge", cat="parallel")
         else:
@@ -266,12 +446,15 @@ class ProcessShardExecutor:
         for sid in sorted(replies):
             reply = replies[sid]
             host = coord.shards[sid]
+            self._apply_shard_delta(sid, host, reply)
             if reply["owned"] is not None:
                 host.owned = set(reply["owned"])
             self.deferred_counts[sid] = reply["deferred"]
             self.retained_counts[sid] = reply["retained"]
             for fieldname, value in reply["stats"].items():
                 setattr(host.stats, fieldname, value)
+        self.chunks_executed += len(replies)
+        self._sync_s += perf_counter() - barrier_started
         for wid in range(self.workers):
             shard_ids = [s for s, w in self._owner.items() if w == wid]
             metrics.gauge("parallel.worker.shards", worker=wid).set(
@@ -282,37 +465,111 @@ class ProcessShardExecutor:
             )
         self.ticks += 1
 
-    # -- reads routed to the workers ----------------------------------------
+    def _apply_shard_delta(
+        self, sid: int, host: "ShardHost", reply: Mapping[str, Any]
+    ) -> None:
+        """Replay one shard's shipped journal tail into the parent host."""
+        for comp in reply["spilled"]:
+            self._spilled.add((sid, comp))
+        for payload in reply["journal"]:
+            apply_record(
+                payload, host.world, host.owned, self._applied_txns[sid]
+            )
+
+    # -- install batching ----------------------------------------------------
 
     def install(
         self, shard_id: int, entity: int, components: Mapping[str, Any]
     ) -> None:
-        """Install a spawned entity on the worker that owns the shard."""
-        pipe = self._pipes[self._owner[shard_id]]
-        pipe.send(("install", shard_id, entity, components))
-        tag, *_ = pipe.recv()
-        if tag != "ok":  # pragma: no cover - protocol guard
-            raise ClusterError(f"install on shard {shard_id} failed: {tag!r}")
+        """Queue a spawned entity for the next barrier's install ship.
+
+        No pipe round-trip here: installs ride the next tick command
+        (matching serial order — a serial spawn also lands before the
+        next frame).  Reads that need the entity visible immediately
+        (:meth:`positions`, :meth:`state_hashes`, :meth:`stop`) flush the
+        queue with an acknowledged ``install_batch`` first.
+        """
+        self._pending_installs.setdefault(shard_id, []).append(
+            (entity, {k: dict(v) for k, v in components.items()})
+        )
+
+    def _flush_installs(self) -> None:
+        if not self._pending_installs:
+            return
+        by_worker: dict[int, dict[int, list]] = {}
+        for sid, items in self._pending_installs.items():
+            by_worker.setdefault(self._owner[sid], {})[sid] = items
+        self._pending_installs = {}
+        for wid, installs in by_worker.items():
+            self.bytes_shipped += _ship(
+                self._pipes[wid], ("install_batch", installs)
+            )
+        for wid in by_worker:
+            (tag, spilled), nbytes = _receive(self._pipes[wid])
+            self.bytes_shipped += nbytes
+            if tag != "ok":  # pragma: no cover - protocol guard
+                raise ClusterError(f"install batch failed: {tag!r}")
+            for sid, comps in spilled.items():
+                for comp in comps:
+                    self._spilled.add((sid, comp))
+
+    # -- parent-side reads ---------------------------------------------------
 
     def positions(self) -> dict[int, tuple[float, float]]:
-        """Global Position snapshot gathered from every worker."""
-        for pipe in self._pipes:
-            pipe.send(("positions",))
+        """Global Position snapshot, served from the shm columns.
+
+        Shards whose Position block spilled (or that have no columnar
+        x/y) fall back to a pipe read; results merge in shard-id order,
+        exactly like the serial path iterating ``coordinator.shards``.
+        """
+        self._flush_installs()
+        per_sid: dict[int, dict[int, tuple[float, float]]] = {}
+        fallback: list[int] = []
+        for host in self.coordinator.shards:
+            sid = host.shard_id
+            block = self.plane.blocks.get((sid, "Position"))
+            if (
+                block is None
+                or (sid, "Position") in self._spilled
+                or not {"x", "y"} <= set(block.fields)
+            ):
+                fallback.append(sid)
+                continue
+            data = block.read(("x", "y"))
+            if data is None:  # spill sentinel beat the reply channel
+                self._spilled.add((sid, "Position"))
+                fallback.append(sid)
+                continue
+            ids, cols = data
+            per_sid[sid] = dict(zip(ids, zip(cols["x"], cols["y"])))
+        if fallback:
+            by_worker: dict[int, list[int]] = {}
+            for sid in fallback:
+                by_worker.setdefault(self._owner[sid], []).append(sid)
+            for wid, sids in by_worker.items():
+                self.bytes_shipped += _ship(
+                    self._pipes[wid], ("positions", sids)
+                )
+            for wid in by_worker:
+                (tag, shard_positions), nbytes = _receive(self._pipes[wid])
+                self.bytes_shipped += nbytes
+                if tag != "positions":  # pragma: no cover - protocol guard
+                    raise ClusterError(f"bad positions reply {tag!r}")
+                per_sid.update(shard_positions)
         out: dict[int, tuple[float, float]] = {}
-        for pipe in self._pipes:
-            tag, positions = pipe.recv()
-            if tag != "positions":  # pragma: no cover - protocol guard
-                raise ClusterError(f"bad positions reply {tag!r}")
-            out.update(positions)
+        for sid in sorted(per_sid):
+            out.update(per_sid[sid])
         return out
 
     def state_hashes(self) -> dict[int, str]:
         """Per-shard world state hashes computed inside the workers."""
+        self._flush_installs()
         for pipe in self._pipes:
-            pipe.send(("state_hash",))
+            self.bytes_shipped += _ship(pipe, ("state_hash",))
         out: dict[int, str] = {}
         for pipe in self._pipes:
-            tag, hashes = pipe.recv()
+            (tag, hashes), nbytes = _receive(pipe)
+            self.bytes_shipped += nbytes
             if tag != "state_hash":  # pragma: no cover - protocol guard
                 raise ClusterError(f"bad state_hash reply {tag!r}")
             out.update(hashes)
@@ -323,40 +580,64 @@ class ProcessShardExecutor:
     def stop(self, sync: bool = True) -> None:
         """Stop the workers; by default pull their state into the parent.
 
-        With ``sync=True`` every shard's world snapshot, ownership set,
-        forwarding table, and handoff bookkeeping are restored into the
-        parent's hosts, so serial ticking can resume exactly where the
-        workers left off.
+        With ``sync=True`` the parent applies each shard's final journal
+        tail (structural and non-columnar state), copies ownership,
+        forwarding, and handoff bookkeeping, then overlays the numeric
+        columns straight from the shared segments — no whole-world
+        snapshot pickle crosses the pipes.  Serial ticking can resume
+        exactly where the workers left off.
         """
         if self._stopped:
             return
         if sync:
+            self._flush_installs()
+            started = perf_counter()
             for pipe in self._pipes:
-                pipe.send(("snapshot",))
+                self.bytes_shipped += _ship(pipe, ("sync",))
             for pipe in self._pipes:
-                tag, snap = pipe.recv()
-                if tag != "snapshot":  # pragma: no cover - protocol guard
-                    raise ClusterError(f"bad snapshot reply {tag!r}")
-                for sid, state in snap.items():
+                (tag, state), nbytes = _receive(pipe)
+                self.bytes_shipped += nbytes
+                if tag != "sync":  # pragma: no cover - protocol guard
+                    raise ClusterError(f"bad sync reply {tag!r}")
+                for sid, shard_state in state.items():
                     host = self.coordinator.shards[sid]
-                    host.world.restore(state["world"])
-                    host.owned = set(state["owned"])
-                    next_hop, forwards = state["forwarding"]
+                    self._apply_shard_delta(sid, host, shard_state)
+                    host.owned = set(shard_state["owned"])
+                    next_hop, forwards = shard_state["forwarding"]
                     host.forwarding._next_hop = dict(next_hop)
                     host.forwarding.forwards = forwards
-                    host._retained_evictions = dict(state["retained"])
-                    host._deferred_handoffs = list(state["deferred"])
-                    for fieldname, value in state["stats"].items():
+                    host._retained_evictions = dict(shard_state["retained"])
+                    host._deferred_handoffs = list(shard_state["deferred"])
+                    # In-flight 2PC yes-votes: the worker may have
+                    # prepared a transaction whose decision arrives after
+                    # the handoff; the parent must be able to honor it.
+                    host.participant.import_prepared(shard_state["prepared"])
+                    for fieldname, value in shard_state["stats"].items():
                         setattr(host.stats, fieldname, value)
+            # Numeric overlay: the segments hold the authoritative final
+            # values for every non-spilled block.
+            for (sid, comp) in sorted(self.plane.blocks):
+                if (sid, comp) in self._spilled:
+                    continue
+                data = self.plane.blocks[(sid, comp)].read()
+                if data is None:
+                    continue
+                ids, cols = data
+                if ids:
+                    self.coordinator.shards[sid].world.update_batch(
+                        comp, ids, cols
+                    )
+            self._sync_s += perf_counter() - started
         for pipe in self._pipes:
-            pipe.send(("stop",))
+            _ship(pipe, ("stop",))
         for pipe, proc in zip(self._pipes, self._procs):
             try:
-                pipe.recv()
+                pipe.recv_bytes()
             except EOFError:  # pragma: no cover - worker died first
                 pass
             pipe.close()
             proc.join(timeout=5)
+        self.plane.close(unlink=True)
         self.coordinator.obs.unregister_stats(self._stats_name)
         self._stopped = True
 
@@ -368,6 +649,9 @@ class ProcessShardExecutor:
             ticks=self.ticks,
             messages_routed=self.messages_routed,
             sends_replayed=self.sends_replayed,
+            chunks_executed=self.chunks_executed,
+            bytes_shipped=self.bytes_shipped,
+            sync_ms=round(self._sync_s * 1000.0, 3),
         )
 
     def __repr__(self) -> str:  # pragma: no cover

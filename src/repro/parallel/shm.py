@@ -1,0 +1,381 @@
+"""Shared-memory columnar plane for the process shard executor.
+
+The process executor's workers own the live shard worlds, which makes
+every parent-side read (``positions()``, resume-after-stop) a pipe
+round-trip through pickle.  This module moves the *numeric* columns of
+every shard table into ``multiprocessing.shared_memory`` segments that
+both sides map:
+
+* the **parent** creates one :class:`ShmTableBlock` per ``(shard,
+  component)`` pair before forking, sized for the whole cluster's
+  entity population plus headroom, and fills it from its tables;
+* each **worker** (a fork, so it inherits the mapped segments) rebinds
+  its tables' entity vector and typed columns onto the segments via
+  :class:`ShmWorkerBinding` — from then on every insert/update/delete
+  the worker makes lands directly in shared memory;
+* between barrier steps the parent reads ids and column values straight
+  out of the segments (:meth:`ShmTableBlock.read`) — no pipe, no
+  pickle, no worker involvement.
+
+Layout of one block (all cells are 8 bytes, ``d`` or ``q``)::
+
+    [count:q][ids: q * capacity][field0 * capacity][field1 * capacity]...
+
+``count`` is maintained by the worker's entity vector on every
+insert/delete; ``-1`` is the spill sentinel.  **Spill**: a block whose
+row count would exceed its fixed capacity (or whose column must demote,
+e.g. int64 overflow) falls back to worker-local list storage for the
+whole block.  The worker then journals that component's numeric state
+as ordinary delta records instead — correctness is preserved, only the
+zero-copy read path is lost for that block.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.core.columns import TypedColumn
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.shard import ShardHost
+    from repro.core.table import ComponentTable
+
+_CELL = 8  # both 'd' and 'q' cells are 8 bytes — uniform stride
+
+#: Spill callback signature: (shard_id, component_name).
+SpillCallback = Callable[[int, str], None]
+
+
+class ShmTableBlock:
+    """One shared segment holding a table's ids plus its typed columns."""
+
+    __slots__ = ("shard_id", "component", "fields", "codes", "capacity", "shm")
+
+    def __init__(
+        self,
+        shard_id: int,
+        component: str,
+        fields: tuple[str, ...],
+        codes: tuple[str, ...],
+        capacity: int,
+    ):
+        if capacity < 1:
+            raise ClusterError("shm block capacity must be positive")
+        self.shard_id = shard_id
+        self.component = component
+        self.fields = fields
+        self.codes = codes
+        self.capacity = capacity
+        size = _CELL * (1 + capacity * (1 + len(fields)))
+        self.shm = shared_memory.SharedMemory(create=True, size=size)
+
+    # -- layout --------------------------------------------------------------
+
+    def _ids_span(self) -> tuple[int, int]:
+        return _CELL, _CELL * (1 + self.capacity)
+
+    def field_layout(self) -> Iterator[tuple[str, str, int, int]]:
+        """Yield ``(field, typecode, start_offset, end_offset)`` per field."""
+        base = _CELL * (1 + self.capacity)
+        stride = _CELL * self.capacity
+        for i, (field, code) in enumerate(zip(self.fields, self.codes)):
+            start = base + i * stride
+            yield field, code, start, start + stride
+
+    # -- parent side ---------------------------------------------------------
+
+    def fill(self, table: "ComponentTable") -> None:
+        """Copy the parent table's current rows into the segment (pre-fork)."""
+        from array import array
+
+        n = len(table.entity_ids)
+        if n > self.capacity:
+            raise ClusterError(
+                f"shm block {self.component!r}@shard{self.shard_id}: "
+                f"{n} rows exceed capacity {self.capacity}"
+            )
+        buf = self.shm.buf
+        count = buf[:_CELL].cast("q")
+        try:
+            count[0] = n
+        finally:
+            count.release()
+        lo, hi = self._ids_span()
+        ids_mv = buf[lo:hi].cast("q")
+        try:
+            if n:
+                ids_mv[:n] = memoryview(array("q", table.entity_ids))
+        finally:
+            ids_mv.release()
+        for field, code, start, end in self.field_layout():
+            col = table._columns[field]
+            values = col.tolist() if isinstance(col, TypedColumn) else list(col)
+            mv = buf[start:end].cast(code)
+            try:
+                if n:
+                    mv[:n] = memoryview(array(code, values))
+            finally:
+                mv.release()
+
+    def read(
+        self, fields: Iterable[str] | None = None
+    ) -> "tuple[list[int], dict[str, list]] | None":
+        """Copy ``(ids, columns)`` out of the segment, or None if spilled.
+
+        All memoryview casts are created and released inside the call, so
+        the parent can still :meth:`close` the segment afterwards.
+        """
+        wanted = None if fields is None else set(fields)
+        buf = self.shm.buf
+        count = buf[:_CELL].cast("q")
+        try:
+            n = count[0]
+        finally:
+            count.release()
+        if n < 0:  # worker marked the block spilled
+            return None
+        lo, hi = self._ids_span()
+        ids_mv = buf[lo:hi].cast("q")
+        try:
+            ids = ids_mv[:n].tolist()
+        finally:
+            ids_mv.release()
+        columns: dict[str, list] = {}
+        for field, code, start, end in self.field_layout():
+            if wanted is not None and field not in wanted:
+                continue
+            mv = buf[start:end].cast(code)
+            try:
+                columns[field] = mv[:n].tolist()
+            finally:
+                mv.release()
+        return ids, columns
+
+    def close(self, unlink: bool = False) -> None:
+        """Unmap (and optionally destroy) the segment — parent side."""
+        self.shm.close()
+        if unlink:
+            self.shm.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShmTableBlock(shard={self.shard_id}, comp={self.component!r}, "
+            f"fields={self.fields}, cap={self.capacity})"
+        )
+
+
+class _ShmColumn(TypedColumn):
+    """A typed column whose packed storage is a slice of a shared segment.
+
+    Fixed capacity: an append past ``capacity`` (or a value that cannot
+    pack) spills the *whole block* to worker-local lists via the owning
+    :class:`ShmWorkerBinding` — all sibling columns demote together so
+    the table stays internally consistent.
+    """
+
+    __slots__ = ("_cap", "_n", "_binding")
+
+    def __init__(self, typecode, mv, cap, n, binding):
+        super().__init__(typecode)
+        self._data = mv
+        self._cap = cap
+        self._n = n
+        self._binding = binding
+
+    # -- spill ---------------------------------------------------------------
+
+    def _demote(self) -> list:
+        # A single column demoting (e.g. int64 overflow) spills the whole
+        # block; spill() runs _demote_local on every member, us included.
+        self._binding.spill()
+        return self._data
+
+    def _demote_local(self) -> None:
+        if not self.demoted:
+            self._data = list(self._data[: self._n])
+
+    def _after_resize(self) -> None:
+        """Hook for the ids column to publish the new row count."""
+
+    # -- packed protocol over the memoryview ---------------------------------
+
+    def _norm(self, i: int) -> int:
+        i = i + self._n if i < 0 else i
+        if not 0 <= i < self._n:
+            raise IndexError("column index out of range")
+        return i
+
+    def _packed_len(self) -> int:
+        return self._n
+
+    def _packed_get(self, i: int) -> Any:
+        return self._data[self._norm(i)]
+
+    def _packed_set(self, i: int, value: Any) -> None:
+        self._data[self._norm(i)] = (
+            float(value) if self.typecode == "d" else value
+        )
+
+    def _packed_append(self, value: Any) -> None:
+        if self._n >= self._cap:
+            self._binding.spill()  # demotes self; _data is a list now
+            self._data.append(value)
+            return
+        self._data[self._n] = float(value) if self.typecode == "d" else value
+        self._n += 1
+        self._after_resize()
+
+    def _packed_pop(self) -> Any:
+        if self._n == 0:
+            raise IndexError("pop from empty column")
+        self._n -= 1
+        value = self._data[self._n]
+        self._after_resize()
+        return value
+
+    def _packed_gather(self, slots) -> list:
+        data = self._data
+        return [data[s] for s in slots]
+
+    def _packed_view(self) -> memoryview:
+        return self._data[: self._n].toreadonly()
+
+    def _packed_replace(self, values) -> None:
+        from array import array
+
+        try:
+            self._data[: self._n] = memoryview(array(self.typecode, values))
+        except OverflowError:  # beyond int64: whole block spills
+            self._binding.spill()
+            self._data[:] = values
+
+    def tolist(self) -> list:
+        return list(self._data) if self.demoted else list(self._data[: self._n])
+
+
+class _ShmIdsColumn(_ShmColumn):
+    """The entity-id vector: also maintains the block's shared row count."""
+
+    __slots__ = ("_count_mv",)
+
+    def __init__(self, mv, cap, n, binding, count_mv):
+        super().__init__("q", mv, cap, n, binding)
+        self._count_mv = count_mv
+
+    def _after_resize(self) -> None:
+        self._count_mv[0] = self._n
+
+    def _demote_local(self) -> None:
+        if not self.demoted:
+            self._count_mv[0] = -1  # spill sentinel for parent readers
+            self._data = list(self._data[: self._n])
+
+
+class ShmWorkerBinding:
+    """Worker-side attachment of one block to its live ComponentTable."""
+
+    __slots__ = ("block", "on_spill", "spilled", "members")
+
+    def __init__(
+        self, block: ShmTableBlock, table: "ComponentTable",
+        on_spill: SpillCallback,
+    ):
+        self.block = block
+        self.on_spill = on_spill
+        self.spilled = False
+        buf = block.shm.buf
+        count_mv = buf[:_CELL].cast("q")
+        n = count_mv[0]
+        if n != len(table.entity_ids):  # pragma: no cover - wiring guard
+            raise ClusterError(
+                f"shm block {block.component!r}@shard{block.shard_id}: "
+                f"segment count {n} != table rows {len(table.entity_ids)}"
+            )
+        lo, hi = block._ids_span()
+        ids_col = _ShmIdsColumn(
+            buf[lo:hi].cast("q"), block.capacity, n, self, count_mv
+        )
+        table._entities = ids_col  # type: ignore[assignment]
+        self.members: list[_ShmColumn] = [ids_col]
+        for field, code, start, end in block.field_layout():
+            col = _ShmColumn(code, buf[start:end].cast(code), block.capacity,
+                             n, self)
+            table._columns[field] = col
+            self.members.append(col)
+
+    def spill(self) -> None:
+        """Demote every member to local list storage; notify the worker."""
+        if self.spilled:
+            return
+        self.spilled = True
+        for member in self.members:
+            member._demote_local()
+        self.on_spill(self.block.shard_id, self.block.component)
+
+
+class ShmColumnPlane:
+    """All shared blocks for one cluster run, keyed ``(shard_id, comp)``.
+
+    Built by the parent *before* forking workers (fork inherits the
+    mappings for free; nothing is pickled).  ``capacity`` should cover
+    the worst-case single-shard population — the executor uses the whole
+    directory size plus headroom, so even every entity migrating onto
+    one shard cannot overflow, only post-fork spawns beyond the headroom
+    can (and those spill gracefully).
+    """
+
+    def __init__(self, shards: "list[ShardHost]", capacity: int):
+        self.capacity = capacity
+        self.blocks: dict[tuple[int, str], ShmTableBlock] = {}
+        try:
+            for host in shards:
+                world = host.world
+                for comp in world.component_names():
+                    table = world.table(comp)
+                    fields = table.typed_fields()
+                    if not fields:
+                        continue
+                    codes = tuple(
+                        table._columns[f].typecode for f in fields
+                    )
+                    block = ShmTableBlock(
+                        host.shard_id, comp, fields, codes, capacity
+                    )
+                    self.blocks[(host.shard_id, comp)] = block
+                    block.fill(table)
+        except BaseException:
+            self.close(unlink=True)
+            raise
+
+    def numeric_fields(self, shard_id: int) -> dict[str, frozenset[str]]:
+        """``{component: shm-backed fields}`` for one shard's blocks."""
+        return {
+            comp: frozenset(block.fields)
+            for (sid, comp), block in self.blocks.items()
+            if sid == shard_id
+        }
+
+    def bind_worker(
+        self, host: "ShardHost", on_spill: SpillCallback
+    ) -> dict[str, ShmWorkerBinding]:
+        """Rebind one shard's tables onto the segments (worker side)."""
+        bindings = {}
+        for (sid, comp), block in self.blocks.items():
+            if sid != host.shard_id:
+                continue
+            table = host.world.table(comp)
+            bindings[comp] = ShmWorkerBinding(block, table, on_spill)
+        return bindings
+
+    def close(self, unlink: bool = False) -> None:
+        """Unmap (and optionally destroy) every segment — parent side."""
+        for block in self.blocks.values():
+            try:
+                block.close(unlink=unlink)
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShmColumnPlane(blocks={len(self.blocks)}, cap={self.capacity})"

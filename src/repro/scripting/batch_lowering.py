@@ -392,9 +392,11 @@ class LoweredProgram:
                         loop.component, Compare(fname, op, value)
                     )
                     ids = query.execute(mode="batch").ids
-                    _, work = table.batch_rows(loop.read_fields, ids)
+                    _, work = table.batch_rows(loop.read_fields, ids,
+                                               copy=False)
                 else:
-                    ids, work = table.batch_rows(loop.read_fields, None)
+                    ids, work = table.batch_rows(loop.read_fields, None,
+                                                 copy=False)
                 if loop.uses_id:
                     work["id"] = ids
                 written: dict[str, list] = {}

@@ -1,0 +1,167 @@
+"""Chunked elementwise execution inside thread-pool phases.
+
+An elementwise :class:`BatchSystem` (row *i* depends only on row *i*)
+may be split into per-worker chunks over zero-copy column views.  These
+tests pin the contract: chunking never changes ``state_hash``, the
+executor counts chunks, traced runs emit ``parallel.chunk`` spans, and
+a kernel whose write set differs between chunks is rejected.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GameWorld, schema
+from repro.errors import QueryError
+from repro.obs import Observability
+
+N_ROWS = 1200  # > chunk_min_rows so 4 workers actually split the column
+
+
+def _integrate(world, ids, cols, dt):
+    return {
+        "Position.x": [
+            x + dx * dt for x, dx in zip(cols["Position.x"], cols["Velocity.dx"])
+        ],
+        "Position.y": [
+            y + dy * dt for y, dy in zip(cols["Position.y"], cols["Velocity.dy"])
+        ],
+    }
+
+
+def _decay(world, ids, cols, dt):
+    return {"Energy.level": [max(0, e - 1) for e in cols["Energy.level"]]}
+
+
+def build_world(n=N_ROWS, seed=5, obs=None, elementwise=True):
+    w = GameWorld(obs=obs) if obs is not None else GameWorld()
+    w.register_component(schema("Position", x="float", y="float"))
+    w.register_component(schema("Velocity", dx="float", dy="float"))
+    w.register_component(schema("Energy", level=("int", 100)))
+    rng = random.Random(seed)
+    for _ in range(n):
+        w.spawn(
+            Position={"x": rng.uniform(0, 900), "y": rng.uniform(0, 900)},
+            Velocity={"dx": rng.uniform(-4, 4), "dy": rng.uniform(-4, 4)},
+            Energy={"level": rng.randrange(0, 200)},
+        )
+    w.add_batch_system(
+        "integrate",
+        reads=["Position.x", "Position.y", "Velocity.dx", "Velocity.dy"],
+        fn=_integrate,
+        writes=["Position.x", "Position.y"],
+        elementwise=elementwise,
+    )
+    w.add_batch_system(
+        "decay", reads=["Energy.level"], fn=_decay,
+        writes=["Energy.level"], elementwise=elementwise,
+    )
+    return w
+
+
+class TestChunkedEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_hash_matches_serial(self, workers):
+        serial = build_world()
+        parallel = build_world()
+        ex = parallel.enable_parallel(workers=workers)
+        try:
+            serial.run(6)
+            parallel.run(6)
+            assert parallel.state_hash() == serial.state_hash()
+            assert ex.stats()["chunks_executed"] > 0
+        finally:
+            parallel.disable_parallel()
+
+    def test_randomized_seeds(self):
+        rng = random.Random(77)
+        for _ in range(3):
+            seed = rng.randrange(1 << 16)
+            serial = build_world(n=600, seed=seed)
+            parallel = build_world(n=600, seed=seed)
+            parallel.enable_parallel(workers=4)
+            try:
+                serial.run(4)
+                parallel.run(4)
+                assert parallel.state_hash() == serial.state_hash(), seed
+            finally:
+                parallel.disable_parallel()
+
+    def test_non_elementwise_is_never_chunked(self):
+        w = build_world(elementwise=False)
+        ex = w.enable_parallel(workers=4)
+        try:
+            w.run(2)
+            assert ex.stats()["chunks_executed"] == 0
+        finally:
+            w.disable_parallel()
+
+    def test_small_tables_skip_chunking(self):
+        # Fewer rows than chunk_min_rows: splitting would be pure overhead.
+        w = build_world(n=64)
+        ex = w.enable_parallel(workers=4)
+        try:
+            w.run(2)
+            assert ex.stats()["chunks_executed"] == 0
+        finally:
+            w.disable_parallel()
+
+
+class TestChunkObservability:
+    def test_traced_run_emits_chunk_spans(self):
+        obs = Observability.full()
+        w = build_world(obs=obs)
+        w.enable_parallel(workers=4)
+        try:
+            w.run(2)
+        finally:
+            w.disable_parallel()
+        chunk_spans = [
+            s for s in obs.recorder.spans() if s.name == "parallel.chunk"
+        ]
+        assert chunk_spans, "chunked systems must emit parallel.chunk spans"
+        rows = sum(s.args["rows"] for s in chunk_spans)
+        # Two elementwise systems over N_ROWS rows, two ticks each.
+        assert rows == 4 * N_ROWS
+        assert all(s.cat == "parallel" for s in chunk_spans)
+
+    def test_stats_row_shape(self):
+        w = build_world()
+        ex = w.enable_parallel(workers=2)
+        try:
+            w.run(1)
+            stats = ex.stats()
+            for key in ("chunks_executed", "bytes_shipped", "sync_ms"):
+                assert key in stats
+            assert stats["bytes_shipped"] == 0  # threads share one heap
+            assert stats["sync_ms"] >= 0.0
+        finally:
+            w.disable_parallel()
+
+
+class TestChunkValidation:
+    def test_differing_write_sets_rejected(self):
+        w = GameWorld()
+        w.register_component(schema("P", x="float", y="float"))
+        for i in range(N_ROWS):
+            w.spawn(P={"x": float(i), "y": 0.0})
+        first = w.table("P").entity_ids[0]
+
+        def lopsided(world, ids, cols, dt):
+            # The chunk containing the first row writes both columns,
+            # every other chunk writes only one — not mergeable.
+            out = {"P.x": [x + 1.0 for x in cols["P.x"]]}
+            if first in ids:
+                out["P.y"] = [y + 1.0 for y in cols["P.y"]]
+            return out
+
+        w.add_batch_system(
+            "lopsided", reads=["P.x", "P.y"], fn=lopsided,
+            writes=["P.x", "P.y"], elementwise=True,
+        )
+        w.enable_parallel(workers=4)
+        try:
+            with pytest.raises(QueryError):
+                w.run(1)
+        finally:
+            w.disable_parallel()

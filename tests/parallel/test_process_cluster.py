@@ -144,3 +144,170 @@ class TestExecutorPlumbing:
         )
         with pytest.raises(ClusterError):
             coord.start_parallel(2)
+
+
+def drift_batch(world, ids, cols, dt):
+    return {
+        "Position.x": [x + 0.7 for x in cols["Position.x"]],
+        "Position.y": [y + 0.3 for y in cols["Position.y"]],
+    }
+
+
+def build_cluster_batch(parallel, seed=11, entities=100, shm_headroom=1024):
+    """The :func:`run_cluster` workload with drift as a batch system."""
+    coord = ClusterCoordinator(
+        4, make_placement(), cluster_schemas(), seed=seed,
+    )
+    rng = random.Random(seed * 7 + 1)
+    eids = [
+        coord.spawn(
+            {
+                "Position": {
+                    "x": rng.uniform(0, 400), "y": rng.uniform(0, 400)
+                },
+                "Wealth": {},
+            }
+        )
+        for _ in range(entities)
+    ]
+    coord.add_batch_system(
+        "drift",
+        reads=["Position.x", "Position.y"],
+        fn=drift_batch,
+        writes=["Position.x", "Position.y"],
+        elementwise=True,
+    )
+    if parallel is not None:
+        coord.start_parallel(parallel, shm_headroom=shm_headroom)
+    return coord, eids, rng
+
+
+def drive(coord, eids, rng, ticks, txn_every=5, t0=0):
+    for t in range(t0, t0 + ticks):
+        if t % txn_every == 0:
+            a, b = rng.sample(eids, 2)
+            coord.submit(transfer_spec(a, b, 3))
+        coord.tick()
+
+
+def run_cluster_batch(parallel, ticks=40, seed=11, txn_every=5,
+                      entities=100, shm_headroom=1024):
+    coord, eids, rng = build_cluster_batch(
+        parallel, seed=seed, entities=entities, shm_headroom=shm_headroom
+    )
+    drive(coord, eids, rng, ticks, txn_every=txn_every)
+    coord.quiesce()
+    coord.check_invariants()
+    return coord
+
+
+class TestBatchFormulationEquivalence:
+    """The E18b premise: batch and tuple formulations are bit-identical."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_batch_parallel_matches_tuple_serial(self, workers):
+        # drift_batch performs the same float ops as the per-entity drift
+        # (`+ 0.7` / `+ 0.3`), so the shared-memory batch run must land
+        # on the per-entity serial run's exact hash.
+        serial = run_cluster(None)
+        parallel = run_cluster_batch(workers)
+        try:
+            assert serial.state_hash() == parallel.state_hash()
+        finally:
+            parallel.stop_parallel(sync=False)
+
+    def test_randomized_batch_seeds(self):
+        rng = random.Random(4071)
+        for _ in range(2):
+            seed = rng.randrange(1 << 16)
+            serial = run_cluster_batch(None, ticks=25, seed=seed)
+            parallel = run_cluster_batch(2, ticks=25, seed=seed)
+            try:
+                assert serial.state_hash() == parallel.state_hash(), seed
+            finally:
+                parallel.stop_parallel(sync=False)
+
+
+class TestDeltaSync:
+    def test_stop_mid_run_then_serial_matches_continuous_serial(self):
+        # Journal-delta sync must leave the parent able to continue the
+        # simulation to the exact state a never-parallel run reaches:
+        # same ticks, same transaction schedule, stop(sync) at tick 18.
+        continuous, c_eids, c_rng = build_cluster_batch(None)
+        drive(continuous, c_eids, c_rng, 30)
+        continuous.quiesce()
+        continuous.check_invariants()
+
+        mixed, m_eids, m_rng = build_cluster_batch(2)
+        drive(mixed, m_eids, m_rng, 18)
+        mixed.stop_parallel(sync=True)
+        drive(mixed, m_eids, m_rng, 12, t0=18)
+        mixed.quiesce()
+        mixed.check_invariants()
+        assert mixed.positions() == continuous.positions()
+        assert mixed.state_hash() == continuous.state_hash()
+
+    def test_stop_sync_hash_stable_under_batch(self):
+        coord = run_cluster_batch(2, ticks=20)
+        before = coord.state_hash()
+        coord.stop_parallel(sync=True)
+        assert coord.state_hash() == before
+        coord.run(5)
+        coord.quiesce()
+        coord.check_invariants()
+
+
+class TestShmPlane:
+    def test_positions_served_from_shm_without_shipping(self):
+        coord = run_cluster_batch(2, ticks=10)
+        try:
+            ex = coord._parallel
+            assert ex.plane.blocks, "numeric columns must have shm blocks"
+            shipped_before = ex.bytes_shipped
+            pos = coord.positions()
+            assert len(pos) == 100
+            # positions() reads the segments directly: no pipe traffic.
+            assert ex.bytes_shipped == shipped_before
+        finally:
+            coord.stop_parallel(sync=False)
+
+    def test_positions_match_serial_exactly(self):
+        serial = run_cluster(None, ticks=15)
+        parallel = run_cluster_batch(2, ticks=15)
+        try:
+            assert parallel.positions() == serial.positions()
+        finally:
+            parallel.stop_parallel(sync=False)
+
+    def test_spill_falls_back_to_pipes_and_stays_exact(self):
+        # Blocks are sized to the whole directory plus headroom, so with
+        # headroom=0 a shard spills once post-fork spawns push its row
+        # count past the *initial* directory size.  400 spawns over 4
+        # shards (~100 initial entities) guarantee overflow everywhere;
+        # spilled state must travel the journal/pipe path instead.
+        n_extra = 400
+        serial = run_cluster(None, ticks=20)
+        for i in range(n_extra):
+            serial.spawn(
+                {"Position": {"x": 20.0 + i, "y": 30.0}, "Wealth": {}}
+            )
+        serial.run(10)
+        serial.quiesce()
+
+        parallel = run_cluster_batch(2, ticks=20, shm_headroom=0)
+        try:
+            for i in range(n_extra):
+                parallel.spawn(
+                    {"Position": {"x": 20.0 + i, "y": 30.0}, "Wealth": {}}
+                )
+            parallel.run(10)
+            parallel.quiesce()
+            assert parallel._parallel._spilled, "spawns must trigger spill"
+            assert parallel.positions() == serial.positions()
+            hash_live = parallel.state_hash()
+            parallel.stop_parallel(sync=True)
+            assert parallel.state_hash() == hash_live
+            assert parallel.state_hash() == serial.state_hash()
+        finally:
+            if parallel.parallel_active:
+                parallel.stop_parallel(sync=False)
