@@ -120,8 +120,8 @@ PROFILES = [
 
 def build_world(n=48, seed=3):
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(schema("Health", hp=("int", 50)))
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Health", hp=("int", 50)))
     world.index_manager("Position").attach_spatial(UniformGrid(5.0))
     rng = random.Random(seed)
     span = (n ** 0.5) * 4

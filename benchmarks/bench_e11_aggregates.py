@@ -23,7 +23,7 @@ from repro.core import GameWorld, schema
 
 def build_world(n, seed=1):
     world = GameWorld()
-    world.register_component(
+    world.catalog.define(
         schema("Health", hp=("int", 100), faction=("str", "a"))
     )
     rng = random.Random(seed)

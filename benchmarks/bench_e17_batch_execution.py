@@ -60,7 +60,7 @@ KINDS = [f"k{i}" for i in range(64)]
 
 def build_world(n: int, seed: int = 1) -> GameWorld:
     world = GameWorld()
-    world.register_component(
+    world.catalog.define(
         schema(
             "Unit",
             x="float", y="float", vx="float", vy="float",

@@ -88,10 +88,10 @@ def _economy(world, ids, cols, dt):
 
 def build_world(n: int, seed: int = 1) -> GameWorld:
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(schema("Velocity", dx="float", dy="float"))
-    world.register_component(schema("Health", hp=("int", 100)))
-    world.register_component(schema("Gold", amount=("int", 100)))
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Velocity", dx="float", dy="float"))
+    world.catalog.define(schema("Health", hp=("int", 100)))
+    world.catalog.define(schema("Gold", amount=("int", 100)))
     rng = random.Random(seed)
     for _ in range(n):
         world.spawn(

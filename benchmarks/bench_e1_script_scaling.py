@@ -44,7 +44,7 @@ end
 
 def build_world(n: int, seed: int = 1) -> GameWorld:
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Position", x="float", y="float"))
     world.index_manager("Position").attach_spatial(UniformGrid(5.0))
     rng = random.Random(seed)
     span = (n ** 0.5) * 4.0  # constant density as n grows

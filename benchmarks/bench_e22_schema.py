@@ -1,0 +1,357 @@
+"""E22 — online schema migration on a live, sharded world.
+
+PR 10 gives components numbered schema versions and a declarative
+``alter`` plan that backfills N rows per tick while the world keeps
+ticking.  This experiment pins the three claims that make the catalog
+shippable:
+
+* **E22a — equivalence under load**: a 2-shard cluster of 10k entities
+  runs movement plus per-tick Health writes while ``AddColumn`` +
+  ``RetypeColumn`` roll out online.  The final ``state_hash`` must be
+  **bit-identical** to a same-seed reference that runs the same ticks
+  with no alter and then migrates stop-the-world at the end.
+* **E22b — the cost of migrating live**: the E16 paired-lockstep method
+  against a same-seed no-alter twin, timed across the backfill window.
+  The per-tick overhead while rows migrate must stay ≤ 25%.
+* **E22c — kill the primary mid-backfill**: a replicated cluster loses
+  shard 0's primary while its backfill is half done.  The promoted
+  replica must recover to a consistent catalog version with zero acked
+  writes lost and finish the migration.
+
+Catalog bumps must also invalidate derived state: the run asserts the
+plan cache records invalidations and the index catalog version moves
+(stale sorted indexes over retyped fields are dropped).
+
+``--out foo.json`` writes the artifact ``check_regression.py`` compares
+against ``BENCH_E22.baseline.json``; hash equality, invalidation, and
+failover booleans are gated, wall-clock overhead is gated only through
+the ≤ 25% target flag.
+"""
+
+import math
+
+from bench_common import (
+    BenchTable,
+    emit_json,
+    emit_report,
+    make_parser,
+    trace_session,
+)
+from bench_e16_observability import paired_blocks
+
+from repro.cluster import ClusterCoordinator, StaticGridPlacement
+from repro.consistency import StaticGridPartitioner
+from repro.core import F
+from repro.core.component import schema
+from repro.net import FaultInjector
+from repro.replication import ReplicatedClusterCoordinator
+from repro.schema import AddColumn, RetypeColumn
+from repro.spatial import AABB
+
+BOUNDS = AABB(0.0, 0.0, 400.0, 400.0)
+STEPS = [AddColumn("regen", 0.5), RetypeColumn("hp", "float")]
+
+
+def world_schemas():
+    return [
+        schema("Position", x="float", y="float"),
+        schema("Health", hp=("int", 100)),
+    ]
+
+
+def drift(world, eid, dt):
+    row = world.get(eid, "Position")
+    world.set(eid, "Position", x=(row["x"] + dt * 3.0) % 400.0)
+
+
+def regen_tick(world, eid, dt):
+    # Writes that keep landing through the migration window; +1 is
+    # exact in both int and float, so online and offline runs agree.
+    # Only a fifth of the rows are written — written rows materialize
+    # eagerly, and the backfill must still do real work on the rest.
+    if eid % 5 == 0:
+        world.set(eid, "Health", hp=world.get_field(eid, "Health", "hp") + 1)
+
+
+def make_cluster(entities, seed, shards=2, replicated=False, injector=None):
+    placement = StaticGridPlacement(
+        StaticGridPartitioner(BOUNDS, shards, 1, shards)
+    )
+    if replicated:
+        coord = ReplicatedClusterCoordinator(
+            shards, placement, world_schemas(), seed=seed,
+            repartition_interval=10_000, replication_factor=2,
+            ship_interval=1, heartbeat_timeout=4, injector=injector,
+        )
+    else:
+        coord = ClusterCoordinator(
+            shards, placement, world_schemas(), seed=seed,
+            repartition_interval=10_000,
+        )
+    for i in range(entities):
+        coord.spawn({
+            "Position": {"x": (i * 7.3) % 400.0, "y": (i * 3.7) % 400.0},
+            "Health": {"hp": i % 150},
+        })
+    coord.add_per_entity_system("drift", ("Position",), drift)
+    coord.add_per_entity_system("regen", ("Health",), regen_tick)
+    return coord
+
+
+# -- E22a/b: equivalence + live-migration overhead ---------------------------------
+
+
+def run_migration_cell(entities, seed, warmup=5, window_blocks=12, block=2,
+                       tail=4):
+    """Online alter under load vs a stop-the-world reference.
+
+    The backfill batch is sized so migration spans the whole measured
+    window — overhead is the paired-lockstep median while rows are
+    actually moving, not an average diluted by idle ticks.
+    """
+    shards = 2
+    window = window_blocks * block
+    batch = max(1, math.ceil(entities / shards / window))
+
+    live = make_cluster(entities, seed)
+    twin = make_cluster(entities, seed)  # no-alter twin, timing only
+    live.run(warmup)
+    twin.run(warmup)
+
+    # Derived state that the catalog bump must invalidate.
+    mgr0 = live.shards[0].world.index_manager("Health")
+    mgr0.create_sorted_index("hp")
+    index_before = mgr0.catalog_version
+    query = live.shards[0].world.query("Health").where("Health", F.hp >= 0)
+    query.execute()
+    query.execute()
+
+    live.alter("Health", list(STEPS), batch_rows=batch)
+    twin_s, live_s, overhead_pct = paired_blocks(
+        lambda: twin.run(block), lambda: live.run(block), window_blocks
+    )
+    live.quiesce(256)
+    extra = live.tick_count - warmup - window
+    ticks_total = live.tick_count
+
+    rows_migrated = sum(
+        h.world.catalog.stats()["rows_migrated"] for h in live.shards
+    )
+    query.execute()
+    plan_invalidations = live.shards[0].world.plan_cache.stats()[
+        "invalidations"
+    ]
+    index_bumped = mgr0.catalog_version > index_before
+
+    # Stop-the-world reference: same seed, same ticks, no alter — then
+    # one offline migration with the cluster frozen.
+    ref = make_cluster(entities, seed)
+    ref.run(ticks_total)
+    for host in ref.shards:
+        host.world.catalog.alter("Health", list(STEPS), online=False)
+    return {
+        "entities": entities,
+        "shards": shards,
+        "batch_rows": batch,
+        "window_ticks": window,
+        "drain_ticks": extra,
+        "rows_migrated": rows_migrated,
+        "backfill_fraction": rows_migrated / entities if entities else 1.0,
+        "hash_equal": live.state_hash() == ref.state_hash(),
+        "schema_version": live.schema_version_of("Health"),
+        "plan_invalidations": plan_invalidations,
+        "plan_invalidated": plan_invalidations >= 1,
+        "index_bumped": index_bumped,
+        "live_s": live_s,
+        "baseline_s": twin_s,
+        "overhead_pct": overhead_pct,
+        "overhead_target_met": overhead_pct <= 25.0,
+    }
+
+
+# -- E22c: kill the primary mid-backfill -------------------------------------------
+
+
+def run_failover_cell(entities, seed, crash_tick=8, ticks=30):
+    """Crash shard 0's primary while its backfill is in flight."""
+    injector = FaultInjector().crash("shard:0", at_tick=crash_tick)
+    coord = make_cluster(entities, seed, replicated=True, injector=injector)
+    rows_per_shard = entities // 2
+    coord.run(4)
+    # A batch small enough that the crash lands mid-backfill.
+    coord.alter("Health", list(STEPS),
+                batch_rows=max(1, rows_per_shard // 16))
+    coord.run(ticks)
+    coord.quiesce(256)
+    coord.check_invariants()
+
+    report = coord.failovers[0] if coord.failovers else None
+    versions = [h.world.catalog.version_of("Health") for h in coord.shards]
+    unmigrated = sum(
+        h.world.table("Health").unmigrated_count for h in coord.shards
+    )
+    recovered = (
+        report is not None
+        and report.records_lost == 0
+        and versions == [2, 2]
+        and unmigrated == 0
+        and coord.schema_rollouts_in_flight == 0
+    )
+    return {
+        "entities": entities,
+        "crash_tick": crash_tick,
+        "failovers": len(coord.failovers),
+        "records_lost": report.records_lost if report else -1,
+        "catalog_versions": versions,
+        "unmigrated": unmigrated,
+        "failover_recovered": recovered,
+    }
+
+
+# -- report ------------------------------------------------------------------------
+
+
+def run_experiment(entities=10_000, failover_entities=2_000, seed=0):
+    mig = run_migration_cell(entities, seed)
+    mig_table = BenchTable(
+        f"E22a/b: online add+retype over {mig['entities']} entities, "
+        f"{mig['shards']} shards (batch {mig['batch_rows']} rows/tick)",
+        ["rows_migrated", "hash_equal", "plan_invalidations",
+         "index_bumped", "live_s", "baseline_s", "overhead_pct"],
+    )
+    mig_table.add_row(
+        mig["rows_migrated"], mig["hash_equal"], mig["plan_invalidations"],
+        mig["index_bumped"], round(mig["live_s"], 4),
+        round(mig["baseline_s"], 4), round(mig["overhead_pct"], 2),
+    )
+
+    fail = run_failover_cell(failover_entities, seed)
+    fail_table = BenchTable(
+        f"E22c: primary killed at tick {fail['crash_tick']} "
+        f"mid-backfill ({fail['entities']} entities, semi-sync)",
+        ["failovers", "records_lost", "catalog_versions", "unmigrated",
+         "recovered"],
+    )
+    fail_table.add_row(
+        fail["failovers"], fail["records_lost"],
+        "/".join(str(v) for v in fail["catalog_versions"]),
+        fail["unmigrated"], fail["failover_recovered"],
+    )
+
+    metrics = {
+        "hash_equal": mig["hash_equal"],
+        "backfill_fraction": mig["backfill_fraction"],
+        "plan_invalidated": mig["plan_invalidated"],
+        "index_bumped": mig["index_bumped"],
+        "overhead_target_met": mig["overhead_target_met"],
+        "failover_recovered": fail["failover_recovered"],
+        "failover_records_lost_zero": fail["records_lost"] == 0,
+    }
+    return {
+        "tables": [mig_table, fail_table],
+        "metrics": metrics,
+        "migration": mig,
+        "failover": fail,
+    }
+
+
+def to_payload(result, seed):
+    """The JSON artifact for one run (input to check_regression.py)."""
+    return {
+        "experiment": "E22",
+        "seed": seed,
+        "tables": [t.to_dict() for t in result["tables"]],
+        "metrics": result["metrics"],
+        "overhead_pct": result["migration"]["overhead_pct"],
+    }
+
+
+def print_report(entities=4_000, failover_entities=1_000, seed=0):
+    # Defaults are sized for EXPERIMENTS.md regeneration; the CLI passes
+    # its own (full-scale, 10k-entity) values explicitly.
+    result = run_experiment(entities=entities,
+                            failover_entities=failover_entities, seed=seed)
+    for table in result["tables"]:
+        table.print()
+    mig, fail = result["migration"], result["failover"]
+    print(f"online == stop-the-world: hash_equal={mig['hash_equal']} "
+          f"({mig['rows_migrated']} rows backfilled over "
+          f"{mig['window_ticks']}+{mig['drain_ticks']} ticks)")
+    print(f"live-migration overhead: {mig['overhead_pct']:+.2f}% per tick "
+          f"(target <= 25%); catalog bump invalidated "
+          f"{mig['plan_invalidations']} cached plans, index version "
+          f"bumped={mig['index_bumped']}")
+    print(f"kill-primary mid-backfill: failovers={fail['failovers']} "
+          f"records_lost={fail['records_lost']} catalog="
+          f"{'/'.join(str(v) for v in fail['catalog_versions'])} "
+          f"unmigrated={fail['unmigrated']}")
+    print("-> the schema is data, not code: versions roll forward while "
+          "the world ticks, readers never see a half-migrated row, and "
+          "a crash mid-backfill is just another replayable log suffix.")
+
+
+# -- pytest-benchmark entries ------------------------------------------------------
+
+
+def test_e22_backfill_tick(benchmark):
+    coord = make_cluster(2_000, 0)
+    coord.run(3)
+    coord.alter("Health", list(STEPS), batch_rows=64)
+
+    def one_tick():
+        coord.tick()
+
+    benchmark(one_tick)
+
+
+def test_e22_shape_holds(benchmark):
+    """The experiment's invariants at CI-friendly scale.
+
+    Wall-clock overhead is hardware dependent and asserted only with
+    generous slack (the report prints exact numbers); hash equality,
+    invalidation, and failover recovery are deterministic and pinned.
+    """
+
+    def check():
+        result = run_experiment(entities=1_500, failover_entities=600)
+        m = result["metrics"]
+        assert m["hash_equal"], "online must match stop-the-world"
+        assert m["backfill_fraction"] > 0.5, m["backfill_fraction"]
+        assert m["plan_invalidated"], "catalog bump must invalidate plans"
+        assert m["index_bumped"], "catalog bump must move the index version"
+        assert m["failover_recovered"], result["failover"]
+        assert m["failover_records_lost_zero"]
+        # Slack bound: CI hosts are noisy; the ≤25% claim is checked on
+        # the committed baseline run and printed by the report.
+        assert result["migration"]["overhead_pct"] < 80.0
+        return m
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    parser = make_parser("E22 online schema migration benchmark")
+    parser.add_argument(
+        "--entities", type=int, default=10_000,
+        help="cluster population for the migration cell",
+    )
+    parser.add_argument(
+        "--failover-entities", type=int, default=2_000,
+        help="population behind the kill-primary cell",
+    )
+    cli = parser.parse_args()
+    # --trace-out captures the run's schema.backfill spans (one per
+    # batch, tagged with component and rows) as a Chrome trace.
+    with trace_session(cli.trace_out):
+        if cli.out and cli.out.endswith(".json"):
+            result = run_experiment(entities=cli.entities,
+                                    failover_entities=cli.failover_entities,
+                                    seed=cli.seed)
+            for table in result["tables"]:
+                table.print()
+            emit_json(cli.out, to_payload(result, cli.seed))
+        else:
+            emit_report(
+                print_report, out=cli.out, entities=cli.entities,
+                failover_entities=cli.failover_entities, seed=cli.seed,
+            )

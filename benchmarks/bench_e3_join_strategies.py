@@ -66,10 +66,10 @@ def run_join_experiment(sizes=(250, 500, 1000, 2000)) -> BenchTable:
 
 def build_world(n, seed=6):
     world = GameWorld()
-    world.register_component(
+    world.catalog.define(
         schema("Position", x="float", y="float")
     )
-    world.register_component(
+    world.catalog.define(
         schema("Velocity", vx=("float", 1.0), vy=("float", 0.5))
     )
     rng = random.Random(seed)

@@ -177,6 +177,20 @@ EXPERIMENTS = [
      "burns the error budget and dumps the flight recorder exactly "
      "once, with the breaching trace id in the dump reason and the "
      "offending trace inside a valid Chrome trace document."),
+    ("E22 / Fig 19", "bench_e22_schema",
+     "Game state lives for years while its schema evolves weekly — the "
+     "data management layer must support schema change on a live world "
+     "the way a database supports online DDL, without stopping the "
+     "tick loop or corrupting in-flight updates (Engineering "
+     "Challenges).",
+     "An add+retype alter rolls out over a ticking 10k-entity 2-shard "
+     "cluster, backfilling a bounded batch per tick: the final state "
+     "hash is bit-identical to a same-seed stop-the-world reference, "
+     "per-tick overhead during the backfill window stays ≤25% "
+     "(measured ~3%), the catalog bump invalidates cached query plans "
+     "and drops stale indexes, and killing a primary mid-backfill "
+     "promotes a replica that finishes the migration on a consistent "
+     "catalog version with zero acknowledged writes lost."),
 ]
 
 HEADER = """\

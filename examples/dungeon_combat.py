@@ -63,7 +63,7 @@ def main() -> None:
 
     # ------------------------------------------------------------ the world
     world = GameWorld()
-    world.register_component(schema("Health", hp=("int", 100), max_hp=("int", 100)))
+    world.catalog.define(schema("Health", hp=("int", 100), max_hp=("int", 100)))
     boss = world.spawn(Health={"hp": 1000, "max_hp": 1000})
 
     content = ContentDatabase()

@@ -50,8 +50,8 @@ async def tcp_cell() -> None:
     # A small hand-built world this time: four named avatars drifting
     # right, four real TCP clients each watching its own neighbourhood.
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(
         schema("Velocity", vx=("float", 0.0), vy=("float", 0.0))
     )
     avatars = [

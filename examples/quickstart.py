@@ -14,11 +14,11 @@ from repro.spatial import UniformGrid
 def main() -> None:
     # ------------------------------------------------------------------ setup
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(
         schema("Health", hp=("int", 100), max_hp=("int", 100))
     )
-    world.register_component(schema("Faction", name=("str", "neutral")))
+    world.catalog.define(schema("Faction", name=("str", "neutral")))
 
     # A spatial index over positions and a sorted index over hit points:
     # the same physical design decisions a DBA would make.

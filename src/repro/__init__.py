@@ -12,8 +12,8 @@ Quickstart::
     from repro import GameWorld, schema, F
 
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(schema("Health", hp=("int", 100)))
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Health", hp=("int", 100)))
     eid = world.spawn(Position={"x": 1.0, "y": 2.0}, Health={})
     hurt = world.query("Health").where("Health", F.hp < 50).execute().ids
 """

@@ -40,6 +40,8 @@ from repro.net.protocol import (
     HandoffAck,
     HandoffCommand,
     HandoffComplete,
+    SchemaAlter,
+    SchemaAlterAck,
     TxnDecision,
     TxnPrepare,
     TxnVote,
@@ -171,6 +173,11 @@ class ClusterCoordinator:
         self._tick_lease_ttl = 0
         self._tick_lease_owner = ""
         self.tick_deferrals: dict[int, int] = {}
+        # Schema rollout plane: the committed cluster-wide catalog
+        # version per component, plus in-flight rollouts awaiting acks.
+        self._schema_versions: dict[str, int] = {s.name: 1 for s in schemas}
+        self._schema_rollouts: dict[str, dict[str, Any]] = {}
+        self._c_schema_rollouts = self.metrics.counter("cluster.schema.rollouts")
         self.obs.register_stats("cluster.migration", self.migration_stats)
 
     # -- coordinator tallies (registry-backed) ------------------------------------
@@ -422,6 +429,19 @@ class ClusterCoordinator:
         local = len(by_shard) == 1
         record = _TxnRecord(txn_id, spec, all_keys, len(by_shard), local, ctx)
         self._txns[txn_id] = record
+        # Stamp the prepare with the coordinator's expected catalog
+        # version for every component it touches: a participant that has
+        # already applied (or not yet applied) a rolling alter votes
+        # abort rather than prepare writes against a different shape.
+        touched = sorted({
+            op.key[1] for op in spec.ops
+            if len(op.key) >= 2 and isinstance(op.key[1], str)
+        })
+        stamp = tuple(
+            (c, self._effective_schema_version(c))
+            for c in touched
+            if c in self._schema_versions
+        )
         for shard_id in sorted(by_shard):
             keyed_ops = tuple(by_shard[shard_id])
             record.shard_keys[shard_id] = keyed_ops
@@ -431,6 +451,7 @@ class ClusterCoordinator:
                 tick=self.net.now,
                 local=local,
                 ops=tuple(spec.ops) if local else (),
+                schema_versions=stamp,
             )
             self._send(shard_endpoint(shard_id), prepare, ctx=ctx)
 
@@ -514,6 +535,116 @@ class ClusterCoordinator:
         else:
             self.cross_aborted += 1
 
+    # -- schema rollout plane -----------------------------------------------------
+
+    def alter(
+        self,
+        component: str,
+        steps: Iterable[Any],
+        *,
+        batch_rows: int | None = None,
+    ) -> int:
+        """Roll a schema alter across every shard; returns the target version.
+
+        The coordinator serialises the steps (callable
+        ``TransformColumn`` steps are rejected — a rollout must be
+        replayable from records), broadcasts a
+        :class:`~repro.net.protocol.SchemaAlter` to all shards, and
+        tracks acks.  Each shard begins its own incremental backfill on
+        receipt; the cluster-wide version is considered committed once
+        every shard has acked, which :meth:`quiesce` waits for.
+        """
+        from repro.schema.catalog import DEFAULT_BATCH_ROWS
+        from repro.schema.steps import steps_to_records
+
+        if self._parallel is not None or self._parallel_workers is not None:
+            raise ClusterError(
+                "schema rollouts and parallel execution are mutually exclusive"
+            )
+        if component not in self._schema_versions:
+            raise ClusterError(f"unknown component {component!r}")
+        if component in self._schema_rollouts:
+            raise ClusterError(f"{component}: a schema rollout is already in flight")
+        steps = tuple(steps)
+        if not steps:
+            raise ClusterError("alter needs at least one step")
+        records = steps_to_records(steps)  # raises SchemaError on Transform
+        batch = DEFAULT_BATCH_ROWS if batch_rows is None else int(batch_rows)
+        to_version = self._schema_versions[component] + 1
+        self._schema_rollouts[component] = {
+            "to": to_version,
+            "pending": {host.shard_id for host in self.shards},
+            "records": records,
+            "batch": batch,
+        }
+        msg = SchemaAlter(
+            component=component,
+            steps=records,
+            to_version=to_version,
+            batch_rows=batch,
+            tick=self.net.now,
+        )
+        for host in self.shards:
+            self._send(host.endpoint, msg)
+        return to_version
+
+    def schema_version_of(self, component: str) -> int:
+        """The committed (fully-acked) cluster-wide catalog version."""
+        try:
+            return self._schema_versions[component]
+        except KeyError:
+            raise ClusterError(f"unknown component {component!r}") from None
+
+    def _effective_schema_version(self, component: str) -> int:
+        """Committed version, or the rollout target while one is in flight."""
+        rollout = self._schema_rollouts.get(component)
+        if rollout is not None:
+            return rollout["to"]
+        return self._schema_versions.get(component, 1)
+
+    @property
+    def schema_rollouts_in_flight(self) -> int:
+        """Alters broadcast but not yet acked by every shard."""
+        return len(self._schema_rollouts)
+
+    def _on_schema_ack(self, ack: SchemaAlterAck) -> None:
+        rollout = self._schema_rollouts.get(ack.component)
+        if rollout is None or ack.to_version != rollout["to"]:
+            return  # stale ack from a finished or superseded rollout
+        rollout["pending"].discard(ack.shard)
+        if not rollout["pending"]:
+            del self._schema_rollouts[ack.component]
+            self._schema_versions[ack.component] = rollout["to"]
+            self._c_schema_rollouts.inc()
+
+    def _reconcile_schema(self, shard_id: int, host: ShardHost) -> None:
+        """Re-drive in-flight rollouts at a freshly promoted shard.
+
+        The promoted replica's catalog was caught up from the failed
+        primary's journal, so it usually already holds the target
+        version — treat that as the ack the dead primary never sent.
+        Otherwise re-send the stored :class:`SchemaAlter`; the handler
+        is idempotent.
+        """
+        for component, rollout in list(self._schema_rollouts.items()):
+            if shard_id not in rollout["pending"]:
+                continue
+            if host.world.catalog.version_of(component) >= rollout["to"]:
+                self._on_schema_ack(SchemaAlterAck(
+                    shard=shard_id,
+                    component=component,
+                    to_version=rollout["to"],
+                    tick=self.net.now,
+                ))
+            else:
+                self._send(host.endpoint, SchemaAlter(
+                    component=component,
+                    steps=rollout["records"],
+                    to_version=rollout["to"],
+                    batch_rows=rollout["batch"],
+                    tick=self.net.now,
+                ))
+
     # -- interaction feed ---------------------------------------------------------
 
     def report_interactions(self, pairs: Iterable[tuple[int, int]]) -> None:
@@ -553,6 +684,8 @@ class ClusterCoordinator:
             self._on_vote(payload)
         elif isinstance(payload, HandoffAck):
             self._on_handoff_ack(payload)
+        elif isinstance(payload, SchemaAlterAck):
+            self._on_schema_ack(payload)
         else:
             raise ClusterError(f"coordinator: unexpected message {msg!r}")
 
@@ -837,6 +970,7 @@ class ClusterCoordinator:
             and not self.net.in_flight_count()
             and all(r.finished for r in self._txns.values())
             and not deferred
+            and not self._schema_rollouts
         )
 
     def quiesce(self, max_ticks: int = 64) -> None:

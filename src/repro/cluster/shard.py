@@ -29,10 +29,13 @@ from repro.net.protocol import (
     HandoffComplete,
     HandoffRequest,
     HandoffResend,
+    SchemaAlter,
+    SchemaAlterAck,
     TxnDecision,
     TxnPrepare,
     TxnVote,
 )
+from repro.schema.steps import steps_from_records
 from repro.net.simnet import Message, SimNetwork
 from repro.obs import (
     Observability,
@@ -92,13 +95,19 @@ class ShardHost:
         self.obs = resolve_obs(obs).lane(self.endpoint)
         self.world = GameWorld(dt, obs=self.obs)
         for schema in schemas:
-            self.world.register_component(schema)
+            self.world.catalog.define(schema)
         self.owned: set[int] = set()
         self.forwarding = ForwardingTable()
         self.participant = TwoPhaseParticipant(_WorldStore(self.world))
         self.stats = ShardStats(shard_id, registry=net.metrics)
         self._deferred_handoffs: list[tuple[HandoffCommand, TraceContext | None]] = []
         self._retained_evictions: dict[int, HandoffRequest] = {}
+        #: (component, to_version) alters begun but not yet acked to the
+        #: coordinator; acked once the local backfill commits.
+        self._pending_schema_acks: list[tuple[str, int]] = []
+        #: handoff payloads stamped with a catalog version this shard has
+        #: not reached yet — installed once the local alter catches up.
+        self._deferred_installs: list[tuple[HandoffRequest, TraceContext | None]] = []
         net.add_endpoint(self.endpoint)
 
     # -- ownership ----------------------------------------------------------------
@@ -176,6 +185,8 @@ class ShardHost:
                 self._on_prepare(payload, ctx)
             elif isinstance(payload, TxnDecision):
                 self._on_decision(payload)
+            elif isinstance(payload, SchemaAlter):
+                self._on_schema_alter(payload)
             else:
                 raise ClusterError(
                     f"shard {self.shard_id}: unexpected message {msg!r}"
@@ -184,8 +195,10 @@ class ShardHost:
     def tick(self) -> None:
         """Advance this shard's world one frame."""
         self._retry_deferred_handoffs()
+        self._retry_deferred_installs()
         self.world.tick()
         self.stats.ticks += 1
+        self._flush_schema_acks()
 
     @property
     def deferred_handoffs(self) -> int:
@@ -224,6 +237,7 @@ class ShardHost:
             src_shard=self.shard_id,
             dst_shard=cmd.dst_shard,
             tick=self.net.now,
+            schema_versions=self._stamp_versions(components),
         )
         # Retain the payload until the coordinator confirms the handoff
         # is durable (HandoffComplete); a crash of the destination while
@@ -247,6 +261,10 @@ class ShardHost:
             src_shard=self.shard_id,
             dst_shard=cmd.dst_shard,
             tick=self.net.now,
+            # Keep the original stamp: the retained rows were serialized
+            # at the versions of the original eviction, not at whatever
+            # this shard's catalog has advanced to since.
+            schema_versions=retained.schema_versions,
         )
         self._retained_evictions[cmd.entity] = request
         self.send(shard_endpoint(cmd.dst_shard), request, ctx=ctx)
@@ -259,7 +277,37 @@ class ShardHost:
     def _on_handoff_request(
         self, req: HandoffRequest, ctx: TraceContext | None = None
     ) -> None:
-        """A peer shipped us an entity: install it and tell the coordinator."""
+        """A peer shipped us an entity: install it and tell the coordinator.
+
+        Version-stamped payloads make mixed-version ticks safe: rows
+        shipped at an older catalog version are upgraded through the
+        recorded alter steps before install, and rows from a *newer*
+        version than this shard has reached are deferred until its own
+        backfill catches up (at most the rollout window, ~1 tick).
+        """
+        stamps = dict(req.schema_versions)
+        if stamps:
+            catalog = self.world.catalog
+            behind = [
+                comp
+                for comp, version in stamps.items()
+                if version > catalog.effective_version(comp)
+            ]
+            if behind:
+                self._deferred_installs.append((req, ctx))
+                return
+            upgraded = {}
+            for comp, row in req.components.items():
+                from_v = stamps.get(comp, catalog.effective_version(comp))
+                upgraded[comp] = catalog.upgrade_payload(comp, row, from_v)
+            req = HandoffRequest(
+                entity=req.entity,
+                components=upgraded,
+                src_shard=req.src_shard,
+                dst_shard=req.dst_shard,
+                tick=req.tick,
+                schema_versions=req.schema_versions,
+            )
         tracer = self.obs.tracer
         if tracer.enabled:
             with tracer.span(
@@ -280,6 +328,62 @@ class ShardHost:
             ),
             ctx=ctx,
         )
+
+    def _retry_deferred_installs(self) -> None:
+        deferred, self._deferred_installs = self._deferred_installs, []
+        for req, ctx in deferred:
+            self._on_handoff_request(req, ctx)
+
+    @property
+    def deferred_installs(self) -> int:
+        """Handoff installs waiting for the local catalog to catch up."""
+        return len(self._deferred_installs)
+
+    # -- schema rollout -----------------------------------------------------------
+
+    def _stamp_versions(self, components: Iterable[str]) -> tuple:
+        """((component, effective_version), ...) for a wire payload."""
+        catalog = self.world.catalog
+        return tuple(
+            (comp, catalog.effective_version(comp))
+            for comp in sorted(components)
+        )
+
+    def _on_schema_alter(self, msg: SchemaAlter) -> None:
+        """Coordinator broadcast: begin the alter on this shard's world."""
+        catalog = self.world.catalog
+        if catalog.effective_version(msg.component) >= msg.to_version:
+            # Duplicate delivery (e.g. a failover re-broadcast): just
+            # make sure an ack goes out once the version is committed.
+            self._pending_schema_acks.append((msg.component, msg.to_version))
+            return
+        catalog.alter(
+            msg.component,
+            steps_from_records(msg.steps),
+            batch_rows=msg.batch_rows,
+        )
+        self._pending_schema_acks.append((msg.component, msg.to_version))
+
+    def _flush_schema_acks(self) -> None:
+        """Ack every rollout whose local backfill has committed."""
+        if not self._pending_schema_acks:
+            return
+        catalog = self.world.catalog
+        still_pending = []
+        for comp, to_version in self._pending_schema_acks:
+            if catalog.version_of(comp) >= to_version:
+                self.send(
+                    COORD_ENDPOINT,
+                    SchemaAlterAck(
+                        shard=self.shard_id,
+                        component=comp,
+                        to_version=to_version,
+                        tick=self.net.now,
+                    ),
+                )
+            else:
+                still_pending.append((comp, to_version))
+        self._pending_schema_acks = still_pending
 
     # -- two-phase commit participant ---------------------------------------------
 
@@ -312,6 +416,16 @@ class ShardHost:
         self, prepare: TxnPrepare, ctx: TraceContext | None = None
     ) -> None:
         self.stats.txn_prepares += 1
+        catalog = self.world.catalog
+        for comp, version in prepare.schema_versions:
+            if catalog.effective_version(comp) != version:
+                # Mixed-version window of a rolling alter: the shard's
+                # schema disagrees with the version the coordinator
+                # planned the transaction against.  Abort — no-wait 2PC
+                # makes this safe, and the window closes within a tick.
+                self.stats.txn_aborts_2pc += 1
+                self._vote(prepare, commit=False, reads={}, ctx=ctx)
+                return
         entities = self._entities_of(prepare.keyed_ops)
         missing = [e for e in sorted(entities) if e not in self.owned]
         if missing:

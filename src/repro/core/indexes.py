@@ -212,6 +212,37 @@ class IndexManager:
         self.catalog_version += 1
         return structure
 
+    def on_schema_alter(
+        self, removed: Iterable[str], in_transition: Iterable[str]
+    ) -> int:
+        """Drop every index over fields a schema alter removes or rewrites.
+
+        Called by the catalog when an alter begins: indexes over dropped,
+        renamed-away, retyped, transformed, or split fields are no longer
+        maintainable (the backfill rewrites them wholesale), so they are
+        dropped and the catalog version bumps — cached plans that used
+        them invalidate on next lookup.  Returns how many were dropped.
+        """
+        doomed = set(removed) | set(in_transition)
+        dropped = 0
+        for field in sorted(doomed):
+            if field in self._hash:
+                del self._hash[field]
+                dropped += 1
+            if field in self._sorted:
+                del self._sorted[field]
+                dropped += 1
+        keep: list[dict[str, Any]] = []
+        for entry in self._spatial:
+            if entry["x"] in doomed or entry["y"] in doomed:
+                dropped += 1
+            else:
+                keep.append(entry)
+        self._spatial = keep
+        if dropped:
+            self.catalog_version += 1
+        return dropped
+
     def drop_index(self, field: str) -> None:
         """Drop hash and/or sorted indexes on ``field``."""
         found = False
@@ -311,6 +342,11 @@ class IndexManager:
         if not fdef.indexable:
             raise IndexError_(
                 f"field {field!r} of {self.table.schema.name!r} is not indexable"
+            )
+        if self.table.is_field_in_transition(field):
+            raise IndexError_(
+                f"field {field!r} of {self.table.schema.name!r} is mid-"
+                "migration; create the index after the alter commits"
             )
 
 

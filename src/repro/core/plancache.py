@@ -5,10 +5,12 @@ handful of query shapes run every animation frame, and rebuilding the
 plan each time is pure tuple-at-a-time overhead.  The cache keys on the
 query's *shape* — component list, structural predicate signature, spatial
 clause, order/limit — and tags every entry with the involved tables'
-``stats_epoch`` and the index catalog version at build time.  A lookup
-whose epochs still match returns the cached plan without touching the
-planner; any insert/delete (cardinalities moved) or index create/drop
-(access paths moved) bumps an epoch and the entry rebuilds on next use.
+``stats_epoch``, the index catalog version, and the schema catalog
+version at build time.  A lookup whose epochs still match returns the
+cached plan without touching the planner; any insert/delete
+(cardinalities moved), index create/drop (access paths moved), or
+schema alter begin/commit (the table's shape moved) bumps an epoch and
+the entry rebuilds on next use.
 
 Plans are safe to share across calls because access paths rebind their
 index at execute time (see :class:`repro.core.planner.AccessPath.fetch`)
@@ -140,7 +142,11 @@ class PlanCache:
     def _epochs(self, components: tuple[str, ...]) -> tuple:
         world = self.world
         return tuple(
-            (world.table(c).stats_epoch, world.index_manager(c).catalog_version)
+            (
+                world.table(c).stats_epoch,
+                world.index_manager(c).catalog_version,
+                world.table(c).schema_version,
+            )
             for c in components
         )
 

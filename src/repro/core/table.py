@@ -26,6 +26,45 @@ from repro.errors import ComponentMissingError, DuplicateComponentError, SchemaE
 TableObserver = Callable[[str, int, Mapping[str, Any]], None]
 
 
+class _AlterState:
+    """Bookkeeping for one in-progress online schema alter.
+
+    While active, the table's logical schema is already the *target*
+    schema; rows listed in ``unmigrated`` still hold placeholder values
+    in the affected columns, and their true values are computed on read
+    from the ``retained`` old columns (dual-version reads).  Backfill
+    drains ``unmigrated`` a batch per tick; ``commit`` drops the retained
+    columns.
+    """
+
+    __slots__ = (
+        "steps", "old_schema", "new_schema", "affected", "retained",
+        "renamed", "unmigrated",
+    )
+
+    def __init__(
+        self,
+        steps: tuple,
+        old_schema: ComponentSchema,
+        new_schema: ComponentSchema,
+        affected: frozenset[str],
+        retained: dict[str, list],
+        renamed: dict[str, str],
+        unmigrated: set[int],
+    ):
+        self.steps = steps
+        self.old_schema = old_schema
+        self.new_schema = new_schema
+        #: target-schema fields whose values need backfill computation
+        self.affected = affected
+        #: old columns kept (as plain lists) for dual-version reads
+        self.retained = retained
+        #: old field name -> new field name for renames
+        self.renamed = renamed
+        #: entity ids whose affected columns still hold placeholders
+        self.unmigrated = unmigrated
+
+
 def _wants_update(obs: TableObserver, field: str) -> bool:
     """Whether an observer needs per-row "update" deltas for ``field``.
 
@@ -66,6 +105,12 @@ class ComponentTable:
         #: go stale.  Plain updates leave it alone, so steady-state frames
         #: that only mutate fields keep their cached plans.
         self.stats_epoch = 0
+        #: Catalog version of this table's schema: bumped when an alter
+        #: begins (logical schema switches to the target) and again when
+        #: it commits.  Cached plans key on it, so a schema change
+        #: invalidates every plan compiled against the old shape.
+        self.schema_version = 1
+        self._alter: _AlterState | None = None
 
     # -- observers ----------------------------------------------------------
 
@@ -109,6 +154,12 @@ class ComponentTable:
         self._slot_of[entity_id] = slot
         for fname in self.schema.field_names:
             self._columns[fname].append(row[fname])
+        if self._alter is not None:
+            # Rows inserted mid-alter are validated against the target
+            # schema and born migrated; the retained old columns grow a
+            # filler cell to stay slot-parallel (never read for this row).
+            for rc in self._alter.retained.values():
+                rc.append(None)
         self.stats_epoch += 1
         self._notify("insert", entity_id, row)
         return row
@@ -123,6 +174,15 @@ class ComponentTable:
         """
         slot = self._require_slot(entity_id)
         updates = self.schema.validate_update(values)
+        a = self._alter
+        if (
+            a is not None
+            and entity_id in a.unmigrated
+            and a.affected & updates.keys()
+        ):
+            # Writes never block on backfill: materialize the row's
+            # migrated values first, then apply the update on top.
+            self._materialize(entity_id)
         delta: dict[str, tuple[Any, Any]] = {}
         for fname, new in updates.items():
             old = self._columns[fname][slot]
@@ -150,6 +210,12 @@ class ComponentTable:
         style the tutorial describes.
         """
         fdef = self.schema.field(field)
+        a = self._alter
+        if a is not None and field in a.affected and a.unmigrated:
+            entity_ids = list(entity_ids)
+            for eid in entity_ids:
+                if eid in a.unmigrated:
+                    self._materialize(eid)
         col = self._columns[field]
         interested = [
             obs for obs in self._observers if _wants_update(obs, field)
@@ -202,16 +268,25 @@ class ComponentTable:
     def delete(self, entity_id: int) -> dict[str, Any]:
         """Remove the row for ``entity_id``; returns the removed values."""
         slot = self._require_slot(entity_id)
-        row = {
-            fname: self._columns[fname][slot]
-            for fname in self.schema.field_names
-        }
+        a = self._alter
+        if a is not None and entity_id in a.unmigrated:
+            row = self.get(entity_id)
+        else:
+            row = {
+                fname: self._columns[fname][slot]
+                for fname in self.schema.field_names
+            }
         last = len(self._entities) - 1
         moved_entity = self._entities[last]
         for fname in self.schema.field_names:
             col = self._columns[fname]
             col[slot] = col[last]
             col.pop()
+        if a is not None:
+            for rc in a.retained.values():
+                rc[slot] = rc[last]
+                rc.pop()
+            a.unmigrated.discard(entity_id)
         self._entities[slot] = moved_entity
         self._entities.pop()
         self._slot_of[moved_entity] = slot
@@ -226,16 +301,28 @@ class ComponentTable:
     # -- reads --------------------------------------------------------------
 
     def get(self, entity_id: int) -> dict[str, Any]:
-        """Return a copy of the row for ``entity_id``."""
+        """Return a copy of the row for ``entity_id``.
+
+        During an online alter, unmigrated rows read at the *target*
+        schema: affected values are computed from the retained old
+        columns on the fly (dual-version reads).
+        """
         slot = self._require_slot(entity_id)
-        return {
+        row = {
             fname: self._columns[fname][slot]
             for fname in self.schema.field_names
         }
+        a = self._alter
+        if a is not None and entity_id in a.unmigrated:
+            row.update(self._new_values(slot))
+        return row
 
     def get_field(self, entity_id: int, field: str) -> Any:
         """Return one field value for ``entity_id`` (O(1))."""
         slot = self._require_slot(entity_id)
+        a = self._alter
+        if a is not None and field in a.affected and entity_id in a.unmigrated:
+            return self._new_values(slot)[field]
         try:
             return self._columns[field][slot]
         except KeyError:
@@ -252,6 +339,16 @@ class ComponentTable:
                 f"component {self.schema.name!r} has no field {field!r}"
             ) from None
         slot_of = self._slot_of
+        a = self._alter
+        if a is not None and field in a.affected and a.unmigrated:
+            try:
+                return [
+                    self._cell(field, slot_of[eid], eid) for eid in entity_ids
+                ]
+            except KeyError as exc:
+                raise ComponentMissingError(
+                    f"entity {exc.args[0]} has no component {self.schema.name}"
+                ) from None
         try:
             if isinstance(col, TypedColumn):
                 return col.gather([slot_of[eid] for eid in entity_ids])
@@ -269,6 +366,12 @@ class ComponentTable:
             raise SchemaError(
                 f"component {self.schema.name!r} has no field {field!r}"
             ) from None
+        a = self._alter
+        if a is not None and field in a.affected and a.unmigrated:
+            return tuple(
+                self._cell(field, slot, eid)
+                for slot, eid in enumerate(self._entities)
+            )
         return col.snapshot() if isinstance(col, TypedColumn) else tuple(col)
 
     def columns(self, fields: Iterable[str]) -> dict[str, tuple[Any, ...]]:
@@ -292,6 +395,9 @@ class ComponentTable:
             raise SchemaError(
                 f"component {self.schema.name!r} has no field {field!r}"
             ) from None
+        a = self._alter
+        if a is not None and field in a.affected and a.unmigrated:
+            return self.column(field)
         if isinstance(col, TypedColumn):
             view = col.view()
             if view is not None:
@@ -305,10 +411,13 @@ class ComponentTable:
         The shared-memory shard plane uses this to decide which columns
         can live in ``multiprocessing.shared_memory`` segments.
         """
+        a = self._alter
         return tuple(
             f
             for f, col in self._columns.items()
-            if isinstance(col, TypedColumn) and not col.demoted
+            if isinstance(col, TypedColumn)
+            and not col.demoted
+            and (a is None or f not in a.affected)
         )
 
     def _ids_in_row_order(self, ids: "list[int] | tuple[int, ...]") -> bool:
@@ -345,6 +454,33 @@ class ComponentTable:
                 raise SchemaError(
                     f"component {self.schema.name!r} has no field {f!r}"
                 )
+        a = self._alter
+        if (
+            a is not None
+            and a.unmigrated
+            and any(f in a.affected for f in field_list)
+        ):
+            ids = list(self._entities) if entity_ids is None else list(entity_ids)
+            slot_of = self._slot_of
+            try:
+                slots = [slot_of[eid] for eid in ids]
+            except KeyError as exc:
+                raise ComponentMissingError(
+                    f"entity {exc.args[0]} has no component {self.schema.name}"
+                ) from None
+            out: dict[str, Any] = {}
+            for f in field_list:
+                if f in a.affected:
+                    out[f] = [
+                        self._cell(f, s, e) for s, e in zip(slots, ids)
+                    ]
+                else:
+                    col = self._columns[f]
+                    if isinstance(col, TypedColumn):
+                        out[f] = col.gather(slots)
+                    else:
+                        out[f] = [col[s] for s in slots]
+            return ids, out
         if entity_ids is None:
             ids = list(self._entities)
             return ids, self._row_order_columns(field_list, copy)
@@ -383,7 +519,18 @@ class ComponentTable:
 
         The snapshot is taken up front, so callers may mutate the table
         while iterating — the exact hazard naive per-frame scripts hit.
+        During an online alter, rows come back at the target schema
+        (dual-version reads), so snapshots taken mid-migration look
+        exactly like post-migration state.
         """
+        a = self._alter
+        if a is not None and a.unmigrated:
+            return iter([
+                (eid, self.get(eid)) for eid in tuple(self._entities)
+            ])
+        return self._rows_fast()
+
+    def _rows_fast(self) -> Iterator[tuple[int, dict[str, Any]]]:
         ids = tuple(self._entities)
         snap = {
             f: (col.snapshot() if isinstance(col, TypedColumn) else tuple(col))
@@ -406,6 +553,201 @@ class ComponentTable:
             if predicate(row):
                 out.append(entity_id)
         return out
+
+    # -- online schema alter -------------------------------------------------
+
+    @property
+    def alter_in_progress(self) -> bool:
+        """Whether an online schema alter is mid-backfill."""
+        return self._alter is not None
+
+    @property
+    def unmigrated_count(self) -> int:
+        """Rows whose affected columns still hold placeholders."""
+        return len(self._alter.unmigrated) if self._alter is not None else 0
+
+    def is_field_in_transition(self, field: str) -> bool:
+        """Whether ``field`` is being rewritten by an in-progress alter."""
+        return self._alter is not None and field in self._alter.affected
+
+    def begin_alter(self, new_schema: ComponentSchema, steps: tuple) -> frozenset[str]:
+        """Switch the logical schema to ``new_schema`` and start backfill.
+
+        Old columns that alters drop, retype, transform, or split away
+        are moved aside (retained) for dual-version reads; new/changed
+        columns are created placeholder-filled.  Renames move the column
+        instantly — no backfill.  Every existing row starts unmigrated;
+        :meth:`migrate_batch` drains them and :meth:`commit_alter` drops
+        the retained columns.  Returns the affected-field set.
+        """
+        from repro.schema.steps import (
+            AddColumn,
+            DropColumn,
+            RenameColumn,
+            RetypeColumn,
+            SplitColumn,
+            TransformColumn,
+            affected_fields,
+            placeholder_for,
+        )
+
+        if self._alter is not None:
+            raise SchemaError(
+                f"component {self.schema.name!r} already has an alter in progress"
+            )
+        nrows = len(self._entities)
+        retained: dict[str, list] = {}
+        renamed: dict[str, str] = {}
+
+        def _retain(name: str) -> list:
+            col = self._columns[name]
+            vals = col.tolist() if isinstance(col, TypedColumn) else list(col)
+            retained[name] = vals
+            return vals
+
+        def _new_col(name: str) -> None:
+            fdef = new_schema.field(name)
+            col = make_column(fdef)
+            ph = placeholder_for(fdef)
+            for _ in range(nrows):
+                col.append(ph)
+            self._columns[name] = col
+
+        for step in steps:
+            if isinstance(step, AddColumn):
+                _new_col(step.name)
+            elif isinstance(step, DropColumn):
+                _retain(step.name)
+                del self._columns[step.name]
+            elif isinstance(step, RenameColumn):
+                self._columns[step.new] = self._columns.pop(step.old)
+                renamed[step.old] = step.new
+            elif isinstance(step, RetypeColumn):
+                _retain(step.name)
+                _new_col(step.name)
+            elif isinstance(step, TransformColumn):
+                _retain(step.name)
+            elif isinstance(step, SplitColumn):
+                if step.drop_source:
+                    _retain(step.source)
+                    del self._columns[step.source]
+                for target in step.into:
+                    _new_col(target)
+            else:
+                raise SchemaError(f"unknown migration step {step!r}")
+        self._alter = _AlterState(
+            steps=tuple(steps),
+            old_schema=self.schema,
+            new_schema=new_schema,
+            affected=affected_fields(steps),
+            retained=retained,
+            renamed=renamed,
+            unmigrated=set(self._entities),
+        )
+        self.schema = new_schema
+        self.schema_version += 1
+        return self._alter.affected
+
+    def migrate_batch(self, limit: int | None = None) -> list[int]:
+        """Backfill up to ``limit`` unmigrated rows (all when ``None``).
+
+        Rows are taken in table row order, so with the same mutation
+        history every replica picks identical batches.  Returns the
+        entity ids migrated.
+        """
+        a = self._alter
+        if a is None or not a.unmigrated:
+            return []
+        pending = a.unmigrated
+        if limit is None:
+            ids = [e for e in self._entities if e in pending]
+        else:
+            ids = []
+            for e in self._entities:
+                if e in pending:
+                    ids.append(e)
+                    if len(ids) >= limit:
+                        break
+        for e in ids:
+            self._materialize(e)
+        return ids
+
+    def migrate_ids(self, entity_ids: Iterable[int]) -> int:
+        """Backfill exactly the given rows (replica/WAL replay path).
+
+        Ids already migrated (e.g. by a write racing the journal) or
+        since deleted are skipped; returns the count actually migrated.
+        """
+        a = self._alter
+        if a is None:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no alter in progress"
+            )
+        n = 0
+        for eid in entity_ids:
+            if eid in a.unmigrated and eid in self._slot_of:
+                self._materialize(eid)
+                n += 1
+        return n
+
+    def commit_alter(self) -> None:
+        """Finish the alter: drop retained columns, bump the version."""
+        a = self._alter
+        if a is None:
+            raise SchemaError(
+                f"component {self.schema.name!r} has no alter in progress"
+            )
+        if a.unmigrated:
+            raise SchemaError(
+                f"component {self.schema.name!r}: cannot commit alter with "
+                f"{len(a.unmigrated)} rows unmigrated"
+            )
+        self._alter = None
+        self.schema_version += 1
+
+    def _old_row(self, slot: int) -> dict[str, Any]:
+        """Reconstruct the old-schema row for an unmigrated slot."""
+        a = self._alter
+        row: dict[str, Any] = {}
+        for fname in a.old_schema.field_names:
+            if fname in a.retained:
+                row[fname] = a.retained[fname][slot]
+            else:
+                row[fname] = self._columns[a.renamed.get(fname, fname)][slot]
+        return row
+
+    def _new_values(self, slot: int) -> dict[str, Any]:
+        """Target-schema values of the affected fields for one slot."""
+        from repro.schema.steps import apply_steps_to_row
+
+        a = self._alter
+        migrated = apply_steps_to_row(a.steps, self._old_row(slot))
+        return {
+            f: a.new_schema.fields[f].validate(migrated[f])
+            for f in a.affected
+        }
+
+    def _materialize(self, entity_id: int) -> None:
+        """Write one row's migrated values into the live columns.
+
+        Observer-silent by design: indexes over affected fields are
+        dropped when the alter begins and cannot be created while it is
+        in transition, so there is nothing to maintain — and replicas
+        replay the same batches from the journal instead of deltas.
+        """
+        a = self._alter
+        slot = self._slot_of[entity_id]
+        for fname, value in self._new_values(slot).items():
+            self._columns[fname][slot] = value
+        a.unmigrated.discard(entity_id)
+        self.version += 1
+
+    def _cell(self, field: str, slot: int, entity_id: int) -> Any:
+        """One cell at the target schema (dual-read aware)."""
+        a = self._alter
+        if a is not None and field in a.affected and entity_id in a.unmigrated:
+            return self._new_values(slot)[field]
+        return self._columns[field][slot]
 
     # -- internals ----------------------------------------------------------
 

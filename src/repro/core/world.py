@@ -35,6 +35,7 @@ from repro.core.systems import (
 from repro.core.table import ComponentTable
 from repro.errors import UnknownComponentError
 from repro.obs import Observability, resolve_obs
+from repro.schema.catalog import Catalog
 
 #: Change-hook signature used by the persistence layer:
 #: (op, entity_id, component, payload) with op in
@@ -85,12 +86,32 @@ class GameWorld:
         self._components_of: dict[int, set[str]] = {}
         self._change_hooks: list[ChangeHook] = []
         self._parallel_executor = None
+        #: The schema catalog: define / alter / describe component types.
+        self.catalog = Catalog(self)
         self.obs.register_stats("plan_cache", self.plan_cache.stats)
+        self.obs.register_stats("schema_catalog", self.catalog.stats)
 
     # ------------------------------------------------------------------ schema
 
     def register_component(self, schema: ComponentSchema) -> ComponentTable:
-        """Register a component type; returns its table."""
+        """Deprecated: use ``world.catalog.define(...)``.
+
+        Kept as a shim for one more release per the deprecation policy;
+        delegates to the catalog so old callers still get a versioned
+        entry.
+        """
+        import warnings
+
+        warnings.warn(
+            "GameWorld.register_component is deprecated; use "
+            "world.catalog.define(...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.catalog.define(schema)
+
+    def _install_table(self, schema: ComponentSchema) -> ComponentTable:
+        """Create the table + index manager for a catalog define."""
         if schema.name in self._tables:
             raise UnknownComponentError(
                 f"component {schema.name!r} already registered"
@@ -429,6 +450,7 @@ class GameWorld:
             self._parallel_executor.run_tick(tick, self.clock.dt)
         else:
             self.scheduler.run_tick(self, tick, self.clock.dt, self.budget)
+        self.catalog.pump()
         self.events.flush_deferred()
         self.budget.end_frame()
         return tick

@@ -132,10 +132,18 @@ class HandoffRequest:
     src_shard: int
     dst_shard: int
     tick: int
+    #: ((component, catalog_version), ...) — the schema versions the rows
+    #: were serialized at.  During a rolling schema alter the receiver
+    #: upgrades payloads from older versions (or defers installs from
+    #: newer ones).  Empty = pre-schema-plane peers: install as-is.
+    schema_versions: tuple = ()
 
     def wire_size(self) -> int:
         fields = sum(len(row) for row in self.components.values())
-        return ENVELOPE_BYTES + 16 + fields * (VALUE_BYTES + 4)
+        return (
+            ENVELOPE_BYTES + 16 + fields * (VALUE_BYTES + 4)
+            + len(self.schema_versions) * (VALUE_BYTES + 4)
+        )
 
 
 @dataclass(frozen=True)
@@ -201,9 +209,17 @@ class TxnPrepare:
     tick: int
     local: bool = False
     ops: tuple = ()
+    #: ((component, catalog_version), ...) stamped by the coordinator for
+    #: every component the transaction touches; a participant whose
+    #: effective version disagrees votes abort (mixed-version window of a
+    #: rolling alter).  Empty = unchecked, the pre-schema-plane contract.
+    schema_versions: tuple = ()
 
     def wire_size(self) -> int:
-        return ENVELOPE_BYTES + 8 + len(self.keyed_ops) * (VALUE_BYTES + 4)
+        return (
+            ENVELOPE_BYTES + 8 + len(self.keyed_ops) * (VALUE_BYTES + 4)
+            + len(self.schema_versions) * (VALUE_BYTES + 4)
+        )
 
 
 @dataclass(frozen=True)
@@ -242,6 +258,43 @@ class TxnDecision:
 
     def wire_size(self) -> int:
         return ENVELOPE_BYTES + 8 + len(self.writes) * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class SchemaAlter:
+    """Coordinator -> every shard: begin an online schema alter.
+
+    ``steps`` is the serialized step-record tuple (see
+    :func:`repro.schema.steps.steps_to_records`); each shard applies it
+    through its world's catalog and backfills ``batch_rows`` rows per
+    tick, acking with :class:`SchemaAlterAck` once committed.
+    """
+
+    component: str
+    steps: tuple
+    to_version: int
+    batch_rows: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 16 + len(self.steps) * 4 * (VALUE_BYTES + 4)
+
+
+@dataclass(frozen=True)
+class SchemaAlterAck:
+    """Shard -> coordinator: the alter committed at this shard.
+
+    When every shard has acked, the rollout is complete and the
+    coordinator's cluster-wide catalog version advances.
+    """
+
+    shard: int
+    component: str
+    to_version: int
+    tick: int
+
+    def wire_size(self) -> int:
+        return ENVELOPE_BYTES + 24
 
 
 # ---------------------------------------------------------------------------
@@ -542,3 +595,5 @@ register_message(23, TxnDecision)
 register_message(24, WalShip)
 register_message(25, WalAck)
 register_message(26, Heartbeat)
+register_message(27, SchemaAlter)
+register_message(28, SchemaAlterAck)

@@ -18,48 +18,29 @@ two modes:
 Both report a :class:`MigrationReport` with downtime ticks and rows
 rewritten, which experiment E9 compares against the blob approach (zero
 migration, per-read upgrade cost instead).
+
+The step vocabulary itself lives in :mod:`repro.schema.steps` and is
+shared with the live-world schema catalog (E22): E9's persistence tables
+and E22's ticking component tables speak one migration language.  The
+names re-exported here (``AddColumn`` etc.) are the same objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Mapping
 
-from repro.errors import MigrationError
-
-
-@dataclass(frozen=True)
-class AddColumn:
-    """Add a column with a default value."""
-
-    name: str
-    default: Any = None
-
-
-@dataclass(frozen=True)
-class DropColumn:
-    """Remove a column."""
-
-    name: str
-
-
-@dataclass(frozen=True)
-class RenameColumn:
-    """Rename a column."""
-
-    old: str
-    new: str
-
-
-@dataclass(frozen=True)
-class TransformColumn:
-    """Recompute a column from the whole row: ``fn(row) -> value``."""
-
-    name: str
-    fn: Callable[[Mapping[str, Any]], Any]
-
-
-Step = AddColumn | DropColumn | RenameColumn | TransformColumn
+from repro.errors import MigrationError, SchemaError
+from repro.schema.steps import (  # noqa: F401  (re-exported vocabulary)
+    AddColumn,
+    DropColumn,
+    RenameColumn,
+    RetypeColumn,
+    SplitColumn,
+    Step,
+    TransformColumn,
+    apply_steps_to_row,
+)
 
 
 @dataclass(frozen=True)
@@ -72,20 +53,10 @@ class Migration:
 
     def apply_to_row(self, row: dict[str, Any]) -> dict[str, Any]:
         """Run every step over one row, returning the new row."""
-        out = dict(row)
-        for step in self.steps:
-            if isinstance(step, AddColumn):
-                out.setdefault(step.name, step.default)
-            elif isinstance(step, DropColumn):
-                out.pop(step.name, None)
-            elif isinstance(step, RenameColumn):
-                if step.old in out:
-                    out[step.new] = out.pop(step.old)
-            elif isinstance(step, TransformColumn):
-                out[step.name] = step.fn(dict(out))
-            else:
-                raise MigrationError(f"unknown step {step!r}")
-        return out
+        try:
+            return apply_steps_to_row(self.steps, row)
+        except SchemaError as exc:
+            raise MigrationError(str(exc)) from None
 
 
 @dataclass

@@ -172,7 +172,7 @@ def recover_world(
                      indexable=indexable, nullable=nullable)
             for name, (type_name, default, indexable, nullable) in spec.items()
         ]
-        world.register_component(ComponentSchema(comp, fields))
+        world.catalog.define(ComponentSchema(comp, fields))
     # 2. rebuild entities with their original ids
     if _ENTITY_TABLE not in db.tables():
         raise RecoveryError("persistence log contains no entity table")

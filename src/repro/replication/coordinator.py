@@ -236,6 +236,7 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
             and all(r.finished for r in self._txns.values())
             and not any(host.deferred_handoffs for host in self.shards)
             and not any(host.crashed for host in self.shards)
+            and not self._schema_rollouts
         )
 
     # -- failure detection and failover -------------------------------------------
@@ -289,6 +290,13 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
         self.net.receive(endpoint)  # discard messages addressed to the dead
         host = self._make_shard(shard_id, self._schemas)
         assert isinstance(host, ReplicatedShardHost)
+        # Catalog first, then state: the replica may have applied schema
+        # alters (even be mid-backfill) that the fresh host's seed
+        # schemas predate.  Catching up journals the alters into the new
+        # epoch *before* the restored rows, so the re-journaled state is
+        # replayable — and the restored snapshot, whose rows the standby
+        # serialized at its catalog version, lands on matching shapes.
+        host.world.catalog.catch_up(best.world.catalog.schema_state())
         host.world.restore(snapshot)
         promoted_hash = host.world.state_hash()
         host.owned = set(best.owned)
@@ -300,6 +308,7 @@ class ReplicatedClusterCoordinator(ClusterCoordinator):
         cancelled, resent = self._reconcile_handoffs(shard_id, host)
         aborted, recovered = self._reconcile_txns(shard_id, host)
         lost, stale = self._reconcile_directory(shard_id, host)
+        self._reconcile_schema(shard_id, host)
         self._rebuild_group(shard_id, host, best)
         self._last_heartbeat[shard_id] = self.net.now
         report = FailoverReport(

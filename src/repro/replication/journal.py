@@ -76,6 +76,16 @@ class ShardJournal:
         """
         return self.wal.append({"op": "txn", "id": txn_id, "commit": commit})
 
+    def log_schema(self, kind: str, record: Mapping[str, Any]) -> int:
+        """Record one catalog event (alter begin/batch/commit).
+
+        ``alter_batch`` records name the exact entity ids the primary
+        backfilled that step, so a replica replaying the journal
+        migrates the same rows in the same order — catalog state is
+        part of the ``state_hash`` equality contract.
+        """
+        return self.wal.append({"op": "schema", "k": kind, "r": dict(record)})
+
     def flush(self) -> int:
         """Make this tick's records durable; returns records flushed."""
         return self.wal.flush()
@@ -139,5 +149,7 @@ def apply_record(
         world.clock.rewind_to(payload["t"])
     elif op == "txn":
         applied_txns.add(payload["id"])
+    elif op == "schema":
+        world.catalog.apply_journal_record(payload["k"], payload["r"])
     else:
         raise ReplicationError(f"unknown journal op {op!r}")

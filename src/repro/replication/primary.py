@@ -56,6 +56,11 @@ class ReplicatedShardHost(ShardHost):
         self._shipped: dict[str, int] = {}
         self._ack_progress_tick: dict[str, int] = {}
         self.world.add_change_hook(self._journal_change)
+        # Registered after construction on purpose: the constructor's
+        # catalog defines are part of the shard's seed (replicas make
+        # the same defines themselves), so only later catalog events —
+        # alters and their backfill batches — are journaled.
+        self.world.catalog.add_hook(self._journal_schema)
 
     # -- journaling hooks ---------------------------------------------------------
 
@@ -67,6 +72,11 @@ class ReplicatedShardHost(ShardHost):
         payload: Mapping[str, Any] | None,
     ) -> None:
         self.journal.log_change(op, entity, component, payload)
+
+    def _journal_schema(self, kind: str, record: Mapping[str, Any]) -> None:
+        if kind == "define":
+            return  # seed schemas are replicated by construction, not log
+        self.journal.log_schema(kind, record)
 
     def install_entity(
         self, entity: int, components: Mapping[str, Mapping[str, Any]]

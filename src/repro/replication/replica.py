@@ -63,7 +63,7 @@ class ReplicaHost:
     def _fresh_world(self) -> GameWorld:
         world = GameWorld(self.dt)
         for schema in self._schemas:
-            world.register_component(schema)
+            world.catalog.define(schema)
         return world
 
     # -- log application ----------------------------------------------------------

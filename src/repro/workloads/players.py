@@ -32,7 +32,7 @@ def register_player_components(world: Any) -> None:
     """Register the standard components (skipping ones already present)."""
     for name, fields in PLAYER_COMPONENTS.items():
         if name not in world.component_names():
-            world.register_component(schema(name, **fields))
+            world.catalog.define(schema(name, **fields))
 
 
 @dataclass

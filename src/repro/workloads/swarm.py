@@ -134,7 +134,7 @@ class Swarm:
             ("Velocity", dict(vx=("float", 0.0), vy=("float", 0.0))),
         ):
             if name not in world.component_names():
-                world.register_component(schema(name, **fields))
+                world.catalog.define(schema(name, **fields))
         self.centers = [
             (
                 self.rng.uniform(0.1, 0.9) * cfg.world_size,

@@ -33,9 +33,9 @@ def library():
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Health", hp=("int", 1)))
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Elite"))
+    w.catalog.define(schema("Health", hp=("int", 1)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Elite"))
     return w
 
 

@@ -10,7 +10,7 @@ from repro.errors import AggregateError
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(
+    w.catalog.define(
         schema("Health", hp=("int", 100), faction=("str", "neutral"))
     )
     return w
@@ -189,7 +189,7 @@ def test_incremental_equals_recompute_property(ops):
     """Property: after arbitrary mutations, every aggregate equals its
     from-scratch recomputation."""
     w = GameWorld()
-    w.register_component(schema("H", hp=("int", 0), g=("str", "x")))
+    w.catalog.define(schema("H", hp=("int", 0), g=("str", "x")))
     views = {
         agg: w.create_aggregate("H", agg, None if agg == "count" else "hp")
         for agg in ("count", "sum", "avg", "min", "max")

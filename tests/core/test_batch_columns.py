@@ -12,8 +12,8 @@ from repro.spatial import UniformGrid
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     return w
 
 
@@ -111,7 +111,7 @@ class TestWorldSetColumn:
     def test_batch_system_equivalent_to_per_entity(self, world):
         """The two execution styles must be observationally identical."""
         w_batch = GameWorld()
-        w_batch.register_component(schema("Position", x="float", y="float"))
+        w_batch.catalog.define(schema("Position", x="float", y="float"))
         for w in (world, w_batch):
             pass
         ids_a = [world.spawn(Position={"x": float(i), "y": 0.0}) for i in range(6)]

@@ -21,10 +21,10 @@ SEED = 1234
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(
+    w.catalog.define(
         schema("Unit", x="float", y="float", hp="int", speed="float", kind="str")
     )
-    w.register_component(schema("Combat", attack="int", defense="int"))
+    w.catalog.define(schema("Combat", attack="int", defense="int"))
     rng = random.Random(SEED)
     kinds = ["orc", "human", "elf", "wisp"]
     for _ in range(200):
@@ -146,7 +146,7 @@ class TestQueryEquivalence:
         from repro.core.component import ComponentSchema, FieldDef
 
         w = GameWorld()
-        w.register_component(
+        w.catalog.define(
             ComponentSchema(
                 "Opt",
                 [FieldDef("v", "int", nullable=True), FieldDef("w", "int", default=0)],

@@ -21,7 +21,7 @@ def run_world(step=0.001, frames=20):
     world.budget = FrameBudget(
         frame_seconds=1.0 / 30.0, time_source=ManualTimeSource(step=step)
     )
-    world.register_component(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Position", x="float", y="float"))
     for i in range(8):
         world.spawn(Position={"x": float(i), "y": 0.0})
 

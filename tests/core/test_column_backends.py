@@ -103,7 +103,7 @@ class TestBackendEquivalence:
             set_default_backend(name)
             try:
                 w = GameWorld()
-                w.register_component(
+                w.catalog.define(
                     schema("P", x="float", y="float", hp=("int", 10))
                 )
             finally:

@@ -9,8 +9,8 @@ from repro.spatial import UniformGrid
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     for i in range(30):
         w.spawn(Position={"x": float(i), "y": 0.0}, Health={"hp": i * 4})
     return w
@@ -127,7 +127,7 @@ class TestFetchRebinding:
         assert newcomer in plan.access.fetch(world)
 
     def test_hash_plan_sees_rows_inserted_after_planning(self, world):
-        world.register_component(schema("Tag", kind="str"))
+        world.catalog.define(schema("Tag", kind="str"))
         world.index_manager("Tag").create_hash_index("kind")
         a = world.spawn(Tag={"kind": "orc"})
         for _ in range(5):

@@ -9,8 +9,8 @@ from repro.spatial import UniformGrid
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     for i in range(20):
         w.spawn(Position={"x": float(i), "y": 0.0}, Health={"hp": i * 5})
     return w

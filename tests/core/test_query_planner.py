@@ -11,11 +11,11 @@ from repro.spatial import UniformGrid
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(
         schema("Health", hp=("int", 100), max_hp=("int", 100))
     )
-    w.register_component(schema("Faction", name=("str", "neutral")))
+    w.catalog.define(schema("Faction", name=("str", "neutral")))
     for i in range(20):
         w.spawn(
             Position={"x": float(i), "y": 0.0},
@@ -186,7 +186,7 @@ class TestNearest:
 def test_indexed_query_equals_bruteforce(hps, threshold):
     """Property: sorted-index query results == brute-force filter."""
     w = GameWorld()
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     ids = [w.spawn(Health={"hp": hp}) for hp in hps]
     w.index_manager("Health").create_sorted_index("hp")
     got = w.query("Health").where("Health", F.hp < threshold).execute(mode="tuple").ids

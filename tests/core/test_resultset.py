@@ -15,8 +15,8 @@ from repro.errors import QueryError
 
 def make_world(n=50):
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(schema("Health", hp=("int", 100)))
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Health", hp=("int", 100)))
     for i in range(n):
         world.spawn(
             Position={"x": float(i), "y": float(i % 7)},

@@ -15,8 +15,8 @@ from repro.errors import (
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     return w
 
 
@@ -90,7 +90,7 @@ class TestEntityLifecycle:
 
     def test_double_register_raises(self, world):
         with pytest.raises(UnknownComponentError):
-            world.register_component(schema("Health", hp=("int", 1)))
+            world.catalog.define(schema("Health", hp=("int", 1)))
 
     def test_set_returns_delta(self, world):
         eid = world.spawn(Health={"hp": 50})

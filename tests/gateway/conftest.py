@@ -32,8 +32,8 @@ class FakeClock:
 def make_world():
     """A world with the gateway's replicated components registered."""
     world = GameWorld(dt=1.0 / 30.0)
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(
         schema("Velocity", vx=("float", 0.0), vy=("float", 0.0))
     )
     return world

@@ -23,11 +23,11 @@ from repro.spatial import UniformGrid
 def game():
     """A small but complete game: content, templates, world, scripts."""
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(
         schema("Health", hp=("int", 100), max_hp=("int", 100))
     )
-    world.register_component(schema("Faction", name=("str", "hostile")))
+    world.catalog.define(schema("Faction", name=("str", "hostile")))
     world.index_manager("Position").attach_spatial(UniformGrid(10.0))
     world.index_manager("Health").create_sorted_index("hp")
 
@@ -169,8 +169,8 @@ class TestSnapshotDeterminism:
 
         def build():
             world = GameWorld()
-            world.register_component(schema("Position", x="float", y="float"))
-            world.register_component(schema("Health", hp=("int", 100)))
+            world.catalog.define(schema("Position", x="float", y="float"))
+            world.catalog.define(schema("Health", hp=("int", 100)))
             interp = Interpreter(world, build_stdlib(world))
             drift = CompiledScript(
                 'for e in entities("Position"):\n'

@@ -63,7 +63,7 @@ class TestBubblesOverMovingWorkload:
 class TestReplicatedSimulatedWorld:
     def test_two_clients_converge_on_coarse_positions(self):
         world = GameWorld()
-        world.register_component(schema("Position", x="float", y="float"))
+        world.catalog.define(schema("Position", x="float", y="float"))
         net = SimNetwork(seed=1)
         net.connect("server", "c1", LinkConfig(latency_ticks=1))
         net.connect("server", "c2", LinkConfig(latency_ticks=2))
@@ -105,7 +105,7 @@ class TestReplicatedSimulatedWorld:
     def test_interest_scoped_bandwidth(self):
         def run(radius):
             world = GameWorld()
-            world.register_component(schema("Position", x="float", y="float"))
+            world.catalog.define(schema("Position", x="float", y="float"))
             net = SimNetwork(seed=2)
             net.connect("server", "c1", LinkConfig(latency_ticks=1))
             policy = ConsistencyPolicy(default=ConsistencyLevel.STRONG)

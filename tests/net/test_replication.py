@@ -14,7 +14,7 @@ from repro.net import (
 
 def make_rig(latency=1, interest_radius=None, coarse_interval=2):
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
+    world.catalog.define(schema("Position", x="float", y="float"))
     net = SimNetwork(seed=0)
     net.connect("server", "c1", LinkConfig(latency_ticks=latency))
     policy = ConsistencyPolicy(default=ConsistencyLevel.STRONG)
@@ -48,7 +48,7 @@ class TestStateReplication:
 
     def test_coarse_tier_quantises(self):
         world = GameWorld()
-        world.register_component(schema("Position", x="float", y="float"))
+        world.catalog.define(schema("Position", x="float", y="float"))
         net = SimNetwork()
         net.connect("server", "c1", LinkConfig(latency_ticks=1))
         policy = ConsistencyPolicy()
@@ -69,7 +69,7 @@ class TestStateReplication:
         results = {}
         for interval in (1, 10):
             world = GameWorld()
-            world.register_component(schema("Position", x="float", y="float"))
+            world.catalog.define(schema("Position", x="float", y="float"))
             net = SimNetwork()
             net.connect("server", "c1", LinkConfig(latency_ticks=1))
             policy = ConsistencyPolicy()

@@ -176,7 +176,7 @@ class TestLayerSpans:
 
         obs = Observability.full()
         world = GameWorld(obs=obs)
-        world.register_component(schema("Position", x="float", y="float"))
+        world.catalog.define(schema("Position", x="float", y="float"))
         world.spawn(Position={"x": 0.0, "y": 0.0})
         world.add_per_entity_system(
             "drift", ("Position",), lambda w, e, dt: None
@@ -203,7 +203,7 @@ class TestLayerSpans:
 
         obs = Observability.full()
         world = GameWorld(obs=obs)
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         world.spawn(Health={})
         add_script_system(world, "regen", "var x = 1 + 1")
         world.tick()

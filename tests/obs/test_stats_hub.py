@@ -67,7 +67,7 @@ class TestSubsystemProviders:
     def test_world_registers_plan_cache(self):
         obs = Observability.metrics_only()
         world = GameWorld(obs=obs)
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         world.spawn(Health={})
         world.query("Health").execute()
         collected = obs.collect_stats()
@@ -77,7 +77,7 @@ class TestSubsystemProviders:
     def test_parallel_executor_registers_and_unregisters(self):
         obs = Observability.metrics_only()
         world = GameWorld(obs=obs)
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         world.enable_parallel(workers=2)
         assert "parallel" in obs.stats_providers()
         row = obs.collect_stats()["parallel"]
@@ -87,7 +87,7 @@ class TestSubsystemProviders:
 
     def test_plan_cache_stats_snapshot_not_live(self):
         world = GameWorld()
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         world.spawn(Health={})
         before = world.plan_cache.stats()
         world.query("Health").execute()

@@ -35,9 +35,9 @@ def _decay(world, ids, cols, dt):
 
 def build_world(n=N_ROWS, seed=5, obs=None, elementwise=True):
     w = GameWorld(obs=obs) if obs is not None else GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Velocity", dx="float", dy="float"))
-    w.register_component(schema("Energy", level=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Velocity", dx="float", dy="float"))
+    w.catalog.define(schema("Energy", level=("int", 100)))
     rng = random.Random(seed)
     for _ in range(n):
         w.spawn(
@@ -142,7 +142,7 @@ class TestChunkObservability:
 class TestChunkValidation:
     def test_differing_write_sets_rejected(self):
         w = GameWorld()
-        w.register_component(schema("P", x="float", y="float"))
+        w.catalog.define(schema("P", x="float", y="float"))
         for i in range(N_ROWS):
             w.spawn(P={"x": float(i), "y": 0.0})
         first = w.table("P").entity_ids[0]

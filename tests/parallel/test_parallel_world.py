@@ -19,9 +19,9 @@ from repro.scripting import add_script_system
 
 def movement_world(n=150, seed=3, obs=None):
     w = GameWorld(obs=obs) if obs is not None else GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Velocity", dx="float", dy="float"))
-    w.register_component(schema("Lifetime", age=("int", 0)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Velocity", dx="float", dy="float"))
+    w.catalog.define(schema("Lifetime", age=("int", 0)))
     rng = random.Random(seed)
     for _ in range(n):
         w.spawn(
@@ -58,9 +58,9 @@ def movement_world(n=150, seed=3, obs=None):
 def combat_world(n=120, seed=9):
     """Mixed workload: disjoint batch systems + an opaque serial system."""
     w = GameWorld()
-    w.register_component(schema("Health", hp=("int", 100)))
-    w.register_component(schema("Mana", mp=("int", 50)))
-    w.register_component(schema("Rage", points=("int", 0)))
+    w.catalog.define(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Mana", mp=("int", 50)))
+    w.catalog.define(schema("Rage", points=("int", 0)))
     rng = random.Random(seed)
     for _ in range(n):
         w.spawn(
@@ -98,10 +98,10 @@ def combat_world(n=120, seed=9):
 def economy_world(n=100, seed=21):
     """Script systems (lowered to effects) plus a conflicting writer."""
     w = GameWorld()
-    w.register_component(
+    w.catalog.define(
         schema("Unit", x="float", y="float", vx="float", vy="float")
     )
-    w.register_component(schema("Gold", amount=("int", 100)))
+    w.catalog.define(schema("Gold", amount=("int", 100)))
     rng = random.Random(seed)
     for _ in range(n):
         w.spawn(

@@ -85,9 +85,9 @@ class TestPhaseConstruction:
 
     def test_batch_systems_fuse_into_phases(self):
         world = GameWorld()
-        world.register_component(schema("Position", x="float"))
-        world.register_component(schema("Health", hp=("int", 100)))
-        world.register_component(schema("Gold", amount=("int", 0)))
+        world.catalog.define(schema("Position", x="float"))
+        world.catalog.define(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Gold", amount=("int", 0)))
         a = world.add_batch_system(
             "move", reads=["Position.x"],
             fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
@@ -111,8 +111,8 @@ class TestPhaseConstruction:
 
     def test_conflicting_system_splits_phase(self):
         world = GameWorld()
-        world.register_component(schema("Position", x="float"))
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Position", x="float"))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         a = world.add_batch_system(
             "move", reads=["Position.x"],
             fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},
@@ -136,8 +136,8 @@ class TestPhaseConstruction:
     def test_order_preserved_exactly(self):
         """Phases must be consecutive runs — never reorder systems."""
         world = GameWorld()
-        world.register_component(schema("Position", x="float"))
-        world.register_component(schema("Health", hp=("int", 100)))
+        world.catalog.define(schema("Position", x="float"))
+        world.catalog.define(schema("Health", hp=("int", 100)))
         a = world.add_batch_system(
             "a", reads=["Position.x"],
             fn=lambda w, ids, cols, dt: {"Position.x": cols["Position.x"]},

@@ -13,8 +13,8 @@ from repro.persistence import (
 
 def make_world():
     world = GameWorld()
-    world.register_component(schema("Position", x="float", y="float"))
-    world.register_component(
+    world.catalog.define(schema("Position", x="float", y="float"))
+    world.catalog.define(
         schema("Health", hp=("int", 100), max_hp=("int", 100))
     )
     return world

@@ -11,7 +11,7 @@ from repro.workloads import cluster_schemas
 def make_world():
     world = GameWorld()
     for schema in cluster_schemas():
-        world.register_component(schema)
+        world.catalog.define(schema)
     return world
 
 

@@ -18,11 +18,11 @@ MOVE_SRC = (
 
 def make_world(n=50, seed=7, second_component=False):
     w = GameWorld()
-    w.register_component(
+    w.catalog.define(
         schema("Unit", x="float", y="float", vx="float", vy="float", hp=("int", 10))
     )
     if second_component:
-        w.register_component(schema("Shadow", x="float"))  # ambiguous "x"
+        w.catalog.define(schema("Shadow", x="float"))  # ambiguous "x"
     rng = random.Random(seed)
     for _ in range(n):
         w.spawn(
@@ -191,7 +191,7 @@ class TestFallback:
         system = add_script_system(world, "s", MOVE_SRC)
         world.run(2)
         assert system.batched_runs == 2
-        world.register_component(schema("Shadow", x="float"))  # now ambiguous
+        world.catalog.define(schema("Shadow", x="float"))  # now ambiguous
         world.run(2)
         assert system.batched_runs == 2  # stopped batching after the change
 

@@ -243,8 +243,8 @@ class TestWorldAccess:
     @pytest.fixture
     def world(self):
         w = GameWorld()
-        w.register_component(schema("Position", x="float", y="float"))
-        w.register_component(schema("Health", hp=("int", 100)))
+        w.catalog.define(schema("Position", x="float", y="float"))
+        w.catalog.define(schema("Health", hp=("int", 100)))
         return w
 
     def test_entity_proxy_read_write(self, world):

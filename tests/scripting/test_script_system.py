@@ -14,8 +14,8 @@ from repro.scripting import (
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Health", hp=("int", 100)))
-    w.register_component(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Position", x="float", y="float"))
     return w
 
 

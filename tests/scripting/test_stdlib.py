@@ -11,9 +11,9 @@ from repro.spatial import UniformGrid
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Position", x="float", y="float"))
-    w.register_component(schema("Health", hp=("int", 100)))
-    w.register_component(schema("Loot", value=("int", 0)))
+    w.catalog.define(schema("Position", x="float", y="float"))
+    w.catalog.define(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Loot", value=("int", 0)))
     w.index_manager("Position").attach_spatial(UniformGrid(5.0))
     return w
 

@@ -26,7 +26,7 @@ from repro.scripting.behavior import (
 @pytest.fixture
 def world():
     w = GameWorld()
-    w.register_component(schema("Health", hp=("int", 100)))
+    w.catalog.define(schema("Health", hp=("int", 100)))
     return w
 
 

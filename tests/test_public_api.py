@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.obs",
     "repro.parallel",
     "repro.persistence",
+    "repro.schema",
     "repro.durable",
     "repro.workloads",
     "repro.bench",
